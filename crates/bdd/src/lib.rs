@@ -1,0 +1,564 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! The PLDI'96 paper represents Prop-domain boolean formulae *enumeratively*
+//! (as truth tables) and notes that many contemporary implementations
+//! ([10, 40] in the paper) used Bryant's BDDs instead, observing that its
+//! enumerative representation was nevertheless competitive because the
+//! tabled engine computes fixpoints incrementally. This crate provides the
+//! BDD side of that comparison: a small, classic hash-consed ROBDD package
+//! with the operations the Prop domain needs — conjunction, disjunction,
+//! negation, biconditional, existential quantification, and variable
+//! renaming — plus truth-table import/export so the two representations can
+//! be checked against each other.
+//!
+//! # Example
+//!
+//! ```
+//! use tablog_bdd::BddManager;
+//!
+//! let mut m = BddManager::new();
+//! let (x, y) = (m.var(0), m.var(1));
+//! let f = m.and(x, y);
+//! let g = m.or(x, y);
+//! assert!(m.implies_check(f, g));
+//! assert_eq!(m.sat_count(f, 2), 1);
+//! assert_eq!(m.sat_count(g, 2), 3);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A handle to a BDD node inside a [`BddManager`]. Handles are only
+/// meaningful for the manager that created them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Bdd(u32);
+
+impl Bdd {
+    /// The constant `false` function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant `true` function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// `true` if this is one of the two constant nodes.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Node {
+    var: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Op {
+    And,
+    Or,
+    Xor,
+}
+
+/// An arena of hash-consed BDD nodes with memoized operations.
+///
+/// Variables are identified by `u32` indices; the variable order is the
+/// numeric order.
+#[derive(Clone, Debug, Default)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Bdd>,
+    apply_cache: HashMap<(Op, Bdd, Bdd), Bdd>,
+    not_cache: HashMap<Bdd, Bdd>,
+}
+
+impl BddManager {
+    /// Creates a manager holding only the constants.
+    pub fn new() -> Self {
+        let mut m = BddManager::default();
+        // Index 0 and 1 are reserved for the constants; the sentinel nodes
+        // are never inspected.
+        m.nodes.push(Node { var: u32::MAX, lo: Bdd::FALSE, hi: Bdd::FALSE });
+        m.nodes.push(Node { var: u32::MAX, lo: Bdd::TRUE, hi: Bdd::TRUE });
+        m
+    }
+
+    /// Number of live nodes (including the two constants).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = Bdd(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    fn node(&self, f: Bdd) -> Node {
+        self.nodes[f.0 as usize]
+    }
+
+    /// The projection function of variable `v`.
+    pub fn var(&mut self, v: u32) -> Bdd {
+        self.mk(v, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The negation of variable `v`.
+    pub fn nvar(&mut self, v: u32) -> Bdd {
+        self.mk(v, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        match f {
+            Bdd::FALSE => Bdd::TRUE,
+            Bdd::TRUE => Bdd::FALSE,
+            _ => {
+                if let Some(&r) = self.not_cache.get(&f) {
+                    return r;
+                }
+                let n = self.node(f);
+                let lo = self.not(n.lo);
+                let hi = self.not(n.hi);
+                let r = self.mk(n.var, lo, hi);
+                self.not_cache.insert(f, r);
+                r
+            }
+        }
+    }
+
+    fn apply(&mut self, op: Op, f: Bdd, g: Bdd) -> Bdd {
+        // Terminal cases.
+        match op {
+            Op::And => {
+                if f == Bdd::FALSE || g == Bdd::FALSE {
+                    return Bdd::FALSE;
+                }
+                if f == Bdd::TRUE {
+                    return g;
+                }
+                if g == Bdd::TRUE || f == g {
+                    return f;
+                }
+            }
+            Op::Or => {
+                if f == Bdd::TRUE || g == Bdd::TRUE {
+                    return Bdd::TRUE;
+                }
+                if f == Bdd::FALSE {
+                    return g;
+                }
+                if g == Bdd::FALSE || f == g {
+                    return f;
+                }
+            }
+            Op::Xor => {
+                if f == Bdd::FALSE {
+                    return g;
+                }
+                if g == Bdd::FALSE {
+                    return f;
+                }
+                if f == g {
+                    return Bdd::FALSE;
+                }
+                if f == Bdd::TRUE {
+                    return self.not(g);
+                }
+                if g == Bdd::TRUE {
+                    return self.not(f);
+                }
+            }
+        }
+        // Commutative: normalize the cache key.
+        let key = if f.0 <= g.0 { (op, f, g) } else { (op, g, f) };
+        if let Some(&r) = self.apply_cache.get(&key) {
+            return r;
+        }
+        let nf = self.node(f);
+        let ng = self.node(g);
+        let var = nf.var.min(ng.var);
+        let (flo, fhi) = if nf.var == var { (nf.lo, nf.hi) } else { (f, f) };
+        let (glo, ghi) = if ng.var == var { (ng.lo, ng.hi) } else { (g, g) };
+        let lo = self.apply(op, flo, glo);
+        let hi = self.apply(op, fhi, ghi);
+        let r = self.mk(var, lo, hi);
+        self.apply_cache.insert(key, r);
+        r
+    }
+
+    /// Conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::And, f, g)
+    }
+
+    /// Disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::Or, f, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(Op::Xor, f, g)
+    }
+
+    /// Biconditional `f ⇔ g` — the workhorse of the Prop domain.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    /// Conjunction of a set of variables — `v1 ∧ … ∧ vk`.
+    pub fn var_conj(&mut self, vars: &[u32]) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        for &v in vars {
+            let x = self.var(v);
+            acc = self.and(acc, x);
+        }
+        acc
+    }
+
+    /// Existential quantification of variable `v`: `∃v. f`.
+    pub fn exists(&mut self, v: u32, f: Bdd) -> Bdd {
+        let lo = self.restrict(v, false, f);
+        let hi = self.restrict(v, true, f);
+        self.or(lo, hi)
+    }
+
+    /// Universal quantification of variable `v`: `∀v. f`.
+    pub fn forall(&mut self, v: u32, f: Bdd) -> Bdd {
+        let lo = self.restrict(v, false, f);
+        let hi = self.restrict(v, true, f);
+        self.and(lo, hi)
+    }
+
+    /// Cofactor: `f` with `v` fixed to `value`.
+    pub fn restrict(&mut self, v: u32, value: bool, f: Bdd) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var > v {
+            return f;
+        }
+        if n.var == v {
+            return if value { n.hi } else { n.lo };
+        }
+        let lo = self.restrict(v, value, n.lo);
+        let hi = self.restrict(v, value, n.hi);
+        self.mk(n.var, lo, hi)
+    }
+
+    /// Renames variables: every variable `v` in `f` becomes `map(v)`.
+    /// The mapping must be injective on `f`'s support but need not preserve
+    /// order (the result is rebuilt).
+    pub fn rename(&mut self, f: Bdd, map: &dyn Fn(u32) -> u32) -> Bdd {
+        if f.is_const() {
+            return f;
+        }
+        let n = self.node(f);
+        let lo = self.rename(n.lo, map);
+        let hi = self.rename(n.hi, map);
+        let v = map(n.var);
+        // Rebuild respecting the order: ite(v, hi, lo).
+        let pv = self.var(v);
+        let t1 = self.and(pv, hi);
+        let npv = self.not(pv);
+        let t0 = self.and(npv, lo);
+        self.or(t1, t0)
+    }
+
+    /// Evaluates `f` under a total assignment (index = variable).
+    pub fn eval(&self, f: Bdd, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        loop {
+            match cur {
+                Bdd::FALSE => return false,
+                Bdd::TRUE => return true,
+                _ => {
+                    let n = self.node(cur);
+                    cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+                }
+            }
+        }
+    }
+
+    /// Number of satisfying assignments over variables `0..nvars`.
+    pub fn sat_count(&self, f: Bdd, nvars: u32) -> u64 {
+        fn go(m: &BddManager, f: Bdd, from: u32, nvars: u32, memo: &mut HashMap<(Bdd, u32), u64>) -> u64 {
+            match f {
+                Bdd::FALSE => 0,
+                Bdd::TRUE => 1u64 << (nvars - from),
+                _ => {
+                    if let Some(&c) = memo.get(&(f, from)) {
+                        return c;
+                    }
+                    let n = m.node(f);
+                    let skipped = n.var - from;
+                    let lo = go(m, n.lo, n.var + 1, nvars, memo);
+                    let hi = go(m, n.hi, n.var + 1, nvars, memo);
+                    let c = (lo + hi) << skipped;
+                    memo.insert((f, from), c);
+                    c
+                }
+            }
+        }
+        go(self, f, 0, nvars, &mut HashMap::new())
+    }
+
+    /// `true` if `f → g` is a tautology.
+    pub fn implies_check(&mut self, f: Bdd, g: Bdd) -> bool {
+        self.implies(f, g) == Bdd::TRUE
+    }
+
+    /// Builds a BDD from a truth table over `nvars` variables;
+    /// `bits[i]` is the function value at the assignment whose bit `j`
+    /// (of `i`) gives variable `j`'s value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != 1 << nvars`.
+    pub fn from_truth_table(&mut self, bits: &[bool], nvars: u32) -> Bdd {
+        assert_eq!(bits.len(), 1usize << nvars, "truth table size mismatch");
+        let mut f = Bdd::FALSE;
+        for (i, &bit) in bits.iter().enumerate() {
+            if !bit {
+                continue;
+            }
+            let mut row = Bdd::TRUE;
+            for v in 0..nvars {
+                let lit = if i & (1 << v) != 0 { self.var(v) } else { self.nvar(v) };
+                row = self.and(row, lit);
+            }
+            f = self.or(f, row);
+        }
+        f
+    }
+
+    /// Exports `f` as a truth table over variables `0..nvars`
+    /// (inverse of [`BddManager::from_truth_table`]).
+    pub fn to_truth_table(&self, f: Bdd, nvars: u32) -> Vec<bool> {
+        (0..(1usize << nvars))
+            .map(|i| {
+                let assignment: Vec<bool> = (0..nvars).map(|v| i & (1 << v) != 0).collect();
+                self.eval(f, &assignment)
+            })
+            .collect()
+    }
+
+    /// The support of `f`: the variables it depends on, ascending.
+    pub fn support(&self, f: Bdd) -> Vec<u32> {
+        let mut vars = Vec::new();
+        let mut stack = vec![f];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(g) = stack.pop() {
+            if g.is_const() || !seen.insert(g) {
+                continue;
+            }
+            let n = self.node(g);
+            vars.push(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+}
+
+impl fmt::Display for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Bdd::FALSE => f.write_str("⊥"),
+            Bdd::TRUE => f.write_str("⊤"),
+            Bdd(n) => write!(f, "bdd#{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_behave() {
+        let mut m = BddManager::new();
+        assert_eq!(m.and(Bdd::TRUE, Bdd::FALSE), Bdd::FALSE);
+        assert_eq!(m.or(Bdd::TRUE, Bdd::FALSE), Bdd::TRUE);
+        assert_eq!(m.not(Bdd::TRUE), Bdd::FALSE);
+    }
+
+    #[test]
+    fn hash_consing_makes_equal_functions_identical() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let a = m.and(x, y);
+        let b0 = m.not(x);
+        let b1 = m.not(y);
+        let b2 = m.or(b0, b1);
+        let b = m.not(b2); // ¬(¬x ∨ ¬y) = x ∧ y
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xor_and_iff_are_complements() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let xo = m.xor(x, y);
+        let eq = m.iff(x, y);
+        assert_eq!(m.not(xo), eq);
+    }
+
+    #[test]
+    fn sat_count_small_functions() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let z = m.var(2);
+        let f = m.and(x, y);
+        assert_eq!(m.sat_count(f, 3), 2); // z free
+        let g = m.or(f, z);
+        assert_eq!(m.sat_count(g, 3), 5);
+        assert_eq!(m.sat_count(Bdd::TRUE, 3), 8);
+        assert_eq!(m.sat_count(Bdd::FALSE, 3), 0);
+    }
+
+    #[test]
+    fn prop_iff_constraint_truth_table() {
+        // X ⇔ Y1 ∧ Y2: exactly the 4 rows of the paper's iff/3.
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let ys = m.var_conj(&[1, 2]);
+        let f = m.iff(x, ys);
+        assert_eq!(m.sat_count(f, 3), 4);
+        assert!(m.eval(f, &[true, true, true]));
+        assert!(m.eval(f, &[false, false, true]));
+        assert!(m.eval(f, &[false, true, false]));
+        assert!(!m.eval(f, &[true, true, false]));
+    }
+
+    #[test]
+    fn exists_projects_out() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        let e = m.exists(1, f);
+        assert_eq!(e, x);
+        let a = m.forall(1, f);
+        assert_eq!(a, Bdd::FALSE);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.iff(x, y);
+        assert_eq!(m.restrict(0, true, f), y);
+        let ny = m.not(y);
+        assert_eq!(m.restrict(0, false, f), ny);
+    }
+
+    #[test]
+    fn rename_shifts_support() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        let g = m.rename(f, &|v| v + 5);
+        assert_eq!(m.support(g), vec![5, 6]);
+        let expect_a = m.var(5);
+        let expect_b = m.var(6);
+        let expect = m.and(expect_a, expect_b);
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn rename_can_invert_order() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let ny = m.nvar(1);
+        let f = m.and(x, ny); // x ∧ ¬y
+        let g = m.rename(f, &|v| 1 - v); // y ∧ ¬x
+        let y = m.var(1);
+        let nx = m.not(m.clone().var(0)); // avoid double borrow in test
+        let _ = nx;
+        let x0 = m.var(0);
+        let nx0 = m.not(x0);
+        let expect = m.and(y, nx0);
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn truth_table_round_trip() {
+        let mut m = BddManager::new();
+        // f(x0,x1,x2) = x0 ⇔ (x1 ∧ x2), via table.
+        let bits: Vec<bool> = (0..8)
+            .map(|i: usize| {
+                let x0 = i & 1 != 0;
+                let x1 = i & 2 != 0;
+                let x2 = i & 4 != 0;
+                x0 == (x1 && x2)
+            })
+            .collect();
+        let f = m.from_truth_table(&bits, 3);
+        assert_eq!(m.to_truth_table(f, 3), bits);
+        // Must equal the directly constructed function.
+        let x0 = m.var(0);
+        let ys = m.var_conj(&[1, 2]);
+        let g = m.iff(x0, ys);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn implication_check() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        let g = m.or(x, y);
+        assert!(m.implies_check(f, g));
+        assert!(!m.implies_check(g, f));
+        assert!(m.implies_check(Bdd::FALSE, f));
+        assert!(m.implies_check(f, Bdd::TRUE));
+    }
+
+    #[test]
+    fn support_of_constants_is_empty() {
+        let m = BddManager::new();
+        assert!(m.support(Bdd::TRUE).is_empty());
+        assert!(m.support(Bdd::FALSE).is_empty());
+    }
+
+    #[test]
+    fn node_count_stays_reasonable() {
+        // Chain of conjunctions: the arena keeps dead intermediates (it is
+        // append-only, no GC), so growth is quadratic in allocations but the
+        // final function itself is a linear chain — far from exponential.
+        let mut m = BddManager::new();
+        let mut f = Bdd::TRUE;
+        for v in 0..64 {
+            let x = m.var(v);
+            f = m.and(f, x);
+        }
+        assert!(m.num_nodes() < 3000, "{}", m.num_nodes());
+        assert_eq!(m.sat_count(f, 64), 1);
+        assert_eq!(m.support(f).len(), 64);
+    }
+}

@@ -1,0 +1,248 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * **A** — dynamic (asserted) vs. compiled (first-arg-indexed) clause
+//!   loading: the paper's central preprocessing trade-off (Section 4).
+//! * **B** — `iff` as a native lazy builtin vs. explicit fact relations
+//!   vs. BDD-based boolean operations (Sections 3.1, 5 discussion).
+//! * **C** — tabled top-down vs. magic-sets bottom-up evaluation
+//!   (Sections 3.1 and 7, the XSB vs. Coral comparison).
+//! * **D** — variant tabling vs. forward subsumption through the open
+//!   call (Section 6.2).
+//! * **E** — depth-first vs. breadth-first scheduling (Section 6.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tablog_bdd::BddManager;
+use tablog_core::groundness::{transform_program, EntryPoint, GroundnessAnalyzer, IffMode};
+use tablog_core::prop::PropTable;
+use tablog_engine::{Engine, EngineOptions, LoadMode, Scheduling};
+use tablog_magic::{magic_transform, BottomUp, Rule};
+use tablog_syntax::{parse_program, parse_term};
+use tablog_term::Bindings;
+
+/// A medium-size, representative subset of the suite for the ablations.
+const ABLATION_SET: &[&str] = &["qsort", "queens", "plan", "cs", "press1"];
+
+fn analyzer(load: LoadMode, iff: IffMode, opts: EngineOptions) -> GroundnessAnalyzer {
+    let mut a = GroundnessAnalyzer::new();
+    a.load_mode = load;
+    a.iff_mode = iff;
+    a.options = opts;
+    a
+}
+
+fn run_suite(a: &GroundnessAnalyzer) -> usize {
+    let mut acc = 0;
+    for name in ABLATION_SET {
+        let b = tablog_suite::logic_benchmark(name).expect("benchmark exists");
+        let program = parse_program(b.source).expect("parses");
+        let entry = EntryPoint::parse(b.entry).expect("entry parses");
+        let r = a
+            .analyze_with_entries(&program, std::slice::from_ref(&entry))
+            .expect("analyzes");
+        acc += r.stats.answers;
+    }
+    acc
+}
+
+fn ablation_dynamic_vs_compiled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dynamic_vs_compiled");
+    g.sample_size(10);
+    g.bench_function("dynamic", |b| {
+        let a = analyzer(LoadMode::Dynamic, IffMode::Builtin, EngineOptions::default());
+        b.iter(|| black_box(run_suite(&a)))
+    });
+    g.bench_function("compiled", |b| {
+        let a = analyzer(LoadMode::Compiled, IffMode::Builtin, EngineOptions::default());
+        b.iter(|| black_box(run_suite(&a)))
+    });
+    g.finish();
+}
+
+fn ablation_iff_repr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_iff_repr");
+    g.sample_size(10);
+    g.bench_function("builtin", |b| {
+        let a = analyzer(LoadMode::Dynamic, IffMode::Builtin, EngineOptions::default());
+        b.iter(|| black_box(run_suite(&a)))
+    });
+    g.bench_function("facts", |b| {
+        let a = analyzer(LoadMode::Dynamic, IffMode::Facts, EngineOptions::default());
+        b.iter(|| black_box(run_suite(&a)))
+    });
+    // The BDD side: the same iff-constraint workload as raw boolean ops,
+    // truth tables vs. BDDs (the representation contrast of Section 4).
+    g.bench_function("prop_table_ops", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for n in 2..=10usize {
+                let t = PropTable::top(n)
+                    .constrain_iff(0, &[1, n - 1])
+                    .constrain_iff(1, &[2 % n]);
+                acc += t.or(&PropTable::top(n).constrain_iff(n - 1, &[0])).count();
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("bdd_ops", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for n in 2..=10u32 {
+                let mut m = BddManager::new();
+                let x0 = m.var(0);
+                let ys = m.var_conj(&[1, n - 1]);
+                let f = m.iff(x0, ys);
+                let x1 = m.var(1);
+                let y2 = m.var(2 % n);
+                let g2 = m.iff(x1, y2);
+                let fg = m.and(f, g2);
+                let xl = m.var(n - 1);
+                let h = m.iff(xl, x0);
+                let out = m.or(fg, h);
+                acc += m.sat_count(out, n);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn ablation_tabled_vs_magic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_tabled_vs_magic");
+    g.sample_size(10);
+    g.bench_function("tabled_top_down", |b| {
+        let a = analyzer(LoadMode::Dynamic, IffMode::Builtin, EngineOptions::default());
+        b.iter(|| black_box(run_suite(&a)))
+    });
+    g.bench_function("magic_bottom_up", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for name in ABLATION_SET {
+                let bench = tablog_suite::logic_benchmark(name).expect("exists");
+                let program = parse_program(bench.source).expect("parses");
+                let (rules, _) =
+                    transform_program(&program, IffMode::Builtin).expect("transforms");
+                let mut eval = BottomUp::new(rules);
+                eval.run().expect("evaluates");
+                acc += eval.derivations();
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn ablation_subsumption_and_scheduling(c: &mut Criterion) {
+    // A transitive-closure workload with many specific calls — the shape
+    // where forward subsumption through the open call pays off.
+    let n = 60;
+    let mut src = String::from(":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n");
+    for i in 0..n {
+        src.push_str(&format!("edge(n{}, n{}).\n", i, (i + 1) % n));
+    }
+    let goal_src: Vec<String> = (0..6).map(|i| format!("path(n{i}, n0)")).collect();
+    let goals = goal_src.join(", ");
+
+    let run = |opts: EngineOptions| {
+        let program = parse_program(&src).expect("parses");
+        let mut db = tablog_engine::Database::new(LoadMode::Dynamic);
+        db.load(&program).expect("loads");
+        let engine = Engine::new(db, opts);
+        let mut b = Bindings::new();
+        let (t, _) = parse_term(&goals, &mut b).expect("goal parses");
+        let mut gs = Vec::new();
+        flatten(&t, &mut gs);
+        let eval = engine.evaluate(&gs, &[], &b).expect("evaluates");
+        eval.stats().answers
+    };
+
+    let mut g = c.benchmark_group("ablation_subsumption");
+    g.sample_size(10);
+    g.bench_function("variant_tabling", |b| {
+        b.iter(|| black_box(run(EngineOptions::default())))
+    });
+    g.bench_function("forward_subsumption", |b| {
+        b.iter(|| {
+            let mut o = EngineOptions::default();
+            o.forward_subsumption = true;
+            black_box(run(o))
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_scheduling");
+    g.sample_size(10);
+    g.bench_function("depth_first", |b| {
+        b.iter(|| black_box(run(EngineOptions::default())))
+    });
+    g.bench_function("breadth_first", |b| {
+        b.iter(|| {
+            let mut o = EngineOptions::default();
+            o.scheduling = Scheduling::BreadthFirst;
+            black_box(run(o))
+        })
+    });
+    g.finish();
+}
+
+fn ablation_magic_query(c: &mut Criterion) {
+    // Goal-directed single query: tabled engine vs. magic transform, the
+    // same-generation style comparison of Section 7.
+    let mut src = String::from(":- table sg/2.\nsg(X, X) :- node(X).\nsg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).\n");
+    for i in 0..40 {
+        src.push_str(&format!("par(a{i}, b{}).\n", i / 2));
+        src.push_str(&format!("node(a{i}).\n"));
+    }
+    for i in 0..20 {
+        src.push_str(&format!("node(b{i}).\n"));
+        src.push_str(&format!("par(b{i}, c{}).\n", i / 2));
+    }
+    for i in 0..10 {
+        src.push_str(&format!("node(c{i}).\n"));
+    }
+
+    let mut g = c.benchmark_group("ablation_magic_query");
+    g.sample_size(10);
+    g.bench_function("tabled", |b| {
+        let engine = Engine::from_source(&src).expect("loads");
+        b.iter(|| black_box(engine.solve("sg(a0, W)").expect("solves").len()))
+    });
+    g.bench_function("magic", |b| {
+        let program = parse_program(&src).expect("parses");
+        let rules: Vec<Rule> = program
+            .clauses
+            .iter()
+            .map(|c| Rule::new(c.head.clone(), c.body.clone()))
+            .collect();
+        b.iter(|| {
+            let mut bi = Bindings::new();
+            let (q, _) = parse_term("sg(a0, W)", &mut bi).expect("parses");
+            let m = magic_transform(&rules, &q, &bi);
+            let mut eval = BottomUp::new(m.rules.clone());
+            eval.run().expect("evaluates");
+            black_box(m.answers(&eval, &q, &bi).len())
+        })
+    });
+    g.finish();
+}
+
+fn flatten(t: &tablog_term::Term, out: &mut Vec<tablog_term::Term>) {
+    if let tablog_term::Term::Struct(s, args) = t {
+        if args.len() == 2 && tablog_term::sym_name(*s) == "," {
+            flatten(&args[0], out);
+            flatten(&args[1], out);
+            return;
+        }
+    }
+    out.push(t.clone());
+}
+
+criterion_group!(
+    benches,
+    ablation_dynamic_vs_compiled,
+    ablation_iff_repr,
+    ablation_tabled_vs_magic,
+    ablation_subsumption_and_scheduling,
+    ablation_magic_query
+);
+criterion_main!(benches);

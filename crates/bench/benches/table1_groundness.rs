@@ -1,0 +1,29 @@
+//! Table 1: Prop-based groundness analysis on the twelve logic-program
+//! benchmarks, end to end (preprocess + analysis + collection), exactly
+//! the workload `paper_tables --table 1` reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tablog_core::groundness::{EntryPoint, GroundnessAnalyzer};
+use tablog_syntax::parse_program;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_groundness");
+    g.sample_size(10);
+    for b in tablog_suite::logic_benchmarks() {
+        let program = parse_program(b.source).expect("suite parses");
+        let entry = EntryPoint::parse(b.entry).expect("entry parses");
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let report = GroundnessAnalyzer::new()
+                    .analyze_with_entries(black_box(&program), std::slice::from_ref(&entry))
+                    .expect("analyzes");
+                black_box(report.table_bytes())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 2: the declarative analysis on the general-purpose tabled engine
+//! vs. the hand-coded special-purpose analyzer (the GAIA stand-in), same
+//! analysis, same entry points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tablog_core::direct::DirectAnalyzer;
+use tablog_core::groundness::{EntryPoint, GroundnessAnalyzer};
+use tablog_syntax::parse_program;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_vs_direct");
+    g.sample_size(10);
+    for b in tablog_suite::logic_benchmarks() {
+        let program = parse_program(b.source).expect("suite parses");
+        let entry = EntryPoint::parse(b.entry).expect("entry parses");
+        g.bench_function(format!("tabled/{}", b.name), |bench| {
+            bench.iter(|| {
+                black_box(
+                    GroundnessAnalyzer::new()
+                        .analyze_with_entries(black_box(&program), std::slice::from_ref(&entry))
+                        .expect("analyzes")
+                        .stats
+                        .answers,
+                )
+            })
+        });
+        g.bench_function(format!("direct/{}", b.name), |bench| {
+            bench.iter(|| {
+                black_box(
+                    DirectAnalyzer::new()
+                        .analyze_with_entries(black_box(&program), std::slice::from_ref(&entry))
+                        .expect("analyzes")
+                        .pairs,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 3: demand-propagation strictness analysis on the ten functional
+//! benchmarks, end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tablog_core::strictness::StrictnessAnalyzer;
+use tablog_funlang::parse_fun_program;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3_strictness");
+    g.sample_size(10);
+    for b in tablog_suite::fun_benchmarks() {
+        let program = parse_fun_program(b.source).expect("suite parses");
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let report = StrictnessAnalyzer::new()
+                    .analyze_program(black_box(&program))
+                    .expect("analyzes");
+                black_box(report.table_bytes())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

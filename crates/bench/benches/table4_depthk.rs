@@ -1,0 +1,30 @@
+//! Table 4: groundness analysis with term-depth abstraction (Section 5)
+//! on the nine benchmarks the paper's Table 4 lists, goal-directed, k = 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tablog_bench::TABLE4_K;
+use tablog_core::depthk::DepthKAnalyzer;
+use tablog_core::groundness::EntryPoint;
+use tablog_syntax::parse_program;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_depthk");
+    g.sample_size(10);
+    for b in tablog_suite::depthk_benchmarks() {
+        let program = parse_program(b.source).expect("suite parses");
+        let entry = EntryPoint::parse(b.entry).expect("entry parses");
+        g.bench_function(b.name, |bench| {
+            bench.iter(|| {
+                let report = DepthKAnalyzer::new(TABLE4_K)
+                    .analyze_with_entries(black_box(&program), std::slice::from_ref(&entry))
+                    .expect("analyzes");
+                black_box(report.table_bytes())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates every table of the paper in the same row/column layout.
+//!
+//! Usage: `paper_tables [--table N]` (default: all four tables).
+
+use tablog_bench::{ms, table1_rows, table2_rows, table3_rows, table4_rows, Row, TABLE4_K};
+
+fn print_row_table(title: &str, rows: &[Row]) {
+    println!("\n{title}");
+    println!(
+        "{:<12} {:>6} {:>10} {:>10} {:>10} {:>10} {:>9} {:>12}",
+        "Program", "lines", "Preproc", "Analysis", "Collect", "Total", "Comp.%", "Table(bytes)"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>6} {:>8}ms {:>8}ms {:>8}ms {:>8}ms {:>8.1} {:>12}",
+            r.program,
+            r.lines,
+            ms(r.preprocess),
+            ms(r.analysis),
+            ms(r.collection),
+            ms(r.total()),
+            r.compile_increase_pct(),
+            r.table_bytes
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which: Option<u32> = args
+        .iter()
+        .position(|a| a == "--table")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let want = |n| which.is_none() || which == Some(n);
+
+    if want(1) {
+        print_row_table(
+            "Table 1: Performance of Prop-based groundness analysis (tabled engine)",
+            &table1_rows(),
+        );
+    }
+    if want(2) {
+        let rows = table2_rows();
+        println!("\nTable 2: Total analysis time, tabled engine vs. direct analyzer (GAIA stand-in)");
+        println!("{:<12} {:>12} {:>12} {:>8}", "Program", "tabled", "direct", "ratio");
+        for r in &rows {
+            println!(
+                "{:<12} {:>10}ms {:>10}ms {:>8.2}",
+                r.program,
+                ms(r.tabled),
+                ms(r.direct),
+                r.tabled.as_secs_f64() / r.direct.as_secs_f64().max(1e-9)
+            );
+        }
+    }
+    if want(3) {
+        print_row_table("Table 3: Performance of strictness analysis", &table3_rows());
+    }
+    if want(4) {
+        print_row_table(
+            &format!(
+                "Table 4: Groundness analysis with term-depth abstraction (k = {TABLE4_K})"
+            ),
+            &table4_rows(),
+        );
+    }
+}

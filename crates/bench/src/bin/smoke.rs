@@ -1,0 +1,64 @@
+//! Per-benchmark timing smoke test: runs each analyzer over each suite
+//! program and prints wall times, to spot blowups before benchmarking.
+
+use std::time::Instant;
+use tablog_core::depthk::DepthKAnalyzer;
+use tablog_core::direct::DirectAnalyzer;
+use tablog_core::groundness::GroundnessAnalyzer;
+use tablog_core::strictness::StrictnessAnalyzer;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if which == "all" || which == "ground" {
+        for b in tablog_suite::logic_benchmarks() {
+            let t = Instant::now();
+            let r = GroundnessAnalyzer::new().analyze_source(b.source);
+            println!(
+                "ground  {:10} {:>10.1?} {}",
+                b.name,
+                t.elapsed(),
+                r.as_ref().map(|x| x.stats.answers).unwrap_or(0)
+            );
+        }
+    }
+    if which == "all" || which == "direct" {
+        for b in tablog_suite::logic_benchmarks() {
+            let t = Instant::now();
+            let r = DirectAnalyzer::new().analyze_source(b.source);
+            println!(
+                "direct  {:10} {:>10.1?} ok={}",
+                b.name,
+                t.elapsed(),
+                r.is_ok()
+            );
+        }
+    }
+    if which == "all" || which == "strict" {
+        for b in tablog_suite::fun_benchmarks() {
+            let t = Instant::now();
+            let r = StrictnessAnalyzer::new().analyze_source(b.source);
+            println!(
+                "strict  {:10} {:>10.1?} ok={}",
+                b.name,
+                t.elapsed(),
+                r.is_ok()
+            );
+        }
+    }
+    if which == "all" || which == "depthk" {
+        let k: usize = std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2);
+        for b in tablog_suite::depthk_benchmarks() {
+            let t = Instant::now();
+            let r = DepthKAnalyzer::new(k).analyze_source(b.source);
+            println!(
+                "depthk  {:10} {:>10.1?} ok={}",
+                b.name,
+                t.elapsed(),
+                r.is_ok()
+            );
+        }
+    }
+}

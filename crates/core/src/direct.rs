@@ -1,0 +1,481 @@
+//! A hand-coded, special-purpose Prop groundness analyzer — the
+//! reproduction's stand-in for GAIA in the paper's Table 2.
+//!
+//! Where the declarative route (module [`crate::groundness`]) *generates a
+//! logic program* and hands it to the general-purpose tabled engine, this
+//! module is written the way one writes a dedicated abstract interpreter:
+//! a goal-directed fixpoint over `(predicate, call pattern)` pairs with an
+//! explicit worklist, dependency tracking, and Prop-domain operations on
+//! bitset truth tables with live-variable narrowing. Both implement exactly
+//! the same analysis, so their results must coincide — one of the
+//! reproduction's integration tests — and their running times are Table 2.
+
+use crate::error::AnalysisError;
+use crate::groundness::{transform_program, EntryPoint, IffMode, GP_PREFIX};
+use crate::pipeline::{PhaseTimings, Timer};
+use crate::prop::{PropTable, MAX_VARS};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use tablog_syntax::{parse_program, Program};
+use tablog_term::{sym_name, Functor, Term};
+
+/// An abstract clause in the analyzer's internal form: head variables plus
+/// a list of constraints over dense variable ids.
+#[derive(Clone, Debug)]
+struct AbsClause {
+    head_vars: Vec<usize>,
+    goals: Vec<AbsGoal>,
+    /// `last_use[v]` = index of the last goal mentioning `v`.
+    last_use: Vec<usize>,
+}
+
+#[derive(Clone, Debug)]
+enum AbsGoal {
+    /// `x ⇔ y1 ∧ … ∧ yk`.
+    Iff(usize, Vec<usize>),
+    /// A call to a user predicate.
+    Call(Functor, Vec<usize>),
+}
+
+/// Results of the direct analyzer for one predicate.
+#[derive(Clone, Debug)]
+pub struct DirectGroundness {
+    /// Source predicate name.
+    pub name: String,
+    /// Arity.
+    pub arity: usize,
+    /// Output groundness formula (union over all analyzed call patterns).
+    pub prop: PropTable,
+    /// Per-argument meet: definitely ground on success.
+    pub definitely_ground: Vec<bool>,
+}
+
+/// The complete result of a direct-analyzer run.
+#[derive(Clone, Debug)]
+pub struct DirectReport {
+    preds: BTreeMap<(String, usize), DirectGroundness>,
+    /// Phase timings (preprocess / analysis / collection).
+    pub timings: PhaseTimings,
+    /// Number of `(predicate, call pattern)` pairs analyzed.
+    pub pairs: usize,
+    /// Worklist iterations performed.
+    pub iterations: usize,
+}
+
+impl DirectReport {
+    /// Result for one predicate.
+    pub fn output_groundness(&self, name: &str, arity: usize) -> Option<&DirectGroundness> {
+        self.preds.get(&(name.to_owned(), arity))
+    }
+
+    /// All analyzed predicates, sorted by name.
+    pub fn predicates(&self) -> impl Iterator<Item = &DirectGroundness> {
+        self.preds.values()
+    }
+}
+
+type Key = (Functor, PropTable);
+
+struct Solver {
+    clauses: HashMap<Functor, Vec<AbsClause>>,
+    results: HashMap<Key, PropTable>,
+    deps: HashMap<Key, HashSet<Key>>,
+    queue: VecDeque<Key>,
+    queued: HashSet<Key>,
+    iterations: usize,
+}
+
+impl Solver {
+    fn enqueue(&mut self, key: Key) {
+        if self.queued.insert(key.clone()) {
+            self.queue.push_back(key);
+        }
+    }
+
+    fn demand(&mut self, f: Functor, pattern: PropTable, caller: Option<&Key>) -> PropTable {
+        let key = (f, pattern);
+        if let Some(c) = caller {
+            self.deps.entry(key.clone()).or_default().insert(c.clone());
+        }
+        if let Some(r) = self.results.get(&key) {
+            return r.clone();
+        }
+        let bottom = PropTable::bottom(f.arity);
+        self.results.insert(key.clone(), bottom.clone());
+        self.enqueue(key);
+        bottom
+    }
+
+    fn run(&mut self) -> Result<(), AnalysisError> {
+        while let Some(key) = self.queue.pop_front() {
+            self.queued.remove(&key);
+            self.iterations += 1;
+            let computed = self.evaluate(&key)?;
+            let old = self.results.get(&key).expect("seeded").clone();
+            let merged = old.or(&computed);
+            if merged != old {
+                self.results.insert(key.clone(), merged);
+                if let Some(callers) = self.deps.get(&key).cloned() {
+                    for c in callers {
+                        self.enqueue(c);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn evaluate(&mut self, key: &Key) -> Result<PropTable, AnalysisError> {
+        let (f, pattern) = key;
+        let clauses = self.clauses.get(f).cloned().unwrap_or_default();
+        let mut acc = PropTable::bottom(f.arity);
+        for clause in &clauses {
+            let t = self.eval_clause(clause, pattern, key)?;
+            acc = acc.or(&t);
+        }
+        Ok(acc)
+    }
+
+    fn eval_clause(
+        &mut self,
+        clause: &AbsClause,
+        pattern: &PropTable,
+        key: &Key,
+    ) -> Result<PropTable, AnalysisError> {
+        // Active variable set, initially the head variables; the table is
+        // the call pattern, one column per active variable.
+        let mut active: Vec<usize> = clause.head_vars.clone();
+        let mut table = pattern.clone();
+        let head_set: HashSet<usize> = clause.head_vars.iter().copied().collect();
+        for (i, goal) in clause.goals.iter().enumerate() {
+            let mentioned: Vec<usize> = match goal {
+                AbsGoal::Iff(x, ys) => {
+                    let mut m = vec![*x];
+                    m.extend_from_slice(ys);
+                    m
+                }
+                AbsGoal::Call(_, args) => args.clone(),
+            };
+            // Introduce unseen variables as unconstrained columns.
+            for v in &mentioned {
+                if !active.contains(v) {
+                    if active.len() + 1 > MAX_VARS {
+                        return Err(AnalysisError::Unsupported(format!(
+                            "clause needs more than {MAX_VARS} live Prop variables"
+                        )));
+                    }
+                    table = table.extend(1);
+                    active.push(*v);
+                }
+            }
+            let pos =
+                |v: usize| -> usize { active.iter().position(|&a| a == v).expect("active var") };
+            match goal {
+                AbsGoal::Iff(x, ys) => {
+                    let ix = pos(*x);
+                    let iys: Vec<usize> = ys.iter().map(|&y| pos(y)).collect();
+                    table = table.constrain_iff(ix, &iys);
+                }
+                AbsGoal::Call(g, args) => {
+                    let positions: Vec<usize> = args.iter().map(|&a| pos(a)).collect();
+                    let cp = table.project(&positions);
+                    let r = self.demand(*g, cp, Some(key));
+                    table = table.constrain_relation(&positions, &r);
+                }
+            }
+            if table.is_empty() {
+                return Ok(PropTable::bottom(clause.head_vars.len()));
+            }
+            // Narrow to live variables: head vars plus those used later.
+            let keep: Vec<usize> = active
+                .iter()
+                .copied()
+                .filter(|v| head_set.contains(v) || clause.last_use[*v] > i)
+                .collect();
+            if keep.len() != active.len() {
+                let positions: Vec<usize> = keep
+                    .iter()
+                    .map(|v| active.iter().position(|a| a == v).expect("active var"))
+                    .collect();
+                table = table.project(&positions);
+                active = keep;
+            }
+        }
+        let head_positions: Vec<usize> = clause
+            .head_vars
+            .iter()
+            .map(|v| active.iter().position(|a| a == v).expect("head var live"))
+            .collect();
+        Ok(table.project(&head_positions))
+    }
+}
+
+/// The direct (special-purpose) groundness analyzer.
+#[derive(Clone, Debug, Default)]
+pub struct DirectAnalyzer;
+
+impl DirectAnalyzer {
+    /// Creates the analyzer.
+    pub fn new() -> Self {
+        DirectAnalyzer
+    }
+
+    /// Parses and analyzes `src` with fully open call patterns.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors, or [`AnalysisError::Unsupported`] if a clause
+    /// exceeds the truth-table width limit.
+    pub fn analyze_source(&self, src: &str) -> Result<DirectReport, AnalysisError> {
+        let mut timer = Timer::start();
+        let program = parse_program(src)?;
+        self.analyze(&program, &[], timer.lap())
+    }
+
+    /// Analyzes a parsed program with fully open call patterns.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirectAnalyzer::analyze_source`].
+    pub fn analyze_program(&self, program: &Program) -> Result<DirectReport, AnalysisError> {
+        self.analyze(program, &[], std::time::Duration::ZERO)
+    }
+
+    /// Goal-directed analysis from entry points.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirectAnalyzer::analyze_source`].
+    pub fn analyze_with_entries(
+        &self,
+        program: &Program,
+        entries: &[EntryPoint],
+    ) -> Result<DirectReport, AnalysisError> {
+        self.analyze(program, entries, std::time::Duration::ZERO)
+    }
+
+    fn analyze(
+        &self,
+        program: &Program,
+        entries: &[EntryPoint],
+        parse_time: std::time::Duration,
+    ) -> Result<DirectReport, AnalysisError> {
+        let mut timer = Timer::start();
+        // Preprocess: reuse the Figure 1 transform, then lower the abstract
+        // rules into the analyzer's dense internal form.
+        let (rules, preds) = transform_program(program, IffMode::Builtin)?;
+        let mut clauses: HashMap<Functor, Vec<AbsClause>> = HashMap::new();
+        for r in &rules {
+            let f = r.head.functor().expect("abstract heads are callable");
+            clauses.entry(f).or_default().push(lower_clause(r)?);
+        }
+        let mut solver = Solver {
+            clauses,
+            results: HashMap::new(),
+            deps: HashMap::new(),
+            queue: VecDeque::new(),
+            queued: HashSet::new(),
+            iterations: 0,
+        };
+        let preprocess = parse_time + timer.lap();
+
+        // Analysis: seed and run to fixpoint.
+        if entries.is_empty() {
+            for &(name, arity) in preds.keys() {
+                let f = gp(name, arity);
+                solver.demand(f, PropTable::top(arity), None);
+            }
+        } else {
+            for e in entries {
+                let arity = e.ground_args.len();
+                let f = gp(tablog_term::intern(&e.name), arity);
+                let mut cp = PropTable::top(arity);
+                for (i, &g) in e.ground_args.iter().enumerate() {
+                    if g {
+                        cp = cp.constrain_value(i, true);
+                    }
+                }
+                solver.demand(f, cp, None);
+            }
+        }
+        solver.run()?;
+        let analysis = timer.lap();
+
+        // Collection: merge results per predicate.
+        let mut out = BTreeMap::new();
+        for &(name, arity) in preds.keys() {
+            let f = gp(name, arity);
+            let mut prop = PropTable::bottom(arity);
+            let mut any = false;
+            for ((kf, _), r) in solver.results.iter() {
+                if *kf == f {
+                    prop = prop.or(r);
+                    any = true;
+                }
+            }
+            if !any {
+                continue; // unreachable from the entries
+            }
+            let definitely_ground = (0..arity).map(|i| prop.definitely(i)).collect();
+            out.insert(
+                (sym_name(name), arity),
+                DirectGroundness { name: sym_name(name), arity, prop, definitely_ground },
+            );
+        }
+        let collection = timer.lap();
+
+        Ok(DirectReport {
+            preds: out,
+            timings: PhaseTimings { preprocess, analysis, collection },
+            pairs: solver.results.len(),
+            iterations: solver.iterations,
+        })
+    }
+}
+
+fn gp(name: tablog_term::Sym, arity: usize) -> Functor {
+    Functor { name: tablog_term::intern(&format!("{GP_PREFIX}{}", sym_name(name))), arity }
+}
+
+fn lower_clause(r: &tablog_magic::Rule) -> Result<AbsClause, AnalysisError> {
+    let mut ids: HashMap<tablog_term::Var, usize> = HashMap::new();
+    let mut id_of = |t: &Term| -> Result<usize, AnalysisError> {
+        match t {
+            Term::Var(v) => {
+                let n = ids.len();
+                Ok(*ids.entry(*v).or_insert(n))
+            }
+            other => Err(AnalysisError::Unsupported(format!(
+                "non-variable argument {other} in abstract clause"
+            ))),
+        }
+    };
+    let head_vars: Vec<usize> =
+        r.head.args().iter().map(&mut id_of).collect::<Result<_, _>>()?;
+    let mut goals = Vec::new();
+    for lit in &r.body {
+        let f = lit.functor().ok_or_else(|| {
+            AnalysisError::Unsupported(format!("bad abstract literal {lit}"))
+        })?;
+        let name = sym_name(f.name);
+        if name == "$iff" {
+            let x = id_of(&lit.args()[0])?;
+            let ys: Vec<usize> =
+                lit.args()[1..].iter().map(&mut id_of).collect::<Result<_, _>>()?;
+            goals.push(AbsGoal::Iff(x, ys));
+        } else if name.starts_with(GP_PREFIX) {
+            let args: Vec<usize> =
+                lit.args().iter().map(&mut id_of).collect::<Result<_, _>>()?;
+            goals.push(AbsGoal::Call(f, args));
+        } else {
+            return Err(AnalysisError::Unsupported(format!(
+                "unexpected literal {lit} in abstract clause"
+            )));
+        }
+    }
+    let mut last_use = vec![0usize; ids.len()];
+    for (i, g) in goals.iter().enumerate() {
+        let mentioned: Vec<usize> = match g {
+            AbsGoal::Iff(x, ys) => {
+                let mut m = vec![*x];
+                m.extend_from_slice(ys);
+                m
+            }
+            AbsGoal::Call(_, args) => args.clone(),
+        };
+        for v in mentioned {
+            last_use[v] = i;
+        }
+    }
+    Ok(AbsClause { head_vars, goals, last_use })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::groundness::GroundnessAnalyzer;
+
+    const APPEND: &str = "
+        app([], Ys, Ys).
+        app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+    ";
+
+    #[test]
+    fn append_formula_matches_tabled_engine() {
+        let direct = DirectAnalyzer::new().analyze_source(APPEND).unwrap();
+        let tabled = GroundnessAnalyzer::new().analyze_source(APPEND).unwrap();
+        let d = direct.output_groundness("app", 3).unwrap();
+        let t = tabled.output_groundness("app", 3).unwrap();
+        assert_eq!(d.prop, t.prop);
+        assert_eq!(d.definitely_ground, t.definitely_ground);
+    }
+
+    #[test]
+    fn direct_handles_facts_and_chains() {
+        let src = "p(a). q(X) :- p(X). r(X, Y) :- q(X), Y = f(X).";
+        let direct = DirectAnalyzer::new().analyze_source(src).unwrap();
+        assert_eq!(
+            direct.output_groundness("r", 2).unwrap().definitely_ground,
+            vec![true, true]
+        );
+    }
+
+    #[test]
+    fn goal_directed_restricts_reachability() {
+        let src = "
+            reached(X) :- helper(X).
+            helper(a).
+            island(b).
+        ";
+        let program = parse_program(src).unwrap();
+        let entries = [EntryPoint::new("reached", &[false])];
+        let report = DirectAnalyzer::new().analyze_with_entries(&program, &entries).unwrap();
+        assert!(report.output_groundness("reached", 1).is_some());
+        assert!(report.output_groundness("island", 1).is_none());
+    }
+
+    #[test]
+    fn entry_groundness_matches_tabled() {
+        let src = "
+            qs([], []).
+            qs([X|Xs], S) :- qs(Xs, S0), ins(X, S0, S).
+            ins(X, [], [X]).
+            ins(X, [Y|Ys], [X,Y|Ys]) :- X =< Y.
+            ins(X, [Y|Ys], [Y|Zs]) :- X > Y, ins(X, Ys, Zs).
+        ";
+        let program = parse_program(src).unwrap();
+        let entries = [EntryPoint::parse("qs(g, f)").unwrap()];
+        let direct =
+            DirectAnalyzer::new().analyze_with_entries(&program, &entries).unwrap();
+        let tabled = GroundnessAnalyzer::new()
+            .analyze_with_entries(&program, &entries)
+            .unwrap();
+        for p in ["qs", "ins"] {
+            let arity = if p == "qs" { 2 } else { 3 };
+            let d = direct.output_groundness(p, arity).unwrap();
+            let t = tabled.output_groundness(p, arity).unwrap();
+            assert_eq!(d.definitely_ground, t.definitely_ground, "{p}");
+        }
+    }
+
+    #[test]
+    fn recursion_converges() {
+        let src = "
+            even(0).
+            even(s(X)) :- odd(X).
+            odd(s(X)) :- even(X).
+        ";
+        let report = DirectAnalyzer::new().analyze_source(src).unwrap();
+        assert_eq!(
+            report.output_groundness("even", 1).unwrap().definitely_ground,
+            vec![true]
+        );
+        assert!(report.iterations > 1);
+    }
+
+    #[test]
+    fn stats_are_reported() {
+        let report = DirectAnalyzer::new().analyze_source(APPEND).unwrap();
+        assert!(report.pairs >= 1);
+        assert!(report.timings.total() > std::time::Duration::ZERO);
+    }
+}

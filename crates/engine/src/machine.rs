@@ -1,0 +1,1001 @@
+//! The tabled evaluation machine: an explicit SLG derivation forest driven
+//! by a worklist.
+//!
+//! Every derivation node carries, in variant-canonical form, an *answer
+//! template* (the instantiated arguments of the tabled subgoal it belongs
+//! to) and its remaining *goal list*. Expanding a node resolves its leftmost
+//! goal — against program clauses (SLD), a builtin, or a table. Tabled calls
+//! register the node as a consumer of the callee's table; every answer that
+//! table ever acquires is returned to every consumer exactly once. When the
+//! worklist drains, all tables are complete: for definite programs, SLG
+//! completion needs no incremental SCC bookkeeping.
+
+use crate::builtins::{lookup_builtin, BuiltinImpl};
+use crate::database::{Database, LoadMode};
+use crate::error::EngineError;
+use crate::options::{EngineOptions, Scheduling, Unknown};
+use crate::table::{SubgoalState, SubgoalView, TableStats};
+use std::collections::{HashMap, HashSet, VecDeque};
+use tablog_term::{
+    canonicalize, sym_name, unify, unify_occurs, Bindings, CanonicalTerm, Functor, Term, Var,
+};
+
+/// A loaded program plus evaluation options; the entry point of the crate.
+///
+/// See the [crate-level documentation](crate) for an overview and example.
+#[derive(Clone, Debug, Default)]
+pub struct Engine {
+    db: Database,
+    opts: EngineOptions,
+}
+
+impl Engine {
+    /// Wraps an existing database with options.
+    pub fn new(db: Database, opts: EngineOptions) -> Self {
+        Engine { db, opts }
+    }
+
+    /// Parses and loads `src` in [`LoadMode::Dynamic`] with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse or load error.
+    pub fn from_source(src: &str) -> Result<Self, EngineError> {
+        Engine::from_source_with(src, LoadMode::Dynamic, EngineOptions::default())
+    }
+
+    /// Parses and loads `src` with explicit load mode and options.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse or load error.
+    pub fn from_source_with(
+        src: &str,
+        mode: LoadMode,
+        opts: EngineOptions,
+    ) -> Result<Self, EngineError> {
+        let program = tablog_syntax::parse_program(src)?;
+        let mut db = Database::new(mode);
+        db.load(&program)?;
+        Ok(Engine { db, opts })
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the database (for `assert`-style updates between
+    /// evaluations).
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The evaluation options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
+    /// Mutable access to the evaluation options.
+    pub fn options_mut(&mut self) -> &mut EngineOptions {
+        &mut self.opts
+    }
+
+    /// Parses `goal` and evaluates it to completion, returning one row per
+    /// answer, with columns for the goal's named variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors and any [`EngineError`] raised during
+    /// evaluation.
+    pub fn solve(&self, goal: &str) -> Result<Solutions, EngineError> {
+        let mut b = Bindings::new();
+        let (t, names) = tablog_syntax::parse_term(goal, &mut b)?;
+        let mut goals = Vec::new();
+        flatten_conj(&t, &mut goals);
+        let template: Vec<Term> = names.iter().map(|(_, v)| Term::Var(*v)).collect();
+        let eval = self.evaluate(&goals, &template, &b)?;
+        Ok(Solutions {
+            names: names.into_iter().map(|(n, _)| n).collect(),
+            rows: eval.root_answers(),
+        })
+    }
+
+    /// Evaluates `goals` (left to right) to completion. `template` lists the
+    /// terms whose instances constitute the query's answers; `bindings` is
+    /// the store in which the goal/template variables live (it is only read).
+    ///
+    /// The returned [`Evaluation`] exposes the complete call and answer
+    /// tables — the raw material of the paper's analyses.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`EngineError`] raised during evaluation.
+    pub fn evaluate(
+        &self,
+        goals: &[Term],
+        template: &[Term],
+        bindings: &Bindings,
+    ) -> Result<Evaluation, EngineError> {
+        let mut m = Machine::new(&self.db, &self.opts);
+        m.run(goals, template, bindings)
+    }
+}
+
+/// All answers to a [`Engine::solve`] query.
+#[derive(Clone, Debug)]
+pub struct Solutions {
+    names: Vec<String>,
+    rows: Vec<Vec<Term>>,
+}
+
+impl Solutions {
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the query failed.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The named variables of the query, in source order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Answer rows; column `i` instantiates `names()[i]`. Distinct rows may
+    /// share variables (non-ground answers keep canonical variables).
+    pub fn rows(&self) -> &[Vec<Term>] {
+        &self.rows
+    }
+
+    /// The binding of variable `name` in answer `row`.
+    pub fn get(&self, row: usize, name: &str) -> Option<&Term> {
+        let col = self.names.iter().position(|n| n == name)?;
+        self.rows.get(row)?.get(col)
+    }
+
+    /// Renders each answer as `X = t1, Y = t2`.
+    pub fn to_strings(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .map(|row| {
+                if self.names.is_empty() {
+                    "true".to_owned()
+                } else {
+                    let mut w = tablog_syntax::TermWriter::new();
+                    self.names
+                        .iter()
+                        .zip(row)
+                        .map(|(n, t)| format!("{n} = {}", w.write(t)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }
+            })
+            .collect()
+    }
+}
+
+/// The completed tables of one evaluation: every tabled subgoal encountered
+/// (the *call table*, which the analyses read for input patterns) together
+/// with its answers (the *answer table*).
+#[derive(Clone, Debug)]
+pub struct Evaluation {
+    subgoals: Vec<SubgoalState>,
+    root: usize,
+    stats: TableStats,
+}
+
+impl Evaluation {
+    /// Views of every subgoal table, including the synthetic `$query` root.
+    pub fn subgoals(&self) -> impl Iterator<Item = SubgoalView<'_>> {
+        self.subgoals.iter().map(|s| SubgoalView { state: s })
+    }
+
+    /// Views of the subgoals of one predicate.
+    pub fn subgoals_of(&self, f: Functor) -> Vec<SubgoalView<'_>> {
+        self.subgoals
+            .iter()
+            .filter(|s| s.functor == f)
+            .map(|s| SubgoalView { state: s })
+            .collect()
+    }
+
+    /// All answers of a predicate, merged across its call patterns.
+    pub fn answers_of(&self, f: Functor) -> Vec<Term> {
+        self.subgoals_of(f).iter().flat_map(|v| v.answers()).collect()
+    }
+
+    /// All recorded calls of a predicate — its input patterns.
+    pub fn calls_of(&self, f: Functor) -> Vec<Term> {
+        self.subgoals_of(f).iter().map(|v| v.call_term()).collect()
+    }
+
+    /// Answer tuples of the root query (instances of the query template).
+    pub fn root_answers(&self) -> Vec<Vec<Term>> {
+        self.subgoals[self.root]
+            .answers
+            .iter()
+            .map(|c| c.terms().to_vec())
+            .collect()
+    }
+
+    /// Evaluation statistics, including total table bytes.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// Estimated total table space in bytes (the paper's last column).
+    pub fn table_bytes(&self) -> usize {
+        self.stats.table_bytes
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    /// The subgoal whose answers this derivation contributes to.
+    subgoal: usize,
+    /// `canon.terms()[..split]` is the answer template; the rest is goals.
+    split: usize,
+    canon: CanonicalTerm,
+}
+
+#[derive(Clone, Debug)]
+struct Consumer {
+    node: Node,
+    watched: usize,
+}
+
+#[derive(Debug)]
+enum Task {
+    Expand(Node),
+    Return(usize, usize),
+}
+
+struct Machine<'e> {
+    db: &'e Database,
+    opts: &'e EngineOptions,
+    subgoals: Vec<SubgoalState>,
+    lookup: HashMap<(Functor, CanonicalTerm), usize>,
+    consumers: Vec<Consumer>,
+    tasks: VecDeque<Task>,
+    /// Derivation nodes already scheduled, per subgoal: the forest is a
+    /// *set* of nodes, so a variant-identical resolvent reached along two
+    /// different derivation paths is expanded only once. This collapses
+    /// the combinatorial re-derivation that long conjunctions of
+    /// enumerative literals otherwise cause.
+    seen_nodes: HashSet<(usize, usize, CanonicalTerm)>,
+    stats: TableStats,
+}
+
+impl<'e> Machine<'e> {
+    fn new(db: &'e Database, opts: &'e EngineOptions) -> Self {
+        Machine {
+            db,
+            opts,
+            subgoals: Vec::new(),
+            lookup: HashMap::new(),
+            consumers: Vec::new(),
+            tasks: VecDeque::new(),
+            seen_nodes: HashSet::new(),
+            stats: TableStats::default(),
+        }
+    }
+
+    fn unif(&self, b: &mut Bindings, t1: &Term, t2: &Term) -> bool {
+        if self.opts.occur_check {
+            unify_occurs(b, t1, t2)
+        } else {
+            unify(b, t1, t2)
+        }
+    }
+
+    fn push(&mut self, task: Task) {
+        if let Task::Expand(n) = &task {
+            if !self.seen_nodes.insert((n.subgoal, n.split, n.canon.clone())) {
+                return;
+            }
+        }
+        self.tasks.push_back(task);
+    }
+
+    fn pop(&mut self) -> Option<Task> {
+        match self.opts.scheduling {
+            Scheduling::DepthFirst => self.tasks.pop_back(),
+            Scheduling::BreadthFirst => self.tasks.pop_front(),
+        }
+    }
+
+    fn run(
+        &mut self,
+        goals: &[Term],
+        template: &[Term],
+        b0: &Bindings,
+    ) -> Result<Evaluation, EngineError> {
+        let root_f = Functor::new("$query", template.len());
+        let key = canonicalize(b0, template);
+        let root = self.subgoals.len();
+        self.subgoals.push(SubgoalState::new(root_f, key));
+        self.stats.subgoals += 1;
+        let mut all: Vec<Term> = template.to_vec();
+        all.extend_from_slice(goals);
+        let node = Node { subgoal: root, split: template.len(), canon: canonicalize(b0, &all) };
+        self.push(Task::Expand(node));
+        self.drain()?;
+        for s in &mut self.subgoals {
+            s.complete = true;
+        }
+        self.stats.table_bytes = self.subgoals.iter().map(|s| s.table_bytes()).sum();
+        Ok(Evaluation {
+            subgoals: std::mem::take(&mut self.subgoals),
+            root,
+            stats: self.stats,
+        })
+    }
+
+    fn drain(&mut self) -> Result<(), EngineError> {
+        while let Some(task) = self.pop() {
+            self.stats.steps += 1;
+            if let Some(limit) = self.opts.max_steps {
+                if self.stats.steps > limit {
+                    return Err(EngineError::StepLimit(limit));
+                }
+            }
+            match task {
+                Task::Expand(n) => self.expand(n)?,
+                Task::Return(c, a) => self.return_answer(c, a)?,
+            }
+        }
+        Ok(())
+    }
+
+    fn make_node(
+        &self,
+        subgoal: usize,
+        split: usize,
+        b: &Bindings,
+        template: &[Term],
+        goals: &[Term],
+    ) -> Node {
+        let mut all = template.to_vec();
+        all.extend_from_slice(goals);
+        Node { subgoal, split, canon: canonicalize(b, &all) }
+    }
+
+    fn expand(&mut self, node: Node) -> Result<(), EngineError> {
+        let mut b = Bindings::new();
+        let ts = node.canon.instantiate(&mut b);
+        let (template, goals) = ts.split_at(node.split);
+        let Some((g, rest)) = goals.split_first() else {
+            let ans = canonicalize(&b, template);
+            self.add_answer(node.subgoal, ans);
+            return Ok(());
+        };
+        self.solve_goal(node.subgoal, node.split, template, g, rest, &mut b)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_goal(
+        &mut self,
+        sid: usize,
+        split: usize,
+        template: &[Term],
+        g: &Term,
+        rest: &[Term],
+        b: &mut Bindings,
+    ) -> Result<(), EngineError> {
+        let g = b.resolve(g);
+        let f = match g.functor() {
+            Some(f) => f,
+            None => return Err(EngineError::BadGoal(format!("{g}"))),
+        };
+        let name = sym_name(f.name);
+        let args = g.args();
+        match (name.as_str(), f.arity) {
+            (",", 2) => {
+                let mut goals = vec![args[0].clone(), args[1].clone()];
+                goals.extend_from_slice(rest);
+                let n = self.make_node(sid, split, b, template, &goals);
+                self.push(Task::Expand(n));
+                Ok(())
+            }
+            (";", 2) => {
+                // (C -> T ; E) gets soft if-then-else semantics:
+                // (C, T) or (\+ C, E).
+                let (left, right): (Vec<Term>, Vec<Term>) =
+                    if let Term::Struct(s, ite) = &args[0] {
+                        if sym_name(*s) == "->" && ite.len() == 2 {
+                            (
+                                vec![ite[0].clone(), ite[1].clone()],
+                                vec![
+                                    Term::Struct(
+                                        tablog_term::intern("\\+"),
+                                        vec![ite[0].clone()].into(),
+                                    ),
+                                    args[1].clone(),
+                                ],
+                            )
+                        } else {
+                            (vec![args[0].clone()], vec![args[1].clone()])
+                        }
+                    } else {
+                        (vec![args[0].clone()], vec![args[1].clone()])
+                    };
+                for branch in [left, right] {
+                    let mut goals = branch;
+                    goals.extend_from_slice(rest);
+                    let n = self.make_node(sid, split, b, template, &goals);
+                    self.push(Task::Expand(n));
+                }
+                Ok(())
+            }
+            ("->", 2) => {
+                let mut goals = vec![args[0].clone(), args[1].clone()];
+                goals.extend_from_slice(rest);
+                let n = self.make_node(sid, split, b, template, &goals);
+                self.push(Task::Expand(n));
+                Ok(())
+            }
+            ("\\+", 1) | ("not", 1) => {
+                if !self.provable(&args[0], b)? {
+                    let n = self.make_node(sid, split, b, template, rest);
+                    self.push(Task::Expand(n));
+                }
+                Ok(())
+            }
+            // Cut is approximated by `true`: sound (a superset of solutions)
+            // for the minimal-model analyses this engine serves; see README.
+            ("!", 0) | ("true", 0) => {
+                let n = self.make_node(sid, split, b, template, rest);
+                self.push(Task::Expand(n));
+                Ok(())
+            }
+            ("call", 1) => {
+                let mut goals = vec![args[0].clone()];
+                goals.extend_from_slice(rest);
+                let n = self.make_node(sid, split, b, template, &goals);
+                self.push(Task::Expand(n));
+                Ok(())
+            }
+            _ => {
+                if let Some(imp) = lookup_builtin(f) {
+                    return self.solve_builtin(imp, sid, split, template, &g, rest, b);
+                }
+                if !self.db.is_defined(f) {
+                    return match self.opts.unknown {
+                        Unknown::Fail => Ok(()),
+                        Unknown::Error => Err(EngineError::UnknownPredicate(f)),
+                    };
+                }
+                if self.db.is_tabled(f) {
+                    self.solve_tabled(f, sid, split, template, &g, rest, b)
+                } else {
+                    self.solve_sld(f, sid, split, template, &g, rest, b)
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_builtin(
+        &mut self,
+        imp: BuiltinImpl,
+        sid: usize,
+        split: usize,
+        template: &[Term],
+        g: &Term,
+        rest: &[Term],
+        b: &mut Bindings,
+    ) -> Result<(), EngineError> {
+        match imp {
+            BuiltinImpl::Det(f) => {
+                let m = b.mark();
+                if f(b, g.args())? {
+                    let n = self.make_node(sid, split, b, template, rest);
+                    self.push(Task::Expand(n));
+                }
+                b.undo_to(m);
+                Ok(())
+            }
+            BuiltinImpl::NonDet(f) => {
+                let tuples = f(b, g.args())?;
+                for tuple in tuples {
+                    let m = b.mark();
+                    let ok = g
+                        .args()
+                        .iter()
+                        .zip(tuple.iter())
+                        .all(|(x, y)| self.unif(b, x, y));
+                    if ok {
+                        let n = self.make_node(sid, split, b, template, rest);
+                        self.push(Task::Expand(n));
+                    }
+                    b.undo_to(m);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_sld(
+        &mut self,
+        f: Functor,
+        sid: usize,
+        split: usize,
+        template: &[Term],
+        g: &Term,
+        rest: &[Term],
+        b: &mut Bindings,
+    ) -> Result<(), EngineError> {
+        let clauses: Vec<_> = self
+            .db
+            .matching_clauses(f, g.args().first())
+            .into_iter()
+            .cloned()
+            .collect();
+        for clause in clauses {
+            self.stats.clause_resolutions += 1;
+            let m = b.mark();
+            let base = b.fresh_block(clause.nvars);
+            let mut rename = |t: &Term| t.map_vars(&mut |v| Term::Var(Var(base.0 + v.0)));
+            let head = rename(&clause.head);
+            let ok = g
+                .args()
+                .iter()
+                .zip(head.args().iter())
+                .all(|(x, y)| self.unif(b, x, y));
+            if ok {
+                let mut goals: Vec<Term> = clause.body.iter().map(&mut rename).collect();
+                goals.extend_from_slice(rest);
+                let n = self.make_node(sid, split, b, template, &goals);
+                self.push(Task::Expand(n));
+            }
+            b.undo_to(m);
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn solve_tabled(
+        &mut self,
+        f: Functor,
+        sid: usize,
+        split: usize,
+        template: &[Term],
+        g: &Term,
+        rest: &[Term],
+        b: &mut Bindings,
+    ) -> Result<(), EngineError> {
+        let mut key = if self.opts.forward_subsumption {
+            open_call_key(f)
+        } else {
+            canonicalize(b, g.args())
+        };
+        if let Some(hook) = &self.opts.call_abstraction {
+            key = hook(&key);
+        }
+        let watched = self.find_or_create_subgoal(f, key)?;
+        // Reconstitute this node (with the tabled goal still selected) as a
+        // consumer of the callee's table.
+        let mut goals = vec![g.clone()];
+        goals.extend_from_slice(rest);
+        let node = self.make_node(sid, split, b, template, &goals);
+        let cid = self.consumers.len();
+        self.consumers.push(Consumer { node, watched });
+        self.subgoals[watched].consumers.push(cid);
+        for idx in 0..self.subgoals[watched].answers.len() {
+            self.push(Task::Return(cid, idx));
+        }
+        Ok(())
+    }
+
+    fn find_or_create_subgoal(
+        &mut self,
+        f: Functor,
+        key: CanonicalTerm,
+    ) -> Result<usize, EngineError> {
+        if let Some(&sid) = self.lookup.get(&(f, key.clone())) {
+            return Ok(sid);
+        }
+        let sid = self.subgoals.len();
+        self.subgoals.push(SubgoalState::new(f, key.clone()));
+        self.lookup.insert((f, key.clone()), sid);
+        self.stats.subgoals += 1;
+        // Spawn generator nodes: one per resolving program clause.
+        let mut b = Bindings::new();
+        let call_args = key.instantiate(&mut b);
+        let clauses: Vec<_> = self
+            .db
+            .matching_clauses(f, call_args.first())
+            .into_iter()
+            .cloned()
+            .collect();
+        for clause in clauses {
+            self.stats.clause_resolutions += 1;
+            let m = b.mark();
+            let base = b.fresh_block(clause.nvars);
+            let mut rename = |t: &Term| t.map_vars(&mut |v| Term::Var(Var(base.0 + v.0)));
+            let head = rename(&clause.head);
+            let ok = call_args
+                .iter()
+                .zip(head.args().iter())
+                .all(|(x, y)| self.unif(&mut b, x, y));
+            if ok {
+                let goals: Vec<Term> = clause.body.iter().map(&mut rename).collect();
+                let n = self.make_node(sid, f.arity, &b, &call_args, &goals);
+                self.push(Task::Expand(n));
+            }
+            b.undo_to(m);
+        }
+        Ok(sid)
+    }
+
+    fn return_answer(&mut self, cid: usize, aidx: usize) -> Result<(), EngineError> {
+        let consumer = self.consumers[cid].clone();
+        let mut b = Bindings::new();
+        let ts = consumer.node.canon.instantiate(&mut b);
+        let (template, goals) = ts.split_at(consumer.node.split);
+        let (g, rest) = goals.split_first().expect("consumer node has a selected goal");
+        let answer = self.subgoals[consumer.watched].answers[aidx].clone();
+        let ans_args = answer.instantiate(&mut b);
+        let ok = g
+            .args()
+            .iter()
+            .zip(ans_args.iter())
+            .all(|(x, y)| self.unif(&mut b, x, y));
+        if ok {
+            let n = self.make_node(consumer.node.subgoal, consumer.node.split, &b, template, rest);
+            self.push(Task::Expand(n));
+        }
+        Ok(())
+    }
+
+    fn add_answer(&mut self, sid: usize, mut ans: CanonicalTerm) {
+        if let Some(hook) = &self.opts.answer_widening {
+            ans = hook(&ans);
+        }
+        let sub = &mut self.subgoals[sid];
+        if sub.answer_set.insert(ans.clone()) {
+            sub.answers.push(ans);
+            let idx = sub.answers.len() - 1;
+            self.stats.answers += 1;
+            let consumers = sub.consumers.clone();
+            for cid in consumers {
+                self.push(Task::Return(cid, idx));
+            }
+        } else {
+            self.stats.duplicate_answers += 1;
+        }
+    }
+
+    /// Negation as failure over a completed subcomputation: evaluates the
+    /// goal in a fresh machine (tables are not shared) and reports whether
+    /// any answer exists.
+    fn provable(&mut self, goal: &Term, b: &Bindings) -> Result<bool, EngineError> {
+        let g = b.resolve(goal);
+        let mut sub = Machine::new(self.db, self.opts);
+        let empty = Bindings::new();
+        let eval = sub.run(&[g], &[], &empty)?;
+        self.stats.steps += sub.stats.steps;
+        Ok(!eval.root_answers().is_empty())
+    }
+}
+
+fn open_call_key(f: Functor) -> CanonicalTerm {
+    let b = Bindings::new();
+    let args: Vec<Term> = (0..f.arity).map(|i| Term::Var(Var(i as u32))).collect();
+    canonicalize(&b, &args)
+}
+
+fn flatten_conj(t: &Term, out: &mut Vec<Term>) {
+    if let Term::Struct(s, args) = t {
+        if args.len() == 2 && sym_name(*s) == "," {
+            flatten_conj(&args[0], out);
+            flatten_conj(&args[1], out);
+            return;
+        }
+    }
+    out.push(t.clone());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(src: &str, goal: &str) -> Solutions {
+        Engine::from_source(src).unwrap().solve(goal).unwrap()
+    }
+
+    const GRAPH: &str = "
+        :- table path/2.
+        path(X, Y) :- path(X, Z), edge(Z, Y).
+        path(X, Y) :- edge(X, Y).
+        edge(a, b). edge(b, c). edge(c, a).
+    ";
+
+    #[test]
+    fn left_recursion_terminates() {
+        let s = solve(GRAPH, "path(a, X)");
+        let mut got: Vec<String> = s.to_strings();
+        got.sort();
+        assert_eq!(got, vec!["X = a", "X = b", "X = c"]);
+    }
+
+    #[test]
+    fn fully_open_call() {
+        let s = solve(GRAPH, "path(X, Y)");
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn failing_goal_has_no_rows() {
+        let s = solve(GRAPH, "path(a, zzz)");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn ground_goal_succeeds_once() {
+        let s = solve(GRAPH, "path(a, c)");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.to_strings(), vec!["true"]);
+    }
+
+    #[test]
+    fn non_tabled_append() {
+        let src = "app([], Y, Y). app([H|T], Y, [H|Z]) :- app(T, Y, Z).";
+        let s = solve(src, "app([1,2], [3], L)");
+        assert_eq!(s.to_strings(), vec!["L = [1,2,3]"]);
+    }
+
+    #[test]
+    fn append_backwards_enumerates_splits() {
+        let src = "app([], Y, Y). app([H|T], Y, [H|Z]) :- app(T, Y, Z).";
+        let s = solve(src, "app(X, Y, [1,2,3])");
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn tabled_append_non_ground_answers() {
+        let src = ":- table app/3.\napp([], Y, Y). app([H|T], Y, [H|Z]) :- app(T, Y, Z).";
+        let e = Engine::from_source(src).unwrap();
+        // Open call would run forever under SLD; tabling with variant
+        // answers... would also diverge (infinitely many answers), so query
+        // a bounded instance.
+        let s = e.solve("app(X, Y, [1,2])").unwrap();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn same_generation_classic() {
+        let src = "
+            :- table sg/2.
+            sg(X, X).
+            sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
+            par(c1, p1). par(c2, p1). par(p1, g1). par(p2, g1).
+        ";
+        let s = solve(src, "sg(c1, X)");
+        let mut got = s.to_strings();
+        got.sort();
+        assert_eq!(got, vec!["X = c1", "X = c2"]);
+    }
+
+    #[test]
+    fn mutual_recursion_tabled() {
+        let src = "
+            :- table even/1, odd/1.
+            even(z).
+            even(s(X)) :- odd(X).
+            odd(s(X)) :- even(X).
+        ";
+        let s = solve(src, "even(s(s(z)))");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn arithmetic_in_clause_bodies() {
+        let src = "fact(0, 1). fact(N, F) :- N > 0, N1 is N - 1, fact(N1, F1), F is N * F1.";
+        let s = solve(src, "fact(5, F)");
+        assert_eq!(s.to_strings(), vec!["F = 120"]);
+    }
+
+    #[test]
+    fn disjunction_and_if_then_else() {
+        let src = "p(1). p(2). q(X) :- (p(X) ; X = 3). r(X, Y) :- (X = 1 -> Y = one ; Y = other).";
+        let s = solve(src, "q(X)");
+        assert_eq!(s.len(), 3);
+        let s = solve(src, "r(1, Y)");
+        assert_eq!(s.to_strings(), vec!["Y = one"]);
+        let s = solve(src, "r(2, Y)");
+        assert_eq!(s.to_strings(), vec!["Y = other"]);
+    }
+
+    #[test]
+    fn negation_as_failure() {
+        let src = "p(1). p(2). good(X) :- p(X), \\+ bad(X). bad(2).";
+        let s = solve(src, "good(X)");
+        assert_eq!(s.to_strings(), vec!["X = 1"]);
+    }
+
+    #[test]
+    fn unknown_predicate_errors_by_default() {
+        let e = Engine::from_source("p(a).").unwrap();
+        assert!(matches!(
+            e.solve("nosuch(X)"),
+            Err(EngineError::UnknownPredicate(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_predicate_can_fail_silently() {
+        let mut e = Engine::from_source("p(a) . q(X) :- p(X).").unwrap();
+        e.options_mut().unknown = Unknown::Fail;
+        let s = e.solve("nosuch(X)").unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn propositional_sld_loop_terminates_via_node_dedup() {
+        // `loop :- loop.` repeats the same resolvent; the derivation
+        // forest is a set of nodes, so the loop is detected even without
+        // tabling and the query fails finitely.
+        let e = Engine::from_source("loop :- loop.").unwrap();
+        assert!(e.solve("loop").unwrap().is_empty());
+    }
+
+    #[test]
+    fn step_limit_catches_runaway_sld() {
+        // A growing resolvent defeats node dedup; the step budget is the
+        // safety net.
+        let mut e = Engine::from_source("loop(X) :- loop(f(X)).").unwrap();
+        e.options_mut().max_steps = Some(1000);
+        assert!(matches!(e.solve("loop(a)"), Err(EngineError::StepLimit(_))));
+    }
+
+    #[test]
+    fn tabling_dedups_answers() {
+        let src = ":- table p/1.\np(X) :- q(X). p(X) :- r(X). q(a). r(a).";
+        let e = Engine::from_source(src).unwrap();
+        let mut b = Bindings::new();
+        let (g, _) = tablog_syntax::parse_term("p(Z)", &mut b).unwrap();
+        let eval = e.evaluate(&[g.clone()], &[g.args()[0].clone()], &b).unwrap();
+        // One answer in p's table, one for the root — the second derivation
+        // of p(a) collapses at node level, so the table stays duplicate-free.
+        assert_eq!(eval.stats().answers, 2);
+        let p = eval.subgoals_of(Functor::new("p", 1));
+        assert_eq!(p[0].num_answers(), 1);
+    }
+
+    #[test]
+    fn call_table_records_input_patterns() {
+        let src = "
+            :- table p/2, q/2.
+            p(X, Y) :- q(f(X), Y).
+            q(f(a), b).
+        ";
+        let e = Engine::from_source(src).unwrap();
+        let mut b = Bindings::new();
+        let (g, _) = tablog_syntax::parse_term("p(a, Y)", &mut b).unwrap();
+        let eval = e.evaluate(&[g], &[], &b).unwrap();
+        let calls = eval.calls_of(Functor::new("q", 2));
+        assert_eq!(calls.len(), 1);
+        assert_eq!(tablog_syntax::term_to_string(&calls[0]), "q(f(a),A)");
+    }
+
+    #[test]
+    fn breadth_first_scheduling_same_answers() {
+        let mut opts = EngineOptions::default();
+        opts.scheduling = Scheduling::BreadthFirst;
+        let program = tablog_syntax::parse_program(GRAPH).unwrap();
+        let mut db = Database::new(LoadMode::Dynamic);
+        db.load(&program).unwrap();
+        let e = Engine::new(db, opts);
+        let s = e.solve("path(a, X)").unwrap();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn compiled_mode_same_answers_as_dynamic() {
+        let src = "p(a, 1). p(b, 2). p(c, 3). look(K, V) :- p(K, V).";
+        for mode in [LoadMode::Dynamic, LoadMode::Compiled] {
+            let e =
+                Engine::from_source_with(src, mode, EngineOptions::default()).unwrap();
+            assert_eq!(e.solve("look(b, V)").unwrap().to_strings(), vec!["V = 2"]);
+        }
+    }
+
+    #[test]
+    fn forward_subsumption_same_answers_fewer_tables() {
+        let mk = |fs: bool| {
+            let mut opts = EngineOptions::default();
+            opts.forward_subsumption = fs;
+            let program = tablog_syntax::parse_program(GRAPH).unwrap();
+            let mut db = Database::new(LoadMode::Dynamic);
+            db.load(&program).unwrap();
+            Engine::new(db, opts)
+        };
+        for fs in [false, true] {
+            let e = mk(fs);
+            let s = e.solve("path(a, X)").unwrap();
+            assert_eq!(s.len(), 3, "fs={fs}");
+        }
+        // With subsumption, the specific call path(a,X) consumes from the
+        // open table; distinct specific calls do not multiply subgoals.
+        let e = mk(true);
+        let mut b = Bindings::new();
+        let (g, _) =
+            tablog_syntax::parse_term("path(a, X), path(b, Y)", &mut b).unwrap();
+        let mut goals = Vec::new();
+        flatten_conj(&g, &mut goals);
+        let eval = e.evaluate(&goals, &[], &b).unwrap();
+        assert_eq!(eval.subgoals_of(Functor::new("path", 2)).len(), 1);
+    }
+
+    #[test]
+    fn iff_builtin_in_program() {
+        // gp_ap from Figure 2(b), with $iff for the truth tables.
+        let src = "
+            :- table gp_ap/3.
+            gp_ap(X1, X2, X3) :- '$iff'(X1), '$iff'(X2, X3).
+            gp_ap(X1, X2, X3) :-
+                '$iff'(X1, X, Xs), '$iff'(X3, X, Zs), gp_ap(Xs, X2, Zs).
+        ";
+        let s = solve(src, "gp_ap(X, Y, Z)");
+        // Success set is the truth table of X ∧ Y ⇔ Z: 4 rows.
+        let mut got = s.to_strings();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                "X = false, Y = false, Z = false",
+                "X = false, Y = true, Z = false",
+                "X = true, Y = false, Z = false",
+                "X = true, Y = true, Z = true",
+            ]
+        );
+    }
+
+    #[test]
+    fn answer_widening_hook_truncates() {
+        use std::rc::Rc;
+        // Widen every answer to the open tuple: the table keeps one answer.
+        let mut opts = EngineOptions::default();
+        opts.answer_widening = Some(Rc::new(|c: &CanonicalTerm| {
+            let b = Bindings::new();
+            let args: Vec<Term> =
+                (0..c.terms().len()).map(|i| Term::Var(Var(i as u32))).collect();
+            canonicalize(&b, &args)
+        }));
+        let program =
+            tablog_syntax::parse_program(":- table p/1.\np(a). p(b). p(c).").unwrap();
+        let mut db = Database::new(LoadMode::Dynamic);
+        db.load(&program).unwrap();
+        let e = Engine::new(db, opts);
+        let mut b = Bindings::new();
+        let (g, _) = tablog_syntax::parse_term("p(X)", &mut b).unwrap();
+        let eval = e.evaluate(&[g], &[], &b).unwrap();
+        let views = eval.subgoals_of(Functor::new("p", 1));
+        assert_eq!(views[0].num_answers(), 1);
+    }
+
+    #[test]
+    fn stats_table_bytes_nonzero() {
+        let e = Engine::from_source(GRAPH).unwrap();
+        let mut b = Bindings::new();
+        let (g, _) = tablog_syntax::parse_term("path(a, X)", &mut b).unwrap();
+        let eval = e.evaluate(&[g], &[], &b).unwrap();
+        assert!(eval.table_bytes() > 0);
+        assert!(eval.stats().steps > 0);
+    }
+
+    #[test]
+    fn zero_arity_tabled_predicate() {
+        let src = ":- table win/0.\nwin :- win.\n";
+        let mut e = Engine::from_source(src).unwrap();
+        e.options_mut().max_steps = Some(10_000);
+        let s = e.solve("win").unwrap();
+        assert!(s.is_empty()); // no derivation: tabling detects the loop
+    }
+}

@@ -1,0 +1,74 @@
+//! Evaluation options.
+
+use std::fmt;
+use std::rc::Rc;
+use tablog_term::CanonicalTerm;
+
+/// Worklist discipline for the derivation forest.
+///
+/// The paper's Section 6.2 discusses the impact of scheduling strategies on
+/// answer collection; both are provided.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Scheduling {
+    /// LIFO worklist: depth-first expansion, akin to XSB's local scheduling.
+    #[default]
+    DepthFirst,
+    /// FIFO worklist: breadth-first expansion and answer return.
+    BreadthFirst,
+}
+
+/// Treatment of goals whose predicate has no definition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Unknown {
+    /// Raise [`crate::EngineError::UnknownPredicate`] (ISO default).
+    #[default]
+    Error,
+    /// Silently fail the goal (useful when analyzing partial programs).
+    Fail,
+}
+
+/// A table hook: rewrites a canonical call or answer before it enters a
+/// table. This is the engine-level mechanism for the paper's Section 6.1
+/// (widening / on-the-fly approximation); the Section 5 depth-k analysis
+/// supplies depth-truncation here.
+pub type TermHook = Rc<dyn Fn(&CanonicalTerm) -> CanonicalTerm>;
+
+/// Options controlling tabled evaluation.
+#[derive(Clone, Default)]
+pub struct EngineOptions {
+    /// Worklist discipline.
+    pub scheduling: Scheduling,
+    /// Unify with occur check everywhere (needed by analyses that solve
+    /// equality constraints, cf. Section 6.1's Hindley–Milner discussion).
+    pub occur_check: bool,
+    /// Route specific calls through the open call's table instead of
+    /// creating a new table per call pattern (Section 6.2).
+    pub forward_subsumption: bool,
+    /// Rewrites tabled calls before table lookup. Must generalize (the
+    /// engine re-filters answers by unification, so over-approximating
+    /// calls is sound).
+    pub call_abstraction: Option<TermHook>,
+    /// Rewrites answers before insertion. Must over-approximate for the
+    /// analysis to stay sound; guarantees termination on infinite domains
+    /// when the hook's range is finite.
+    pub answer_widening: Option<TermHook>,
+    /// Abort evaluation after this many engine steps (`None` = unbounded).
+    /// A safety net for non-terminating SLD subcomputations.
+    pub max_steps: Option<usize>,
+    /// Treatment of undefined predicates.
+    pub unknown: Unknown,
+}
+
+impl fmt::Debug for EngineOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineOptions")
+            .field("scheduling", &self.scheduling)
+            .field("occur_check", &self.occur_check)
+            .field("forward_subsumption", &self.forward_subsumption)
+            .field("call_abstraction", &self.call_abstraction.is_some())
+            .field("answer_widening", &self.answer_widening.is_some())
+            .field("max_steps", &self.max_steps)
+            .field("unknown", &self.unknown)
+            .finish()
+    }
+}

@@ -1,0 +1,135 @@
+//! Table inspection types: subgoal views, answer iteration, statistics.
+
+use std::collections::HashSet;
+use tablog_term::{CanonicalTerm, Functor, Term};
+
+/// Internal state of one tabled subgoal.
+#[derive(Clone, Debug)]
+pub(crate) struct SubgoalState {
+    pub functor: Functor,
+    /// Canonical argument tuple of the call.
+    pub call: CanonicalTerm,
+    /// Answers (canonical argument tuples), in insertion order.
+    pub answers: Vec<CanonicalTerm>,
+    pub answer_set: HashSet<CanonicalTerm>,
+    /// Consumer ids registered on this subgoal.
+    pub consumers: Vec<usize>,
+    pub complete: bool,
+}
+
+impl SubgoalState {
+    pub(crate) fn new(functor: Functor, call: CanonicalTerm) -> Self {
+        SubgoalState {
+            functor,
+            call,
+            answers: Vec::new(),
+            answer_set: HashSet::new(),
+            consumers: Vec::new(),
+            complete: false,
+        }
+    }
+
+    pub(crate) fn table_bytes(&self) -> usize {
+        // Per-entry overhead mirrors what XSB's statistics report counts:
+        // the stored term plus a fixed table-node cost.
+        const NODE_OVERHEAD: usize = 16;
+        self.call.heap_bytes()
+            + NODE_OVERHEAD
+            + self
+                .answers
+                .iter()
+                .map(|a| a.heap_bytes() + NODE_OVERHEAD)
+                .sum::<usize>()
+    }
+}
+
+/// A read-only view of one subgoal's table: the call pattern and its
+/// answers. Obtained from [`crate::Evaluation::subgoals`].
+#[derive(Clone, Copy, Debug)]
+pub struct SubgoalView<'a> {
+    pub(crate) state: &'a SubgoalState,
+}
+
+impl<'a> SubgoalView<'a> {
+    /// The subgoal's predicate.
+    pub fn functor(&self) -> Functor {
+        self.state.functor
+    }
+
+    /// The call pattern as a term `p(t1,…,tn)` with canonical variables.
+    pub fn call_term(&self) -> Term {
+        rebuild(self.state.functor, self.state.call.terms())
+    }
+
+    /// The canonical call-argument tuple.
+    pub fn call_args(&self) -> &'a [Term] {
+        self.state.call.terms()
+    }
+
+    /// Number of answers in the table.
+    pub fn num_answers(&self) -> usize {
+        self.state.answers.len()
+    }
+
+    /// `true` once the fixpoint is reached (always true on views obtained
+    /// from a finished [`crate::Evaluation`]).
+    pub fn is_complete(&self) -> bool {
+        self.state.complete
+    }
+
+    /// Iterates over answers as full terms `p(s1,…,sn)`.
+    pub fn answers(&self) -> AnswerIter<'a> {
+        AnswerIter { functor: self.state.functor, inner: self.state.answers.iter() }
+    }
+
+    /// Iterates over raw canonical answer tuples.
+    pub fn answer_tuples(&self) -> impl Iterator<Item = &'a [Term]> + 'a {
+        self.state.answers.iter().map(|c| c.terms())
+    }
+
+    /// Estimated table space consumed by this subgoal, in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.state.table_bytes()
+    }
+}
+
+/// Iterator over a subgoal's answers as terms; see [`SubgoalView::answers`].
+#[derive(Clone, Debug)]
+pub struct AnswerIter<'a> {
+    functor: Functor,
+    inner: std::slice::Iter<'a, CanonicalTerm>,
+}
+
+impl Iterator for AnswerIter<'_> {
+    type Item = Term;
+
+    fn next(&mut self) -> Option<Term> {
+        self.inner.next().map(|c| rebuild(self.functor, c.terms()))
+    }
+}
+
+fn rebuild(f: Functor, args: &[Term]) -> Term {
+    if args.is_empty() {
+        Term::Atom(f.name)
+    } else {
+        Term::Struct(f.name, args.to_vec().into())
+    }
+}
+
+/// Cumulative counters of one evaluation, in the spirit of XSB's
+/// `statistics/0` output.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Engine steps (node expansions + answer returns).
+    pub steps: usize,
+    /// Program-clause resolution attempts.
+    pub clause_resolutions: usize,
+    /// Tabled subgoals created.
+    pub subgoals: usize,
+    /// Unique answers entered into tables.
+    pub answers: usize,
+    /// Answers rejected as duplicates by the variant check.
+    pub duplicate_answers: usize,
+    /// Estimated total table space in bytes.
+    pub table_bytes: usize,
+}

@@ -1,0 +1,200 @@
+//! Abstract syntax of the mini functional language.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A strict binary primitive.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PrimOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division)
+    Div,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `/=`
+    Ne,
+}
+
+impl PrimOp {
+    /// Surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            PrimOp::Add => "+",
+            PrimOp::Sub => "-",
+            PrimOp::Mul => "*",
+            PrimOp::Div => "/",
+            PrimOp::Lt => "<",
+            PrimOp::Le => "<=",
+            PrimOp::Gt => ">",
+            PrimOp::Ge => ">=",
+            PrimOp::Eq => "==",
+            PrimOp::Ne => "/=",
+        }
+    }
+
+    /// A name usable inside generated predicate names.
+    pub fn mangled(self) -> &'static str {
+        match self {
+            PrimOp::Add => "add",
+            PrimOp::Sub => "sub",
+            PrimOp::Mul => "mul",
+            PrimOp::Div => "div",
+            PrimOp::Lt => "lt",
+            PrimOp::Le => "le",
+            PrimOp::Gt => "gt",
+            PrimOp::Ge => "ge",
+            PrimOp::Eq => "eq",
+            PrimOp::Ne => "ne",
+        }
+    }
+}
+
+/// An expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A variable bound by the equation's patterns.
+    Var(String),
+    /// An integer literal (a 0-ary constructor for analysis purposes).
+    Int(i64),
+    /// A saturated constructor application.
+    Ctor(String, Vec<Expr>),
+    /// A saturated call of a user-defined function.
+    App(String, Vec<Expr>),
+    /// A strict binary primitive.
+    Prim(PrimOp, Box<Expr>, Box<Expr>),
+    /// `if c then t else e` — strict in the condition.
+    If(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// A pattern on an equation's left-hand side.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Pattern {
+    /// A variable (matches anything, binds).
+    Var(String),
+    /// An integer literal.
+    Int(i64),
+    /// A constructor pattern.
+    Ctor(String, Vec<Pattern>),
+}
+
+impl Pattern {
+    /// Variables bound by the pattern, in left-to-right order.
+    pub fn vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Pattern::Var(v) => out.push(v.clone()),
+            Pattern::Int(_) => {}
+            Pattern::Ctor(_, ps) => {
+                for p in ps {
+                    p.collect_vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// One defining equation `f(p1, …, pn) = rhs`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Equation {
+    /// The function being defined.
+    pub fname: String,
+    /// The argument patterns.
+    pub lhs: Vec<Pattern>,
+    /// The right-hand side.
+    pub rhs: Expr,
+}
+
+/// A parsed program: equations grouped by function, plus the constructor
+/// table.
+#[derive(Clone, Debug, Default)]
+pub struct FunProgram {
+    /// All equations in source order.
+    pub equations: Vec<Equation>,
+    /// Constructor name → arity. Includes the built-in constructors
+    /// `nil/0`, `cons/2`, `true/0`, `false/0`, `pair/2`, `triple/3`,
+    /// `zero/0`, `succ/1`, `leaf/0`, `node/3`.
+    pub constructors: BTreeMap<String, usize>,
+    /// Function name → arity.
+    pub functions: BTreeMap<String, usize>,
+    /// Constructor name → owning `data` declaration name (user
+    /// declarations only; built-in constructors are absent).
+    pub ctor_datatype: BTreeMap<String, String>,
+}
+
+impl FunProgram {
+    /// The `data` declaration a constructor belongs to, if user-declared.
+    pub fn datatype_of(&self, ctor: &str) -> Option<&str> {
+        self.ctor_datatype.get(ctor).map(String::as_str)
+    }
+
+    /// Arity of a defined function.
+    pub fn arity(&self, f: &str) -> Option<usize> {
+        self.functions.get(f).copied()
+    }
+
+    /// The equations defining `f`, in source order.
+    pub fn equations_of(&self, f: &str) -> Vec<&Equation> {
+        self.equations.iter().filter(|e| e.fname == f).collect()
+    }
+
+    /// `true` if `name` is a known constructor.
+    pub fn is_constructor(&self, name: &str) -> bool {
+        self.constructors.contains_key(name)
+    }
+
+    /// Source-level size: number of equations.
+    pub fn len(&self) -> usize {
+        self.equations.len()
+    }
+
+    /// `true` if the program has no equations.
+    pub fn is_empty(&self) -> bool {
+        self.equations.is_empty()
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => f.write_str(v),
+            Expr::Int(i) => write!(f, "{i}"),
+            Expr::Ctor(c, args) if c == "cons" && args.len() == 2 => {
+                write!(f, "({} : {})", args[0], args[1])
+            }
+            Expr::Ctor(c, args) | Expr::App(c, args) => {
+                f.write_str(c)?;
+                if !args.is_empty() {
+                    f.write_str("(")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Expr::Prim(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Expr::If(c, t, e) => write!(f, "if {c} then {t} else {e}"),
+        }
+    }
+}

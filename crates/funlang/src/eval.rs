@@ -1,0 +1,403 @@
+//! A call-by-need interpreter for the mini functional language.
+//!
+//! The analyses never *run* programs — strictness analysis is static — but
+//! an interpreter makes examples concrete and lets tests cross-check
+//! analysis verdicts (a function the analysis calls strict really does force
+//! its argument). Evaluation is lazy with memoized thunks; a fuel counter
+//! turns divergence into [`EvalError::OutOfFuel`].
+
+use crate::ast::{Equation, Expr, FunProgram, Pattern, PrimOp};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An evaluation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EvalError {
+    /// No equation of the function matched the arguments.
+    MatchFailure(String),
+    /// A call to an undefined function.
+    Undefined(String),
+    /// The fuel budget was exhausted (likely divergence).
+    OutOfFuel,
+    /// A primitive was applied to non-numeric or non-boolean values.
+    TypeError(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::MatchFailure(fun) => write!(f, "no equation of {fun} matched"),
+            EvalError::Undefined(fun) => write!(f, "undefined function {fun}"),
+            EvalError::OutOfFuel => f.write_str("out of fuel (non-termination?)"),
+            EvalError::TypeError(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A weak-head-normal-form value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A machine integer.
+    Int(i64),
+    /// A constructor cell with (lazy) fields.
+    Ctor(String, Vec<Thunk>),
+}
+
+type Env = Rc<HashMap<String, Thunk>>;
+
+#[derive(Clone, Debug)]
+enum ThunkState {
+    Suspended(Expr, Env),
+    Forced(Value),
+}
+
+/// A lazily evaluated, memoized expression.
+#[derive(Clone, Debug)]
+pub struct Thunk(Rc<RefCell<ThunkState>>);
+
+impl Thunk {
+    fn suspend(e: Expr, env: Env) -> Self {
+        Thunk(Rc::new(RefCell::new(ThunkState::Suspended(e, env))))
+    }
+}
+
+/// Interpreter state: the program plus a fuel budget.
+struct Interp<'p> {
+    prog: &'p FunProgram,
+    fuel: usize,
+    depth: usize,
+}
+
+/// Recursion ceiling: converts deep (likely divergent) evaluation into
+/// [`EvalError::OutOfFuel`] before the host stack overflows.
+const MAX_DEPTH: usize = 20_000;
+
+impl<'p> Interp<'p> {
+    fn force(&mut self, t: &Thunk) -> Result<Value, EvalError> {
+        let state = t.0.borrow().clone();
+        match state {
+            ThunkState::Forced(v) => Ok(v),
+            ThunkState::Suspended(e, env) => {
+                let v = self.eval(&e, &env)?;
+                *t.0.borrow_mut() = ThunkState::Forced(v.clone());
+                Ok(v)
+            }
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, env: &Env) -> Result<Value, EvalError> {
+        if self.fuel == 0 || self.depth >= MAX_DEPTH {
+            return Err(EvalError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        self.depth += 1;
+        let r = self.eval_inner(e, env);
+        self.depth -= 1;
+        r
+    }
+
+    fn eval_inner(&mut self, e: &Expr, env: &Env) -> Result<Value, EvalError> {
+        match e {
+            Expr::Int(i) => Ok(Value::Int(*i)),
+            Expr::Var(v) => {
+                let t = env
+                    .get(v)
+                    .cloned()
+                    .ok_or_else(|| EvalError::Undefined(v.clone()))?;
+                self.force(&t)
+            }
+            Expr::Ctor(c, args) => Ok(Value::Ctor(
+                c.clone(),
+                args.iter().map(|a| Thunk::suspend(a.clone(), env.clone())).collect(),
+            )),
+            Expr::App(f, args) => {
+                let thunks: Vec<Thunk> = args
+                    .iter()
+                    .map(|a| Thunk::suspend(a.clone(), env.clone()))
+                    .collect();
+                self.apply(f, thunks)
+            }
+            Expr::Prim(op, a, b) => {
+                let va = self.eval(a, env)?;
+                let vb = self.eval(b, env)?;
+                self.prim(*op, va, vb)
+            }
+            Expr::If(c, t, f) => {
+                let vc = self.eval(c, env)?;
+                match vc {
+                    Value::Ctor(name, _) if name == "true" => self.eval(t, env),
+                    Value::Ctor(name, _) if name == "false" => self.eval(f, env),
+                    other => Err(EvalError::TypeError(format!(
+                        "if condition evaluated to {other:?}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    fn apply(&mut self, f: &str, args: Vec<Thunk>) -> Result<Value, EvalError> {
+        let eqs: Vec<&Equation> = self.prog.equations_of(f);
+        if eqs.is_empty() {
+            return Err(EvalError::Undefined(f.to_owned()));
+        }
+        'eqs: for eq in eqs {
+            let mut bindings = HashMap::new();
+            for (p, a) in eq.lhs.iter().zip(&args) {
+                if !self.matches(p, a, &mut bindings)? {
+                    continue 'eqs;
+                }
+            }
+            let env: Env = Rc::new(bindings);
+            return self.eval(&eq.rhs, &env);
+        }
+        Err(EvalError::MatchFailure(f.to_owned()))
+    }
+
+    /// Pattern matching; forces the scrutinee only as deep as the pattern.
+    fn matches(
+        &mut self,
+        p: &Pattern,
+        t: &Thunk,
+        out: &mut HashMap<String, Thunk>,
+    ) -> Result<bool, EvalError> {
+        match p {
+            Pattern::Var(v) => {
+                out.insert(v.clone(), t.clone());
+                Ok(true)
+            }
+            Pattern::Int(i) => match self.force(t)? {
+                Value::Int(j) => Ok(*i == j),
+                _ => Ok(false),
+            },
+            Pattern::Ctor(c, ps) => match self.force(t)? {
+                Value::Ctor(name, fields) if name == *c && fields.len() == ps.len() => {
+                    for (sub, field) in ps.iter().zip(&fields) {
+                        if !self.matches(sub, field, out)? {
+                            return Ok(false);
+                        }
+                    }
+                    Ok(true)
+                }
+                _ => Ok(false),
+            },
+        }
+    }
+
+    fn prim(&mut self, op: PrimOp, a: Value, b: Value) -> Result<Value, EvalError> {
+        let (x, y) = match (a, b) {
+            (Value::Int(x), Value::Int(y)) => (x, y),
+            (a, b) => {
+                return Err(EvalError::TypeError(format!(
+                    "{} applied to {a:?} and {b:?}",
+                    op.symbol()
+                )))
+            }
+        };
+        let boolv = |b: bool| Value::Ctor(if b { "true" } else { "false" }.into(), vec![]);
+        Ok(match op {
+            PrimOp::Add => Value::Int(x.wrapping_add(y)),
+            PrimOp::Sub => Value::Int(x.wrapping_sub(y)),
+            PrimOp::Mul => Value::Int(x.wrapping_mul(y)),
+            PrimOp::Div => {
+                if y == 0 {
+                    return Err(EvalError::TypeError("division by zero".into()));
+                }
+                Value::Int(x / y)
+            }
+            PrimOp::Lt => boolv(x < y),
+            PrimOp::Le => boolv(x <= y),
+            PrimOp::Gt => boolv(x > y),
+            PrimOp::Ge => boolv(x >= y),
+            PrimOp::Eq => boolv(x == y),
+            PrimOp::Ne => boolv(x != y),
+        })
+    }
+
+    /// Deep-forces a value for printing.
+    fn show(&mut self, v: &Value) -> Result<String, EvalError> {
+        match v {
+            Value::Int(i) => Ok(i.to_string()),
+            Value::Ctor(c, fields) if c == "nil" => {
+                let _ = fields;
+                Ok("[]".into())
+            }
+            Value::Ctor(c, fields) if c == "cons" => {
+                let mut parts = Vec::new();
+                let mut improper = None;
+                let mut head = fields[0].clone();
+                let mut tail = fields[1].clone();
+                loop {
+                    let hv = self.force(&head)?;
+                    parts.push(self.show(&hv)?);
+                    match self.force(&tail)? {
+                        Value::Ctor(c, _) if c == "nil" => break,
+                        Value::Ctor(c, fs) if c == "cons" => {
+                            head = fs[0].clone();
+                            tail = fs[1].clone();
+                        }
+                        other => {
+                            improper = Some(self.show(&other)?);
+                            break;
+                        }
+                    }
+                }
+                match improper {
+                    Some(t) => Ok(format!("[{}|{t}]", parts.join(","))),
+                    None => Ok(format!("[{}]", parts.join(","))),
+                }
+            }
+            Value::Ctor(c, fields) => {
+                if fields.is_empty() {
+                    Ok(c.clone())
+                } else {
+                    let args: Result<Vec<String>, EvalError> = fields
+                        .iter()
+                        .map(|t| {
+                            let tv = self.force(&t.clone())?;
+                            self.show(&tv)
+                        })
+                        .collect();
+                    Ok(format!("{c}({})", args?.join(",")))
+                }
+            }
+        }
+    }
+}
+
+/// The result of [`eval_main`]: a deep-forced value rendering.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Shown(String);
+
+impl fmt::Display for Shown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Evaluates the 0-ary function `main` to a deep-forced printable value
+/// with a default fuel budget of one million steps.
+///
+/// # Errors
+///
+/// Returns [`EvalError::Undefined`] when `main` is missing, and any error
+/// evaluation raises.
+pub fn eval_main(prog: &FunProgram) -> Result<Shown, EvalError> {
+    eval_call(prog, "main", 1_000_000)
+}
+
+/// Evaluates a 0-ary function by name with an explicit fuel budget.
+///
+/// # Errors
+///
+/// As [`eval_main`].
+pub fn eval_call(prog: &FunProgram, f: &str, fuel: usize) -> Result<Shown, EvalError> {
+    // Deep lazy evaluation nests Rust frames proportionally to the depth
+    // guard, so run on a dedicated thread with a generous stack.
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .stack_size(64 * 1024 * 1024)
+            .spawn_scoped(scope, move || {
+                let mut interp = Interp { prog, fuel, depth: 0 };
+                let v = interp.apply(f, Vec::new())?;
+                interp.show(&v).map(Shown)
+            })
+            .expect("spawn evaluator thread")
+            .join()
+            .expect("evaluator thread panicked")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_fun_program;
+
+    fn run(src: &str) -> String {
+        eval_main(&parse_fun_program(src).unwrap()).unwrap().to_string()
+    }
+
+    #[test]
+    fn append_runs() {
+        assert_eq!(
+            run("ap(nil, ys) = ys; ap(x : xs, ys) = x : ap(xs, ys); main = ap([1,2],[3]);"),
+            "[1,2,3]"
+        );
+    }
+
+    #[test]
+    fn arithmetic_and_if() {
+        assert_eq!(run("fac(n) = if n == 0 then 1 else n * fac(n - 1); main = fac(5);"), "120");
+    }
+
+    #[test]
+    fn laziness_ignores_divergent_argument() {
+        // k is lazy in its second argument: passing ⊥ is fine.
+        let src = "k(x, y) = x; bot = bot; main = k(7, bot);";
+        assert_eq!(run(src), "7");
+    }
+
+    #[test]
+    fn strict_position_diverges() {
+        let src = "hd(x : xs) = x; bot = bot; main = hd(bot);";
+        let e = eval_main(&parse_fun_program(src).unwrap()).unwrap_err();
+        assert_eq!(e, EvalError::OutOfFuel);
+    }
+
+    #[test]
+    fn infinite_list_with_lazy_take() {
+        let src = "
+            from(n) = n : from(n + 1);
+            take(0, xs) = nil;
+            take(n, x : xs) = x : take(n - 1, xs);
+            main = take(4, from(10));
+        ";
+        assert_eq!(run(src), "[10,11,12,13]");
+    }
+
+    #[test]
+    fn call_by_need_memoizes() {
+        // With call-by-name this would still finish, but call-by-need keeps
+        // the doubling linear; 2^20 forcings would exhaust default fuel.
+        let src = "
+            dbl(x) = x + x;
+            tower(n, x) = if n == 0 then x else tower(n - 1, dbl(x));
+            main = tower(20, 1);
+        ";
+        assert_eq!(run(src), "1048576");
+    }
+
+    #[test]
+    fn match_failure_reported() {
+        let src = "f(1) = 1; main = f(2);";
+        let e = eval_main(&parse_fun_program(src).unwrap()).unwrap_err();
+        assert_eq!(e, EvalError::MatchFailure("f".into()));
+    }
+
+    #[test]
+    fn undefined_function_reported() {
+        let src = "main = ghost(1);";
+        let e = eval_main(&parse_fun_program(src).unwrap()).unwrap_err();
+        assert_eq!(e, EvalError::Undefined("ghost".into()));
+    }
+
+    #[test]
+    fn custom_data_constructors() {
+        let src = "
+            data tree = tip | branch(2);
+            sum(tip) = 0;
+            sum(branch(l, r)) = sum(l) + sum(r) + 1;
+            main = sum(branch(branch(tip, tip), tip));
+        ";
+        assert_eq!(run(src), "2");
+    }
+
+    #[test]
+    fn improper_list_display() {
+        let src = "main = 1 : 2;";
+        assert_eq!(run(src), "[1|2]");
+    }
+}

@@ -1,0 +1,42 @@
+//! A mini lazy functional language — the frontend for strictness analysis.
+//!
+//! The PLDI'96 paper analyzes lazy functional programs written for EQUALS
+//! (Kaser, Ramakrishnan, Ramakrishnan & Sekar's parallel lazy language). This
+//! crate provides the reproduction's equivalent: a small first-order, lazy,
+//! equational language with constructor patterns — exactly the shape the
+//! paper's Figure 4(a) uses:
+//!
+//! ```text
+//! ap(nil, ys) = ys;
+//! ap(x : xs, ys) = x : ap(xs, ys);
+//! ```
+//!
+//! The crate contains the AST ([`FunProgram`], [`Equation`], [`Expr`],
+//! [`Pattern`]), a parser ([`parse_fun_program`]), and a call-by-need
+//! interpreter ([`eval_main`]) used by examples and tests. The translation
+//! to demand-propagation logic rules (the paper's Figure 3) lives in
+//! `tablog-core`, which consumes this AST.
+//!
+//! # Example
+//!
+//! ```
+//! use tablog_funlang::{parse_fun_program, eval_main};
+//!
+//! let src = "
+//!     ap(nil, ys) = ys;
+//!     ap(x : xs, ys) = x : ap(xs, ys);
+//!     main = ap([1, 2], [3]);
+//! ";
+//! let prog = parse_fun_program(src)?;
+//! assert_eq!(prog.arity("ap"), Some(2));
+//! assert_eq!(eval_main(&prog)?.to_string(), "[1,2,3]");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod ast;
+mod eval;
+mod parse;
+
+pub use ast::{Equation, Expr, FunProgram, Pattern, PrimOp};
+pub use eval::{eval_call, eval_main, EvalError, Shown, Value};
+pub use parse::{parse_fun_program, FunParseError};

@@ -1,0 +1,629 @@
+//! Parser for the mini functional language.
+
+use crate::ast::{Equation, Expr, FunProgram, Pattern, PrimOp};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse failure, with a line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FunParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for FunParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for FunParseError {}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Sym(&'static str),
+}
+
+const SYMBOLS: &[&str] = &[
+    "==", "/=", "<=", ">=", "(", ")", "[", "]", ",", ";", "|", "=", ":", "+", "-", "*", "/",
+    "<", ">",
+];
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, FunParseError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '-' && i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if c == '{' && i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+            let start_line = line;
+            while i + 1 < bytes.len() && !(bytes[i] == b'-' && bytes[i + 1] == b'}') {
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            if i + 1 >= bytes.len() {
+                return Err(FunParseError {
+                    message: "unterminated block comment".into(),
+                    line: start_line,
+                });
+            }
+            i += 2;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'\'')
+            {
+                i += 1;
+            }
+            out.push((Tok::Ident(src[start..i].to_owned()), line));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let n = src[start..i].parse().map_err(|_| FunParseError {
+                message: format!("integer overflow: {}", &src[start..i]),
+                line,
+            })?;
+            out.push((Tok::Int(n), line));
+        } else {
+            let rest = &src[i..];
+            let sym = SYMBOLS.iter().find(|s| rest.starts_with(**s));
+            match sym {
+                Some(s) => {
+                    out.push((Tok::Sym(s), line));
+                    i += s.len();
+                }
+                None => {
+                    return Err(FunParseError {
+                        message: format!("unexpected character {c:?}"),
+                        line,
+                    })
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    ctors: BTreeMap<String, usize>,
+    ctor_datatype: BTreeMap<String, String>,
+}
+
+const DEFAULT_CTORS: &[(&str, usize)] = &[
+    ("nil", 0),
+    ("cons", 2),
+    ("true", 0),
+    ("false", 0),
+    ("pair", 2),
+    ("triple", 3),
+    ("zero", 0),
+    ("succ", 1),
+    ("leaf", 0),
+    ("node", 3),
+];
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> FunParseError {
+        let line = self.toks.get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(_, l)| *l)
+            .unwrap_or(0);
+        FunParseError { message: msg.into(), line }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if self.peek() == Some(&Tok::Sym(unsafe_static(s))) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), FunParseError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {s:?}, found {:?}",
+                self.peek().cloned()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, FunParseError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<FunProgram, FunParseError> {
+        let mut equations = Vec::new();
+        while self.peek().is_some() {
+            if self.peek() == Some(&Tok::Ident("data".into())) {
+                self.data_decl()?;
+            } else {
+                equations.push(self.equation()?);
+            }
+        }
+        let mut functions = BTreeMap::new();
+        for e in &equations {
+            let prev = functions.insert(e.fname.clone(), e.lhs.len());
+            if let Some(a) = prev {
+                if a != e.lhs.len() {
+                    return Err(FunParseError {
+                        message: format!("function {} defined at two arities", e.fname),
+                        line: 0,
+                    });
+                }
+            }
+        }
+        Ok(FunProgram {
+            equations,
+            constructors: self.ctors.clone(),
+            functions,
+            ctor_datatype: self.ctor_datatype.clone(),
+        })
+    }
+
+    /// `data list = nil | cons(2);` — declares constructors with arities.
+    fn data_decl(&mut self) -> Result<(), FunParseError> {
+        self.bump(); // data
+        let tyname = self.ident()?;
+        self.expect_sym("=")?;
+        loop {
+            let cname = self.ident()?;
+            let arity = if self.eat_sym("(") {
+                let n = match self.bump() {
+                    Some(Tok::Int(n)) if n >= 0 => n as usize,
+                    other => return Err(self.err(format!("expected arity, found {other:?}"))),
+                };
+                self.expect_sym(")")?;
+                n
+            } else {
+                0
+            };
+            self.ctor_datatype.insert(cname.clone(), tyname.clone());
+            self.ctors.insert(cname, arity);
+            if !self.eat_sym("|") {
+                break;
+            }
+        }
+        self.expect_sym(";")
+    }
+
+    fn equation(&mut self) -> Result<Equation, FunParseError> {
+        let fname = self.ident()?;
+        let mut lhs = Vec::new();
+        if self.eat_sym("(") {
+            loop {
+                lhs.push(self.pattern()?);
+                if self.eat_sym(",") {
+                    continue;
+                }
+                self.expect_sym(")")?;
+                break;
+            }
+        }
+        self.expect_sym("=")?;
+        let rhs = self.expr()?;
+        self.expect_sym(";")?;
+        Ok(Equation { fname, lhs, rhs })
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, FunParseError> {
+        let p = self.pattern_atom()?;
+        if self.eat_sym(":") {
+            let tail = self.pattern()?; // right associative
+            Ok(Pattern::Ctor("cons".into(), vec![p, tail]))
+        } else {
+            Ok(p)
+        }
+    }
+
+    fn pattern_atom(&mut self) -> Result<Pattern, FunParseError> {
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(Pattern::Int(n)),
+            Some(Tok::Sym("(")) => {
+                let p = self.pattern()?;
+                self.expect_sym(")")?;
+                Ok(p)
+            }
+            Some(Tok::Sym("[")) => {
+                if self.eat_sym("]") {
+                    return Ok(Pattern::Ctor("nil".into(), vec![]));
+                }
+                let mut items = vec![self.pattern()?];
+                let mut tail = None;
+                loop {
+                    if self.eat_sym(",") {
+                        items.push(self.pattern()?);
+                    } else if self.eat_sym("|") {
+                        tail = Some(self.pattern()?);
+                        self.expect_sym("]")?;
+                        break;
+                    } else {
+                        self.expect_sym("]")?;
+                        break;
+                    }
+                }
+                let mut p = tail.unwrap_or(Pattern::Ctor("nil".into(), vec![]));
+                for it in items.into_iter().rev() {
+                    p = Pattern::Ctor("cons".into(), vec![it, p]);
+                }
+                Ok(p)
+            }
+            Some(Tok::Ident(name)) => {
+                if let Some(&arity) = self.ctors.get(&name) {
+                    let mut args = Vec::new();
+                    if arity > 0 {
+                        self.expect_sym("(")?;
+                        loop {
+                            args.push(self.pattern()?);
+                            if self.eat_sym(",") {
+                                continue;
+                            }
+                            self.expect_sym(")")?;
+                            break;
+                        }
+                    }
+                    if args.len() != arity {
+                        return Err(self.err(format!(
+                            "constructor {name} expects {arity} arguments, got {}",
+                            args.len()
+                        )));
+                    }
+                    Ok(Pattern::Ctor(name, args))
+                } else {
+                    Ok(Pattern::Var(name))
+                }
+            }
+            other => Err(self.err(format!("expected pattern, found {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, FunParseError> {
+        // Comparison level (non-associative, lowest).
+        let lhs = self.expr_cons()?;
+        let op = match self.peek() {
+            Some(Tok::Sym("==")) => Some(PrimOp::Eq),
+            Some(Tok::Sym("/=")) => Some(PrimOp::Ne),
+            Some(Tok::Sym("<")) => Some(PrimOp::Lt),
+            Some(Tok::Sym("<=")) => Some(PrimOp::Le),
+            Some(Tok::Sym(">")) => Some(PrimOp::Gt),
+            Some(Tok::Sym(">=")) => Some(PrimOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.expr_cons()?;
+            Ok(Expr::Prim(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    /// `:` — right-associative list cons, binds looser than arithmetic.
+    fn expr_cons(&mut self) -> Result<Expr, FunParseError> {
+        let head = self.expr_add()?;
+        if self.eat_sym(":") {
+            let tail = self.expr_cons()?;
+            Ok(Expr::Ctor("cons".into(), vec![head, tail]))
+        } else {
+            Ok(head)
+        }
+    }
+
+    fn expr_add(&mut self) -> Result<Expr, FunParseError> {
+        let mut lhs = self.expr_mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("+")) => PrimOp::Add,
+                Some(Tok::Sym("-")) => PrimOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.expr_mul()?;
+            lhs = Expr::Prim(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_mul(&mut self) -> Result<Expr, FunParseError> {
+        let mut lhs = self.expr_atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Sym("*")) => PrimOp::Mul,
+                Some(Tok::Sym("/")) => PrimOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.expr_atom()?;
+            lhs = Expr::Prim(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_atom(&mut self) -> Result<Expr, FunParseError> {
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(Expr::Int(n)),
+            Some(Tok::Sym("-")) => match self.bump() {
+                Some(Tok::Int(n)) => Ok(Expr::Int(-n)),
+                other => Err(self.err(format!("expected integer after unary -, found {other:?}"))),
+            },
+            Some(Tok::Sym("(")) => {
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Tok::Sym("[")) => {
+                if self.eat_sym("]") {
+                    return Ok(Expr::Ctor("nil".into(), vec![]));
+                }
+                let mut items = vec![self.expr()?];
+                let mut tail = None;
+                loop {
+                    if self.eat_sym(",") {
+                        items.push(self.expr()?);
+                    } else if self.eat_sym("|") {
+                        tail = Some(self.expr()?);
+                        self.expect_sym("]")?;
+                        break;
+                    } else {
+                        self.expect_sym("]")?;
+                        break;
+                    }
+                }
+                let mut e = tail.unwrap_or(Expr::Ctor("nil".into(), vec![]));
+                for it in items.into_iter().rev() {
+                    e = Expr::Ctor("cons".into(), vec![it, e]);
+                }
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) if name == "if" => {
+                let c = self.expr()?;
+                match self.bump() {
+                    Some(Tok::Ident(t)) if t == "then" => {}
+                    other => return Err(self.err(format!("expected 'then', found {other:?}"))),
+                }
+                let t = self.expr()?;
+                match self.bump() {
+                    Some(Tok::Ident(e)) if e == "else" => {}
+                    other => return Err(self.err(format!("expected 'else', found {other:?}"))),
+                }
+                let e = self.expr()?;
+                Ok(Expr::If(Box::new(c), Box::new(t), Box::new(e)))
+            }
+            Some(Tok::Ident(name)) => {
+                let mut args = Vec::new();
+                if self.eat_sym("(") {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat_sym(",") {
+                            continue;
+                        }
+                        self.expect_sym(")")?;
+                        break;
+                    }
+                }
+                if let Some(&arity) = self.ctors.get(&name) {
+                    if args.len() != arity {
+                        return Err(self.err(format!(
+                            "constructor {name} expects {arity} arguments, got {}",
+                            args.len()
+                        )));
+                    }
+                    Ok(Expr::Ctor(name, args))
+                } else {
+                    // Function application (arity checked at program level)
+                    // or a plain variable when argument-free.
+                    if args.is_empty() {
+                        Ok(Expr::Var(name))
+                    } else {
+                        Ok(Expr::App(name, args))
+                    }
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+// `Tok::Sym` stores `&'static str`; comparing against a dynamic `&str`
+// requires finding the canonical static symbol.
+fn unsafe_static(s: &str) -> &'static str {
+    SYMBOLS.iter().find(|x| **x == s).copied().unwrap_or("")
+}
+
+/// Resolves `Expr::Var` occurrences that actually name 0-ary functions
+/// (e.g. `main = helper;`) into `Expr::App`.
+fn resolve_zero_ary(e: &Expr, prog: &FunProgram) -> Expr {
+    match e {
+        Expr::Var(v) => {
+            if prog.functions.get(v) == Some(&0) {
+                Expr::App(v.clone(), vec![])
+            } else {
+                e.clone()
+            }
+        }
+        Expr::Int(_) => e.clone(),
+        Expr::Ctor(c, args) => {
+            Expr::Ctor(c.clone(), args.iter().map(|a| resolve_zero_ary(a, prog)).collect())
+        }
+        Expr::App(f, args) => {
+            Expr::App(f.clone(), args.iter().map(|a| resolve_zero_ary(a, prog)).collect())
+        }
+        Expr::Prim(op, a, b) => Expr::Prim(
+            *op,
+            Box::new(resolve_zero_ary(a, prog)),
+            Box::new(resolve_zero_ary(b, prog)),
+        ),
+        Expr::If(c, t, f) => Expr::If(
+            Box::new(resolve_zero_ary(c, prog)),
+            Box::new(resolve_zero_ary(t, prog)),
+            Box::new(resolve_zero_ary(f, prog)),
+        ),
+    }
+}
+
+/// Parses a program: a sequence of `data` declarations and equations.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error, with its line number.
+pub fn parse_fun_program(src: &str) -> Result<FunProgram, FunParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        ctors: DEFAULT_CTORS.iter().map(|(n, a)| (n.to_string(), *a)).collect(),
+        ctor_datatype: BTreeMap::new(),
+    };
+    let mut prog = p.program()?;
+    let resolved: Vec<Equation> = prog
+        .equations
+        .iter()
+        .map(|e| Equation {
+            fname: e.fname.clone(),
+            lhs: e.lhs.clone(),
+            rhs: resolve_zero_ary(&e.rhs, &prog),
+        })
+        .collect();
+    prog.equations = resolved;
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_append() {
+        let p = parse_fun_program(
+            "ap(nil, ys) = ys;\nap(x : xs, ys) = x : ap(xs, ys);",
+        )
+        .unwrap();
+        assert_eq!(p.arity("ap"), Some(2));
+        assert_eq!(p.equations_of("ap").len(), 2);
+        let e2 = &p.equations[1];
+        assert!(matches!(&e2.lhs[0], Pattern::Ctor(c, _) if c == "cons"));
+        assert!(matches!(&e2.rhs, Expr::Ctor(c, _) if c == "cons"));
+    }
+
+    #[test]
+    fn list_sugar_in_patterns_and_exprs() {
+        let p = parse_fun_program("f([]) = [1, 2]; f([x | xs]) = xs;").unwrap();
+        let e1 = &p.equations[0];
+        assert_eq!(e1.lhs[0], Pattern::Ctor("nil".into(), vec![]));
+        match &e1.rhs {
+            Expr::Ctor(c, args) => {
+                assert_eq!(c, "cons");
+                assert_eq!(args[0], Expr::Int(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_arith_vs_cons_vs_compare() {
+        let p = parse_fun_program("f(x, y) = x + 1 : y; g(x) = x + 1 == 2 * 3;").unwrap();
+        // x + 1 : y parses as (x+1) : y
+        assert!(matches!(&p.equations[0].rhs, Expr::Ctor(c, _) if c == "cons"));
+        assert!(matches!(&p.equations[1].rhs, Expr::Prim(PrimOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn if_then_else() {
+        let p = parse_fun_program("max(x, y) = if x < y then y else x;").unwrap();
+        assert!(matches!(&p.equations[0].rhs, Expr::If(_, _, _)));
+    }
+
+    #[test]
+    fn data_declaration_introduces_constructors() {
+        let p = parse_fun_program(
+            "data tree = tip | branch(2);\nmirror(tip) = tip;\nmirror(branch(l, r)) = branch(mirror(r), mirror(l));",
+        )
+        .unwrap();
+        assert!(p.is_constructor("branch"));
+        assert_eq!(p.constructors["branch"], 2);
+    }
+
+    #[test]
+    fn zero_ary_function_resolution() {
+        let p = parse_fun_program("main = helper; helper = 42;").unwrap();
+        assert_eq!(p.equations[0].rhs, Expr::App("helper".into(), vec![]));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_fun_program(
+            "-- a comment\nf(x) = x; {- block\ncomment -} g(y) = y;",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        assert!(parse_fun_program("f(x) = x; f(x, y) = x;").is_err());
+        assert!(parse_fun_program("f(x) = cons(x);").is_err());
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let e = parse_fun_program("f(x) = x;\ng(y) = @;").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn negative_literals() {
+        let p = parse_fun_program("f = -5;").unwrap();
+        assert_eq!(p.equations[0].rhs, Expr::Int(-5));
+    }
+
+    #[test]
+    fn nested_patterns() {
+        let p = parse_fun_program("f(x : (y : ys)) = ys;").unwrap();
+        match &p.equations[0].lhs[0] {
+            Pattern::Ctor(c, args) => {
+                assert_eq!(c, "cons");
+                assert!(matches!(&args[1], Pattern::Ctor(c2, _) if c2 == "cons"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,633 @@
+//! Magic-sets transformation and semi-naive bottom-up evaluation.
+//!
+//! This crate is the reproduction's stand-in for the *other* complete
+//! evaluation strategy the paper discusses: bottom-up evaluation as used by
+//! deductive database systems such as Coral, and the magic-set formulation
+//! of goal-directed groundness analysis from Codish & Demoen ([8] in the
+//! paper). The tabled engine gets call patterns for free from its call
+//! table; a bottom-up system must *transform* the program with magic sets to
+//! recover the same goal-directedness. Running both on the same abstract
+//! program and checking the results coincide is one of the reproduction's
+//! integration tests; timing them against each other is ablation C.
+//!
+//! The evaluator handles Datalog with builtins (every predicate the engine
+//! knows, including the Prop-domain `$iff/N` family). All derived tuples are
+//! ground — which the Prop and adorned-magic programs guarantee by
+//! construction.
+//!
+//! # Example
+//!
+//! ```
+//! use tablog_magic::{magic_transform, BottomUp, Rule};
+//! use tablog_syntax::parse_program;
+//!
+//! let prog = parse_program(
+//!     "path(X, Y) :- edge(X, Y).
+//!      path(X, Y) :- edge(X, Z), path(Z, Y).
+//!      edge(a, b). edge(b, c).")?;
+//! let rules: Vec<Rule> = prog.clauses.iter()
+//!     .map(|c| Rule { head: c.head.clone(), body: c.body.clone() })
+//!     .collect();
+//! // Query path(a, Y): first argument bound.
+//! let mut b = tablog_term::Bindings::new();
+//! let (query, _) = tablog_syntax::parse_term("path(a, Y)", &mut b)?;
+//! let magic = magic_transform(&rules, &query, &b);
+//! let mut eval = BottomUp::new(magic.rules.clone());
+//! eval.run()?;
+//! assert_eq!(magic.answers(&eval, &query, &b).len(), 2); // b and c
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use tablog_engine::{lookup_builtin, BuiltinImpl, EngineError};
+use tablog_term::{
+    canonicalize, intern, sym_name, unify, Bindings, Functor, Term, Var,
+};
+
+/// A Horn rule `head :- body` (a fact when `body` is empty).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// The head literal.
+    pub head: Term,
+    /// The body literals, in evaluation order.
+    pub body: Vec<Term>,
+}
+
+impl Rule {
+    /// Builds a rule, renumbering its variables compactly.
+    pub fn new(head: Term, body: Vec<Term>) -> Self {
+        Rule { head, body }
+    }
+}
+
+/// An argument adornment: which arguments of a call are bound.
+pub type Adornment = Vec<bool>;
+
+fn adorned_name(f: Functor, a: &Adornment) -> Functor {
+    let suffix: String = a.iter().map(|&b| if b { 'b' } else { 'f' }).collect();
+    Functor { name: intern(&format!("{}^{}", sym_name(f.name), suffix)), arity: f.arity }
+}
+
+fn magic_name(f: Functor, a: &Adornment) -> Functor {
+    let suffix: String = a.iter().map(|&b| if b { 'b' } else { 'f' }).collect();
+    let arity = a.iter().filter(|&&b| b).count();
+    Functor { name: intern(&format!("m${}^{}", sym_name(f.name), suffix)), arity }
+}
+
+fn rebuild(f: Functor, args: Vec<Term>) -> Term {
+    if args.is_empty() {
+        Term::Atom(f.name)
+    } else {
+        Term::Struct(f.name, args.into())
+    }
+}
+
+/// Output of [`magic_transform`]: the adorned + magic rules, the seed fact,
+/// and the adorned functor under which the query's answers will appear.
+#[derive(Clone, Debug)]
+pub struct MagicProgram {
+    /// Transformed rules, including the magic seed (a bodyless rule).
+    pub rules: Vec<Rule>,
+    /// The adorned functor holding the query's answers.
+    pub query: Functor,
+    /// The magic functor holding the recorded call patterns of the query
+    /// predicate (input patterns, cf. the paper's input groundness).
+    pub magic_query: Functor,
+}
+
+impl MagicProgram {
+    /// The answers to the original query: tuples of the adorned query
+    /// relation that unify with the query goal (the relation also holds
+    /// answers to magic-generated subqueries).
+    pub fn answers(&self, eval: &BottomUp, query: &Term, b: &Bindings) -> Vec<Vec<Term>> {
+        let q = b.resolve(query);
+        eval.relation(self.query)
+            .iter()
+            .filter(|tuple| {
+                let mut probe = Bindings::new();
+                let n = q.vars().iter().map(|v| v.index() + 1).max().unwrap_or(0);
+                probe.fresh_block(n);
+                q.args()
+                    .iter()
+                    .zip(tuple.iter())
+                    .all(|(x, y)| unify(&mut probe, x, y))
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+/// Applies the magic-sets transformation (left-to-right sideways
+/// information passing) to `rules` for the given `query` goal, whose bound
+/// arguments are those ground under `b`.
+///
+/// Predicates with no rules are treated as builtins/EDB and left unadorned.
+pub fn magic_transform(rules: &[Rule], query: &Term, b: &Bindings) -> MagicProgram {
+    let idb: HashSet<Functor> = rules.iter().filter_map(|r| r.head.functor()).collect();
+    let by_pred: HashMap<Functor, Vec<&Rule>> = {
+        let mut m: HashMap<Functor, Vec<&Rule>> = HashMap::new();
+        for r in rules {
+            if let Some(f) = r.head.functor() {
+                m.entry(f).or_default().push(r);
+            }
+        }
+        m
+    };
+
+    let qf = query.functor().expect("query must be a callable term");
+    let q_adornment: Adornment = query.args().iter().map(|t| b.resolve(t).is_ground()).collect();
+
+    let mut out = Vec::new();
+    let mut done: HashSet<(Functor, Adornment)> = HashSet::new();
+    let mut queue: VecDeque<(Functor, Adornment)> = VecDeque::new();
+    queue.push_back((qf, q_adornment.clone()));
+    done.insert((qf, q_adornment.clone()));
+
+    while let Some((f, adornment)) = queue.pop_front() {
+        let af = adorned_name(f, &adornment);
+        let mf = magic_name(f, &adornment);
+        for rule in by_pred.get(&f).into_iter().flatten() {
+            // Bound head variables under this adornment.
+            let mut bound: HashSet<Var> = HashSet::new();
+            let head_args = rule.head.args();
+            for (arg, &is_b) in head_args.iter().zip(&adornment) {
+                if is_b {
+                    bound.extend(arg.vars());
+                }
+            }
+            let magic_head_args: Vec<Term> = head_args
+                .iter()
+                .zip(&adornment)
+                .filter(|(_, &is_b)| is_b)
+                .map(|(t, _)| t.clone())
+                .collect();
+            let magic_lit = rebuild(mf, magic_head_args);
+
+            let mut new_body = vec![magic_lit.clone()];
+            for lit in &rule.body {
+                let lf = match lit.functor() {
+                    Some(lf) => lf,
+                    None => {
+                        new_body.push(lit.clone());
+                        continue;
+                    }
+                };
+                if idb.contains(&lf) {
+                    let lit_adornment: Adornment = lit
+                        .args()
+                        .iter()
+                        .map(|t| t.vars().iter().all(|v| bound.contains(v)) )
+                        .collect();
+                    // Magic rule for this call site.
+                    let m_lit_f = magic_name(lf, &lit_adornment);
+                    let m_args: Vec<Term> = lit
+                        .args()
+                        .iter()
+                        .zip(&lit_adornment)
+                        .filter(|(_, &is_b)| is_b)
+                        .map(|(t, _)| t.clone())
+                        .collect();
+                    out.push(Rule::new(rebuild(m_lit_f, m_args), new_body.clone()));
+                    if done.insert((lf, lit_adornment.clone())) {
+                        queue.push_back((lf, lit_adornment.clone()));
+                    }
+                    let a_lit = rebuild(adorned_name(lf, &lit_adornment), lit.args().to_vec());
+                    new_body.push(a_lit);
+                } else {
+                    new_body.push(lit.clone());
+                }
+                bound.extend(lit.vars());
+            }
+            out.push(Rule::new(rebuild(af, rule.head.args().to_vec()), new_body));
+        }
+    }
+
+    // Seed: the query's bound arguments.
+    let seed_args: Vec<Term> = query
+        .args()
+        .iter()
+        .zip(&q_adornment)
+        .filter(|(_, &is_b)| is_b)
+        .map(|(t, _)| b.resolve(t))
+        .collect();
+    let mqf = magic_name(qf, &q_adornment);
+    out.push(Rule::new(rebuild(mqf, seed_args), Vec::new()));
+
+    MagicProgram { rules: out, query: adorned_name(qf, &q_adornment), magic_query: mqf }
+}
+
+/// A ground relation: the extension of one predicate.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    tuples: Vec<Vec<Term>>,
+    set: HashSet<Vec<Term>>,
+}
+
+impl Relation {
+    /// Tuples in insertion order.
+    pub fn tuples(&self) -> &[Vec<Term>] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// `true` if the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// `true` if the tuple is present.
+    pub fn contains(&self, t: &[Term]) -> bool {
+        self.set.contains(t)
+    }
+
+    fn insert(&mut self, t: Vec<Term>) -> bool {
+        if self.set.insert(t.clone()) {
+            self.tuples.push(t);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Semi-naive bottom-up evaluator for Datalog-with-builtins.
+///
+/// Derived tuples must be ground; deriving a non-ground tuple is an error
+/// (the magic/Prop programs never do).
+#[derive(Clone, Debug)]
+pub struct BottomUp {
+    rules: Vec<Rule>,
+    idb: HashSet<Functor>,
+    relations: HashMap<Functor, Relation>,
+    last_delta: HashMap<Functor, Relation>,
+    /// Number of naive iterations performed.
+    iterations: usize,
+    /// Derivation attempts (join combinations tried).
+    derivations: usize,
+}
+
+impl BottomUp {
+    /// Creates an evaluator over `rules` (facts included as bodyless rules).
+    pub fn new(rules: Vec<Rule>) -> Self {
+        let idb = rules.iter().filter_map(|r| r.head.functor()).collect();
+        BottomUp {
+            rules,
+            idb,
+            relations: HashMap::new(),
+            last_delta: HashMap::new(),
+            iterations: 0,
+            derivations: 0,
+        }
+    }
+
+    /// The computed extension of `f` (empty if never derived).
+    pub fn relation(&self, f: Functor) -> &[Vec<Term>] {
+        self.relations.get(&f).map(|r| r.tuples()).unwrap_or(&[])
+    }
+
+    /// All functors with a non-empty extension.
+    pub fn functors(&self) -> impl Iterator<Item = Functor> + '_ {
+        self.relations.keys().copied()
+    }
+
+    /// Number of fixpoint iterations taken.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Number of derivation attempts (a proxy for join work).
+    pub fn derivations(&self) -> usize {
+        self.derivations
+    }
+
+    /// Runs to fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builtin errors, and reports non-ground derived tuples and
+    /// unknown (undefined, non-builtin) body predicates.
+    pub fn run(&mut self) -> Result<(), EngineError> {
+        // Iteration 0: facts and rules whose bodies hold no IDB literal
+        // (builtin-only bodies fire exactly once).
+        let mut delta: HashMap<Functor, Relation> = HashMap::new();
+        let rules = self.rules.clone();
+        let no_delta = HashMap::new();
+        for r in &rules {
+            if self.idb_positions(r).is_empty() {
+                let mut b = Bindings::new();
+                let base = b.fresh_block(rule_nvars(r));
+                let head = offset(&r.head, base);
+                let body: Vec<Term> = r.body.iter().map(|l| offset(l, base)).collect();
+                self.join(&head, &body, 0, usize::MAX, &no_delta, &mut b, &mut delta)?;
+            }
+        }
+        self.promote(&mut delta);
+        // Semi-naive loop.
+        loop {
+            self.iterations += 1;
+            let mut new_delta: HashMap<Functor, Relation> = HashMap::new();
+            let prev_delta = std::mem::take(&mut self.last_delta);
+            for r in &rules {
+                // One evaluation per IDB body position taking the delta.
+                let idb_positions = self.idb_positions(r);
+                for &dpos in &idb_positions {
+                    let mut b = Bindings::new();
+                    let base = b.fresh_block(rule_nvars(r));
+                    let head = offset(&r.head, base);
+                    let body: Vec<Term> = r.body.iter().map(|l| offset(l, base)).collect();
+                    self.join(&head, &body, 0, dpos, &prev_delta, &mut b, &mut new_delta)?;
+                }
+            }
+            let grew = self.promote(&mut new_delta);
+            if !grew {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn idb_positions(&self, r: &Rule) -> Vec<usize> {
+        r.body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.functor().map(|f| self.idb.contains(&f)).unwrap_or(false))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        &mut self,
+        head: &Term,
+        body: &[Term],
+        pos: usize,
+        dpos: usize,
+        prev_delta: &HashMap<Functor, Relation>,
+        b: &mut Bindings,
+        out: &mut HashMap<Functor, Relation>,
+    ) -> Result<(), EngineError> {
+        if pos == body.len() {
+            self.derivations += 1;
+            let f = head
+                .functor()
+                .ok_or_else(|| EngineError::BadGoal(format!("{head}")))?;
+            let args = b.resolve_all(head.args());
+            if !args.iter().all(Term::is_ground) {
+                return Err(EngineError::BadGoal(format!(
+                    "bottom-up derived non-ground tuple {}",
+                    rebuild(f, args)
+                )));
+            }
+            let known = self
+                .relations
+                .get(&f)
+                .map(|r| r.contains(&args))
+                .unwrap_or(false);
+            if !known {
+                out.entry(f).or_default().insert(args);
+            }
+            return Ok(());
+        }
+        let lit = &body[pos];
+        let f = lit
+            .functor()
+            .ok_or_else(|| EngineError::BadGoal(format!("{lit}")))?;
+        if self.idb.contains(&f) {
+            // Choose the source: delta at dpos, full otherwise.
+            let source: Vec<Vec<Term>> = if pos == dpos {
+                prev_delta.get(&f).map(|r| r.tuples().to_vec()).unwrap_or_default()
+            } else {
+                self.relations.get(&f).map(|r| r.tuples().to_vec()).unwrap_or_default()
+            };
+            for tuple in source {
+                let m = b.mark();
+                let ok = lit
+                    .args()
+                    .iter()
+                    .zip(tuple.iter())
+                    .all(|(x, y)| unify(b, x, y));
+                if ok {
+                    self.join(head, body, pos + 1, dpos, prev_delta, b, out)?;
+                }
+                b.undo_to(m);
+            }
+            Ok(())
+        } else if let Some(imp) = lookup_builtin(f) {
+            match imp {
+                BuiltinImpl::Det(func) => {
+                    let m = b.mark();
+                    if func(b, lit.args())? {
+                        self.join(head, body, pos + 1, dpos, prev_delta, b, out)?;
+                    }
+                    b.undo_to(m);
+                    Ok(())
+                }
+                BuiltinImpl::NonDet(func) => {
+                    for tuple in func(b, lit.args())? {
+                        let m = b.mark();
+                        let ok = lit
+                            .args()
+                            .iter()
+                            .zip(tuple.iter())
+                            .all(|(x, y)| unify(b, x, y));
+                        if ok {
+                            self.join(head, body, pos + 1, dpos, prev_delta, b, out)?;
+                        }
+                        b.undo_to(m);
+                    }
+                    Ok(())
+                }
+            }
+        } else {
+            Err(EngineError::UnknownPredicate(f))
+        }
+    }
+
+    fn promote(&mut self, delta: &mut HashMap<Functor, Relation>) -> bool {
+        let mut grew = false;
+        for (f, rel) in delta.iter() {
+            for t in rel.tuples() {
+                if self.relations.entry(*f).or_default().insert(t.clone()) {
+                    grew = true;
+                }
+            }
+        }
+        self.last_delta = std::mem::take(delta);
+        grew
+    }
+}
+
+fn rule_nvars(r: &Rule) -> usize {
+    let mut vars = r.head.vars();
+    for l in &r.body {
+        for v in l.vars() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    // Rules may arrive with sparse numbering; allocate up to max index + 1.
+    vars.iter().map(|v| v.index() + 1).max().unwrap_or(0)
+}
+
+fn offset(t: &Term, base: Var) -> Term {
+    t.map_vars(&mut |v| Term::Var(Var(base.0 + v.0)))
+}
+
+/// Convenience: canonicalizes a tuple for set comparisons across engines.
+pub fn canonical_tuple(ts: &[Term]) -> tablog_term::CanonicalTerm {
+    let b = Bindings::new();
+    canonicalize(&b, ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tablog_syntax::{parse_program, parse_term};
+
+    fn rules_of(src: &str) -> Vec<Rule> {
+        parse_program(src)
+            .unwrap()
+            .clauses
+            .iter()
+            .map(|c| Rule::new(c.head.clone(), c.body.clone()))
+            .collect()
+    }
+
+    const GRAPH: &str = "
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+        edge(a, b). edge(b, c). edge(c, d).
+    ";
+
+    #[test]
+    fn naive_bottom_up_computes_closure() {
+        let mut e = BottomUp::new(rules_of(GRAPH));
+        e.run().unwrap();
+        assert_eq!(e.relation(Functor::new("path", 2)).len(), 6);
+        assert_eq!(e.relation(Functor::new("edge", 2)).len(), 3);
+        assert!(e.iterations() >= 3);
+    }
+
+    #[test]
+    fn magic_restricts_computation() {
+        let rules = rules_of(GRAPH);
+        let mut b = Bindings::new();
+        let (q, _) = parse_term("path(b, Y)", &mut b).unwrap();
+        let magic = magic_transform(&rules, &q, &b);
+        let mut e = BottomUp::new(magic.rules.clone());
+        e.run().unwrap();
+        // Answers to the query itself: path(b, c), path(b, d); the adorned
+        // relation also holds answers to magic subqueries (from c and d).
+        let answers = magic.answers(&e, &q, &b);
+        assert_eq!(answers.len(), 2);
+        assert!(answers.iter().all(|t| t[0] == tablog_term::atom("b")));
+        // Nothing reachable from a was computed.
+        assert!(e
+            .relation(magic.query)
+            .iter()
+            .all(|t| t[0] != tablog_term::atom("a")));
+        // Call patterns recorded in the magic relation: b, c, d reached.
+        let calls = e.relation(magic.magic_query);
+        assert_eq!(calls.len(), 3);
+    }
+
+    #[test]
+    fn magic_with_open_query_falls_back_to_full() {
+        let rules = rules_of(GRAPH);
+        let mut b = Bindings::new();
+        let (q, _) = parse_term("path(X, Y)", &mut b).unwrap();
+        let magic = magic_transform(&rules, &q, &b);
+        let mut e = BottomUp::new(magic.rules.clone());
+        e.run().unwrap();
+        assert_eq!(e.relation(magic.query).len(), 6);
+    }
+
+    #[test]
+    fn builtins_in_rule_bodies() {
+        let src = "
+            num(1). num(2). num(3).
+            big(X) :- num(X), X > 1.
+            double(Y) :- num(X), Y is X * 2.
+        ";
+        let mut e = BottomUp::new(rules_of(src));
+        e.run().unwrap();
+        assert_eq!(e.relation(Functor::new("big", 1)).len(), 2);
+        assert_eq!(e.relation(Functor::new("double", 1)).len(), 3);
+    }
+
+    #[test]
+    fn iff_builtin_bottom_up() {
+        // gp_ap as a bottom-up Datalog program.
+        let src = "
+            gp_ap(X1, X2, X3) :- '$iff'(X1), '$iff'(X2, X3).
+            gp_ap(X1, X2, X3) :- '$iff'(X1, X, Xs), '$iff'(X3, X, Zs), gp_ap(Xs, X2, Zs).
+        ";
+        let mut e = BottomUp::new(rules_of(src));
+        e.run().unwrap();
+        let rel = e.relation(Functor::new("gp_ap", 3));
+        assert_eq!(rel.len(), 4);
+        let t = tablog_term::atom("true");
+        let f = tablog_term::atom("false");
+        assert!(rel.contains(&vec![t.clone(), t.clone(), t.clone()]));
+        assert!(rel.contains(&vec![t.clone(), f.clone(), f.clone()]));
+        assert!(!rel.contains(&vec![t.clone(), t.clone(), f.clone()]));
+    }
+
+    #[test]
+    fn non_ground_derivation_is_reported() {
+        let src = "p(X) :- q. q.";
+        let mut e = BottomUp::new(rules_of(src));
+        assert!(e.run().is_err());
+    }
+
+    #[test]
+    fn unknown_predicate_is_reported() {
+        let src = "p(X) :- mystery(X).";
+        let mut e = BottomUp::new(rules_of(src));
+        assert!(matches!(e.run(), Err(EngineError::UnknownPredicate(_))));
+    }
+
+    #[test]
+    fn linear_and_nonlinear_recursion_agree() {
+        let nonlinear = "
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- path(X, Z), path(Z, Y).
+            edge(a, b). edge(b, c). edge(c, d).
+        ";
+        let mut e1 = BottomUp::new(rules_of(GRAPH));
+        e1.run().unwrap();
+        let mut e2 = BottomUp::new(rules_of(nonlinear));
+        e2.run().unwrap();
+        let f = Functor::new("path", 2);
+        let s1: HashSet<_> = e1.relation(f).iter().cloned().collect();
+        let s2: HashSet<_> = e2.relation(f).iter().cloned().collect();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn magic_agrees_with_tabled_engine() {
+        let rules = rules_of(GRAPH);
+        let mut b = Bindings::new();
+        let (q, _) = parse_term("path(a, Y)", &mut b).unwrap();
+        let magic = magic_transform(&rules, &q, &b);
+        let mut e = BottomUp::new(magic.rules.clone());
+        e.run().unwrap();
+        let magic_answers: HashSet<Term> = magic
+            .answers(&e, &q, &b)
+            .iter()
+            .map(|t| t[1].clone())
+            .collect();
+
+        let engine =
+            tablog_engine::Engine::from_source(&format!(":- table path/2.\n{GRAPH}")).unwrap();
+        let sols = engine.solve("path(a, Y)").unwrap();
+        let tabled_answers: HashSet<Term> =
+            sols.rows().iter().map(|r| r[0].clone()).collect();
+        assert_eq!(magic_answers, tabled_answers);
+    }
+}

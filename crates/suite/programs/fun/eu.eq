@@ -1,0 +1,33 @@
+-- eu: Euler's method for a first-order ODE over scaled integers
+-- (fixed-point arithmetic with scale 1000), the numeric kernel
+-- benchmark of the EQUALS suite.
+
+scale = 1000;
+
+-- dy/dt = -y  (decay), scaled arithmetic
+deriv(y) = 0 - y;
+
+step(y, h) = y + (h * deriv(y)) / scale;
+
+iterate(y, h, 0) = y : nil;
+iterate(y, h, n) = y : iterate(step(y, h), h, n - 1);
+
+lastv(x : nil) = x;
+lastv(x : (y : zs)) = lastv(y : zs);
+
+sumlist(nil) = 0;
+sumlist(x : xs) = x + sumlist(xs);
+
+len(nil) = 0;
+len(x : xs) = 1 + len(xs);
+
+-- trapezoid correction pass over the trajectory
+smooth(nil) = nil;
+smooth(x : nil) = x : nil;
+smooth(x : (y : zs)) = ((x + y) / 2) : smooth(y : zs);
+
+trajectory(n) = iterate(scale, 100, n);
+
+main = triple(lastv(trajectory(40)),
+              sumlist(smooth(trajectory(40))),
+              len(trajectory(40)));

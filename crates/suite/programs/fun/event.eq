@@ -1,0 +1,108 @@
+-- event: a discrete-event simulation kernel — priority queue of
+-- pending events, server states, and statistics, in the style of the
+-- EQUALS event benchmark (queueing network simulation).
+
+data eventrec = ev(3);          -- ev(time, kind, station)
+data staterec = st(3);          -- st(clock, stations, stats)
+data stationrec = stn(3);       -- stn(id, busy, queue_len)
+data statrec = stats(3);        -- stats(arrivals, departures, busy_time)
+
+-- ---- Priority queue as a sorted event list --------------------------
+insert_ev(ev(t, k, s), nil) = ev(t, k, s) : nil;
+insert_ev(ev(t, k, s), ev(t2, k2, s2) : es) =
+    if t <= t2 then ev(t, k, s) : (ev(t2, k2, s2) : es)
+    else ev(t2, k2, s2) : insert_ev(ev(t, k, s), es);
+
+merge_ev(nil, es) = es;
+merge_ev(e : es, fs) = merge_ev(es, insert_ev(e, fs));
+
+-- ---- Pseudo-random service and interarrival times --------------------
+nextrand(seed) = (seed * 1103 + 12345) - ((seed * 1103 + 12345) / 2048) * 2048;
+
+service(seed) = 3 + nextrand(seed) - (nextrand(seed) / 7) * 7;
+interarrival(seed) = 1 + nextrand(seed * 3) - (nextrand(seed * 3) / 5) * 5;
+
+-- ---- Station table ----------------------------------------------------
+find_station(i, stn(j, b, q) : ss) =
+    if i == j then stn(j, b, q) else find_station(i, ss);
+
+replace_station(stn(i, b, q), nil) = nil;
+replace_station(stn(i, b, q), stn(j, b2, q2) : ss) =
+    if i == j then stn(i, b, q) : ss
+    else stn(j, b2, q2) : replace_station(stn(i, b, q), ss);
+
+busy(stn(i, b, q)) = b;
+qlen(stn(i, b, q)) = q;
+sid(stn(i, b, q)) = i;
+
+set_busy(stn(i, b, q), nb) = stn(i, nb, q);
+inc_q(stn(i, b, q)) = stn(i, b, q + 1);
+dec_q(stn(i, b, q)) = stn(i, b, q - 1);
+
+-- ---- Statistics ---------------------------------------------------------
+arrive_stat(stats(a, d, bt)) = stats(a + 1, d, bt);
+depart_stat(stats(a, d, bt), t) = stats(a, d + 1, bt + t);
+
+-- ---- The simulation loop ------------------------------------------------
+simulate(nil, state, limit) = state;
+simulate(ev(t, k, s) : es, st(clock, stations, sts), limit) =
+    if t > limit then st(clock, stations, sts)
+    else step(ev(t, k, s), es, st(t, stations, sts), limit);
+
+-- kind 1 = arrival, kind 2 = departure
+step(ev(t, 1, s), es, st(clock, stations, sts), limit) =
+    handle_arrival(t, s, es, stations, arrive_stat(sts), limit);
+step(ev(t, 2, s), es, st(clock, stations, sts), limit) =
+    handle_departure(t, s, es, stations, sts, limit);
+
+handle_arrival(t, s, es, stations, sts, limit) =
+    dispatch_arrival(find_station(s, stations), t, s, es, stations, sts, limit);
+
+dispatch_arrival(station, t, s, es, stations, sts, limit) =
+    if busy(station) == 1 then
+        simulate(schedule_next_arrival(t, s, es),
+                 st(t, replace_station(inc_q(station), stations), sts),
+                 limit)
+    else
+        simulate(schedule_next_arrival(t, s,
+                     insert_ev(ev(t + service(t + s), 2, s), es)),
+                 st(t, replace_station(set_busy(station, 1), stations), sts),
+                 limit);
+
+schedule_next_arrival(t, s, es) =
+    insert_ev(ev(t + interarrival(t), 1, nextstation(s)), es);
+
+nextstation(s) = if s == 3 then 1 else s + 1;
+
+handle_departure(t, s, es, stations, sts, limit) =
+    dispatch_departure(find_station(s, stations), t, s, es, stations, sts, limit);
+
+dispatch_departure(station, t, s, es, stations, sts, limit) =
+    if qlen(station) > 0 then
+        simulate(insert_ev(ev(t + service(t), 2, s), es),
+                 st(t, replace_station(dec_q(station), stations),
+                    depart_stat(sts, service(t))),
+                 limit)
+    else
+        simulate(es,
+                 st(t, replace_station(set_busy(station, 0), stations),
+                    depart_stat(sts, 0)),
+                 limit);
+
+-- ---- Reporting -----------------------------------------------------------
+report(st(clock, stations, stats(a, d, bt))) =
+    triple(a, d, bt + total_queue(stations));
+
+total_queue(nil) = 0;
+total_queue(s : ss) = qlen(s) + total_queue(ss);
+
+initial_stations = stn(1, 0, 0) : (stn(2, 0, 0) : (stn(3, 0, 0) : nil));
+
+initial_events = ev(0, 1, 1) : (ev(1, 1, 2) : (ev(2, 1, 3) : nil));
+
+run(limit) =
+    report(simulate(initial_events,
+                    st(0, initial_stations, stats(0, 0, 0)),
+                    limit));
+
+main = run(60);

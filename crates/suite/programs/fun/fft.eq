@@ -1,0 +1,85 @@
+-- fft: radix-2 decimation-in-time FFT over fixed-point complex
+-- numbers (scale 1024). Twiddle factors come from a table, as the
+-- original EQUALS benchmark computes over a fixed input size.
+
+data complexnum = cx(2);
+
+scale = 1024;
+
+cadd(cx(a, b), cx(c, d)) = cx(a + c, b + d);
+csub(cx(a, b), cx(c, d)) = cx(a - c, b - d);
+cmul(cx(a, b), cx(c, d)) =
+    cx((a * c - b * d) / scale, (a * d + b * c) / scale);
+
+-- Twiddle table for n = 8: w(k) = exp(-2 pi i k / 8), scaled by 1024.
+-- 724 ~ 1024 / sqrt(2).
+w(0) = cx(1024, 0);
+w(1) = cx(724, 0 - 724);
+w(2) = cx(0, 0 - 1024);
+w(3) = cx(0 - 724, 0 - 724);
+w(4) = cx(0 - 1024, 0);
+w(5) = cx(0 - 724, 724);
+w(6) = cx(0, 1024);
+w(7) = cx(724, 724);
+
+fft(nil, stride) = nil;
+fft(x : nil, stride) = x : nil;
+fft(xs, stride) =
+    combine(fft(evens(xs), stride * 2),
+            fft(odds(xs), stride * 2),
+            0, stride);
+
+combine(es, os, k, stride) = joinhalves(butterfly(es, os, k, stride));
+
+-- butterfly returns pair(front, back); join concatenates.
+butterfly(nil, nil, k, stride) = pair(nil, nil);
+butterfly(e : es, o : os, k, stride) =
+    attach(cadd(e, cmul(w(k), o)),
+           csub(e, cmul(w(k), o)),
+           butterfly(es, os, k + stride, stride));
+
+attach(f, b, pair(fs, bs)) = pair(f : fs, b : bs);
+
+joinhalves(pair(fs, bs)) = ap(fs, bs);
+
+evens(nil) = nil;
+evens(x : nil) = x : nil;
+evens(x : (y : zs)) = x : evens(zs);
+
+odds(nil) = nil;
+odds(x : nil) = nil;
+odds(x : (y : zs)) = y : odds(zs);
+
+ap(nil, ys) = ys;
+ap(x : xs, ys) = x : ap(xs, ys);
+
+-- Inverse transform: conjugate, forward, conjugate, scale by 1/n.
+conjlist(nil) = nil;
+conjlist(cx(a, b) : xs) = cx(a, 0 - b) : conjlist(xs);
+
+divn(nil, n) = nil;
+divn(cx(a, b) : xs, n) = cx(a / n, b / n) : divn(xs, n);
+
+ifft(xs) = divn(conjlist(fft(conjlist(xs), 1)), 8);
+
+-- Magnitude-squared spectrum (avoids sqrt on integers).
+power(nil) = nil;
+power(cx(a, b) : xs) = ((a * a + b * b) / scale) : power(xs);
+
+-- Input: a scaled square wave of length 8.
+signal = cx(1024, 0) : (cx(1024, 0) : (cx(1024, 0) : (cx(1024, 0) :
+         (cx(0 - 1024, 0) : (cx(0 - 1024, 0) : (cx(0 - 1024, 0) :
+         (cx(0 - 1024, 0) : nil)))))));
+
+sumlist(nil) = 0;
+sumlist(x : xs) = x + sumlist(xs);
+
+roundtrip = ifft(fft(signal, 1));
+
+re(cx(a, b)) = a;
+
+relist(nil) = nil;
+relist(x : xs) = re(x) : relist(xs);
+
+main = pair(sumlist(power(fft(signal, 1))),
+            sumlist(relist(roundtrip)));

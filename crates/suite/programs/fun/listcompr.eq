@@ -1,0 +1,82 @@
+-- listcompr: desugared list comprehensions — the benchmark exercises
+-- the map/filter/concat pipelines a comprehension compiler emits.
+
+-- [ x*x | x <- [1..n], even x ]
+squares_of_evens(n) = mapsq(filter_even(upto(1, n)));
+
+mapsq(nil) = nil;
+mapsq(x : xs) = (x * x) : mapsq(xs);
+
+filter_even(nil) = nil;
+filter_even(x : xs) =
+    if even(x) then x : filter_even(xs) else filter_even(xs);
+
+even(x) = x - (x / 2) * 2 == 0;
+
+-- [ (x,y) | x <- [1..n], y <- [x..n] ] : a nested comprehension
+-- becomes a concat-map chain.
+pairs_upto(n) = concat(map_outer(upto(1, n), n));
+
+map_outer(nil, n) = nil;
+map_outer(x : xs, n) = map_inner(x, upto(x, n)) : map_outer(xs, n);
+
+map_inner(x, nil) = nil;
+map_inner(x, y : ys) = pair(x, y) : map_inner(x, ys);
+
+concat(nil) = nil;
+concat(xs : xss) = ap(xs, concat(xss));
+
+-- [ x+y | (x,y) <- ps, x < y ]
+sums_of_increasing(ps) = mapsum(filter_lt(ps));
+
+filter_lt(nil) = nil;
+filter_lt(pair(x, y) : ps) =
+    if x < y then pair(x, y) : filter_lt(ps) else filter_lt(ps);
+
+mapsum(nil) = nil;
+mapsum(pair(x, y) : ps) = (x + y) : mapsum(ps);
+
+-- Pythagorean triples: triple-nested comprehension.
+triples(n) = concat(map_a(upto(1, n), n));
+
+map_a(nil, n) = nil;
+map_a(a : as, n) = concat(map_b(a, upto(a, n), n)) : map_a(as, n);
+
+map_b(a, nil, n) = nil;
+map_b(a, b : bs, n) = map_c(a, b, upto(b, n)) : map_b(a, bs, n);
+
+map_c(a, b, nil) = nil;
+map_c(a, b, c : cs) =
+    if a * a + b * b == c * c then triple(a, b, c) : map_c(a, b, cs)
+    else map_c(a, b, cs);
+
+-- zip with index: [ (i, x) | (i, x) <- zip [0..] xs ]
+index(xs) = zipidx(0, xs);
+
+zipidx(i, nil) = nil;
+zipidx(i, x : xs) = pair(i, x) : zipidx(i + 1, xs);
+
+-- takeWhile / dropWhile pair used by comprehension guards
+take_while_pos(nil) = nil;
+take_while_pos(x : xs) =
+    if x > 0 then x : take_while_pos(xs) else nil;
+
+drop_while_pos(nil) = nil;
+drop_while_pos(x : xs) =
+    if x > 0 then drop_while_pos(xs) else x : xs;
+
+-- library
+upto(m, n) = if m > n then nil else m : upto(m + 1, n);
+
+ap(nil, ys) = ys;
+ap(x : xs, ys) = x : ap(xs, ys);
+
+len(nil) = 0;
+len(x : xs) = 1 + len(xs);
+
+sumlist(nil) = 0;
+sumlist(x : xs) = x + sumlist(xs);
+
+main = triple(sumlist(squares_of_evens(20)),
+              len(triples(20)),
+              sumlist(sums_of_increasing(pairs_upto(10))));

@@ -1,0 +1,36 @@
+-- mergesort: the classic lazy mergesort benchmark.
+
+split(nil) = pair(nil, nil);
+split(x : nil) = pair(x : nil, nil);
+split(x : (y : zs)) = glue(x, y, split(zs));
+
+glue(x, y, pair(as, bs)) = pair(x : as, y : bs);
+
+merge(nil, ys) = ys;
+merge(x : xs, nil) = x : xs;
+merge(x : xs, y : ys) =
+    if x <= y then x : merge(xs, y : ys)
+    else y : merge(x : xs, ys);
+
+msort(nil) = nil;
+msort(x : nil) = x : nil;
+msort(x : (y : zs)) = mergehalves(split(x : (y : zs)));
+
+mergehalves(pair(as, bs)) = merge(msort(as), msort(bs));
+
+upto(m, n) = if m > n then nil else m : upto(m + 1, n);
+
+shuffle(nil) = nil;
+shuffle(x : xs) = ap(shuffle(evens(xs)), x : shuffle(odds(xs)));
+
+evens(nil) = nil;
+evens(x : nil) = nil;
+evens(x : (y : zs)) = y : evens(zs);
+
+odds(nil) = nil;
+odds(x : xs) = x : evens(xs);
+
+ap(nil, ys) = ys;
+ap(x : xs, ys) = x : ap(xs, ys);
+
+main = msort(shuffle(upto(1, 50)));

@@ -1,0 +1,33 @@
+-- nq: the n-queens benchmark, list-based generate and test.
+
+queens(n) = go(n, n);
+
+go(0, n) = nil : nil;    -- one empty placement
+go(row, n) = extend(go(row - 1, n), n);
+
+extend(nil, n) = nil;
+extend(ps : rest, n) = ap(place(ps, 1, n), extend(rest, n));
+
+place(ps, col, n) =
+    if col > n then nil
+    else if safe(ps, col, 1) then (col : ps) : place(ps, col + 1, n)
+    else place(ps, col + 1, n);
+
+safe(nil, col, dist) = true;
+safe(q : qs, col, dist) =
+    if q == col then false
+    else if q == col + dist then false
+    else if q == col - dist then false
+    else safe(qs, col, dist + 1);
+
+ap(nil, ys) = ys;
+ap(x : xs, ys) = x : ap(xs, ys);
+
+count(nil) = 0;
+count(x : xs) = 1 + count(xs);
+
+hd(x : xs) = x;
+
+first_solution(n) = hd(queens(n));
+
+main = pair(count(queens(6)), first_solution(6));

@@ -1,0 +1,70 @@
+-- odprove: a prover for ordered binary decision trees — decide
+-- propositional formulas by converting to if-then-else normal form
+-- (Boute/Bryant style), the smaller of the two prover benchmarks.
+
+data formula = varf(1) | notf(1) | andf(2) | orf(2) | impf(2);
+data itetree = tcase(3);   -- tcase(var, hi, lo); leaves are true/false
+
+-- Convert a formula to an ITE tree (ordered by variable number).
+conv(varf(v)) = tcase(v, true, false);
+conv(notf(p)) = negate(conv(p));
+conv(andf(p, q)) = apply_and(conv(p), conv(q));
+conv(orf(p, q)) = apply_or(conv(p), conv(q));
+conv(impf(p, q)) = apply_or(negate(conv(p)), conv(q));
+
+negate(true) = false;
+negate(false) = true;
+negate(tcase(v, h, l)) = tcase(v, negate(h), negate(l));
+
+apply_and(true, t) = t;
+apply_and(false, t) = false;
+apply_and(tcase(v, h, l), true) = tcase(v, h, l);
+apply_and(tcase(v, h, l), false) = false;
+apply_and(tcase(v1, h1, l1), tcase(v2, h2, l2)) =
+    if v1 < v2 then
+        reduce(v1, apply_and(h1, tcase(v2, h2, l2)),
+                   apply_and(l1, tcase(v2, h2, l2)))
+    else if v2 < v1 then
+        reduce(v2, apply_and(tcase(v1, h1, l1), h2),
+                   apply_and(tcase(v1, h1, l1), l2))
+    else reduce(v1, apply_and(h1, h2), apply_and(l1, l2));
+
+apply_or(p, q) = negate(apply_and(negate(p), negate(q)));
+
+-- Reduction: collapse redundant tests.
+reduce(v, t, t1) = if equaltree(t, t1) then t else tcase(v, t, t1);
+
+equaltree(true, true) = true;
+equaltree(false, false) = true;
+equaltree(true, false) = false;
+equaltree(false, true) = false;
+equaltree(true, tcase(v, h, l)) = false;
+equaltree(false, tcase(v, h, l)) = false;
+equaltree(tcase(v, h, l), true) = false;
+equaltree(tcase(v, h, l), false) = false;
+equaltree(tcase(v1, h1, l1), tcase(v2, h2, l2)) =
+    if v1 == v2 then
+        if equaltree(h1, h2) then equaltree(l1, l2) else false
+    else false;
+
+tautology(p) = equaltree(conv(p), true);
+contradiction(p) = equaltree(conv(p), false);
+
+-- Sample theorems.
+peirce = impf(impf(impf(varf(1), varf(2)), varf(1)), varf(1));
+excluded_middle = orf(varf(1), notf(varf(1)));
+demorgan = impf(notf(andf(varf(1), varf(2))),
+                orf(notf(varf(1)), notf(varf(2))));
+syllogism = impf(andf(impf(varf(1), varf(2)), impf(varf(2), varf(3))),
+                 impf(varf(1), varf(3)));
+non_theorem = impf(orf(varf(1), varf(2)), andf(varf(1), varf(2)));
+
+count_true(nil) = 0;
+count_true(true : xs) = 1 + count_true(xs);
+count_true(false : xs) = count_true(xs);
+
+results = tautology(peirce) : (tautology(excluded_middle) :
+          (tautology(demorgan) : (tautology(syllogism) :
+          (tautology(non_theorem) : nil))));
+
+main = count_true(results);

@@ -1,0 +1,132 @@
+-- pcprove: a propositional-calculus sequent prover (Wang's algorithm).
+-- The benchmark is characterized by deeply nested formula terms, which
+-- the paper notes produce long clauses and deep backtracking in the
+-- demand analysis.
+
+data formula = pvar(1) | pnot(1) | pand(2) | por(2) | pimp(2) | piff(2);
+data seqkind = seq(2);   -- seq(antecedent list, succedent list)
+
+-- ---- The prover -------------------------------------------------------
+prove(f) = provable(seq(nil, f : nil));
+
+-- Axiom: some atom appears on both sides.
+provable(seq(ante, sucs)) = step(seq(ante, sucs));
+
+step(seq(ante, sucs)) =
+    if axiom(ante, sucs) then true
+    else reduce_left(ante, nil, sucs);
+
+axiom(nil, sucs) = false;
+axiom(pvar(v) : ante, sucs) =
+    if member_var(v, sucs) then true else axiom(ante, sucs);
+axiom(f : ante, sucs) = axiom_nonvar(f, ante, sucs);
+
+axiom_nonvar(pnot(p), ante, sucs) = axiom(ante, sucs);
+axiom_nonvar(pand(p, q), ante, sucs) = axiom(ante, sucs);
+axiom_nonvar(por(p, q), ante, sucs) = axiom(ante, sucs);
+axiom_nonvar(pimp(p, q), ante, sucs) = axiom(ante, sucs);
+axiom_nonvar(piff(p, q), ante, sucs) = axiom(ante, sucs);
+
+member_var(v, nil) = false;
+member_var(v, pvar(w) : fs) =
+    if v == w then true else member_var(v, fs);
+member_var(v, f : fs) = member_var_nonvar(v, f, fs);
+
+member_var_nonvar(v, pnot(p), fs) = member_var(v, fs);
+member_var_nonvar(v, pand(p, q), fs) = member_var(v, fs);
+member_var_nonvar(v, por(p, q), fs) = member_var(v, fs);
+member_var_nonvar(v, pimp(p, q), fs) = member_var(v, fs);
+member_var_nonvar(v, piff(p, q), fs) = member_var(v, fs);
+
+-- Decompose the first non-atomic formula on the left; atoms rotate to
+-- a "done" list.
+reduce_left(nil, done, sucs) = reduce_right(done, sucs, nil);
+reduce_left(pvar(v) : ante, done, sucs) =
+    reduce_left(ante, pvar(v) : done, sucs);
+reduce_left(pnot(p) : ante, done, sucs) =
+    provable(seq(rejoin(done, ante), p : sucs));
+reduce_left(pand(p, q) : ante, done, sucs) =
+    provable(seq(p : (q : rejoin(done, ante)), sucs));
+reduce_left(por(p, q) : ante, done, sucs) =
+    both(provable(seq(p : rejoin(done, ante), sucs)),
+         provable(seq(q : rejoin(done, ante), sucs)));
+reduce_left(pimp(p, q) : ante, done, sucs) =
+    both(provable(seq(rejoin(done, ante), p : sucs)),
+         provable(seq(q : rejoin(done, ante), sucs)));
+reduce_left(piff(p, q) : ante, done, sucs) =
+    both(provable(seq(p : (q : rejoin(done, ante)), sucs)),
+         provable(seq(rejoin(done, ante), p : (q : sucs))));
+
+-- Decompose the first non-atomic formula on the right.
+reduce_right(ante, nil, done) = false;
+reduce_right(ante, pvar(v) : sucs, done) =
+    reduce_right(ante, sucs, pvar(v) : done);
+reduce_right(ante, pnot(p) : sucs, done) =
+    provable(seq(p : ante, rejoin(done, sucs)));
+reduce_right(ante, pand(p, q) : sucs, done) =
+    both(provable(seq(ante, p : rejoin(done, sucs))),
+         provable(seq(ante, q : rejoin(done, sucs))));
+reduce_right(ante, por(p, q) : sucs, done) =
+    provable(seq(ante, p : (q : rejoin(done, sucs))));
+reduce_right(ante, pimp(p, q) : sucs, done) =
+    provable(seq(p : ante, q : rejoin(done, sucs)));
+reduce_right(ante, piff(p, q) : sucs, done) =
+    both(provable(seq(p : ante, q : rejoin(done, sucs))),
+         provable(seq(q : ante, p : rejoin(done, sucs))));
+
+both(a, b) = if a then b else false;
+
+rejoin(nil, ys) = ys;
+rejoin(x : xs, ys) = x : rejoin(xs, ys);
+
+-- ---- Formula builders: the deeply nested theorem set -------------------
+conj(nil) = pvar(999);
+conj(f : nil) = f;
+conj(f : (g : fs)) = pand(f, conj(g : fs));
+
+disj(nil) = pvar(998);
+disj(f : nil) = f;
+disj(f : (g : fs)) = por(f, disj(g : fs));
+
+chain_imp(f : nil) = f;
+chain_imp(f : (g : fs)) = pimp(f, chain_imp(g : fs));
+
+vars_upto(n) = if n == 0 then nil else pvar(n) : vars_upto(n - 1);
+
+-- Pigeonhole-style tautology: (p1 & ... & pn) -> (p1 | ... | pn)
+and_implies_or(n) = pimp(conj(vars_upto(n)), disj(vars_upto(n)));
+
+-- Transitivity chain: (p1->p2) & (p2->p3) & ... -> (p1->pn)
+trans_chain(n) = pimp(conj(imp_pairs(1, n)), pimp(pvar(1), pvar(n)));
+
+imp_pairs(i, n) =
+    if i >= n then nil
+    else pimp(pvar(i), pvar(i + 1)) : imp_pairs(i + 1, n);
+
+-- Distribution: p & (q | r) <-> (p & q) | (p & r)
+distrib = piff(pand(pvar(1), por(pvar(2), pvar(3))),
+               por(pand(pvar(1), pvar(2)), pand(pvar(1), pvar(3))));
+
+-- Contraposition, De Morgan, Peirce.
+contrapos = piff(pimp(pvar(1), pvar(2)), pimp(pnot(pvar(2)), pnot(pvar(1))));
+demorgan1 = piff(pnot(pand(pvar(1), pvar(2))), por(pnot(pvar(1)), pnot(pvar(2))));
+demorgan2 = piff(pnot(por(pvar(1), pvar(2))), pand(pnot(pvar(1)), pnot(pvar(2))));
+peirce = pimp(pimp(pimp(pvar(1), pvar(2)), pvar(1)), pvar(1));
+
+-- A deliberately deep non-theorem.
+hard_false(n) = pimp(disj(vars_upto(n)), conj(vars_upto(n)));
+
+theorems = and_implies_or(6) : (trans_chain(6) : (distrib :
+           (contrapos : (demorgan1 : (demorgan2 : (peirce : nil))))));
+
+nontheorems = hard_false(5) : (pimp(pvar(1), pvar(2)) : nil);
+
+count_true(nil) = 0;
+count_true(true : xs) = 1 + count_true(xs);
+count_true(false : xs) = count_true(xs);
+
+mapprove(nil) = nil;
+mapprove(f : fs) = prove(f) : mapprove(fs);
+
+main = pair(count_true(mapprove(theorems)),
+            count_true(mapprove(nontheorems)));

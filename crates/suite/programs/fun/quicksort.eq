@@ -1,0 +1,31 @@
+-- quicksort: list quicksort with explicit partition.
+
+qsort(nil) = nil;
+qsort(x : xs) = splice(qsort(below(x, xs)), x, qsort(above(x, xs)));
+
+splice(lo, x, hi) = ap(lo, x : hi);
+
+below(p, nil) = nil;
+below(p, x : xs) = if x < p then x : below(p, xs) else below(p, xs);
+
+above(p, nil) = nil;
+above(p, x : xs) = if x >= p then x : above(p, xs) else above(p, xs);
+
+ap(nil, ys) = ys;
+ap(x : xs, ys) = x : ap(xs, ys);
+
+len(nil) = 0;
+len(x : xs) = 1 + len(xs);
+
+-- A deterministic pseudo-random input list.
+rand(seed, 0) = nil;
+rand(seed, n) = next(seed) : rand(next(seed), n - 1);
+
+next(seed) = (seed * 137 + 71) / 8 - ((seed * 137 + 71) / 8 / 100) * 100;
+
+checksorted(nil) = true;
+checksorted(x : nil) = true;
+checksorted(x : (y : zs)) =
+    if x <= y then checksorted(y : zs) else false;
+
+main = pair(len(qsort(rand(7, 60))), checksorted(qsort(rand(7, 60))));

@@ -1,0 +1,50 @@
+-- strassen: 2x2 block Strassen matrix multiplication over
+-- quadtree-style matrices: mat(a, b, c, d) with scalar leaves.
+
+data matrix = mat(4);
+
+madd(mat(a1, b1, c1, d1), mat(a2, b2, c2, d2)) =
+    mat(sadd(a1, a2), sadd(b1, b2), sadd(c1, c2), sadd(d1, d2));
+
+msub(mat(a1, b1, c1, d1), mat(a2, b2, c2, d2)) =
+    mat(ssub(a1, a2), ssub(b1, b2), ssub(c1, c2), ssub(d1, d2));
+
+sadd(x, y) = x + y;
+ssub(x, y) = x - y;
+smul(x, y) = x * y;
+
+strassen(mat(a, b, c, d), mat(e, f, g, h)) =
+    combine(smul(sadd(a, d), sadd(e, h)),
+            smul(sadd(c, d), e),
+            smul(a, ssub(f, h)),
+            smul(d, ssub(g, e)),
+            smul(sadd(a, b), h),
+            smul(ssub(c, a), sadd(e, f)),
+            smul(ssub(b, d), sadd(g, h)));
+
+combine(m1, m2, m3, m4, m5, m6, m7) =
+    mat(m1 + m4 - m5 + m7,
+        m3 + m5,
+        m2 + m4,
+        m1 - m2 + m3 + m6);
+
+naive(mat(a, b, c, d), mat(e, f, g, h)) =
+    mat(a * e + b * g, a * f + b * h, c * e + d * g, c * f + d * h);
+
+equalmat(mat(a1, b1, c1, d1), mat(a2, b2, c2, d2)) =
+    if a1 == a2 then
+        if b1 == b2 then
+            if c1 == c2 then
+                if d1 == d2 then true else false
+            else false
+        else false
+    else false;
+
+trace(mat(a, b, c, d)) = a + d;
+
+powm(m, 0) = mat(1, 0, 0, 1);
+powm(m, n) = strassen(m, powm(m, n - 1));
+
+main = pair(equalmat(strassen(mat(1, 2, 3, 4), mat(5, 6, 7, 8)),
+                     naive(mat(1, 2, 3, 4), mat(5, 6, 7, 8))),
+            trace(powm(mat(1, 1, 1, 0), 10)));

@@ -1,0 +1,138 @@
+% cs -- cutting stock (reconstruction of the CS benchmark): cut ordered
+% pieces from stock rolls minimizing waste, by backtracking search over
+% cutting patterns with bounded waste.
+% Entry: cs_test(g, f).
+
+cs_test(Orders, Solution) :-
+    stock_length(StockLen),
+    cut_all(Orders, StockLen, [], Solution).
+
+cut_all([], _, Rolls, Rolls).
+cut_all(Orders, StockLen, Rolls, Solution) :-
+    Orders \== [],
+    best_pattern(Orders, StockLen, Pattern, Rest),
+    cut_all(Rest, StockLen, [Pattern|Rolls], Solution).
+
+% Find a pattern for one roll: a subset of orders fitting the stock,
+% preferring low waste.
+best_pattern(Orders, StockLen, pattern(Used, Waste), Rest) :-
+    waste_bound(Bound),
+    acceptable_waste(0, Bound, Waste),
+    pattern(Orders, StockLen, Used, Rest, Waste).
+
+acceptable_waste(W, Bound, W) :- W =< Bound.
+acceptable_waste(W, Bound, Waste) :-
+    W < Bound,
+    W1 is W + 1,
+    acceptable_waste(W1, Bound, Waste).
+
+pattern(Orders, Remaining, [Piece|Used], Rest, Waste) :-
+    select_order(Piece, Orders, Orders1),
+    Piece =< Remaining,
+    Remaining1 is Remaining - Piece,
+    pattern(Orders1, Remaining1, Used, Rest, Waste).
+pattern(Orders, Remaining, [], Orders, Remaining) :-
+    no_fit(Orders, Remaining).
+
+no_fit([], _).
+no_fit([Piece|Orders], Remaining) :-
+    Piece > Remaining,
+    no_fit(Orders, Remaining).
+no_fit([Piece|Orders], Remaining) :-
+    Piece =< Remaining,
+    % Allowed to stop early only when the waste bound admits it; the
+    % search above controls this via acceptable_waste.
+    no_fit(Orders, Remaining).
+
+select_order(X, [X|Xs], Xs).
+select_order(X, [Y|Ys], [Y|Zs]) :- select_order(X, Ys, Zs).
+
+% --- Evaluation of a finished cutting plan ---------------------------
+plan_waste([], 0).
+plan_waste([pattern(_, W)|Rolls], Waste) :-
+    plan_waste(Rolls, Waste1),
+    Waste is Waste1 + W.
+
+plan_rolls([], 0).
+plan_rolls([_|Rolls], N) :-
+    plan_rolls(Rolls, N1),
+    N is N1 + 1.
+
+plan_pieces([], 0).
+plan_pieces([pattern(Used, _)|Rolls], N) :-
+    count_pieces(Used, N1),
+    plan_pieces(Rolls, N2),
+    N is N1 + N2.
+
+count_pieces([], 0).
+count_pieces([_|Ps], N) :-
+    count_pieces(Ps, N1),
+    N is N1 + 1.
+
+better_plan(PlanA, PlanB, PlanA) :-
+    plan_waste(PlanA, WA),
+    plan_waste(PlanB, WB),
+    WA =< WB.
+better_plan(PlanA, PlanB, PlanB) :-
+    plan_waste(PlanA, WA),
+    plan_waste(PlanB, WB),
+    WA > WB.
+
+% --- Demand expansion: orders arrive as length-count pairs ----------
+expand_orders([], []).
+expand_orders([order(Len, Count)|Orders], Pieces) :-
+    replicate(Count, Len, Front),
+    expand_orders(Orders, Back),
+    append_list(Front, Back, Pieces).
+
+replicate(0, _, []).
+replicate(N, X, [X|Xs]) :-
+    N > 0,
+    N1 is N - 1,
+    replicate(N1, X, Xs).
+
+append_list([], Ys, Ys).
+append_list([X|Xs], Ys, [X|Zs]) :- append_list(Xs, Ys, Zs).
+
+% Sort orders descending (first-fit-decreasing heuristic).
+sort_desc([], []).
+sort_desc([X|Xs], Sorted) :-
+    sort_desc(Xs, Sorted1),
+    insert_desc(X, Sorted1, Sorted).
+
+insert_desc(X, [], [X]).
+insert_desc(X, [Y|Ys], [X,Y|Ys]) :- X >= Y.
+insert_desc(X, [Y|Ys], [Y|Zs]) :- X < Y, insert_desc(X, Ys, Zs).
+
+% --- Feasibility checks ----------------------------------------------
+feasible([], _).
+feasible([order(Len, _)|Orders], StockLen) :-
+    Len =< StockLen,
+    feasible(Orders, StockLen).
+
+total_demand([], 0).
+total_demand([order(Len, Count)|Orders], Total) :-
+    total_demand(Orders, T1),
+    Total is T1 + Len * Count.
+
+lower_bound(Orders, StockLen, Bound) :-
+    total_demand(Orders, Total),
+    Bound is (Total + StockLen - 1) // StockLen.
+
+% --- Problem instances -------------------------------------------------
+stock_length(10).
+waste_bound(2).
+
+instance(small, [order(7, 1), order(5, 2), order(3, 3), order(2, 2)]).
+instance(medium, [order(8, 2), order(6, 2), order(4, 3), order(3, 4), order(2, 5)]).
+instance(tight, [order(9, 1), order(7, 2), order(5, 2), order(1, 3)]).
+
+solve_instance(Name, Solution) :-
+    instance(Name, Orders),
+    stock_length(StockLen),
+    feasible(Orders, StockLen),
+    expand_orders(Orders, Pieces),
+    sort_desc(Pieces, SortedPieces),
+    cs_test(SortedPieces, Solution).
+
+main(S) :- solve_instance(small, S).

@@ -1,0 +1,128 @@
+% disj -- disjunctive scheduling (reconstruction of the DISJ benchmark):
+% schedule tasks on shared machines where every pair of tasks on the
+% same machine must be ordered one way or the other — the disjunction
+% that gives the benchmark its name.
+% Entry: schedule_test(g, f).
+
+schedule_test(Horizon, Schedule) :-
+    tasks(Tasks),
+    precedences(Precs),
+    machines(Machines),
+    assign_starts(Tasks, Horizon, Schedule),
+    respects_precedences(Precs, Schedule),
+    respects_machines(Machines, Schedule).
+
+% Assign a start time to each task within the horizon.
+assign_starts([], _, []).
+assign_starts([task(Name, Dur)|Tasks], Horizon, [start(Name, S, Dur)|Schedule]) :-
+    Latest is Horizon - Dur,
+    choose_time(0, Latest, S),
+    assign_starts(Tasks, Horizon, Schedule).
+
+choose_time(T, Latest, T) :- T =< Latest.
+choose_time(T, Latest, S) :-
+    T < Latest,
+    T1 is T + 1,
+    choose_time(T1, Latest, S).
+
+% Precedence constraints: A finishes before B starts.
+respects_precedences([], _).
+respects_precedences([before(A, B)|Precs], Schedule) :-
+    lookup_start(A, Schedule, SA, DA),
+    lookup_start(B, Schedule, SB, _),
+    EndA is SA + DA,
+    EndA =< SB,
+    respects_precedences(Precs, Schedule).
+
+% Disjunctive machine constraints: tasks sharing a machine must not
+% overlap — either A before B or B before A.
+respects_machines([], _).
+respects_machines([machine(_, Ts)|Machines], Schedule) :-
+    pairwise_disjoint(Ts, Schedule),
+    respects_machines(Machines, Schedule).
+
+pairwise_disjoint([], _).
+pairwise_disjoint([T|Ts], Schedule) :-
+    disjoint_with_all(T, Ts, Schedule),
+    pairwise_disjoint(Ts, Schedule).
+
+disjoint_with_all(_, [], _).
+disjoint_with_all(A, [B|Bs], Schedule) :-
+    disjoint_pair(A, B, Schedule),
+    disjoint_with_all(A, Bs, Schedule).
+
+disjoint_pair(A, B, Schedule) :-
+    lookup_start(A, Schedule, SA, DA),
+    lookup_start(B, Schedule, SB, DB),
+    ( EndA is SA + DA, EndA =< SB
+    ; EndB is SB + DB, EndB =< SA
+    ).
+
+lookup_start(Name, [start(Name, S, D)|_], S, D).
+lookup_start(Name, [start(Other, _, _)|Schedule], S, D) :-
+    Name \== Other,
+    lookup_start(Name, Schedule, S, D).
+
+% Makespan of a schedule.
+makespan([], 0).
+makespan([start(_, S, D)|Schedule], M) :-
+    makespan(Schedule, M1),
+    End is S + D,
+    max_of(End, M1, M).
+
+max_of(A, B, A) :- A >= B.
+max_of(A, B, B) :- A < B.
+
+% Optimal search: find any schedule within Horizon, then try to shrink.
+optimize(Horizon, Best) :-
+    schedule_test(Horizon, Schedule),
+    makespan(Schedule, M),
+    try_improve(M, Schedule, Best).
+
+try_improve(M, _, Best) :-
+    M > 0,
+    M1 is M - 1,
+    optimize(M1, Best).
+try_improve(M, Schedule, span(M, Schedule)) :-
+    M1 is M - 1,
+    \+ optimize_possible(M1).
+
+optimize_possible(Horizon) :-
+    Horizon > 0,
+    schedule_test(Horizon, _).
+
+% Slack analysis used by the original to prune: earliest/latest starts.
+earliest_start(Name, Precs, E) :-
+    incoming(Name, Precs, Preds),
+    earliest_from(Preds, Precs, E).
+
+earliest_from([], _, 0).
+earliest_from([P|Ps], Precs, E) :-
+    task_duration(P, D),
+    earliest_start(P, Precs, EP),
+    earliest_from(Ps, Precs, E1),
+    Sum is EP + D,
+    max_of(Sum, E1, E).
+
+incoming(_, [], []).
+incoming(Name, [before(A, Name)|Precs], [A|Preds]) :-
+    incoming(Name, Precs, Preds).
+incoming(Name, [before(_, Other)|Precs], Preds) :-
+    Name \== Other,
+    incoming(Name, Precs, Preds).
+
+task_duration(Name, D) :-
+    tasks(Tasks),
+    member_task(task(Name, D), Tasks).
+
+member_task(T, [T|_]).
+member_task(T, [_|Ts]) :- member_task(T, Ts).
+
+% --- Problem instance ----------------------------------------------------
+tasks([task(a, 2), task(b, 3), task(c, 2), task(d, 1), task(e, 2)]).
+
+precedences([before(a, c), before(b, d), before(c, e)]).
+
+machines([machine(m1, [a, b]), machine(m2, [c, d]), machine(m3, [e])]).
+
+main(S) :- schedule_test(8, S).

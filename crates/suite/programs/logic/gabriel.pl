@@ -1,0 +1,69 @@
+% gabriel -- the "browse" kernel from the Gabriel benchmark suite
+% (reconstruction): pattern matching over property-list databases.
+% Entry: browse_test(f).
+
+browse_test(Count) :-
+    init_database(Db),
+    patterns(Patterns),
+    investigate(Db, Patterns, 0, Count).
+
+investigate([], _, Count, Count).
+investigate([Unit|Units], Patterns, Acc, Count) :-
+    properties(Unit, Props),
+    try_patterns(Props, Patterns, Acc, Acc1),
+    investigate(Units, Patterns, Acc1, Count).
+
+try_patterns(_, [], Count, Count).
+try_patterns(Props, [Pat|Pats], Acc, Count) :-
+    ( match_props(Props, Pat) -> Acc1 is Acc + 1 ; Acc1 = Acc ),
+    try_patterns(Props, Pats, Acc1, Count).
+
+match_props([], []).
+match_props([P|Ps], [Q|Qs]) :-
+    match_one(P, Q),
+    match_props(Ps, Qs).
+
+match_one(prop(K, V), prop(K, Pat)) :- match_term(V, Pat).
+
+match_term(_, star).
+match_term(X, X1) :- atomic(X), X = X1.
+match_term([], []).
+match_term([X|Xs], [P|Ps]) :-
+    match_term(X, P),
+    match_term(Xs, Ps).
+match_term(f(X, Y), f(P, Q)) :-
+    match_term(X, P),
+    match_term(Y, Q).
+
+properties(unit(_, Props), Props).
+
+init_database([
+    unit(u1, [prop(kind, [a, b, star_item]), prop(size, f(1, 2))]),
+    unit(u2, [prop(kind, [a, c, d]), prop(size, f(2, 2))]),
+    unit(u3, [prop(kind, [b, b, e]), prop(size, f(3, 1))]),
+    unit(u4, [prop(kind, [c, a, a]), prop(size, f(1, 1))]),
+    unit(u5, [prop(kind, [d, e, b]), prop(size, f(2, 3))]),
+    unit(u6, [prop(kind, [e, a, c]), prop(size, f(3, 3))]),
+    unit(u7, [prop(kind, [a, a, a]), prop(size, f(2, 1))]),
+    unit(u8, [prop(kind, [b, c, d]), prop(size, f(1, 3))])
+]).
+
+patterns([
+    [prop(kind, [a, star, star]), prop(size, f(star, 2))],
+    [prop(kind, [star, b, star]), prop(size, star)],
+    [prop(kind, [a, a, a]), prop(size, f(2, star))],
+    [prop(kind, star), prop(size, f(1, star))],
+    [prop(kind, [star, star, d]), prop(size, f(star, star))]
+]).
+
+% A little list library, as the original carries its own.
+app([], Ys, Ys).
+app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+
+len([], 0).
+len([_|Xs], N) :- len(Xs, N0), N is N0 + 1.
+
+rev([], []).
+rev([X|Xs], Ys) :- rev(Xs, Zs), app(Zs, [X], Ys).
+
+main(C) :- browse_test(C).

@@ -1,0 +1,193 @@
+% kalah -- the kalah game player from Sterling & Shapiro's
+% "The Art of Prolog" (reconstruction): alpha-beta game-tree search
+% over the sowing game of kalah.
+% Entry: play_test(f).
+
+play_test(FinalScore) :-
+    initialize(kalah, Position, computer),
+    play_from(Position, computer, FinalScore).
+
+play_from(Position, Player, Score) :-
+    game_over(Position, Player, Score).
+play_from(Position, Player, Score) :-
+    \+ game_over(Position, Player, _),
+    choose_move(Position, Player, Move),
+    move(Move, Position, Position1),
+    next_player(Player, Player1),
+    play_from(Position1, Player1, Score).
+
+choose_move(Position, computer, Move) :-
+    lookahead(Depth),
+    alpha_beta(Depth, Position, -40, 40, Move, _).
+choose_move(Position, opponent, Move) :-
+    first_legal(Position, Move).
+
+first_legal(Position, [Move|Rest]) :-
+    legal_single(Position, Move),
+    extend_move(Move, Position, Rest).
+
+extend_move(Move, Position, []) :-
+    \+ lands_in_kalah(Move, Position).
+extend_move(Move, Position, Rest) :-
+    lands_in_kalah(Move, Position),
+    move_stones(Move, Position, Position1),
+    first_legal_or_stop(Position1, Rest).
+
+first_legal_or_stop(Position, Moves) :- first_legal(Position, Moves).
+first_legal_or_stop(_, []).
+
+lands_in_kalah(M, board(Holes, _, _, _)) :-
+    nth_hole(M, Holes, Stones),
+    Fly is M + Stones,
+    Fly =:= 7.
+
+legal_single(board(Holes, _, _, _), M) :-
+    between_hole(1, 6, M),
+    nth_hole(M, Holes, Stones),
+    Stones > 0.
+
+alpha_beta(0, Position, _, _, [], Value) :-
+    value(Position, Value).
+alpha_beta(D, Position, Alpha, Beta, Move, Value) :-
+    D > 0,
+    all_moves(Position, Moves),
+    Alpha1 is -Beta,
+    Beta1 is -Alpha,
+    D1 is D - 1,
+    evaluate_and_choose(Moves, Position, D1, Alpha1, Beta1, nil, (Move, Value)).
+
+evaluate_and_choose([Move|Moves], Position, D, Alpha, Beta, Record, BestMove) :-
+    move(Move, Position, Position1),
+    swap_sides(Position1, Position2),
+    alpha_beta(D, Position2, Alpha, Beta, _, MinusValue),
+    Value is -MinusValue,
+    cutoff(Move, Value, D, Alpha, Beta, Moves, Position, Record, BestMove).
+evaluate_and_choose([], _, _, Alpha, _, Move, (Move, Alpha)).
+
+cutoff(Move, Value, _, _, Beta, _, _, _, (Move, Value)) :-
+    Value >= Beta.
+cutoff(Move, Value, D, Alpha, Beta, Moves, Position, _, BestMove) :-
+    Alpha < Value, Value < Beta,
+    evaluate_and_choose(Moves, Position, D, Value, Beta, Move, BestMove).
+cutoff(_, Value, D, Alpha, Beta, Moves, Position, Record, BestMove) :-
+    Value =< Alpha,
+    evaluate_and_choose(Moves, Position, D, Alpha, Beta, Record, BestMove).
+
+all_moves(Position, [[M]|Ms]) :-
+    legal_single(Position, M),
+    collect_rest(Position, M, Ms).
+
+collect_rest(Position, M, Ms) :-
+    M1 is M + 1,
+    collect_from(Position, M1, Ms).
+
+collect_from(_, M, []) :- M > 6.
+collect_from(Position, M, [[M]|Ms]) :-
+    M =< 6,
+    legal_single(Position, M),
+    M1 is M + 1,
+    collect_from(Position, M1, Ms).
+collect_from(Position, M, Ms) :-
+    M =< 6,
+    \+ legal_single(Position, M),
+    M1 is M + 1,
+    collect_from(Position, M1, Ms).
+
+move([M|Ms], Position, Position1) :-
+    move_stones(M, Position, PositionMid),
+    move_rest(Ms, PositionMid, Position1).
+move([], Position, Position).
+
+move_rest([], Position, Position).
+move_rest([M|Ms], Position, Position1) :-
+    move_stones(M, Position, PositionMid),
+    move_rest(Ms, PositionMid, Position1).
+
+move_stones(M, board(Hs, K, Ys, L), board(Hs2, K2, Ys2, L)) :-
+    nth_hole(M, Hs, Stones),
+    Stones > 0,
+    set_hole(M, Hs, 0, Hs1),
+    M1 is M + 1,
+    sow(M1, Stones, Hs1, K, Ys, Hs2, K2, Ys2).
+
+sow(_, 0, Hs, K, Ys, Hs, K, Ys).
+sow(Pos, Stones, Hs, K, Ys, Hs2, K2, Ys2) :-
+    Stones > 0,
+    Pos =< 6,
+    nth_hole(Pos, Hs, Old),
+    New is Old + 1,
+    set_hole(Pos, Hs, New, Hs1),
+    Pos1 is Pos + 1,
+    Stones1 is Stones - 1,
+    sow(Pos1, Stones1, Hs1, K, Ys, Hs2, K2, Ys2).
+sow(7, Stones, Hs, K, Ys, Hs2, K2, Ys2) :-
+    Stones > 0,
+    K1 is K + 1,
+    Stones1 is Stones - 1,
+    sow(8, Stones1, Hs, K1, Ys, Hs2, K2, Ys2).
+sow(Pos, Stones, Hs, K, Ys, Hs2, K2, Ys2) :-
+    Stones > 0,
+    Pos > 7,
+    Pos =< 13,
+    Opp is Pos - 7,
+    nth_hole(Opp, Ys, Old),
+    New is Old + 1,
+    set_hole(Opp, Ys, New, Ys1),
+    Pos1 is Pos + 1,
+    Stones1 is Stones - 1,
+    sow(Pos1, Stones1, Hs, K, Ys1, Hs2, K2, Ys2).
+sow(Pos, Stones, Hs, K, Ys, Hs2, K2, Ys2) :-
+    Pos > 13,
+    sow(1, Stones, Hs, K, Ys, Hs2, K2, Ys2).
+
+swap_sides(board(Hs, K, Ys, L), board(Ys, L, Hs, K)).
+
+value(board(_, K, _, L), Value) :- Value is K - L.
+
+game_over(board(Hs, K, Ys, L), _, Score) :-
+    all_empty(Hs),
+    sum_holes(Ys, S),
+    Score is K - (L + S).
+game_over(board(Hs, K, Ys, L), _, Score) :-
+    all_empty(Ys),
+    sum_holes(Hs, S),
+    Score is K + S - L.
+game_over(board(_, K, _, L), _, Score) :-
+    K > 18,
+    Score is K - L.
+game_over(board(_, K, _, L), _, Score) :-
+    L > 18,
+    Score is K - L.
+
+all_empty([]).
+all_empty([0|Hs]) :- all_empty(Hs).
+
+sum_holes([], 0).
+sum_holes([H|Hs], S) :- sum_holes(Hs, S0), S is S0 + H.
+
+nth_hole(1, [H|_], H).
+nth_hole(N, [_|Hs], H) :-
+    N > 1,
+    N1 is N - 1,
+    nth_hole(N1, Hs, H).
+
+set_hole(1, [_|Hs], X, [X|Hs]).
+set_hole(N, [H|Hs], X, [H|Hs1]) :-
+    N > 1,
+    N1 is N - 1,
+    set_hole(N1, Hs, X, Hs1).
+
+between_hole(L, _, L).
+between_hole(L, H, X) :-
+    L < H,
+    L1 is L + 1,
+    between_hole(L1, H, X).
+
+next_player(computer, opponent).
+next_player(opponent, computer).
+
+lookahead(2).
+
+initialize(kalah, board([3,3,3,3,3,3], 0, [3,3,3,3,3,3], 0), computer).
+
+main(S) :- play_test(S).

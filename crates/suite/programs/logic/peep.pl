@@ -1,0 +1,180 @@
+% peep -- a PDP-11 style peephole optimizer (reconstruction of the
+% SB-Prolog benchmark): rewrite rules over instruction sequences,
+% driven by a pattern table.
+% Entry: peep_test(g, f).
+
+peep_test(Code, Optimized) :-
+    peephole(Code, Optimized).
+
+peephole(Code, Optimized) :-
+    opt_pass(Code, Code1, Changed),
+    continue_opt(Changed, Code1, Optimized).
+
+continue_opt(no, Code, Code).
+continue_opt(yes, Code, Optimized) :- peephole(Code, Optimized).
+
+opt_pass([], [], no).
+opt_pass(Code, Optimized, yes) :-
+    opt_rule(Code, Code1),
+    opt_pass(Code1, Optimized, _).
+opt_pass([Instr|Code], [Instr|Optimized], Changed) :-
+    \+ opt_rule([Instr|Code], _),
+    opt_pass(Code, Optimized, Changed).
+
+% --- Redundant move elimination -------------------------------------
+opt_rule([move(R, R)|Rest], Rest).
+opt_rule([move(A, B), move(B, A)|Rest], [move(A, B)|Rest]).
+opt_rule([move(A, B), move(A, B)|Rest], [move(A, B)|Rest]).
+opt_rule([store(R, M), load(M, R)|Rest], [store(R, M)|Rest]).
+opt_rule([load(M, R), store(R, M)|Rest], [load(M, R)|Rest]).
+
+% --- Strength reduction ---------------------------------------------
+opt_rule([mul(R, 2)|Rest], [asl(R, 1)|Rest]).
+opt_rule([mul(R, 4)|Rest], [asl(R, 2)|Rest]).
+opt_rule([mul(R, 8)|Rest], [asl(R, 3)|Rest]).
+opt_rule([div(R, 2)|Rest], [asr(R, 1)|Rest]).
+opt_rule([div(R, 4)|Rest], [asr(R, 2)|Rest]).
+opt_rule([add(R, 0)|Rest], Rest).
+opt_rule([sub(R, 0)|Rest], Rest).
+opt_rule([mul(R, 1)|Rest], Rest).
+opt_rule([div(R, 1)|Rest], Rest).
+opt_rule([add(R, 1)|Rest], [inc(R)|Rest]).
+opt_rule([sub(R, 1)|Rest], [dec(R)|Rest]).
+opt_rule([mul(_, 0)|Rest], [clr(acc)|Rest]).
+
+% --- Constant folding through the accumulator -----------------------
+opt_rule([loadi(A), loadi(_)|Rest], [loadi(A)|Rest]) :- useless_first(Rest).
+opt_rule([loadi(A), addi(B)|Rest], [loadi(C)|Rest]) :- C is A + B.
+opt_rule([loadi(A), subi(B)|Rest], [loadi(C)|Rest]) :- C is A - B.
+opt_rule([loadi(A), muli(B)|Rest], [loadi(C)|Rest]) :- C is A * B.
+opt_rule([addi(0)|Rest], Rest).
+opt_rule([subi(0)|Rest], Rest).
+opt_rule([muli(1)|Rest], Rest).
+opt_rule([clr(R), inc(R)|Rest], [loadi_r(R, 1)|Rest]).
+opt_rule([inc(R), dec(R)|Rest], Rest).
+opt_rule([dec(R), inc(R)|Rest], Rest).
+
+% --- Jump simplification --------------------------------------------
+opt_rule([jmp(L), label(L)|Rest], [label(L)|Rest]).
+opt_rule([jz(L), label(L)|Rest], [label(L)|Rest]).
+opt_rule([jnz(L), label(L)|Rest], [label(L)|Rest]).
+opt_rule([jmp(L1), jmp(_)|Rest], [jmp(L1)|Rest]).
+opt_rule([cmp(A, A), jnz(_)|Rest], Rest).
+opt_rule([cmp(A, A), jz(L)|Rest], [jmp(L)|Rest]).
+opt_rule([test(R), test(R)|Rest], [test(R)|Rest]).
+opt_rule([push(R), pop(R)|Rest], Rest).
+opt_rule([pop(R), push(R)|Rest], Rest).
+opt_rule([neg(R), neg(R)|Rest], Rest).
+opt_rule([com(R), com(R)|Rest], Rest).
+opt_rule([swap(A, B), swap(A, B)|Rest], Rest).
+
+useless_first([]).
+useless_first([store(_, _)|_]).
+useless_first([move(_, _)|_]).
+
+% --- Addressing-mode simplification ----------------------------------
+opt_rule([lea(R, addr(B, 0))|Rest], [move(B, R)|Rest]).
+opt_rule([lea(R, addr(B, D)), load_ind(R, T)|Rest], [load_disp(B, D, T)|Rest]).
+opt_rule([load_disp(B, 0, T)|Rest], [load_ind2(B, T)|Rest]).
+opt_rule([move(A, B), use_ind(B)|Rest], [use_ind(A), move(A, B)|Rest]).
+opt_rule([index(R, 1)|Rest], [move(R, R1)|Rest]) :- scratch(R1).
+opt_rule([index(R, 0)|Rest], [clr(R1)|Rest]) :- scratch(R1).
+
+scratch(t0).
+
+% --- Condition-code tracking ------------------------------------------
+opt_rule([cmp(A, B), cmp(A, B)|Rest], [cmp(A, B)|Rest]).
+opt_rule([test(R), cmp(R, 0)|Rest], [test(R)|Rest]).
+opt_rule([sub(R, K), test(R)|Rest], [sub(R, K)|Rest]) :- sets_cc(sub(R, K)).
+opt_rule([add(R, K), test(R)|Rest], [add(R, K)|Rest]) :- sets_cc(add(R, K)).
+
+sets_cc(sub(_, _)).
+sets_cc(add(_, _)).
+sets_cc(inc(_)).
+sets_cc(dec(_)).
+sets_cc(neg(_)).
+sets_cc(com(_)).
+sets_cc(test(_)).
+sets_cc(cmp(_, _)).
+
+% --- Branch chaining: a conditional jump over an unconditional one ----
+opt_rule([jz(L1), jmp(L2), label(L1)|Rest], [jnz(L2), label(L1)|Rest]).
+opt_rule([jnz(L1), jmp(L2), label(L1)|Rest], [jz(L2), label(L1)|Rest]).
+opt_rule([jlt(L1), jmp(L2), label(L1)|Rest], [jge(L2), label(L1)|Rest]).
+opt_rule([jge(L1), jmp(L2), label(L1)|Rest], [jlt(L2), label(L1)|Rest]).
+
+negate_branch(jz(L), jnz(L)).
+negate_branch(jnz(L), jz(L)).
+negate_branch(jlt(L), jge(L)).
+negate_branch(jge(L), jlt(L)).
+negate_branch(jgt(L), jle(L)).
+negate_branch(jle(L), jgt(L)).
+
+% --- Flow analysis helpers used by larger rules ---------------------
+reaches_label([label(L)|_], L).
+reaches_label([I|Rest], L) :-
+    \+ is_label(I, L),
+    reaches_label(Rest, L).
+
+is_label(label(L), L).
+
+dead_after_jump([jmp(_)|Rest], Dead) :- collect_dead(Rest, Dead).
+
+collect_dead([], []).
+collect_dead([label(L)|_], [stop(L)]).
+collect_dead([I|Rest], [I|Dead]) :-
+    \+ is_label(I, _),
+    collect_dead(Rest, Dead).
+
+% --- Register usage bookkeeping -------------------------------------
+uses(move(A, _), A).
+uses(add(R, _), R).
+uses(sub(R, _), R).
+uses(mul(R, _), R).
+uses(div(R, _), R).
+uses(inc(R), R).
+uses(dec(R), R).
+uses(test(R), R).
+uses(push(R), R).
+uses(neg(R), R).
+uses(com(R), R).
+uses(store(R, _), R).
+uses(cmp(A, _), A).
+uses(cmp(_, B), B).
+
+defines(move(_, B), B).
+defines(load(_, R), R).
+defines(loadi_r(R, _), R).
+defines(pop(R), R).
+defines(clr(R), R).
+defines(inc(R), R).
+defines(dec(R), R).
+defines(neg(R), R).
+defines(com(R), R).
+
+dead_store([store(R, M)|Rest], M) :-
+    \+ referenced(Rest, M),
+    uses(store(R, M), R).
+
+referenced([load(M, _)|_], M).
+referenced([I|Rest], M) :-
+    \+ loads_from(I, M),
+    referenced(Rest, M).
+
+loads_from(load(M, _), M).
+
+% --- Test inputs ------------------------------------------------------
+sample(1, [move(r1, r1), loadi(3), addi(4), store(acc, x),
+           load(x, acc), mul(r2, 2), jmp(l1), label(l1), halt]).
+sample(2, [push(r1), pop(r1), add(r3, 0), cmp(r2, r2), jz(l2),
+           mul(r4, 8), label(l2), sub(r5, 1), inc(r5), dec(r5), halt]).
+sample(3, [loadi(5), muli(1), subi(0), clr(r1), inc(r1),
+           neg(r2), neg(r2), swap(a, b), swap(a, b), halt]).
+sample(4, [move(r1, r2), move(r2, r1), store(r3, m1), load(m1, r3),
+           jmp(l3), move(r9, r9), label(l3), div(r7, 4), halt]).
+sample(5, [jz(l4), jmp(l5), label(l4), test(r1), cmp(r1, 0),
+           sub(r2, 3), test(r2), halt]).
+sample(6, [lea(r1, addr(r2, 0)), index(r3, 1), cmp(r4, r4),
+           jz(l6), label(l6), push(r5), pop(r5), halt]).
+
+main(O) :- sample(1, C), peep_test(C, O).

@@ -1,0 +1,34 @@
+% pg -- W. Older's puzzle (reconstruction): place numbers into bins
+% subject to sum constraints, searched with backtracking.
+% Entry: pg_test(f).
+
+pg_test(Solution) :-
+    problem(Items, Bins, Limit),
+    distribute(Items, Bins, Limit, Solution).
+
+distribute([], Bins, _, Bins).
+distribute([Item|Items], Bins, Limit, Solution) :-
+    place(Item, Bins, Limit, Bins1),
+    distribute(Items, Bins1, Limit, Solution).
+
+place(Item, [bin(Load, Contents)|Bins], Limit, [bin(Load1, [Item|Contents])|Bins]) :-
+    Load1 is Load + Item,
+    Load1 =< Limit.
+place(Item, [Bin|Bins], Limit, [Bin|Bins1]) :-
+    place(Item, Bins, Limit, Bins1).
+
+problem([9, 7, 6, 5, 4, 3], Bins, 12) :-
+    empty_bins(3, Bins).
+
+empty_bins(0, []).
+empty_bins(N, [bin(0, [])|Bins]) :-
+    N > 0,
+    N1 is N - 1,
+    empty_bins(N1, Bins).
+
+check_bins([], _).
+check_bins([bin(Load, _)|Bins], Limit) :-
+    Load =< Limit,
+    check_bins(Bins, Limit).
+
+main(S) :- pg_test(S).

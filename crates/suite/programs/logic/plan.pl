@@ -1,0 +1,69 @@
+% plan -- Warren's blocks-world planner (reconstruction).
+% Depth-first means-ends planner over a three-block world.
+% Entry: plan_test(g, f).
+
+plan_test(Name, Plan) :-
+    initial_state(Name, Init),
+    goal_state(Name, Goal),
+    plan(Init, Goal, [], Plan).
+
+plan(State, Goal, _, []) :-
+    satisfied(State, Goal).
+plan(State, Goal, Sofar, [Action|Plan]) :-
+    short_history(Sofar),
+    legal_action(Action, State),
+    apply_action(Action, State, NewState),
+    \+ member_state(NewState, Sofar),
+    plan(NewState, Goal, [State|Sofar], Plan).
+
+% Depth bound: the classic benchmark searches with a plan-length cap
+% (iterative deepening in the original); four moves suffice here.
+short_history([]).
+short_history([_]).
+short_history([_, _]).
+short_history([_, _, _]).
+
+satisfied(_, []).
+satisfied(State, [Cond|Conds]) :-
+    member_fact(Cond, State),
+    satisfied(State, Conds).
+
+legal_action(move(Block, From, To), State) :-
+    member_fact(clear(Block), State),
+    member_fact(on(Block, From), State),
+    member_fact(clear(To), State),
+    Block \== To,
+    From \== To.
+
+apply_action(move(Block, From, To), State, NewState) :-
+    substitute(on(Block, From), on(Block, To), State, S1),
+    substitute(clear(To), clear(From), S1, NewState).
+
+substitute(Old, New, [Old|Rest], [New|Rest]).
+substitute(Old, New, [X|Rest], [X|Rest1]) :-
+    X \== Old,
+    substitute(Old, New, Rest, Rest1).
+
+member_fact(X, [X|_]).
+member_fact(X, [_|Ys]) :- member_fact(X, Ys).
+
+member_state(S, [S1|_]) :- same_state(S, S1).
+member_state(S, [_|Ss]) :- member_state(S, Ss).
+
+same_state([], []).
+same_state([F|Fs], S) :-
+    member_fact(F, S),
+    same_state(Fs, S).
+
+initial_state(sussman, [on(c, a), on(a, table), on(b, table),
+                        clear(c), clear(b), clear(table)]).
+initial_state(simple, [on(a, table), on(b, table), on(c, table),
+                       clear(a), clear(b), clear(c), clear(table)]).
+initial_state(tower, [on(a, b), on(b, c), on(c, table),
+                      clear(a), clear(table)]).
+
+goal_state(sussman, [on(a, b), on(b, c)]).
+goal_state(simple, [on(a, b)]).
+goal_state(tower, [on(c, b), on(b, a)]).
+
+main(Plan) :- plan_test(sussman, Plan).

@@ -1,0 +1,278 @@
+% press2 -- PRESS kernel, second variant: identical rule base to
+% press1 but with the polynomial method attempted before isolation,
+% as in the original benchmark pair.
+% Entry: solve_test(g, f).
+
+solve_test(Eq, Answer) :-
+    solve_equation(Eq, x, Answer).
+
+% --- Top level: method selection (polynomial first) -------------------
+solve_equation(Lhs = Rhs, X, Solution) :-
+    is_polynomial(Lhs, X),
+    is_polynomial(Rhs, X),
+    polynomial_normal_form(Lhs - Rhs, X, PolyForm),
+    solve_polynomial_equation(PolyForm, X, Solution).
+solve_equation(A = B, X, Solution) :-
+    single_occurrence(X, A = B),
+    position(X, A = B, [Side|Position]),
+    maneuver_sides(Side, A = B, Equation1),
+    isolate(Position, Equation1, Solution).
+solve_equation(Equation, X, Solution) :-
+    offenders(Equation, X, Offenders),
+    multiple(Offenders),
+    homogenize(Equation, X, Offenders, Equation1, X1),
+    solve_equation(Equation1, X1, Solution1),
+    solve_equation(Solution1, X, Solution).
+
+maneuver_sides(1, Lhs = Rhs, Lhs = Rhs).
+maneuver_sides(2, Lhs = Rhs, Rhs = Lhs).
+
+% --- Isolation ---------------------------------------------------------
+isolate([], Equation, Equation).
+isolate([N|Position], Equation, IsolatedEquation) :-
+    isolax(N, Equation, Equation1),
+    isolate(Position, Equation1, IsolatedEquation).
+
+isolax(1, Term + A = B, Term = B - A).
+isolax(2, A + Term = B, Term = B - A).
+isolax(1, Term - A = B, Term = B + A).
+isolax(2, A - Term = B, Term = A - B).
+isolax(1, Term * A = B, Term = B / A) :- nonzero(A).
+isolax(2, A * Term = B, Term = B / A) :- nonzero(A).
+isolax(1, Term / A = B, Term = B * A) :- nonzero(A).
+isolax(2, A / Term = B, Term = A / B) :- nonzero(B).
+isolax(1, Term ^ N = B, Term = B ^ Inv) :- inverse_exp(N, Inv).
+isolax(1, sin(Term) = B, Term = arcsin(B)).
+isolax(1, cos(Term) = B, Term = arccos(B)).
+isolax(1, exp(Term) = B, Term = log(B)).
+isolax(1, log(Term) = B, Term = exp(B)).
+isolax(1, -(Term) = B, Term = -(B)).
+
+inverse_exp(2, half).
+inverse_exp(3, third).
+
+nonzero(A) :- A \== 0.
+
+% --- Position finding --------------------------------------------------
+single_occurrence(Subterm, Term) :-
+    occurrences(Subterm, Term, 1).
+
+position(Term, Term, []).
+position(Subterm, Term, Path) :-
+    Term \== Subterm,
+    functor_args(Term, Args),
+    position_args(Subterm, Args, 1, Path).
+
+position_args(Subterm, [Arg|_], N, [N|Path]) :-
+    position(Subterm, Arg, Path).
+position_args(Subterm, [Arg|Args], N, Path) :-
+    \+ position(Subterm, Arg, _),
+    N1 is N + 1,
+    position_args(Subterm, Args, N1, Path).
+
+occurrences(Subterm, Subterm, 1).
+occurrences(Subterm, Term, N) :-
+    Term \== Subterm,
+    functor_args(Term, Args),
+    occurrences_list(Subterm, Args, N).
+occurrences(Subterm, Term, 0) :-
+    Term \== Subterm,
+    atomic(Term).
+
+occurrences_list(_, [], 0).
+occurrences_list(Subterm, [Arg|Args], N) :-
+    occurrences(Subterm, Arg, N1),
+    occurrences_list(Subterm, Args, N2),
+    N is N1 + N2.
+
+functor_args(A + B, [A, B]).
+functor_args(A - B, [A, B]).
+functor_args(A * B, [A, B]).
+functor_args(A / B, [A, B]).
+functor_args(A ^ B, [A, B]).
+functor_args(A = B, [A, B]).
+functor_args(-(A), [A]).
+functor_args(sin(A), [A]).
+functor_args(cos(A), [A]).
+functor_args(exp(A), [A]).
+functor_args(log(A), [A]).
+
+% --- Polynomial methods -------------------------------------------------
+is_polynomial(X, X).
+is_polynomial(Term, _) :- number_term(Term).
+is_polynomial(A + B, X) :- is_polynomial(A, X), is_polynomial(B, X).
+is_polynomial(A - B, X) :- is_polynomial(A, X), is_polynomial(B, X).
+is_polynomial(A * B, X) :- is_polynomial(A, X), is_polynomial(B, X).
+is_polynomial(A / B, X) :- is_polynomial(A, X), number_term(B).
+is_polynomial(A ^ N, X) :- is_polynomial(A, X), integer(N).
+
+number_term(T) :- integer(T).
+
+polynomial_normal_form(Polynomial, X, NormalForm) :-
+    polynomial_form(Polynomial, X, PolyForm),
+    remove_zero_terms(PolyForm, NormalForm).
+
+polynomial_form(X, X, [(1, 1)]).
+polynomial_form(X ^ N, X, [(1, N)]).
+polynomial_form(A + B, X, Poly) :-
+    polynomial_form(A, X, PolyA),
+    polynomial_form(B, X, PolyB),
+    add_polynomials(PolyA, PolyB, Poly).
+polynomial_form(A - B, X, Poly) :-
+    polynomial_form(A, X, PolyA),
+    polynomial_form(B, X, PolyB),
+    negate_polynomial(PolyB, NegB),
+    add_polynomials(PolyA, NegB, Poly).
+polynomial_form(A * B, X, Poly) :-
+    polynomial_form(A, X, PolyA),
+    polynomial_form(B, X, PolyB),
+    multiply_polynomials(PolyA, PolyB, Poly).
+polynomial_form(Term, _, [(Term, 0)]) :-
+    number_term(Term).
+
+add_polynomials([], Poly, Poly).
+add_polynomials(Poly, [], Poly).
+add_polynomials([(Ai, Ni)|PolyA], [(Aj, Nj)|PolyB], [(Ai, Ni)|Poly]) :-
+    Ni > Nj,
+    add_polynomials(PolyA, [(Aj, Nj)|PolyB], Poly).
+add_polynomials([(Ai, Ni)|PolyA], [(Aj, Nj)|PolyB], [(A, Ni)|Poly]) :-
+    Ni =:= Nj,
+    A is Ai + Aj,
+    add_polynomials(PolyA, PolyB, Poly).
+add_polynomials([(Ai, Ni)|PolyA], [(Aj, Nj)|PolyB], [(Aj, Nj)|Poly]) :-
+    Ni < Nj,
+    add_polynomials([(Ai, Ni)|PolyA], PolyB, Poly).
+
+negate_polynomial([], []).
+negate_polynomial([(A, N)|Poly], [(A1, N)|Poly1]) :-
+    A1 is -A,
+    negate_polynomial(Poly, Poly1).
+
+multiply_polynomials([], _, []).
+multiply_polynomials([Term|PolyA], PolyB, Poly) :-
+    multiply_single(Term, PolyB, PolyT),
+    multiply_polynomials(PolyA, PolyB, PolyRest),
+    add_polynomials(PolyT, PolyRest, Poly).
+
+multiply_single(_, [], []).
+multiply_single((A, N), [(A1, N1)|Poly], [(A2, N2)|Poly1]) :-
+    A2 is A * A1,
+    N2 is N + N1,
+    multiply_single((A, N), Poly, Poly1).
+
+remove_zero_terms([], []).
+remove_zero_terms([(0, _)|Poly], Poly1) :-
+    remove_zero_terms(Poly, Poly1).
+remove_zero_terms([(A, N)|Poly], [(A, N)|Poly1]) :-
+    A \== 0,
+    remove_zero_terms(Poly, Poly1).
+
+solve_polynomial_equation(Poly, X, X = Solution) :-
+    linear(Poly),
+    pad_linear(Poly, (A, _), (B, _)),
+    Solution = -(B) / A.
+solve_polynomial_equation(Poly, X, X = Solution) :-
+    quadratic(Poly),
+    pad_quadratic(Poly, (A, _), (B, _), (C, _)),
+    discriminant(A, B, C, Disc),
+    root(A, B, Disc, Solution).
+
+discriminant(A, B, C, Disc) :- Disc is B * B - 4 * A * C.
+
+root(A, B, Disc, (-(B) + sqrt(Disc)) / (2 * A)).
+root(A, B, Disc, (-(B) - sqrt(Disc)) / (2 * A)).
+
+linear([(_, 1)|_]).
+quadratic([(_, 2)|_]).
+
+pad_linear([(A, 1), (B, 0)], (A, 1), (B, 0)).
+pad_linear([(A, 1)], (A, 1), (0, 0)).
+
+pad_quadratic([(A, 2)|Rest], (A, 2), B, C) :- pad_linear_rest(Rest, B, C).
+
+pad_linear_rest([], (0, 1), (0, 0)).
+pad_linear_rest([(B, 1)], (B, 1), (0, 0)).
+pad_linear_rest([(C, 0)], (0, 1), (C, 0)).
+pad_linear_rest([(B, 1), (C, 0)], (B, 1), (C, 0)).
+
+% --- Homogenization ------------------------------------------------------
+offenders(Equation, X, Offenders) :-
+    parse_terms(Equation, X, [], Offenders).
+
+parse_terms(A = B, X, Acc, Offenders) :-
+    parse_terms(A, X, Acc, Acc1),
+    parse_terms(B, X, Acc1, Offenders).
+parse_terms(Term, X, Acc, [Term|Acc]) :-
+    offending(Term, X).
+parse_terms(Term, X, Acc, Offenders) :-
+    \+ offending(Term, X),
+    functor_args(Term, Args),
+    parse_term_list(Args, X, Acc, Offenders).
+parse_terms(Term, _, Acc, Acc) :-
+    atomic(Term).
+
+parse_term_list([], _, Acc, Acc).
+parse_term_list([T|Ts], X, Acc, Offenders) :-
+    parse_terms(T, X, Acc, Acc1),
+    parse_term_list(Ts, X, Acc1, Offenders).
+
+offending(exp(T), X) :- contains_var(T, X).
+offending(sin(T), X) :- contains_var(T, X).
+offending(cos(T), X) :- contains_var(T, X).
+
+contains_var(X, X).
+contains_var(T, X) :-
+    functor_args(T, Args),
+    contains_var_list(Args, X).
+
+contains_var_list([A|_], X) :- contains_var(A, X).
+contains_var_list([_|As], X) :- contains_var_list(As, X).
+
+multiple([_, _|_]).
+
+homogenize(Equation, X, [Offender|_], Equation1, X1) :-
+    reduced_term(Offender, X, X1),
+    rewrite_equation(Equation, Offender, X1, Equation1).
+
+reduced_term(exp(_), _, u).
+reduced_term(sin(_), _, s).
+reduced_term(cos(_), _, c).
+
+rewrite_equation(A = B, Off, New, A1 = B1) :-
+    rewrite_term(A, Off, New, A1),
+    rewrite_term(B, Off, New, B1).
+
+rewrite_term(Off, Off, New, New).
+rewrite_term(T, Off, New, T1) :-
+    T \== Off,
+    functor_args(T, Args),
+    rewrite_list(Args, Off, New, Args1),
+    rebuild(T, Args1, T1).
+rewrite_term(T, Off, _, T) :-
+    T \== Off,
+    atomic(T).
+
+rewrite_list([], _, _, []).
+rewrite_list([A|As], Off, New, [A1|As1]) :-
+    rewrite_term(A, Off, New, A1),
+    rewrite_list(As, Off, New, As1).
+
+rebuild(_ + _, [A, B], A + B).
+rebuild(_ - _, [A, B], A - B).
+rebuild(_ * _, [A, B], A * B).
+rebuild(_ / _, [A, B], A / B).
+rebuild(_ ^ _, [A, B], A ^ B).
+rebuild(-(_), [A], -(A)).
+rebuild(sin(_), [A], sin(A)).
+rebuild(cos(_), [A], cos(A)).
+rebuild(exp(_), [A], exp(A)).
+rebuild(log(_), [A], log(A)).
+
+% --- Test equations -------------------------------------------------------
+test_equation(1, x + 3 = 5).
+test_equation(2, 2 * x - 4 = 0).
+test_equation(3, x ^ 2 - 5 * x + 6 = 0).
+test_equation(4, sin(x) = 0).
+test_equation(5, exp(2 * x) - 3 * exp(x) = 0).
+
+main(S) :- test_equation(1, E), solve_test(E, S).

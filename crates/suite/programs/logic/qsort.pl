@@ -1,0 +1,21 @@
+% qsort -- the classic quicksort benchmark (difference-free version).
+% Entry: qsort(g, f).
+
+qsort([], []).
+qsort([X|Xs], Sorted) :-
+    partition(Xs, X, Smaller, Bigger),
+    qsort(Smaller, SortedSmall),
+    qsort(Bigger, SortedBig),
+    append(SortedSmall, [X|SortedBig], Sorted).
+
+partition([], _, [], []).
+partition([Y|Ys], X, [Y|Smaller], Bigger) :-
+    Y =< X, partition(Ys, X, Smaller, Bigger).
+partition([Y|Ys], X, Smaller, [Y|Bigger]) :-
+    Y > X, partition(Ys, X, Smaller, Bigger).
+
+append([], Ys, Ys).
+append([X|Xs], Ys, [X|Zs]) :- append(Xs, Ys, Zs).
+
+main(Sorted) :-
+    qsort([27,74,17,33,94,18,46,83,65,2,32,53,28,85,99,47,28,82,6,11], Sorted).

@@ -1,0 +1,31 @@
+% queens -- N-queens via permutation generation and safety checking.
+% Entry: queens(g, f).
+
+queens(N, Qs) :-
+    range(1, N, Ns),
+    queens3(Ns, [], Qs).
+
+queens3([], Qs, Qs).
+queens3(UnplacedQs, SafeQs, Qs) :-
+    selectq(Q, UnplacedQs, UnplacedQs1),
+    \+ attack(Q, SafeQs),
+    queens3(UnplacedQs1, [Q|SafeQs], Qs).
+
+attack(X, Xs) :- attack3(X, 1, Xs).
+
+attack3(X, N, [Y|_]) :- X is Y + N.
+attack3(X, N, [Y|_]) :- X is Y - N.
+attack3(X, N, [_|Ys]) :-
+    N1 is N + 1,
+    attack3(X, N1, Ys).
+
+selectq(X, [X|Xs], Xs).
+selectq(X, [Y|Ys], [Y|Zs]) :- selectq(X, Ys, Zs).
+
+range(N, N, [N]).
+range(M, N, [M|Ns]) :-
+    M < N,
+    M1 is M + 1,
+    range(M1, N, Ns).
+
+main(Qs) :- queens(8, Qs).

@@ -1,0 +1,325 @@
+% read -- a Prolog tokenizer and operator-precedence reader written in
+% Prolog (reconstruction of the classic O'Keefe/Warren read benchmark).
+% Input is a list of character codes; output is a term representation.
+% Entry: read_test(g, f).
+
+read_test(Codes, Term) :-
+    read_term_codes(Codes, Term).
+
+read_term_codes(Codes, Term) :-
+    tokenize(Codes, Tokens),
+    parse_tokens(Tokens, Term).
+
+% ===================== Tokenizer =====================================
+
+tokenize([], []).
+tokenize([C|Cs], Tokens) :-
+    layout_char(C),
+    tokenize(Cs, Tokens).
+tokenize([C|Cs], Tokens) :-
+    comment_start(C),
+    skip_comment(Cs, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    digit_char(C),
+    scan_number(C, Cs, Token, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    lower_char(C),
+    scan_name(C, Cs, Token, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    upper_char(C),
+    scan_variable(C, Cs, Token, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    quote_char(C),
+    scan_quoted(Cs, Token, Rest),
+    tokenize(Rest, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    solo_char(C, Token),
+    tokenize(Cs, Tokens).
+tokenize([C|Cs], [Token|Tokens]) :-
+    symbol_char(C),
+    scan_symbol(C, Cs, Token, Rest),
+    tokenize(Rest, Tokens).
+
+skip_comment([], []).
+skip_comment([C|Cs], Cs) :- newline_char(C).
+skip_comment([C|Cs], Rest) :-
+    \+ newline_char(C),
+    skip_comment(Cs, Rest).
+
+scan_number(C, Cs, integer(N), Rest) :-
+    digit_value(C, V),
+    scan_digits(Cs, V, N, Rest).
+
+scan_digits([C|Cs], Acc, N, Rest) :-
+    digit_char(C),
+    digit_value(C, V),
+    Acc1 is Acc * 10 + V,
+    scan_digits(Cs, Acc1, N, Rest).
+scan_digits([C|Cs], N, N, [C|Cs]) :-
+    \+ digit_char(C).
+scan_digits([], N, N, []).
+
+scan_name(C, Cs, atom(Name), Rest) :-
+    scan_alphas(Cs, Alphas, Rest),
+    name_from_codes([C|Alphas], Name).
+
+scan_variable(C, Cs, variable(Name), Rest) :-
+    scan_alphas(Cs, Alphas, Rest),
+    name_from_codes([C|Alphas], Name).
+
+scan_alphas([C|Cs], [C|As], Rest) :-
+    alpha_char(C),
+    scan_alphas(Cs, As, Rest).
+scan_alphas([C|Cs], [], [C|Cs]) :-
+    \+ alpha_char(C).
+scan_alphas([], [], []).
+
+scan_quoted(Cs, atom(Name), Rest) :-
+    quoted_codes(Cs, Codes, Rest),
+    name_from_codes(Codes, Name).
+
+quoted_codes([C|Cs], [], Cs) :- quote_char(C).
+quoted_codes([C|Cs], [C|Codes], Rest) :-
+    \+ quote_char(C),
+    quoted_codes(Cs, Codes, Rest).
+
+scan_symbol(C, Cs, Token, Rest) :-
+    scan_symbols(Cs, Ss, Rest),
+    symbol_token([C|Ss], Token).
+
+scan_symbols([C|Cs], [C|Ss], Rest) :-
+    symbol_char(C),
+    scan_symbols(Cs, Ss, Rest).
+scan_symbols([C|Cs], [], [C|Cs]) :-
+    \+ symbol_char(C).
+scan_symbols([], [], []).
+
+symbol_token([0'.], end) .
+symbol_token(Codes, atom(Name)) :-
+    Codes \== [0'.],
+    name_from_codes(Codes, Name).
+
+% Map a small set of known names; unknown spellings stay as code lists,
+% which is all the analysis needs.
+name_from_codes([0'a], a).
+name_from_codes([0'b], b).
+name_from_codes([0'c], c).
+name_from_codes([0'f], f).
+name_from_codes([0'g], g).
+name_from_codes([0'h], h).
+name_from_codes([0'x], x).
+name_from_codes([0'y], y).
+name_from_codes([0'z], z).
+name_from_codes([0'X], xvar).
+name_from_codes([0'Y], yvar).
+name_from_codes([0'Z], zvar).
+name_from_codes([0'+], +).
+name_from_codes([0'-], -).
+name_from_codes([0'*], *).
+name_from_codes([0'/], /).
+name_from_codes([0'=], =).
+name_from_codes([0':, 0'-], (:-)).
+name_from_codes([0'f, 0'o, 0'o], foo).
+name_from_codes([0'b, 0'a, 0'r], bar).
+name_from_codes([0'b, 0'a, 0'z], baz).
+name_from_codes([0'a, 0'p, 0'p], app).
+name_from_codes([0'n, 0'i, 0'l], nil).
+name_from_codes([0'c, 0'o, 0'n, 0's], cons).
+name_from_codes([0'm, 0'a, 0'i, 0'n], main).
+name_from_codes([0'<], <).
+name_from_codes([0'>], >).
+name_from_codes([0'=, 0'<], =<).
+name_from_codes([0'>, 0'=], >=).
+name_from_codes([0'-, 0'>], ->).
+name_from_codes([0'i, 0's], is).
+name_from_codes([C|Cs], codes([C|Cs])) :-
+    \+ known_spelling([C|Cs]).
+
+known_spelling([0'a]). known_spelling([0'b]). known_spelling([0'c]).
+known_spelling([0'f]). known_spelling([0'g]). known_spelling([0'h]).
+known_spelling([0'x]). known_spelling([0'y]). known_spelling([0'z]).
+known_spelling([0'X]). known_spelling([0'Y]). known_spelling([0'Z]).
+known_spelling([0'+]). known_spelling([0'-]). known_spelling([0'*]).
+known_spelling([0'/]). known_spelling([0'=]).
+known_spelling([0':, 0'-]).
+known_spelling([0'f, 0'o, 0'o]).
+known_spelling([0'b, 0'a, 0'r]).
+known_spelling([0'b, 0'a, 0'z]).
+known_spelling([0'a, 0'p, 0'p]).
+known_spelling([0'n, 0'i, 0'l]).
+known_spelling([0'c, 0'o, 0'n, 0's]).
+known_spelling([0'm, 0'a, 0'i, 0'n]).
+known_spelling([0'<]). known_spelling([0'>]).
+known_spelling([0'=, 0'<]). known_spelling([0'>, 0'=]).
+known_spelling([0'-, 0'>]).
+known_spelling([0'i, 0's]).
+
+% --- Character classes -----------------------------------------------
+layout_char(0' ).
+layout_char(9).
+layout_char(10).
+layout_char(13).
+
+newline_char(10).
+
+comment_start(0'%).
+
+digit_char(C) :- C >= 0'0, C =< 0'9.
+
+digit_value(C, V) :- V is C - 0'0.
+
+lower_char(C) :- C >= 0'a, C =< 0'z.
+
+upper_char(C) :- C >= 0'A, C =< 0'Z.
+upper_char(0'_).
+
+alpha_char(C) :- lower_char(C).
+alpha_char(C) :- upper_char(C).
+alpha_char(C) :- digit_char(C).
+
+quote_char(0'').
+
+solo_char(0'(, open).
+solo_char(0'), close).
+solo_char(0'[, open_list).
+solo_char(0'], close_list).
+solo_char(0',, comma).
+solo_char(0'|, bar).
+
+symbol_char(0'+). symbol_char(0'-). symbol_char(0'*). symbol_char(0'/).
+symbol_char(0'=). symbol_char(0'<). symbol_char(0'>). symbol_char(0':).
+symbol_char(0'.). symbol_char(0'^). symbol_char(0'~). symbol_char(0'\\).
+symbol_char(0'#). symbol_char(0'&). symbol_char(0'?). symbol_char(0'@).
+
+% ===================== Parser ========================================
+% Operator precedence parsing over the token list.
+
+parse_tokens(Tokens, Term) :-
+    parse(Tokens, 1200, Term, Rest),
+    parse_end(Rest).
+
+parse_end([]).
+parse_end([end]).
+
+parse(Tokens, MaxPrec, Term, Rest) :-
+    parse_primary(Tokens, MaxPrec, Left, LeftPrec, Rest1),
+    parse_infix(Rest1, Left, LeftPrec, MaxPrec, Term, Rest).
+
+% Primary terms.
+parse_primary([integer(N)|Rest], _, integer_term(N), 0, Rest).
+parse_primary([variable(V)|Rest], _, var_term(V), 0, Rest).
+parse_primary([atom(A), open|Rest], _, Term, 0, Rest1) :-
+    parse_arglist(Rest, Args, Rest1),
+    Term = compound(A, Args).
+parse_primary([atom(A)|Rest], MaxPrec, Term, Prec, Rest1) :-
+    \+ next_is_open(Rest),
+    parse_prefix(A, Rest, MaxPrec, Term, Prec, Rest1).
+parse_primary([open|Rest], _, Term, 0, Rest1) :-
+    parse(Rest, 1200, Term, [close|Rest1]).
+parse_primary([open_list, close_list|Rest], _, nil_term, 0, Rest).
+parse_primary([open_list|Rest], _, Term, 0, Rest1) :-
+    parse_list_items(Rest, Term, Rest1).
+
+next_is_open([open|_]).
+
+parse_prefix(A, Rest, MaxPrec, Term, Prec, Rest1) :-
+    prefix_op(A, Prec, ArgPrec),
+    Prec =< MaxPrec,
+    can_start_term(Rest),
+    parse(Rest, ArgPrec, Arg, Rest1),
+    Term = prefix_term(A, Arg).
+parse_prefix(A, Rest, _, atom_term(A), 0, Rest) :-
+    \+ prefix_context(A, Rest).
+
+prefix_context(A, Rest) :-
+    prefix_op(A, _, _),
+    can_start_term(Rest).
+
+can_start_term([integer(_)|_]).
+can_start_term([variable(_)|_]).
+can_start_term([atom(_)|_]).
+can_start_term([open|_]).
+can_start_term([open_list|_]).
+
+parse_arglist(Tokens, [Arg|Args], Rest) :-
+    parse(Tokens, 999, Arg, Rest1),
+    parse_arglist_rest(Rest1, Args, Rest).
+
+parse_arglist_rest([comma|Tokens], [Arg|Args], Rest) :-
+    parse(Tokens, 999, Arg, Rest1),
+    parse_arglist_rest(Rest1, Args, Rest).
+parse_arglist_rest([close|Rest], [], Rest).
+
+parse_list_items(Tokens, cons_term(Head, Tail), Rest) :-
+    parse(Tokens, 999, Head, Rest1),
+    parse_list_tail(Rest1, Tail, Rest).
+
+parse_list_tail([comma|Tokens], cons_term(Head, Tail), Rest) :-
+    parse(Tokens, 999, Head, Rest1),
+    parse_list_tail(Rest1, Tail, Rest).
+parse_list_tail([bar|Tokens], Tail, Rest) :-
+    parse(Tokens, 999, Tail, [close_list|Rest]).
+parse_list_tail([close_list|Rest], nil_term, Rest).
+
+% Infix loop.
+parse_infix([atom(A)|Tokens], Left, LeftPrec, MaxPrec, Term, Rest) :-
+    infix_op(A, Prec, LeftMax, RightMax),
+    Prec =< MaxPrec,
+    LeftPrec =< LeftMax,
+    parse(Tokens, RightMax, Right, Rest1),
+    parse_infix(Rest1, infix_term(A, Left, Right), Prec, MaxPrec, Term, Rest).
+parse_infix([comma|Tokens], Left, LeftPrec, MaxPrec, Term, Rest) :-
+    1000 =< MaxPrec,
+    LeftPrec =< 999,
+    parse(Tokens, 1000, Right, Rest1),
+    parse_infix(Rest1, infix_term(comma, Left, Right), 1000, MaxPrec, Term, Rest).
+parse_infix(Tokens, Term, _, _, Term, Tokens) :-
+    no_infix(Tokens).
+
+no_infix([]).
+no_infix([end|_]).
+no_infix([comma|_]).   % a ',' binds at 1000; below that it terminates
+no_infix([close|_]).
+no_infix([close_list|_]).
+no_infix([bar|_]).
+no_infix([atom(A)|_]) :- \+ infix_op(A, _, _, _).
+
+% --- Operator tables ---------------------------------------------------
+infix_op((:-), 1200, 1199, 1199).
+infix_op(=, 700, 699, 699).
+infix_op(<, 700, 699, 699).
+infix_op(>, 700, 699, 699).
+infix_op(=<, 700, 699, 699).
+infix_op(>=, 700, 699, 699).
+infix_op(is, 700, 699, 699).
+infix_op(+, 500, 500, 499).
+infix_op(-, 500, 500, 499).
+infix_op(*, 400, 400, 399).
+infix_op(/, 400, 400, 399).
+infix_op((->), 1050, 1049, 1050).
+
+prefix_op(-, 200, 199).
+prefix_op((:-), 1200, 1199).
+
+% --- Sample inputs: "foo(bar, X) :- baz(X)." etc. as code lists -------
+sample_input(1, Codes) :-
+    % "foo(a,X) :- bar(X)."
+    Codes = [0'f,0'o,0'o,0'(,0'a,0',,0'X,0'),0' ,
+             0':,0'-,0' ,0'b,0'a,0'r,0'(,0'X,0'),0'.].
+sample_input(2, Codes) :-
+    % "z = f(1+2*3, [a,b|Y])."
+    Codes = [0'z,0' ,0'=,0' ,0'f,0'(,0'1,0'+,0'2,0'*,0'3,0',,
+             0'[,0'a,0',,0'b,0'|,0'Y,0'],0'),0'.].
+sample_input(3, Codes) :-
+    % "- 5 + x * y."
+    Codes = [0'-,0' ,0'5,0' ,0'+,0' ,0'x,0' ,0'*,0' ,0'y,0'.].
+sample_input(4, Codes) :-
+    % "'quoted atom' = baz."
+    Codes = [0'',0'q,0'u,0'o,0't,0'e,0'd,0' ,0'a,0't,0'o,0'm,0'',
+             0' ,0'=,0' ,0'b,0'a,0'z,0'.].
+
+main(T) :- sample_input(1, Cs), read_test(Cs, T).

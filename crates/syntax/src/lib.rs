@@ -1,0 +1,38 @@
+//! Prolog reader and writer for the `tablog` system.
+//!
+//! The analyses of the PLDI'96 paper consume ordinary Prolog programs, so the
+//! system needs a faithful reader: a tokenizer, a standard operator table,
+//! and an operator-precedence parser producing [`tablog_term::Term`]s, plus a
+//! writer that renders terms back in operator syntax. The subset covers what
+//! the benchmark suite and the generated abstract programs need: clauses,
+//! directives, full operator syntax, lists, quoted atoms, comments, strings
+//! (as code lists), and integers.
+//!
+//! # Example
+//!
+//! ```
+//! use tablog_syntax::{parse_program, term_to_string};
+//!
+//! let prog = parse_program("app([], Ys, Ys).\napp([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).")?;
+//! assert_eq!(prog.clauses.len(), 2);
+//! let head = &prog.clauses[1].head;
+//! assert_eq!(term_to_string(head), "app([A|B],C,[A|D])");
+//! # Ok::<(), tablog_syntax::ParseError>(())
+//! ```
+
+mod ops;
+mod parser;
+mod token;
+mod writer;
+
+pub use ops::{OpTable, OpType};
+pub use parser::{
+    parse_program, parse_term, parse_term_with_ops, Directive, ParseError, Program, ReadClause,
+};
+pub use token::{tokenize, Token, TokenError};
+pub use writer::{term_to_string, TermWriter};
+
+/// The functor used for list cells, `'.'/2`, with `[]` as the empty list.
+pub const LIST_CONS: &str = ".";
+/// The empty-list atom.
+pub const LIST_NIL: &str = "[]";

@@ -1,0 +1,173 @@
+//! The operator table.
+
+use std::collections::HashMap;
+
+/// Fixity and associativity of a Prolog operator, as in ISO `op/3`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpType {
+    /// Infix, neither side may have equal priority (`xfx`).
+    Xfx,
+    /// Infix, right side may have equal priority (`xfy`).
+    Xfy,
+    /// Infix, left side may have equal priority (`yfx`).
+    Yfx,
+    /// Prefix, operand strictly lower priority (`fx`).
+    Fx,
+    /// Prefix, operand may have equal priority (`fy`).
+    Fy,
+    /// Postfix, operand strictly lower priority (`xf`).
+    Xf,
+    /// Postfix, operand may have equal priority (`yf`).
+    Yf,
+}
+
+impl OpType {
+    /// `true` for the infix fixities.
+    pub fn is_infix(self) -> bool {
+        matches!(self, OpType::Xfx | OpType::Xfy | OpType::Yfx)
+    }
+
+    /// `true` for the prefix fixities.
+    pub fn is_prefix(self) -> bool {
+        matches!(self, OpType::Fx | OpType::Fy)
+    }
+
+    /// `true` for the postfix fixities.
+    pub fn is_postfix(self) -> bool {
+        matches!(self, OpType::Xf | OpType::Yf)
+    }
+}
+
+/// A table mapping operator names to their (priority, fixity) definitions.
+///
+/// One name may simultaneously have an infix/postfix and a prefix definition
+/// (e.g. `-`). [`OpTable::default`] loads the standard Prolog operators.
+#[derive(Clone, Debug)]
+pub struct OpTable {
+    infix: HashMap<String, (u32, OpType)>,
+    prefix: HashMap<String, (u32, OpType)>,
+    postfix: HashMap<String, (u32, OpType)>,
+}
+
+impl Default for OpTable {
+    fn default() -> Self {
+        let mut t = OpTable::empty();
+        for (p, ty, names) in STANDARD_OPS {
+            for name in names.split_whitespace() {
+                t.add(*p, *ty, name);
+            }
+        }
+        t
+    }
+}
+
+const STANDARD_OPS: &[(u32, OpType, &str)] = &[
+    (1200, OpType::Xfx, ":- -->"),
+    (1200, OpType::Fx, ":- ?-"),
+    (1150, OpType::Fx, "table dynamic discontiguous multifile mode public import export"),
+    (1100, OpType::Xfy, "; |"),
+    (1050, OpType::Xfy, "->"),
+    (1000, OpType::Xfy, ","),
+    (900, OpType::Fy, "\\+ not"),
+    (
+        700,
+        OpType::Xfx,
+        "= \\= == \\== @< @> @=< @>= is =.. =:= =\\= < > =< >=",
+    ),
+    (500, OpType::Yfx, "+ - /\\ \\/ xor"),
+    (400, OpType::Yfx, "* / // mod rem << >> div"),
+    (200, OpType::Xfx, "**"),
+    (200, OpType::Xfy, "^"),
+    (200, OpType::Fy, "- + \\"),
+    (100, OpType::Yfx, "@"),
+    (1, OpType::Fx, "$"),
+];
+
+impl OpTable {
+    /// An empty table, for callers wanting full control.
+    pub fn empty() -> Self {
+        OpTable { infix: HashMap::new(), prefix: HashMap::new(), postfix: HashMap::new() }
+    }
+
+    /// Adds (or replaces) an operator definition, like `op/3`.
+    pub fn add(&mut self, priority: u32, fixity: OpType, name: &str) {
+        let entry = (priority, fixity);
+        if fixity.is_infix() {
+            self.infix.insert(name.to_owned(), entry);
+        } else if fixity.is_prefix() {
+            self.prefix.insert(name.to_owned(), entry);
+        } else {
+            self.postfix.insert(name.to_owned(), entry);
+        }
+    }
+
+    /// Removes an operator from the given fixity class.
+    pub fn remove(&mut self, fixity: OpType, name: &str) {
+        if fixity.is_infix() {
+            self.infix.remove(name);
+        } else if fixity.is_prefix() {
+            self.prefix.remove(name);
+        } else {
+            self.postfix.remove(name);
+        }
+    }
+
+    /// Looks up the infix definition of `name`.
+    pub fn infix(&self, name: &str) -> Option<(u32, OpType)> {
+        self.infix.get(name).copied()
+    }
+
+    /// Looks up the prefix definition of `name`.
+    pub fn prefix(&self, name: &str) -> Option<(u32, OpType)> {
+        self.prefix.get(name).copied()
+    }
+
+    /// Looks up the postfix definition of `name`.
+    pub fn postfix(&self, name: &str) -> Option<(u32, OpType)> {
+        self.postfix.get(name).copied()
+    }
+
+    /// `true` if `name` is an operator in any fixity class.
+    pub fn is_op(&self, name: &str) -> bool {
+        self.infix.contains_key(name)
+            || self.prefix.contains_key(name)
+            || self.postfix.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_table_has_clause_ops() {
+        let t = OpTable::default();
+        assert_eq!(t.infix(":-"), Some((1200, OpType::Xfx)));
+        assert_eq!(t.prefix(":-"), Some((1200, OpType::Fx)));
+        assert_eq!(t.infix(","), Some((1000, OpType::Xfy)));
+    }
+
+    #[test]
+    fn minus_is_both_prefix_and_infix() {
+        let t = OpTable::default();
+        assert!(t.prefix("-").is_some());
+        assert!(t.infix("-").is_some());
+    }
+
+    #[test]
+    fn add_and_remove_custom_op() {
+        let mut t = OpTable::default();
+        t.add(700, OpType::Xfx, "===>");
+        assert!(t.is_op("===>"));
+        t.remove(OpType::Xfx, "===>");
+        assert!(!t.is_op("===>"));
+    }
+
+    #[test]
+    fn comparison_ops_present() {
+        let t = OpTable::default();
+        for op in ["=", "is", "<", ">=", "=..", "=:=", "@<"] {
+            assert_eq!(t.infix(op).map(|e| e.0), Some(700), "{op}");
+        }
+    }
+}

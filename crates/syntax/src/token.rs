@@ -1,0 +1,464 @@
+//! Prolog tokenizer.
+
+use std::fmt;
+
+/// A lexical token of Prolog source text.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// An atom: unquoted lowercase identifier, quoted `'…'`, or a symbolic
+    /// atom such as `:-` or `=..`.
+    Atom(String),
+    /// An atom immediately followed by `(` with no intervening layout —
+    /// i.e., a functor application head, per standard Prolog syntax.
+    Functor(String),
+    /// A named variable (`X`, `_Foo`) or anonymous `_`.
+    Var(String),
+    /// An integer literal.
+    Int(i64),
+    /// A double-quoted string, to be read as a list of character codes.
+    Str(String),
+    /// `(`
+    Open,
+    /// `)`
+    Close,
+    /// `[`
+    OpenList,
+    /// `]`
+    CloseList,
+    /// `{`
+    OpenCurly,
+    /// `}`
+    CloseCurly,
+    /// `,` — both argument separator and the conjunction operator.
+    Comma,
+    /// `|` in list tails.
+    Bar,
+    /// The clause terminator: `.` followed by layout or end of input.
+    End,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Atom(s) | Token::Functor(s) | Token::Var(s) => f.write_str(s),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Open => f.write_str("("),
+            Token::Close => f.write_str(")"),
+            Token::OpenList => f.write_str("["),
+            Token::CloseList => f.write_str("]"),
+            Token::OpenCurly => f.write_str("{"),
+            Token::CloseCurly => f.write_str("}"),
+            Token::Comma => f.write_str(","),
+            Token::Bar => f.write_str("|"),
+            Token::End => f.write_str("."),
+        }
+    }
+}
+
+/// A tokenization failure with a byte offset and line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TokenError {
+    /// Human-readable description.
+    pub message: String,
+    /// Line (1-based) at which the error occurred.
+    pub line: usize,
+}
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+const SYMBOL_CHARS: &str = "+-*/\\^<>=~:.?@#&$";
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn err(&self, msg: impl Into<String>) -> TokenError {
+        TokenError { message: msg.into(), line: self.line }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c == Some(b'\n') {
+            self.line += 1;
+        }
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    /// Skips whitespace and comments; returns `true` if any layout was
+    /// consumed (needed to distinguish `f(` from `f (`).
+    fn skip_layout(&mut self) -> Result<bool, TokenError> {
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(c) if (c as char).is_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.err("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(self.pos != start)
+    }
+
+    fn read_while(&mut self, pred: impl Fn(u8) -> bool) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn read_quoted(&mut self, quote: u8) -> Result<String, TokenError> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated quoted token")),
+                Some(c) if c == quote => {
+                    // Doubled quote is an escaped quote.
+                    if self.peek() == Some(quote) {
+                        self.bump();
+                        out.push(quote as char);
+                    } else {
+                        return Ok(out);
+                    }
+                }
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'a') => out.push('\x07'),
+                    Some(b'b') => out.push('\x08'),
+                    Some(b'f') => out.push('\x0c'),
+                    Some(b'v') => out.push('\x0b'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'\'') => out.push('\''),
+                    Some(b'"') => out.push('"'),
+                    Some(b'`') => out.push('`'),
+                    Some(b'\n') => {} // line continuation
+                    Some(c) => {
+                        return Err(self.err(format!("unknown escape \\{}", c as char)))
+                    }
+                    None => return Err(self.err("unterminated escape")),
+                },
+                Some(c) => out.push(c as char),
+            }
+        }
+    }
+
+    fn maybe_functor(&mut self, name: String, toks: &mut Vec<Token>) {
+        if self.peek() == Some(b'(') {
+            self.bump();
+            toks.push(Token::Functor(name));
+        } else {
+            toks.push(Token::Atom(name));
+        }
+    }
+}
+
+fn is_alnum(c: u8) -> bool {
+    (c as char).is_ascii_alphanumeric() || c == b'_'
+}
+
+fn is_symbol_char(c: u8) -> bool {
+    SYMBOL_CHARS.as_bytes().contains(&c)
+}
+
+/// Tokenizes Prolog source text.
+///
+/// # Errors
+///
+/// Returns a [`TokenError`] on malformed input: unterminated quotes or
+/// comments, bad escapes, or stray characters.
+///
+/// ```
+/// use tablog_syntax::{tokenize, Token};
+/// let toks = tokenize("p(X) :- q(X).")?;
+/// assert_eq!(toks[0], Token::Functor("p".into()));
+/// assert_eq!(toks.last(), Some(&Token::End));
+/// # Ok::<(), tablog_syntax::TokenError>(())
+/// ```
+pub fn tokenize(src: &str) -> Result<Vec<Token>, TokenError> {
+    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut toks = Vec::new();
+    loop {
+        lx.skip_layout()?;
+        let Some(c) = lx.peek() else { break };
+        match c {
+            b'(' => {
+                lx.bump();
+                toks.push(Token::Open);
+            }
+            b')' => {
+                lx.bump();
+                toks.push(Token::Close);
+            }
+            b'[' => {
+                lx.bump();
+                toks.push(Token::OpenList);
+            }
+            b']' => {
+                lx.bump();
+                toks.push(Token::CloseList);
+            }
+            b'{' => {
+                lx.bump();
+                toks.push(Token::OpenCurly);
+            }
+            b'}' => {
+                lx.bump();
+                toks.push(Token::CloseCurly);
+            }
+            b',' => {
+                lx.bump();
+                toks.push(Token::Comma);
+            }
+            b'|' => {
+                lx.bump();
+                toks.push(Token::Bar);
+            }
+            b'!' => {
+                lx.bump();
+                toks.push(Token::Atom("!".into()));
+            }
+            b';' => {
+                lx.bump();
+                toks.push(Token::Atom(";".into()));
+            }
+            b'\'' => {
+                lx.bump();
+                let name = lx.read_quoted(b'\'')?;
+                lx.maybe_functor(name, &mut toks);
+            }
+            b'"' => {
+                lx.bump();
+                let s = lx.read_quoted(b'"')?;
+                toks.push(Token::Str(s));
+            }
+            b'0'..=b'9' => {
+                // 0'c char-code literal.
+                if c == b'0' && lx.peek2() == Some(b'\'') {
+                    lx.bump();
+                    lx.bump();
+                    let ch = lx
+                        .bump()
+                        .ok_or_else(|| lx.err("unterminated 0' literal"))?;
+                    let code = if ch == b'\\' {
+                        match lx.bump() {
+                            Some(b'n') => b'\n',
+                            Some(b't') => b'\t',
+                            Some(b'\\') => b'\\',
+                            Some(b'\'') => b'\'',
+                            Some(c2) => c2,
+                            None => return Err(lx.err("unterminated 0' escape")),
+                        }
+                    } else {
+                        ch
+                    };
+                    toks.push(Token::Int(code as i64));
+                } else {
+                    let digits = lx.read_while(|c| c.is_ascii_digit());
+                    let n: i64 = digits
+                        .parse()
+                        .map_err(|_| lx.err(format!("integer overflow: {digits}")))?;
+                    toks.push(Token::Int(n));
+                }
+            }
+            b'a'..=b'z' => {
+                let name = lx.read_while(is_alnum);
+                lx.maybe_functor(name, &mut toks);
+            }
+            b'A'..=b'Z' | b'_' => {
+                let name = lx.read_while(is_alnum);
+                toks.push(Token::Var(name));
+            }
+            c if is_symbol_char(c) => {
+                let sym = lx.read_while(is_symbol_char);
+                // A solitary '.' followed by layout or EOF ends the clause.
+                if sym == "." {
+                    toks.push(Token::End);
+                } else if let Some(rest) = sym.strip_suffix('.') {
+                    // e.g. "foo:-bar." tokenizes ":-" then later "."; but a
+                    // symbolic run ending in '.' at EOF/layout splits off End.
+                    let at_end = lx
+                        .peek()
+                        .map(|c| (c as char).is_whitespace() || c == b'%')
+                        .unwrap_or(true);
+                    if at_end && !rest.is_empty() && !rest.ends_with('.') {
+                        lx.maybe_functor(rest.to_string(), &mut toks);
+                        toks.push(Token::End);
+                    } else {
+                        lx.maybe_functor(sym, &mut toks);
+                    }
+                } else {
+                    lx.maybe_functor(sym, &mut toks);
+                }
+            }
+            other => {
+                return Err(lx.err(format!("unexpected character {:?}", other as char)))
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atoms(src: &str) -> Vec<Token> {
+        tokenize(src).unwrap()
+    }
+
+    #[test]
+    fn simple_clause() {
+        let t = atoms("p(X) :- q(X).");
+        assert_eq!(
+            t,
+            vec![
+                Token::Functor("p".into()),
+                Token::Var("X".into()),
+                Token::Close,
+                Token::Atom(":-".into()),
+                Token::Functor("q".into()),
+                Token::Var("X".into()),
+                Token::Close,
+                Token::End,
+            ]
+        );
+    }
+
+    #[test]
+    fn functor_requires_adjacency() {
+        let t = atoms("f (x)");
+        assert_eq!(t[0], Token::Atom("f".into()));
+        assert_eq!(t[1], Token::Open);
+    }
+
+    #[test]
+    fn quoted_atoms_and_escapes() {
+        let t = atoms("'hello world'('it''s', '\\n').");
+        assert_eq!(t[0], Token::Functor("hello world".into()));
+        assert_eq!(t[1], Token::Atom("it's".into()));
+        assert_eq!(t[3], Token::Atom("\n".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = atoms("a. % line comment\n/* block\ncomment */ b.");
+        assert_eq!(
+            t,
+            vec![
+                Token::Atom("a".into()),
+                Token::End,
+                Token::Atom("b".into()),
+                Token::End
+            ]
+        );
+    }
+
+    #[test]
+    fn end_vs_symbolic_dot() {
+        let t = atoms("X =.. L.");
+        assert_eq!(t[1], Token::Atom("=..".into()));
+        assert_eq!(t[3], Token::End);
+    }
+
+    #[test]
+    fn char_code_literal() {
+        let t = atoms("0'a 0'\\n");
+        assert_eq!(t, vec![Token::Int(97), Token::Int(10)]);
+    }
+
+    #[test]
+    fn string_literal() {
+        let t = atoms("\"ab\"");
+        assert_eq!(t, vec![Token::Str("ab".into())]);
+    }
+
+    #[test]
+    fn negative_context_tokens() {
+        let t = atoms("X is -1 + Y.");
+        assert_eq!(t[2], Token::Atom("-".into()));
+        assert_eq!(t[3], Token::Int(1));
+    }
+
+    #[test]
+    fn bars_and_lists() {
+        let t = atoms("[H|T]");
+        assert_eq!(
+            t,
+            vec![
+                Token::OpenList,
+                Token::Var("H".into()),
+                Token::Bar,
+                Token::Var("T".into()),
+                Token::CloseList
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(tokenize("'abc").is_err());
+        assert!(tokenize("/* nope").is_err());
+    }
+
+    #[test]
+    fn cut_and_semicolon() {
+        let t = atoms("! ; x");
+        assert_eq!(t[0], Token::Atom("!".into()));
+        assert_eq!(t[1], Token::Atom(";".into()));
+    }
+
+    #[test]
+    fn clause_end_at_eof_without_newline() {
+        let t = atoms("a.");
+        assert_eq!(t, vec![Token::Atom("a".into()), Token::End]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Syntactic unification over a [`Bindings`] store.
+
+use crate::bindings::Bindings;
+use crate::term::Term;
+
+/// Unifies `t1` and `t2` destructively in `b` (bindings are trailed).
+///
+/// Returns `true` on success. On failure, bindings made during the attempt
+/// are **not** rolled back — callers should capture a [`Bindings::mark`]
+/// beforehand and [`Bindings::undo_to`] it, which is what the engine's
+/// clause-resolution loop does.
+///
+/// No occur check is performed (standard Prolog behaviour); see
+/// [`unify_occurs`] for the checked version required by, e.g., the
+/// Hindley–Milner-style analyses discussed in Section 6 of the paper.
+pub fn unify(b: &mut Bindings, t1: &Term, t2: &Term) -> bool {
+    unify_inner(b, t1, t2, false)
+}
+
+/// Unification with occur check: binding a variable to a term containing it
+/// fails rather than building a cyclic term.
+pub fn unify_occurs(b: &mut Bindings, t1: &Term, t2: &Term) -> bool {
+    unify_inner(b, t1, t2, true)
+}
+
+fn unify_inner(b: &mut Bindings, t1: &Term, t2: &Term, occurs: bool) -> bool {
+    let w1 = b.walk(t1).clone();
+    let w2 = b.walk(t2).clone();
+    match (&w1, &w2) {
+        (Term::Var(v1), Term::Var(v2)) if v1 == v2 => true,
+        (Term::Var(v), _) => {
+            if occurs && b.occurs(*v, &w2) {
+                return false;
+            }
+            b.bind(*v, w2);
+            true
+        }
+        (_, Term::Var(v)) => {
+            if occurs && b.occurs(*v, &w1) {
+                return false;
+            }
+            b.bind(*v, w1);
+            true
+        }
+        (Term::Atom(a), Term::Atom(c)) => a == c,
+        (Term::Int(i), Term::Int(j)) => i == j,
+        (Term::Struct(f, xs), Term::Struct(g, ys)) => {
+            if f != g || xs.len() != ys.len() {
+                return false;
+            }
+            xs.iter().zip(ys.iter()).all(|(x, y)| unify_inner(b, x, y, occurs))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{atom, int, structure, var};
+
+    #[test]
+    fn atoms_unify_iff_equal() {
+        let mut b = Bindings::new();
+        assert!(unify(&mut b, &atom("a"), &atom("a")));
+        assert!(!unify(&mut b, &atom("a"), &atom("b")));
+    }
+
+    #[test]
+    fn ints_unify_iff_equal() {
+        let mut b = Bindings::new();
+        assert!(unify(&mut b, &int(42), &int(42)));
+        assert!(!unify(&mut b, &int(42), &int(43)));
+        assert!(!unify(&mut b, &int(42), &atom("42")));
+    }
+
+    #[test]
+    fn var_binds_to_structure() {
+        let mut b = Bindings::new();
+        let v = b.fresh_var();
+        let t = structure("f", vec![atom("a")]);
+        assert!(unify(&mut b, &var(v), &t));
+        assert_eq!(b.resolve(&var(v)), t);
+    }
+
+    #[test]
+    fn shared_var_propagates() {
+        // f(X, X) ~ f(a, Y)  =>  X = a, Y = a
+        let mut b = Bindings::new();
+        let x = b.fresh_var();
+        let y = b.fresh_var();
+        let t1 = structure("f", vec![var(x), var(x)]);
+        let t2 = structure("f", vec![atom("a"), var(y)]);
+        assert!(unify(&mut b, &t1, &t2));
+        assert_eq!(b.resolve(&var(y)), atom("a"));
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        let mut b = Bindings::new();
+        let t1 = structure("f", vec![atom("a")]);
+        let t2 = structure("f", vec![atom("a"), atom("b")]);
+        assert!(!unify(&mut b, &t1, &t2));
+    }
+
+    #[test]
+    fn failure_after_partial_binding_is_recoverable_via_mark() {
+        let mut b = Bindings::new();
+        let x = b.fresh_var();
+        let m = b.mark();
+        let t1 = structure("f", vec![var(x), atom("a")]);
+        let t2 = structure("f", vec![atom("c"), atom("b")]);
+        assert!(!unify(&mut b, &t1, &t2));
+        b.undo_to(m);
+        assert!(b.lookup(x).is_none());
+    }
+
+    #[test]
+    fn occur_check_rejects_cycle() {
+        let mut b = Bindings::new();
+        let x = b.fresh_var();
+        let t = structure("f", vec![var(x)]);
+        assert!(!unify_occurs(&mut b, &var(x), &t));
+        // Plain unify builds the (representationally finite) binding.
+        let mut b2 = Bindings::new();
+        let y = b2.fresh_var();
+        let t2 = structure("f", vec![var(y)]);
+        assert!(unify(&mut b2, &var(y), &t2));
+    }
+
+    #[test]
+    fn occur_check_through_chain() {
+        // X = g(Y), then Y ~ f(X) must fail under occur check.
+        let mut b = Bindings::new();
+        let x = b.fresh_var();
+        let y = b.fresh_var();
+        b.bind(x, structure("g", vec![var(y)]));
+        assert!(!unify_occurs(&mut b, &var(y), &structure("f", vec![var(x)])));
+    }
+
+    #[test]
+    fn unify_same_var_succeeds_without_binding() {
+        let mut b = Bindings::new();
+        let v = b.fresh_var();
+        assert!(unify(&mut b, &var(v), &var(v)));
+        assert!(b.lookup(v).is_none());
+    }
+
+    #[test]
+    fn deep_nested_unification() {
+        let mut b = Bindings::new();
+        let x = b.fresh_var();
+        let mk = |leaf: Term| {
+            let mut t = leaf;
+            for _ in 0..50 {
+                t = structure("s", vec![t]);
+            }
+            t
+        };
+        assert!(unify(&mut b, &mk(var(x)), &mk(atom("z"))));
+        assert_eq!(b.resolve(&var(x)), atom("z"));
+    }
+}

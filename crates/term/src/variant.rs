@@ -1,0 +1,174 @@
+//! Variant canonicalization — the table-lookup discipline of XSB.
+//!
+//! Two terms are *variants* if they are identical up to a consistent
+//! renaming of variables. XSB's tables are keyed on variants: a tabled call
+//! is looked up by variant, and an answer is entered only if no variant of
+//! it is already present (footnote 1 of the paper). We realize this by
+//! mapping every term to a [`CanonicalTerm`] in which variables are numbered
+//! `0, 1, 2, …` in first-occurrence order; two terms are variants iff their
+//! canonical forms are equal, so canonical forms serve directly as hash keys.
+
+use crate::bindings::Bindings;
+use crate::term::{Term, Var};
+use std::collections::HashMap;
+
+/// A term (or term tuple) whose variables have been renumbered into
+/// first-occurrence order. Equality on `CanonicalTerm` is variant equality
+/// on the originals.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CanonicalTerm {
+    terms: Vec<Term>,
+    nvars: u32,
+}
+
+impl CanonicalTerm {
+    /// The canonicalized terms.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// The single canonicalized term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this canonical form holds more than one term.
+    pub fn term(&self) -> &Term {
+        assert_eq!(self.terms.len(), 1, "canonical form holds {} terms", self.terms.len());
+        &self.terms[0]
+    }
+
+    /// Number of distinct variables in the canonical form.
+    pub fn num_vars(&self) -> usize {
+        self.nvars as usize
+    }
+
+    /// Instantiates the canonical form with fresh variables from `b`,
+    /// producing terms renamed apart from everything else in `b`.
+    pub fn instantiate(&self, b: &mut Bindings) -> Vec<Term> {
+        let base = b.fresh_block(self.nvars as usize);
+        self.terms
+            .iter()
+            .map(|t| t.map_vars(&mut |v| Term::Var(Var(base.0 + v.0))))
+            .collect()
+    }
+
+    /// Estimated heap footprint in bytes (for the table-space statistic).
+    pub fn heap_bytes(&self) -> usize {
+        self.terms.iter().map(Term::heap_bytes).sum()
+    }
+}
+
+/// Canonicalizes a tuple of terms *after resolving them* through `b`:
+/// all bound variables are substituted out, and the remaining free variables
+/// are renumbered in first-occurrence order across the whole tuple.
+pub fn canonicalize(b: &Bindings, ts: &[Term]) -> CanonicalTerm {
+    let mut map: HashMap<Var, u32> = HashMap::new();
+    let terms = ts
+        .iter()
+        .map(|t| {
+            let r = b.resolve(t);
+            r.map_vars(&mut |v| {
+                let n = map.len() as u32;
+                Term::Var(Var(*map.entry(v).or_insert(n)))
+            })
+        })
+        .collect();
+    CanonicalTerm { terms, nvars: map.len() as u32 }
+}
+
+/// Canonicalizes a single already-resolved term (no binding store needed).
+pub fn canonical_key(t: &Term) -> CanonicalTerm {
+    let empty = Bindings::new();
+    canonicalize(&empty, std::slice::from_ref(t))
+}
+
+/// `true` if `t1` and `t2` are variants of each other (identical up to
+/// variable renaming).
+///
+/// ```
+/// use tablog_term::{is_variant, structure, var, atom, Var};
+/// let a = structure("f", vec![var(Var(3)), var(Var(3)), var(Var(9))]);
+/// let b = structure("f", vec![var(Var(0)), var(Var(0)), var(Var(1))]);
+/// let c = structure("f", vec![var(Var(0)), var(Var(1)), var(Var(1))]);
+/// assert!(is_variant(&a, &b));
+/// assert!(!is_variant(&a, &c));
+/// ```
+pub fn is_variant(t1: &Term, t2: &Term) -> bool {
+    canonical_key(t1) == canonical_key(t2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{atom, structure, var};
+
+    #[test]
+    fn canonical_renumbers_first_occurrence() {
+        let t = structure("f", vec![var(Var(7)), var(Var(2)), var(Var(7))]);
+        let c = canonical_key(&t);
+        assert_eq!(
+            c.term(),
+            &structure("f", vec![var(Var(0)), var(Var(1)), var(Var(0))])
+        );
+        assert_eq!(c.num_vars(), 2);
+    }
+
+    #[test]
+    fn canonicalize_resolves_bindings_first() {
+        let mut b = Bindings::new();
+        let x = b.fresh_var();
+        let y = b.fresh_var();
+        b.bind(x, atom("a"));
+        let t = structure("f", vec![var(x), var(y)]);
+        let c = canonicalize(&b, &[t]);
+        assert_eq!(c.term(), &structure("f", vec![atom("a"), var(Var(0))]));
+    }
+
+    #[test]
+    fn variant_is_reflexive_and_respects_sharing() {
+        let t = structure("f", vec![var(Var(5)), var(Var(5))]);
+        assert!(is_variant(&t, &t));
+        let u = structure("f", vec![var(Var(1)), var(Var(2))]);
+        assert!(!is_variant(&t, &u));
+    }
+
+    #[test]
+    fn tuple_canonicalization_shares_numbering() {
+        let b = Bindings::new();
+        let c = canonicalize(
+            &b,
+            &[var(Var(9)), structure("g", vec![var(Var(9)), var(Var(4))])],
+        );
+        assert_eq!(c.terms()[0], var(Var(0)));
+        assert_eq!(c.terms()[1], structure("g", vec![var(Var(0)), var(Var(1))]));
+    }
+
+    #[test]
+    fn instantiate_renames_apart() {
+        let t = structure("f", vec![var(Var(0)), var(Var(1))]);
+        let c = canonical_key(&t);
+        let mut b = Bindings::new();
+        let _ = b.fresh_var(); // occupy index 0
+        let out = c.instantiate(&mut b);
+        let vs = out[0].vars();
+        assert_eq!(vs.len(), 2);
+        assert!(vs.iter().all(|v| v.index() >= 1));
+    }
+
+    #[test]
+    fn ground_terms_canonicalize_to_themselves() {
+        let t = structure("f", vec![atom("a"), atom("b")]);
+        let c = canonical_key(&t);
+        assert_eq!(c.term(), &t);
+        assert_eq!(c.num_vars(), 0);
+    }
+
+    #[test]
+    fn canonical_forms_work_as_hash_keys() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(canonical_key(&structure("f", vec![var(Var(3))])));
+        assert!(set.contains(&canonical_key(&structure("f", vec![var(Var(8))]))));
+        assert!(!set.contains(&canonical_key(&structure("f", vec![atom("a")]))));
+    }
+}

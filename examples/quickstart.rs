@@ -1,0 +1,51 @@
+//! Quickstart: load a tabled logic program and query it.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! Tabling is what makes the declarative-analysis story of the paper work:
+//! the left-recursive `path/2` below loops forever under plain Prolog but
+//! terminates under tabled evaluation, and the engine records every call
+//! and answer in inspectable tables.
+
+use tablog_engine::Engine;
+use tablog_term::Functor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = "
+        :- table path/2.
+        path(X, Y) :- path(X, Z), edge(Z, Y).
+        path(X, Y) :- edge(X, Y).
+
+        edge(a, b).
+        edge(b, c).
+        edge(c, d).
+        edge(d, b).      % a cycle: b -> c -> d -> b
+    ";
+    let engine = Engine::from_source(source)?;
+
+    // A query with variables: all nodes reachable from `a`.
+    let solutions = engine.solve("path(a, Where)")?;
+    println!("reachable from a:");
+    for row in solutions.to_strings() {
+        println!("  {row}");
+    }
+
+    // The tables themselves are available: calls and answers per subgoal.
+    let mut bindings = tablog_term::Bindings::new();
+    let (goal, _) = tablog_syntax::parse_term("path(b, X)", &mut bindings)?;
+    let evaluation = engine.evaluate(std::slice::from_ref(&goal), &[], &bindings)?;
+    println!("\ntables after solving path(b, X):");
+    for view in evaluation.subgoals_of(Functor::new("path", 2)) {
+        println!(
+            "  call {} has {} answers ({} bytes of table space)",
+            tablog_syntax::term_to_string(&view.call_term()),
+            view.num_answers(),
+            view.table_bytes(),
+        );
+        for answer in view.answers() {
+            println!("    {}", tablog_syntax::term_to_string(&answer));
+        }
+    }
+    println!("\nengine statistics: {:?}", evaluation.stats());
+    Ok(())
+}

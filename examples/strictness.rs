@@ -1,0 +1,63 @@
+//! Strictness analysis of a lazy functional program, cross-checked against
+//! actual lazy evaluation.
+//!
+//! Run with `cargo run --example strictness`.
+//!
+//! The analysis (the paper's Figure 3 formulation, evaluated on the tabled
+//! engine) reports per-argument demands; the interpreter then demonstrates
+//! the verdicts: a strict position diverges when given ⊥, a lazy one
+//! does not.
+
+use tablog_core::strictness::StrictnessAnalyzer;
+use tablog_funlang::{eval_main, parse_fun_program, EvalError};
+
+const PROGRAM: &str = "
+    ap(nil, ys) = ys;
+    ap(x : xs, ys) = x : ap(xs, ys);
+
+    sum(nil) = 0;
+    sum(x : xs) = x + sum(xs);
+
+    hd(x : xs) = x;
+
+    k(x, y) = x;
+
+    from(n) = n : from(n + 1);
+
+    take(0, xs) = nil;
+    take(n, x : xs) = x : take(n - 1, xs);
+
+    main = sum(take(5, from(10)));
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let report = StrictnessAnalyzer::new().analyze_source(PROGRAM)?;
+    println!("strictness verdicts (e = full, d = head-normal-form, n = none):");
+    for f in report.functions() {
+        println!("  {}", f.summary());
+    }
+
+    // The paper's flagship example: ap is ee-strict in both arguments
+    // under full demand, but only d-strict in the first under head demand.
+    let ap = report.strictness("ap").expect("ap analyzed");
+    assert!(ap.is_strict(0) && ap.is_strict(1));
+
+    // Cross-check with the lazy interpreter.
+    println!("\ninterpreter cross-checks:");
+    let diverging = format!("{PROGRAM} bot = bot; try1 = hd(bot);");
+    let prog = parse_fun_program(&diverging)?;
+    match tablog_funlang::eval_call(&prog, "try1", 200_000) {
+        Err(EvalError::OutOfFuel) => {
+            println!("  hd(bot) diverges — hd is strict, as analyzed")
+        }
+        other => println!("  unexpected: {other:?}"),
+    }
+    let lazy = format!("{PROGRAM} bot = bot; try2 = k(42, bot);");
+    let prog = parse_fun_program(&lazy)?;
+    let v = tablog_funlang::eval_call(&prog, "try2", 200_000)?;
+    println!("  k(42, bot) = {v} — k is lazy in its second argument, as analyzed");
+
+    let out = eval_main(&parse_fun_program(PROGRAM)?)?;
+    println!("\nmain evaluates to {out}");
+    Ok(())
+}

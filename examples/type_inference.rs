@@ -1,0 +1,62 @@
+//! Hindley–Milner type analysis (the Section 6.1 extension): type
+//! inference as equality-constraint solving with occur-check unification
+//! over ordinary first-order terms — no tabling required.
+//!
+//! Run with `cargo run --example type_inference`.
+
+use tablog_core::types::infer_types;
+use tablog_funlang::parse_fun_program;
+
+const PROGRAM: &str = "
+    data shape = circle(1) | rect(2);
+
+    id(x) = x;
+
+    ap(nil, ys) = ys;
+    ap(x : xs, ys) = x : ap(xs, ys);
+
+    len(nil) = 0;
+    len(x : xs) = 1 + len(xs);
+
+    mapdouble(nil) = nil;
+    mapdouble(x : xs) = (x + x) : mapdouble(xs);
+
+    zip(nil, ys) = nil;
+    zip(x : xs, nil) = nil;
+    zip(x : xs, y : ys) = pair(x, y) : zip(xs, ys);
+
+    tsum(leaf) = 0;
+    tsum(node(l, v, r)) = tsum(l) + v + tsum(r);
+
+    area(circle(r)) = 3 * r * r;
+    area(rect(w, h)) = w * h;
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let prog = parse_fun_program(PROGRAM)?;
+    let report = infer_types(&prog)?;
+    println!("inferred type schemes:");
+    for scheme in report.schemes() {
+        println!("  {}", scheme.render());
+    }
+
+    // Polymorphism: id is used at different types without conflict.
+    let id = report.scheme("id").expect("id typed");
+    assert_eq!(id.render(), "id : (A) -> A");
+
+    // A type error is a failed unification, reported with its context.
+    let bad = parse_fun_program("broken(x) = if x == 0 then 1 else nil;")?;
+    match infer_types(&bad) {
+        Err(e) => println!("\nill-typed program rejected as expected:\n  {e}"),
+        Ok(_) => unreachable!("broken should not type-check"),
+    }
+
+    // Occur check in action: x : x would need the infinite type
+    // A = list(A).
+    let cyclic = parse_fun_program("selfish(x) = x : x;")?;
+    match infer_types(&cyclic) {
+        Err(e) => println!("\ninfinite type rejected by the occur check:\n  {e}"),
+        Ok(_) => unreachable!("selfish should not type-check"),
+    }
+    Ok(())
+}

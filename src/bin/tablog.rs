@@ -1,0 +1,224 @@
+//! The `tablog` command-line tool: query tabled logic programs and run the
+//! PLDI'96 analyses on program files.
+//!
+//! ```text
+//! tablog query  FILE.pl GOAL            evaluate GOAL against FILE
+//! tablog tables FILE.pl GOAL            …and dump the call/answer tables
+//! tablog ground FILE.pl [--entry SPEC] [--direct]
+//!                                       Prop groundness analysis
+//! tablog depthk FILE.pl [--k N] [--entry SPEC]
+//!                                       depth-k groundness analysis
+//! tablog modes  FILE.pl --entry SPEC    mode inference (+ / - / ?)
+//! tablog strict FILE.eq                 strictness analysis
+//! tablog types  FILE.eq                 Hindley-Milner type analysis
+//! tablog run    FILE.eq [FUNCTION]      evaluate a functional program
+//! ```
+
+use std::process::ExitCode;
+use tablog_core::depthk::DepthKAnalyzer;
+use tablog_core::direct::DirectAnalyzer;
+use tablog_core::groundness::{EntryPoint, GroundnessAnalyzer};
+use tablog_core::strictness::StrictnessAnalyzer;
+use tablog_engine::Engine;
+use tablog_syntax::term_to_string;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("tablog: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: tablog <query|tables|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
+     see `tablog help` or the crate documentation"
+        .to_owned()
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or_else(usage)?;
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        "query" | "tables" => {
+            let file = args.get(1).ok_or_else(usage)?;
+            let goal = args.get(2).ok_or_else(usage)?;
+            let src = read_file(file)?;
+            let engine = Engine::from_source(&src).map_err(|e| e.to_string())?;
+            if cmd == "query" {
+                let sols = engine.solve(goal).map_err(|e| e.to_string())?;
+                if sols.is_empty() {
+                    println!("no");
+                } else {
+                    for row in sols.to_strings() {
+                        println!("{row}");
+                    }
+                }
+            } else {
+                let mut b = tablog_term::Bindings::new();
+                let (t, _) =
+                    tablog_syntax::parse_term(goal, &mut b).map_err(|e| e.to_string())?;
+                let eval =
+                    engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
+                for view in eval.subgoals() {
+                    println!(
+                        "{}  [{} answers, {} bytes]",
+                        term_to_string(&view.call_term()),
+                        view.num_answers(),
+                        view.table_bytes()
+                    );
+                    for a in view.answers() {
+                        println!("    {}", term_to_string(&a));
+                    }
+                }
+                println!("{:?}", eval.stats());
+            }
+            Ok(())
+        }
+        "ground" => {
+            let file = args.get(1).ok_or_else(usage)?;
+            let src = read_file(file)?;
+            let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
+            let entries: Vec<EntryPoint> = match flag_value(args, "--entry") {
+                Some(spec) => vec![EntryPoint::parse(spec).map_err(|e| e.to_string())?],
+                None => Vec::new(),
+            };
+            if args.iter().any(|a| a == "--direct") {
+                let report = DirectAnalyzer::new()
+                    .analyze_with_entries(&program, &entries)
+                    .map_err(|e| e.to_string())?;
+                for p in report.predicates() {
+                    println!(
+                        "{}/{}: ground={:?} models={}",
+                        p.name,
+                        p.arity,
+                        p.definitely_ground,
+                        p.prop.count()
+                    );
+                }
+                println!(
+                    "pairs={} iterations={} total={:?}",
+                    report.pairs,
+                    report.iterations,
+                    report.timings.total()
+                );
+            } else {
+                let report = GroundnessAnalyzer::new()
+                    .analyze_with_entries(&program, &entries)
+                    .map_err(|e| e.to_string())?;
+                for p in report.predicates() {
+                    println!(
+                        "{}/{}: ground={:?} answers={} calls={}",
+                        p.name,
+                        p.arity,
+                        p.definitely_ground,
+                        p.success_rows.len(),
+                        p.call_patterns.len()
+                    );
+                }
+                println!(
+                    "total={:?} tables={}B",
+                    report.timings.total(),
+                    report.table_bytes()
+                );
+            }
+            Ok(())
+        }
+        "depthk" => {
+            let file = args.get(1).ok_or_else(usage)?;
+            let src = read_file(file)?;
+            let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
+            let k: usize = flag_value(args, "--k")
+                .map(|v| v.parse().map_err(|_| "bad --k value".to_string()))
+                .transpose()?
+                .unwrap_or(2);
+            let entries: Vec<EntryPoint> = match flag_value(args, "--entry") {
+                Some(spec) => vec![EntryPoint::parse(spec).map_err(|e| e.to_string())?],
+                None => Vec::new(),
+            };
+            let report = DepthKAnalyzer::new(k)
+                .analyze_with_entries(&program, &entries)
+                .map_err(|e| e.to_string())?;
+            for p in report.predicates() {
+                println!("{}/{}: ground={:?}", p.name, p.arity, p.definitely_ground);
+                for row in p.answers.iter().take(8) {
+                    let rendered: Vec<String> = row.iter().map(term_to_string).collect();
+                    println!("    ({})", rendered.join(", "));
+                }
+                if p.answers.len() > 8 {
+                    println!("    … {} more", p.answers.len() - 8);
+                }
+            }
+            println!("total={:?} tables={}B", report.timings.total(), report.table_bytes());
+            Ok(())
+        }
+        "modes" => {
+            let file = args.get(1).ok_or_else(usage)?;
+            let src = read_file(file)?;
+            let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
+            let entries: Vec<EntryPoint> = match flag_value(args, "--entry") {
+                Some(spec) => vec![EntryPoint::parse(spec).map_err(|e| e.to_string())?],
+                None => return Err("modes requires --entry 'pred(g, f, …)'".to_string()),
+            };
+            let report = tablog_core::modes::infer_modes(&program, &entries)
+                .map_err(|e| e.to_string())?;
+            for p in report.predicates() {
+                println!("{}", p.render());
+            }
+            Ok(())
+        }
+        "types" => {
+            let file = args.get(1).ok_or_else(usage)?;
+            let src = read_file(file)?;
+            let prog =
+                tablog_funlang::parse_fun_program(&src).map_err(|e| e.to_string())?;
+            let report =
+                tablog_core::types::infer_types(&prog).map_err(|e| e.to_string())?;
+            for s in report.schemes() {
+                println!("{}", s.render());
+            }
+            Ok(())
+        }
+        "strict" => {
+            let file = args.get(1).ok_or_else(usage)?;
+            let src = read_file(file)?;
+            let report = StrictnessAnalyzer::new()
+                .analyze_source(&src)
+                .map_err(|e| e.to_string())?;
+            for f in report.functions() {
+                println!("{}", f.summary());
+            }
+            println!("total={:?} tables={}B", report.timings.total(), report.table_bytes());
+            Ok(())
+        }
+        "run" => {
+            let file = args.get(1).ok_or_else(usage)?;
+            let entry = args.get(2).map(String::as_str).unwrap_or("main");
+            let src = read_file(file)?;
+            let prog =
+                tablog_funlang::parse_fun_program(&src).map_err(|e| e.to_string())?;
+            let out = tablog_funlang::eval_call(&prog, entry, 10_000_000)
+                .map_err(|e| e.to_string())?;
+            println!("{out}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end tests of the `tablog` command-line tool.
+
+use std::io::Write;
+use std::process::Command;
+
+fn tablog(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tablog"))
+        .args(args)
+        .output()
+        .expect("spawn tablog");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn temp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("tablog-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+const GRAPH: &str = "
+    :- table path/2.
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+    path(X, Y) :- edge(X, Y).
+    edge(a, b). edge(b, c).
+";
+
+#[test]
+fn query_prints_solutions() {
+    let f = temp_file("graph.pl", GRAPH);
+    let (out, err, ok) = tablog(&["query", f.to_str().unwrap(), "path(a, X)"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("X = b") && out.contains("X = c"), "{out}");
+}
+
+#[test]
+fn query_failing_goal_says_no() {
+    let f = temp_file("graph2.pl", GRAPH);
+    let (out, _, ok) = tablog(&["query", f.to_str().unwrap(), "path(c, a)"]);
+    assert!(ok);
+    assert_eq!(out.trim(), "no");
+}
+
+#[test]
+fn tables_dump_shows_subgoals() {
+    let f = temp_file("graph3.pl", GRAPH);
+    let (out, _, ok) = tablog(&["tables", f.to_str().unwrap(), "path(a, X)"]);
+    assert!(ok);
+    assert!(out.contains("path(a,A)"), "{out}");
+    assert!(out.contains("answers"), "{out}");
+}
+
+#[test]
+fn ground_reports_groundness() {
+    let f = temp_file("app.pl", "app([], Y, Y).\napp([X|Xs], Y, [X|Z]) :- app(Xs, Y, Z).");
+    let (out, err, ok) = tablog(&["ground", f.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(out.contains("app/3"), "{out}");
+}
+
+#[test]
+fn ground_with_entry_and_direct_agree_in_output_format() {
+    let f = temp_file("qs.pl", tablog_suite::logic_benchmark("qsort").unwrap().source);
+    let (out1, _, ok1) =
+        tablog(&["ground", f.to_str().unwrap(), "--entry", "qsort(g, f)"]);
+    let (out2, _, ok2) =
+        tablog(&["ground", f.to_str().unwrap(), "--entry", "qsort(g, f)", "--direct"]);
+    assert!(ok1 && ok2);
+    assert!(out1.contains("qsort/2"), "{out1}");
+    assert!(out2.contains("qsort/2"), "{out2}");
+    // Both report quicksort's arguments as ground on success.
+    assert!(out1.contains("ground=[true, true]"), "{out1}");
+    assert!(out2.contains("ground=[true, true]"), "{out2}");
+}
+
+#[test]
+fn depthk_prints_abstract_answers() {
+    let f = temp_file("nat.pl", "nat(0).\nnat(s(X)) :- nat(X).");
+    let (out, err, ok) = tablog(&["depthk", f.to_str().unwrap(), "--k", "1"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("nat/1"), "{out}");
+    assert!(out.contains("ground=[true]"), "{out}");
+}
+
+#[test]
+fn strict_prints_summaries() {
+    let f = temp_file(
+        "ap.eq",
+        "ap(nil, ys) = ys;\nap(x : xs, ys) = x : ap(xs, ys);",
+    );
+    let (out, err, ok) = tablog(&["strict", f.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(out.contains("ap: e->ee d->dn"), "{out}");
+}
+
+#[test]
+fn modes_prints_signatures() {
+    let f = temp_file("qs2.pl", tablog_suite::logic_benchmark("qsort").unwrap().source);
+    let (out, err, ok) = tablog(&["modes", f.to_str().unwrap(), "--entry", "qsort(g, f)"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("qsort(+, -)"), "{out}");
+    assert!(out.contains("append(+, +, -)"), "{out}");
+}
+
+#[test]
+fn modes_without_entry_is_an_error() {
+    let f = temp_file("qs3.pl", "p(a).");
+    let (_, err, ok) = tablog(&["modes", f.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("--entry"), "{err}");
+}
+
+#[test]
+fn types_prints_schemes() {
+    let f = temp_file(
+        "typed.eq",
+        "ap(nil, ys) = ys;\nap(x : xs, ys) = x : ap(xs, ys);\nlen(nil) = 0;\nlen(x : xs) = 1 + len(xs);",
+    );
+    let (out, err, ok) = tablog(&["types", f.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(out.contains("ap : (list(A), list(A)) -> list(A)"), "{out}");
+    assert!(out.contains("len : (list(A)) -> int"), "{out}");
+}
+
+#[test]
+fn types_rejects_ill_typed_programs() {
+    let f = temp_file("bad.eq", "f(x) = if x == 0 then 1 else nil;");
+    let (_, err, ok) = tablog(&["types", f.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(err.contains("type error"), "{err}");
+}
+
+#[test]
+fn run_evaluates_functional_main() {
+    let f = temp_file(
+        "go.eq",
+        "ap(nil, ys) = ys;\nap(x : xs, ys) = x : ap(xs, ys);\nmain = ap([1], [2, 3]);",
+    );
+    let (out, err, ok) = tablog(&["run", f.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert_eq!(out.trim(), "[1,2,3]");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let (_, err, ok) = tablog(&["query", "/nonexistent.pl", "x"]);
+    assert!(!ok);
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (_, err, ok) = tablog(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("usage"), "{err}");
+}

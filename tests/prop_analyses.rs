@@ -1,0 +1,133 @@
+//! Property tests over random logic programs: the three groundness
+//! implementations (tabled declarative, hand-coded direct, magic/bottom-up
+//! expansion) must compute identical Prop formulas, and the analysis must
+//! over-approximate the concrete success set.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tablog_core::direct::DirectAnalyzer;
+use tablog_core::groundness::{transform_program, GroundnessAnalyzer, IffMode};
+use tablog_engine::{Engine, EngineOptions, LoadMode};
+use tablog_magic::BottomUp;
+use tablog_syntax::parse_program;
+
+/// Generates a small random logic program as source text: facts with
+/// constants/structures, rules chaining body literals with shared
+/// variables, plus occasional `=`/`is` builtins.
+fn arb_logic_program() -> impl Strategy<Value = String> {
+    let fact_arg = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("f(a)".to_string()),
+        Just("g(a, b)".to_string()),
+        Just("X".to_string()),
+        Just("f(X)".to_string()),
+    ];
+    let fact = (0usize..3, fact_arg.clone(), fact_arg).prop_map(|(p, a1, a2)| {
+        format!("q{p}({a1}, {a2}).")
+    });
+    let body_lit = prop_oneof![
+        (0usize..3, 0usize..3, 0usize..3)
+            .prop_map(|(p, v1, v2)| format!("q{p}(V{v1}, V{v2})")),
+        (0usize..3).prop_map(|v| format!("V{v} = f(a)")),
+        (0usize..3, 0usize..3).prop_map(|(v1, v2)| format!("V{v1} = V{v2}")),
+    ];
+    let rule = (
+        0usize..3,
+        0usize..3,
+        0usize..3,
+        prop::collection::vec(body_lit, 1..4),
+    )
+        .prop_map(|(p, v1, v2, body)| {
+            format!("q{p}(V{v1}, V{v2}) :- {}.", body.join(", "))
+        });
+    (
+        prop::collection::vec(fact, 1..5),
+        prop::collection::vec(rule, 0..4),
+    )
+        .prop_map(|(mut facts, rules)| {
+            // Keep every predicate defined.
+            for p in 0..3 {
+                facts.push(format!("q{p}(a, b)."));
+            }
+            facts.extend(rules);
+            facts.join("\n")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tabled and direct analyzers compute the same output formulas.
+    #[test]
+    fn tabled_and_direct_agree(src in arb_logic_program()) {
+        let tabled = GroundnessAnalyzer::new().analyze_source(&src).unwrap();
+        let direct = DirectAnalyzer::new().analyze_source(&src).unwrap();
+        for p in tabled.predicates() {
+            let d = direct.output_groundness(&p.name, p.arity).unwrap();
+            prop_assert_eq!(&p.prop, &d.prop, "{}/{} in\n{}", p.name, p.arity, src);
+        }
+    }
+
+    /// Bottom-up evaluation of the abstract program grounds out to the
+    /// same success sets.
+    #[test]
+    fn bottom_up_expansion_agrees(src in arb_logic_program()) {
+        let program = parse_program(&src).unwrap();
+        let (rules, preds) = transform_program(&program, IffMode::Builtin).unwrap();
+        let mut eval = BottomUp::new(rules);
+        eval.run().unwrap();
+        let tabled = GroundnessAnalyzer::new().analyze_source(&src).unwrap();
+        for &(name, arity) in preds.keys() {
+            let pname = tablog_term::sym_name(name);
+            let t = tabled.output_groundness(&pname, arity).unwrap();
+            let f = tablog_term::Functor {
+                name: tablog_term::intern(&format!("gp${pname}")),
+                arity,
+            };
+            let mut magic_rows: Vec<Vec<bool>> = eval
+                .relation(f)
+                .iter()
+                .map(|tuple| tuple.iter().map(|v| *v == tablog_term::atom("true")).collect())
+                .collect();
+            magic_rows.sort();
+            magic_rows.dedup();
+            let mut tabled_rows = t.prop.rows();
+            tabled_rows.sort();
+            prop_assert_eq!(tabled_rows, magic_rows, "{}/{} in\n{}", pname, arity, src);
+        }
+    }
+
+    /// Soundness: whenever the concrete program derives a ground fact, the
+    /// analysis admits the all-true row for that predicate.
+    #[test]
+    fn analysis_over_approximates_concrete(src in arb_logic_program()) {
+        let mut opts = EngineOptions::default();
+        // Kept small: random programs can grow term depth every step, and
+        // node size grows with depth, so a large budget can exhaust memory.
+        opts.max_steps = Some(400);
+        let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts);
+        let engine = match engine { Ok(e) => e, Err(_) => return Ok(()) };
+        let report = GroundnessAnalyzer::new().analyze_source(&src).unwrap();
+        for p in 0..3usize {
+            let name = format!("q{p}");
+            let sols = match engine.solve(&format!("q{p}(GX, GY)")) {
+                Ok(s) => s,
+                Err(_) => continue, // step limit: skip concrete check
+            };
+            let concrete_rows: HashSet<Vec<bool>> = sols
+                .rows()
+                .iter()
+                .map(|r| r.iter().map(tablog_term::Term::is_ground).collect())
+                .collect();
+            let g = report.output_groundness(&name, 2).unwrap();
+            let abstract_rows: HashSet<Vec<bool>> = g.prop.rows().into_iter().collect();
+            for row in concrete_rows {
+                prop_assert!(
+                    abstract_rows.contains(&row),
+                    "{name}: concrete groundness {row:?} missing from analysis in\n{src}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests pitting the two Prop-domain representations against
+//! each other: enumerative truth tables (the paper's choice) and ROBDDs
+//! (the alternative the paper cites). Every operation must agree.
+
+use proptest::prelude::*;
+use tablog_bdd::{Bdd, BddManager};
+use tablog_core::prop::PropTable;
+
+const NVARS: usize = 4;
+
+/// A random boolean-formula AST, to interpret into both representations.
+#[derive(Clone, Debug)]
+enum Formula {
+    Var(usize),
+    Not(Box<Formula>),
+    And(Box<Formula>, Box<Formula>),
+    Or(Box<Formula>, Box<Formula>),
+    Iff(Box<Formula>, Box<Formula>),
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = (0..NVARS).prop_map(Formula::Var);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Formula::Iff(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn to_bdd(m: &mut BddManager, f: &Formula) -> Bdd {
+    match f {
+        Formula::Var(v) => m.var(*v as u32),
+        Formula::Not(a) => {
+            let x = to_bdd(m, a);
+            m.not(x)
+        }
+        Formula::And(a, b) => {
+            let x = to_bdd(m, a);
+            let y = to_bdd(m, b);
+            m.and(x, y)
+        }
+        Formula::Or(a, b) => {
+            let x = to_bdd(m, a);
+            let y = to_bdd(m, b);
+            m.or(x, y)
+        }
+        Formula::Iff(a, b) => {
+            let x = to_bdd(m, a);
+            let y = to_bdd(m, b);
+            m.iff(x, y)
+        }
+    }
+}
+
+fn eval(f: &Formula, row: &[bool]) -> bool {
+    match f {
+        Formula::Var(v) => row[*v],
+        Formula::Not(a) => !eval(a, row),
+        Formula::And(a, b) => eval(a, row) && eval(b, row),
+        Formula::Or(a, b) => eval(a, row) || eval(b, row),
+        Formula::Iff(a, b) => eval(a, row) == eval(b, row),
+    }
+}
+
+fn to_table(f: &Formula) -> PropTable {
+    let rows: Vec<Vec<bool>> = (0..(1usize << NVARS))
+        .map(|r| (0..NVARS).map(|i| r & (1 << i) != 0).collect())
+        .filter(|row: &Vec<bool>| eval(f, row))
+        .collect();
+    PropTable::from_rows(NVARS, &rows)
+}
+
+proptest! {
+    /// Truth-table and BDD interpretations of the same formula agree.
+    #[test]
+    fn representations_agree(f in arb_formula()) {
+        let table = to_table(&f);
+        let mut m = BddManager::new();
+        let bdd = to_bdd(&mut m, &f);
+        prop_assert_eq!(m.sat_count(bdd, NVARS as u32) as usize, table.count());
+        prop_assert_eq!(PropTable::from_bdd(&m, bdd, NVARS), table);
+    }
+
+    /// Conversion between the representations is a bijection on functions.
+    #[test]
+    fn conversion_roundtrip(f in arb_formula()) {
+        let table = to_table(&f);
+        let mut m = BddManager::new();
+        let via = table.to_bdd(&mut m);
+        prop_assert_eq!(PropTable::from_bdd(&m, via, NVARS), table);
+    }
+
+    /// Existential quantification commutes with conversion.
+    #[test]
+    fn exists_commutes(f in arb_formula(), v in 0usize..NVARS) {
+        let table = to_table(&f).exists(v);
+        let mut m = BddManager::new();
+        let bdd = to_bdd(&mut m, &f);
+        let e = m.exists(v as u32, bdd);
+        prop_assert_eq!(PropTable::from_bdd(&m, e, NVARS), table);
+    }
+
+    /// The `iff` constraint (the analysis workhorse) agrees across
+    /// representations.
+    #[test]
+    fn iff_constraint_agrees(f in arb_formula(), x in 0usize..NVARS,
+                             ys in prop::collection::vec(0usize..NVARS, 0..3)) {
+        let table = to_table(&f).constrain_iff(x, &ys);
+        let mut m = BddManager::new();
+        let bdd = to_bdd(&mut m, &f);
+        let yconj = m.var_conj(&ys.iter().map(|&y| y as u32).collect::<Vec<_>>());
+        let xv = m.var(x as u32);
+        let c = m.iff(xv, yconj);
+        let combined = m.and(bdd, c);
+        prop_assert_eq!(PropTable::from_bdd(&m, combined, NVARS), table);
+    }
+
+    /// De Morgan on BDDs, checked via truth tables.
+    #[test]
+    fn de_morgan(a in arb_formula(), b in arb_formula()) {
+        let mut m = BddManager::new();
+        let x = to_bdd(&mut m, &a);
+        let y = to_bdd(&mut m, &b);
+        let and = m.and(x, y);
+        let lhs = m.not(and);
+        let nx = m.not(x);
+        let ny = m.not(y);
+        let rhs = m.or(nx, ny);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Hash consing: semantically equal formulas get the identical node.
+    #[test]
+    fn canonical_nodes(f in arb_formula()) {
+        let mut m = BddManager::new();
+        let x = to_bdd(&mut m, &f);
+        let dn = m.not(x);
+        let ddn = m.not(dn);
+        prop_assert_eq!(x, ddn);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for the reader/writer pair: whatever the writer prints,
+//! the reader must parse back to a variant of the original term.
+
+use proptest::prelude::*;
+use tablog_syntax::{parse_term, term_to_string};
+use tablog_term::{atom, int, is_variant, structure, var, Bindings, Term, Var};
+
+fn arb_printable_term(nvars: u32) -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0..nvars).prop_map(|v| var(Var(v))),
+        prop_oneof![
+            Just("a"),
+            Just("foo"),
+            Just("bar_baz"),
+            Just("[]"),
+            Just("hello world"), // needs quoting
+            Just("Weird"),       // needs quoting (uppercase start)
+            Just("+"),           // symbolic
+        ]
+        .prop_map(atom),
+        (-100i64..100).prop_map(int),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            // Ordinary compounds.
+            (
+                prop_oneof![Just("f"), Just("g"), Just("wrap")],
+                prop::collection::vec(inner.clone(), 1..4)
+            )
+                .prop_map(|(name, args)| structure(name, args)),
+            // Operators.
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| structure("+", vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| structure("*", vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| structure("=", vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| structure(",", vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| structure(";", vec![a, b])),
+            inner.clone().prop_map(|a| structure("-", vec![a])),
+            // Lists.
+            (inner.clone(), inner).prop_map(|(a, b)| structure(".", vec![a, b])),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// print ∘ parse = identity up to variable renaming.
+    #[test]
+    fn writer_reader_roundtrip(t in arb_printable_term(3)) {
+        let printed = term_to_string(&t);
+        let mut b = Bindings::new();
+        let (back, _) = parse_term(&printed, &mut b)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        prop_assert!(
+            is_variant(&t, &back),
+            "{t:?} printed as {printed:?} reparsed as {back:?}"
+        );
+    }
+
+    /// Printing is deterministic.
+    #[test]
+    fn printing_is_deterministic(t in arb_printable_term(3)) {
+        prop_assert_eq!(term_to_string(&t), term_to_string(&t));
+    }
+
+    /// Whole clauses round-trip through program syntax.
+    #[test]
+    fn clause_roundtrip(head in arb_printable_term(3), body in arb_printable_term(3)) {
+        let clause = structure(":-", vec![head, body]);
+        let printed = format!("{}.", term_to_string(&clause));
+        let prog = tablog_syntax::parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        prop_assert_eq!(prog.clauses.len(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for unification and variant canonicalization — the
+//! operations everything else rests on.
+
+use proptest::prelude::*;
+use tablog_term::{
+    atom, canonical_key, canonicalize, int, is_variant, structure, unify, unify_occurs, var,
+    Bindings, Term, Var,
+};
+
+/// A strategy for arbitrary terms over a small signature with variables
+/// drawn from `0..nvars`.
+fn arb_term(nvars: u32) -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (0..nvars).prop_map(|v| var(Var(v))),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(atom),
+        (-3i64..4).prop_map(int),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        (
+            prop_oneof![Just("f"), Just("g"), Just("h")],
+            prop::collection::vec(inner, 1..3),
+        )
+            .prop_map(|(name, args)| structure(name, args))
+    })
+}
+
+proptest! {
+    /// A unifier found by `unify` really does make the terms equal.
+    #[test]
+    fn unify_produces_a_unifier(t1 in arb_term(4), t2 in arb_term(4)) {
+        let mut b = Bindings::new();
+        b.fresh_block(4);
+        if unify(&mut b, &t1, &t2) {
+            prop_assert_eq!(b.resolve(&t1), b.resolve(&t2));
+        }
+    }
+
+    /// Unification is symmetric in success/failure.
+    #[test]
+    fn unify_is_symmetric(t1 in arb_term(4), t2 in arb_term(4)) {
+        let mut b1 = Bindings::new();
+        b1.fresh_block(4);
+        let mut b2 = Bindings::new();
+        b2.fresh_block(4);
+        prop_assert_eq!(unify(&mut b1, &t1, &t2), unify(&mut b2, &t2, &t1));
+    }
+
+    /// With the occur check on, the computed unifier is idempotent: applying
+    /// it twice changes nothing.
+    #[test]
+    fn occurs_unifier_is_idempotent(t1 in arb_term(4), t2 in arb_term(4)) {
+        let mut b = Bindings::new();
+        b.fresh_block(4);
+        if unify_occurs(&mut b, &t1, &t2) {
+            let once = b.resolve(&t1);
+            let twice = b.resolve(&once);
+            prop_assert_eq!(once, twice);
+        }
+    }
+
+    /// A term unifies with itself without new bindings being observable.
+    #[test]
+    fn unify_reflexive(t in arb_term(4)) {
+        let mut b = Bindings::new();
+        b.fresh_block(4);
+        prop_assert!(unify(&mut b, &t, &t));
+        prop_assert_eq!(b.resolve(&t), b.resolve(&t));
+    }
+
+    /// Failed unification under a mark leaves no trace after undo.
+    #[test]
+    fn undo_restores_after_failure(t1 in arb_term(4), t2 in arb_term(4)) {
+        let mut b = Bindings::new();
+        b.fresh_block(4);
+        let before: Vec<Term> = (0..4).map(|i| b.resolve(&var(Var(i)))).collect();
+        let m = b.mark();
+        let _ = unify(&mut b, &t1, &t2);
+        b.undo_to(m);
+        let after: Vec<Term> = (0..4).map(|i| b.resolve(&var(Var(i)))).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Canonicalization is idempotent and variant-invariant under renaming.
+    #[test]
+    fn canonicalization_idempotent(t in arb_term(4)) {
+        let c1 = canonical_key(&t);
+        let c2 = canonical_key(c1.term());
+        prop_assert_eq!(&c1, &c2);
+        // Renaming by an offset yields a variant.
+        let shifted = t.map_vars(&mut |v| var(Var(v.0 + 17)));
+        prop_assert!(is_variant(&t, &shifted));
+        prop_assert_eq!(canonical_key(&shifted), c1);
+    }
+
+    /// Instantiating a canonical tuple and re-canonicalizing round-trips.
+    #[test]
+    fn canonical_instantiate_roundtrip(ts in prop::collection::vec(arb_term(4), 1..4)) {
+        let empty = Bindings::new();
+        let c = canonicalize(&empty, &ts);
+        let mut b = Bindings::new();
+        b.fresh_block(9); // occupy some variables first
+        let inst = c.instantiate(&mut b);
+        let c2 = canonicalize(&b, &inst);
+        prop_assert_eq!(c, c2);
+    }
+
+    /// Variants agree on size, depth and groundness.
+    #[test]
+    fn variants_share_structure(t in arb_term(4)) {
+        let shifted = t.map_vars(&mut |v| var(Var(v.0 + 5)));
+        prop_assert_eq!(t.size(), shifted.size());
+        prop_assert_eq!(t.depth(), shifted.depth());
+        prop_assert_eq!(t.is_ground(), shifted.is_ground());
+    }
+
+    /// Abstract unification is an over-approximation of concrete
+    /// unification on γ-free terms: whenever concrete unification succeeds,
+    /// abstract unification succeeds too.
+    #[test]
+    fn abs_unify_over_approximates(t1 in arb_term(4), t2 in arb_term(4)) {
+        let mut bc = Bindings::new();
+        bc.fresh_block(4);
+        let concrete = unify_occurs(&mut bc, &t1, &t2);
+        let mut ba = Bindings::new();
+        ba.fresh_block(4);
+        let abstracted = tablog_engine::abs_unify(&mut ba, &t1, &t2);
+        if concrete {
+            prop_assert!(abstracted);
+        }
+    }
+}

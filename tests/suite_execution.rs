@@ -1,0 +1,104 @@
+//! The benchmark reconstructions are not just analysis fodder: several of
+//! them are runnable programs. Executing their `main/1` goals on the
+//! tabled engine checks both the engine (arithmetic, negation, deep
+//! recursion) and the reconstructions themselves.
+
+use tablog_engine::{Engine, EngineOptions, LoadMode};
+
+fn run_main(bench: &str, max_steps: usize) -> tablog_engine::Solutions {
+    let b = tablog_suite::logic_benchmark(bench).expect("benchmark exists");
+    let mut opts = EngineOptions::default();
+    opts.max_steps = Some(max_steps);
+    let engine =
+        Engine::from_source_with(b.source, LoadMode::Dynamic, opts).expect("loads");
+    engine.solve("main(Result)").expect("solves")
+}
+
+#[test]
+fn qsort_main_sorts_its_input() {
+    let s = run_main("qsort", 2_000_000);
+    assert!(!s.is_empty());
+    let first = &s.rows()[0][0];
+    let printed = tablog_syntax::term_to_string(first);
+    assert!(printed.starts_with("[2,6,11,17"), "{printed}");
+}
+
+#[test]
+fn plan_finds_a_blocks_world_plan() {
+    // The full Sussman-anomaly search space is large without cut; the
+    // `simple` instance exercises the same planner cheaply.
+    let b = tablog_suite::logic_benchmark("plan").expect("benchmark exists");
+    let mut opts = EngineOptions::default();
+    opts.max_steps = Some(2_000_000);
+    let engine =
+        Engine::from_source_with(b.source, LoadMode::Dynamic, opts).expect("loads");
+    let s = engine.solve("plan_test(simple, Plan)").expect("solves");
+    assert!(!s.is_empty());
+    let printed = tablog_syntax::term_to_string(&s.rows()[0][0]);
+    assert!(printed.contains("move("), "{printed}");
+}
+
+#[test]
+fn pg_main_packs_the_bins() {
+    let s = run_main("pg", 2_000_000);
+    assert!(!s.is_empty());
+    let printed = tablog_syntax::term_to_string(&s.rows()[0][0]);
+    assert!(printed.contains("bin("), "{printed}");
+}
+
+#[test]
+fn gabriel_main_counts_matches() {
+    let s = run_main("gabriel", 2_000_000);
+    assert!(!s.is_empty());
+    // The count is a non-negative integer.
+    assert!(matches!(s.rows()[0][0], tablog_term::Term::Int(n) if n >= 0));
+}
+
+#[test]
+fn press_main_solves_the_linear_equation() {
+    // x + 3 = 5 has two derivations: isolation gives x = 5 - 3 and the
+    // polynomial method gives x = -(-2)/1; both must be answers.
+    let s = run_main("press1", 2_000_000);
+    assert!(!s.is_empty());
+    let printed: Vec<String> =
+        s.rows().iter().map(|r| tablog_syntax::term_to_string(&r[0])).collect();
+    assert!(printed.iter().any(|p| p.contains("5-3")), "{printed:?}");
+    assert!(printed.iter().any(|p| p.contains("-2")), "{printed:?}");
+}
+
+#[test]
+fn peep_main_optimizes_sample_one() {
+    let s = run_main("peep", 4_000_000);
+    assert!(!s.is_empty());
+    let printed = tablog_syntax::term_to_string(&s.rows()[0][0]);
+    // move(r1,r1) eliminated; constants folded: loadi(3),addi(4) -> loadi(7).
+    assert!(!printed.contains("move(r1,r1)"), "{printed}");
+    assert!(printed.contains("loadi(7)"), "{printed}");
+    assert!(printed.contains("halt"), "{printed}");
+}
+
+#[test]
+fn read_main_parses_its_sample_clause() {
+    let s = run_main("read", 4_000_000);
+    assert!(!s.is_empty());
+    let printed = tablog_syntax::term_to_string(&s.rows()[0][0]);
+    // "foo(a,X) :- bar(X)."  parses to an infix_term clause skeleton.
+    assert!(printed.contains("infix_term"), "{printed}");
+    assert!(printed.contains("compound(foo"), "{printed}");
+}
+
+#[test]
+fn cs_main_cuts_the_small_instance() {
+    let s = run_main("cs", 4_000_000);
+    assert!(!s.is_empty());
+    let printed = tablog_syntax::term_to_string(&s.rows()[0][0]);
+    assert!(printed.contains("pattern("), "{printed}");
+}
+
+#[test]
+fn disj_main_schedules_within_horizon() {
+    let s = run_main("disj", 4_000_000);
+    assert!(!s.is_empty());
+    let printed = tablog_syntax::term_to_string(&s.rows()[0][0]);
+    assert!(printed.contains("start("), "{printed}");
+}
