@@ -77,8 +77,16 @@ impl BddManager {
         let mut m = BddManager::default();
         // Index 0 and 1 are reserved for the constants; the sentinel nodes
         // are never inspected.
-        m.nodes.push(Node { var: u32::MAX, lo: Bdd::FALSE, hi: Bdd::FALSE });
-        m.nodes.push(Node { var: u32::MAX, lo: Bdd::TRUE, hi: Bdd::TRUE });
+        m.nodes.push(Node {
+            var: u32::MAX,
+            lo: Bdd::FALSE,
+            hi: Bdd::FALSE,
+        });
+        m.nodes.push(Node {
+            var: u32::MAX,
+            lo: Bdd::TRUE,
+            hi: Bdd::TRUE,
+        });
         m
     }
 
@@ -185,8 +193,16 @@ impl BddManager {
         let nf = self.node(f);
         let ng = self.node(g);
         let var = nf.var.min(ng.var);
-        let (flo, fhi) = if nf.var == var { (nf.lo, nf.hi) } else { (f, f) };
-        let (glo, ghi) = if ng.var == var { (ng.lo, ng.hi) } else { (g, g) };
+        let (flo, fhi) = if nf.var == var {
+            (nf.lo, nf.hi)
+        } else {
+            (f, f)
+        };
+        let (glo, ghi) = if ng.var == var {
+            (ng.lo, ng.hi)
+        } else {
+            (g, g)
+        };
         let lo = self.apply(op, flo, glo);
         let hi = self.apply(op, fhi, ghi);
         let r = self.mk(var, lo, hi);
@@ -290,7 +306,11 @@ impl BddManager {
                 Bdd::TRUE => return true,
                 _ => {
                     let n = self.node(cur);
-                    cur = if assignment[n.var as usize] { n.hi } else { n.lo };
+                    cur = if assignment[n.var as usize] {
+                        n.hi
+                    } else {
+                        n.lo
+                    };
                 }
             }
         }
@@ -298,7 +318,13 @@ impl BddManager {
 
     /// Number of satisfying assignments over variables `0..nvars`.
     pub fn sat_count(&self, f: Bdd, nvars: u32) -> u64 {
-        fn go(m: &BddManager, f: Bdd, from: u32, nvars: u32, memo: &mut HashMap<(Bdd, u32), u64>) -> u64 {
+        fn go(
+            m: &BddManager,
+            f: Bdd,
+            from: u32,
+            nvars: u32,
+            memo: &mut HashMap<(Bdd, u32), u64>,
+        ) -> u64 {
             match f {
                 Bdd::FALSE => 0,
                 Bdd::TRUE => 1u64 << (nvars - from),
@@ -340,7 +366,11 @@ impl BddManager {
             }
             let mut row = Bdd::TRUE;
             for v in 0..nvars {
-                let lit = if i & (1 << v) != 0 { self.var(v) } else { self.nvar(v) };
+                let lit = if i & (1 << v) != 0 {
+                    self.var(v)
+                } else {
+                    self.nvar(v)
+                };
                 row = self.and(row, lit);
             }
             f = self.or(f, row);

@@ -49,11 +49,19 @@ fn ablation_dynamic_vs_compiled(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_dynamic_vs_compiled");
     g.sample_size(10);
     g.bench_function("dynamic", |b| {
-        let a = analyzer(LoadMode::Dynamic, IffMode::Builtin, EngineOptions::default());
+        let a = analyzer(
+            LoadMode::Dynamic,
+            IffMode::Builtin,
+            EngineOptions::default(),
+        );
         b.iter(|| black_box(run_suite(&a)))
     });
     g.bench_function("compiled", |b| {
-        let a = analyzer(LoadMode::Compiled, IffMode::Builtin, EngineOptions::default());
+        let a = analyzer(
+            LoadMode::Compiled,
+            IffMode::Builtin,
+            EngineOptions::default(),
+        );
         b.iter(|| black_box(run_suite(&a)))
     });
     g.finish();
@@ -63,7 +71,11 @@ fn ablation_iff_repr(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_iff_repr");
     g.sample_size(10);
     g.bench_function("builtin", |b| {
-        let a = analyzer(LoadMode::Dynamic, IffMode::Builtin, EngineOptions::default());
+        let a = analyzer(
+            LoadMode::Dynamic,
+            IffMode::Builtin,
+            EngineOptions::default(),
+        );
         b.iter(|| black_box(run_suite(&a)))
     });
     g.bench_function("facts", |b| {
@@ -111,7 +123,11 @@ fn ablation_tabled_vs_magic(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_tabled_vs_magic");
     g.sample_size(10);
     g.bench_function("tabled_top_down", |b| {
-        let a = analyzer(LoadMode::Dynamic, IffMode::Builtin, EngineOptions::default());
+        let a = analyzer(
+            LoadMode::Dynamic,
+            IffMode::Builtin,
+            EngineOptions::default(),
+        );
         b.iter(|| black_box(run_suite(&a)))
     });
     g.bench_function("magic_bottom_up", |b| {
@@ -120,8 +136,7 @@ fn ablation_tabled_vs_magic(c: &mut Criterion) {
             for name in ABLATION_SET {
                 let bench = tablog_suite::logic_benchmark(name).expect("exists");
                 let program = parse_program(bench.source).expect("parses");
-                let (rules, _) =
-                    transform_program(&program, IffMode::Builtin).expect("transforms");
+                let (rules, _) = transform_program(&program, IffMode::Builtin).expect("transforms");
                 let mut eval = BottomUp::new(rules);
                 eval.run().expect("evaluates");
                 acc += eval.derivations();
@@ -136,7 +151,9 @@ fn ablation_subsumption_and_scheduling(c: &mut Criterion) {
     // A transitive-closure workload with many specific calls — the shape
     // where forward subsumption through the open call pays off.
     let n = 60;
-    let mut src = String::from(":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n");
+    let mut src = String::from(
+        ":- table path/2.\npath(X,Y) :- edge(X,Y).\npath(X,Y) :- edge(X,Z), path(Z,Y).\n",
+    );
     for i in 0..n {
         src.push_str(&format!("edge(n{}, n{}).\n", i, (i + 1) % n));
     }
@@ -163,8 +180,10 @@ fn ablation_subsumption_and_scheduling(c: &mut Criterion) {
     });
     g.bench_function("forward_subsumption", |b| {
         b.iter(|| {
-            let mut o = EngineOptions::default();
-            o.forward_subsumption = true;
+            let o = EngineOptions {
+                forward_subsumption: true,
+                ..Default::default()
+            };
             black_box(run(o))
         })
     });
@@ -177,8 +196,10 @@ fn ablation_subsumption_and_scheduling(c: &mut Criterion) {
     });
     g.bench_function("breadth_first", |b| {
         b.iter(|| {
-            let mut o = EngineOptions::default();
-            o.scheduling = Scheduling::BreadthFirst;
+            let o = EngineOptions {
+                scheduling: Scheduling::BreadthFirst,
+                ..Default::default()
+            };
             black_box(run(o))
         })
     });
@@ -188,7 +209,9 @@ fn ablation_subsumption_and_scheduling(c: &mut Criterion) {
 fn ablation_magic_query(c: &mut Criterion) {
     // Goal-directed single query: tabled engine vs. magic transform, the
     // same-generation style comparison of Section 7.
-    let mut src = String::from(":- table sg/2.\nsg(X, X) :- node(X).\nsg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).\n");
+    let mut src = String::from(
+        ":- table sg/2.\nsg(X, X) :- node(X).\nsg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).\n",
+    );
     for i in 0..40 {
         src.push_str(&format!("par(a{i}, b{}).\n", i / 2));
         src.push_str(&format!("node(a{i}).\n"));

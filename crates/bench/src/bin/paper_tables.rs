@@ -1,8 +1,13 @@
 //! Regenerates every table of the paper in the same row/column layout.
 //!
-//! Usage: `paper_tables [--table N]` (default: all four tables).
+//! Usage: `paper_tables [--table N] [--profile]` (default: all four
+//! tables). With `--profile`, each row is followed by the engine's
+//! per-evaluation counters (subgoals, answers, duplicates, resolutions,
+//! and the hook counts where the analysis uses truncation).
 
-use tablog_bench::{ms, table1_rows, table2_rows, table3_rows, table4_rows, Row, TABLE4_K};
+use tablog_bench::{
+    ms, table1_rows_with, table2_rows, table3_rows_with, table4_rows_with, Row, TABLE4_K,
+};
 
 fn print_row_table(title: &str, rows: &[Row]) {
     println!("\n{title}");
@@ -22,6 +27,20 @@ fn print_row_table(title: &str, rows: &[Row]) {
             r.compile_increase_pct(),
             r.table_bytes
         );
+        if let Some(m) = &r.metrics {
+            let t = m.totals();
+            let mut line = format!(
+                "{:<12}   subgoals={} answers={} dups={} resolutions={}",
+                "", t.subgoals, t.answers, t.duplicate_answers, t.clause_resolutions
+            );
+            if t.calls_abstracted + t.answers_widened > 0 {
+                line.push_str(&format!(
+                    " abstracted={} widened={}",
+                    t.calls_abstracted, t.answers_widened
+                ));
+            }
+            println!("{line}");
+        }
     }
 }
 
@@ -33,17 +52,23 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok());
     let want = |n| which.is_none() || which == Some(n);
+    let profile = args.iter().any(|a| a == "--profile");
 
     if want(1) {
         print_row_table(
             "Table 1: Performance of Prop-based groundness analysis (tabled engine)",
-            &table1_rows(),
+            &table1_rows_with(profile),
         );
     }
     if want(2) {
         let rows = table2_rows();
-        println!("\nTable 2: Total analysis time, tabled engine vs. direct analyzer (GAIA stand-in)");
-        println!("{:<12} {:>12} {:>12} {:>8}", "Program", "tabled", "direct", "ratio");
+        println!(
+            "\nTable 2: Total analysis time, tabled engine vs. direct analyzer (GAIA stand-in)"
+        );
+        println!(
+            "{:<12} {:>12} {:>12} {:>8}",
+            "Program", "tabled", "direct", "ratio"
+        );
         for r in &rows {
             println!(
                 "{:<12} {:>10}ms {:>10}ms {:>8.2}",
@@ -55,14 +80,15 @@ fn main() {
         }
     }
     if want(3) {
-        print_row_table("Table 3: Performance of strictness analysis", &table3_rows());
+        print_row_table(
+            "Table 3: Performance of strictness analysis",
+            &table3_rows_with(profile),
+        );
     }
     if want(4) {
         print_row_table(
-            &format!(
-                "Table 4: Groundness analysis with term-depth abstraction (k = {TABLE4_K})"
-            ),
-            &table4_rows(),
+            &format!("Table 4: Groundness analysis with term-depth abstraction (k = {TABLE4_K})"),
+            &table4_rows_with(profile),
         );
     }
 }

@@ -24,6 +24,7 @@ use tablog_syntax::{parse_program, Program};
 use tablog_term::{
     atom, canonicalize, intern, structure, sym_name, Bindings, CanonicalTerm, Functor, Term, Var,
 };
+use tablog_trace::MetricsReport;
 
 /// Name prefix of depth-k abstract predicates.
 pub const AK_PREFIX: &str = "ak$";
@@ -51,6 +52,11 @@ pub struct DepthKReport {
     pub timings: PhaseTimings,
     /// Engine statistics, including table space.
     pub stats: TableStats,
+    /// Per-predicate engine metrics; present iff the analyzer's
+    /// [`profile`](DepthKAnalyzer::profile) flag was set. Includes the
+    /// `calls_abstracted` / `answers_widened` counts from the depth-k
+    /// truncation hooks.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl DepthKReport {
@@ -79,18 +85,29 @@ pub struct DepthKAnalyzer {
     pub load_mode: LoadMode,
     /// Base engine options; the analyzer installs its own table hooks.
     pub options: EngineOptions,
+    /// Collect per-predicate engine metrics and phase timings into
+    /// [`DepthKReport::metrics`].
+    pub profile: bool,
 }
 
 impl Default for DepthKAnalyzer {
     fn default() -> Self {
-        DepthKAnalyzer { k: 2, load_mode: LoadMode::Dynamic, options: EngineOptions::default() }
+        DepthKAnalyzer {
+            k: 2,
+            load_mode: LoadMode::Dynamic,
+            options: EngineOptions::default(),
+            profile: false,
+        }
     }
 }
 
 impl DepthKAnalyzer {
     /// An analyzer with the given truncation depth.
     pub fn new(k: usize) -> Self {
-        DepthKAnalyzer { k, ..DepthKAnalyzer::default() }
+        DepthKAnalyzer {
+            k,
+            ..DepthKAnalyzer::default()
+        }
     }
 
     /// Parses and analyzes `src` with fully open calls.
@@ -153,11 +170,20 @@ impl DepthKAnalyzer {
                 let args: Vec<Term> = e
                     .ground_args
                     .iter()
-                    .map(|&g| if g { atom(GAMMA) } else { Term::Var(b.fresh_var()) })
+                    .map(|&g| {
+                        if g {
+                            atom(GAMMA)
+                        } else {
+                            Term::Var(b.fresh_var())
+                        }
+                    })
                     .collect();
                 db.assert_clause(
                     atom("$dk"),
-                    vec![build(ak_functor(intern(&e.name), e.ground_args.len()), args)],
+                    vec![build(
+                        ak_functor(intern(&e.name), e.ground_args.len()),
+                        args,
+                    )],
                 )?;
             }
         }
@@ -169,6 +195,9 @@ impl DepthKAnalyzer {
         let trunc: tablog_engine::TermHook = Rc::new(move |c: &CanonicalTerm| truncate_tuple(c, k));
         opts.call_abstraction = Some(trunc.clone());
         opts.answer_widening = Some(trunc);
+        let registry = self
+            .profile
+            .then(|| crate::profile::install_registry(&mut opts));
         let engine = Engine::new(db, opts);
         let preprocess = parse_time + timer.lap();
 
@@ -209,16 +238,26 @@ impl DepthKAnalyzer {
         }
         let collection = timer.lap();
 
+        let timings = PhaseTimings {
+            preprocess,
+            analysis,
+            collection,
+        };
+        let metrics = registry.map(|r| crate::profile::finish(&r, &timings));
         Ok(DepthKReport {
             preds: out,
-            timings: PhaseTimings { preprocess, analysis, collection },
+            timings,
             stats: eval.stats(),
+            metrics,
         })
     }
 }
 
 fn ak_functor(name: tablog_term::Sym, arity: usize) -> Functor {
-    Functor { name: intern(&format!("{AK_PREFIX}{}", sym_name(name))), arity }
+    Functor {
+        name: intern(&format!("{AK_PREFIX}{}", sym_name(name))),
+        arity,
+    }
 }
 
 fn build(f: Functor, args: Vec<Term>) -> Term {
@@ -265,12 +304,13 @@ fn truncate(t: &Term, k: usize, b: &mut Bindings) -> Term {
 /// Returns [`AnalysisError::Unsupported`] on malformed clause heads.
 pub fn transform_depthk(
     program: &Program,
-) -> Result<(Vec<Rule>, BTreeMap<(tablog_term::Sym, usize), ()>), AnalysisError> {
-    let mut preds: BTreeMap<(tablog_term::Sym, usize), ()> = BTreeMap::new();
+) -> Result<(Vec<Rule>, crate::groundness::PredSet), AnalysisError> {
+    let mut preds: crate::groundness::PredSet = BTreeMap::new();
     for c in &program.clauses {
-        let f = c.head.functor().ok_or_else(|| {
-            AnalysisError::Unsupported(format!("clause head {}", c.head))
-        })?;
+        let f = c
+            .head
+            .functor()
+            .ok_or_else(|| AnalysisError::Unsupported(format!("clause head {}", c.head)))?;
         preds.insert((f.name, f.arity), ());
     }
     let defined: std::collections::HashSet<(tablog_term::Sym, usize)> =
@@ -280,8 +320,9 @@ pub fn transform_depthk(
         let f = c.head.functor().expect("checked above");
         for alt in expand_disjunctions(&c.body) {
             let mut next_var = (c.nvars + f.arity) as u32;
-            let head_vars: Vec<Term> =
-                (0..f.arity).map(|i| Term::Var(Var((c.nvars + i) as u32))).collect();
+            let head_vars: Vec<Term> = (0..f.arity)
+                .map(|i| Term::Var(Var((c.nvars + i) as u32)))
+                .collect();
             let mut body = Vec::new();
             for (hv, t) in head_vars.iter().zip(c.head.args()) {
                 body.push(structure("$absunify", vec![hv.clone(), t.clone()]));
@@ -294,7 +335,10 @@ pub fn transform_depthk(
                 }
             }
             if !dead {
-                rules.push(Rule::new(build(ak_functor(f.name, f.arity), head_vars), body));
+                rules.push(Rule::new(
+                    build(ak_functor(f.name, f.arity), head_vars),
+                    body,
+                ));
             }
         }
     }
@@ -318,7 +362,10 @@ fn abstract_goal(
         ("true", 0) | ("!", 0) => true,
         ("fail", 0) | ("false", 0) => false,
         ("=", 2) => {
-            out.push(structure("$absunify", vec![args[0].clone(), args[1].clone()]));
+            out.push(structure(
+                "$absunify",
+                vec![args[0].clone(), args[1].clone()],
+            ));
             true
         }
         ("is", 2) => {
@@ -335,9 +382,21 @@ fn abstract_goal(
             out.push(structure("$absground", vec![args[0].clone()]));
             true
         }
-        ("\\+", 1) | ("not", 1) | ("var", 1) | ("nonvar", 1) | ("compound", 1)
-        | ("\\=", 2) | ("==", 2) | ("\\==", 2) | ("@<", 2) | ("@>", 2) | ("@=<", 2)
-        | ("@>=", 2) | ("functor", 3) | ("arg", 3) | ("=..", 2) => true,
+        ("\\+", 1)
+        | ("not", 1)
+        | ("var", 1)
+        | ("nonvar", 1)
+        | ("compound", 1)
+        | ("\\=", 2)
+        | ("==", 2)
+        | ("\\==", 2)
+        | ("@<", 2)
+        | ("@>", 2)
+        | ("@=<", 2)
+        | ("@>=", 2)
+        | ("functor", 3)
+        | ("arg", 3)
+        | ("=..", 2) => true,
         ("call", 1) => {
             if args[0].functor().is_some() && !args[0].is_var() {
                 abstract_goal(&args[0], defined, out, _next_var)
@@ -392,7 +451,10 @@ mod tests {
         // Depth-1 constants survive truncation exactly.
         assert_eq!(c.answers.len(), 2);
         assert_eq!(c.definitely_ground, vec![true]);
-        assert_eq!(report.result("shade", 1).unwrap().definitely_ground, vec![true]);
+        assert_eq!(
+            report.result("shade", 1).unwrap().definitely_ground,
+            vec![true]
+        );
     }
 
     #[test]
@@ -426,8 +488,9 @@ mod tests {
         ";
         let program = parse_program(src).unwrap();
         let entries = [EntryPoint::parse("qs(g, f)").unwrap()];
-        let report =
-            DepthKAnalyzer::new(2).analyze_with_entries(&program, &entries).unwrap();
+        let report = DepthKAnalyzer::new(2)
+            .analyze_with_entries(&program, &entries)
+            .unwrap();
         let qs = report.result("qs", 2).unwrap();
         assert_eq!(qs.definitely_ground, vec![true, true]);
     }
@@ -437,11 +500,15 @@ mod tests {
         // Both analyses over-approximate; on this program they agree.
         let src = "p(a). q(X) :- p(X). r(X, Y) :- q(X), Y = f(X).";
         let dk = DepthKAnalyzer::new(2).analyze_source(src).unwrap();
-        let prop = crate::groundness::GroundnessAnalyzer::new().analyze_source(src).unwrap();
+        let prop = crate::groundness::GroundnessAnalyzer::new()
+            .analyze_source(src)
+            .unwrap();
         for (name, arity) in [("p", 1), ("q", 1), ("r", 2)] {
             assert_eq!(
                 dk.result(name, arity).unwrap().definitely_ground,
-                prop.output_groundness(name, arity).unwrap().definitely_ground,
+                prop.output_groundness(name, arity)
+                    .unwrap()
+                    .definitely_ground,
                 "{name}/{arity}"
             );
         }

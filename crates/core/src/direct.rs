@@ -17,6 +17,7 @@ use crate::prop::{PropTable, MAX_VARS};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use tablog_syntax::{parse_program, Program};
 use tablog_term::{sym_name, Functor, Term};
+use tablog_trace::{MetricsReport, PredStats};
 
 /// An abstract clause in the analyzer's internal form: head variables plus
 /// a list of constraints over dense variable ids.
@@ -59,6 +60,12 @@ pub struct DirectReport {
     pub pairs: usize,
     /// Worklist iterations performed.
     pub iterations: usize,
+    /// Per-predicate metrics; present iff the analyzer's
+    /// [`profile`](DirectAnalyzer::profile) flag was set. The direct
+    /// analyzer has no engine, so the rows are built from its own worklist
+    /// counters: `subgoals` = call patterns, `clause_resolutions` = clause
+    /// evaluations, `completed` = pairs solved to fixpoint.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl DirectReport {
@@ -82,6 +89,8 @@ struct Solver {
     queue: VecDeque<Key>,
     queued: HashSet<Key>,
     iterations: usize,
+    /// Per-functor counters, maintained only when profiling.
+    profile: Option<BTreeMap<Functor, PredStats>>,
 }
 
 impl Solver {
@@ -98,6 +107,9 @@ impl Solver {
         }
         if let Some(r) = self.results.get(&key) {
             return r.clone();
+        }
+        if let Some(stats) = self.profile.as_mut() {
+            stats.entry(f).or_default().subgoals += 1;
         }
         let bottom = PropTable::bottom(f.arity);
         self.results.insert(key.clone(), bottom.clone());
@@ -127,6 +139,9 @@ impl Solver {
     fn evaluate(&mut self, key: &Key) -> Result<PropTable, AnalysisError> {
         let (f, pattern) = key;
         let clauses = self.clauses.get(f).cloned().unwrap_or_default();
+        if let Some(stats) = self.profile.as_mut() {
+            stats.entry(*f).or_default().clause_resolutions += clauses.len() as u64;
+        }
         let mut acc = PropTable::bottom(f.arity);
         for clause in &clauses {
             let t = self.eval_clause(clause, pattern, key)?;
@@ -210,13 +225,17 @@ impl Solver {
 }
 
 /// The direct (special-purpose) groundness analyzer.
-#[derive(Clone, Debug, Default)]
-pub struct DirectAnalyzer;
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirectAnalyzer {
+    /// Collect per-predicate worklist metrics and phase timings into
+    /// [`DirectReport::metrics`].
+    pub profile: bool,
+}
 
 impl DirectAnalyzer {
     /// Creates the analyzer.
     pub fn new() -> Self {
-        DirectAnalyzer
+        DirectAnalyzer::default()
     }
 
     /// Parses and analyzes `src` with fully open call patterns.
@@ -275,6 +294,7 @@ impl DirectAnalyzer {
             queue: VecDeque::new(),
             queued: HashSet::new(),
             iterations: 0,
+            profile: self.profile.then(BTreeMap::new),
         };
         let preprocess = parse_time + timer.lap();
 
@@ -318,22 +338,52 @@ impl DirectAnalyzer {
             let definitely_ground = (0..arity).map(|i| prop.definitely(i)).collect();
             out.insert(
                 (sym_name(name), arity),
-                DirectGroundness { name: sym_name(name), arity, prop, definitely_ground },
+                DirectGroundness {
+                    name: sym_name(name),
+                    arity,
+                    prop,
+                    definitely_ground,
+                },
             );
         }
         let collection = timer.lap();
 
+        let metrics = solver.profile.take().map(|mut stats| {
+            // Every seeded pair reached fixpoint once the worklist drained.
+            for (f, _) in solver.results.keys() {
+                stats.entry(*f).or_default().completed += 1;
+            }
+            let mut rows: Vec<(String, PredStats)> =
+                stats.iter().map(|(f, s)| (f.to_string(), *s)).collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            MetricsReport {
+                preds: rows,
+                phases: vec![
+                    ("preprocess".to_string(), preprocess),
+                    ("analysis".to_string(), analysis),
+                    ("collection".to_string(), collection),
+                ],
+            }
+        });
         Ok(DirectReport {
             preds: out,
-            timings: PhaseTimings { preprocess, analysis, collection },
+            timings: PhaseTimings {
+                preprocess,
+                analysis,
+                collection,
+            },
             pairs: solver.results.len(),
             iterations: solver.iterations,
+            metrics,
         })
     }
 }
 
 fn gp(name: tablog_term::Sym, arity: usize) -> Functor {
-    Functor { name: tablog_term::intern(&format!("{GP_PREFIX}{}", sym_name(name))), arity }
+    Functor {
+        name: tablog_term::intern(&format!("{GP_PREFIX}{}", sym_name(name))),
+        arity,
+    }
 }
 
 fn lower_clause(r: &tablog_magic::Rule) -> Result<AbsClause, AnalysisError> {
@@ -349,22 +399,31 @@ fn lower_clause(r: &tablog_magic::Rule) -> Result<AbsClause, AnalysisError> {
             ))),
         }
     };
-    let head_vars: Vec<usize> =
-        r.head.args().iter().map(&mut id_of).collect::<Result<_, _>>()?;
+    let head_vars: Vec<usize> = r
+        .head
+        .args()
+        .iter()
+        .map(&mut id_of)
+        .collect::<Result<_, _>>()?;
     let mut goals = Vec::new();
     for lit in &r.body {
-        let f = lit.functor().ok_or_else(|| {
-            AnalysisError::Unsupported(format!("bad abstract literal {lit}"))
-        })?;
+        let f = lit
+            .functor()
+            .ok_or_else(|| AnalysisError::Unsupported(format!("bad abstract literal {lit}")))?;
         let name = sym_name(f.name);
         if name == "$iff" {
             let x = id_of(&lit.args()[0])?;
-            let ys: Vec<usize> =
-                lit.args()[1..].iter().map(&mut id_of).collect::<Result<_, _>>()?;
+            let ys: Vec<usize> = lit.args()[1..]
+                .iter()
+                .map(&mut id_of)
+                .collect::<Result<_, _>>()?;
             goals.push(AbsGoal::Iff(x, ys));
         } else if name.starts_with(GP_PREFIX) {
-            let args: Vec<usize> =
-                lit.args().iter().map(&mut id_of).collect::<Result<_, _>>()?;
+            let args: Vec<usize> = lit
+                .args()
+                .iter()
+                .map(&mut id_of)
+                .collect::<Result<_, _>>()?;
             goals.push(AbsGoal::Call(f, args));
         } else {
             return Err(AnalysisError::Unsupported(format!(
@@ -386,7 +445,11 @@ fn lower_clause(r: &tablog_magic::Rule) -> Result<AbsClause, AnalysisError> {
             last_use[v] = i;
         }
     }
-    Ok(AbsClause { head_vars, goals, last_use })
+    Ok(AbsClause {
+        head_vars,
+        goals,
+        last_use,
+    })
 }
 
 #[cfg(test)]
@@ -428,7 +491,9 @@ mod tests {
         ";
         let program = parse_program(src).unwrap();
         let entries = [EntryPoint::new("reached", &[false])];
-        let report = DirectAnalyzer::new().analyze_with_entries(&program, &entries).unwrap();
+        let report = DirectAnalyzer::new()
+            .analyze_with_entries(&program, &entries)
+            .unwrap();
         assert!(report.output_groundness("reached", 1).is_some());
         assert!(report.output_groundness("island", 1).is_none());
     }
@@ -444,8 +509,9 @@ mod tests {
         ";
         let program = parse_program(src).unwrap();
         let entries = [EntryPoint::parse("qs(g, f)").unwrap()];
-        let direct =
-            DirectAnalyzer::new().analyze_with_entries(&program, &entries).unwrap();
+        let direct = DirectAnalyzer::new()
+            .analyze_with_entries(&program, &entries)
+            .unwrap();
         let tabled = GroundnessAnalyzer::new()
             .analyze_with_entries(&program, &entries)
             .unwrap();
@@ -466,7 +532,10 @@ mod tests {
         ";
         let report = DirectAnalyzer::new().analyze_source(src).unwrap();
         assert_eq!(
-            report.output_groundness("even", 1).unwrap().definitely_ground,
+            report
+                .output_groundness("even", 1)
+                .unwrap()
+                .definitely_ground,
             vec![true]
         );
         assert!(report.iterations > 1);

@@ -19,6 +19,7 @@ use tablog_engine::{Database, Engine, EngineOptions, LoadMode, TableStats};
 use tablog_magic::Rule;
 use tablog_syntax::{parse_program, Program};
 use tablog_term::{atom, intern, structure, sym_name, Bindings, Functor, Term, Var};
+use tablog_trace::MetricsReport;
 
 /// How `iff` constraints are represented in the abstract program.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -35,6 +36,10 @@ pub enum IffMode {
 /// Name prefix of abstract predicates.
 pub const GP_PREFIX: &str = "gp$";
 
+/// The set of `(name, arity)` pairs of source predicates seen by a
+/// transformation (a `BTreeMap` keyed for deterministic order).
+pub type PredSet = BTreeMap<(tablog_term::Sym, usize), ()>;
+
 /// An entry point for goal-directed analysis: which arguments of the
 /// predicate are ground at the initial call.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -49,7 +54,10 @@ impl EntryPoint {
     /// Builds an entry point; `spec` holds one flag per argument
     /// (`true` = ground at call).
     pub fn new(name: &str, spec: &[bool]) -> Self {
-        EntryPoint { name: name.to_owned(), ground_args: spec.to_vec() }
+        EntryPoint {
+            name: name.to_owned(),
+            ground_args: spec.to_vec(),
+        }
     }
 
     /// Parses `"qsort(g, f)"`-style notation: `g`round / `f`ree.
@@ -75,7 +83,10 @@ impl EntryPoint {
                 ))),
             })
             .collect::<Result<Vec<bool>, _>>()?;
-        Ok(EntryPoint { name: sym_name(f.name), ground_args })
+        Ok(EntryPoint {
+            name: sym_name(f.name),
+            ground_args,
+        })
     }
 }
 
@@ -106,6 +117,10 @@ pub struct GroundnessReport {
     pub timings: PhaseTimings,
     /// Engine statistics, including table space.
     pub stats: TableStats,
+    /// Per-predicate engine metrics; present iff the analyzer's
+    /// [`profile`](GroundnessAnalyzer::profile) flag was set. Predicate
+    /// keys are the abstract program's (`gp$p/n`, `$ga/0`).
+    pub metrics: Option<MetricsReport>,
 }
 
 impl GroundnessReport {
@@ -134,6 +149,10 @@ pub struct GroundnessAnalyzer {
     pub load_mode: LoadMode,
     /// Engine options (scheduling, subsumption, …).
     pub options: EngineOptions,
+    /// Collect per-predicate engine metrics and phase timings into
+    /// [`GroundnessReport::metrics`]. Composes with an existing
+    /// `options.trace` sink via fan-out.
+    pub profile: bool,
 }
 
 impl GroundnessAnalyzer {
@@ -209,7 +228,13 @@ impl GroundnessAnalyzer {
                 let args: Vec<Term> = e
                     .ground_args
                     .iter()
-                    .map(|&g| if g { atom("true") } else { Term::Var(b.fresh_var()) })
+                    .map(|&g| {
+                        if g {
+                            atom("true")
+                        } else {
+                            Term::Var(b.fresh_var())
+                        }
+                    })
                     .collect();
                 let goal = build(gp_functor(intern(&e.name), e.ground_args.len()), args);
                 db.assert_clause(atom("$ga"), vec![goal])?;
@@ -219,7 +244,11 @@ impl GroundnessAnalyzer {
         if self.load_mode == LoadMode::Compiled {
             db.build_indexes();
         }
-        let engine = Engine::new(db, self.options.clone());
+        let mut options = self.options.clone();
+        let registry = self
+            .profile
+            .then(|| crate::profile::install_registry(&mut options));
+        let engine = Engine::new(db, options);
         let preprocess = parse_time + timer.lap();
 
         // --- Analysis: evaluate to fixpoint. ---
@@ -246,8 +275,7 @@ impl GroundnessAnalyzer {
             }
             let definitely_ground = (0..arity)
                 .map(|i| {
-                    !success_rows.is_empty()
-                        && success_rows.iter().all(|r| r[i] == Some(true))
+                    !success_rows.is_empty() && success_rows.iter().all(|r| r[i] == Some(true))
                 })
                 .collect();
             let prop = rows_to_prop(arity, &success_rows);
@@ -265,10 +293,17 @@ impl GroundnessAnalyzer {
         }
         let collection = timer.lap();
 
+        let timings = PhaseTimings {
+            preprocess,
+            analysis,
+            collection,
+        };
+        let metrics = registry.map(|r| crate::profile::finish(&r, &timings));
         Ok(GroundnessReport {
             preds: out,
-            timings: PhaseTimings { preprocess, analysis, collection },
+            timings,
             stats: eval.stats(),
+            metrics,
         })
     }
 }
@@ -291,7 +326,10 @@ pub fn compile_time(src: &str, mode: LoadMode) -> Result<std::time::Duration, An
 }
 
 fn gp_functor(name: tablog_term::Sym, arity: usize) -> Functor {
-    Functor { name: intern(&format!("{GP_PREFIX}{}", sym_name(name))), arity }
+    Functor {
+        name: intern(&format!("{GP_PREFIX}{}", sym_name(name))),
+        arity,
+    }
 }
 
 fn build(f: Functor, args: Vec<Term>) -> Term {
@@ -319,8 +357,12 @@ fn rows_to_prop(arity: usize, rows: &[Vec<Option<bool>>]) -> PropTable {
     }
     for row in rows {
         // Expand unconstrained entries to both values.
-        let free: Vec<usize> =
-            row.iter().enumerate().filter(|(_, v)| v.is_none()).map(|(i, _)| i).collect();
+        let free: Vec<usize> = row
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_none())
+            .map(|(i, _)| i)
+            .collect();
         for mask in 0u64..(1u64 << free.len()) {
             let bools: Vec<bool> = row
                 .iter()
@@ -452,12 +494,13 @@ fn flatten(t: &Term) -> Vec<Term> {
 pub fn transform_program(
     program: &Program,
     iff_mode: IffMode,
-) -> Result<(Vec<Rule>, BTreeMap<(tablog_term::Sym, usize), ()>), AnalysisError> {
-    let mut preds: BTreeMap<(tablog_term::Sym, usize), ()> = BTreeMap::new();
+) -> Result<(Vec<Rule>, PredSet), AnalysisError> {
+    let mut preds: PredSet = BTreeMap::new();
     for c in &program.clauses {
-        let f = c.head.functor().ok_or_else(|| {
-            AnalysisError::Unsupported(format!("clause head {}", c.head))
-        })?;
+        let f = c
+            .head
+            .functor()
+            .ok_or_else(|| AnalysisError::Unsupported(format!("clause head {}", c.head)))?;
         preds.insert((f.name, f.arity), ());
     }
     let defined: std::collections::HashSet<(tablog_term::Sym, usize)> =
@@ -498,8 +541,9 @@ fn transform_clause(
         max_iff_arity: 0,
     };
     // Head: gp$p(X1..Xn) with iff(Xi, vars(ti)).
-    let head_vars: Vec<Term> =
-        (0..f.arity).map(|i| Term::Var(Var((nvars + i) as u32))).collect();
+    let head_vars: Vec<Term> = (0..f.arity)
+        .map(|i| Term::Var(Var((nvars + i) as u32)))
+        .collect();
     for (i, t) in head.args().iter().enumerate() {
         ctx.emit_iff(head_vars[i].clone(), t);
     }
@@ -511,7 +555,10 @@ fn transform_clause(
         }
     }
     *max_iff = (*max_iff).max(ctx.max_iff_arity);
-    Ok(Some(Rule::new(build(gp_functor(f.name, f.arity), head_vars), ctx.body)))
+    Ok(Some(Rule::new(
+        build(gp_functor(f.name, f.arity), head_vars),
+        ctx.body,
+    )))
 }
 
 /// Transforms one body goal; returns `false` if the goal certainly fails.
@@ -552,8 +599,17 @@ fn transform_goal(
             ctx.emit_all_ground(&args[0]);
             Ok(true)
         }
-        ("\\+", 1) | ("not", 1) | ("var", 1) | ("nonvar", 1) | ("compound", 1)
-        | ("\\=", 2) | ("\\==", 2) | ("@<", 2) | ("@>", 2) | ("@=<", 2) | ("@>=", 2) => {
+        ("\\+", 1)
+        | ("not", 1)
+        | ("var", 1)
+        | ("nonvar", 1)
+        | ("compound", 1)
+        | ("\\=", 2)
+        | ("\\==", 2)
+        | ("@<", 2)
+        | ("@>", 2)
+        | ("@=<", 2)
+        | ("@>=", 2) => {
             // No bindings exported (or no groundness information): drop.
             Ok(true)
         }
@@ -746,11 +802,17 @@ mod tests {
         ";
         let report = GroundnessAnalyzer::new().analyze_source(src).unwrap();
         assert_eq!(
-            report.output_groundness("even", 1).unwrap().definitely_ground,
+            report
+                .output_groundness("even", 1)
+                .unwrap()
+                .definitely_ground,
             vec![true]
         );
         assert_eq!(
-            report.output_groundness("odd", 1).unwrap().definitely_ground,
+            report
+                .output_groundness("odd", 1)
+                .unwrap()
+                .definitely_ground,
             vec![true]
         );
     }

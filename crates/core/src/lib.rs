@@ -58,6 +58,7 @@ pub mod strictness;
 pub mod types;
 
 mod error;
+mod profile;
 
 pub use error::AnalysisError;
 pub use pipeline::{PhaseTimings, Timer};

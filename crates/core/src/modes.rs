@@ -82,10 +82,7 @@ impl ModeReport {
 /// # Errors
 ///
 /// Propagates parse/engine errors from the underlying analysis.
-pub fn infer_modes(
-    program: &Program,
-    entries: &[EntryPoint],
-) -> Result<ModeReport, AnalysisError> {
+pub fn infer_modes(program: &Program, entries: &[EntryPoint]) -> Result<ModeReport, AnalysisError> {
     let report = GroundnessAnalyzer::new().analyze_with_entries(program, entries)?;
     Ok(modes_from_groundness(&report))
 }
@@ -111,7 +108,10 @@ pub fn modes_from_groundness(report: &GroundnessReport) -> ModeReport {
             .collect();
         preds.insert(
             (p.name.clone(), p.arity),
-            PredModes { name: p.name.clone(), modes },
+            PredModes {
+                name: p.name.clone(),
+                modes,
+            },
         );
     }
     ModeReport { preds }
@@ -184,7 +184,7 @@ mod tests {
         for b in tablog_suite::logic_benchmarks() {
             let program = parse_program(b.source).unwrap();
             let entry = EntryPoint::parse(b.entry).unwrap();
-            let r = infer_modes(&program, &[entry.clone()]).unwrap();
+            let r = infer_modes(&program, std::slice::from_ref(&entry)).unwrap();
             // The entry predicate's ground arguments must come out as input.
             let arity = entry.ground_args.len();
             let m = r.modes(&entry.name, arity).unwrap();

@@ -1,0 +1,37 @@
+//! Shared profiling plumbing: hooking a [`MetricsRegistry`] into an
+//! analyzer's engine run and freezing it into the report's
+//! [`MetricsReport`].
+//!
+//! Every engine-backed analyzer follows the same recipe: when its
+//! `profile` flag is set, install a fresh registry as (one of) the trace
+//! sinks before constructing the engine, and after the collection phase
+//! stamp the three [`PhaseTimings`] fields into the registry and snapshot
+//! it. The helpers here keep that recipe in one place.
+
+use crate::pipeline::PhaseTimings;
+use std::rc::Rc;
+use tablog_engine::EngineOptions;
+use tablog_trace::{MetricsRegistry, MetricsReport, MultiSink, TraceSink};
+
+/// Installs a fresh metrics registry as a trace sink on `opts`, preserving
+/// any sink the caller configured: an existing sink is fanned out through a
+/// [`MultiSink`] so both keep observing every event.
+pub(crate) fn install_registry(opts: &mut EngineOptions) -> Rc<MetricsRegistry> {
+    let reg = Rc::new(MetricsRegistry::new());
+    let sink: Rc<dyn TraceSink> = match opts.trace.take() {
+        Some(existing) => Rc::new(MultiSink::new().with(existing).with(reg.clone())),
+        None => reg.clone(),
+    };
+    opts.trace = Some(sink);
+    reg
+}
+
+/// Stamps the pipeline's phase timings into the registry and freezes it.
+pub(crate) fn finish(reg: &MetricsRegistry, t: &PhaseTimings) -> MetricsReport {
+    reg.record_phases(&[
+        ("preprocess", t.preprocess),
+        ("analysis", t.analysis),
+        ("collection", t.collection),
+    ]);
+    reg.snapshot()
+}

@@ -24,7 +24,7 @@ pub struct PropTable {
 }
 
 fn words(nvars: usize) -> usize {
-    ((1usize << nvars) + 63) / 64
+    (1usize << nvars).div_ceil(64)
 }
 
 impl PropTable {
@@ -48,7 +48,10 @@ impl PropTable {
     /// The always-false function (empty success set).
     pub fn bottom(nvars: usize) -> Self {
         assert!(nvars <= MAX_VARS, "PropTable over {nvars} variables");
-        PropTable { nvars, bits: vec![0; words(nvars)] }
+        PropTable {
+            nvars,
+            bits: vec![0; words(nvars)],
+        }
     }
 
     /// Builds a table from explicit rows (each of length `nvars`).
@@ -106,7 +109,12 @@ impl PropTable {
         assert_eq!(self.nvars, other.nvars, "PropTable arity mismatch");
         PropTable {
             nvars: self.nvars,
-            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a & b).collect(),
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & b)
+                .collect(),
         }
     }
 
@@ -119,7 +127,12 @@ impl PropTable {
         assert_eq!(self.nvars, other.nvars, "PropTable arity mismatch");
         PropTable {
             nvars: self.nvars,
-            bits: self.bits.iter().zip(&other.bits).map(|(a, b)| a | b).collect(),
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a | b)
+                .collect(),
         }
     }
 
@@ -199,7 +212,11 @@ impl PropTable {
     /// satisfying row of `rel` — conjunction with a smaller-arity relation
     /// embedded at those positions.
     pub fn constrain_relation(&self, positions: &[usize], rel: &PropTable) -> PropTable {
-        assert_eq!(positions.len(), rel.num_vars(), "position/relation arity mismatch");
+        assert_eq!(
+            positions.len(),
+            rel.num_vars(),
+            "position/relation arity mismatch"
+        );
         let mut out = PropTable::bottom(self.nvars);
         for r in 0..(1usize << self.nvars) {
             if !self.get(r) {
@@ -221,8 +238,7 @@ impl PropTable {
     /// `true` if variable `v` is true in every satisfying row *and* the
     /// table is non-empty — "definitely ground" in the Prop reading.
     pub fn definitely(&self, v: usize) -> bool {
-        !self.is_empty()
-            && (0..(1usize << self.nvars)).all(|r| !self.get(r) || r & (1 << v) != 0)
+        !self.is_empty() && (0..(1usize << self.nvars)).all(|r| !self.get(r) || r & (1 << v) != 0)
     }
 
     /// `true` if `self`'s success set is contained in `other`'s.
@@ -354,7 +370,9 @@ mod tests {
 
     #[test]
     fn bdd_round_trip_agrees() {
-        let t = PropTable::top(4).constrain_iff(0, &[1, 2]).constrain_iff(3, &[0]);
+        let t = PropTable::top(4)
+            .constrain_iff(0, &[1, 2])
+            .constrain_iff(3, &[0]);
         let mut m = BddManager::new();
         let f = t.to_bdd(&mut m);
         let back = PropTable::from_bdd(&m, f, 4);

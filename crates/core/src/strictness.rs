@@ -24,6 +24,7 @@ use tablog_engine::{Database, Engine, EngineOptions, LoadMode, TableStats};
 use tablog_funlang::{parse_fun_program, Equation, Expr, FunProgram, Pattern};
 use tablog_magic::Rule;
 use tablog_term::{atom, intern, structure, sym_name, Functor, Term, Var};
+use tablog_trace::MetricsReport;
 
 /// A demand extent, ordered `N < D < E`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -75,9 +76,17 @@ impl FunStrictness {
     /// argument demands `e` under `e` and `d` under… etc.
     pub fn summary(&self) -> String {
         let fmt = |ds: &[Demand]| -> String {
-            ds.iter().map(|d| d.atom_name()).collect::<Vec<_>>().join("")
+            ds.iter()
+                .map(|d| d.atom_name())
+                .collect::<Vec<_>>()
+                .join("")
         };
-        format!("{}: e->{} d->{}", self.name, fmt(&self.under_e), fmt(&self.under_d))
+        format!(
+            "{}: e->{} d->{}",
+            self.name,
+            fmt(&self.under_e),
+            fmt(&self.under_d)
+        )
     }
 }
 
@@ -89,6 +98,10 @@ pub struct StrictnessReport {
     pub timings: PhaseTimings,
     /// Engine statistics, including table space.
     pub stats: TableStats,
+    /// Per-predicate engine metrics; present iff the analyzer's
+    /// [`profile`](StrictnessAnalyzer::profile) flag was set. Predicate
+    /// keys are the demand program's (`sp$f/(n+1)`, `pm$c/…`, `$sa/0`).
+    pub metrics: Option<MetricsReport>,
 }
 
 impl StrictnessReport {
@@ -115,6 +128,9 @@ pub struct StrictnessAnalyzer {
     pub load_mode: LoadMode,
     /// Engine options.
     pub options: EngineOptions,
+    /// Collect per-predicate engine metrics and phase timings into
+    /// [`StrictnessReport::metrics`].
+    pub profile: bool,
 }
 
 impl StrictnessAnalyzer {
@@ -172,7 +188,11 @@ impl StrictnessAnalyzer {
         if self.load_mode == LoadMode::Compiled {
             db.build_indexes();
         }
-        let engine = Engine::new(db, self.options.clone());
+        let mut options = self.options.clone();
+        let registry = self
+            .profile
+            .then(|| crate::profile::install_registry(&mut options));
+        let engine = Engine::new(db, options);
         let preprocess = parse_time + timer.lap();
 
         // --- Analysis. ---
@@ -214,15 +234,27 @@ impl StrictnessAnalyzer {
             let under_d = per_demand("d");
             funs.insert(
                 fname.clone(),
-                FunStrictness { name: fname.clone(), arity, under_e, under_d },
+                FunStrictness {
+                    name: fname.clone(),
+                    arity,
+                    under_e,
+                    under_d,
+                },
             );
         }
         let collection = timer.lap();
 
+        let timings = PhaseTimings {
+            preprocess,
+            analysis,
+            collection,
+        };
+        let metrics = registry.map(|r| crate::profile::finish(&r, &timings));
         Ok(StrictnessReport {
             funs,
-            timings: PhaseTimings { preprocess, analysis, collection },
+            timings,
             stats: eval.stats(),
+            metrics,
         })
     }
 }
@@ -236,7 +268,10 @@ fn term_demand(t: &Term) -> Demand {
 }
 
 fn sp_functor(fname: &str, arity: usize) -> Functor {
-    Functor { name: intern(&format!("sp${fname}")), arity: arity + 1 }
+    Functor {
+        name: intern(&format!("sp${fname}")),
+        arity: arity + 1,
+    }
 }
 
 fn build(f: Functor, args: Vec<Term>) -> Term {
@@ -358,8 +393,7 @@ impl<'p> Ctx<'p> {
                 // Its variables are renumbered independently on assert, so
                 // sharing this context's numbering is safe.
                 let dvar = self.fresh();
-                let tau_args: Vec<Term> =
-                    fvars.iter().map(|v| self.tau_var(v)).collect();
+                let tau_args: Vec<Term> = fvars.iter().map(|v| self.tau_var(v)).collect();
                 let mut head_args = vec![dvar.clone()];
                 head_args.extend(tau_args.iter().cloned());
                 let head = structure(&name, head_args);
@@ -426,8 +460,9 @@ pub fn translate_program(prog: &FunProgram) -> Result<Vec<Rule>, AnalysisError> 
     }
     // n-demand clause per function: sp$f(n, X1…Xn).
     for (fname, &arity) in &prog.functions {
-        let args: Vec<Term> =
-            std::iter::once(atom("n")).chain((0..arity).map(|i| Term::Var(Var(i as u32)))).collect();
+        let args: Vec<Term> = std::iter::once(atom("n"))
+            .chain((0..arity).map(|i| Term::Var(Var(i as u32))))
+            .collect();
         rules.push(Rule::new(build(sp_functor(fname, arity), args), Vec::new()));
     }
     // Base facts for constructors.
@@ -442,7 +477,10 @@ pub fn translate_program(prog: &FunProgram) -> Result<Vec<Rule>, AnalysisError> 
         ));
     }
     rules.push(Rule::new(
-        structure("sp$prim2", vec![atom("n"), Term::Var(Var(0)), Term::Var(Var(1))]),
+        structure(
+            "sp$prim2",
+            vec![atom("n"), Term::Var(Var(0)), Term::Var(Var(1))],
+        ),
         Vec::new(),
     ));
     Ok(rules)
@@ -521,19 +559,30 @@ fn ctor_rules(c: &str, k: usize) -> Vec<Rule> {
     let pmf = format!("pm$c_{c}");
     // sp$c(e, e…e): full demand on the cell demands its components fully.
     out.push(Rule::new(
-        structure(&spf, std::iter::once(atom("e")).chain((0..k).map(|_| atom("e"))).collect()),
+        structure(
+            &spf,
+            std::iter::once(atom("e"))
+                .chain((0..k).map(|_| atom("e")))
+                .collect(),
+        ),
         Vec::new(),
     ));
     // sp$c(d, _…_) and sp$c(n, _…_): WHNF or no demand leaves them free.
     for d in ["d", "n"] {
-        let args: Vec<Term> =
-            std::iter::once(atom(d)).chain((0..k).map(|i| Term::Var(Var(i as u32)))).collect();
+        let args: Vec<Term> = std::iter::once(atom(d))
+            .chain((0..k).map(|i| Term::Var(Var(i as u32))))
+            .collect();
         out.push(Rule::new(structure(&spf, args), Vec::new()));
     }
     // pm$c(e, e…e): if every component ends up fully evaluated, matching
     // this pattern amounts to full evaluation of the position.
     out.push(Rule::new(
-        structure(&pmf, std::iter::once(atom("e")).chain((0..k).map(|_| atom("e"))).collect()),
+        structure(
+            &pmf,
+            std::iter::once(atom("e"))
+                .chain((0..k).map(|_| atom("e")))
+                .collect(),
+        ),
         Vec::new(),
     ));
     // pm$c(d, t) for every component-demand tuple except all-e.
@@ -670,8 +719,14 @@ mod tests {
             oddlen(x : xs) = evenlen(xs);
         ";
         let report = StrictnessAnalyzer::new().analyze_source(src).unwrap();
-        assert_eq!(report.strictness("evenlen").unwrap().under_e, vec![Demand::D]);
-        assert_eq!(report.strictness("oddlen").unwrap().under_e, vec![Demand::D]);
+        assert_eq!(
+            report.strictness("evenlen").unwrap().under_e,
+            vec![Demand::D]
+        );
+        assert_eq!(
+            report.strictness("oddlen").unwrap().under_e,
+            vec![Demand::D]
+        );
     }
 
     #[test]
@@ -698,7 +753,12 @@ mod tests {
             bot = bot;
             main = k(1, bot);
         ";
-        assert_eq!(eval_main(&parse_fun_program(fine).unwrap()).unwrap().to_string(), "1");
+        assert_eq!(
+            eval_main(&parse_fun_program(fine).unwrap())
+                .unwrap()
+                .to_string(),
+            "1"
+        );
     }
 
     #[test]
@@ -711,6 +771,9 @@ mod tests {
     #[test]
     fn summary_renders() {
         let report = StrictnessAnalyzer::new().analyze_source(APPEND).unwrap();
-        assert_eq!(report.strictness("ap").unwrap().summary(), "ap: e->ee d->dn");
+        assert_eq!(
+            report.strictness("ap").unwrap().summary(),
+            "ap: e->ee d->dn"
+        );
     }
 }

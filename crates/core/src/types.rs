@@ -19,9 +19,7 @@
 use crate::error::AnalysisError;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use tablog_funlang::{Equation, Expr, FunProgram, Pattern, PrimOp};
-use tablog_term::{
-    atom, canonicalize, structure, unify_occurs, Bindings, CanonicalTerm, Term,
-};
+use tablog_term::{atom, canonicalize, structure, unify_occurs, Bindings, CanonicalTerm, Term};
 
 /// An inferred type scheme for one function: argument types then the
 /// result type, with canonical type variables (`A`, `B`, … when rendered).
@@ -49,7 +47,12 @@ impl TypeScheme {
     pub fn render(&self) -> String {
         let mut w = tablog_syntax::TermWriter::new();
         let args: Vec<String> = self.args().iter().map(|t| w.write(t)).collect();
-        format!("{} : ({}) -> {}", self.name, args.join(", "), w.write(self.result()))
+        format!(
+            "{} : ({}) -> {}",
+            self.name,
+            args.join(", "),
+            w.write(self.result())
+        )
     }
 }
 
@@ -83,7 +86,9 @@ pub fn infer_types(prog: &FunProgram) -> Result<TypeReport, AnalysisError> {
     for scc in call_graph_sccs(prog) {
         inf.infer_scc(&scc)?;
     }
-    Ok(TypeReport { schemes: inf.schemes })
+    Ok(TypeReport {
+        schemes: inf.schemes,
+    })
 }
 
 struct Inferencer<'p> {
@@ -93,7 +98,10 @@ struct Inferencer<'p> {
 
 impl<'p> Inferencer<'p> {
     fn new(prog: &'p FunProgram) -> Self {
-        Inferencer { prog, schemes: BTreeMap::new() }
+        Inferencer {
+            prog,
+            schemes: BTreeMap::new(),
+        }
     }
 
     fn infer_scc(&mut self, scc: &[String]) -> Result<(), AnalysisError> {
@@ -116,7 +124,10 @@ impl<'p> Inferencer<'p> {
             let scheme = canonicalize(&b, tuple);
             self.schemes.insert(
                 f.clone(),
-                TypeScheme { name: f.clone(), scheme },
+                TypeScheme {
+                    name: f.clone(),
+                    scheme,
+                },
             );
         }
         Ok(())
@@ -132,7 +143,12 @@ impl<'p> Inferencer<'p> {
         let mut env: HashMap<String, Term> = HashMap::new();
         for (i, p) in eq.lhs.iter().enumerate() {
             let tp = self.pattern_type(p, &mut env, b)?;
-            self.eq_types(&assumption[i], &tp, b, &format!("{}: argument {}", eq.fname, i + 1))?;
+            self.eq_types(
+                &assumption[i],
+                &tp,
+                b,
+                &format!("{}: argument {}", eq.fname, i + 1),
+            )?;
         }
         let tr = self.expr_type(&eq.rhs, &env, local, b)?;
         self.eq_types(
@@ -272,7 +288,10 @@ impl<'p> Inferencer<'p> {
                 self.eq_types(&fields[1], &list, b, "cons tail")?;
                 Ok(list)
             }
-            "pair" => Ok(structure("pair", vec![fields[0].clone(), fields[1].clone()])),
+            "pair" => Ok(structure(
+                "pair",
+                vec![fields[0].clone(), fields[1].clone()],
+            )),
             "triple" => Ok(structure(
                 "triple",
                 vec![fields[0].clone(), fields[1].clone(), fields[2].clone()],
@@ -295,12 +314,9 @@ impl<'p> Inferencer<'p> {
                 // only by arity) are dynamically typed — each use gets
                 // unconstrained fresh field types, so mixing datatypes is
                 // rejected while field contents stay unchecked.
-                let dname = self
-                    .prog
-                    .datatype_of(c)
-                    .ok_or_else(|| {
-                        AnalysisError::Unsupported(format!("unknown constructor {c}"))
-                    })?;
+                let dname = self.prog.datatype_of(c).ok_or_else(|| {
+                    AnalysisError::Unsupported(format!("unknown constructor {c}"))
+                })?;
                 let _ = fields;
                 Ok(atom(&format!("data_{dname}")))
             }
@@ -312,8 +328,7 @@ impl<'p> Inferencer<'p> {
 /// topological order (callees before callers) — Tarjan's algorithm.
 fn call_graph_sccs(prog: &FunProgram) -> Vec<Vec<String>> {
     let funs: Vec<String> = prog.functions.keys().cloned().collect();
-    let index_of: HashMap<&String, usize> =
-        funs.iter().enumerate().map(|(i, f)| (f, i)).collect();
+    let index_of: HashMap<&String, usize> = funs.iter().enumerate().map(|(i, f)| (f, i)).collect();
     let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); funs.len()];
     for eq in &prog.equations {
         let from = index_of[&eq.fname];
@@ -423,7 +438,10 @@ mod tests {
     #[test]
     fn append_is_polymorphic_list_function() {
         let r = types("ap(nil, ys) = ys; ap(x : xs, ys) = x : ap(xs, ys);");
-        assert_eq!(r.scheme("ap").unwrap().render(), "ap : (list(A), list(A)) -> list(A)");
+        assert_eq!(
+            r.scheme("ap").unwrap().render(),
+            "ap : (list(A), list(A)) -> list(A)"
+        );
     }
 
     #[test]
@@ -459,25 +477,21 @@ mod tests {
 
     #[test]
     fn if_branches_must_agree() {
-        let err = infer_types(
-            &parse_fun_program("f(x) = if x == 0 then 1 else nil;").unwrap(),
-        )
-        .unwrap_err();
+        let err = infer_types(&parse_fun_program("f(x) = if x == 0 then 1 else nil;").unwrap())
+            .unwrap_err();
         assert!(matches!(err, AnalysisError::Unsupported(m) if m.contains("if branches")));
     }
 
     #[test]
     fn arithmetic_on_lists_is_rejected() {
-        let err =
-            infer_types(&parse_fun_program("f(x) = nil + 1;").unwrap()).unwrap_err();
+        let err = infer_types(&parse_fun_program("f(x) = nil + 1;").unwrap()).unwrap_err();
         assert!(matches!(err, AnalysisError::Unsupported(m) if m.contains("operand")));
     }
 
     #[test]
     fn occur_check_rejects_infinite_types() {
         // x : x would need A = list(A).
-        let err =
-            infer_types(&parse_fun_program("f(x) = x : x;").unwrap()).unwrap_err();
+        let err = infer_types(&parse_fun_program("f(x) = x : x;").unwrap()).unwrap_err();
         assert!(matches!(err, AnalysisError::Unsupported(_)));
     }
 
@@ -487,7 +501,10 @@ mod tests {
             "data wrap = box(1);
              unbox(box(x)) = x;",
         );
-        assert_eq!(r.scheme("unbox").unwrap().render(), "unbox : (data_wrap) -> A");
+        assert_eq!(
+            r.scheme("unbox").unwrap().render(),
+            "unbox : (data_wrap) -> A"
+        );
     }
 
     #[test]
@@ -496,7 +513,10 @@ mod tests {
             "tsum(leaf) = 0;
              tsum(node(l, v, r)) = tsum(l) + v + tsum(r);",
         );
-        assert_eq!(r.scheme("tsum").unwrap().render(), "tsum : (tree(int)) -> int");
+        assert_eq!(
+            r.scheme("tsum").unwrap().render(),
+            "tsum : (tree(int)) -> int"
+        );
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Profiling integration: each analyzer's `profile` flag must yield a
+//! `MetricsReport` whose rollups agree with the engine's own statistics.
+
+use std::rc::Rc;
+use tablog_core::depthk::DepthKAnalyzer;
+use tablog_core::direct::DirectAnalyzer;
+use tablog_core::groundness::GroundnessAnalyzer;
+use tablog_core::strictness::StrictnessAnalyzer;
+use tablog_engine::CountingSink;
+
+const APPEND: &str = "
+    app([], Ys, Ys).
+    app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+";
+
+#[test]
+fn groundness_metrics_match_engine_stats() {
+    let mut an = GroundnessAnalyzer::new();
+    an.profile = true;
+    let report = an.analyze_source(APPEND).unwrap();
+    let m = report
+        .metrics
+        .as_ref()
+        .expect("profile=true yields metrics");
+    let t = m.totals();
+    assert_eq!(t.subgoals, report.stats.subgoals as u64);
+    assert_eq!(t.answers, report.stats.answers as u64);
+    assert_eq!(t.duplicate_answers, report.stats.duplicate_answers as u64);
+    assert_eq!(t.clause_resolutions, report.stats.clause_resolutions as u64);
+    assert_eq!(t.table_bytes, report.stats.table_bytes as u64);
+    // The abstract predicate has its own row.
+    let row = m.pred("gp$app/3").expect("gp$app/3 row");
+    assert!(row.subgoals > 0);
+    assert!(row.answers > 0);
+    let names: Vec<&str> = m.phases.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, ["preprocess", "analysis", "collection"]);
+}
+
+#[test]
+fn profile_off_means_no_metrics() {
+    let report = GroundnessAnalyzer::new().analyze_source(APPEND).unwrap();
+    assert!(report.metrics.is_none());
+}
+
+#[test]
+fn profiling_composes_with_a_user_trace_sink() {
+    let counter = Rc::new(CountingSink::new());
+    let mut an = GroundnessAnalyzer::new();
+    an.options.trace = Some(counter.clone());
+    an.profile = true;
+    let report = an.analyze_source(APPEND).unwrap();
+    let m = report.metrics.expect("metrics present");
+    // Both observers saw the same event stream.
+    assert_eq!(counter.count("new_subgoal"), m.totals().subgoals);
+    assert_eq!(counter.count("answer_insert"), m.totals().answers);
+    assert!(counter.total() > 0);
+}
+
+#[test]
+fn depthk_metrics_count_abstraction_and_widening() {
+    // Unbounded list growth: depth-1 truncation must kick in both on
+    // calls (the recursive call's argument deepens) and on answers.
+    let src = "
+        grow(nil).
+        grow(c(X)) :- grow(X).
+    ";
+    let mut an = DepthKAnalyzer::new(1);
+    an.profile = true;
+    let report = an.analyze_source(src).unwrap();
+    let m = report.metrics.as_ref().expect("metrics present");
+    let t = m.totals();
+    assert!(
+        t.calls_abstracted > 0 || t.answers_widened > 0,
+        "depth-1 truncation should fire: {t:?}"
+    );
+    assert!(t.answers_widened > 0, "widening rewrites deep answers");
+    assert_eq!(t.table_bytes, report.stats.table_bytes as u64);
+    // The hook events land on the abstract predicate's row.
+    let row = m.pred("ak$grow/1").expect("ak$grow/1 row");
+    assert!(row.answers_widened > 0);
+}
+
+#[test]
+fn strictness_metrics_match_engine_stats() {
+    let src = "
+        ap(nil, ys) = ys;
+        ap(x : xs, ys) = x : ap(xs, ys);
+    ";
+    let mut an = StrictnessAnalyzer::new();
+    an.profile = true;
+    let report = an.analyze_source(src).unwrap();
+    let m = report.metrics.as_ref().expect("metrics present");
+    let t = m.totals();
+    assert_eq!(t.subgoals, report.stats.subgoals as u64);
+    assert_eq!(t.answers, report.stats.answers as u64);
+    assert_eq!(t.table_bytes, report.stats.table_bytes as u64);
+    assert!(m.pred("sp$ap/3").is_some(), "demand predicate has a row");
+}
+
+#[test]
+fn direct_metrics_mirror_worklist_counters() {
+    let mut an = DirectAnalyzer::new();
+    an.profile = true;
+    let report = an.analyze_source(APPEND).unwrap();
+    let m = report.metrics.as_ref().expect("metrics present");
+    let t = m.totals();
+    assert_eq!(t.subgoals, report.pairs as u64);
+    assert_eq!(t.completed, report.pairs as u64);
+    assert!(t.clause_resolutions >= report.iterations as u64);
+    let row = m.pred("gp$app/3").expect("gp$app/3 row");
+    assert!(row.subgoals >= 1);
+}

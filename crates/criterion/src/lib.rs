@@ -1,0 +1,154 @@
+//! An offline, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace's benches were written against the real criterion API, but
+//! this build environment has no access to crates.io. This crate implements
+//! the subset the benches use — `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros — as a plain
+//! wall-clock harness with no statistics, plots, or baselines.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets), each benchmark body runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark. In `--test` mode the body executes once,
+    /// untimed; otherwise it is timed over `sample_size` samples and the
+    /// mean is printed.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_size
+            },
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if self.criterion.test_mode {
+            println!("test {}/{} ... ok", self.name, id);
+        } else if bencher.iters > 0 {
+            let mean = bencher.elapsed / bencher.iters as u32;
+            println!(
+                "{}/{}: {:?}/iter ({} iters)",
+                self.name, id, mean, bencher.iters
+            );
+        }
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Times a closure over a fixed number of iterations.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` once per sample, accumulating wall-clock time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+            std::hint::black_box(out);
+        }
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body_and_counts_iters() {
+        let mut c = Criterion { test_mode: false };
+        let mut count = 0usize;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5)
+            .bench_function("f", |b| b.iter(|| count += 1));
+        g.finish();
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut count = 0usize;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(50)
+            .bench_function("f", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1);
+    }
+}

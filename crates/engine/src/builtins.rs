@@ -80,9 +80,7 @@ pub fn lookup_builtin(f: Functor) -> Option<BuiltinImpl> {
         ("nonvar", 1) => Det(|b, a| Ok(!b.walk(&a[0]).is_var())),
         ("atom", 1) => Det(|b, a| Ok(matches!(b.walk(&a[0]), Term::Atom(_)))),
         ("number", 1) | ("integer", 1) => Det(|b, a| Ok(matches!(b.walk(&a[0]), Term::Int(_)))),
-        ("atomic", 1) => {
-            Det(|b, a| Ok(matches!(b.walk(&a[0]), Term::Atom(_) | Term::Int(_))))
-        }
+        ("atomic", 1) => Det(|b, a| Ok(matches!(b.walk(&a[0]), Term::Atom(_) | Term::Int(_)))),
         ("compound", 1) => Det(|b, a| Ok(matches!(b.walk(&a[0]), Term::Struct(_, _)))),
         ("ground", 1) => Det(|b, a| Ok(b.resolve(&a[0]).is_ground())),
         ("functor", 3) => Det(functor3),
@@ -189,7 +187,10 @@ pub fn arith_eval(b: &Bindings, t: &Term) -> Result<i64, EngineError> {
     match &w {
         Term::Int(i) => Ok(*i),
         Term::Var(_) => Err(EngineError::Arith("unbound variable".into())),
-        Term::Atom(s) => Err(EngineError::Arith(format!("not a number: {}", sym_name(*s)))),
+        Term::Atom(s) => Err(EngineError::Arith(format!(
+            "not a number: {}",
+            sym_name(*s)
+        ))),
         Term::Struct(s, args) => {
             let name = sym_name(*s);
             let bin = |b: &Bindings, f: fn(i64, i64) -> Option<i64>| -> Result<i64, EngineError> {
@@ -216,7 +217,10 @@ pub fn arith_eval(b: &Bindings, t: &Term) -> Result<i64, EngineError> {
                     .ok_or_else(|| EngineError::Arith("negation overflow".into())),
                 ("+", 1) => arith_eval(b, &args[0]),
                 ("abs", 1) => Ok(arith_eval(b, &args[0])?.abs()),
-                _ => Err(EngineError::Arith(format!("unknown function {name}/{}", args.len()))),
+                _ => Err(EngineError::Arith(format!(
+                    "unknown function {name}/{}",
+                    args.len()
+                ))),
             }
         }
     }
@@ -304,10 +308,13 @@ fn functor3(b: &mut Bindings, a: &[Term]) -> Result<bool, EngineError> {
             };
             Ok(tablog_term::unify(b, &a[0], &built))
         }
-        Term::Atom(s) => Ok(tablog_term::unify(b, &a[1], &Term::Atom(*s))
-            && tablog_term::unify(b, &a[2], &int(0))),
-        Term::Int(i) => Ok(tablog_term::unify(b, &a[1], &int(*i))
-            && tablog_term::unify(b, &a[2], &int(0))),
+        Term::Atom(s) => {
+            Ok(tablog_term::unify(b, &a[1], &Term::Atom(*s))
+                && tablog_term::unify(b, &a[2], &int(0)))
+        }
+        Term::Int(i) => {
+            Ok(tablog_term::unify(b, &a[1], &int(*i)) && tablog_term::unify(b, &a[2], &int(0)))
+        }
         Term::Struct(s, args) => Ok(tablog_term::unify(b, &a[1], &Term::Atom(*s))
             && tablog_term::unify(b, &a[2], &int(args.len() as i64))),
     }
@@ -324,7 +331,10 @@ fn arg3(b: &mut Bindings, a: &[Term]) -> Result<bool, EngineError> {
             let picked = args[n as usize - 1].clone();
             Ok(tablog_term::unify(b, &a[2], &picked))
         }
-        _ => Err(EngineError::BadArgs("arg/3", "second argument must be compound".into())),
+        _ => Err(EngineError::BadArgs(
+            "arg/3",
+            "second argument must be compound".into(),
+        )),
     }
 }
 
@@ -333,8 +343,9 @@ fn univ(b: &mut Bindings, a: &[Term]) -> Result<bool, EngineError> {
     match &t {
         Term::Var(_) => {
             // Build term from list.
-            let items = list_to_vec(b, &a[1])
-                .ok_or_else(|| EngineError::BadArgs("=../2", "second argument must be a proper list".into()))?;
+            let items = list_to_vec(b, &a[1]).ok_or_else(|| {
+                EngineError::BadArgs("=../2", "second argument must be a proper list".into())
+            })?;
             let Some((head, rest)) = items.split_first() else {
                 return Err(EngineError::BadArgs("=../2", "empty list".into()));
             };
@@ -418,8 +429,7 @@ fn iff(b: &Bindings, a: &[Term]) -> Result<Vec<Vec<Term>>, EngineError> {
         });
     }
     let k = a.len() - 1;
-    let free_ys: Vec<usize> =
-        (1..=k).filter(|&i| vals[i] == V::Free).collect();
+    let free_ys: Vec<usize> = (1..=k).filter(|&i| vals[i] == V::Free).collect();
     let mut rows = Vec::new();
     // Enumerate assignments to the unbound Y's.
     for mask in 0u64..(1u64 << free_ys.len()) {

@@ -42,7 +42,11 @@ impl StoredClause {
         };
         let head = fix(&head);
         let body: Vec<Term> = body.iter().map(&mut fix).collect();
-        StoredClause { head, body, nvars: map.len() }
+        StoredClause {
+            head,
+            body,
+            nvars: map.len(),
+        }
     }
 }
 
@@ -63,13 +67,15 @@ fn index_key(t: &Term) -> Option<IndexKey> {
     }
 }
 
+/// `key -> clause indices`, plus the list of clauses with variable
+/// first argument (which match any key).
+type ClauseIndex = (HashMap<IndexKey, Vec<usize>>, Vec<usize>);
+
 #[derive(Clone, Debug, Default)]
 struct Predicate {
     clauses: Vec<StoredClause>,
     tabled: bool,
-    /// `key -> clause indices`, plus the list of clauses with variable
-    /// first argument (which match any key).
-    index: Option<(HashMap<IndexKey, Vec<usize>>, Vec<usize>)>,
+    index: Option<ClauseIndex>,
 }
 
 /// A clause database with per-predicate tabling flags.
@@ -85,7 +91,10 @@ pub struct Database {
 impl Database {
     /// Creates an empty database with the given load mode.
     pub fn new(mode: LoadMode) -> Self {
-        Database { preds: HashMap::new(), mode }
+        Database {
+            preds: HashMap::new(),
+            mode,
+        }
     }
 
     /// The database's load mode.
@@ -101,7 +110,13 @@ impl Database {
     /// term.
     pub fn load(&mut self, program: &Program) -> Result<(), EngineError> {
         for (name, arity) in program.tabled() {
-            self.set_tabled(Functor { name: intern(&name), arity }, true);
+            self.set_tabled(
+                Functor {
+                    name: intern(&name),
+                    arity,
+                },
+                true,
+            );
         }
         for c in &program.clauses {
             self.add_read_clause(c)?;
@@ -239,7 +254,10 @@ impl Database {
 
     /// All clauses of `f` in source order.
     pub fn clauses(&self, f: Functor) -> &[StoredClause] {
-        self.preds.get(&f).map(|p| p.clauses.as_slice()).unwrap_or(&[])
+        self.preds
+            .get(&f)
+            .map(|p| p.clauses.as_slice())
+            .unwrap_or(&[])
     }
 }
 
@@ -258,7 +276,10 @@ mod tests {
 
     #[test]
     fn load_counts_clauses_and_tabling() {
-        let d = db(":- table p/1.\np(a).\np(b).\nq(X) :- p(X).", LoadMode::Dynamic);
+        let d = db(
+            ":- table p/1.\np(a).\np(b).\nq(X) :- p(X).",
+            LoadMode::Dynamic,
+        );
         assert_eq!(d.num_clauses(), 3);
         assert!(d.is_tabled(Functor::new("p", 1)));
         assert!(!d.is_tabled(Functor::new("q", 1)));
@@ -275,7 +296,11 @@ mod tests {
     #[test]
     fn dynamic_mode_returns_all_clauses() {
         let d = db("p(a). p(b). p(f(c)).", LoadMode::Dynamic);
-        assert_eq!(d.matching_clauses(Functor::new("p", 1), Some(&atom("a"))).len(), 3);
+        assert_eq!(
+            d.matching_clauses(Functor::new("p", 1), Some(&atom("a")))
+                .len(),
+            3
+        );
     }
 
     #[test]
@@ -310,12 +335,13 @@ mod tests {
     fn assert_after_compile_keeps_index_fresh() {
         let mut d = db("p(a).", LoadMode::Compiled);
         d.assert_clause(atom("p_extra"), vec![]).unwrap();
-        d.assert_clause(
-            tablog_term::structure("p", vec![atom("b")]),
-            vec![],
-        )
-        .unwrap();
-        assert_eq!(d.matching_clauses(Functor::new("p", 1), Some(&atom("b"))).len(), 1);
+        d.assert_clause(tablog_term::structure("p", vec![atom("b")]), vec![])
+            .unwrap();
+        assert_eq!(
+            d.matching_clauses(Functor::new("p", 1), Some(&atom("b")))
+                .len(),
+            1
+        );
     }
 
     #[test]

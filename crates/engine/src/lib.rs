@@ -58,8 +58,8 @@ mod options;
 mod table;
 
 pub use builtins::{
-    abs_ground, abs_unify, arith_eval, builtin_functors, is_builtin, lookup_builtin,
-    term_compare, BuiltinImpl, DetFn, NonDetFn, GAMMA,
+    abs_ground, abs_unify, arith_eval, builtin_functors, is_builtin, lookup_builtin, term_compare,
+    BuiltinImpl, DetFn, NonDetFn, GAMMA,
 };
 pub use database::{Database, LoadMode, StoredClause};
 pub use error::EngineError;
@@ -68,5 +68,9 @@ pub use options::{EngineOptions, Scheduling, TermHook, Unknown};
 pub use table::{AnswerIter, SubgoalView, TableStats};
 
 // Re-exported for downstream convenience: the reader produces the programs
-// the engine loads.
+// the engine loads, and the trace types plug into `EngineOptions::trace`.
 pub use tablog_syntax::{parse_program, ParseError, Program};
+pub use tablog_trace::{
+    CountingSink, JsonLinesSink, MetricsRegistry, MetricsReport, MultiSink, NoopSink, OwnedEvent,
+    PredStats, RingBufferSink, TraceEvent, TraceSink,
+};

@@ -14,11 +14,12 @@ use crate::builtins::{lookup_builtin, BuiltinImpl};
 use crate::database::{Database, LoadMode};
 use crate::error::EngineError;
 use crate::options::{EngineOptions, Scheduling, Unknown};
-use crate::table::{SubgoalState, SubgoalView, TableStats};
+use crate::table::{SubgoalState, SubgoalView, TableStats, NODE_OVERHEAD};
 use std::collections::{HashMap, HashSet, VecDeque};
 use tablog_term::{
     canonicalize, sym_name, unify, unify_occurs, Bindings, CanonicalTerm, Functor, Term, Var,
 };
+use tablog_trace::{TraceEvent, TraceSink};
 
 /// A loaded program plus evaluation options; the entry point of the crate.
 ///
@@ -205,7 +206,10 @@ impl Evaluation {
 
     /// All answers of a predicate, merged across its call patterns.
     pub fn answers_of(&self, f: Functor) -> Vec<Term> {
-        self.subgoals_of(f).iter().flat_map(|v| v.answers()).collect()
+        self.subgoals_of(f)
+            .iter()
+            .flat_map(|v| v.answers())
+            .collect()
     }
 
     /// All recorded calls of a predicate — its input patterns.
@@ -230,6 +234,13 @@ impl Evaluation {
     /// Estimated total table space in bytes (the paper's last column).
     pub fn table_bytes(&self) -> usize {
         self.stats.table_bytes
+    }
+
+    /// Recomputes table space by walking every table, bypassing the
+    /// incremental accounting in `stats().table_bytes`. The two must agree;
+    /// this exists so tests (and doubtful users) can check that they do.
+    pub fn rescan_table_bytes(&self) -> usize {
+        self.subgoals.iter().map(|s| s.table_bytes()).sum()
     }
 }
 
@@ -268,6 +279,10 @@ struct Machine<'e> {
     /// enumerative literals otherwise cause.
     seen_nodes: HashSet<(usize, usize, CanonicalTerm)>,
     stats: TableStats,
+    /// Event observer, `None` unless `EngineOptions::trace` is set. Events
+    /// are only constructed under `if let Some(..)`, so the disabled path
+    /// does no work and no allocation.
+    trace: Option<&'e dyn TraceSink>,
 }
 
 impl<'e> Machine<'e> {
@@ -281,6 +296,7 @@ impl<'e> Machine<'e> {
             tasks: VecDeque::new(),
             seen_nodes: HashSet::new(),
             stats: TableStats::default(),
+            trace: opts.trace.as_deref(),
         }
     }
 
@@ -294,7 +310,10 @@ impl<'e> Machine<'e> {
 
     fn push(&mut self, task: Task) {
         if let Task::Expand(n) = &task {
-            if !self.seen_nodes.insert((n.subgoal, n.split, n.canon.clone())) {
+            if !self
+                .seen_nodes
+                .insert((n.subgoal, n.split, n.canon.clone()))
+            {
                 return;
             }
         }
@@ -317,17 +336,40 @@ impl<'e> Machine<'e> {
         let root_f = Functor::new("$query", template.len());
         let key = canonicalize(b0, template);
         let root = self.subgoals.len();
-        self.subgoals.push(SubgoalState::new(root_f, key));
         self.stats.subgoals += 1;
+        self.stats.table_bytes += key.heap_bytes() + NODE_OVERHEAD;
+        if let Some(sink) = self.trace {
+            sink.event(&TraceEvent::NewSubgoal {
+                pred: root_f,
+                call: &key,
+                bytes: key.heap_bytes() + NODE_OVERHEAD,
+            });
+        }
+        self.subgoals.push(SubgoalState::new(root_f, key));
         let mut all: Vec<Term> = template.to_vec();
         all.extend_from_slice(goals);
-        let node = Node { subgoal: root, split: template.len(), canon: canonicalize(b0, &all) };
+        let node = Node {
+            subgoal: root,
+            split: template.len(),
+            canon: canonicalize(b0, &all),
+        };
         self.push(Task::Expand(node));
         self.drain()?;
         for s in &mut self.subgoals {
             s.complete = true;
+            if let Some(sink) = self.trace {
+                sink.event(&TraceEvent::SubgoalComplete {
+                    pred: s.functor,
+                    answers: s.answers.len(),
+                    bytes: s.table_bytes(),
+                });
+            }
         }
-        self.stats.table_bytes = self.subgoals.iter().map(|s| s.table_bytes()).sum();
+        debug_assert_eq!(
+            self.stats.table_bytes,
+            self.subgoals.iter().map(|s| s.table_bytes()).sum::<usize>(),
+            "incremental table-byte accounting drifted from the tables"
+        );
         Ok(Evaluation {
             subgoals: std::mem::take(&mut self.subgoals),
             root,
@@ -361,7 +403,11 @@ impl<'e> Machine<'e> {
     ) -> Node {
         let mut all = template.to_vec();
         all.extend_from_slice(goals);
-        Node { subgoal, split, canon: canonicalize(b, &all) }
+        Node {
+            subgoal,
+            split,
+            canon: canonicalize(b, &all),
+        }
     }
 
     fn expand(&mut self, node: Node) -> Result<(), EngineError> {
@@ -404,25 +450,24 @@ impl<'e> Machine<'e> {
             (";", 2) => {
                 // (C -> T ; E) gets soft if-then-else semantics:
                 // (C, T) or (\+ C, E).
-                let (left, right): (Vec<Term>, Vec<Term>) =
-                    if let Term::Struct(s, ite) = &args[0] {
-                        if sym_name(*s) == "->" && ite.len() == 2 {
-                            (
-                                vec![ite[0].clone(), ite[1].clone()],
-                                vec![
-                                    Term::Struct(
-                                        tablog_term::intern("\\+"),
-                                        vec![ite[0].clone()].into(),
-                                    ),
-                                    args[1].clone(),
-                                ],
-                            )
-                        } else {
-                            (vec![args[0].clone()], vec![args[1].clone()])
-                        }
+                let (left, right): (Vec<Term>, Vec<Term>) = if let Term::Struct(s, ite) = &args[0] {
+                    if sym_name(*s) == "->" && ite.len() == 2 {
+                        (
+                            vec![ite[0].clone(), ite[1].clone()],
+                            vec![
+                                Term::Struct(
+                                    tablog_term::intern("\\+"),
+                                    vec![ite[0].clone()].into(),
+                                ),
+                                args[1].clone(),
+                            ],
+                        )
                     } else {
                         (vec![args[0].clone()], vec![args[1].clone()])
-                    };
+                    }
+                } else {
+                    (vec![args[0].clone()], vec![args[1].clone()])
+                };
                 for branch in [left, right] {
                     let mut goals = branch;
                     goals.extend_from_slice(rest);
@@ -538,6 +583,9 @@ impl<'e> Machine<'e> {
             .collect();
         for clause in clauses {
             self.stats.clause_resolutions += 1;
+            if let Some(sink) = self.trace {
+                sink.event(&TraceEvent::ClauseResolution { pred: f });
+            }
             let m = b.mark();
             let base = b.fresh_block(clause.nvars);
             let mut rename = |t: &Term| t.map_vars(&mut |v| Term::Var(Var(base.0 + v.0)));
@@ -570,12 +618,34 @@ impl<'e> Machine<'e> {
         b: &mut Bindings,
     ) -> Result<(), EngineError> {
         let mut key = if self.opts.forward_subsumption {
-            open_call_key(f)
+            let open = open_call_key(f);
+            if let Some(sink) = self.trace {
+                // Only report calls that subsumption actually generalized.
+                let specific = canonicalize(b, g.args());
+                if specific != open {
+                    sink.event(&TraceEvent::SubsumedCall {
+                        pred: f,
+                        call: &specific,
+                        subsumer: &open,
+                    });
+                }
+            }
+            open
         } else {
             canonicalize(b, g.args())
         };
         if let Some(hook) = &self.opts.call_abstraction {
-            key = hook(&key);
+            let abstracted = hook(&key);
+            if let Some(sink) = self.trace {
+                if abstracted != key {
+                    sink.event(&TraceEvent::CallAbstracted {
+                        pred: f,
+                        original: &key,
+                        abstracted: &abstracted,
+                    });
+                }
+            }
+            key = abstracted;
         }
         let watched = self.find_or_create_subgoal(f, key)?;
         // Reconstitute this node (with the tabled goal still selected) as a
@@ -601,9 +671,17 @@ impl<'e> Machine<'e> {
             return Ok(sid);
         }
         let sid = self.subgoals.len();
+        self.stats.subgoals += 1;
+        self.stats.table_bytes += key.heap_bytes() + NODE_OVERHEAD;
+        if let Some(sink) = self.trace {
+            sink.event(&TraceEvent::NewSubgoal {
+                pred: f,
+                call: &key,
+                bytes: key.heap_bytes() + NODE_OVERHEAD,
+            });
+        }
         self.subgoals.push(SubgoalState::new(f, key.clone()));
         self.lookup.insert((f, key.clone()), sid);
-        self.stats.subgoals += 1;
         // Spawn generator nodes: one per resolving program clause.
         let mut b = Bindings::new();
         let call_args = key.instantiate(&mut b);
@@ -615,6 +693,9 @@ impl<'e> Machine<'e> {
             .collect();
         for clause in clauses {
             self.stats.clause_resolutions += 1;
+            if let Some(sink) = self.trace {
+                sink.event(&TraceEvent::ClauseResolution { pred: f });
+            }
             let m = b.mark();
             let base = b.fresh_block(clause.nvars);
             let mut rename = |t: &Term| t.map_vars(&mut |v| Term::Var(Var(base.0 + v.0)));
@@ -638,7 +719,9 @@ impl<'e> Machine<'e> {
         let mut b = Bindings::new();
         let ts = consumer.node.canon.instantiate(&mut b);
         let (template, goals) = ts.split_at(consumer.node.split);
-        let (g, rest) = goals.split_first().expect("consumer node has a selected goal");
+        let (g, rest) = goals
+            .split_first()
+            .expect("consumer node has a selected goal");
         let answer = self.subgoals[consumer.watched].answers[aidx].clone();
         let ans_args = answer.instantiate(&mut b);
         let ok = g
@@ -647,7 +730,18 @@ impl<'e> Machine<'e> {
             .zip(ans_args.iter())
             .all(|(x, y)| self.unif(&mut b, x, y));
         if ok {
-            let n = self.make_node(consumer.node.subgoal, consumer.node.split, &b, template, rest);
+            if let Some(sink) = self.trace {
+                sink.event(&TraceEvent::AnswerReturn {
+                    pred: self.subgoals[consumer.watched].functor,
+                });
+            }
+            let n = self.make_node(
+                consumer.node.subgoal,
+                consumer.node.split,
+                &b,
+                template,
+                rest,
+            );
             self.push(Task::Expand(n));
         }
         Ok(())
@@ -655,19 +749,44 @@ impl<'e> Machine<'e> {
 
     fn add_answer(&mut self, sid: usize, mut ans: CanonicalTerm) {
         if let Some(hook) = &self.opts.answer_widening {
-            ans = hook(&ans);
+            let widened = hook(&ans);
+            if let Some(sink) = self.trace {
+                if widened != ans {
+                    sink.event(&TraceEvent::AnswerWidened {
+                        pred: self.subgoals[sid].functor,
+                        original: &ans,
+                        widened: &widened,
+                    });
+                }
+            }
+            ans = widened;
         }
         let sub = &mut self.subgoals[sid];
         if sub.answer_set.insert(ans.clone()) {
+            let bytes = ans.heap_bytes() + NODE_OVERHEAD;
+            if let Some(sink) = self.trace {
+                sink.event(&TraceEvent::AnswerInsert {
+                    pred: sub.functor,
+                    answer: &ans,
+                    bytes,
+                });
+            }
             sub.answers.push(ans);
             let idx = sub.answers.len() - 1;
             self.stats.answers += 1;
+            self.stats.table_bytes += bytes;
             let consumers = sub.consumers.clone();
             for cid in consumers {
                 self.push(Task::Return(cid, idx));
             }
         } else {
             self.stats.duplicate_answers += 1;
+            if let Some(sink) = self.trace {
+                sink.event(&TraceEvent::DuplicateAnswer {
+                    pred: sub.functor,
+                    answer: &ans,
+                });
+            }
         }
     }
 
@@ -679,7 +798,14 @@ impl<'e> Machine<'e> {
         let mut sub = Machine::new(self.db, self.opts);
         let empty = Bindings::new();
         let eval = sub.run(&[g], &[], &empty)?;
+        // Fold the subcomputation's work into this evaluation's counters.
+        // `table_bytes` stays out: the sub-machine's tables are discarded
+        // here, so charging their space would overstate live table memory.
         self.stats.steps += sub.stats.steps;
+        self.stats.clause_resolutions += sub.stats.clause_resolutions;
+        self.stats.subgoals += sub.stats.subgoals;
+        self.stats.answers += sub.stats.answers;
+        self.stats.duplicate_answers += sub.stats.duplicate_answers;
         Ok(!eval.root_answers().is_empty())
     }
 }
@@ -860,7 +986,9 @@ mod tests {
         let e = Engine::from_source(src).unwrap();
         let mut b = Bindings::new();
         let (g, _) = tablog_syntax::parse_term("p(Z)", &mut b).unwrap();
-        let eval = e.evaluate(&[g.clone()], &[g.args()[0].clone()], &b).unwrap();
+        let eval = e
+            .evaluate(std::slice::from_ref(&g), &[g.args()[0].clone()], &b)
+            .unwrap();
         // One answer in p's table, one for the root — the second derivation
         // of p(a) collapses at node level, so the table stays duplicate-free.
         assert_eq!(eval.stats().answers, 2);
@@ -886,8 +1014,10 @@ mod tests {
 
     #[test]
     fn breadth_first_scheduling_same_answers() {
-        let mut opts = EngineOptions::default();
-        opts.scheduling = Scheduling::BreadthFirst;
+        let opts = EngineOptions {
+            scheduling: Scheduling::BreadthFirst,
+            ..Default::default()
+        };
         let program = tablog_syntax::parse_program(GRAPH).unwrap();
         let mut db = Database::new(LoadMode::Dynamic);
         db.load(&program).unwrap();
@@ -900,8 +1030,7 @@ mod tests {
     fn compiled_mode_same_answers_as_dynamic() {
         let src = "p(a, 1). p(b, 2). p(c, 3). look(K, V) :- p(K, V).";
         for mode in [LoadMode::Dynamic, LoadMode::Compiled] {
-            let e =
-                Engine::from_source_with(src, mode, EngineOptions::default()).unwrap();
+            let e = Engine::from_source_with(src, mode, EngineOptions::default()).unwrap();
             assert_eq!(e.solve("look(b, V)").unwrap().to_strings(), vec!["V = 2"]);
         }
     }
@@ -909,8 +1038,10 @@ mod tests {
     #[test]
     fn forward_subsumption_same_answers_fewer_tables() {
         let mk = |fs: bool| {
-            let mut opts = EngineOptions::default();
-            opts.forward_subsumption = fs;
+            let opts = EngineOptions {
+                forward_subsumption: fs,
+                ..Default::default()
+            };
             let program = tablog_syntax::parse_program(GRAPH).unwrap();
             let mut db = Database::new(LoadMode::Dynamic);
             db.load(&program).unwrap();
@@ -925,8 +1056,7 @@ mod tests {
         // open table; distinct specific calls do not multiply subgoals.
         let e = mk(true);
         let mut b = Bindings::new();
-        let (g, _) =
-            tablog_syntax::parse_term("path(a, X), path(b, Y)", &mut b).unwrap();
+        let (g, _) = tablog_syntax::parse_term("path(a, X), path(b, Y)", &mut b).unwrap();
         let mut goals = Vec::new();
         flatten_conj(&g, &mut goals);
         let eval = e.evaluate(&goals, &[], &b).unwrap();
@@ -961,15 +1091,18 @@ mod tests {
     fn answer_widening_hook_truncates() {
         use std::rc::Rc;
         // Widen every answer to the open tuple: the table keeps one answer.
-        let mut opts = EngineOptions::default();
-        opts.answer_widening = Some(Rc::new(|c: &CanonicalTerm| {
+        let widen: Option<crate::TermHook> = Some(Rc::new(|c: &CanonicalTerm| {
             let b = Bindings::new();
-            let args: Vec<Term> =
-                (0..c.terms().len()).map(|i| Term::Var(Var(i as u32))).collect();
+            let args: Vec<Term> = (0..c.terms().len())
+                .map(|i| Term::Var(Var(i as u32)))
+                .collect();
             canonicalize(&b, &args)
         }));
-        let program =
-            tablog_syntax::parse_program(":- table p/1.\np(a). p(b). p(c).").unwrap();
+        let opts = EngineOptions {
+            answer_widening: widen,
+            ..Default::default()
+        };
+        let program = tablog_syntax::parse_program(":- table p/1.\np(a). p(b). p(c).").unwrap();
         let mut db = Database::new(LoadMode::Dynamic);
         db.load(&program).unwrap();
         let e = Engine::new(db, opts);
@@ -997,5 +1130,108 @@ mod tests {
         e.options_mut().max_steps = Some(10_000);
         let s = e.solve("win").unwrap();
         assert!(s.is_empty()); // no derivation: tabling detects the loop
+    }
+
+    fn eval_graph(opts: EngineOptions) -> Evaluation {
+        let program = tablog_syntax::parse_program(GRAPH).unwrap();
+        let mut db = Database::new(LoadMode::Dynamic);
+        db.load(&program).unwrap();
+        let e = Engine::new(db, opts);
+        let mut b = Bindings::new();
+        let (g, _) = tablog_syntax::parse_term("path(X, Y)", &mut b).unwrap();
+        e.evaluate(&[g], &[], &b).unwrap()
+    }
+
+    #[test]
+    fn incremental_table_bytes_agree_with_rescan() {
+        let eval = eval_graph(EngineOptions::default());
+        assert_eq!(eval.stats().table_bytes, eval.rescan_table_bytes());
+        assert!(eval.table_bytes() > 0);
+    }
+
+    #[test]
+    fn incremental_table_bytes_agree_under_subsumption_and_widening() {
+        use std::rc::Rc;
+        let opts = EngineOptions {
+            forward_subsumption: true,
+            answer_widening: Some(Rc::new(|c: &CanonicalTerm| c.clone())),
+            ..Default::default()
+        };
+        let eval = eval_graph(opts);
+        assert_eq!(eval.stats().table_bytes, eval.rescan_table_bytes());
+    }
+
+    #[test]
+    fn provable_aggregates_full_subcomputation_stats() {
+        // The negated goal walks a tabled predicate, so the subcomputation
+        // creates subgoals, answers, and clause resolutions that must all
+        // surface in the outer stats, not just its steps.
+        let src = "
+            :- table path/2.
+            path(X, Y) :- path(X, Z), edge(Z, Y).
+            path(X, Y) :- edge(X, Y).
+            edge(a, b). edge(b, c).
+            unreachable(X, Y) :- node(X), node(Y), \\+ path(X, Y).
+            node(a). node(b). node(c).
+        ";
+        let e = Engine::from_source(src).unwrap();
+        let mut b = Bindings::new();
+        let (g, _) = tablog_syntax::parse_term("unreachable(a, Y)", &mut b).unwrap();
+        let eval = e.evaluate(&[g], &[], &b).unwrap();
+        let outer_only = {
+            // Baseline: the same query without the negated literal.
+            let mut b = Bindings::new();
+            let (g, _) = tablog_syntax::parse_term("node(a), node(Y)", &mut b).unwrap();
+            e.evaluate(&[g], &[], &b).unwrap().stats()
+        };
+        let stats = eval.stats();
+        assert!(
+            stats.subgoals > outer_only.subgoals,
+            "negation subgoals missing: {stats:?} vs baseline {outer_only:?}"
+        );
+        assert!(stats.answers > outer_only.answers);
+        assert!(stats.clause_resolutions > outer_only.clause_resolutions);
+    }
+
+    #[test]
+    fn trace_events_mirror_table_stats() {
+        use std::rc::Rc;
+        let counter = Rc::new(tablog_trace::CountingSink::new());
+        let opts = EngineOptions {
+            trace: Some(counter.clone()),
+            ..Default::default()
+        };
+        let eval = eval_graph(opts);
+        let stats = eval.stats();
+        assert_eq!(counter.count("new_subgoal"), stats.subgoals as u64);
+        assert_eq!(counter.count("answer_insert"), stats.answers as u64);
+        assert_eq!(
+            counter.count("duplicate_answer"),
+            stats.duplicate_answers as u64
+        );
+        assert_eq!(
+            counter.count("clause_resolution"),
+            stats.clause_resolutions as u64
+        );
+        // Every subgoal (incl. the synthetic root) completes exactly once.
+        assert_eq!(counter.count("subgoal_complete"), stats.subgoals as u64);
+    }
+
+    #[test]
+    fn metrics_registry_rolls_up_per_predicate_bytes() {
+        use std::rc::Rc;
+        let registry = Rc::new(tablog_trace::MetricsRegistry::new());
+        let opts = EngineOptions {
+            trace: Some(registry.clone()),
+            ..Default::default()
+        };
+        let eval = eval_graph(opts);
+        let report = registry.snapshot();
+        let total: u64 = report.totals().table_bytes;
+        assert_eq!(total, eval.stats().table_bytes as u64);
+        let path = report.pred("path/2").expect("path/2 row");
+        assert!(path.subgoals >= 1);
+        assert!(path.answers > 0);
+        assert!(path.table_bytes > 0);
     }
 }

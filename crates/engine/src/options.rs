@@ -3,6 +3,7 @@
 use std::fmt;
 use std::rc::Rc;
 use tablog_term::CanonicalTerm;
+use tablog_trace::TraceSink;
 
 /// Worklist discipline for the derivation forest.
 ///
@@ -57,6 +58,10 @@ pub struct EngineOptions {
     pub max_steps: Option<usize>,
     /// Treatment of undefined predicates.
     pub unknown: Unknown,
+    /// Observer of engine events (see `tablog_trace`). With `None` the
+    /// engine constructs no events at all, so tracing costs nothing when
+    /// disabled. Negation subcomputations share the sink.
+    pub trace: Option<Rc<dyn TraceSink>>,
 }
 
 impl fmt::Debug for EngineOptions {
@@ -69,6 +74,7 @@ impl fmt::Debug for EngineOptions {
             .field("answer_widening", &self.answer_widening.is_some())
             .field("max_steps", &self.max_steps)
             .field("unknown", &self.unknown)
+            .field("trace", &self.trace.is_some())
             .finish()
     }
 }

@@ -3,6 +3,12 @@
 use std::collections::HashSet;
 use tablog_term::{CanonicalTerm, Functor, Term};
 
+/// Per-entry overhead added to each stored call or answer term, mirroring
+/// what XSB's statistics report counts: the term plus a fixed table-node
+/// cost. Shared by the full-table rescan below and the machine's
+/// incremental accounting.
+pub(crate) const NODE_OVERHEAD: usize = 16;
+
 /// Internal state of one tabled subgoal.
 #[derive(Clone, Debug)]
 pub(crate) struct SubgoalState {
@@ -30,9 +36,6 @@ impl SubgoalState {
     }
 
     pub(crate) fn table_bytes(&self) -> usize {
-        // Per-entry overhead mirrors what XSB's statistics report counts:
-        // the stored term plus a fixed table-node cost.
-        const NODE_OVERHEAD: usize = 16;
         self.call.heap_bytes()
             + NODE_OVERHEAD
             + self
@@ -79,7 +82,10 @@ impl<'a> SubgoalView<'a> {
 
     /// Iterates over answers as full terms `p(s1,…,sn)`.
     pub fn answers(&self) -> AnswerIter<'a> {
-        AnswerIter { functor: self.state.functor, inner: self.state.answers.iter() }
+        AnswerIter {
+            functor: self.state.functor,
+            inner: self.state.answers.iter(),
+        }
     }
 
     /// Iterates over raw canonical answer tuples.

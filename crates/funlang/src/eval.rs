@@ -112,7 +112,9 @@ impl<'p> Interp<'p> {
             }
             Expr::Ctor(c, args) => Ok(Value::Ctor(
                 c.clone(),
-                args.iter().map(|a| Thunk::suspend(a.clone(), env.clone())).collect(),
+                args.iter()
+                    .map(|a| Thunk::suspend(a.clone(), env.clone()))
+                    .collect(),
             )),
             Expr::App(f, args) => {
                 let thunks: Vec<Thunk> = args
@@ -301,7 +303,11 @@ pub fn eval_call(prog: &FunProgram, f: &str, fuel: usize) -> Result<Shown, EvalE
         std::thread::Builder::new()
             .stack_size(64 * 1024 * 1024)
             .spawn_scoped(scope, move || {
-                let mut interp = Interp { prog, fuel, depth: 0 };
+                let mut interp = Interp {
+                    prog,
+                    fuel,
+                    depth: 0,
+                };
                 let v = interp.apply(f, Vec::new())?;
                 interp.show(&v).map(Shown)
             })
@@ -317,7 +323,9 @@ mod tests {
     use crate::parse::parse_fun_program;
 
     fn run(src: &str) -> String {
-        eval_main(&parse_fun_program(src).unwrap()).unwrap().to_string()
+        eval_main(&parse_fun_program(src).unwrap())
+            .unwrap()
+            .to_string()
     }
 
     #[test]
@@ -330,7 +338,10 @@ mod tests {
 
     #[test]
     fn arithmetic_and_if() {
-        assert_eq!(run("fac(n) = if n == 0 then 1 else n * fac(n - 1); main = fac(5);"), "120");
+        assert_eq!(
+            run("fac(n) = if n == 0 then 1 else n * fac(n - 1); main = fac(5);"),
+            "120"
+        );
     }
 
     #[test]

@@ -29,8 +29,8 @@ enum Tok {
 }
 
 const SYMBOLS: &[&str] = &[
-    "==", "/=", "<=", ">=", "(", ")", "[", "]", ",", ";", "|", "=", ":", "+", "-", "*", "/",
-    "<", ">",
+    "==", "/=", "<=", ">=", "(", ")", "[", "]", ",", ";", "|", "=", ":", "+", "-", "*", "/", "<",
+    ">",
 ];
 
 fn lex(src: &str) -> Result<Vec<(Tok, usize)>, FunParseError> {
@@ -126,10 +126,15 @@ const DEFAULT_CTORS: &[(&str, usize)] = &[
 
 impl Parser {
     fn err(&self, msg: impl Into<String>) -> FunParseError {
-        let line = self.toks.get(self.pos.min(self.toks.len().saturating_sub(1)))
+        let line = self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
             .map(|(_, l)| *l)
             .unwrap_or(0);
-        FunParseError { message: msg.into(), line }
+        FunParseError {
+            message: msg.into(),
+            line,
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -157,10 +162,7 @@ impl Parser {
         if self.eat_sym(s) {
             Ok(())
         } else {
-            Err(self.err(format!(
-                "expected {s:?}, found {:?}",
-                self.peek().cloned()
-            )))
+            Err(self.err(format!("expected {s:?}, found {:?}", self.peek().cloned())))
         }
     }
 
@@ -481,12 +483,14 @@ fn resolve_zero_ary(e: &Expr, prog: &FunProgram) -> Expr {
             }
         }
         Expr::Int(_) => e.clone(),
-        Expr::Ctor(c, args) => {
-            Expr::Ctor(c.clone(), args.iter().map(|a| resolve_zero_ary(a, prog)).collect())
-        }
-        Expr::App(f, args) => {
-            Expr::App(f.clone(), args.iter().map(|a| resolve_zero_ary(a, prog)).collect())
-        }
+        Expr::Ctor(c, args) => Expr::Ctor(
+            c.clone(),
+            args.iter().map(|a| resolve_zero_ary(a, prog)).collect(),
+        ),
+        Expr::App(f, args) => Expr::App(
+            f.clone(),
+            args.iter().map(|a| resolve_zero_ary(a, prog)).collect(),
+        ),
         Expr::Prim(op, a, b) => Expr::Prim(
             *op,
             Box::new(resolve_zero_ary(a, prog)),
@@ -510,7 +514,10 @@ pub fn parse_fun_program(src: &str) -> Result<FunProgram, FunParseError> {
     let mut p = Parser {
         toks,
         pos: 0,
-        ctors: DEFAULT_CTORS.iter().map(|(n, a)| (n.to_string(), *a)).collect(),
+        ctors: DEFAULT_CTORS
+            .iter()
+            .map(|(n, a)| (n.to_string(), *a))
+            .collect(),
         ctor_datatype: BTreeMap::new(),
     };
     let mut prog = p.program()?;
@@ -533,10 +540,7 @@ mod tests {
 
     #[test]
     fn parses_append() {
-        let p = parse_fun_program(
-            "ap(nil, ys) = ys;\nap(x : xs, ys) = x : ap(xs, ys);",
-        )
-        .unwrap();
+        let p = parse_fun_program("ap(nil, ys) = ys;\nap(x : xs, ys) = x : ap(xs, ys);").unwrap();
         assert_eq!(p.arity("ap"), Some(2));
         assert_eq!(p.equations_of("ap").len(), 2);
         let e2 = &p.equations[1];
@@ -590,10 +594,8 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let p = parse_fun_program(
-            "-- a comment\nf(x) = x; {- block\ncomment -} g(y) = y;",
-        )
-        .unwrap();
+        let p =
+            parse_fun_program("-- a comment\nf(x) = x; {- block\ncomment -} g(y) = y;").unwrap();
         assert_eq!(p.len(), 2);
     }
 

@@ -40,9 +40,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use tablog_engine::{lookup_builtin, BuiltinImpl, EngineError};
-use tablog_term::{
-    canonicalize, intern, sym_name, unify, Bindings, Functor, Term, Var,
-};
+use tablog_term::{canonicalize, intern, sym_name, unify, Bindings, Functor, Term, Var};
 
 /// A Horn rule `head :- body` (a fact when `body` is empty).
 #[derive(Clone, Debug, PartialEq)]
@@ -65,13 +63,19 @@ pub type Adornment = Vec<bool>;
 
 fn adorned_name(f: Functor, a: &Adornment) -> Functor {
     let suffix: String = a.iter().map(|&b| if b { 'b' } else { 'f' }).collect();
-    Functor { name: intern(&format!("{}^{}", sym_name(f.name), suffix)), arity: f.arity }
+    Functor {
+        name: intern(&format!("{}^{}", sym_name(f.name), suffix)),
+        arity: f.arity,
+    }
 }
 
 fn magic_name(f: Functor, a: &Adornment) -> Functor {
     let suffix: String = a.iter().map(|&b| if b { 'b' } else { 'f' }).collect();
     let arity = a.iter().filter(|&&b| b).count();
-    Functor { name: intern(&format!("m${}^{}", sym_name(f.name), suffix)), arity }
+    Functor {
+        name: intern(&format!("m${}^{}", sym_name(f.name), suffix)),
+        arity,
+    }
 }
 
 fn rebuild(f: Functor, args: Vec<Term>) -> Term {
@@ -135,7 +139,11 @@ pub fn magic_transform(rules: &[Rule], query: &Term, b: &Bindings) -> MagicProgr
     };
 
     let qf = query.functor().expect("query must be a callable term");
-    let q_adornment: Adornment = query.args().iter().map(|t| b.resolve(t).is_ground()).collect();
+    let q_adornment: Adornment = query
+        .args()
+        .iter()
+        .map(|t| b.resolve(t).is_ground())
+        .collect();
 
     let mut out = Vec::new();
     let mut done: HashSet<(Functor, Adornment)> = HashSet::new();
@@ -176,7 +184,7 @@ pub fn magic_transform(rules: &[Rule], query: &Term, b: &Bindings) -> MagicProgr
                     let lit_adornment: Adornment = lit
                         .args()
                         .iter()
-                        .map(|t| t.vars().iter().all(|v| bound.contains(v)) )
+                        .map(|t| t.vars().iter().all(|v| bound.contains(v)))
                         .collect();
                     // Magic rule for this call site.
                     let m_lit_f = magic_name(lf, &lit_adornment);
@@ -213,7 +221,11 @@ pub fn magic_transform(rules: &[Rule], query: &Term, b: &Bindings) -> MagicProgr
     let mqf = magic_name(qf, &q_adornment);
     out.push(Rule::new(rebuild(mqf, seed_args), Vec::new()));
 
-    MagicProgram { rules: out, query: adorned_name(qf, &q_adornment), magic_query: mqf }
+    MagicProgram {
+        rules: out,
+        query: adorned_name(qf, &q_adornment),
+        magic_query: mqf,
+    }
 }
 
 /// A ground relation: the extension of one predicate.
@@ -399,9 +411,15 @@ impl BottomUp {
         if self.idb.contains(&f) {
             // Choose the source: delta at dpos, full otherwise.
             let source: Vec<Vec<Term>> = if pos == dpos {
-                prev_delta.get(&f).map(|r| r.tuples().to_vec()).unwrap_or_default()
+                prev_delta
+                    .get(&f)
+                    .map(|r| r.tuples().to_vec())
+                    .unwrap_or_default()
             } else {
-                self.relations.get(&f).map(|r| r.tuples().to_vec()).unwrap_or_default()
+                self.relations
+                    .get(&f)
+                    .map(|r| r.tuples().to_vec())
+                    .unwrap_or_default()
             };
             for tuple in source {
                 let m = b.mark();
@@ -626,8 +644,7 @@ mod tests {
         let engine =
             tablog_engine::Engine::from_source(&format!(":- table path/2.\n{GRAPH}")).unwrap();
         let sols = engine.solve("path(a, Y)").unwrap();
-        let tabled_answers: HashSet<Term> =
-            sols.rows().iter().map(|r| r[0].clone()).collect();
+        let tabled_answers: HashSet<Term> = sols.rows().iter().map(|r| r[0].clone()).collect();
         assert_eq!(magic_answers, tabled_answers);
     }
 }

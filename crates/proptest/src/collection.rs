@@ -1,0 +1,41 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::{BoxedStrategy, Strategy};
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Generates a `Vec` whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S>(element: S, size: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    assert!(
+        size.start < size.end,
+        "empty size range for collection::vec"
+    );
+    let element = Rc::new(element);
+    let elem = element.clone();
+    crate::strategy::from_fn(move |rng| {
+        let len = size.generate(rng);
+        (0..len).map(|_| elem.generate(rng)).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn vec_respects_size_and_element_bounds() {
+        let s = vec(0u8..4, 2..6);
+        let mut rng = TestRng::deterministic("collection-tests");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! An offline, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace's property tests were written against the real proptest
+//! API, but this build environment has no access to crates.io. This crate
+//! re-implements the subset of that API the tests use — `Strategy` with
+//! `prop_map`/`prop_recursive`, `Just`, ranges and tuples as strategies,
+//! `prop::collection::vec`, and the `proptest!`/`prop_oneof!`/`prop_assert*`
+//! macros — on top of a small deterministic PRNG.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message instead of a minimized counterexample.
+//! * **Deterministic seeding.** Every test derives its seed from its own
+//!   name, so runs are reproducible and `proptest-regressions` files are
+//!   not consulted.
+//! * **Fixed-size generation.** `prop_recursive` decays geometrically
+//!   toward leaves rather than targeting a desired node count.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirror of proptest's `prop` path alias (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// `prop_assert!` — no shrinking here, so it is a plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let arms = vec![$($crate::strategy::Strategy::boxed($s)),+];
+        $crate::strategy::one_of(arms)
+    }};
+}
+
+/// The test harness macro: each `fn name(x in strat, …) { body }` becomes a
+/// `#[test]` that generates `cases` inputs and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                // Property bodies may recurse deeply over generated
+                // structures; give them a generous stack like proptest's
+                // own fork mode does.
+                ::std::thread::Builder::new()
+                    .stack_size(64 * 1024 * 1024)
+                    .spawn(|| {
+                        let config: $crate::test_runner::ProptestConfig = $cfg;
+                        let mut rng = $crate::test_runner::TestRng::deterministic(
+                            concat!(file!(), "::", stringify!($name)),
+                        );
+                        for case in 0..config.cases {
+                            $(let $arg =
+                                $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                            let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                                (move || {
+                                    $body
+                                    #[allow(unreachable_code)]
+                                    Ok(())
+                                })();
+                            if let ::std::result::Result::Err(e) = outcome {
+                                panic!("proptest case {case} rejected: {e:?}");
+                            }
+                        }
+                    })
+                    .expect("spawn proptest worker thread")
+                    .join()
+                    .unwrap_or_else(|e| ::std::panic::resume_unwind(e));
+            }
+        )*
+    };
+}

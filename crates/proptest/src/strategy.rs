@@ -1,0 +1,225 @@
+//! Strategies: composable random-value generators.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A generator of values of type `Self::Value`, composable with
+/// `prop_map`/`prop_recursive` and boxable for heterogeneous choice.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy behind an `Rc`, enabling `clone()` and
+    /// storage in homogeneous collections.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = Rc::new(self);
+        BoxedStrategy(Rc::new(move |rng| inner.generate(rng)))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+        U: 'static,
+    {
+        let inner = self.boxed();
+        BoxedStrategy(Rc::new(move |rng| f(inner.generate(rng))))
+    }
+
+    /// Builds a recursive strategy: `recurse` wraps the strategy for one
+    /// more level of structure, nested up to `depth` levels, with the
+    /// generator decaying toward `self` (the leaf distribution) so terms
+    /// stay small. The `_desired_size`/`_expected_branch` hints of the real
+    /// API are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            let leaf = leaf.clone();
+            current = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                // One leaf in three keeps expected size finite and shallow.
+                if rng.below(3) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            }));
+        }
+        current
+    }
+}
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T> {
+        self
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Wraps a generator closure as a strategy.
+pub(crate) fn from_fn<T, F>(f: F) -> BoxedStrategy<T>
+where
+    F: Fn(&mut TestRng) -> T + 'static,
+{
+    BoxedStrategy(Rc::new(f))
+}
+
+/// Uniform choice between type-erased strategies (`prop_oneof!`).
+pub fn one_of<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy(Rc::new(move |rng| {
+        let i = rng.below(arms.len() as u64) as usize;
+        arms[i].generate(rng)
+    }))
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let n = (-5i64..5).generate(&mut r);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn just_and_map_compose() {
+        let mut r = rng();
+        let s = Just(21u32).prop_map(|x| x * 2);
+        assert_eq!(s.generate(&mut r), 42);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b) = (0u32..4, Just("x")).generate(&mut r);
+        assert!(a < 4);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn one_of_picks_every_arm_eventually() {
+        let mut r = rng();
+        let s = crate::prop_oneof![Just(0usize), Just(1usize), Just(2usize)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut r)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn recursive_terminates_and_respects_depth() {
+        #[derive(Debug)]
+        enum T {
+            Leaf,
+            Node(Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf => 0,
+                T::Node(i) => 1 + depth(i),
+            }
+        }
+        let s = Just(0u8)
+            .prop_map(|_| T::Leaf)
+            .prop_recursive(4, 16, 1, |inner| inner.prop_map(|t| T::Node(Box::new(t))));
+        let mut r = rng();
+        for _ in 0..300 {
+            assert!(depth(&s.generate(&mut r)) <= 4);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Test configuration and the deterministic PRNG behind generation.
+
+/// Per-test configuration; only `cases` is meaningful here.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to generate per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Error type test bodies may early-return with `return Ok(());` /
+/// `Err(...)`. Carried for API compatibility; failures normally panic.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+/// A small xorshift* PRNG, seeded deterministically from the test's name so
+/// every run generates the same inputs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary label (the harness passes `file::test_name`).
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a over the label, avoiding the zero state xorshift forbids.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Next raw 64-bit value (xorshift64*).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn different_labels_diverge() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("y");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::deterministic("bound");
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

@@ -106,7 +106,10 @@ pub fn logic_benchmarks() -> Vec<LogicBenchmark> {
 
 /// The nine benchmarks the paper's Table 4 (depth-k analysis) uses.
 pub fn depthk_benchmarks() -> Vec<LogicBenchmark> {
-    logic_benchmarks().into_iter().filter(|b| b.in_table4).collect()
+    logic_benchmarks()
+        .into_iter()
+        .filter(|b| b.in_table4)
+        .collect()
 }
 
 /// The ten functional-program benchmarks of Table 3, in the paper's order.
@@ -198,8 +201,7 @@ mod tests {
         for name in ["mergesort", "quicksort", "nq", "eu", "strassen", "odprove"] {
             let b = fun_benchmark(name).unwrap();
             let p = tablog_funlang::parse_fun_program(b.source).unwrap();
-            let out = tablog_funlang::eval_main(&p)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let out = tablog_funlang::eval_main(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(!out.to_string().is_empty(), "{name}");
         }
     }

@@ -64,7 +64,11 @@ impl Default for OpTable {
 const STANDARD_OPS: &[(u32, OpType, &str)] = &[
     (1200, OpType::Xfx, ":- -->"),
     (1200, OpType::Fx, ":- ?-"),
-    (1150, OpType::Fx, "table dynamic discontiguous multifile mode public import export"),
+    (
+        1150,
+        OpType::Fx,
+        "table dynamic discontiguous multifile mode public import export",
+    ),
     (1100, OpType::Xfy, "; |"),
     (1050, OpType::Xfy, "->"),
     (1000, OpType::Xfy, ","),
@@ -86,7 +90,11 @@ const STANDARD_OPS: &[(u32, OpType, &str)] = &[
 impl OpTable {
     /// An empty table, for callers wanting full control.
     pub fn empty() -> Self {
-        OpTable { infix: HashMap::new(), prefix: HashMap::new(), postfix: HashMap::new() }
+        OpTable {
+            infix: HashMap::new(),
+            prefix: HashMap::new(),
+            postfix: HashMap::new(),
+        }
     }
 
     /// Adds (or replaces) an operator definition, like `op/3`.

@@ -16,7 +16,9 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(message: impl Into<String>) -> Self {
-        ParseError { message: message.into() }
+        ParseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -103,7 +105,14 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(toks: &'a [Token], ops: &'a OpTable) -> Self {
-        Parser { toks, pos: 0, ops, vars: HashMap::new(), names: Vec::new(), next_var: 0 }
+        Parser {
+            toks,
+            pos: 0,
+            ops,
+            vars: HashMap::new(),
+            names: Vec::new(),
+            next_var: 0,
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -122,7 +131,9 @@ impl<'a> Parser<'a> {
         match self.bump() {
             Some(t) if t == want => Ok(()),
             Some(t) => Err(ParseError::new(format!("expected {want}, found {t}"))),
-            None => Err(ParseError::new(format!("expected {want}, found end of input"))),
+            None => Err(ParseError::new(format!(
+                "expected {want}, found end of input"
+            ))),
         }
     }
 
@@ -278,7 +289,9 @@ impl<'a> Parser<'a> {
                 Some(Token::Comma) => continue,
                 Some(Token::Close) => break,
                 Some(t) => {
-                    return Err(ParseError::new(format!("expected , or ) in arguments, found {t}")))
+                    return Err(ParseError::new(format!(
+                        "expected , or ) in arguments, found {t}"
+                    )))
                 }
                 None => return Err(ParseError::new("unterminated argument list")),
             }
@@ -308,7 +321,11 @@ impl<'a> Parser<'a> {
                     tail = atom(LIST_NIL);
                     break;
                 }
-                Some(t) => return Err(ParseError::new(format!("expected , | or ] in list, found {t}"))),
+                Some(t) => {
+                    return Err(ParseError::new(format!(
+                        "expected , | or ] in list, found {t}"
+                    )))
+                }
                 None => return Err(ParseError::new("unterminated list")),
             }
         }
@@ -337,10 +354,20 @@ fn term_to_clause(t: Term, nvars: usize, names: Vec<(String, Var)>) -> ReadClaus
         if args.len() == 2 && tablog_term::sym_name(*s) == ":-" {
             let mut body = Vec::new();
             flatten_conj(&args[1], &mut body);
-            return ReadClause { head: args[0].clone(), body, nvars, var_names: names };
+            return ReadClause {
+                head: args[0].clone(),
+                body,
+                nvars,
+                var_names: names,
+            };
         }
     }
-    ReadClause { head: t, body: Vec::new(), nvars, var_names: names }
+    ReadClause {
+        head: t,
+        body: Vec::new(),
+        nvars,
+        var_names: names,
+    }
 }
 
 fn parse_spec_list(t: &Term, out: &mut Vec<(String, usize)>) -> Result<(), ParseError> {
@@ -356,7 +383,11 @@ fn parse_spec_list(t: &Term, out: &mut Vec<(String, usize)>) -> Result<(), Parse
             };
             let arity = match &args[1] {
                 Term::Int(n) if *n >= 0 => *n as usize,
-                _ => return Err(ParseError::new("predicate spec arity must be a non-negative integer")),
+                _ => {
+                    return Err(ParseError::new(
+                        "predicate spec arity must be a non-negative integer",
+                    ))
+                }
             };
             out.push((name, arity));
             Ok(())
@@ -392,9 +423,7 @@ fn apply_op_directive(ops: &mut OpTable, args: &[Term]) -> Result<(), ParseError
                 names.push(tablog_term::sym_name(a));
                 break;
             }
-            Term::Struct(s, items)
-                if items.len() == 2 && tablog_term::sym_name(s) == LIST_CONS =>
-            {
+            Term::Struct(s, items) if items.len() == 2 && tablog_term::sym_name(s) == LIST_CONS => {
                 if let Term::Atom(a) = &items[0] {
                     names.push(tablog_term::sym_name(*a));
                 } else {
@@ -453,12 +482,16 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
                 handled = true;
                 let d = &args[0];
                 match d {
-                    Term::Struct(ds, dargs) if tablog_term::sym_name(*ds) == "table" && dargs.len() == 1 => {
+                    Term::Struct(ds, dargs)
+                        if tablog_term::sym_name(*ds) == "table" && dargs.len() == 1 =>
+                    {
                         let mut specs = Vec::new();
                         parse_spec_list(&dargs[0], &mut specs)?;
                         prog.directives.push(Directive::Table(specs));
                     }
-                    Term::Struct(ds, dargs) if tablog_term::sym_name(*ds) == "op" && dargs.len() == 3 => {
+                    Term::Struct(ds, dargs)
+                        if tablog_term::sym_name(*ds) == "op" && dargs.len() == 3 =>
+                    {
                         apply_op_directive(&mut ops, dargs)?;
                         prog.directives.push(Directive::Other(d.clone()));
                     }
@@ -502,7 +535,10 @@ pub fn parse_term_with_ops(
     let mut p = Parser::new(toks, ops);
     let (t, _) = p.term(1200)?;
     if p.pos != toks.len() {
-        return Err(ParseError::new(format!("trailing tokens near {}", toks[p.pos])));
+        return Err(ParseError::new(format!(
+            "trailing tokens near {}",
+            toks[p.pos]
+        )));
     }
     // Re-map clause-local variables onto fresh variables from `b`.
     let base = b.fresh_block(p.next_var as usize);
@@ -571,7 +607,9 @@ mod tests {
     #[test]
     fn prefix_minus_on_var() {
         let term = t("- X");
-        assert!(matches!(&term, Term::Struct(s, a) if tablog_term::sym_name(*s) == "-" && a.len() == 1));
+        assert!(
+            matches!(&term, Term::Struct(s, a) if tablog_term::sym_name(*s) == "-" && a.len() == 1)
+        );
     }
 
     #[test]
@@ -654,7 +692,9 @@ mod tests {
     #[test]
     fn not_operator() {
         let term = t("\\+ p(X)");
-        assert!(matches!(&term, Term::Struct(s, a) if tablog_term::sym_name(*s) == "\\+" && a.len() == 1));
+        assert!(
+            matches!(&term, Term::Struct(s, a) if tablog_term::sym_name(*s) == "\\+" && a.len() == 1)
+        );
     }
 
     #[test]
@@ -664,7 +704,8 @@ mod tests {
 
     #[test]
     fn deep_program_roundtrip_structure() {
-        let src = "qs([],[]).\nqs([X|Xs],S) :- part(X,Xs,L,G), qs(L,SL), qs(G,SG), app(SL,[X|SG],S).";
+        let src =
+            "qs([],[]).\nqs([X|Xs],S) :- part(X,Xs,L,G), qs(L,SL), qs(G,SG), app(SL,[X|SG],S).";
         let p = parse_program(src).unwrap();
         assert_eq!(p.clauses[1].body.len(), 4);
         assert_eq!(p.clauses[1].nvars, 7);

@@ -83,7 +83,10 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn err(&self, msg: impl Into<String>) -> TokenError {
-        TokenError { message: msg.into(), line: self.line }
+        TokenError {
+            message: msg.into(),
+            line: self.line,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -181,9 +184,7 @@ impl<'a> Lexer<'a> {
                     Some(b'"') => out.push('"'),
                     Some(b'`') => out.push('`'),
                     Some(b'\n') => {} // line continuation
-                    Some(c) => {
-                        return Err(self.err(format!("unknown escape \\{}", c as char)))
-                    }
+                    Some(c) => return Err(self.err(format!("unknown escape \\{}", c as char))),
                     None => return Err(self.err("unterminated escape")),
                 },
                 Some(c) => out.push(c as char),
@@ -224,7 +225,11 @@ fn is_symbol_char(c: u8) -> bool {
 /// # Ok::<(), tablog_syntax::TokenError>(())
 /// ```
 pub fn tokenize(src: &str) -> Result<Vec<Token>, TokenError> {
-    let mut lx = Lexer { src: src.as_bytes(), pos: 0, line: 1 };
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
     let mut toks = Vec::new();
     loop {
         lx.skip_layout()?;
@@ -285,9 +290,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, TokenError> {
                 if c == b'0' && lx.peek2() == Some(b'\'') {
                     lx.bump();
                     lx.bump();
-                    let ch = lx
-                        .bump()
-                        .ok_or_else(|| lx.err("unterminated 0' literal"))?;
+                    let ch = lx.bump().ok_or_else(|| lx.err("unterminated 0' literal"))?;
                     let code = if ch == b'\\' {
                         match lx.bump() {
                             Some(b'n') => b'\n',
@@ -339,9 +342,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, TokenError> {
                     lx.maybe_functor(sym, &mut toks);
                 }
             }
-            other => {
-                return Err(lx.err(format!("unexpected character {:?}", other as char)))
-            }
+            other => return Err(lx.err(format!("unexpected character {:?}", other as char))),
         }
     }
     Ok(toks)

@@ -25,7 +25,10 @@ impl TermWriter {
 
     /// Creates a writer with a custom operator table.
     pub fn with_ops(ops: OpTable) -> Self {
-        TermWriter { ops, names: HashMap::new() }
+        TermWriter {
+            ops,
+            names: HashMap::new(),
+        }
     }
 
     fn var_name(&mut self, v: Var) -> String {
@@ -35,7 +38,11 @@ impl TermWriter {
         let i = self.names.len();
         let letter = (b'A' + (i % 26) as u8) as char;
         let suffix = i / 26;
-        let name = if suffix == 0 { letter.to_string() } else { format!("{letter}{suffix}") };
+        let name = if suffix == 0 {
+            letter.to_string()
+        } else {
+            format!("{letter}{suffix}")
+        };
         self.names.insert(v, name.clone());
         name
     }
@@ -106,7 +113,8 @@ impl TermWriter {
                         if name == "," {
                             out.push(',');
                         } else {
-                            let alpha = name.chars().next().is_some_and(|c| c.is_ascii_alphabetic());
+                            let alpha =
+                                name.chars().next().is_some_and(|c| c.is_ascii_alphabetic());
                             if alpha {
                                 let _ = write!(out, " {name} ");
                             } else {
@@ -212,7 +220,7 @@ fn needs_quote(name: &str) -> bool {
         return !chars.all(|c| c.is_ascii_alphanumeric() || c == '_');
     }
     const SYMBOL_CHARS: &str = "+-*/\\^<>=~:.?@#&$";
-    name.chars().all(|c| SYMBOL_CHARS.contains(c)) == false
+    !name.chars().all(|c| SYMBOL_CHARS.contains(c))
 }
 
 fn quote_atom(name: &str) -> String {
@@ -297,8 +305,7 @@ mod tests {
 
     #[test]
     fn many_vars_get_suffixed_names() {
-        let args: Vec<tablog_term::Term> =
-            (0..30).map(|i| tablog_term::var(Var(i))).collect();
+        let args: Vec<tablog_term::Term> = (0..30).map(|i| tablog_term::var(Var(i))).collect();
         let t = tablog_term::structure("big", args);
         let s = term_to_string(&t);
         assert!(s.contains("A1"), "{s}");

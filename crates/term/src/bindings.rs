@@ -117,6 +117,35 @@ impl Bindings {
         ts.iter().map(|t| self.resolve(t)).collect()
     }
 
+    /// `true` if applying the current bindings to `t` would not terminate:
+    /// some variable reachable from `t` is bound, directly or through other
+    /// bindings, to a structure containing itself. Only [`crate::unify`]
+    /// (no occur check) can create such bindings; [`Bindings::resolve`]
+    /// diverges on them, so check first when cyclic bindings are possible.
+    pub fn is_cyclic(&self, t: &Term) -> bool {
+        fn go(b: &Bindings, t: &Term, path: &mut Vec<Var>) -> bool {
+            match t {
+                Term::Var(v) => {
+                    if path.contains(v) {
+                        return true;
+                    }
+                    match b.lookup(*v) {
+                        Some(bound) => {
+                            path.push(*v);
+                            let cyclic = go(b, bound, path);
+                            path.pop();
+                            cyclic
+                        }
+                        None => false,
+                    }
+                }
+                Term::Struct(_, args) => args.iter().any(|a| go(b, a, path)),
+                _ => false,
+            }
+        }
+        go(self, t, &mut Vec::new())
+    }
+
     /// `true` if `v` occurs in `t` after applying current bindings.
     /// This is the occur check used by [`crate::unify_occurs`].
     pub fn occurs(&self, v: Var, t: &Term) -> bool {
@@ -205,5 +234,21 @@ mod tests {
         b.bind(w, structure("f", vec![var(v)]));
         assert!(b.occurs(v, &var(w)));
         assert!(!b.occurs(v, &atom("a")));
+    }
+
+    #[test]
+    fn is_cyclic_detects_self_reference_but_not_sharing() {
+        let mut b = Bindings::new();
+        let v = b.fresh_var();
+        let w = b.fresh_var();
+        // Sharing: both arguments mention the same (acyclic) variable.
+        b.bind(w, atom("a"));
+        let shared = structure("f", vec![var(w), var(w)]);
+        assert!(!b.is_cyclic(&shared));
+        // Cycle through a chain: v -> f(v).
+        b.bind(v, structure("f", vec![var(v)]));
+        assert!(b.is_cyclic(&var(v)));
+        assert!(b.is_cyclic(&structure("g", vec![var(v)])));
+        assert!(!b.is_cyclic(&var(w)));
     }
 }

@@ -30,7 +30,10 @@ pub struct Functor {
 impl Functor {
     /// Creates a functor from a name and arity.
     pub fn new(name: &str, arity: usize) -> Self {
-        Functor { name: intern(name), arity }
+        Functor {
+            name: intern(name),
+            arity,
+        }
     }
 }
 
@@ -68,7 +71,10 @@ impl Term {
     pub fn functor(&self) -> Option<Functor> {
         match self {
             Term::Atom(s) => Some(Functor { name: *s, arity: 0 }),
-            Term::Struct(s, args) => Some(Functor { name: *s, arity: args.len() }),
+            Term::Struct(s, args) => Some(Functor {
+                name: *s,
+                arity: args.len(),
+            }),
             _ => None,
         }
     }
@@ -104,11 +110,7 @@ impl Term {
 
     fn collect_vars(&self, out: &mut Vec<Var>) {
         match self {
-            Term::Var(v) => {
-                if !out.contains(v) {
-                    out.push(*v);
-                }
-            }
+            Term::Var(v) if !out.contains(v) => out.push(*v),
             Term::Struct(_, args) => {
                 for a in args.iter() {
                     a.collect_vars(out);
@@ -139,8 +141,7 @@ impl Term {
     pub fn heap_bytes(&self) -> usize {
         match self {
             Term::Struct(_, args) => {
-                std::mem::size_of::<Term>()
-                    + args.iter().map(Term::heap_bytes).sum::<usize>()
+                std::mem::size_of::<Term>() + args.iter().map(Term::heap_bytes).sum::<usize>()
             }
             _ => std::mem::size_of::<Term>(),
         }
@@ -247,7 +248,11 @@ mod tests {
     fn vars_in_first_occurrence_order() {
         let t = structure(
             "f",
-            vec![var(Var(3)), structure("g", vec![var(Var(1)), var(Var(3))]), var(Var(2))],
+            vec![
+                var(Var(3)),
+                structure("g", vec![var(Var(1)), var(Var(3))]),
+                var(Var(2)),
+            ],
         );
         assert_eq!(t.vars(), vec![Var(3), Var(1), Var(2)]);
     }

@@ -48,7 +48,9 @@ fn unify_inner(b: &mut Bindings, t1: &Term, t2: &Term, occurs: bool) -> bool {
             if f != g || xs.len() != ys.len() {
                 return false;
             }
-            xs.iter().zip(ys.iter()).all(|(x, y)| unify_inner(b, x, y, occurs))
+            xs.iter()
+                .zip(ys.iter())
+                .all(|(x, y)| unify_inner(b, x, y, occurs))
         }
         _ => false,
     }
@@ -135,7 +137,11 @@ mod tests {
         let x = b.fresh_var();
         let y = b.fresh_var();
         b.bind(x, structure("g", vec![var(y)]));
-        assert!(!unify_occurs(&mut b, &var(y), &structure("f", vec![var(x)])));
+        assert!(!unify_occurs(
+            &mut b,
+            &var(y),
+            &structure("f", vec![var(x)])
+        ));
     }
 
     #[test]

@@ -33,7 +33,12 @@ impl CanonicalTerm {
     ///
     /// Panics if this canonical form holds more than one term.
     pub fn term(&self) -> &Term {
-        assert_eq!(self.terms.len(), 1, "canonical form holds {} terms", self.terms.len());
+        assert_eq!(
+            self.terms.len(),
+            1,
+            "canonical form holds {} terms",
+            self.terms.len()
+        );
         &self.terms[0]
     }
 
@@ -73,7 +78,10 @@ pub fn canonicalize(b: &Bindings, ts: &[Term]) -> CanonicalTerm {
             })
         })
         .collect();
-    CanonicalTerm { terms, nvars: map.len() as u32 }
+    CanonicalTerm {
+        terms,
+        nvars: map.len() as u32,
+    }
 }
 
 /// Canonicalizes a single already-resolved term (no binding store needed).

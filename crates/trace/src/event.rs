@@ -1,0 +1,477 @@
+//! Typed SLG trace events.
+//!
+//! [`TraceEvent`] is the borrowed form the engine constructs on its hot
+//! path — it holds references into the tables, so building one never
+//! allocates. Sinks that outlive the emission (ring buffers, determinism
+//! tests) call [`TraceEvent::to_owned`] to get an [`OwnedEvent`].
+
+use crate::json::escape;
+use std::fmt::Write as _;
+use tablog_term::{CanonicalTerm, Functor};
+
+/// One SLG engine transition, borrowed from the engine's tables.
+///
+/// Every variant carries the predicate (`pred`) it concerns; byte counts
+/// use the same heap-footprint estimate as `TableStats::table_bytes`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent<'a> {
+    /// A call created a fresh subgoal table entry.
+    NewSubgoal {
+        pred: Functor,
+        call: &'a CanonicalTerm,
+        /// Heap bytes charged to the table for this call key.
+        bytes: usize,
+    },
+    /// A program clause was resolved against a subgoal.
+    ClauseResolution { pred: Functor },
+    /// A new answer entered a subgoal's answer table.
+    AnswerInsert {
+        pred: Functor,
+        answer: &'a CanonicalTerm,
+        /// Heap bytes charged to the table for this answer.
+        bytes: usize,
+    },
+    /// An answer was derived again and rejected as a variant duplicate.
+    DuplicateAnswer {
+        pred: Functor,
+        answer: &'a CanonicalTerm,
+    },
+    /// An answer was returned to a consumer node.
+    AnswerReturn { pred: Functor },
+    /// The call-abstraction hook replaced a call key (e.g. depth-k).
+    CallAbstracted {
+        pred: Functor,
+        original: &'a CanonicalTerm,
+        abstracted: &'a CanonicalTerm,
+    },
+    /// The answer-widening hook replaced an answer (e.g. depth-k).
+    AnswerWidened {
+        pred: Functor,
+        original: &'a CanonicalTerm,
+        widened: &'a CanonicalTerm,
+    },
+    /// Forward subsumption reused an existing table for a new call.
+    SubsumedCall {
+        pred: Functor,
+        call: &'a CanonicalTerm,
+        subsumer: &'a CanonicalTerm,
+    },
+    /// A subgoal was marked complete.
+    SubgoalComplete {
+        pred: Functor,
+        /// Answers in the completed table.
+        answers: usize,
+        /// Total heap bytes of the completed table.
+        bytes: usize,
+    },
+}
+
+impl TraceEvent<'_> {
+    /// The snake_case event name used in the JSON schema.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::NewSubgoal { .. } => "new_subgoal",
+            TraceEvent::ClauseResolution { .. } => "clause_resolution",
+            TraceEvent::AnswerInsert { .. } => "answer_insert",
+            TraceEvent::DuplicateAnswer { .. } => "duplicate_answer",
+            TraceEvent::AnswerReturn { .. } => "answer_return",
+            TraceEvent::CallAbstracted { .. } => "call_abstracted",
+            TraceEvent::AnswerWidened { .. } => "answer_widened",
+            TraceEvent::SubsumedCall { .. } => "subsumed_call",
+            TraceEvent::SubgoalComplete { .. } => "subgoal_complete",
+        }
+    }
+
+    /// The predicate this event concerns.
+    pub fn pred(&self) -> Functor {
+        match *self {
+            TraceEvent::NewSubgoal { pred, .. }
+            | TraceEvent::ClauseResolution { pred }
+            | TraceEvent::AnswerInsert { pred, .. }
+            | TraceEvent::DuplicateAnswer { pred, .. }
+            | TraceEvent::AnswerReturn { pred }
+            | TraceEvent::CallAbstracted { pred, .. }
+            | TraceEvent::AnswerWidened { pred, .. }
+            | TraceEvent::SubsumedCall { pred, .. }
+            | TraceEvent::SubgoalComplete { pred, .. } => pred,
+        }
+    }
+
+    /// Converts to the owned mirror, cloning any borrowed terms.
+    pub fn to_owned(&self) -> OwnedEvent {
+        match *self {
+            TraceEvent::NewSubgoal { pred, call, bytes } => OwnedEvent::NewSubgoal {
+                pred,
+                call: call.clone(),
+                bytes,
+            },
+            TraceEvent::ClauseResolution { pred } => OwnedEvent::ClauseResolution { pred },
+            TraceEvent::AnswerInsert {
+                pred,
+                answer,
+                bytes,
+            } => OwnedEvent::AnswerInsert {
+                pred,
+                answer: answer.clone(),
+                bytes,
+            },
+            TraceEvent::DuplicateAnswer { pred, answer } => OwnedEvent::DuplicateAnswer {
+                pred,
+                answer: answer.clone(),
+            },
+            TraceEvent::AnswerReturn { pred } => OwnedEvent::AnswerReturn { pred },
+            TraceEvent::CallAbstracted {
+                pred,
+                original,
+                abstracted,
+            } => OwnedEvent::CallAbstracted {
+                pred,
+                original: original.clone(),
+                abstracted: abstracted.clone(),
+            },
+            TraceEvent::AnswerWidened {
+                pred,
+                original,
+                widened,
+            } => OwnedEvent::AnswerWidened {
+                pred,
+                original: original.clone(),
+                widened: widened.clone(),
+            },
+            TraceEvent::SubsumedCall {
+                pred,
+                call,
+                subsumer,
+            } => OwnedEvent::SubsumedCall {
+                pred,
+                call: call.clone(),
+                subsumer: subsumer.clone(),
+            },
+            TraceEvent::SubgoalComplete {
+                pred,
+                answers,
+                bytes,
+            } => OwnedEvent::SubgoalComplete {
+                pred,
+                answers,
+                bytes,
+            },
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    ///
+    /// Schema: `{"event": <kind>, "pred": "name/arity", ...}` with
+    /// variant-specific fields; terms are rendered in canonical notation
+    /// with variables numbered `_0, _1, …`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        let _ = write!(
+            s,
+            "{{\"event\":\"{}\",\"pred\":\"{}\"",
+            self.kind(),
+            escape(&self.pred().to_string())
+        );
+        match *self {
+            TraceEvent::NewSubgoal { call, bytes, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"call\":\"{}\",\"bytes\":{bytes}",
+                    escape(&render(call))
+                );
+            }
+            TraceEvent::ClauseResolution { .. } | TraceEvent::AnswerReturn { .. } => {}
+            TraceEvent::AnswerInsert { answer, bytes, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"answer\":\"{}\",\"bytes\":{bytes}",
+                    escape(&render(answer))
+                );
+            }
+            TraceEvent::DuplicateAnswer { answer, .. } => {
+                let _ = write!(s, ",\"answer\":\"{}\"", escape(&render(answer)));
+            }
+            TraceEvent::CallAbstracted {
+                original,
+                abstracted,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"original\":\"{}\",\"abstracted\":\"{}\"",
+                    escape(&render(original)),
+                    escape(&render(abstracted))
+                );
+            }
+            TraceEvent::AnswerWidened {
+                original, widened, ..
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"original\":\"{}\",\"widened\":\"{}\"",
+                    escape(&render(original)),
+                    escape(&render(widened))
+                );
+            }
+            TraceEvent::SubsumedCall { call, subsumer, .. } => {
+                let _ = write!(
+                    s,
+                    ",\"call\":\"{}\",\"subsumer\":\"{}\"",
+                    escape(&render(call)),
+                    escape(&render(subsumer))
+                );
+            }
+            TraceEvent::SubgoalComplete { answers, bytes, .. } => {
+                let _ = write!(s, ",\"answers\":{answers},\"bytes\":{bytes}");
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Renders a canonical term tuple for the trace (comma-joined).
+fn render(ct: &CanonicalTerm) -> String {
+    let mut out = String::new();
+    for (i, t) in ct.terms().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{t:?}");
+    }
+    out
+}
+
+/// The owned mirror of [`TraceEvent`], for sinks that retain events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OwnedEvent {
+    NewSubgoal {
+        pred: Functor,
+        call: CanonicalTerm,
+        bytes: usize,
+    },
+    ClauseResolution {
+        pred: Functor,
+    },
+    AnswerInsert {
+        pred: Functor,
+        answer: CanonicalTerm,
+        bytes: usize,
+    },
+    DuplicateAnswer {
+        pred: Functor,
+        answer: CanonicalTerm,
+    },
+    AnswerReturn {
+        pred: Functor,
+    },
+    CallAbstracted {
+        pred: Functor,
+        original: CanonicalTerm,
+        abstracted: CanonicalTerm,
+    },
+    AnswerWidened {
+        pred: Functor,
+        original: CanonicalTerm,
+        widened: CanonicalTerm,
+    },
+    SubsumedCall {
+        pred: Functor,
+        call: CanonicalTerm,
+        subsumer: CanonicalTerm,
+    },
+    SubgoalComplete {
+        pred: Functor,
+        answers: usize,
+        bytes: usize,
+    },
+}
+
+impl OwnedEvent {
+    /// Borrows back into the event form used for rendering.
+    pub fn as_event(&self) -> TraceEvent<'_> {
+        match self {
+            OwnedEvent::NewSubgoal { pred, call, bytes } => TraceEvent::NewSubgoal {
+                pred: *pred,
+                call,
+                bytes: *bytes,
+            },
+            OwnedEvent::ClauseResolution { pred } => TraceEvent::ClauseResolution { pred: *pred },
+            OwnedEvent::AnswerInsert {
+                pred,
+                answer,
+                bytes,
+            } => TraceEvent::AnswerInsert {
+                pred: *pred,
+                answer,
+                bytes: *bytes,
+            },
+            OwnedEvent::DuplicateAnswer { pred, answer } => TraceEvent::DuplicateAnswer {
+                pred: *pred,
+                answer,
+            },
+            OwnedEvent::AnswerReturn { pred } => TraceEvent::AnswerReturn { pred: *pred },
+            OwnedEvent::CallAbstracted {
+                pred,
+                original,
+                abstracted,
+            } => TraceEvent::CallAbstracted {
+                pred: *pred,
+                original,
+                abstracted,
+            },
+            OwnedEvent::AnswerWidened {
+                pred,
+                original,
+                widened,
+            } => TraceEvent::AnswerWidened {
+                pred: *pred,
+                original,
+                widened,
+            },
+            OwnedEvent::SubsumedCall {
+                pred,
+                call,
+                subsumer,
+            } => TraceEvent::SubsumedCall {
+                pred: *pred,
+                call,
+                subsumer,
+            },
+            OwnedEvent::SubgoalComplete {
+                pred,
+                answers,
+                bytes,
+            } => TraceEvent::SubgoalComplete {
+                pred: *pred,
+                answers: *answers,
+                bytes: *bytes,
+            },
+        }
+    }
+
+    /// The snake_case event name.
+    pub fn kind(&self) -> &'static str {
+        self.as_event().kind()
+    }
+
+    /// The predicate this event concerns.
+    pub fn pred(&self) -> Functor {
+        self.as_event().pred()
+    }
+
+    /// JSON rendering, identical to the borrowed form's.
+    pub fn to_json(&self) -> String {
+        self.as_event().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tablog_term::{atom, canonical_key, structure, var, Var};
+
+    fn key() -> CanonicalTerm {
+        canonical_key(&structure("p", vec![var(Var(7)), atom("a")]))
+    }
+
+    #[test]
+    fn kind_and_pred_cover_all_variants() {
+        let k = key();
+        let p = Functor::new("p", 2);
+        let events = [
+            TraceEvent::NewSubgoal {
+                pred: p,
+                call: &k,
+                bytes: 10,
+            },
+            TraceEvent::ClauseResolution { pred: p },
+            TraceEvent::AnswerInsert {
+                pred: p,
+                answer: &k,
+                bytes: 10,
+            },
+            TraceEvent::DuplicateAnswer {
+                pred: p,
+                answer: &k,
+            },
+            TraceEvent::AnswerReturn { pred: p },
+            TraceEvent::CallAbstracted {
+                pred: p,
+                original: &k,
+                abstracted: &k,
+            },
+            TraceEvent::AnswerWidened {
+                pred: p,
+                original: &k,
+                widened: &k,
+            },
+            TraceEvent::SubsumedCall {
+                pred: p,
+                call: &k,
+                subsumer: &k,
+            },
+            TraceEvent::SubgoalComplete {
+                pred: p,
+                answers: 1,
+                bytes: 10,
+            },
+        ];
+        let kinds: Vec<_> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "new_subgoal",
+                "clause_resolution",
+                "answer_insert",
+                "duplicate_answer",
+                "answer_return",
+                "call_abstracted",
+                "answer_widened",
+                "subsumed_call",
+                "subgoal_complete"
+            ]
+        );
+        assert!(events.iter().all(|e| e.pred() == p));
+    }
+
+    #[test]
+    fn owned_round_trips_through_json() {
+        let k = key();
+        let e = TraceEvent::NewSubgoal {
+            pred: Functor::new("p", 2),
+            call: &k,
+            bytes: 48,
+        };
+        let owned = e.to_owned();
+        assert_eq!(owned.to_json(), e.to_json());
+        assert_eq!(owned.as_event(), e);
+    }
+
+    #[test]
+    fn json_lines_parse_and_carry_fields() {
+        let k = key();
+        let e = TraceEvent::AnswerInsert {
+            pred: Functor::new("q", 1),
+            answer: &k,
+            bytes: 32,
+        };
+        let v = crate::json::parse(&e.to_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("event").and_then(|x| x.as_str()),
+            Some("answer_insert")
+        );
+        assert_eq!(v.get("pred").and_then(|x| x.as_str()), Some("q/1"));
+        assert_eq!(v.get("bytes").and_then(|x| x.as_f64()), Some(32.0));
+    }
+
+    #[test]
+    fn canonical_rendering_numbers_vars_in_occurrence_order() {
+        let k = key();
+        let e = TraceEvent::DuplicateAnswer {
+            pred: Functor::new("p", 2),
+            answer: &k,
+        };
+        assert!(e.to_json().contains("p(_0,a)"), "got: {}", e.to_json());
+    }
+}

@@ -1,0 +1,302 @@
+//! Trace sinks: consumers of [`TraceEvent`]s.
+//!
+//! Sinks take `&self` and use interior mutability, because the engine holds
+//! a single shared `&dyn TraceSink` for the whole evaluation.
+
+use crate::event::{OwnedEvent, TraceEvent};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::Write;
+use std::rc::Rc;
+
+/// A consumer of engine trace events.
+pub trait TraceSink {
+    /// Observes one event. Borrowed: retain via [`TraceEvent::to_owned`].
+    fn event(&self, e: &TraceEvent<'_>);
+
+    /// Flushes any buffered output (e.g. a JSON-lines writer).
+    fn flush(&self) {}
+}
+
+/// Discards every event. Useful as an explicit "tracing requested but
+/// nothing to record" placeholder; `None` is still cheaper.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn event(&self, _e: &TraceEvent<'_>) {}
+}
+
+/// Counts events by kind.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    counts: RefCell<BTreeMap<&'static str, u64>>,
+}
+
+impl CountingSink {
+    /// An empty counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Occurrences of one event kind (snake_case name).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts.borrow().get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total events observed.
+    pub fn total(&self) -> u64 {
+        self.counts.borrow().values().sum()
+    }
+
+    /// All (kind, count) pairs, sorted by kind.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.counts.borrow().iter().map(|(k, v)| (*k, *v)).collect()
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn event(&self, e: &TraceEvent<'_>) {
+        *self.counts.borrow_mut().entry(e.kind()).or_insert(0) += 1;
+    }
+}
+
+/// Writes each event as one JSON object per line.
+pub struct JsonLinesSink<W: Write> {
+    out: RefCell<W>,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        JsonLinesSink {
+            out: RefCell::new(out),
+        }
+    }
+
+    /// Unwraps the writer, flushing first.
+    pub fn into_inner(self) -> W {
+        let mut w = self.out.into_inner();
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write> TraceSink for JsonLinesSink<W> {
+    fn event(&self, e: &TraceEvent<'_>) {
+        let mut out = self.out.borrow_mut();
+        let _ = out.write_all(e.to_json().as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.borrow_mut().flush();
+    }
+}
+
+/// A cloneable in-memory byte buffer implementing [`Write`], for capturing
+/// [`JsonLinesSink`] output while the sink itself is owned by the engine.
+#[derive(Clone, Debug, Default)]
+pub struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl SharedBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffer contents as UTF-8.
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.borrow()).into_owned()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Retains the last `capacity` events, oldest evicted first.
+#[derive(Debug)]
+pub struct RingBufferSink {
+    capacity: usize,
+    buf: RefCell<VecDeque<OwnedEvent>>,
+}
+
+impl RingBufferSink {
+    /// A ring holding at most `capacity` events (capacity 0 holds none).
+    pub fn new(capacity: usize) -> Self {
+        RingBufferSink {
+            capacity,
+            buf: RefCell::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<OwnedEvent> {
+        self.buf.borrow().iter().cloned().collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.borrow().is_empty()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn event(&self, e: &TraceEvent<'_>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut buf = self.buf.borrow_mut();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(e.to_owned());
+    }
+}
+
+/// Fans every event out to several sinks in order.
+#[derive(Clone, Default)]
+pub struct MultiSink {
+    sinks: Vec<Rc<dyn TraceSink>>,
+}
+
+impl MultiSink {
+    /// An empty fan-out.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sink, returning `self` for chaining.
+    pub fn with(mut self, sink: Rc<dyn TraceSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a sink.
+    pub fn push(&mut self, sink: Rc<dyn TraceSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TraceSink for MultiSink {
+    fn event(&self, e: &TraceEvent<'_>) {
+        for s in &self.sinks {
+            s.event(e);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tablog_term::{atom, canonical_key, structure, var, Functor, Var};
+
+    fn sample<'a>(k: &'a tablog_term::CanonicalTerm) -> [TraceEvent<'a>; 3] {
+        let p = Functor::new("p", 2);
+        [
+            TraceEvent::NewSubgoal {
+                pred: p,
+                call: k,
+                bytes: 48,
+            },
+            TraceEvent::ClauseResolution { pred: p },
+            TraceEvent::AnswerInsert {
+                pred: p,
+                answer: k,
+                bytes: 40,
+            },
+        ]
+    }
+
+    fn key() -> tablog_term::CanonicalTerm {
+        canonical_key(&structure("p", vec![var(Var(0)), atom("a")]))
+    }
+
+    #[test]
+    fn counting_sink_tallies_by_kind() {
+        let k = key();
+        let sink = CountingSink::new();
+        for e in sample(&k) {
+            sink.event(&e);
+        }
+        sink.event(&TraceEvent::ClauseResolution {
+            pred: Functor::new("p", 2),
+        });
+        assert_eq!(sink.count("clause_resolution"), 2);
+        assert_eq!(sink.count("new_subgoal"), 1);
+        assert_eq!(sink.count("subgoal_complete"), 0);
+        assert_eq!(sink.total(), 4);
+    }
+
+    #[test]
+    fn json_lines_sink_emits_one_valid_object_per_line() {
+        let k = key();
+        let buf = SharedBuf::new();
+        let sink = JsonLinesSink::new(buf.clone());
+        for e in sample(&k) {
+            sink.event(&e);
+        }
+        sink.flush();
+        let text = buf.contents();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            crate::json::parse(line).expect("each line is valid JSON");
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let k = key();
+        let sink = RingBufferSink::new(2);
+        for e in sample(&k) {
+            sink.event(&e);
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind(), "clause_resolution");
+        assert_eq!(events[1].kind(), "answer_insert");
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let k = key();
+        let a = Rc::new(CountingSink::new());
+        let b = Rc::new(RingBufferSink::new(10));
+        let multi = MultiSink::new().with(a.clone()).with(b.clone());
+        for e in sample(&k) {
+            multi.event(&e);
+        }
+        assert_eq!(a.total(), 3);
+        assert_eq!(b.len(), 3);
+    }
+}

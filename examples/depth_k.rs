@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect();
             println!(
                 "  {}/{}: ground={:?}, {} abstract answers",
-                p.name, p.arity, p.definitely_ground, answers.len()
+                p.name,
+                p.arity,
+                p.definitely_ground,
+                answers.len()
             );
             for a in answers.iter().take(6) {
                 println!("      {a}");

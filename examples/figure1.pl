@@ -1,0 +1,16 @@
+% Figure 1/2(b) of the paper: the abstract (Prop) version of append.
+%
+% gp_ap/3 is the groundness abstraction of app/3 produced by the Figure 1
+% transformation; '$iff'(A, B1, …, Bn) is the engine builtin enumerating
+% the truth table of A <-> B1 /\ … /\ Bn. The success set of the fully
+% open call gp_ap(X, Y, Z) is the truth table of (X /\ Y) <-> Z.
+%
+% Try:
+%   tablog query examples/figure1.pl 'gp_ap(X, Y, Z)'
+%   tablog stats examples/figure1.pl 'gp_ap(X, Y, Z)' --json
+
+:- table gp_ap/3.
+
+gp_ap(X1, X2, X3) :- '$iff'(X1), '$iff'(X2, X3).
+gp_ap(X1, X2, X3) :-
+    '$iff'(X1, X, Xs), '$iff'(X3, X, Zs), gp_ap(Xs, X2, Zs).

@@ -32,8 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = GroundnessAnalyzer::new().analyze_source(PROGRAM)?;
     println!("tabled-engine output groundness (open calls):");
     for p in report.predicates() {
-        let flags: Vec<&str> =
-            p.definitely_ground.iter().map(|&g| if g { "g" } else { "?" }).collect();
+        let flags: Vec<&str> = p
+            .definitely_ground
+            .iter()
+            .map(|&g| if g { "g" } else { "?" })
+            .collect();
         println!(
             "  {}/{}: args [{}], {} success rows, formula has {} models",
             p.name,
@@ -54,24 +57,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Goal-directed: check/2 called with a ground list.
     let program = parse_program(PROGRAM)?;
     let entry = EntryPoint::parse("check(g, f)")?;
-    let directed = GroundnessAnalyzer::new().analyze_with_entries(&program, &[entry.clone()])?;
-    let nrev = directed.output_groundness("nrev", 2).expect("nrev analyzed");
+    let directed =
+        GroundnessAnalyzer::new().analyze_with_entries(&program, std::slice::from_ref(&entry))?;
+    let nrev = directed
+        .output_groundness("nrev", 2)
+        .expect("nrev analyzed");
     println!("\ninput groundness (entry check(g, f)):");
     println!("  nrev call patterns: {:?}", nrev.call_patterns);
-    println!("  nrev definitely ground on success: {:?}", nrev.definitely_ground);
+    println!(
+        "  nrev definitely ground on success: {:?}",
+        nrev.definitely_ground
+    );
 
     // --- 2. The hand-coded direct analyzer (GAIA stand-in) -------------
     let direct = DirectAnalyzer::new().analyze_source(PROGRAM)?;
     let t = report.output_groundness("append", 3).expect("append");
     let d = direct.output_groundness("append", 3).expect("append");
     assert_eq!(t.prop, d.prop);
-    println!("\ndirect analyzer agrees on append/3 ({} models).", d.prop.count());
+    println!(
+        "\ndirect analyzer agrees on append/3 ({} models).",
+        d.prop.count()
+    );
 
     // --- 3. Magic sets + semi-naive bottom-up (Coral stand-in) ---------
     let (rules, _) = transform_program(&program, IffMode::Builtin)?;
     let mut bottom_up = BottomUp::new(rules);
     bottom_up.run()?;
-    let f = tablog_term::Functor { name: tablog_term::intern("gp$append"), arity: 3 };
+    let f = tablog_term::Functor {
+        name: tablog_term::intern("gp$append"),
+        arity: 3,
+    };
     println!(
         "bottom-up evaluation derived {} gp$append tuples in {} iterations.",
         bottom_up.relation(f).len(),

@@ -4,6 +4,7 @@
 //! ```text
 //! tablog query  FILE.pl GOAL            evaluate GOAL against FILE
 //! tablog tables FILE.pl GOAL            …and dump the call/answer tables
+//! tablog stats  FILE.pl GOAL            per-predicate engine statistics
 //! tablog ground FILE.pl [--entry SPEC] [--direct]
 //!                                       Prop groundness analysis
 //! tablog depthk FILE.pl [--k N] [--entry SPEC]
@@ -13,13 +14,28 @@
 //! tablog types  FILE.eq                 Hindley-Milner type analysis
 //! tablog run    FILE.eq [FUNCTION]      evaluate a functional program
 //! ```
+//!
+//! Global flags (any command):
+//!
+//! * `--profile` — collect per-predicate engine metrics and phase timings;
+//!   printed after the command's normal output.
+//! * `--json` — render `stats` / `--profile` reports as JSON instead of a
+//!   fixed-width table.
+//! * `--trace FILE` — append every engine event to `FILE` as JSON lines.
 
+use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
+use std::rc::Rc;
+use std::time::Instant;
 use tablog_core::depthk::DepthKAnalyzer;
 use tablog_core::direct::DirectAnalyzer;
 use tablog_core::groundness::{EntryPoint, GroundnessAnalyzer};
 use tablog_core::strictness::StrictnessAnalyzer;
-use tablog_engine::Engine;
+use tablog_engine::{
+    Engine, EngineOptions, JsonLinesSink, LoadMode, MetricsRegistry, MetricsReport, MultiSink,
+    TraceSink,
+};
 use tablog_syntax::term_to_string;
 
 fn main() -> ExitCode {
@@ -34,7 +50,8 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: tablog <query|tables|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
+    "usage: tablog <query|tables|stats|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
+     global flags: --profile  --json  --trace FILE\n\
      see `tablog help` or the crate documentation"
         .to_owned()
 }
@@ -50,7 +67,84 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Observability settings pulled from the global flags.
+struct Obs {
+    profile: bool,
+    json: bool,
+    /// JSON-lines event sink when `--trace FILE` was given.
+    sink: Option<Rc<dyn TraceSink>>,
+}
+
+impl Obs {
+    /// The engine-facing trace sink: the `--trace` file writer, the
+    /// metrics registry, both (fanned out), or none.
+    fn engine_sink(&self, registry: Option<&Rc<MetricsRegistry>>) -> Option<Rc<dyn TraceSink>> {
+        match (self.sink.clone(), registry) {
+            (Some(t), Some(r)) => {
+                Some(Rc::new(MultiSink::new().with(t).with(r.clone())) as Rc<dyn TraceSink>)
+            }
+            (Some(t), None) => Some(t),
+            (None, Some(r)) => Some(r.clone() as Rc<dyn TraceSink>),
+            (None, None) => None,
+        }
+    }
+
+    fn print_metrics(&self, metrics: Option<&MetricsReport>) {
+        if let Some(m) = metrics {
+            if self.json {
+                println!("{}", m.to_json());
+            } else {
+                print!("{}", m.render_text());
+            }
+        }
+    }
+}
+
+/// Splits the global observability flags off the argument list.
+fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
+    let mut rest = Vec::new();
+    let mut profile = false;
+    let mut json = false;
+    let mut trace_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--profile" => profile = true,
+            "--json" => json = true,
+            "--trace" => {
+                let p = it.next().ok_or("--trace requires a file path")?;
+                trace_path = Some(p.clone());
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    let sink = match trace_path {
+        Some(p) => {
+            let f = File::create(&p).map_err(|e| format!("cannot create {p}: {e}"))?;
+            Some(Rc::new(JsonLinesSink::new(BufWriter::new(f))) as Rc<dyn TraceSink>)
+        }
+        None => None,
+    };
+    Ok((
+        rest,
+        Obs {
+            profile,
+            json,
+            sink,
+        },
+    ))
+}
+
 fn run(args: &[String]) -> Result<(), String> {
+    let (args, obs) = extract_obs(args)?;
+    let result = dispatch(&args, &obs);
+    if let Some(s) = &obs.sink {
+        s.flush();
+    }
+    result
+}
+
+fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
     let cmd = args.first().ok_or_else(usage)?;
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
@@ -61,7 +155,13 @@ fn run(args: &[String]) -> Result<(), String> {
             let file = args.get(1).ok_or_else(usage)?;
             let goal = args.get(2).ok_or_else(usage)?;
             let src = read_file(file)?;
-            let engine = Engine::from_source(&src).map_err(|e| e.to_string())?;
+            let registry = obs.profile.then(|| Rc::new(MetricsRegistry::new()));
+            let opts = EngineOptions {
+                trace: obs.engine_sink(registry.as_ref()),
+                ..Default::default()
+            };
+            let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
+                .map_err(|e| e.to_string())?;
             if cmd == "query" {
                 let sols = engine.solve(goal).map_err(|e| e.to_string())?;
                 if sols.is_empty() {
@@ -73,10 +173,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
             } else {
                 let mut b = tablog_term::Bindings::new();
-                let (t, _) =
-                    tablog_syntax::parse_term(goal, &mut b).map_err(|e| e.to_string())?;
-                let eval =
-                    engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
+                let (t, _) = tablog_syntax::parse_term(goal, &mut b).map_err(|e| e.to_string())?;
+                let eval = engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
                 for view in eval.subgoals() {
                     println!(
                         "{}  [{} answers, {} bytes]",
@@ -90,6 +188,35 @@ fn run(args: &[String]) -> Result<(), String> {
                 }
                 println!("{:?}", eval.stats());
             }
+            if let Some(r) = registry {
+                obs.print_metrics(Some(&r.snapshot()));
+            }
+            Ok(())
+        }
+        "stats" => {
+            let file = args.get(1).ok_or_else(usage)?;
+            let goal = args.get(2).ok_or_else(usage)?;
+            let src = read_file(file)?;
+            let registry = Rc::new(MetricsRegistry::new());
+            let opts = EngineOptions {
+                trace: obs.engine_sink(Some(&registry)),
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
+                .map_err(|e| e.to_string())?;
+            registry.record_phase("load", t0.elapsed());
+            let mut b = tablog_term::Bindings::new();
+            let (t, _) = tablog_syntax::parse_term(goal, &mut b).map_err(|e| e.to_string())?;
+            let t1 = Instant::now();
+            engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
+            registry.record_phase("evaluate", t1.elapsed());
+            let report = registry.snapshot();
+            if obs.json {
+                println!("{}", report.to_json());
+            } else {
+                print!("{}", report.render_text());
+            }
             Ok(())
         }
         "ground" => {
@@ -101,7 +228,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 None => Vec::new(),
             };
             if args.iter().any(|a| a == "--direct") {
-                let report = DirectAnalyzer::new()
+                let mut an = DirectAnalyzer::new();
+                an.profile = obs.profile;
+                let report = an
                     .analyze_with_entries(&program, &entries)
                     .map_err(|e| e.to_string())?;
                 for p in report.predicates() {
@@ -119,8 +248,12 @@ fn run(args: &[String]) -> Result<(), String> {
                     report.iterations,
                     report.timings.total()
                 );
+                obs.print_metrics(report.metrics.as_ref());
             } else {
-                let report = GroundnessAnalyzer::new()
+                let mut an = GroundnessAnalyzer::new();
+                an.profile = obs.profile;
+                an.options.trace = obs.sink.clone();
+                let report = an
                     .analyze_with_entries(&program, &entries)
                     .map_err(|e| e.to_string())?;
                 for p in report.predicates() {
@@ -138,6 +271,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     report.timings.total(),
                     report.table_bytes()
                 );
+                obs.print_metrics(report.metrics.as_ref());
             }
             Ok(())
         }
@@ -153,7 +287,10 @@ fn run(args: &[String]) -> Result<(), String> {
                 Some(spec) => vec![EntryPoint::parse(spec).map_err(|e| e.to_string())?],
                 None => Vec::new(),
             };
-            let report = DepthKAnalyzer::new(k)
+            let mut an = DepthKAnalyzer::new(k);
+            an.profile = obs.profile;
+            an.options.trace = obs.sink.clone();
+            let report = an
                 .analyze_with_entries(&program, &entries)
                 .map_err(|e| e.to_string())?;
             for p in report.predicates() {
@@ -166,7 +303,12 @@ fn run(args: &[String]) -> Result<(), String> {
                     println!("    … {} more", p.answers.len() - 8);
                 }
             }
-            println!("total={:?} tables={}B", report.timings.total(), report.table_bytes());
+            println!(
+                "total={:?} tables={}B",
+                report.timings.total(),
+                report.table_bytes()
+            );
+            obs.print_metrics(report.metrics.as_ref());
             Ok(())
         }
         "modes" => {
@@ -177,8 +319,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 Some(spec) => vec![EntryPoint::parse(spec).map_err(|e| e.to_string())?],
                 None => return Err("modes requires --entry 'pred(g, f, …)'".to_string()),
             };
-            let report = tablog_core::modes::infer_modes(&program, &entries)
-                .map_err(|e| e.to_string())?;
+            let report =
+                tablog_core::modes::infer_modes(&program, &entries).map_err(|e| e.to_string())?;
             for p in report.predicates() {
                 println!("{}", p.render());
             }
@@ -187,10 +329,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "types" => {
             let file = args.get(1).ok_or_else(usage)?;
             let src = read_file(file)?;
-            let prog =
-                tablog_funlang::parse_fun_program(&src).map_err(|e| e.to_string())?;
-            let report =
-                tablog_core::types::infer_types(&prog).map_err(|e| e.to_string())?;
+            let prog = tablog_funlang::parse_fun_program(&src).map_err(|e| e.to_string())?;
+            let report = tablog_core::types::infer_types(&prog).map_err(|e| e.to_string())?;
             for s in report.schemes() {
                 println!("{}", s.render());
             }
@@ -199,23 +339,28 @@ fn run(args: &[String]) -> Result<(), String> {
         "strict" => {
             let file = args.get(1).ok_or_else(usage)?;
             let src = read_file(file)?;
-            let report = StrictnessAnalyzer::new()
-                .analyze_source(&src)
-                .map_err(|e| e.to_string())?;
+            let mut an = StrictnessAnalyzer::new();
+            an.profile = obs.profile;
+            an.options.trace = obs.sink.clone();
+            let report = an.analyze_source(&src).map_err(|e| e.to_string())?;
             for f in report.functions() {
                 println!("{}", f.summary());
             }
-            println!("total={:?} tables={}B", report.timings.total(), report.table_bytes());
+            println!(
+                "total={:?} tables={}B",
+                report.timings.total(),
+                report.table_bytes()
+            );
+            obs.print_metrics(report.metrics.as_ref());
             Ok(())
         }
         "run" => {
             let file = args.get(1).ok_or_else(usage)?;
             let entry = args.get(2).map(String::as_str).unwrap_or("main");
             let src = read_file(file)?;
-            let prog =
-                tablog_funlang::parse_fun_program(&src).map_err(|e| e.to_string())?;
-            let out = tablog_funlang::eval_call(&prog, entry, 10_000_000)
-                .map_err(|e| e.to_string())?;
+            let prog = tablog_funlang::parse_fun_program(&src).map_err(|e| e.to_string())?;
+            let out =
+                tablog_funlang::eval_call(&prog, entry, 10_000_000).map_err(|e| e.to_string())?;
             println!("{out}");
             Ok(())
         }

@@ -39,6 +39,9 @@ pub use tablog_bdd as bdd;
 /// The mini lazy functional language.
 pub use tablog_funlang as funlang;
 
+/// Engine observability: trace events, sinks, per-predicate metrics.
+pub use tablog_trace as trace;
+
 /// The analyses: groundness, strictness, depth-k, modes, types.
 pub use tablog_core as core;
 

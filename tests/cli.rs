@@ -58,7 +58,10 @@ fn tables_dump_shows_subgoals() {
 
 #[test]
 fn ground_reports_groundness() {
-    let f = temp_file("app.pl", "app([], Y, Y).\napp([X|Xs], Y, [X|Z]) :- app(Xs, Y, Z).");
+    let f = temp_file(
+        "app.pl",
+        "app([], Y, Y).\napp([X|Xs], Y, [X|Z]) :- app(Xs, Y, Z).",
+    );
     let (out, err, ok) = tablog(&["ground", f.to_str().unwrap()]);
     assert!(ok, "{err}");
     assert!(out.contains("app/3"), "{out}");
@@ -66,11 +69,18 @@ fn ground_reports_groundness() {
 
 #[test]
 fn ground_with_entry_and_direct_agree_in_output_format() {
-    let f = temp_file("qs.pl", tablog_suite::logic_benchmark("qsort").unwrap().source);
-    let (out1, _, ok1) =
-        tablog(&["ground", f.to_str().unwrap(), "--entry", "qsort(g, f)"]);
-    let (out2, _, ok2) =
-        tablog(&["ground", f.to_str().unwrap(), "--entry", "qsort(g, f)", "--direct"]);
+    let f = temp_file(
+        "qs.pl",
+        tablog_suite::logic_benchmark("qsort").unwrap().source,
+    );
+    let (out1, _, ok1) = tablog(&["ground", f.to_str().unwrap(), "--entry", "qsort(g, f)"]);
+    let (out2, _, ok2) = tablog(&[
+        "ground",
+        f.to_str().unwrap(),
+        "--entry",
+        "qsort(g, f)",
+        "--direct",
+    ]);
     assert!(ok1 && ok2);
     assert!(out1.contains("qsort/2"), "{out1}");
     assert!(out2.contains("qsort/2"), "{out2}");
@@ -101,7 +111,10 @@ fn strict_prints_summaries() {
 
 #[test]
 fn modes_prints_signatures() {
-    let f = temp_file("qs2.pl", tablog_suite::logic_benchmark("qsort").unwrap().source);
+    let f = temp_file(
+        "qs2.pl",
+        tablog_suite::logic_benchmark("qsort").unwrap().source,
+    );
     let (out, err, ok) = tablog(&["modes", f.to_str().unwrap(), "--entry", "qsort(g, f)"]);
     assert!(ok, "{err}");
     assert!(out.contains("qsort(+, -)"), "{out}");
@@ -159,4 +172,96 @@ fn unknown_command_fails_with_usage() {
     let (_, err, ok) = tablog(&["frobnicate"]);
     assert!(!ok);
     assert!(err.contains("usage"), "{err}");
+}
+
+fn repo_example(name: &str) -> String {
+    format!("{}/examples/{}", env!("CARGO_MANIFEST_DIR"), name)
+}
+
+#[test]
+fn stats_prints_per_predicate_table() {
+    let (out, err, ok) = tablog(&["stats", &repo_example("figure1.pl"), "gp_ap(X, Y, Z)"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("gp_ap/3"), "{out}");
+    assert!(out.contains("subgoals"), "{out}");
+    assert!(out.contains("total"), "{out}");
+    assert!(out.contains("phases:"), "{out}");
+}
+
+#[test]
+fn stats_json_is_valid_and_has_required_fields() {
+    let (out, err, ok) = tablog(&[
+        "stats",
+        &repo_example("figure1.pl"),
+        "gp_ap(X, Y, Z)",
+        "--json",
+    ]);
+    assert!(ok, "{err}");
+    let v = tablog_trace::json::parse(out.trim()).expect("stats --json emits valid JSON");
+    let row = v
+        .get("predicates")
+        .and_then(|p| p.get("gp_ap/3"))
+        .expect("per-predicate row for gp_ap/3");
+    for field in [
+        "subgoals",
+        "answers",
+        "duplicate_answers",
+        "clause_resolutions",
+        "table_bytes",
+    ] {
+        let n = row.get(field).and_then(|f| f.as_f64());
+        assert!(n.is_some(), "missing {field} in {out}");
+    }
+    assert!(
+        row.get("subgoals").unwrap().as_f64().unwrap() >= 1.0,
+        "{out}"
+    );
+    assert!(
+        row.get("table_bytes").unwrap().as_f64().unwrap() > 0.0,
+        "{out}"
+    );
+    assert!(v.get("totals").is_some(), "{out}");
+    assert!(
+        v.get("phases_us").and_then(|p| p.get("evaluate")).is_some(),
+        "{out}"
+    );
+}
+
+#[test]
+fn profile_flag_appends_metrics_to_analyses() {
+    let f = temp_file(
+        "app_prof.pl",
+        "app([], Y, Y).\napp([X|Xs], Y, [X|Z]) :- app(Xs, Y, Z).",
+    );
+    let (out, err, ok) = tablog(&["ground", f.to_str().unwrap(), "--profile"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("gp$app/3"), "{out}");
+    assert!(out.contains("phases:"), "{out}");
+    // Without the flag there is no metrics table.
+    let (plain, _, ok2) = tablog(&["ground", f.to_str().unwrap()]);
+    assert!(ok2);
+    assert!(!plain.contains("gp$app/3"), "{plain}");
+}
+
+#[test]
+fn trace_flag_writes_json_lines() {
+    let f = temp_file("graph_trace.pl", GRAPH);
+    let trace = std::env::temp_dir()
+        .join("tablog-cli-tests")
+        .join("trace_out.jsonl");
+    let (_, err, ok) = tablog(&[
+        "query",
+        f.to_str().unwrap(),
+        "path(a, X)",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        tablog_trace::json::parse(line).expect("trace line is valid JSON");
+    }
+    assert!(text.contains("\"event\":\"new_subgoal\""), "{text}");
+    assert!(text.contains("\"event\":\"answer_insert\""), "{text}");
 }

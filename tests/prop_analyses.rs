@@ -23,12 +23,10 @@ fn arb_logic_program() -> impl Strategy<Value = String> {
         Just("X".to_string()),
         Just("f(X)".to_string()),
     ];
-    let fact = (0usize..3, fact_arg.clone(), fact_arg).prop_map(|(p, a1, a2)| {
-        format!("q{p}({a1}, {a2}).")
-    });
+    let fact = (0usize..3, fact_arg.clone(), fact_arg)
+        .prop_map(|(p, a1, a2)| format!("q{p}({a1}, {a2})."));
     let body_lit = prop_oneof![
-        (0usize..3, 0usize..3, 0usize..3)
-            .prop_map(|(p, v1, v2)| format!("q{p}(V{v1}, V{v2})")),
+        (0usize..3, 0usize..3, 0usize..3).prop_map(|(p, v1, v2)| format!("q{p}(V{v1}, V{v2})")),
         (0usize..3).prop_map(|v| format!("V{v} = f(a)")),
         (0usize..3, 0usize..3).prop_map(|(v1, v2)| format!("V{v1} = V{v2}")),
     ];
@@ -38,9 +36,7 @@ fn arb_logic_program() -> impl Strategy<Value = String> {
         0usize..3,
         prop::collection::vec(body_lit, 1..4),
     )
-        .prop_map(|(p, v1, v2, body)| {
-            format!("q{p}(V{v1}, V{v2}) :- {}.", body.join(", "))
-        });
+        .prop_map(|(p, v1, v2, body)| format!("q{p}(V{v1}, V{v2}) :- {}.", body.join(", ")));
     (
         prop::collection::vec(fact, 1..5),
         prop::collection::vec(rule, 0..4),
@@ -102,10 +98,15 @@ proptest! {
     /// analysis admits the all-true row for that predicate.
     #[test]
     fn analysis_over_approximates_concrete(src in arb_logic_program()) {
-        let mut opts = EngineOptions::default();
-        // Kept small: random programs can grow term depth every step, and
-        // node size grows with depth, so a large budget can exhaust memory.
-        opts.max_steps = Some(400);
+        let opts = EngineOptions {
+            // Kept small: random programs can grow term depth every step, and
+            // node size grows with depth, so a large budget can exhaust memory.
+            max_steps: Some(400),
+            // Random facts like q0(X, f(X)) called as q0(A, A) would otherwise
+            // bind X = f(X); the resulting cyclic term never canonicalizes.
+            occur_check: true,
+            ..Default::default()
+        };
         let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts);
         let engine = match engine { Ok(e) => e, Err(_) => return Ok(()) };
         let report = GroundnessAnalyzer::new().analyze_source(&src).unwrap();

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use tablog_core::depthk::DepthKAnalyzer;
-use tablog_engine::{Engine, EngineOptions, LoadMode};
 use tablog_engine::abs_unify;
+use tablog_engine::{Engine, EngineOptions, LoadMode};
 use tablog_term::{Bindings, Term};
 
 /// Random programs built from ground facts over nested terms plus chain
@@ -56,10 +56,12 @@ proptest! {
     fn depthk_covers_concrete_model(src in arb_program(), k in 1usize..3) {
         // Concrete evaluation (tabled, with a step budget in case a rule
         // builds unboundedly deep terms).
-        let mut opts = EngineOptions::default();
-        // Kept small: runaway rules grow term depth with every step, and
-        // term operations recurse over depth.
-        opts.max_steps = Some(3_000);
+        let opts = EngineOptions {
+            // Kept small: runaway rules grow term depth with every step,
+            // and term operations recurse over depth.
+            max_steps: Some(3_000),
+            ..Default::default()
+        };
         let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts).unwrap();
         let mut concrete: Vec<(usize, Vec<Term>)> = Vec::new();
         let mut diverged = false;

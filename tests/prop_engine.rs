@@ -131,8 +131,10 @@ proptest! {
     #[test]
     fn scheduling_is_semantics_preserving(prog in arb_program()) {
         let df = tabled(&prog, EngineOptions::default());
-        let mut o = EngineOptions::default();
-        o.scheduling = Scheduling::BreadthFirst;
+        let o = EngineOptions {
+            scheduling: Scheduling::BreadthFirst,
+            ..Default::default()
+        };
         let bf = tabled(&prog, o);
         prop_assert_eq!(df, bf);
     }
@@ -141,8 +143,10 @@ proptest! {
     #[test]
     fn subsumption_is_semantics_preserving(prog in arb_program()) {
         let plain = tabled(&prog, EngineOptions::default());
-        let mut o = EngineOptions::default();
-        o.forward_subsumption = true;
+        let o = EngineOptions {
+            forward_subsumption: true,
+            ..Default::default()
+        };
         let fs = tabled(&prog, o);
         prop_assert_eq!(plain, fs);
     }

@@ -31,7 +31,12 @@ proptest! {
         let mut b = Bindings::new();
         b.fresh_block(4);
         if unify(&mut b, &t1, &t2) {
-            prop_assert_eq!(b.resolve(&t1), b.resolve(&t2));
+            // Without the occur check, X = f(X) can succeed; resolving such
+            // a cyclic binding diverges, so the equality claim is restricted
+            // to finite (acyclic) unifiers.
+            if !b.is_cyclic(&t1) && !b.is_cyclic(&t2) {
+                prop_assert_eq!(b.resolve(&t1), b.resolve(&t2));
+            }
         }
     }
 

@@ -7,10 +7,11 @@ use tablog_engine::{Engine, EngineOptions, LoadMode};
 
 fn run_main(bench: &str, max_steps: usize) -> tablog_engine::Solutions {
     let b = tablog_suite::logic_benchmark(bench).expect("benchmark exists");
-    let mut opts = EngineOptions::default();
-    opts.max_steps = Some(max_steps);
-    let engine =
-        Engine::from_source_with(b.source, LoadMode::Dynamic, opts).expect("loads");
+    let opts = EngineOptions {
+        max_steps: Some(max_steps),
+        ..Default::default()
+    };
+    let engine = Engine::from_source_with(b.source, LoadMode::Dynamic, opts).expect("loads");
     engine.solve("main(Result)").expect("solves")
 }
 
@@ -28,10 +29,11 @@ fn plan_finds_a_blocks_world_plan() {
     // The full Sussman-anomaly search space is large without cut; the
     // `simple` instance exercises the same planner cheaply.
     let b = tablog_suite::logic_benchmark("plan").expect("benchmark exists");
-    let mut opts = EngineOptions::default();
-    opts.max_steps = Some(2_000_000);
-    let engine =
-        Engine::from_source_with(b.source, LoadMode::Dynamic, opts).expect("loads");
+    let opts = EngineOptions {
+        max_steps: Some(2_000_000),
+        ..Default::default()
+    };
+    let engine = Engine::from_source_with(b.source, LoadMode::Dynamic, opts).expect("loads");
     let s = engine.solve("plan_test(simple, Plan)").expect("solves");
     assert!(!s.is_empty());
     let printed = tablog_syntax::term_to_string(&s.rows()[0][0]);
@@ -60,8 +62,11 @@ fn press_main_solves_the_linear_equation() {
     // polynomial method gives x = -(-2)/1; both must be answers.
     let s = run_main("press1", 2_000_000);
     assert!(!s.is_empty());
-    let printed: Vec<String> =
-        s.rows().iter().map(|r| tablog_syntax::term_to_string(&r[0])).collect();
+    let printed: Vec<String> = s
+        .rows()
+        .iter()
+        .map(|r| tablog_syntax::term_to_string(&r[0]))
+        .collect();
     assert!(printed.iter().any(|p| p.contains("5-3")), "{printed:?}");
     assert!(printed.iter().any(|p| p.contains("-2")), "{printed:?}");
 }

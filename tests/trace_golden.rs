@@ -1,0 +1,80 @@
+//! Golden-file and determinism tests for the engine's JSON-lines event
+//! trace, pinned on the paper's Figure 1 example (groundness of append).
+//!
+//! The golden file freezes the exact event stream: any change to the
+//! engine's scheduling, instrumentation points, or JSON rendering shows up
+//! as a diff here. Bless an intentional change with
+//! `UPDATE_GOLDEN=1 cargo test --test trace_golden`.
+
+use std::path::PathBuf;
+use std::rc::Rc;
+use tablog_core::groundness::GroundnessAnalyzer;
+use tablog_trace::{json, JsonLinesSink, SharedBuf};
+
+const FIGURE1: &str = "\
+app([], Ys, Ys).
+app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+";
+
+fn trace_figure1() -> String {
+    let buf = SharedBuf::new();
+    let mut an = GroundnessAnalyzer::new();
+    an.options.trace = Some(Rc::new(JsonLinesSink::new(buf.clone())));
+    an.analyze_source(FIGURE1).expect("figure 1 analyzes");
+    buf.contents()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/figure1_groundness.jsonl")
+}
+
+#[test]
+fn figure1_trace_matches_golden_file() {
+    let got = trace_figure1();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want =
+        std::fs::read_to_string(&path).expect("golden file exists (UPDATE_GOLDEN=1 to create)");
+    assert_eq!(
+        got, want,
+        "event stream drifted from the golden trace; \
+         re-bless with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn trace_stream_is_deterministic_across_runs() {
+    assert_eq!(trace_figure1(), trace_figure1());
+}
+
+#[test]
+fn every_trace_line_is_valid_json_with_schema_keys() {
+    let got = trace_figure1();
+    assert!(!got.is_empty());
+    for line in got.lines() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad JSON line {line:?}: {e}"));
+        let kind = v.get("event").and_then(|e| e.as_str()).expect("event key");
+        assert!(
+            [
+                "new_subgoal",
+                "clause_resolution",
+                "answer_insert",
+                "duplicate_answer",
+                "answer_return",
+                "call_abstracted",
+                "answer_widened",
+                "subsumed_call",
+                "subgoal_complete",
+            ]
+            .contains(&kind),
+            "unknown event kind {kind}"
+        );
+        assert!(
+            v.get("pred").and_then(|p| p.as_str()).is_some(),
+            "pred key in {line}"
+        );
+    }
+}
