@@ -1,12 +1,19 @@
 //! Regenerates every table of the paper in the same row/column layout.
 //!
-//! Usage: `paper_tables [--table N] [--profile]` (default: all four
-//! tables). With `--profile`, each row is followed by the engine's
-//! per-evaluation counters (subgoals, answers, duplicates, resolutions,
-//! and the hook counts where the analysis uses truncation).
+//! Usage: `paper_tables [--table N] [--profile] [--json] [--check FILE]`
+//! (default: all four tables). With `--profile`, each row is followed by
+//! the engine's per-evaluation counters (subgoals, answers, duplicates,
+//! resolutions, and the hook counts where the analysis uses truncation).
+//! With `--json`, the whole suite is emitted as one machine-readable JSON
+//! document instead of text. With `--check FILE`, the run is compared
+//! against a committed baseline JSON (same format): table-space
+//! regressions beyond 20% fail the process, wall-clock regressions only
+//! warn on stderr.
 
+use std::process::ExitCode;
 use tablog_bench::{
-    ms, table1_rows_with, table2_rows, table3_rows_with, table4_rows_with, Row, TABLE4_K,
+    check_against_baseline, ms, suite_json, table1_rows_with, table2_rows, table3_rows_with,
+    table4_rows_with, Row, TABLE4_K,
 };
 
 fn print_row_table(title: &str, rows: &[Row]) {
@@ -44,7 +51,10 @@ fn print_row_table(title: &str, rows: &[Row]) {
     }
 }
 
-fn main() {
+/// The fractional regression tolerance the baseline check allows.
+const TOLERANCE: f64 = 0.20;
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let which: Option<u32> = args
         .iter()
@@ -53,6 +63,52 @@ fn main() {
         .and_then(|v| v.parse().ok());
     let want = |n| which.is_none() || which == Some(n);
     let profile = args.iter().any(|a| a == "--profile");
+    let json = args.iter().any(|a| a == "--json");
+    let check: Option<&String> = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1));
+
+    if json || check.is_some() {
+        let doc = suite_json(
+            &table1_rows_with(false),
+            &table2_rows(),
+            &table3_rows_with(false),
+            &table4_rows_with(false),
+        );
+        if json {
+            println!("{doc}");
+        }
+        if let Some(path) = check {
+            let baseline = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("paper_tables: cannot read baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cur = tablog_trace::json::parse(&doc).expect("suite_json is valid JSON");
+            let base = match tablog_trace::json::parse(&baseline) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("paper_tables: bad baseline JSON in {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (failures, warnings) = check_against_baseline(&cur, &base, TOLERANCE);
+            for w in &warnings {
+                eprintln!("warning: {w}");
+            }
+            for f in &failures {
+                eprintln!("FAIL: {f}");
+            }
+            if !failures.is_empty() {
+                return ExitCode::FAILURE;
+            }
+            eprintln!("baseline check passed ({} warnings)", warnings.len());
+        }
+        return ExitCode::SUCCESS;
+    }
 
     if want(1) {
         print_row_table(
@@ -91,4 +147,5 @@ fn main() {
             &table4_rows_with(profile),
         );
     }
+    ExitCode::SUCCESS
 }

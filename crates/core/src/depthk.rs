@@ -143,14 +143,15 @@ impl DepthKAnalyzer {
         self.analyze(program, entries, std::time::Duration::ZERO)
     }
 
-    fn analyze(
+    /// Builds the abstract database: transformed rules, tabling
+    /// declarations, and the `$dk` driver clauses. Shared by
+    /// [`analyze`](DepthKAnalyzer::analyze_program) and
+    /// [`explain`](DepthKAnalyzer::explain).
+    fn load_abstract(
         &self,
         program: &Program,
         entries: &[EntryPoint],
-        parse_time: std::time::Duration,
-    ) -> Result<DepthKReport, AnalysisError> {
-        let mut timer = Timer::start();
-        // --- Preprocess. ---
+    ) -> Result<(Database, crate::groundness::PredSet), AnalysisError> {
         let (rules, preds) = transform_depthk(program)?;
         let mut db = Database::new(self.load_mode);
         for r in &rules {
@@ -190,11 +191,65 @@ impl DepthKAnalyzer {
         if self.load_mode == LoadMode::Compiled {
             db.build_indexes();
         }
+        Ok((db, preds))
+    }
+
+    /// The analyzer's engine options with the depth-k truncation hooks
+    /// installed as call abstraction and answer widening.
+    fn hooked_options(&self) -> EngineOptions {
         let mut opts = self.options.clone();
         let k = self.k;
         let trunc: tablog_engine::TermHook = Rc::new(move |c: &CanonicalTerm| truncate_tuple(c, k));
         opts.call_abstraction = Some(trunc.clone());
         opts.answer_widening = Some(trunc);
+        opts
+    }
+
+    /// Explains one depth-k answer: maps `goal` — a source-level call whose
+    /// arguments are depth-k terms (write `g` for γ, the all-ground-terms
+    /// constant) or variables — onto the abstract predicate `ak$p` and
+    /// returns the justification trees of every matching abstract answer,
+    /// evaluated with the truncation hooks in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse, transformation, or engine errors.
+    pub fn explain(
+        &self,
+        program: &Program,
+        goal: &str,
+        max_depth: usize,
+    ) -> Result<crate::explain::AnalysisExplanation, AnalysisError> {
+        let mut b = Bindings::new();
+        let (t, _) = tablog_syntax::parse_term(goal, &mut b)
+            .map_err(|e| AnalysisError::Parse(e.to_string()))?;
+        let f = t
+            .functor()
+            .ok_or_else(|| AnalysisError::Parse(format!("bad goal {goal}")))?;
+        let args: Vec<Term> = t
+            .args()
+            .iter()
+            .map(|a| match a {
+                Term::Atom(s) if sym_name(*s) == "g" => atom(GAMMA),
+                other => other.clone(),
+            })
+            .collect();
+        let (db, _) = self.load_abstract(program, &[])?;
+        let engine = Engine::new(db, self.hooked_options());
+        let abstract_term = build(ak_functor(f.name, f.arity), args);
+        crate::explain::explain_abstract(&engine, goal, &abstract_term, &b, max_depth)
+    }
+
+    fn analyze(
+        &self,
+        program: &Program,
+        entries: &[EntryPoint],
+        parse_time: std::time::Duration,
+    ) -> Result<DepthKReport, AnalysisError> {
+        let mut timer = Timer::start();
+        // --- Preprocess. ---
+        let (db, preds) = self.load_abstract(program, entries)?;
+        let mut opts = self.hooked_options();
         let registry = self
             .profile
             .then(|| crate::profile::install_registry(&mut opts));
@@ -243,7 +298,8 @@ impl DepthKAnalyzer {
             analysis,
             collection,
         };
-        let metrics = registry.map(|r| crate::profile::finish(&r, &timings));
+        let metrics =
+            registry.map(|r| crate::profile::finish(&r, &timings, engine.options().describe()));
         Ok(DepthKReport {
             preds: out,
             timings,

@@ -80,6 +80,104 @@ impl DirectReport {
     }
 }
 
+/// The success-set rows one clause contributes at fixpoint.
+#[derive(Clone, Debug)]
+pub struct DirectClauseSupport {
+    /// Clause position within the predicate, in source order.
+    pub clause_index: usize,
+    /// Rows of the clause's contribution (each `arity` long, `true` =
+    /// ground).
+    pub rows: Vec<Vec<bool>>,
+}
+
+/// A clause-contribution explanation of one direct-analyzer result; see
+/// [`DirectAnalyzer::explain`].
+#[derive(Clone, Debug)]
+pub struct DirectExplanation {
+    /// The goal as given (`app(g, f, f)` notation).
+    pub goal: String,
+    /// Predicate name.
+    pub name: String,
+    /// Arity.
+    pub arity: usize,
+    /// The fixpoint success set under the goal's call pattern.
+    pub rows: Vec<Vec<bool>>,
+    /// Per-clause contributions; their union is [`rows`](Self::rows).
+    pub clauses: Vec<DirectClauseSupport>,
+}
+
+fn row_str(row: &[bool]) -> String {
+    row.iter().map(|&b| if b { 'g' } else { 'f' }).collect()
+}
+
+impl DirectExplanation {
+    /// `true` if the pattern has an empty success set.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the fixpoint rows and each clause's contribution as text.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let fmt_rows = |rows: &[Vec<bool>]| -> String {
+            if rows.is_empty() {
+                "(none)".to_owned()
+            } else {
+                rows.iter()
+                    .map(|r| row_str(r))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        };
+        let mut out = format!(
+            "goal: {}\n{}/{} fixpoint rows: {}\n",
+            self.goal,
+            self.name,
+            self.arity,
+            fmt_rows(&self.rows)
+        );
+        for c in &self.clauses {
+            let _ = writeln!(out, "  clause #{}: {}", c.clause_index, fmt_rows(&c.rows));
+        }
+        out
+    }
+
+    /// Renders the explanation as one JSON object; rows are `g`/`f`
+    /// strings, one character per argument.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        use tablog_trace::json::escape;
+        let push_rows = |s: &mut String, rows: &[Vec<bool>]| {
+            s.push('[');
+            for (i, r) in rows.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{}\"", row_str(r));
+            }
+            s.push(']');
+        };
+        let mut s = format!(
+            "{{\"goal\":\"{}\",\"pred\":\"{}/{}\",\"rows\":",
+            escape(&self.goal),
+            escape(&self.name),
+            self.arity
+        );
+        push_rows(&mut s, &self.rows);
+        s.push_str(",\"clauses\":[");
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{{\"index\":{},\"rows\":", c.clause_index);
+            push_rows(&mut s, &c.rows);
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
 type Key = (Functor, PropTable);
 
 struct Solver {
@@ -272,6 +370,90 @@ impl DirectAnalyzer {
         self.analyze(program, entries, std::time::Duration::ZERO)
     }
 
+    /// Lowers the program into the analyzer's internal form and builds a
+    /// fresh solver. Shared by [`analyze`](DirectAnalyzer::analyze_program)
+    /// and [`explain`](DirectAnalyzer::explain).
+    fn build_solver(
+        &self,
+        program: &Program,
+    ) -> Result<(Solver, crate::groundness::PredSet), AnalysisError> {
+        let (rules, preds) = transform_program(program, IffMode::Builtin)?;
+        let mut clauses: HashMap<Functor, Vec<AbsClause>> = HashMap::new();
+        for r in &rules {
+            let f = r.head.functor().expect("abstract heads are callable");
+            clauses.entry(f).or_default().push(lower_clause(r)?);
+        }
+        Ok((
+            Solver {
+                clauses,
+                results: HashMap::new(),
+                deps: HashMap::new(),
+                queue: VecDeque::new(),
+                queued: HashSet::new(),
+                iterations: 0,
+                profile: self.profile.then(BTreeMap::new),
+            },
+            preds,
+        ))
+    }
+
+    /// Explains one fixpoint result: `goal` is an [`EntryPoint`]-style call
+    /// pattern (`app(g, f, f)` — `g`round / `f`ree). The analyzer runs to
+    /// fixpoint from that pattern, then re-evaluates each clause of the
+    /// predicate once against the fixpoint to report which success-set rows
+    /// each clause contributes — the worklist analog of a justification
+    /// tree, since the hand-coded analyzer keeps no tables to walk.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors, unknown predicates, or width-limit errors.
+    pub fn explain(
+        &self,
+        program: &Program,
+        goal: &str,
+    ) -> Result<DirectExplanation, AnalysisError> {
+        let e = EntryPoint::parse(goal)?;
+        let arity = e.ground_args.len();
+        let f = gp(tablog_term::intern(&e.name), arity);
+        let (mut solver, preds) = self.build_solver(program)?;
+        if !preds.contains_key(&(tablog_term::intern(&e.name), arity)) {
+            return Err(AnalysisError::Unsupported(format!(
+                "unknown predicate {}/{arity} in goal {goal}",
+                e.name
+            )));
+        }
+        let mut cp = PropTable::top(arity);
+        for (i, &g) in e.ground_args.iter().enumerate() {
+            if g {
+                cp = cp.constrain_value(i, true);
+            }
+        }
+        solver.demand(f, cp.clone(), None);
+        solver.run()?;
+        let key = (f, cp);
+        let rows = solver
+            .results
+            .get(&key)
+            .map(PropTable::rows)
+            .unwrap_or_default();
+        let abs_clauses = solver.clauses.get(&f).cloned().unwrap_or_default();
+        let mut clauses = Vec::new();
+        for (ci, clause) in abs_clauses.iter().enumerate() {
+            let t = solver.eval_clause(clause, &key.1, &key)?;
+            clauses.push(DirectClauseSupport {
+                clause_index: ci,
+                rows: t.rows(),
+            });
+        }
+        Ok(DirectExplanation {
+            goal: goal.to_owned(),
+            name: e.name,
+            arity,
+            rows,
+            clauses,
+        })
+    }
+
     fn analyze(
         &self,
         program: &Program,
@@ -281,21 +463,7 @@ impl DirectAnalyzer {
         let mut timer = Timer::start();
         // Preprocess: reuse the Figure 1 transform, then lower the abstract
         // rules into the analyzer's dense internal form.
-        let (rules, preds) = transform_program(program, IffMode::Builtin)?;
-        let mut clauses: HashMap<Functor, Vec<AbsClause>> = HashMap::new();
-        for r in &rules {
-            let f = r.head.functor().expect("abstract heads are callable");
-            clauses.entry(f).or_default().push(lower_clause(r)?);
-        }
-        let mut solver = Solver {
-            clauses,
-            results: HashMap::new(),
-            deps: HashMap::new(),
-            queue: VecDeque::new(),
-            queued: HashSet::new(),
-            iterations: 0,
-            profile: self.profile.then(BTreeMap::new),
-        };
+        let (mut solver, preds) = self.build_solver(program)?;
         let preprocess = parse_time + timer.lap();
 
         // Analysis: seed and run to fixpoint.
@@ -363,6 +531,7 @@ impl DirectAnalyzer {
                     ("analysis".to_string(), analysis),
                     ("collection".to_string(), collection),
                 ],
+                options: vec![("analyzer".to_string(), "direct".to_string())],
             }
         });
         Ok(DirectReport {
@@ -539,6 +708,35 @@ mod tests {
             vec![true]
         );
         assert!(report.iterations > 1);
+    }
+
+    #[test]
+    fn explain_reports_clause_contributions() {
+        let program = parse_program(APPEND).unwrap();
+        let ex = DirectAnalyzer::new()
+            .explain(&program, "app(g, g, f)")
+            .unwrap();
+        assert_eq!(ex.name, "app");
+        assert_eq!(ex.arity, 3);
+        assert_eq!(ex.clauses.len(), 2);
+        assert!(!ex.is_empty());
+        // The fixpoint rows are covered by the clause contributions.
+        for r in &ex.rows {
+            assert!(
+                ex.clauses.iter().any(|c| c.rows.contains(r)),
+                "row {r:?} supported by no clause"
+            );
+        }
+        let text = ex.render_text();
+        assert!(text.contains("app/3 fixpoint rows:"));
+        assert!(text.contains("clause #0"));
+        assert!(tablog_trace::json::parse(&ex.to_json()).is_ok());
+    }
+
+    #[test]
+    fn explain_rejects_unknown_predicate() {
+        let program = parse_program(APPEND).unwrap();
+        assert!(DirectAnalyzer::new().explain(&program, "nope(g)").is_err());
     }
 
     #[test]

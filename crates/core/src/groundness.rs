@@ -12,6 +12,7 @@
 //! calls, the **input groundness** for free (Section 3.1).
 
 use crate::error::AnalysisError;
+use crate::explain::AnalysisExplanation;
 use crate::pipeline::{PhaseTimings, Timer};
 use crate::prop::PropTable;
 use std::collections::BTreeMap;
@@ -29,7 +30,7 @@ pub enum IffMode {
     #[default]
     Builtin,
     /// Explicit fact predicates `iff$k/(k+1)` holding all `2^k` rows —
-    /// the fully enumerative representation of [8].
+    /// the fully enumerative representation of the paper's citation \[8\].
     Facts,
 }
 
@@ -198,14 +199,15 @@ impl GroundnessAnalyzer {
         self.analyze_program_timed(program, entries, std::time::Duration::ZERO)
     }
 
-    fn analyze_program_timed(
+    /// Builds the abstract database: the transformed rules, tabling
+    /// declarations, and the `$ga` driver clauses (one per analyzed call
+    /// pattern). Shared by [`analyze`](GroundnessAnalyzer::analyze_program)
+    /// and [`explain`](GroundnessAnalyzer::explain).
+    fn load_abstract(
         &self,
         program: &Program,
         entries: &[EntryPoint],
-        parse_time: std::time::Duration,
-    ) -> Result<GroundnessReport, AnalysisError> {
-        let mut timer = Timer::start();
-        // --- Preprocess: transform + load. ---
+    ) -> Result<(Database, PredSet), AnalysisError> {
         let (rules, preds) = transform_program(program, self.iff_mode)?;
         let mut db = Database::new(self.load_mode);
         for r in &rules {
@@ -214,8 +216,6 @@ impl GroundnessAnalyzer {
         for &(name, arity) in preds.keys() {
             db.set_tabled(gp_functor(name, arity), true);
         }
-        // Driver: one clause per analyzed call pattern.
-        let driver = Functor::new("$ga", 0);
         let mut b = Bindings::new();
         if entries.is_empty() {
             for &(name, arity) in preds.keys() {
@@ -240,10 +240,62 @@ impl GroundnessAnalyzer {
                 db.assert_clause(atom("$ga"), vec![goal])?;
             }
         }
-        let _ = driver;
         if self.load_mode == LoadMode::Compiled {
             db.build_indexes();
         }
+        Ok((db, preds))
+    }
+
+    /// Explains one groundness answer: maps `goal` — a source-level call
+    /// whose arguments are `g` (ground), `f` (possibly non-ground) or
+    /// variables — onto the abstract predicate `gp$p` and returns the
+    /// justification trees of every matching abstract answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors (including non-`g`/`f` arguments),
+    /// transformation errors, or engine errors.
+    pub fn explain(
+        &self,
+        program: &Program,
+        goal: &str,
+        max_depth: usize,
+    ) -> Result<AnalysisExplanation, AnalysisError> {
+        let mut b = Bindings::new();
+        let (t, _) = tablog_syntax::parse_term(goal, &mut b)
+            .map_err(|e| AnalysisError::Parse(e.to_string()))?;
+        let f = t
+            .functor()
+            .ok_or_else(|| AnalysisError::Parse(format!("bad goal {goal}")))?;
+        let args: Vec<Term> = t
+            .args()
+            .iter()
+            .map(|a| match a {
+                Term::Atom(s) if matches!(sym_name(*s).as_str(), "g" | "true") => Ok(atom("true")),
+                Term::Atom(s) if matches!(sym_name(*s).as_str(), "f" | "false") => {
+                    Ok(atom("false"))
+                }
+                Term::Var(v) => Ok(Term::Var(*v)),
+                other => Err(AnalysisError::Parse(format!(
+                    "groundness goal argument must be g, f or a variable, found {other}"
+                ))),
+            })
+            .collect::<Result<_, _>>()?;
+        let (db, _) = self.load_abstract(program, &[])?;
+        let engine = Engine::new(db, self.options.clone());
+        let abstract_term = build(gp_functor(f.name, f.arity), args);
+        crate::explain::explain_abstract(&engine, goal, &abstract_term, &b, max_depth)
+    }
+
+    fn analyze_program_timed(
+        &self,
+        program: &Program,
+        entries: &[EntryPoint],
+        parse_time: std::time::Duration,
+    ) -> Result<GroundnessReport, AnalysisError> {
+        let mut timer = Timer::start();
+        // --- Preprocess: transform + load. ---
+        let (db, preds) = self.load_abstract(program, entries)?;
         let mut options = self.options.clone();
         let registry = self
             .profile
@@ -298,7 +350,8 @@ impl GroundnessAnalyzer {
             analysis,
             collection,
         };
-        let metrics = registry.map(|r| crate::profile::finish(&r, &timings));
+        let metrics =
+            registry.map(|r| crate::profile::finish(&r, &timings, engine.options().describe()));
         Ok(GroundnessReport {
             preds: out,
             timings,

@@ -50,6 +50,7 @@
 
 pub mod depthk;
 pub mod direct;
+pub mod explain;
 pub mod groundness;
 pub mod modes;
 pub mod pipeline;
@@ -61,4 +62,5 @@ mod error;
 mod profile;
 
 pub use error::AnalysisError;
+pub use explain::AnalysisExplanation;
 pub use pipeline::{PhaseTimings, Timer};

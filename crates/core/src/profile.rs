@@ -26,12 +26,19 @@ pub(crate) fn install_registry(opts: &mut EngineOptions) -> Rc<MetricsRegistry> 
     reg
 }
 
-/// Stamps the pipeline's phase timings into the registry and freezes it.
-pub(crate) fn finish(reg: &MetricsRegistry, t: &PhaseTimings) -> MetricsReport {
+/// Stamps the pipeline's phase timings into the registry and freezes it,
+/// embedding the engine options in effect so the report is self-describing.
+pub(crate) fn finish(
+    reg: &MetricsRegistry,
+    t: &PhaseTimings,
+    options: Vec<(String, String)>,
+) -> MetricsReport {
     reg.record_phases(&[
         ("preprocess", t.preprocess),
         ("analysis", t.analysis),
         ("collection", t.collection),
     ]);
-    reg.snapshot()
+    let mut report = reg.snapshot();
+    report.options = options;
+    report
 }

@@ -159,20 +159,17 @@ impl StrictnessAnalyzer {
         self.analyze_program_timed(prog, std::time::Duration::ZERO)
     }
 
-    fn analyze_program_timed(
-        &self,
-        prog: &FunProgram,
-        parse_time: std::time::Duration,
-    ) -> Result<StrictnessReport, AnalysisError> {
-        let mut timer = Timer::start();
-        // --- Preprocess: translate + load. ---
+    /// Builds the demand-propagation database: the Figure 3 rules (all
+    /// tabled), plus the `$sa` driver clauses, one per (function, demand).
+    /// Shared by [`analyze`](StrictnessAnalyzer::analyze_program) and
+    /// [`explain`](StrictnessAnalyzer::explain).
+    fn load_demand(&self, prog: &FunProgram) -> Result<Database, AnalysisError> {
         let rules = translate_program(prog)?;
         let mut db = Database::new(self.load_mode);
         for r in &rules {
             db.assert_clause(r.head.clone(), r.body.clone())?;
         }
         db.table_all();
-        // Driver clauses: one per (function, demand).
         let mut vc = 0u32;
         for (fname, &arity) in &prog.functions {
             for demand in ["e", "d"] {
@@ -188,6 +185,58 @@ impl StrictnessAnalyzer {
         if self.load_mode == LoadMode::Compiled {
             db.build_indexes();
         }
+        Ok(db)
+    }
+
+    /// Explains one strictness verdict: `goal` names a function and the
+    /// demand placed on its result, `f(e)` or `f(d)`, and the result is the
+    /// justification tree of every answer of `sp$f(demand, X1…Xn)` — each
+    /// answer being one way demand propagates to the arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors (unknown function, bad demand), translation
+    /// errors, or engine errors.
+    pub fn explain(
+        &self,
+        prog: &FunProgram,
+        goal: &str,
+        max_depth: usize,
+    ) -> Result<crate::explain::AnalysisExplanation, AnalysisError> {
+        let mut b = tablog_term::Bindings::new();
+        let (t, _) = tablog_syntax::parse_term(goal, &mut b)
+            .map_err(|e| AnalysisError::Parse(e.to_string()))?;
+        let f = t
+            .functor()
+            .ok_or_else(|| AnalysisError::Parse(format!("bad goal {goal}")))?;
+        let name = sym_name(f.name);
+        let arity = *prog.functions.get(&name).ok_or_else(|| {
+            AnalysisError::Unsupported(format!("unknown function {name} in goal {goal}"))
+        })?;
+        let demand = match t.args() {
+            [Term::Atom(s)] if matches!(sym_name(*s).as_str(), "e" | "d" | "n") => Term::Atom(*s),
+            _ => {
+                return Err(AnalysisError::Parse(format!(
+                    "strictness goal must be {name}(e), {name}(d) or {name}(n)"
+                )))
+            }
+        };
+        let mut args = vec![demand];
+        args.extend((0..arity).map(|_| Term::Var(b.fresh_var())));
+        let db = self.load_demand(prog)?;
+        let engine = Engine::new(db, self.options.clone());
+        let abstract_term = build(sp_functor(&name, arity), args);
+        crate::explain::explain_abstract(&engine, goal, &abstract_term, &b, max_depth)
+    }
+
+    fn analyze_program_timed(
+        &self,
+        prog: &FunProgram,
+        parse_time: std::time::Duration,
+    ) -> Result<StrictnessReport, AnalysisError> {
+        let mut timer = Timer::start();
+        // --- Preprocess: translate + load. ---
+        let db = self.load_demand(prog)?;
         let mut options = self.options.clone();
         let registry = self
             .profile
@@ -249,7 +298,8 @@ impl StrictnessAnalyzer {
             analysis,
             collection,
         };
-        let metrics = registry.map(|r| crate::profile::finish(&r, &timings));
+        let metrics =
+            registry.map(|r| crate::profile::finish(&r, &timings, engine.options().describe()));
         Ok(StrictnessReport {
             funs,
             timings,

@@ -232,6 +232,20 @@ impl Database {
     /// `first_arg` — all of them in [`LoadMode::Dynamic`], an indexed subset
     /// in [`LoadMode::Compiled`].
     pub fn matching_clauses(&self, f: Functor, first_arg: Option<&Term>) -> Vec<&StoredClause> {
+        self.matching_clauses_indexed(f, first_arg)
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect()
+    }
+
+    /// Like [`Database::matching_clauses`], but pairs each clause with its
+    /// stable index within the predicate (its position in source order) —
+    /// the clause identity recorded by answer provenance.
+    pub fn matching_clauses_indexed(
+        &self,
+        f: Functor,
+        first_arg: Option<&Term>,
+    ) -> Vec<(usize, &StoredClause)> {
         let Some(pred) = self.preds.get(&f) else {
             return Vec::new();
         };
@@ -246,10 +260,16 @@ impl Database {
                 }
                 ids.sort_unstable();
                 ids.dedup();
-                ids.iter().map(|&i| &pred.clauses[i]).collect()
+                ids.iter().map(|&i| (i, &pred.clauses[i])).collect()
             }
-            _ => pred.clauses.iter().collect(),
+            _ => pred.clauses.iter().enumerate().collect(),
         }
+    }
+
+    /// The `idx`-th clause of `f` in source order, if it exists — resolves
+    /// the clause ids stored in answer provenance.
+    pub fn clause(&self, f: Functor, idx: usize) -> Option<&StoredClause> {
+        self.preds.get(&f).and_then(|p| p.clauses.get(idx))
     }
 
     /// All clauses of `f` in source order.

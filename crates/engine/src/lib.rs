@@ -55,6 +55,7 @@ mod database;
 mod error;
 mod machine;
 mod options;
+mod provenance;
 mod table;
 
 pub use builtins::{
@@ -65,12 +66,14 @@ pub use database::{Database, LoadMode, StoredClause};
 pub use error::EngineError;
 pub use machine::{Engine, Evaluation, Solutions};
 pub use options::{EngineOptions, Scheduling, TermHook, Unknown};
+pub use provenance::{AnswerProv, AnswerRef, ClauseRef, Explanation, JustNode, JustStatus};
 pub use table::{AnswerIter, SubgoalView, TableStats};
 
 // Re-exported for downstream convenience: the reader produces the programs
 // the engine loads, and the trace types plug into `EngineOptions::trace`.
 pub use tablog_syntax::{parse_program, ParseError, Program};
 pub use tablog_trace::{
-    CountingSink, JsonLinesSink, MetricsRegistry, MetricsReport, MultiSink, NoopSink, OwnedEvent,
-    PredStats, RingBufferSink, TraceEvent, TraceSink,
+    CountingSink, Forest, ForestAnswer, ForestSubgoal, JsonLinesSink, MetricsRegistry,
+    MetricsReport, MultiSink, NoopSink, OwnedEvent, PredStats, RingBufferSink, TraceEvent,
+    TraceSink,
 };

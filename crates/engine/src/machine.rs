@@ -11,9 +11,10 @@
 //! completion needs no incremental SCC bookkeeping.
 
 use crate::builtins::{lookup_builtin, BuiltinImpl};
-use crate::database::{Database, LoadMode};
+use crate::database::{Database, LoadMode, StoredClause};
 use crate::error::EngineError;
 use crate::options::{EngineOptions, Scheduling, Unknown};
+use crate::provenance::{AnswerRef, ClauseRef, NodeProv};
 use crate::table::{SubgoalState, SubgoalView, TableStats, NODE_OVERHEAD};
 use std::collections::{HashMap, HashSet, VecDeque};
 use tablog_term::{
@@ -119,6 +120,24 @@ impl Engine {
         bindings: &Bindings,
     ) -> Result<Evaluation, EngineError> {
         let mut m = Machine::new(&self.db, &self.opts);
+        m.run(goals, template, bindings)
+    }
+
+    /// As [`Engine::evaluate`], but under one-off options overriding the
+    /// engine's own — how [`Engine::explain`] forces provenance recording
+    /// on for a single query without mutating the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`EngineError`] raised during evaluation.
+    pub fn evaluate_with_opts(
+        &self,
+        opts: &EngineOptions,
+        goals: &[Term],
+        template: &[Term],
+        bindings: &Bindings,
+    ) -> Result<Evaluation, EngineError> {
+        let mut m = Machine::new(&self.db, opts);
         m.run(goals, template, bindings)
     }
 }
@@ -242,6 +261,15 @@ impl Evaluation {
     pub fn rescan_table_bytes(&self) -> usize {
         self.subgoals.iter().map(|s| s.table_bytes()).sum()
     }
+
+    /// Index of the synthetic `$query` root subgoal.
+    pub fn root_index(&self) -> usize {
+        self.root
+    }
+
+    pub(crate) fn states(&self) -> &[SubgoalState] {
+        &self.subgoals
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -251,6 +279,13 @@ struct Node {
     /// `canon.terms()[..split]` is the answer template; the rest is goals.
     split: usize,
     canon: CanonicalTerm,
+    /// Derivation trail (clauses resolved, table answers consumed) on the
+    /// path to this node. Always `None` unless
+    /// `EngineOptions::record_provenance` is set, so the disabled path
+    /// allocates nothing. When a variant-identical node is reached along a
+    /// second path, `seen_nodes` drops it and the first trail wins: a
+    /// justification needs one support, not all of them.
+    prov: Option<Box<NodeProv>>,
 }
 
 #[derive(Clone, Debug)]
@@ -352,6 +387,7 @@ impl<'e> Machine<'e> {
             subgoal: root,
             split: template.len(),
             canon: canonicalize(b0, &all),
+            prov: self.fresh_prov(),
         };
         self.push(Task::Expand(node));
         self.drain()?;
@@ -393,6 +429,12 @@ impl<'e> Machine<'e> {
         Ok(())
     }
 
+    /// `Some(empty trail)` when provenance recording is on, `None` (no
+    /// allocation) otherwise.
+    fn fresh_prov(&self) -> Option<Box<NodeProv>> {
+        self.opts.record_provenance.then(Box::<NodeProv>::default)
+    }
+
     fn make_node(
         &self,
         subgoal: usize,
@@ -400,6 +442,7 @@ impl<'e> Machine<'e> {
         b: &Bindings,
         template: &[Term],
         goals: &[Term],
+        prov: Option<Box<NodeProv>>,
     ) -> Node {
         let mut all = template.to_vec();
         all.extend_from_slice(goals);
@@ -407,6 +450,7 @@ impl<'e> Machine<'e> {
             subgoal,
             split,
             canon: canonicalize(b, &all),
+            prov,
         }
     }
 
@@ -416,10 +460,18 @@ impl<'e> Machine<'e> {
         let (template, goals) = ts.split_at(node.split);
         let Some((g, rest)) = goals.split_first() else {
             let ans = canonicalize(&b, template);
-            self.add_answer(node.subgoal, ans);
+            self.add_answer(node.subgoal, ans, node.prov);
             return Ok(());
         };
-        self.solve_goal(node.subgoal, node.split, template, g, rest, &mut b)
+        self.solve_goal(
+            node.subgoal,
+            node.split,
+            template,
+            g,
+            rest,
+            &mut b,
+            node.prov,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -431,6 +483,7 @@ impl<'e> Machine<'e> {
         g: &Term,
         rest: &[Term],
         b: &mut Bindings,
+        prov: Option<Box<NodeProv>>,
     ) -> Result<(), EngineError> {
         let g = b.resolve(g);
         let f = match g.functor() {
@@ -443,7 +496,7 @@ impl<'e> Machine<'e> {
             (",", 2) => {
                 let mut goals = vec![args[0].clone(), args[1].clone()];
                 goals.extend_from_slice(rest);
-                let n = self.make_node(sid, split, b, template, &goals);
+                let n = self.make_node(sid, split, b, template, &goals, prov);
                 self.push(Task::Expand(n));
                 Ok(())
             }
@@ -471,7 +524,7 @@ impl<'e> Machine<'e> {
                 for branch in [left, right] {
                     let mut goals = branch;
                     goals.extend_from_slice(rest);
-                    let n = self.make_node(sid, split, b, template, &goals);
+                    let n = self.make_node(sid, split, b, template, &goals, prov.clone());
                     self.push(Task::Expand(n));
                 }
                 Ok(())
@@ -479,13 +532,13 @@ impl<'e> Machine<'e> {
             ("->", 2) => {
                 let mut goals = vec![args[0].clone(), args[1].clone()];
                 goals.extend_from_slice(rest);
-                let n = self.make_node(sid, split, b, template, &goals);
+                let n = self.make_node(sid, split, b, template, &goals, prov);
                 self.push(Task::Expand(n));
                 Ok(())
             }
             ("\\+", 1) | ("not", 1) => {
                 if !self.provable(&args[0], b)? {
-                    let n = self.make_node(sid, split, b, template, rest);
+                    let n = self.make_node(sid, split, b, template, rest, prov);
                     self.push(Task::Expand(n));
                 }
                 Ok(())
@@ -493,20 +546,20 @@ impl<'e> Machine<'e> {
             // Cut is approximated by `true`: sound (a superset of solutions)
             // for the minimal-model analyses this engine serves; see README.
             ("!", 0) | ("true", 0) => {
-                let n = self.make_node(sid, split, b, template, rest);
+                let n = self.make_node(sid, split, b, template, rest, prov);
                 self.push(Task::Expand(n));
                 Ok(())
             }
             ("call", 1) => {
                 let mut goals = vec![args[0].clone()];
                 goals.extend_from_slice(rest);
-                let n = self.make_node(sid, split, b, template, &goals);
+                let n = self.make_node(sid, split, b, template, &goals, prov);
                 self.push(Task::Expand(n));
                 Ok(())
             }
             _ => {
                 if let Some(imp) = lookup_builtin(f) {
-                    return self.solve_builtin(imp, sid, split, template, &g, rest, b);
+                    return self.solve_builtin(imp, sid, split, template, &g, rest, b, prov);
                 }
                 if !self.db.is_defined(f) {
                     return match self.opts.unknown {
@@ -515,9 +568,9 @@ impl<'e> Machine<'e> {
                     };
                 }
                 if self.db.is_tabled(f) {
-                    self.solve_tabled(f, sid, split, template, &g, rest, b)
+                    self.solve_tabled(f, sid, split, template, &g, rest, b, prov)
                 } else {
-                    self.solve_sld(f, sid, split, template, &g, rest, b)
+                    self.solve_sld(f, sid, split, template, &g, rest, b, prov)
                 }
             }
         }
@@ -533,12 +586,13 @@ impl<'e> Machine<'e> {
         g: &Term,
         rest: &[Term],
         b: &mut Bindings,
+        prov: Option<Box<NodeProv>>,
     ) -> Result<(), EngineError> {
         match imp {
             BuiltinImpl::Det(f) => {
                 let m = b.mark();
                 if f(b, g.args())? {
-                    let n = self.make_node(sid, split, b, template, rest);
+                    let n = self.make_node(sid, split, b, template, rest, prov);
                     self.push(Task::Expand(n));
                 }
                 b.undo_to(m);
@@ -554,7 +608,7 @@ impl<'e> Machine<'e> {
                         .zip(tuple.iter())
                         .all(|(x, y)| self.unif(b, x, y));
                     if ok {
-                        let n = self.make_node(sid, split, b, template, rest);
+                        let n = self.make_node(sid, split, b, template, rest, prov.clone());
                         self.push(Task::Expand(n));
                     }
                     b.undo_to(m);
@@ -574,14 +628,15 @@ impl<'e> Machine<'e> {
         g: &Term,
         rest: &[Term],
         b: &mut Bindings,
+        prov: Option<Box<NodeProv>>,
     ) -> Result<(), EngineError> {
-        let clauses: Vec<_> = self
+        let clauses: Vec<(usize, StoredClause)> = self
             .db
-            .matching_clauses(f, g.args().first())
+            .matching_clauses_indexed(f, g.args().first())
             .into_iter()
-            .cloned()
+            .map(|(i, c)| (i, c.clone()))
             .collect();
-        for clause in clauses {
+        for (cidx, clause) in clauses {
             self.stats.clause_resolutions += 1;
             if let Some(sink) = self.trace {
                 sink.event(&TraceEvent::ClauseResolution { pred: f });
@@ -598,7 +653,16 @@ impl<'e> Machine<'e> {
             if ok {
                 let mut goals: Vec<Term> = clause.body.iter().map(&mut rename).collect();
                 goals.extend_from_slice(rest);
-                let n = self.make_node(sid, split, b, template, &goals);
+                // SLD resolution is inlined into the derivation node, so
+                // the resolved clause joins the node's own trail.
+                let mut prov = prov.clone();
+                if let Some(p) = prov.as_deref_mut() {
+                    p.clauses.push(ClauseRef {
+                        pred: f,
+                        index: cidx,
+                    });
+                }
+                let n = self.make_node(sid, split, b, template, &goals, prov);
                 self.push(Task::Expand(n));
             }
             b.undo_to(m);
@@ -616,6 +680,7 @@ impl<'e> Machine<'e> {
         g: &Term,
         rest: &[Term],
         b: &mut Bindings,
+        prov: Option<Box<NodeProv>>,
     ) -> Result<(), EngineError> {
         let mut key = if self.opts.forward_subsumption {
             let open = open_call_key(f);
@@ -649,10 +714,11 @@ impl<'e> Machine<'e> {
         }
         let watched = self.find_or_create_subgoal(f, key)?;
         // Reconstitute this node (with the tabled goal still selected) as a
-        // consumer of the callee's table.
+        // consumer of the callee's table. The trail parks on the consumer;
+        // each answer return extends a copy of it with the consumed answer.
         let mut goals = vec![g.clone()];
         goals.extend_from_slice(rest);
-        let node = self.make_node(sid, split, b, template, &goals);
+        let node = self.make_node(sid, split, b, template, &goals, prov);
         let cid = self.consumers.len();
         self.consumers.push(Consumer { node, watched });
         self.subgoals[watched].consumers.push(cid);
@@ -682,16 +748,18 @@ impl<'e> Machine<'e> {
         }
         self.subgoals.push(SubgoalState::new(f, key.clone()));
         self.lookup.insert((f, key.clone()), sid);
-        // Spawn generator nodes: one per resolving program clause.
+        // Spawn generator nodes: one per resolving program clause. Each
+        // starts a fresh derivation trail rooted at its clause — the answers
+        // it eventually produces are supported by that clause.
         let mut b = Bindings::new();
         let call_args = key.instantiate(&mut b);
-        let clauses: Vec<_> = self
+        let clauses: Vec<(usize, StoredClause)> = self
             .db
-            .matching_clauses(f, call_args.first())
+            .matching_clauses_indexed(f, call_args.first())
             .into_iter()
-            .cloned()
+            .map(|(i, c)| (i, c.clone()))
             .collect();
-        for clause in clauses {
+        for (cidx, clause) in clauses {
             self.stats.clause_resolutions += 1;
             if let Some(sink) = self.trace {
                 sink.event(&TraceEvent::ClauseResolution { pred: f });
@@ -706,7 +774,16 @@ impl<'e> Machine<'e> {
                 .all(|(x, y)| self.unif(&mut b, x, y));
             if ok {
                 let goals: Vec<Term> = clause.body.iter().map(&mut rename).collect();
-                let n = self.make_node(sid, f.arity, &b, &call_args, &goals);
+                let prov = self.opts.record_provenance.then(|| {
+                    Box::new(NodeProv {
+                        clauses: vec![ClauseRef {
+                            pred: f,
+                            index: cidx,
+                        }],
+                        premises: Vec::new(),
+                    })
+                });
+                let n = self.make_node(sid, f.arity, &b, &call_args, &goals, prov);
                 self.push(Task::Expand(n));
             }
             b.undo_to(m);
@@ -735,19 +812,29 @@ impl<'e> Machine<'e> {
                     pred: self.subgoals[consumer.watched].functor,
                 });
             }
+            // The continuation consumed answer `aidx` of the watched table:
+            // extend the consumer's trail with that premise.
+            let mut prov = consumer.node.prov;
+            if let Some(p) = prov.as_deref_mut() {
+                p.premises.push(AnswerRef {
+                    subgoal: consumer.watched,
+                    answer: aidx,
+                });
+            }
             let n = self.make_node(
                 consumer.node.subgoal,
                 consumer.node.split,
                 &b,
                 template,
                 rest,
+                prov,
             );
             self.push(Task::Expand(n));
         }
         Ok(())
     }
 
-    fn add_answer(&mut self, sid: usize, mut ans: CanonicalTerm) {
+    fn add_answer(&mut self, sid: usize, mut ans: CanonicalTerm, prov: Option<Box<NodeProv>>) {
         if let Some(hook) = &self.opts.answer_widening {
             let widened = hook(&ans);
             if let Some(sink) = self.trace {
@@ -763,7 +850,16 @@ impl<'e> Machine<'e> {
         }
         let sub = &mut self.subgoals[sid];
         if sub.answer_set.insert(ans.clone()) {
-            let bytes = ans.heap_bytes() + NODE_OVERHEAD;
+            // When recording, the provenance record rides along with the
+            // answer and its bytes are charged to the same accounting the
+            // rescan and the AnswerInsert event see. A widened answer keeps
+            // the trail of the concrete derivation that produced it.
+            let prov_rec = self
+                .opts
+                .record_provenance
+                .then(|| prov.map(|p| p.freeze()).unwrap_or_default());
+            let prov_bytes = prov_rec.as_ref().map_or(0, crate::AnswerProv::heap_bytes);
+            let bytes = ans.heap_bytes() + NODE_OVERHEAD + prov_bytes;
             if let Some(sink) = self.trace {
                 sink.event(&TraceEvent::AnswerInsert {
                     pred: sub.functor,
@@ -772,6 +868,9 @@ impl<'e> Machine<'e> {
                 });
             }
             sub.answers.push(ans);
+            if let Some(p) = prov_rec {
+                sub.provenance.push(p);
+            }
             let idx = sub.answers.len() - 1;
             self.stats.answers += 1;
             self.stats.table_bytes += bytes;
@@ -816,7 +915,7 @@ fn open_call_key(f: Functor) -> CanonicalTerm {
     canonicalize(&b, &args)
 }
 
-fn flatten_conj(t: &Term, out: &mut Vec<Term>) {
+pub(crate) fn flatten_conj(t: &Term, out: &mut Vec<Term>) {
     if let Term::Struct(s, args) = t {
         if args.len() == 2 && sym_name(*s) == "," {
             flatten_conj(&args[0], out);

@@ -58,10 +58,65 @@ pub struct EngineOptions {
     pub max_steps: Option<usize>,
     /// Treatment of undefined predicates.
     pub unknown: Unknown,
+    /// Record per-answer provenance: the clause ids resolved and the table
+    /// answers consumed along each answer's first derivation (see
+    /// [`crate::AnswerProv`]). Provenance bytes are charged to the table
+    /// space accounting. With `false` (the default) the engine allocates
+    /// and stores nothing, so the feature costs exactly zero when off.
+    pub record_provenance: bool,
     /// Observer of engine events (see `tablog_trace`). With `None` the
     /// engine constructs no events at all, so tracing costs nothing when
     /// disabled. Negation subcomputations share the sink.
     pub trace: Option<Rc<dyn TraceSink>>,
+}
+
+impl EngineOptions {
+    /// Describes the options in effect as `(key, value)` pairs — the
+    /// self-describing header embedded in metric reports so a saved report
+    /// can be attributed to the configuration that produced it.
+    pub fn describe(&self) -> Vec<(String, String)> {
+        let on_off = |b: bool| if b { "on" } else { "off" }.to_owned();
+        vec![
+            (
+                "scheduling".to_owned(),
+                match self.scheduling {
+                    Scheduling::DepthFirst => "depth_first".to_owned(),
+                    Scheduling::BreadthFirst => "breadth_first".to_owned(),
+                },
+            ),
+            ("occur_check".to_owned(), on_off(self.occur_check)),
+            (
+                "forward_subsumption".to_owned(),
+                on_off(self.forward_subsumption),
+            ),
+            (
+                "call_abstraction".to_owned(),
+                on_off(self.call_abstraction.is_some()),
+            ),
+            (
+                "answer_widening".to_owned(),
+                on_off(self.answer_widening.is_some()),
+            ),
+            (
+                "max_steps".to_owned(),
+                match self.max_steps {
+                    Some(n) => n.to_string(),
+                    None => "unbounded".to_owned(),
+                },
+            ),
+            (
+                "unknown".to_owned(),
+                match self.unknown {
+                    Unknown::Error => "error".to_owned(),
+                    Unknown::Fail => "fail".to_owned(),
+                },
+            ),
+            (
+                "record_provenance".to_owned(),
+                on_off(self.record_provenance),
+            ),
+        ]
+    }
 }
 
 impl fmt::Debug for EngineOptions {
@@ -74,6 +129,7 @@ impl fmt::Debug for EngineOptions {
             .field("answer_widening", &self.answer_widening.is_some())
             .field("max_steps", &self.max_steps)
             .field("unknown", &self.unknown)
+            .field("record_provenance", &self.record_provenance)
             .field("trace", &self.trace.is_some())
             .finish()
     }

@@ -1,5 +1,6 @@
 //! Table inspection types: subgoal views, answer iteration, statistics.
 
+use crate::provenance::AnswerProv;
 use std::collections::HashSet;
 use tablog_term::{CanonicalTerm, Functor, Term};
 
@@ -18,6 +19,10 @@ pub(crate) struct SubgoalState {
     /// Answers (canonical argument tuples), in insertion order.
     pub answers: Vec<CanonicalTerm>,
     pub answer_set: HashSet<CanonicalTerm>,
+    /// Per-answer provenance, parallel to `answers`. Empty (no allocation)
+    /// unless the evaluation ran with
+    /// [`record_provenance`](crate::EngineOptions::record_provenance).
+    pub provenance: Vec<AnswerProv>,
     /// Consumer ids registered on this subgoal.
     pub consumers: Vec<usize>,
     pub complete: bool,
@@ -30,6 +35,7 @@ impl SubgoalState {
             call,
             answers: Vec::new(),
             answer_set: HashSet::new(),
+            provenance: Vec::new(),
             consumers: Vec::new(),
             complete: false,
         }
@@ -42,6 +48,11 @@ impl SubgoalState {
                 .answers
                 .iter()
                 .map(|a| a.heap_bytes() + NODE_OVERHEAD)
+                .sum::<usize>()
+            + self
+                .provenance
+                .iter()
+                .map(AnswerProv::heap_bytes)
                 .sum::<usize>()
     }
 }
@@ -91,6 +102,11 @@ impl<'a> SubgoalView<'a> {
     /// Iterates over raw canonical answer tuples.
     pub fn answer_tuples(&self) -> impl Iterator<Item = &'a [Term]> + 'a {
         self.state.answers.iter().map(|c| c.terms())
+    }
+
+    /// Provenance of answer `idx`, if the evaluation recorded it.
+    pub fn provenance(&self, idx: usize) -> Option<&'a AnswerProv> {
+        self.state.provenance.get(idx)
     }
 
     /// Estimated table space consumed by this subgoal, in bytes.

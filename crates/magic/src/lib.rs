@@ -3,7 +3,7 @@
 //! This crate is the reproduction's stand-in for the *other* complete
 //! evaluation strategy the paper discusses: bottom-up evaluation as used by
 //! deductive database systems such as Coral, and the magic-set formulation
-//! of goal-directed groundness analysis from Codish & Demoen ([8] in the
+//! of goal-directed groundness analysis from Codish & Demoen (\[8\] in the
 //! paper). The tabled engine gets call patterns for free from its call
 //! table; a bottom-up system must *transform* the program with magic sets to
 //! recover the same goal-directedness. Running both on the same abstract

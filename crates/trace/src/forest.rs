@@ -1,0 +1,304 @@
+//! Derivation-forest export: the call/answer-table graph as data, DOT, and
+//! JSON.
+//!
+//! The engine's `Evaluation::forest()` flattens its tables into a
+//! [`Forest`] — plain strings and indices, so this crate stays independent
+//! of the term representation. A forest records every tabled subgoal, its
+//! answers, and (when the evaluation recorded provenance) each answer's
+//! supporting clauses and the answer-level dependency edges.
+//!
+//! Renderings are deterministic: nodes are emitted in subgoal/answer index
+//! order (the engine's creation order), never in hash order, so the same
+//! evaluation always produces byte-identical output — a property the test
+//! suite pins down.
+
+use crate::json::{escape, JsonValue};
+use std::fmt::Write as _;
+
+/// One answer of a subgoal table, with optional provenance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ForestAnswer {
+    /// The answer rendered as a term, `p(t1,…,tn)`.
+    pub term: String,
+    /// Supporting clause ids (`pred/arity#index`); empty when provenance
+    /// was not recorded or the answer needed no program clause.
+    pub clauses: Vec<String>,
+    /// Consumed table answers as `(subgoal id, answer index)` pairs; empty
+    /// when provenance was not recorded or the answer consumed none.
+    pub premises: Vec<(usize, usize)>,
+}
+
+/// One subgoal table: call pattern plus answers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ForestSubgoal {
+    /// Subgoal id — its index in the evaluation's creation order.
+    pub id: usize,
+    /// The subgoal's predicate, `name/arity`.
+    pub pred: String,
+    /// The call pattern rendered as a term.
+    pub call: String,
+    /// `true` once the table is complete (always true after evaluation).
+    pub complete: bool,
+    /// The table's answers, in insertion order.
+    pub answers: Vec<ForestAnswer>,
+}
+
+/// A complete derivation forest: every subgoal table of one evaluation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Forest {
+    /// Subgoal tables in creation order; `subgoals[i].id == i`.
+    pub subgoals: Vec<ForestSubgoal>,
+}
+
+impl Forest {
+    /// Total number of answers across all tables.
+    pub fn num_answers(&self) -> usize {
+        self.subgoals.iter().map(|s| s.answers.len()).sum()
+    }
+
+    /// Renders the forest as a Graphviz DOT digraph.
+    ///
+    /// Subgoal nodes (`s0`, `s1`, …) are boxes labeled with the call
+    /// pattern; answer nodes (`s0a0`, …) are ellipses labeled with the
+    /// answer term (plus its supporting clause ids when present). Edges run
+    /// subgoal → its answers, and answer → each consumed premise answer.
+    /// Output is deterministic: everything is emitted in index order.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph forest {\n  rankdir=TB;\n");
+        for s in &self.subgoals {
+            let _ = writeln!(
+                out,
+                "  s{} [shape=box,label=\"{}\"];",
+                s.id,
+                dot_escape(&s.call)
+            );
+            for (ai, a) in s.answers.iter().enumerate() {
+                let label = if a.clauses.is_empty() {
+                    a.term.clone()
+                } else {
+                    format!("{}\\nvia {}", dot_escape(&a.term), a.clauses.join(", "))
+                };
+                let _ = writeln!(
+                    out,
+                    "  s{}a{} [shape=ellipse,label=\"{}\"];",
+                    s.id,
+                    ai,
+                    if a.clauses.is_empty() {
+                        dot_escape(&label)
+                    } else {
+                        label
+                    }
+                );
+                let _ = writeln!(out, "  s{} -> s{}a{};", s.id, s.id, ai);
+                for &(ps, pa) in &a.premises {
+                    let _ = writeln!(out, "  s{}a{} -> s{}a{};", s.id, ai, ps, pa);
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the forest as one JSON object, matching the crate's other
+    /// hand-rolled writers. Round-trips through [`Forest::from_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"subgoals\":[");
+        for (i, s) in self.subgoals.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":{},\"pred\":\"{}\",\"call\":\"{}\",\"complete\":{},\"answers\":[",
+                s.id,
+                escape(&s.pred),
+                escape(&s.call),
+                s.complete
+            );
+            for (j, a) in s.answers.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{{\"term\":\"{}\",\"clauses\":[", escape(&a.term));
+                for (k, c) in a.clauses.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\"", escape(c));
+                }
+                out.push_str("],\"premises\":[");
+                for (k, &(ps, pa)) in a.premises.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{ps},{pa}]");
+                }
+                out.push_str("]}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a forest back from its [`Forest::to_json`] rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntactic or structural problem.
+    pub fn from_json(input: &str) -> Result<Forest, String> {
+        let doc = crate::json::parse(input)?;
+        let subgoals = doc
+            .get("subgoals")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing \"subgoals\" array")?;
+        let mut out = Forest::default();
+        for s in subgoals {
+            let id = field_usize(s, "id")?;
+            let pred = field_str(s, "pred")?.to_owned();
+            let call = field_str(s, "call")?.to_owned();
+            let complete = matches!(s.get("complete"), Some(JsonValue::Bool(true)));
+            let mut answers = Vec::new();
+            for a in s
+                .get("answers")
+                .and_then(JsonValue::as_arr)
+                .ok_or("missing \"answers\" array")?
+            {
+                let term = field_str(a, "term")?.to_owned();
+                let clauses = a
+                    .get("clauses")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("missing \"clauses\" array")?
+                    .iter()
+                    .map(|c| c.as_str().map(str::to_owned).ok_or("clause not a string"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let mut premises = Vec::new();
+                for p in a
+                    .get("premises")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("missing \"premises\" array")?
+                {
+                    let pair = p.as_arr().ok_or("premise not a pair")?;
+                    match pair {
+                        [JsonValue::Num(s), JsonValue::Num(a)] => {
+                            premises.push((*s as usize, *a as usize));
+                        }
+                        _ => return Err("premise not a pair of numbers".into()),
+                    }
+                }
+                answers.push(ForestAnswer {
+                    term,
+                    clauses,
+                    premises,
+                });
+            }
+            out.subgoals.push(ForestSubgoal {
+                id,
+                pred,
+                call,
+                complete,
+                answers,
+            });
+        }
+        Ok(out)
+    }
+}
+
+fn field_str<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing string field \"{key}\""))
+}
+
+fn field_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("missing numeric field \"{key}\""))
+}
+
+/// Escapes a string for a double-quoted DOT label.
+fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Forest {
+        Forest {
+            subgoals: vec![
+                ForestSubgoal {
+                    id: 0,
+                    pred: "$query/1".into(),
+                    call: "$query(A)".into(),
+                    complete: true,
+                    answers: vec![ForestAnswer {
+                        term: "$query(a)".into(),
+                        clauses: vec![],
+                        premises: vec![(1, 0)],
+                    }],
+                },
+                ForestSubgoal {
+                    id: 1,
+                    pred: "p/1".into(),
+                    call: "p(A)".into(),
+                    complete: true,
+                    answers: vec![ForestAnswer {
+                        term: "p(a)".into(),
+                        clauses: vec!["p/1#0".into()],
+                        premises: vec![],
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let f = sample();
+        let back = Forest::from_json(&f.to_json()).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let dot = sample().to_dot();
+        assert!(dot.starts_with("digraph forest {"));
+        assert!(dot.contains("s1 [shape=box,label=\"p(A)\"];"));
+        assert!(dot.contains("s1a0 [shape=ellipse"));
+        assert!(dot.contains("s0a0 -> s1a0;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_is_deterministic() {
+        let f = sample();
+        assert_eq!(f.to_dot(), f.to_dot());
+        assert_eq!(f.to_json(), f.to_json());
+    }
+
+    #[test]
+    fn dot_escapes_quotes_in_labels() {
+        let mut f = sample();
+        f.subgoals[1].call = "p(\"x\")".into();
+        assert!(f.to_dot().contains("label=\"p(\\\"x\\\")\""));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(Forest::from_json("{}").is_err());
+        assert!(Forest::from_json("{\"subgoals\":[{}]}").is_err());
+        assert!(Forest::from_json("not json").is_err());
+    }
+}

@@ -21,11 +21,13 @@
 //! them convert to [`OwnedEvent`] via [`TraceEvent::to_owned`].
 
 pub mod event;
+pub mod forest;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 
 pub use event::{OwnedEvent, TraceEvent};
+pub use forest::{Forest, ForestAnswer, ForestSubgoal};
 pub use metrics::{MetricsRegistry, MetricsReport, PredStats};
 pub use sink::{
     CountingSink, JsonLinesSink, MultiSink, NoopSink, RingBufferSink, SharedBuf, TraceSink,

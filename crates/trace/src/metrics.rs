@@ -128,6 +128,7 @@ impl MetricsRegistry {
         MetricsReport {
             preds,
             phases: self.phases.borrow().clone(),
+            options: Vec::new(),
         }
     }
 }
@@ -166,6 +167,10 @@ pub struct MetricsReport {
     pub preds: Vec<(String, PredStats)>,
     /// `(phase name, wall-clock)` in recording order.
     pub phases: Vec<(String, Duration)>,
+    /// Engine options in effect for the run, as `(name, value)` pairs —
+    /// stamped by the producer (e.g. `EngineOptions::describe()`) so
+    /// reports are self-describing; empty when not stamped.
+    pub options: Vec<(String, String)>,
 }
 
 impl MetricsReport {
@@ -250,12 +255,20 @@ impl MetricsReport {
             let _ = write!(line, "  total {:.3}ms", total.as_secs_f64() * 1e3);
             let _ = writeln!(out, "{line}");
         }
+        if !self.options.is_empty() {
+            let mut line = String::from("options:");
+            for (name, value) in &self.options {
+                let _ = write!(line, " {name}={value}");
+            }
+            let _ = writeln!(out, "{line}");
+        }
         out
     }
 
     /// Renders the whole report as a JSON object:
-    /// `{"predicates": {"p/2": {...}}, "totals": {...}, "phases_us": {...}}`
-    /// where phase durations are integer microseconds.
+    /// `{"predicates": {"p/2": {...}}, "totals": {...}, "phases_us": {...},
+    /// "options": {...}}` where phase durations are integer microseconds and
+    /// options are the stamped engine-option strings.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"predicates\":{");
         for (i, (key, s)) in self.preds.iter().enumerate() {
@@ -271,6 +284,13 @@ impl MetricsReport {
                 out.push(',');
             }
             let _ = write!(out, "\"{}\":{}", escape(name), d.as_micros());
+        }
+        out.push_str("},\"options\":{");
+        for (i, (name, value)) in self.options.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape(name), escape(value));
         }
         out.push_str("}}");
         out

@@ -5,6 +5,13 @@
 //! tablog query  FILE.pl GOAL            evaluate GOAL against FILE
 //! tablog tables FILE.pl GOAL            …and dump the call/answer tables
 //! tablog stats  FILE.pl GOAL            per-predicate engine statistics
+//! tablog explain FILE GOAL [--depth N] [--analysis A]
+//!                                       justification trees for GOAL's
+//!                                       answers (A: ground|depthk|strict|
+//!                                       direct routes through an analyzer)
+//! tablog forest FILE.pl GOAL [--dot OUT]
+//!                                       derivation forest as DOT (or JSON
+//!                                       with --json)
 //! tablog ground FILE.pl [--entry SPEC] [--direct]
 //!                                       Prop groundness analysis
 //! tablog depthk FILE.pl [--k N] [--entry SPEC]
@@ -50,7 +57,9 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: tablog <query|tables|stats|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
+    "usage: tablog <query|tables|stats|explain|forest|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
+     explain FILE GOAL [--depth N] [--analysis ground|depthk|strict|direct]\n\
+     forest  FILE GOAL [--dot OUT]\n\
      global flags: --profile  --json  --trace FILE\n\
      see `tablog help` or the crate documentation"
         .to_owned()
@@ -211,11 +220,118 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let t1 = Instant::now();
             engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
             registry.record_phase("evaluate", t1.elapsed());
-            let report = registry.snapshot();
+            let mut report = registry.snapshot();
+            report.options = engine.options().describe();
             if obs.json {
                 println!("{}", report.to_json());
             } else {
                 print!("{}", report.render_text());
+            }
+            Ok(())
+        }
+        "explain" => {
+            let file = args.get(1).ok_or_else(usage)?;
+            let goal = args.get(2).ok_or_else(usage)?;
+            let src = read_file(file)?;
+            let depth: usize = flag_value(args, "--depth")
+                .map(|v| v.parse().map_err(|_| "bad --depth value".to_string()))
+                .transpose()?
+                .unwrap_or(32);
+            let emit = |text: String, json: String| {
+                if obs.json {
+                    println!("{json}");
+                } else {
+                    print!("{text}");
+                }
+            };
+            match flag_value(args, "--analysis") {
+                None => {
+                    let opts = EngineOptions {
+                        trace: obs.sink.clone(),
+                        ..Default::default()
+                    };
+                    let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
+                        .map_err(|e| e.to_string())?;
+                    let ex = engine.explain(goal, depth).map_err(|e| e.to_string())?;
+                    emit(ex.render_text(), ex.to_json());
+                }
+                Some("ground") => {
+                    let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
+                    let ex = GroundnessAnalyzer::new()
+                        .explain(&program, goal, depth)
+                        .map_err(|e| e.to_string())?;
+                    emit(ex.render_text(), ex.to_json());
+                }
+                Some("depthk") => {
+                    let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
+                    let k: usize = flag_value(args, "--k")
+                        .map(|v| v.parse().map_err(|_| "bad --k value".to_string()))
+                        .transpose()?
+                        .unwrap_or(2);
+                    let ex = DepthKAnalyzer::new(k)
+                        .explain(&program, goal, depth)
+                        .map_err(|e| e.to_string())?;
+                    emit(ex.render_text(), ex.to_json());
+                }
+                Some("strict") => {
+                    let prog =
+                        tablog_funlang::parse_fun_program(&src).map_err(|e| e.to_string())?;
+                    let ex = StrictnessAnalyzer::new()
+                        .explain(&prog, goal, depth)
+                        .map_err(|e| e.to_string())?;
+                    emit(ex.render_text(), ex.to_json());
+                }
+                Some("direct") => {
+                    let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
+                    let ex = DirectAnalyzer::new()
+                        .explain(&program, goal)
+                        .map_err(|e| e.to_string())?;
+                    emit(ex.render_text(), ex.to_json());
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "unknown --analysis {other} (expected ground, depthk, strict or direct)"
+                    ))
+                }
+            }
+            Ok(())
+        }
+        "forest" => {
+            let file = args.get(1).ok_or_else(usage)?;
+            let goal = args.get(2).ok_or_else(usage)?;
+            let src = read_file(file)?;
+            let opts = EngineOptions {
+                record_provenance: true,
+                trace: obs.sink.clone(),
+                ..Default::default()
+            };
+            let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
+                .map_err(|e| e.to_string())?;
+            let mut b = tablog_term::Bindings::new();
+            let (t, _) = tablog_syntax::parse_term(goal, &mut b).map_err(|e| e.to_string())?;
+            let eval = engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
+            let forest = eval.forest();
+            match flag_value(args, "--dot") {
+                Some(path) => {
+                    std::fs::write(path, forest.to_dot())
+                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    println!(
+                        "wrote {path}: {} subgoals, {} answers",
+                        forest.subgoals.len(),
+                        forest
+                            .subgoals
+                            .iter()
+                            .map(|s| s.answers.len())
+                            .sum::<usize>()
+                    );
+                }
+                None => {
+                    if obs.json {
+                        println!("{}", forest.to_json());
+                    } else {
+                        print!("{}", forest.to_dot());
+                    }
+                }
             }
             Ok(())
         }

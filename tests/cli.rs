@@ -228,6 +228,124 @@ fn stats_json_is_valid_and_has_required_fields() {
 }
 
 #[test]
+fn stats_json_embeds_engine_options() {
+    let (out, err, ok) = tablog(&[
+        "stats",
+        &repo_example("figure1.pl"),
+        "gp_ap(X, Y, Z)",
+        "--json",
+    ]);
+    assert!(ok, "{err}");
+    let v = tablog_trace::json::parse(out.trim()).expect("valid JSON");
+    let opts = v.get("options").expect("options object in stats --json");
+    for key in [
+        "scheduling",
+        "forward_subsumption",
+        "call_abstraction",
+        "answer_widening",
+        "record_provenance",
+    ] {
+        assert!(
+            opts.get(key).and_then(|o| o.as_str()).is_some(),
+            "missing option {key} in {out}"
+        );
+    }
+    assert_eq!(
+        opts.get("record_provenance").unwrap().as_str(),
+        Some("off"),
+        "{out}"
+    );
+}
+
+#[test]
+fn explain_prints_justification_trees() {
+    let (out, err, ok) = tablog(&["explain", &repo_example("figure1.pl"), "gp_ap(X, Y, Z)"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("gp_ap("), "{out}");
+    assert!(out.contains("via gp_ap/3#"), "{out}");
+    assert!(out.contains("[builtin]") || out.contains("[fact]"), "{out}");
+}
+
+#[test]
+fn explain_json_round_trips_through_trace_parser() {
+    let (out, err, ok) = tablog(&[
+        "explain",
+        &repo_example("figure1.pl"),
+        "gp_ap(X, Y, Z)",
+        "--json",
+    ]);
+    assert!(ok, "{err}");
+    let v = tablog_trace::json::parse(out.trim()).expect("explain --json is valid JSON");
+    assert_eq!(v.get("goal").unwrap().as_str(), Some("gp_ap(X, Y, Z)"));
+    let trees = v.get("justifications").unwrap().as_arr().unwrap();
+    assert!(!trees.is_empty(), "{out}");
+    for t in trees {
+        assert!(t.get("status").and_then(|s| s.as_str()).is_some(), "{out}");
+        assert!(t.get("clauses").and_then(|c| c.as_arr()).is_some(), "{out}");
+    }
+}
+
+#[test]
+fn explain_analysis_flag_routes_through_analyzer() {
+    let f = temp_file(
+        "app_explain.pl",
+        "app([], Y, Y).\napp([X|Xs], Y, [X|Z]) :- app(Xs, Y, Z).",
+    );
+    let (out, err, ok) = tablog(&[
+        "explain",
+        f.to_str().unwrap(),
+        "app(g, g, Z)",
+        "--analysis",
+        "ground",
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("goal: app(g, g, Z)"), "{out}");
+    assert!(out.contains("abstract: 'gp$app'("), "{out}");
+    let (_, err2, ok2) = tablog(&[
+        "explain",
+        f.to_str().unwrap(),
+        "app(g, g, Z)",
+        "--analysis",
+        "frobnicate",
+    ]);
+    assert!(!ok2);
+    assert!(err2.contains("unknown --analysis"), "{err2}");
+}
+
+#[test]
+fn forest_dot_flag_writes_dot_file() {
+    let dot = std::env::temp_dir()
+        .join("tablog-cli-tests")
+        .join("figure1_forest.dot");
+    std::fs::create_dir_all(dot.parent().unwrap()).expect("mkdir");
+    let (out, err, ok) = tablog(&[
+        "forest",
+        &repo_example("figure1.pl"),
+        "gp_ap(X, Y, Z)",
+        "--dot",
+        dot.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("wrote"), "{out}");
+    let text = std::fs::read_to_string(&dot).expect("dot file written");
+    assert!(text.starts_with("digraph forest {"), "{text}");
+    assert!(text.contains("gp_ap("), "{text}");
+}
+
+#[test]
+fn forest_json_parses_as_forest() {
+    let (out, err, ok) = tablog(&[
+        "forest",
+        &repo_example("figure1.pl"),
+        "gp_ap(X, Y, Z)",
+        "--json",
+    ]);
+    assert!(ok, "{err}");
+    let forest = tablog_trace::Forest::from_json(out.trim()).expect("forest JSON parses");
+    assert!(!forest.subgoals.is_empty());
+}
+
+#[test]
 fn profile_flag_appends_metrics_to_analyses() {
     let f = temp_file(
         "app_prof.pl",

@@ -1,0 +1,111 @@
+//! Golden-file tests for `tablog explain` on the paper's Figure 1 example,
+//! plus determinism of the DOT derivation-forest export.
+//!
+//! The golden file freezes the exact justification-tree rendering: any
+//! change to provenance recording, tree construction, or text layout shows
+//! up as a diff here. Bless an intentional change with
+//! `UPDATE_GOLDEN=1 cargo test --test explain_golden`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tablog(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_tablog"))
+        .args(args)
+        .output()
+        .expect("spawn tablog");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn figure1() -> String {
+    format!("{}/examples/figure1.pl", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/figure1_explain.txt")
+}
+
+#[test]
+fn figure1_explain_matches_golden_file() {
+    let (out, err, ok) = tablog(&["explain", &figure1(), "gp_ap(X, Y, Z)"]);
+    assert!(ok, "{err}");
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &out).expect("write golden");
+        return;
+    }
+    let want =
+        std::fs::read_to_string(&path).expect("golden file exists (UPDATE_GOLDEN=1 to create)");
+    assert_eq!(
+        out, want,
+        "justification rendering drifted from the golden file; \
+         re-bless with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn figure1_explain_roots_are_answers_and_leaves_are_grounded() {
+    let (out, err, ok) = tablog(&["explain", &figure1(), "gp_ap(X, Y, Z)", "--json"]);
+    assert!(ok, "{err}");
+    let v = tablog_trace::json::parse(out.trim()).expect("explain --json is valid JSON");
+    let trees = v
+        .get("justifications")
+        .and_then(|j| j.as_arr())
+        .expect("justifications array");
+    // The open call's success set is the 4 rows of (X /\ Y) <-> Z.
+    assert_eq!(trees.len(), 4, "{out}");
+    fn walk(
+        n: &tablog_trace::json::JsonValue,
+        check: &mut impl FnMut(&tablog_trace::json::JsonValue),
+    ) {
+        check(n);
+        for c in n.get("children").and_then(|c| c.as_arr()).unwrap_or(&[]) {
+            walk(c, check);
+        }
+    }
+    for t in trees {
+        assert!(
+            t.get("answer")
+                .and_then(|a| a.as_str())
+                .expect("answer field")
+                .starts_with("gp_ap("),
+            "{out}"
+        );
+        walk(t, &mut |n| {
+            let leaf = n
+                .get("children")
+                .and_then(|c| c.as_arr())
+                .is_none_or(|c| c.is_empty());
+            if leaf {
+                let status = n.get("status").and_then(|s| s.as_str()).expect("status");
+                assert!(
+                    status == "fact" || status == "builtin",
+                    "leaf {n:?} is not grounded"
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn figure1_explain_is_deterministic() {
+    let a = tablog(&["explain", &figure1(), "gp_ap(X, Y, Z)"]);
+    let b = tablog(&["explain", &figure1(), "gp_ap(X, Y, Z)"]);
+    assert!(a.2 && b.2);
+    assert_eq!(a.0, b.0);
+}
+
+#[test]
+fn dot_export_is_deterministic_across_runs() {
+    let (a, err, ok) = tablog(&["forest", &figure1(), "gp_ap(X, Y, Z)"]);
+    assert!(ok, "{err}");
+    let (b, _, ok2) = tablog(&["forest", &figure1(), "gp_ap(X, Y, Z)"]);
+    assert!(ok2);
+    assert_eq!(a, b, "DOT export must be byte-identical across runs");
+    assert!(a.starts_with("digraph forest {"), "{a}");
+    assert!(a.contains("gp_ap("), "{a}");
+}

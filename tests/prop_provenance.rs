@@ -1,0 +1,188 @@
+//! Property tests for answer provenance: on randomly generated Datalog
+//! programs, every justification tree the engine produces must be
+//! well-formed — leaves are facts or builtin-supported clauses, every
+//! clause reference resolves in the loaded database, and the derivation
+//! forest round-trips through its JSON encoding.
+
+use proptest::prelude::*;
+use tablog_engine::{Engine, EngineOptions, Forest, JustNode, LoadMode};
+use tablog_term::{atom, structure, var, Bindings, Functor, Term, Var};
+
+/// A compact description of a random Datalog program over binary
+/// predicates p0..p2 and constants c0..c3 (chain rules, as in the
+/// engine's semantics property tests).
+#[derive(Clone, Debug)]
+struct DatalogProgram {
+    facts: Vec<(usize, Vec<usize>)>,
+    rules: Vec<(usize, Vec<usize>)>,
+}
+
+fn pred_name(i: usize) -> String {
+    format!("p{i}")
+}
+
+fn constant(i: usize) -> Term {
+    atom(&format!("c{i}"))
+}
+
+fn arb_program() -> impl Strategy<Value = DatalogProgram> {
+    let fact = (0usize..3, prop::collection::vec(0usize..4, 2..3));
+    let rule = (0usize..3, prop::collection::vec(0usize..3, 1..4));
+    (
+        prop::collection::vec(fact, 1..8),
+        prop::collection::vec(rule, 0..6),
+    )
+        .prop_map(|(mut facts, rules)| {
+            for p in 0..3 {
+                facts.push((p, vec![p, (p + 1) % 4]));
+            }
+            DatalogProgram { facts, rules }
+        })
+}
+
+fn load(prog: &DatalogProgram, record: bool) -> Engine {
+    let mut db = tablog_engine::Database::new(LoadMode::Dynamic);
+    for (p, args) in &prog.facts {
+        let head = structure(&pred_name(*p), args.iter().map(|&c| constant(c)).collect());
+        db.assert_clause(head, Vec::new()).expect("loads");
+    }
+    for (hp, body) in &prog.rules {
+        let n = body.len();
+        let head = structure(&pred_name(*hp), vec![var(Var(0)), var(Var(n as u32))]);
+        let goals: Vec<Term> = body
+            .iter()
+            .enumerate()
+            .map(|(i, bp)| {
+                structure(
+                    &pred_name(*bp),
+                    vec![var(Var(i as u32)), var(Var((i + 1) as u32))],
+                )
+            })
+            .collect();
+        db.assert_clause(head, goals).expect("loads");
+    }
+    for i in 0..3 {
+        db.set_tabled(Functor::new(&pred_name(i), 2), true);
+    }
+    let opts = EngineOptions {
+        record_provenance: record,
+        ..Default::default()
+    };
+    Engine::new(db, opts)
+}
+
+/// Asserts the well-formedness invariants on one justification node and
+/// everything below it.
+fn check_node(engine: &Engine, n: &JustNode) {
+    // Every clause the node cites must resolve in the loaded database.
+    for c in &n.clauses {
+        assert!(
+            engine.db().clause(c.pred, c.index).is_some(),
+            "clause {c} does not resolve"
+        );
+    }
+    if n.children.is_empty() {
+        assert!(
+            n.status.is_grounded_leaf(),
+            "leaf {} has non-grounded status {:?}",
+            n.answer,
+            n.status
+        );
+    } else {
+        // An internal node was derived via at least one clause.
+        assert!(
+            !n.clauses.is_empty(),
+            "internal node {} cites no clauses",
+            n.answer
+        );
+    }
+    for c in &n.children {
+        check_node(engine, c);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every justification tree is well-formed: leaves are facts or
+    /// builtin-supported, and all cited clauses resolve.
+    #[test]
+    fn justification_trees_are_well_formed(prog in arb_program()) {
+        let engine = load(&prog, true);
+        for i in 0..3 {
+            let goal = format!("{}(X, Y)", pred_name(i));
+            let ex = engine.explain(&goal, 64).expect("explains");
+            for t in &ex.trees {
+                check_node(&engine, t);
+            }
+        }
+    }
+
+    /// Justification trees agree with the answer set: there is exactly one
+    /// tree per distinct answer of the open call (answers duplicated
+    /// across subgoal tables are explained once).
+    #[test]
+    fn one_tree_per_distinct_answer(prog in arb_program()) {
+        let engine = load(&prog, true);
+        for i in 0..3 {
+            let f = Functor::new(&pred_name(i), 2);
+            let mut b = Bindings::new();
+            let (x, y) = (b.fresh_var(), b.fresh_var());
+            let goal = structure(&pred_name(i), vec![var(x), var(y)]);
+            let eval = engine.evaluate(&[goal], &[var(x), var(y)], &b).expect("evaluates");
+            // All answers here are ground, so rendered terms identify them.
+            let distinct: std::collections::HashSet<String> = eval
+                .subgoals_of(f)
+                .iter()
+                .flat_map(|v| v.answers())
+                .map(|a| tablog_syntax::term_to_string(&a))
+                .collect();
+            let ex = engine.explain(&format!("{}(X, Y)", pred_name(i)), 64).expect("explains");
+            prop_assert_eq!(ex.trees.len(), distinct.len(), "pred p{}", i);
+        }
+    }
+
+    /// The derivation forest round-trips through its JSON encoding.
+    #[test]
+    fn forest_round_trips_through_json(prog in arb_program()) {
+        let engine = load(&prog, true);
+        let mut b = Bindings::new();
+        let (x, y) = (b.fresh_var(), b.fresh_var());
+        let goal = structure("p0", vec![var(x), var(y)]);
+        let eval = engine.evaluate(&[goal], &[var(x), var(y)], &b).expect("evaluates");
+        let forest = eval.forest();
+        let back = Forest::from_json(&forest.to_json()).expect("forest JSON parses");
+        prop_assert_eq!(forest, back);
+    }
+
+    /// With provenance disabled, explain still works but reports
+    /// unrecorded trees — and the tables carry no provenance bytes
+    /// difference beyond the recorded trails themselves.
+    #[test]
+    fn disabled_provenance_keeps_answer_sets_identical(prog in arb_program()) {
+        let on = load(&prog, true);
+        let off = load(&prog, false);
+        for i in 0..3 {
+            let f = Functor::new(&pred_name(i), 2);
+            let collect = |e: &Engine| -> Vec<String> {
+                let mut b = Bindings::new();
+                let (x, y) = (b.fresh_var(), b.fresh_var());
+                let goal = structure(&pred_name(i), vec![var(x), var(y)]);
+                let eval = e.evaluate(&[goal], &[var(x), var(y)], &b).expect("evaluates");
+                let mut rows: Vec<String> = eval
+                    .root_answers()
+                    .iter()
+                    .map(|r| {
+                        r.iter()
+                            .map(tablog_syntax::term_to_string)
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .collect();
+                rows.sort();
+                rows
+            };
+            prop_assert_eq!(collect(&on), collect(&off), "pred {}", f);
+        }
+    }
+}
