@@ -1,0 +1,130 @@
+//! Microbenchmarks for the table primitives the engine leans on:
+//! canonicalization, answer insertion with duplicate detection, and call
+//! lookup. Each operation is measured twice — once over the hash-consed
+//! arena representation (`CanonicalTerm` = interned id, O(1) hash/eq) and
+//! once over the seed representation it replaced (materialized `Vec<Term>`
+//! tuples with structural hash/eq in a `Vec` + `HashSet` double store).
+//! The `*_interned` variants are the engine's hot path; the `*_naive`
+//! variants exist only as the comparison baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+use tablog_term::{atom, canonical_key, int, structure, var, CanonicalTerm, Term, TermId, Var};
+
+fn wrap(mut t: Term, depth: usize) -> Term {
+    for _ in 0..depth {
+        t = structure("s", vec![t]);
+    }
+    t
+}
+
+/// 256 answer-tuple-shaped terms: deep ground stems that recur across
+/// entries (so the arena actually shares), a sprinkle of variables (so
+/// canonicalization renames), and ~25% variant duplicates (so insertion
+/// exercises the duplicate check, as real answer streams do).
+fn workload() -> Vec<Term> {
+    let atoms = ["a", "b", "c", "d"];
+    let mut out = Vec::with_capacity(256);
+    for i in 0..256usize {
+        let j = i % 192;
+        let stem = wrap(atom(atoms[j % 4]), j % 9);
+        out.push(structure(
+            "p",
+            vec![
+                stem.clone(),
+                structure("g", vec![int((j % 7) as i64), stem, var(Var(0))]),
+                var(Var((j % 3) as u32)),
+            ],
+        ));
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_ops");
+    g.sample_size(200);
+    let terms = workload();
+
+    // Canonicalization alone: the interned path returns a Copy id; the
+    // naive path additionally materializes the renamed tuple, which is
+    // what the seed's canonicalizer produced (and stored) per call.
+    g.bench_function("canonicalize_interned", |b| {
+        b.iter(|| {
+            let mut h = 0u64;
+            for t in &terms {
+                h ^= canonical_key(black_box(t)).root_id().index() as u64;
+            }
+            h
+        })
+    });
+    g.bench_function("canonicalize_naive", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for t in &terms {
+                n += canonical_key(black_box(t)).terms().len();
+            }
+            n
+        })
+    });
+
+    // Canonicalize + insert with duplicate detection: the operation
+    // `Machine::add_answer` performs per derived answer.
+    g.bench_function("insert_interned", |b| {
+        b.iter(|| {
+            let mut order: Vec<CanonicalTerm> = Vec::new();
+            let mut seen: HashSet<TermId> = HashSet::new();
+            for t in &terms {
+                let c = canonical_key(black_box(t));
+                if seen.insert(c.root_id()) {
+                    order.push(c);
+                }
+            }
+            black_box(order.len())
+        })
+    });
+    g.bench_function("insert_naive", |b| {
+        b.iter(|| {
+            let mut order: Vec<Vec<Term>> = Vec::new();
+            let mut seen: HashSet<Vec<Term>> = HashSet::new();
+            for t in &terms {
+                let tuple = canonical_key(black_box(t)).terms();
+                if !seen.contains(&tuple) {
+                    seen.insert(tuple.clone());
+                    order.push(tuple);
+                }
+            }
+            black_box(order.len())
+        })
+    });
+
+    // Call-table lookup: probing a populated table with every key, the
+    // operation `find_or_create_subgoal` performs per tabled call.
+    let keys: Vec<CanonicalTerm> = terms.iter().map(canonical_key).collect();
+    let id_table: HashSet<TermId> = keys.iter().map(|c| c.root_id()).collect();
+    let tuple_keys: Vec<Vec<Term>> = keys.iter().map(|c| c.terms()).collect();
+    let tuple_table: HashSet<Vec<Term>> = tuple_keys.iter().cloned().collect();
+    g.bench_function("lookup_interned", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for c in &keys {
+                hits += usize::from(id_table.contains(&black_box(c).root_id()));
+            }
+            hits
+        })
+    });
+    g.bench_function("lookup_naive", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for t in &tuple_keys {
+                hits += usize::from(tuple_table.contains(black_box(t)));
+            }
+            hits
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

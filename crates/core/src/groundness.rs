@@ -317,9 +317,9 @@ impl GroundnessAnalyzer {
             let mut success_rows: Vec<Vec<Option<bool>>> = Vec::new();
             let mut call_patterns = Vec::new();
             for v in &views {
-                call_patterns.push(tuple_to_row(v.call_args()));
+                call_patterns.push(tuple_to_row(&v.call_args()));
                 for t in v.answer_tuples() {
-                    let row = tuple_to_row(t);
+                    let row = tuple_to_row(&t);
                     if !success_rows.contains(&row) {
                         success_rows.push(row);
                     }

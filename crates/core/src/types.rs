@@ -33,14 +33,15 @@ pub struct TypeScheme {
 
 impl TypeScheme {
     /// Argument types (with canonical variables).
-    pub fn args(&self) -> &[Term] {
-        let ts = self.scheme.terms();
-        &ts[..ts.len() - 1]
+    pub fn args(&self) -> Vec<Term> {
+        let mut ts = self.scheme.terms();
+        ts.pop();
+        ts
     }
 
     /// Result type.
-    pub fn result(&self) -> &Term {
-        self.scheme.terms().last().expect("scheme holds result")
+    pub fn result(&self) -> Term {
+        self.scheme.terms().pop().expect("scheme holds result")
     }
 
     /// Renders like `ap : (list(A), list(A)) -> list(A)`.
@@ -51,7 +52,7 @@ impl TypeScheme {
             "{} : ({}) -> {}",
             self.name,
             args.join(", "),
-            w.write(self.result())
+            w.write(&self.result())
         )
     }
 }

@@ -145,7 +145,15 @@ impl Database {
         if let Some((index, var_clauses)) = &mut pred.index {
             let i = pred.clauses.len();
             match index_key(&clause.head.args().first().cloned().unwrap_or(Term::Int(0))) {
-                Some(k) if f.arity > 0 => index.entry(k).or_default().push(i),
+                Some(k) if f.arity > 0 => {
+                    // A bucket created only now must still contain every
+                    // earlier variable-headed clause: buckets are complete,
+                    // merged, source-ordered lists.
+                    index
+                        .entry(k)
+                        .or_insert_with(|| var_clauses.clone())
+                        .push(i);
+                }
                 _ => {
                     var_clauses.push(i);
                     // A variable-headed clause matches every key bucket too.
@@ -203,6 +211,10 @@ impl Database {
     /// Builds first-argument indexes for every predicate ("compilation").
     /// Idempotent; called automatically by [`Database::load`] in
     /// [`LoadMode::Compiled`].
+    ///
+    /// Each bucket is precomputed as the complete, merged, source-ordered
+    /// list of matching clause ids (keyed clauses plus every
+    /// variable-headed clause), so lookup never sorts or allocates.
     pub fn build_indexes(&mut self) {
         for pred in self.preds.values_mut() {
             let mut index: HashMap<IndexKey, Vec<usize>> = HashMap::new();
@@ -210,17 +222,15 @@ impl Database {
             for (i, c) in pred.clauses.iter().enumerate() {
                 match c.head.args().first().and_then(index_key) {
                     Some(k) => index.entry(k).or_default().push(i),
-                    None => {
-                        var_clauses.push(i);
-                        for v in index.values_mut() {
-                            v.push(i);
-                        }
-                    }
+                    None => var_clauses.push(i),
                 }
             }
-            // Buckets created after a var clause was seen must include it;
-            // rebuild buckets to restore source order.
+            // Merge the variable-headed clauses into every bucket, restoring
+            // source order. Merging after the scan (rather than pushing into
+            // live buckets during it) also covers buckets whose key first
+            // appears *after* a var clause.
             for v in index.values_mut() {
+                v.extend_from_slice(&var_clauses);
                 v.sort_unstable();
                 v.dedup();
             }
@@ -246,23 +256,32 @@ impl Database {
         f: Functor,
         first_arg: Option<&Term>,
     ) -> Vec<(usize, &StoredClause)> {
+        self.matching_clauses_iter(f, first_arg).collect()
+    }
+
+    /// Iterates the matching clauses without allocating: index buckets are
+    /// precomputed merged source-ordered id lists (see
+    /// [`Database::build_indexes`]), so lookup is a hash probe plus a slice
+    /// walk. This is the clause-resolution hot path.
+    pub fn matching_clauses_iter(&self, f: Functor, first_arg: Option<&Term>) -> ClauseMatches<'_> {
         let Some(pred) = self.preds.get(&f) else {
-            return Vec::new();
+            return ClauseMatches {
+                clauses: &[],
+                ids: IdSource::All(0..0),
+            };
         };
-        match (&pred.index, first_arg.and_then(index_key)) {
+        let ids = match (&pred.index, first_arg.and_then(index_key)) {
             (Some((index, var_clauses)), Some(key)) => {
-                let mut ids: Vec<usize> = index.get(&key).cloned().unwrap_or_default();
-                // Clauses with variable first arg match any bound key; they
-                // are already merged into existing buckets, but a key with
-                // no bucket still matches them.
-                if !index.contains_key(&key) {
-                    ids.extend_from_slice(var_clauses);
-                }
-                ids.sort_unstable();
-                ids.dedup();
-                ids.iter().map(|&i| (i, &pred.clauses[i])).collect()
+                // A key with its own bucket sees the full merged list; a key
+                // never indexed matches exactly the variable-headed clauses.
+                let bucket = index.get(&key).unwrap_or(var_clauses);
+                IdSource::Bucket(bucket.iter())
             }
-            _ => pred.clauses.iter().enumerate().collect(),
+            _ => IdSource::All(0..pred.clauses.len()),
+        };
+        ClauseMatches {
+            clauses: &pred.clauses,
+            ids,
         }
     }
 
@@ -278,6 +297,39 @@ impl Database {
             .get(&f)
             .map(|p| p.clauses.as_slice())
             .unwrap_or(&[])
+    }
+}
+
+enum IdSource<'a> {
+    /// A precomputed merged bucket (or the var-clause list).
+    Bucket(std::slice::Iter<'a, usize>),
+    /// Every clause of the predicate, in source order.
+    All(std::ops::Range<usize>),
+}
+
+/// Borrowing iterator over `(source index, clause)` pairs returned by
+/// [`Database::matching_clauses_iter`]. Never allocates.
+pub struct ClauseMatches<'a> {
+    clauses: &'a [StoredClause],
+    ids: IdSource<'a>,
+}
+
+impl<'a> Iterator for ClauseMatches<'a> {
+    type Item = (usize, &'a StoredClause);
+
+    fn next(&mut self) -> Option<(usize, &'a StoredClause)> {
+        let i = match &mut self.ids {
+            IdSource::Bucket(it) => *it.next()?,
+            IdSource::All(r) => r.next()?,
+        };
+        Some((i, &self.clauses[i]))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.ids {
+            IdSource::Bucket(it) => it.size_hint(),
+            IdSource::All(r) => r.size_hint(),
+        }
     }
 }
 
@@ -362,6 +414,58 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    #[test]
+    fn bucket_keyed_after_var_clause_still_matches_it() {
+        // The var clause precedes the first (and only) appearance of key
+        // `a`, so the `a` bucket must be seeded with it.
+        let d = db("p(X, 1). p(a, 2).", LoadMode::Compiled);
+        let got: Vec<i64> = d
+            .matching_clauses(Functor::new("p", 2), Some(&atom("a")))
+            .iter()
+            .map(|c| match &c.head.args()[1] {
+                Term::Int(i) => *i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn assert_created_bucket_includes_preexisting_var_clauses() {
+        let mut d = db("p(X, 1).", LoadMode::Compiled);
+        d.assert_clause(
+            tablog_term::structure("p", vec![atom("b"), Term::Int(2)]),
+            vec![],
+        )
+        .unwrap();
+        // The `b` bucket is created by the assert; it must still include the
+        // earlier variable-headed clause, in source order.
+        let got: Vec<i64> = d
+            .matching_clauses(Functor::new("p", 2), Some(&atom("b")))
+            .iter()
+            .map(|c| match &c.head.args()[1] {
+                Term::Int(i) => *i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn matching_iter_agrees_with_indexed_vec() {
+        for mode in [LoadMode::Dynamic, LoadMode::Compiled] {
+            let d = db("p(a, 1). p(X, 2). p(a, 3). p(b, 4).", mode);
+            let f = Functor::new("p", 2);
+            for first in [Some(atom("a")), Some(atom("zzz")), None] {
+                let via_vec = d.matching_clauses_indexed(f, first.as_ref());
+                let via_iter: Vec<_> = d.matching_clauses_iter(f, first.as_ref()).collect();
+                let ids_vec: Vec<usize> = via_vec.iter().map(|(i, _)| *i).collect();
+                let ids_iter: Vec<usize> = via_iter.iter().map(|(i, _)| *i).collect();
+                assert_eq!(ids_vec, ids_iter, "mode {mode:?} first {first:?}");
+            }
+        }
     }
 
     #[test]

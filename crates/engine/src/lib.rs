@@ -62,7 +62,7 @@ pub use builtins::{
     abs_ground, abs_unify, arith_eval, builtin_functors, is_builtin, lookup_builtin, term_compare,
     BuiltinImpl, DetFn, NonDetFn, GAMMA,
 };
-pub use database::{Database, LoadMode, StoredClause};
+pub use database::{ClauseMatches, Database, LoadMode, StoredClause};
 pub use error::EngineError;
 pub use machine::{Engine, Evaluation, Solutions};
 pub use options::{EngineOptions, Scheduling, TermHook, Unknown};

@@ -11,14 +11,15 @@
 //! completion needs no incremental SCC bookkeeping.
 
 use crate::builtins::{lookup_builtin, BuiltinImpl};
-use crate::database::{Database, LoadMode, StoredClause};
+use crate::database::{Database, LoadMode};
 use crate::error::EngineError;
 use crate::options::{EngineOptions, Scheduling, Unknown};
 use crate::provenance::{AnswerRef, ClauseRef, NodeProv};
 use crate::table::{SubgoalState, SubgoalView, TableStats, NODE_OVERHEAD};
 use std::collections::{HashMap, HashSet, VecDeque};
 use tablog_term::{
-    canonicalize, sym_name, unify, unify_occurs, Bindings, CanonicalTerm, Functor, Term, Var,
+    canonicalize, canonicalize2, sym_name, unify, unify_occurs, Bindings, CanonicalTerm, Functor,
+    Term, TermId, Var,
 };
 use tablog_trace::{TraceEvent, TraceSink};
 
@@ -241,7 +242,7 @@ impl Evaluation {
         self.subgoals[self.root]
             .answers
             .iter()
-            .map(|c| c.terms().to_vec())
+            .map(|c| c.terms())
             .collect()
     }
 
@@ -255,11 +256,12 @@ impl Evaluation {
         self.stats.table_bytes
     }
 
-    /// Recomputes table space by walking every table, bypassing the
-    /// incremental accounting in `stats().table_bytes`. The two must agree;
-    /// this exists so tests (and doubtful users) can check that they do.
+    /// Recomputes table space by walking every table with a fresh
+    /// shared-structure charge set, bypassing the incremental accounting in
+    /// `stats().table_bytes`. The two must agree; this exists so tests (and
+    /// doubtful users) can check that they do.
     pub fn rescan_table_bytes(&self) -> usize {
-        self.subgoals.iter().map(|s| s.table_bytes()).sum()
+        self.subgoals.iter().map(|s| s.rescan_bytes()).sum()
     }
 
     /// Index of the synthetic `$query` root subgoal.
@@ -292,6 +294,12 @@ struct Node {
 struct Consumer {
     node: Node,
     watched: usize,
+    /// Cursor into the watched table: the next answer index this consumer
+    /// has yet to be scheduled. Advanced when answers are handed out, so
+    /// every answer is scheduled to every consumer exactly once — new
+    /// consumers start at the current table size after back-filling, and
+    /// `add_answer` extends each cursor by exactly the inserted answer.
+    next: usize,
 }
 
 #[derive(Debug)]
@@ -304,15 +312,18 @@ struct Machine<'e> {
     db: &'e Database,
     opts: &'e EngineOptions,
     subgoals: Vec<SubgoalState>,
-    lookup: HashMap<(Functor, CanonicalTerm), usize>,
+    /// Subgoal lookup keyed by the call's arena id: a hash probe on a
+    /// 12-byte key with O(1) equality, never a structural term walk.
+    lookup: HashMap<(Functor, TermId), usize>,
     consumers: Vec<Consumer>,
     tasks: VecDeque<Task>,
     /// Derivation nodes already scheduled, per subgoal: the forest is a
     /// *set* of nodes, so a variant-identical resolvent reached along two
     /// different derivation paths is expanded only once. This collapses
     /// the combinatorial re-derivation that long conjunctions of
-    /// enumerative literals otherwise cause.
-    seen_nodes: HashSet<(usize, usize, CanonicalTerm)>,
+    /// enumerative literals otherwise cause. Keys are arena ids — no
+    /// canonical-term copies are stored.
+    seen_nodes: HashSet<(usize, usize, TermId)>,
     stats: TableStats,
     /// Event observer, `None` unless `EngineOptions::trace` is set. Events
     /// are only constructed under `if let Some(..)`, so the disabled path
@@ -347,7 +358,7 @@ impl<'e> Machine<'e> {
         if let Task::Expand(n) = &task {
             if !self
                 .seen_nodes
-                .insert((n.subgoal, n.split, n.canon.clone()))
+                .insert((n.subgoal, n.split, n.canon.root_id()))
             {
                 return;
             }
@@ -372,21 +383,21 @@ impl<'e> Machine<'e> {
         let key = canonicalize(b0, template);
         let root = self.subgoals.len();
         self.stats.subgoals += 1;
-        self.stats.table_bytes += key.heap_bytes() + NODE_OVERHEAD;
+        let state = SubgoalState::new(root_f, key);
+        let bytes = state.table_bytes();
+        self.stats.table_bytes += bytes;
         if let Some(sink) = self.trace {
             sink.event(&TraceEvent::NewSubgoal {
                 pred: root_f,
                 call: &key,
-                bytes: key.heap_bytes() + NODE_OVERHEAD,
+                bytes,
             });
         }
-        self.subgoals.push(SubgoalState::new(root_f, key));
-        let mut all: Vec<Term> = template.to_vec();
-        all.extend_from_slice(goals);
+        self.subgoals.push(state);
         let node = Node {
             subgoal: root,
             split: template.len(),
-            canon: canonicalize(b0, &all),
+            canon: canonicalize2(b0, template, goals),
             prov: self.fresh_prov(),
         };
         self.push(Task::Expand(node));
@@ -403,7 +414,10 @@ impl<'e> Machine<'e> {
         }
         debug_assert_eq!(
             self.stats.table_bytes,
-            self.subgoals.iter().map(|s| s.table_bytes()).sum::<usize>(),
+            self.subgoals
+                .iter()
+                .map(|s| s.rescan_bytes())
+                .sum::<usize>(),
             "incremental table-byte accounting drifted from the tables"
         );
         Ok(Evaluation {
@@ -444,12 +458,10 @@ impl<'e> Machine<'e> {
         goals: &[Term],
         prov: Option<Box<NodeProv>>,
     ) -> Node {
-        let mut all = template.to_vec();
-        all.extend_from_slice(goals);
         Node {
             subgoal,
             split,
-            canon: canonicalize(b, &all),
+            canon: canonicalize2(b, template, goals),
             prov,
         }
     }
@@ -630,13 +642,11 @@ impl<'e> Machine<'e> {
         b: &mut Bindings,
         prov: Option<Box<NodeProv>>,
     ) -> Result<(), EngineError> {
-        let clauses: Vec<(usize, StoredClause)> = self
-            .db
-            .matching_clauses_indexed(f, g.args().first())
-            .into_iter()
-            .map(|(i, c)| (i, c.clone()))
-            .collect();
-        for (cidx, clause) in clauses {
+        // `self.db` is a `&'e` reference: copying it out lets the clause
+        // iterator borrow the database for `'e`, independent of `self`, so
+        // no snapshot of the clause list is ever cloned.
+        let db = self.db;
+        for (cidx, clause) in db.matching_clauses_iter(f, g.args().first()) {
             self.stats.clause_resolutions += 1;
             if let Some(sink) = self.trace {
                 sink.event(&TraceEvent::ClauseResolution { pred: f });
@@ -720,9 +730,17 @@ impl<'e> Machine<'e> {
         goals.extend_from_slice(rest);
         let node = self.make_node(sid, split, b, template, &goals, prov);
         let cid = self.consumers.len();
-        self.consumers.push(Consumer { node, watched });
+        // Back-fill the answers the table already holds and park the cursor
+        // at the high-water mark; `add_answer` advances it from there, so
+        // the consumer never rescans `0..answers.len()` on later wake-ups.
+        let known = self.subgoals[watched].answers.len();
+        self.consumers.push(Consumer {
+            node,
+            watched,
+            next: known,
+        });
         self.subgoals[watched].consumers.push(cid);
-        for idx in 0..self.subgoals[watched].answers.len() {
+        for idx in 0..known {
             self.push(Task::Return(cid, idx));
         }
         Ok(())
@@ -733,33 +751,30 @@ impl<'e> Machine<'e> {
         f: Functor,
         key: CanonicalTerm,
     ) -> Result<usize, EngineError> {
-        if let Some(&sid) = self.lookup.get(&(f, key.clone())) {
+        if let Some(&sid) = self.lookup.get(&(f, key.root_id())) {
             return Ok(sid);
         }
         let sid = self.subgoals.len();
         self.stats.subgoals += 1;
-        self.stats.table_bytes += key.heap_bytes() + NODE_OVERHEAD;
+        let state = SubgoalState::new(f, key);
+        let bytes = state.table_bytes();
+        self.stats.table_bytes += bytes;
         if let Some(sink) = self.trace {
             sink.event(&TraceEvent::NewSubgoal {
                 pred: f,
                 call: &key,
-                bytes: key.heap_bytes() + NODE_OVERHEAD,
+                bytes,
             });
         }
-        self.subgoals.push(SubgoalState::new(f, key.clone()));
-        self.lookup.insert((f, key.clone()), sid);
+        self.subgoals.push(state);
+        self.lookup.insert((f, key.root_id()), sid);
         // Spawn generator nodes: one per resolving program clause. Each
         // starts a fresh derivation trail rooted at its clause — the answers
         // it eventually produces are supported by that clause.
         let mut b = Bindings::new();
         let call_args = key.instantiate(&mut b);
-        let clauses: Vec<(usize, StoredClause)> = self
-            .db
-            .matching_clauses_indexed(f, call_args.first())
-            .into_iter()
-            .map(|(i, c)| (i, c.clone()))
-            .collect();
-        for (cidx, clause) in clauses {
+        let db = self.db;
+        for (cidx, clause) in db.matching_clauses_iter(f, call_args.first()) {
             self.stats.clause_resolutions += 1;
             if let Some(sink) = self.trace {
                 sink.event(&TraceEvent::ClauseResolution { pred: f });
@@ -792,14 +807,20 @@ impl<'e> Machine<'e> {
     }
 
     fn return_answer(&mut self, cid: usize, aidx: usize) -> Result<(), EngineError> {
-        let consumer = self.consumers[cid].clone();
+        // Canonical terms are `Copy` arena handles, so pulling the consumer's
+        // coordinates out is free — no `Consumer` or answer clone on this
+        // path. Only the provenance trail (off by default) is cloned.
+        let (subgoal, split, canon, watched) = {
+            let c = &self.consumers[cid];
+            (c.node.subgoal, c.node.split, c.node.canon, c.watched)
+        };
         let mut b = Bindings::new();
-        let ts = consumer.node.canon.instantiate(&mut b);
-        let (template, goals) = ts.split_at(consumer.node.split);
+        let ts = canon.instantiate(&mut b);
+        let (template, goals) = ts.split_at(split);
         let (g, rest) = goals
             .split_first()
             .expect("consumer node has a selected goal");
-        let answer = self.subgoals[consumer.watched].answers[aidx].clone();
+        let answer = self.subgoals[watched].answers[aidx];
         let ans_args = answer.instantiate(&mut b);
         let ok = g
             .args()
@@ -809,26 +830,19 @@ impl<'e> Machine<'e> {
         if ok {
             if let Some(sink) = self.trace {
                 sink.event(&TraceEvent::AnswerReturn {
-                    pred: self.subgoals[consumer.watched].functor,
+                    pred: self.subgoals[watched].functor,
                 });
             }
             // The continuation consumed answer `aidx` of the watched table:
             // extend the consumer's trail with that premise.
-            let mut prov = consumer.node.prov;
+            let mut prov = self.consumers[cid].node.prov.clone();
             if let Some(p) = prov.as_deref_mut() {
                 p.premises.push(AnswerRef {
-                    subgoal: consumer.watched,
+                    subgoal: watched,
                     answer: aidx,
                 });
             }
-            let n = self.make_node(
-                consumer.node.subgoal,
-                consumer.node.split,
-                &b,
-                template,
-                rest,
-                prov,
-            );
+            let n = self.make_node(subgoal, split, &b, template, rest, prov);
             self.push(Task::Expand(n));
         }
         Ok(())
@@ -849,7 +863,7 @@ impl<'e> Machine<'e> {
             ans = widened;
         }
         let sub = &mut self.subgoals[sid];
-        if sub.answer_set.insert(ans.clone()) {
+        if sub.answer_ids.insert(ans.root_id()) {
             // When recording, the provenance record rides along with the
             // answer and its bytes are charged to the same accounting the
             // rescan and the AnswerInsert event see. A widened answer keeps
@@ -859,7 +873,11 @@ impl<'e> Machine<'e> {
                 .record_provenance
                 .then(|| prov.map(|p| p.freeze()).unwrap_or_default());
             let prov_bytes = prov_rec.as_ref().map_or(0, crate::AnswerProv::heap_bytes);
-            let bytes = ans.heap_bytes() + NODE_OVERHEAD + prov_bytes;
+            // Substitution factoring: only structure not already present in
+            // this table (call or earlier answers) is charged.
+            let term_bytes = sub.charge(&ans);
+            let bytes = term_bytes + NODE_OVERHEAD + prov_bytes;
+            sub.add_entry_bytes(NODE_OVERHEAD + prov_bytes);
             if let Some(sink) = self.trace {
                 sink.event(&TraceEvent::AnswerInsert {
                     pred: sub.functor,
@@ -874,8 +892,17 @@ impl<'e> Machine<'e> {
             let idx = sub.answers.len() - 1;
             self.stats.answers += 1;
             self.stats.table_bytes += bytes;
-            let consumers = sub.consumers.clone();
-            for cid in consumers {
+            // Wake every registered consumer with exactly this answer,
+            // advancing its cursor — no clone of the consumer list. The
+            // list cannot grow while we walk it (pushing tasks only
+            // enqueues; registration happens during expansion).
+            for i in 0..self.subgoals[sid].consumers.len() {
+                let cid = self.subgoals[sid].consumers[i];
+                debug_assert_eq!(
+                    self.consumers[cid].next, idx,
+                    "consumer cursor out of step with the answer table"
+                );
+                self.consumers[cid].next = idx + 1;
                 self.push(Task::Return(cid, idx));
             }
         } else {
@@ -1253,7 +1280,7 @@ mod tests {
         use std::rc::Rc;
         let opts = EngineOptions {
             forward_subsumption: true,
-            answer_widening: Some(Rc::new(|c: &CanonicalTerm| c.clone())),
+            answer_widening: Some(Rc::new(|c: &CanonicalTerm| *c)),
             ..Default::default()
         };
         let eval = eval_graph(opts);

@@ -322,7 +322,7 @@ impl Evaluation {
         path: &mut HashSet<(usize, usize)>,
     ) -> JustNode {
         let state = &self.states()[sid];
-        let answer = render_answer(state.functor, state.answers[aidx].terms());
+        let answer = render_answer(state.functor, &state.answers[aidx].terms());
         let mut node = JustNode {
             pred: state.functor,
             subgoal: sid,
@@ -367,7 +367,7 @@ impl Evaluation {
                 continue;
             }
             for (aidx, ans) in state.answers.iter().enumerate() {
-                if !seen.insert(ans.clone()) {
+                if !seen.insert(*ans) {
                     continue;
                 }
                 let mut bb = b.clone();
@@ -397,7 +397,7 @@ impl Evaluation {
             .map(|(sid, state)| ForestSubgoal {
                 id: sid,
                 pred: state.functor.to_string(),
-                call: render_answer(state.functor, state.call.terms()),
+                call: render_answer(state.functor, &state.call.terms()),
                 complete: state.complete,
                 answers: state
                     .answers
@@ -406,7 +406,7 @@ impl Evaluation {
                     .map(|(aidx, ans)| {
                         let prov = state.provenance.get(aidx);
                         ForestAnswer {
-                            term: render_answer(state.functor, ans.terms()),
+                            term: render_answer(state.functor, &ans.terms()),
                             clauses: prov
                                 .map(|p| p.clauses.iter().map(ClauseRef::to_string).collect())
                                 .unwrap_or_default(),

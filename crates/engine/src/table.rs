@@ -1,8 +1,15 @@
 //! Table inspection types: subgoal views, answer iteration, statistics.
+//!
+//! Since PR 3 the answer store is id-keyed: [`CanonicalTerm`] is a `Copy`
+//! handle into the term crate's hash-consing arena, the duplicate-check set
+//! holds bare [`TermId`]s (not second copies of the answers), and table-space
+//! accounting charges shared structure once per subgoal — the substitution
+//! factoring XSB's tries provide (see DESIGN.md, "Table representation &
+//! substitution factoring").
 
 use crate::provenance::AnswerProv;
 use std::collections::HashSet;
-use tablog_term::{CanonicalTerm, Functor, Term};
+use tablog_term::{charge_shared_bytes, CanonicalTerm, Functor, Term, TermId};
 
 /// Per-entry overhead added to each stored call or answer term, mirroring
 /// what XSB's statistics report counts: the term plus a fixed table-node
@@ -18,37 +25,72 @@ pub(crate) struct SubgoalState {
     pub call: CanonicalTerm,
     /// Answers (canonical argument tuples), in insertion order.
     pub answers: Vec<CanonicalTerm>,
-    pub answer_set: HashSet<CanonicalTerm>,
+    /// Duplicate check: arena ids of the entered answers. Holds 8-byte ids,
+    /// not full term copies — the seed's `HashSet<CanonicalTerm>` double
+    /// store is gone.
+    pub answer_ids: HashSet<TermId>,
     /// Per-answer provenance, parallel to `answers`. Empty (no allocation)
     /// unless the evaluation ran with
     /// [`record_provenance`](crate::EngineOptions::record_provenance).
     pub provenance: Vec<AnswerProv>,
     /// Consumer ids registered on this subgoal.
     pub consumers: Vec<usize>,
+    /// Arena nodes already charged to this table's space: within one
+    /// subgoal, structure shared between the call and any answers is billed
+    /// exactly once (substitution factoring).
+    charged: HashSet<TermId>,
+    /// Incrementally maintained table space in bytes; kept equal to
+    /// [`SubgoalState::rescan_bytes`] by construction.
+    bytes: usize,
     pub complete: bool,
 }
 
 impl SubgoalState {
+    /// Creates the state and charges the call term plus its entry overhead.
     pub(crate) fn new(functor: Functor, call: CanonicalTerm) -> Self {
+        let mut charged = HashSet::new();
+        let bytes = charge_shared_bytes(&call, &mut charged) + NODE_OVERHEAD;
         SubgoalState {
             functor,
             call,
             answers: Vec::new(),
-            answer_set: HashSet::new(),
+            answer_ids: HashSet::new(),
             provenance: Vec::new(),
             consumers: Vec::new(),
+            charged,
+            bytes,
             complete: false,
         }
     }
 
+    /// Charges the nodes of `c` not yet billed to this table and returns the
+    /// newly charged term bytes (0 if everything was already shared).
+    pub(crate) fn charge(&mut self, c: &CanonicalTerm) -> usize {
+        let fresh = charge_shared_bytes(c, &mut self.charged);
+        self.bytes += fresh;
+        fresh
+    }
+
+    /// Adds per-entry bookkeeping bytes (entry overhead, provenance record).
+    pub(crate) fn add_entry_bytes(&mut self, n: usize) {
+        self.bytes += n;
+    }
+
+    /// The incrementally maintained table space of this subgoal, O(1).
     pub(crate) fn table_bytes(&self) -> usize {
-        self.call.heap_bytes()
-            + NODE_OVERHEAD
-            + self
-                .answers
-                .iter()
-                .map(|a| a.heap_bytes() + NODE_OVERHEAD)
-                .sum::<usize>()
+        self.bytes
+    }
+
+    /// Recomputes this subgoal's table space from scratch: call first, then
+    /// answers in insertion order, each with entry overhead, plus provenance
+    /// records. Must agree with the incremental [`SubgoalState::table_bytes`].
+    pub(crate) fn rescan_bytes(&self) -> usize {
+        let mut seen = HashSet::new();
+        let mut total = charge_shared_bytes(&self.call, &mut seen) + NODE_OVERHEAD;
+        for a in &self.answers {
+            total += charge_shared_bytes(a, &mut seen) + NODE_OVERHEAD;
+        }
+        total
             + self
                 .provenance
                 .iter()
@@ -72,11 +114,11 @@ impl<'a> SubgoalView<'a> {
 
     /// The call pattern as a term `p(t1,…,tn)` with canonical variables.
     pub fn call_term(&self) -> Term {
-        rebuild(self.state.functor, self.state.call.terms())
+        rebuild(self.state.functor, &self.state.call.terms())
     }
 
-    /// The canonical call-argument tuple.
-    pub fn call_args(&self) -> &'a [Term] {
+    /// The canonical call-argument tuple, materialized from the arena.
+    pub fn call_args(&self) -> Vec<Term> {
         self.state.call.terms()
     }
 
@@ -100,7 +142,7 @@ impl<'a> SubgoalView<'a> {
     }
 
     /// Iterates over raw canonical answer tuples.
-    pub fn answer_tuples(&self) -> impl Iterator<Item = &'a [Term]> + 'a {
+    pub fn answer_tuples(&self) -> impl Iterator<Item = Vec<Term>> + 'a {
         self.state.answers.iter().map(|c| c.terms())
     }
 
@@ -109,7 +151,8 @@ impl<'a> SubgoalView<'a> {
         self.state.provenance.get(idx)
     }
 
-    /// Estimated table space consumed by this subgoal, in bytes.
+    /// Estimated table space consumed by this subgoal, in bytes — the
+    /// substitution-factored charge (shared structure counted once).
     pub fn table_bytes(&self) -> usize {
         self.state.table_bytes()
     }
@@ -126,7 +169,7 @@ impl Iterator for AnswerIter<'_> {
     type Item = Term;
 
     fn next(&mut self) -> Option<Term> {
-        self.inner.next().map(|c| rebuild(self.functor, c.terms()))
+        self.inner.next().map(|c| rebuild(self.functor, &c.terms()))
     }
 }
 

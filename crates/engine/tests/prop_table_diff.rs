@@ -1,0 +1,191 @@
+//! Differential property tests for the id-backed answer tables.
+//!
+//! PR 3 swapped the seed's structural `Vec<CanonicalTerm>` + `HashSet`
+//! answer store for hash-consed `TermId` keys. These tests re-run the seed
+//! representation as a *shadow*: a naive structural table fed from the
+//! engine's own trace events. Every `answer_insert`/`duplicate_answer`
+//! verdict the id-keyed table reaches must be the verdict the structural
+//! table reaches on the materialized terms, and the final tables must agree
+//! byte-for-byte on content and insertion order.
+//!
+//! Forward subsumption is switched on for the replay test so each tabled
+//! predicate owns exactly one table — that makes the per-predicate shadow
+//! an exact model (events do not say *which* table of a predicate they hit).
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use tablog_engine::{Engine, EngineOptions, LoadMode, OwnedEvent, TraceEvent, TraceSink};
+use tablog_term::{Bindings, Functor, Term};
+
+/// A sink that retains every event in emission order.
+#[derive(Default)]
+struct Collect(RefCell<Vec<OwnedEvent>>);
+
+impl TraceSink for Collect {
+    fn event(&self, e: &TraceEvent<'_>) {
+        self.0.borrow_mut().push(e.to_owned());
+    }
+}
+
+/// A generated test program: source text plus the goal to run.
+#[derive(Clone, Debug)]
+struct Prog {
+    src: String,
+    goal: &'static str,
+}
+
+/// Renders graph node `i` wrapped in `depth` layers of `s/1` — ground
+/// structure that recurs across facts, so the hash-consing arena actually
+/// shares subterms and the byte accounting is exercised under sharing.
+fn node(i: u8, depth: u8) -> String {
+    let mut t = format!("n{i}");
+    for _ in 0..depth {
+        t = format!("s({t})");
+    }
+    t
+}
+
+/// Random Datalog programs: a random `edge/2` relation over wrapped nodes,
+/// one of three recursion shapes for `path/2`, and a structured `pair/2`
+/// layer on top so answers themselves are compound. Everything is a finite
+/// Datalog program, so tabled evaluation always terminates.
+fn arb_prog() -> impl Strategy<Value = Prog> {
+    (
+        2u8..5,                                                // node count
+        prop::collection::vec((0u8..4, 0u8..4, 0u8..3), 1..9), // edges + wrap depth
+        0u8..3,                                                // recursion shape
+    )
+        .prop_map(|(n, edges, shape)| {
+            let mut src = String::from(":- table path/2.\n:- table pair/2.\n");
+            src.push_str(match shape {
+                0 => "path(X, Y) :- path(X, Z), edge(Z, Y).\n",
+                1 => "path(X, Y) :- edge(X, Z), path(Z, Y).\n",
+                _ => "path(X, Y) :- path(X, Z), path(Z, Y).\n",
+            });
+            src.push_str("path(X, Y) :- edge(X, Y).\n");
+            src.push_str("pair(f(X, Y), f(Y, X)) :- path(X, Y).\n");
+            for (a, b, d) in edges {
+                src.push_str(&format!("edge({}, {}).\n", node(a % n, d), node(b % n, d)));
+            }
+            Prog {
+                src,
+                goal: "pair(U, V)",
+            }
+        })
+}
+
+/// The seed's table representation: structural terms in a `Vec` for order
+/// plus a `HashSet` for duplicate detection.
+#[derive(Default)]
+struct ShadowTable {
+    order: Vec<Vec<Term>>,
+    seen: HashSet<Vec<Term>>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replaying the engine's own insert/duplicate events into a naive
+    /// structural table reproduces its verdicts, contents, and order.
+    #[test]
+    fn id_keyed_tables_match_structural_shadow(prog in arb_prog()) {
+        for mode in [LoadMode::Dynamic, LoadMode::Compiled] {
+            let sink = Rc::new(Collect::default());
+            let opts = EngineOptions {
+                forward_subsumption: true,
+                trace: Some(sink.clone()),
+                ..EngineOptions::default()
+            };
+            let engine = Engine::from_source_with(&prog.src, mode, opts)
+                .expect("generated program parses");
+            let mut b = Bindings::new();
+            let (g, _) = tablog_syntax::parse_term(prog.goal, &mut b).unwrap();
+            let eval = engine.evaluate(&[g], &[], &b).expect("evaluation succeeds");
+            let events = sink.0.borrow();
+
+            let mut shadow: HashMap<Functor, ShadowTable> = HashMap::new();
+            let mut tables_per_pred: HashMap<Functor, usize> = HashMap::new();
+            let (mut inserts, mut dups) = (0usize, 0usize);
+            for ev in events.iter() {
+                match ev {
+                    OwnedEvent::NewSubgoal { pred, .. } => {
+                        let n = tables_per_pred.entry(*pred).or_insert(0);
+                        *n += 1;
+                        // The shadow is keyed by predicate, which is only
+                        // sound while subsumption keeps one table per pred.
+                        prop_assert_eq!(*n, 1, "pred {:?} opened a second table", pred);
+                    }
+                    OwnedEvent::AnswerInsert { pred, answer, .. } => {
+                        inserts += 1;
+                        let tuple = answer.terms();
+                        let t = shadow.entry(*pred).or_default();
+                        prop_assert!(
+                            t.seen.insert(tuple.clone()),
+                            "id table inserted {:?} but the structural table \
+                             already contains it ({:?}, {:?})",
+                            tuple, pred, mode
+                        );
+                        t.order.push(tuple);
+                    }
+                    OwnedEvent::DuplicateAnswer { pred, answer } => {
+                        dups += 1;
+                        let tuple = answer.terms();
+                        prop_assert!(
+                            shadow.entry(*pred).or_default().seen.contains(&tuple),
+                            "id table rejected {:?} as duplicate but the \
+                             structural table has never seen it ({:?}, {:?})",
+                            tuple, pred, mode
+                        );
+                    }
+                    _ => {}
+                }
+            }
+
+            // Stats agree with the event stream the tables were built from.
+            let stats = eval.stats();
+            prop_assert_eq!(stats.answers, inserts);
+            prop_assert_eq!(stats.duplicate_answers, dups);
+
+            // Final tables: same tuples, same insertion order, for every
+            // subgoal the engine materialized.
+            for view in eval.subgoals() {
+                let got: Vec<Vec<Term>> = view.answer_tuples().collect();
+                let want = shadow
+                    .get(&view.functor())
+                    .map(|t| t.order.as_slice())
+                    .unwrap_or(&[]);
+                prop_assert_eq!(&got, &want, "answer order for {:?}", view.functor());
+            }
+        }
+    }
+
+    /// The incremental byte accounting (charged as answers arrive, with
+    /// arena sharing) agrees with a from-scratch rescan of the finished
+    /// tables, across option modes that change what gets charged.
+    #[test]
+    fn incremental_bytes_match_rescan(prog in arb_prog()) {
+        let modes = [
+            EngineOptions::default(),
+            EngineOptions { forward_subsumption: true, ..EngineOptions::default() },
+            EngineOptions { record_provenance: true, ..EngineOptions::default() },
+        ];
+        for opts in modes {
+            for mode in [LoadMode::Dynamic, LoadMode::Compiled] {
+                let engine =
+                    Engine::from_source_with(&prog.src, mode, opts.clone()).unwrap();
+                let mut b = Bindings::new();
+                let (g, _) = tablog_syntax::parse_term(prog.goal, &mut b).unwrap();
+                let eval = engine.evaluate(&[g], &[], &b).unwrap();
+                prop_assert_eq!(
+                    eval.stats().table_bytes,
+                    eval.rescan_table_bytes(),
+                    "mode {:?}, opts {:?}",
+                    mode,
+                    opts
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Regression locks against the pre-arena (PR 2) engine.
+//!
+//! PR 3 replaced the table representation (hash-consed canonical terms,
+//! id-keyed dedup, borrowed clause iteration). None of that may change what
+//! the engine *computes*: answer sets, insertion order, duplicate verdicts,
+//! step and clause-resolution counts must all match the seed `Vec`/`HashSet`
+//! implementation. The constants below were captured by running the seed
+//! engine (commit `6b79cf2`) on the same programs; the borrow rewrite of the
+//! clause-resolution loops in particular must not alter `clause_resolutions`.
+
+use tablog_engine::{Engine, EngineOptions, LoadMode};
+use tablog_term::Bindings;
+
+struct Expect {
+    name: &'static str,
+    src: &'static str,
+    goal: &'static str,
+    /// (steps, clause_resolutions, subgoals, answers, duplicate_answers)
+    dynamic: (usize, usize, usize, usize, usize),
+    compiled: (usize, usize, usize, usize, usize),
+}
+
+/// Seed-engine counters, one row per (program, load mode).
+const EXPECTED: &[Expect] = &[
+    Expect {
+        name: "graph",
+        src: ":- table path/2.\n\
+              path(X, Y) :- path(X, Z), edge(Z, Y).\n\
+              path(X, Y) :- edge(X, Y).\n\
+              edge(a, b). edge(b, c). edge(c, a).",
+        goal: "path(X, Y)",
+        dynamic: (40, 32, 2, 10, 0),
+        compiled: (40, 14, 2, 10, 0),
+    },
+    Expect {
+        name: "sg",
+        src: ":- table sg/2.\n\
+              sg(X, X).\n\
+              sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).\n\
+              par(c1, p1). par(c2, p1). par(p1, g1). par(p2, g1).",
+        goal: "sg(c1, X)",
+        dynamic: (20, 30, 4, 6, 0),
+        compiled: (20, 20, 4, 6, 0),
+    },
+    Expect {
+        name: "gp_ap",
+        src: ":- table gp_ap/3.\n\
+              gp_ap(X1, X2, X3) :- '$iff'(X1), '$iff'(X2, X3).\n\
+              gp_ap(X1, X2, X3) :-\n\
+                  '$iff'(X1, X, Xs), '$iff'(X3, X, Zs), gp_ap(Xs, X2, Zs).",
+        goal: "gp_ap(X, Y, Z)",
+        dynamic: (65, 10, 6, 9, 0),
+        compiled: (65, 10, 6, 9, 0),
+    },
+    Expect {
+        name: "app",
+        src: ":- table app/3.\n\
+              app([], Y, Y). app([H|T], Y, [H|Z]) :- app(T, Y, Z).",
+        goal: "app(X, Y, [1,2,3,4])",
+        dynamic: (36, 10, 6, 16, 0),
+        compiled: (36, 10, 6, 16, 0),
+    },
+];
+
+fn run(src: &str, goal: &str, mode: LoadMode) -> tablog_engine::TableStats {
+    let e = Engine::from_source_with(src, mode, EngineOptions::default()).unwrap();
+    let mut b = Bindings::new();
+    let (g, _) = tablog_syntax::parse_term(goal, &mut b).unwrap();
+    e.evaluate(&[g], &[], &b).unwrap().stats()
+}
+
+#[test]
+fn counters_match_seed_engine() {
+    for e in EXPECTED {
+        for (mode, want) in [
+            (LoadMode::Dynamic, e.dynamic),
+            (LoadMode::Compiled, e.compiled),
+        ] {
+            let s = run(e.src, e.goal, mode);
+            let got = (
+                s.steps,
+                s.clause_resolutions,
+                s.subgoals,
+                s.answers,
+                s.duplicate_answers,
+            );
+            assert_eq!(
+                got, want,
+                "{} ({mode:?}): (steps, clause_resolutions, subgoals, answers, \
+                 duplicate_answers) diverged from the seed engine",
+                e.name
+            );
+        }
+    }
+}
+
+#[test]
+fn rescan_agrees_with_incremental_on_seed_programs() {
+    for e in EXPECTED {
+        for mode in [LoadMode::Dynamic, LoadMode::Compiled] {
+            let eng = Engine::from_source_with(e.src, mode, EngineOptions::default()).unwrap();
+            let mut b = Bindings::new();
+            let (g, _) = tablog_syntax::parse_term(e.goal, &mut b).unwrap();
+            let eval = eng.evaluate(&[g], &[], &b).unwrap();
+            assert_eq!(
+                eval.stats().table_bytes,
+                eval.rescan_table_bytes(),
+                "{} ({mode:?})",
+                e.name
+            );
+        }
+    }
+}

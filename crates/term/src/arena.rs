@@ -1,0 +1,428 @@
+//! A hash-consing arena for canonical terms — substitution factoring.
+//!
+//! XSB's tables owe much of their speed to *substitution factoring*: calls
+//! and answers are stored in tries so that common prefixes (and, with
+//! hash-consing, common subterms) are represented once, duplicate checks are
+//! pointer comparisons, and table space is charged per shared node rather
+//! than per copy (Swift & Warren, PAPERS.md). This module is our equivalent:
+//! every canonical subterm is interned exactly once and identified by a
+//! [`TermId`] — a `Copy` handle with O(1) equality and hashing. Interning is
+//! *bottom-up*: a node is only created after its children, so structural
+//! equality of subtrees collapses to id equality of children, and the
+//! hash-cons lookup for a node costs one hash-map probe plus a shallow
+//! comparison.
+//!
+//! Each node caches, at intern time:
+//!
+//! * its structural **hash** (deterministic across runs — it feeds golden
+//!   traces and benchmark keys, so it must not depend on `RandomState`),
+//! * its **tree bytes** — the footprint an unshared copy would occupy,
+//!   matching [`Term::heap_bytes`], used by the table-space accounting,
+//! * whether it is **ground**, and
+//! * a materialized [`Term`] for the node, so converting back to ordinary
+//!   terms is a handful of `Rc` clones rather than a rebuild.
+//!
+//! The arena is thread-local: materialized terms hold [`Rc`]s (the crate's
+//! terms are deliberately `!Send`), so ids are only meaningful on the thread
+//! that interned them. [`CanonicalTerm`](crate::CanonicalTerm) is likewise
+//! `!Send`, which makes cross-thread misuse unrepresentable rather than
+//! merely discouraged.
+
+use crate::bindings::Bindings;
+use crate::symbol::Sym;
+use crate::term::{Term, Var};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+
+/// Handle to an interned canonical (sub)term. Two ids are equal iff the
+/// terms they denote are structurally identical, so equality and hashing
+/// are O(1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The id's index into the arena (dense, allocation order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The shape of an interned node. Children are ids, never inline terms.
+#[derive(Clone, PartialEq, Eq)]
+enum NodeKind {
+    /// Canonical variable `_n` (first-occurrence numbering).
+    Var(u32),
+    /// 0-ary symbol.
+    Atom(Sym),
+    /// Machine integer.
+    Int(i64),
+    /// Compound term `f(c1, …, cn)`, `n ≥ 1`.
+    Struct(Sym, Box<[TermId]>),
+    /// Root of a canonical *tuple* (a call or answer). Tuples appear only
+    /// as roots, never as children of other nodes.
+    Tuple(Box<[TermId]>),
+}
+
+struct Node {
+    kind: NodeKind,
+    /// Structural hash, cached so `CanonicalTerm` hashing never walks.
+    hash: u64,
+    /// Bytes an *unshared* copy of this subtree would occupy; matches
+    /// [`Term::heap_bytes`] so accounting is comparable across PRs.
+    tree_bytes: usize,
+    /// `true` if no variable occurs below this node.
+    ground: bool,
+    /// Materialized term with canonical variable numbering. `None` only for
+    /// `Tuple` nodes, which have no single-term reading.
+    term: Option<Term>,
+}
+
+/// Counters describing the current thread's arena, for observability.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ArenaStats {
+    /// Number of distinct interned nodes.
+    pub nodes: usize,
+    /// Total bytes of the interned (fully shared) forest: one node's worth
+    /// per distinct subterm.
+    pub interned_bytes: usize,
+}
+
+#[derive(Default)]
+struct Arena {
+    nodes: Vec<Node>,
+    /// Hash-cons index: structural hash → candidate ids. Collisions are
+    /// resolved by a shallow `NodeKind` comparison (children by id).
+    buckets: HashMap<u64, Vec<u32>>,
+}
+
+thread_local! {
+    static ARENA: RefCell<Arena> = RefCell::new(Arena::default());
+}
+
+fn with_arena<R>(f: impl FnOnce(&mut Arena) -> R) -> R {
+    ARENA.with(|a| f(&mut a.borrow_mut()))
+}
+
+/// Cost of one term node, shared with [`Term::heap_bytes`].
+pub(crate) const fn node_bytes() -> usize {
+    std::mem::size_of::<Term>()
+}
+
+/// splitmix64 finalizer — a cheap, deterministic bit mixer.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+fn combine(h: u64, w: u64) -> u64 {
+    mix(h ^ w.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+impl Arena {
+    fn node(&self, id: TermId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn hash_kind(&self, kind: &NodeKind) -> u64 {
+        match kind {
+            NodeKind::Var(n) => combine(1, u64::from(*n)),
+            NodeKind::Atom(s) => combine(2, s.index() as u64),
+            NodeKind::Int(i) => combine(3, *i as u64),
+            NodeKind::Struct(s, kids) => {
+                let mut h = combine(4, s.index() as u64);
+                h = combine(h, kids.len() as u64);
+                for k in kids.iter() {
+                    h = combine(h, self.node(*k).hash);
+                }
+                h
+            }
+            NodeKind::Tuple(kids) => {
+                let mut h = combine(5, kids.len() as u64);
+                for k in kids.iter() {
+                    h = combine(h, self.node(*k).hash);
+                }
+                h
+            }
+        }
+    }
+
+    fn intern(&mut self, kind: NodeKind) -> TermId {
+        let hash = self.hash_kind(&kind);
+        if let Some(bucket) = self.buckets.get(&hash) {
+            for &i in bucket {
+                if self.nodes[i as usize].kind == kind {
+                    return TermId(i);
+                }
+            }
+        }
+        let (tree_bytes, ground, term) = match &kind {
+            NodeKind::Var(n) => (node_bytes(), false, Some(Term::Var(Var(*n)))),
+            NodeKind::Atom(s) => (node_bytes(), true, Some(Term::Atom(*s))),
+            NodeKind::Int(i) => (node_bytes(), true, Some(Term::Int(*i))),
+            NodeKind::Struct(s, kids) => {
+                let mut bytes = node_bytes();
+                let mut ground = true;
+                let mut args = Vec::with_capacity(kids.len());
+                for k in kids.iter() {
+                    let n = self.node(*k);
+                    bytes += n.tree_bytes;
+                    ground &= n.ground;
+                    args.push(n.term.clone().expect("tuple node nested under struct"));
+                }
+                (bytes, ground, Some(Term::Struct(*s, args.into())))
+            }
+            NodeKind::Tuple(kids) => {
+                // The tuple wrapper itself is free: the seed accounting
+                // summed the member terms' heap bytes with no container cost.
+                let mut bytes = 0;
+                let mut ground = true;
+                for k in kids.iter() {
+                    let n = self.node(*k);
+                    bytes += n.tree_bytes;
+                    ground &= n.ground;
+                }
+                (bytes, ground, None)
+            }
+        };
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            kind,
+            hash,
+            tree_bytes,
+            ground,
+            term,
+        });
+        self.buckets.entry(hash).or_default().push(id);
+        TermId(id)
+    }
+
+    /// Interns the canonical form of `t` as seen through `b`, numbering free
+    /// variables in first-occurrence order via `map`. No intermediate `Term`
+    /// is allocated: the walk resolves bindings and interns bottom-up.
+    fn canon(&mut self, b: &Bindings, t: &Term, map: &mut HashMap<Var, u32>) -> TermId {
+        let w = b.walk(t);
+        match w {
+            Term::Var(v) => {
+                let next = map.len() as u32;
+                let n = *map.entry(*v).or_insert(next);
+                self.intern(NodeKind::Var(n))
+            }
+            Term::Atom(s) => self.intern(NodeKind::Atom(*s)),
+            Term::Int(i) => self.intern(NodeKind::Int(*i)),
+            Term::Struct(s, args) => {
+                let kids: Vec<TermId> = args.iter().map(|x| self.canon(b, x, map)).collect();
+                self.intern(NodeKind::Struct(*s, kids.into()))
+            }
+        }
+    }
+
+    /// Materializes `id` with canonical variables shifted by `base`,
+    /// reusing cached ground subterms wholesale.
+    fn instantiate_node(&self, id: TermId, base: u32) -> Term {
+        let n = self.node(id);
+        if n.ground {
+            return n.term.clone().expect("ground non-tuple node has a term");
+        }
+        match &n.kind {
+            NodeKind::Var(k) => Term::Var(Var(base + *k)),
+            NodeKind::Struct(s, kids) => {
+                let args: Vec<Term> = kids
+                    .iter()
+                    .map(|&k| self.instantiate_node(k, base))
+                    .collect();
+                Term::Struct(*s, args.into())
+            }
+            // Atom/Int are ground (handled above); tuples never nest.
+            _ => unreachable!("non-ground leaf in arena"),
+        }
+    }
+
+    fn tuple_children(&self, root: TermId) -> &[TermId] {
+        match &self.node(root).kind {
+            NodeKind::Tuple(kids) => kids,
+            _ => unreachable!("canonical root is always a tuple node"),
+        }
+    }
+
+    fn charge(&self, id: TermId, seen: &mut HashSet<TermId>) -> usize {
+        if !seen.insert(id) {
+            return 0;
+        }
+        let n = self.node(id);
+        match &n.kind {
+            NodeKind::Tuple(kids) => {
+                let mut sum = 0;
+                for &k in kids.iter() {
+                    sum += self.charge(k, seen);
+                }
+                sum
+            }
+            NodeKind::Struct(_, kids) => {
+                let mut sum = node_bytes();
+                for &k in kids.iter() {
+                    sum += self.charge(k, seen);
+                }
+                sum
+            }
+            _ => node_bytes(),
+        }
+    }
+}
+
+/// Interns a tuple of already-canonicalized member ids and returns the root.
+fn finish(a: &mut Arena, ids: Vec<TermId>, nvars: u32) -> super::variant::CanonicalTerm {
+    let root = a.intern(NodeKind::Tuple(ids.into()));
+    let hash = a.node(root).hash;
+    super::variant::CanonicalTerm::from_parts(root, nvars, hash)
+}
+
+pub(crate) fn canonicalize_in(b: &Bindings, ts: &[Term]) -> super::variant::CanonicalTerm {
+    with_arena(|a| {
+        let mut map: HashMap<Var, u32> = HashMap::new();
+        let ids: Vec<TermId> = ts.iter().map(|t| a.canon(b, t, &mut map)).collect();
+        finish(a, ids, map.len() as u32)
+    })
+}
+
+pub(crate) fn canonicalize2_in(
+    b: &Bindings,
+    xs: &[Term],
+    ys: &[Term],
+) -> super::variant::CanonicalTerm {
+    with_arena(|a| {
+        let mut map: HashMap<Var, u32> = HashMap::new();
+        let ids: Vec<TermId> = xs
+            .iter()
+            .chain(ys.iter())
+            .map(|t| a.canon(b, t, &mut map))
+            .collect();
+        finish(a, ids, map.len() as u32)
+    })
+}
+
+pub(crate) fn tuple_len(root: TermId) -> usize {
+    with_arena(|a| a.tuple_children(root).len())
+}
+
+pub(crate) fn tuple_terms(root: TermId) -> Vec<Term> {
+    with_arena(|a| {
+        a.tuple_children(root)
+            .iter()
+            .map(|&k| {
+                a.node(k)
+                    .term
+                    .clone()
+                    .expect("tuple members are non-tuple nodes")
+            })
+            .collect()
+    })
+}
+
+pub(crate) fn tuple_instantiate(root: TermId, nvars: u32, b: &mut Bindings) -> Vec<Term> {
+    let base = b.fresh_block(nvars as usize).0;
+    with_arena(|a| {
+        a.tuple_children(root)
+            .iter()
+            .map(|&k| a.instantiate_node(k, base))
+            .collect()
+    })
+}
+
+pub(crate) fn tree_bytes(root: TermId) -> usize {
+    with_arena(|a| a.node(root).tree_bytes)
+}
+
+/// Charges the bytes of every node reachable from `c` that is not already in
+/// `seen`, inserting as it goes. This is the substitution-factoring
+/// accounting: within one `seen` scope (a subgoal's table), shared structure
+/// is charged exactly once, at [`Term::heap_bytes`]'s per-node rate.
+pub fn charge_shared_bytes(c: &super::variant::CanonicalTerm, seen: &mut HashSet<TermId>) -> usize {
+    with_arena(|a| a.charge(c.root_id(), seen))
+}
+
+/// Snapshot of this thread's arena counters.
+pub fn arena_stats() -> ArenaStats {
+    with_arena(|a| ArenaStats {
+        nodes: a.nodes.len(),
+        interned_bytes: a
+            .nodes
+            .iter()
+            .map(|n| match n.kind {
+                NodeKind::Tuple(_) => 0,
+                _ => node_bytes(),
+            })
+            .sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{atom, int, structure, var};
+    use crate::variant::{canonical_key, canonicalize};
+
+    #[test]
+    fn interning_is_idempotent() {
+        let t = structure("f", vec![atom("a"), int(3)]);
+        let c1 = canonical_key(&t);
+        let c2 = canonical_key(&t);
+        assert_eq!(c1.root_id(), c2.root_id());
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let c1 = canonical_key(&structure("f", vec![atom("a")]));
+        let c2 = canonical_key(&structure("f", vec![atom("b")]));
+        assert_ne!(c1.root_id(), c2.root_id());
+    }
+
+    #[test]
+    fn variants_share_an_id() {
+        let b = Bindings::new();
+        let c1 = canonicalize(&b, &[structure("f", vec![var(Var(7)), var(Var(7))])]);
+        let c2 = canonicalize(&b, &[structure("f", vec![var(Var(2)), var(Var(2))])]);
+        assert_eq!(c1.root_id(), c2.root_id());
+        let c3 = canonicalize(&b, &[structure("f", vec![var(Var(1)), var(Var(2))])]);
+        assert_ne!(c1.root_id(), c3.root_id());
+    }
+
+    #[test]
+    fn shared_structure_is_charged_once() {
+        let sub = structure("g", vec![atom("a"), atom("b")]);
+        let t = structure("f", vec![sub.clone(), sub.clone()]);
+        let c = canonical_key(&t);
+        // Unshared estimate counts the g-subtree twice…
+        assert_eq!(c.heap_bytes(), t.heap_bytes());
+        // …but the factored charge counts it once.
+        let mut seen = HashSet::new();
+        let charged = charge_shared_bytes(&c, &mut seen);
+        let per_node = std::mem::size_of::<Term>();
+        assert_eq!(charged, 4 * per_node); // f, g, a, b — not 7 nodes
+                                           // Re-charging within the same scope is free.
+        assert_eq!(charge_shared_bytes(&c, &mut seen), 0);
+    }
+
+    #[test]
+    fn charge_matches_heap_bytes_without_sharing() {
+        let t = structure("f", vec![atom("a"), structure("h", vec![int(1)])]);
+        let c = canonical_key(&t);
+        let mut seen = HashSet::new();
+        assert_eq!(charge_shared_bytes(&c, &mut seen), t.heap_bytes());
+    }
+
+    #[test]
+    fn arena_stats_grow_monotonically() {
+        let before = arena_stats();
+        // A fresh, never-before-interned atom must add at least one node.
+        let _ = canonical_key(&structure(
+            "arena_stats_probe",
+            vec![atom("arena_stats_probe_leaf")],
+        ));
+        let after = arena_stats();
+        assert!(after.nodes > before.nodes);
+        assert!(after.interned_bytes > before.interned_bytes);
+    }
+}

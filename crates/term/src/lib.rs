@@ -23,14 +23,16 @@
 //! assert_eq!(b.resolve(&var(y)), atom("a"));
 //! ```
 
+mod arena;
 mod bindings;
 mod symbol;
 mod term;
 mod unify;
 mod variant;
 
+pub use arena::{arena_stats, charge_shared_bytes, ArenaStats, TermId};
 pub use bindings::{Bindings, TrailMark};
 pub use symbol::{intern, sym_name, Sym};
 pub use term::{atom, int, structure, var, Functor, Term, Var};
 pub use unify::{unify, unify_occurs};
-pub use variant::{canonical_key, canonicalize, is_variant, CanonicalTerm};
+pub use variant::{canonical_key, canonicalize, canonicalize2, is_variant, CanonicalTerm};

@@ -6,25 +6,91 @@
 //! it is already present (footnote 1 of the paper). We realize this by
 //! mapping every term to a [`CanonicalTerm`] in which variables are numbered
 //! `0, 1, 2, …` in first-occurrence order; two terms are variants iff their
-//! canonical forms are equal, so canonical forms serve directly as hash keys.
+//! canonical forms are equal.
+//!
+//! Since PR 3, canonical forms live in the hash-consing arena of
+//! [`crate::arena`]: a `CanonicalTerm` is a `Copy` handle (root [`TermId`],
+//! variable count, cached hash) rather than an owned term vector. Equality
+//! is an id comparison and hashing reads the cached hash — both O(1) — so
+//! canonical forms are cheap table keys no matter how large the term is.
 
+use crate::arena::{self, TermId};
 use crate::bindings::Bindings;
-use crate::term::{Term, Var};
-use std::collections::HashMap;
+use crate::term::Term;
+use std::fmt;
+use std::marker::PhantomData;
+use std::rc::Rc;
 
 /// A term (or term tuple) whose variables have been renumbered into
-/// first-occurrence order. Equality on `CanonicalTerm` is variant equality
-/// on the originals.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+/// first-occurrence order, interned in the thread-local arena. Equality on
+/// `CanonicalTerm` is variant equality on the originals, decided by a single
+/// id comparison.
+///
+/// `CanonicalTerm` is `Copy` (12 bytes of handle) and deliberately `!Send`:
+/// ids are only meaningful on the interning thread, like the `Rc`-based
+/// [`Term`] itself.
+#[derive(Clone, Copy)]
 pub struct CanonicalTerm {
-    terms: Vec<Term>,
+    root: TermId,
     nvars: u32,
+    hash: u64,
+    /// Keeps the handle `!Send`/`!Sync`: it indexes a thread-local arena.
+    _not_send: PhantomData<Rc<()>>,
+}
+
+impl PartialEq for CanonicalTerm {
+    fn eq(&self, other: &Self) -> bool {
+        self.root == other.root
+    }
+}
+
+impl Eq for CanonicalTerm {}
+
+impl std::hash::Hash for CanonicalTerm {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+impl fmt::Debug for CanonicalTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CanonicalTerm")
+            .field("terms", &self.terms())
+            .field("nvars", &self.nvars)
+            .finish()
+    }
 }
 
 impl CanonicalTerm {
-    /// The canonicalized terms.
-    pub fn terms(&self) -> &[Term] {
-        &self.terms
+    pub(crate) fn from_parts(root: TermId, nvars: u32, hash: u64) -> Self {
+        CanonicalTerm {
+            root,
+            nvars,
+            hash,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The arena id of the canonical tuple. Equal ids ⇔ variant-equal
+    /// originals; useful as a compact table key.
+    pub fn root_id(&self) -> TermId {
+        self.root
+    }
+
+    /// Number of member terms in the canonical tuple, without materializing.
+    pub fn len(&self) -> usize {
+        arena::tuple_len(self.root)
+    }
+
+    /// `true` if the canonical tuple has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonicalized terms, materialized from the arena's cached
+    /// subterms (a handful of `Rc` clones, not a rebuild).
+    pub fn terms(&self) -> Vec<Term> {
+        arena::tuple_terms(self.root)
     }
 
     /// The single canonicalized term.
@@ -32,14 +98,10 @@ impl CanonicalTerm {
     /// # Panics
     ///
     /// Panics if this canonical form holds more than one term.
-    pub fn term(&self) -> &Term {
-        assert_eq!(
-            self.terms.len(),
-            1,
-            "canonical form holds {} terms",
-            self.terms.len()
-        );
-        &self.terms[0]
+    pub fn term(&self) -> Term {
+        let mut ts = self.terms();
+        assert_eq!(ts.len(), 1, "canonical form holds {} terms", ts.len());
+        ts.pop().expect("length checked above")
     }
 
     /// Number of distinct variables in the canonical form.
@@ -48,40 +110,33 @@ impl CanonicalTerm {
     }
 
     /// Instantiates the canonical form with fresh variables from `b`,
-    /// producing terms renamed apart from everything else in `b`.
+    /// producing terms renamed apart from everything else in `b`. Ground
+    /// subterms are shared with the arena's cache instead of copied.
     pub fn instantiate(&self, b: &mut Bindings) -> Vec<Term> {
-        let base = b.fresh_block(self.nvars as usize);
-        self.terms
-            .iter()
-            .map(|t| t.map_vars(&mut |v| Term::Var(Var(base.0 + v.0))))
-            .collect()
+        arena::tuple_instantiate(self.root, self.nvars, b)
     }
 
-    /// Estimated heap footprint in bytes (for the table-space statistic).
+    /// Estimated heap footprint in bytes of an *unshared* copy, matching
+    /// [`Term::heap_bytes`]. For the substitution-factored charge that
+    /// counts shared structure once, see [`crate::charge_shared_bytes`].
     pub fn heap_bytes(&self) -> usize {
-        self.terms.iter().map(Term::heap_bytes).sum()
+        arena::tree_bytes(self.root)
     }
 }
 
 /// Canonicalizes a tuple of terms *after resolving them* through `b`:
 /// all bound variables are substituted out, and the remaining free variables
-/// are renumbered in first-occurrence order across the whole tuple.
+/// are renumbered in first-occurrence order across the whole tuple. The
+/// result is interned — no intermediate resolved terms are allocated.
 pub fn canonicalize(b: &Bindings, ts: &[Term]) -> CanonicalTerm {
-    let mut map: HashMap<Var, u32> = HashMap::new();
-    let terms = ts
-        .iter()
-        .map(|t| {
-            let r = b.resolve(t);
-            r.map_vars(&mut |v| {
-                let n = map.len() as u32;
-                Term::Var(Var(*map.entry(v).or_insert(n)))
-            })
-        })
-        .collect();
-    CanonicalTerm {
-        terms,
-        nvars: map.len() as u32,
-    }
+    arena::canonicalize_in(b, ts)
+}
+
+/// Canonicalizes the concatenation of two tuples without allocating the
+/// concatenated slice. Equivalent to `canonicalize(b, [xs ++ ys])`; used on
+/// the engine's node-key hot path.
+pub fn canonicalize2(b: &Bindings, xs: &[Term], ys: &[Term]) -> CanonicalTerm {
+    arena::canonicalize2_in(b, xs, ys)
 }
 
 /// Canonicalizes a single already-resolved term (no binding store needed).
@@ -108,7 +163,7 @@ pub fn is_variant(t1: &Term, t2: &Term) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::term::{atom, structure, var};
+    use crate::term::{atom, structure, var, Var};
 
     #[test]
     fn canonical_renumbers_first_occurrence() {
@@ -116,7 +171,7 @@ mod tests {
         let c = canonical_key(&t);
         assert_eq!(
             c.term(),
-            &structure("f", vec![var(Var(0)), var(Var(1)), var(Var(0))])
+            structure("f", vec![var(Var(0)), var(Var(1)), var(Var(0))])
         );
         assert_eq!(c.num_vars(), 2);
     }
@@ -129,7 +184,7 @@ mod tests {
         b.bind(x, atom("a"));
         let t = structure("f", vec![var(x), var(y)]);
         let c = canonicalize(&b, &[t]);
-        assert_eq!(c.term(), &structure("f", vec![atom("a"), var(Var(0))]));
+        assert_eq!(c.term(), structure("f", vec![atom("a"), var(Var(0))]));
     }
 
     #[test]
@@ -152,6 +207,16 @@ mod tests {
     }
 
     #[test]
+    fn canonicalize2_matches_concatenation() {
+        let b = Bindings::new();
+        let xs = [var(Var(3)), atom("a")];
+        let ys = [structure("g", vec![var(Var(3))])];
+        let joined: Vec<Term> = xs.iter().chain(ys.iter()).cloned().collect();
+        assert_eq!(canonicalize2(&b, &xs, &ys), canonicalize(&b, &joined));
+        assert_eq!(canonicalize2(&b, &xs, &[]), canonicalize(&b, &xs));
+    }
+
+    #[test]
     fn instantiate_renames_apart() {
         let t = structure("f", vec![var(Var(0)), var(Var(1))]);
         let c = canonical_key(&t);
@@ -164,11 +229,41 @@ mod tests {
     }
 
     #[test]
+    fn instantiate_shares_ground_subterms() {
+        let t = structure("f", vec![structure("g", vec![atom("a")]), var(Var(0))]);
+        let c = canonical_key(&t);
+        let mut b = Bindings::new();
+        let o1 = c.instantiate(&mut b);
+        let o2 = c.instantiate(&mut b);
+        // Ground args come from the arena cache: same Rc allocation.
+        match (&o1[0], &o2[0]) {
+            (Term::Struct(_, a1), Term::Struct(_, a2)) => {
+                match (&a1[0], &a2[0]) {
+                    (Term::Struct(_, g1), Term::Struct(_, g2)) => {
+                        assert!(Rc::ptr_eq(g1, g2));
+                    }
+                    other => panic!("unexpected shape {other:?}"),
+                }
+                // Non-ground parts are renamed apart per instantiation.
+                assert_ne!(a1[1], a2[1]);
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
     fn ground_terms_canonicalize_to_themselves() {
         let t = structure("f", vec![atom("a"), atom("b")]);
         let c = canonical_key(&t);
-        assert_eq!(c.term(), &t);
+        assert_eq!(c.term(), t);
         assert_eq!(c.num_vars(), 0);
+    }
+
+    #[test]
+    fn heap_bytes_match_unshared_term_estimate() {
+        let t = structure("f", vec![atom("a"), structure("g", vec![var(Var(1))])]);
+        let c = canonical_key(&t);
+        assert_eq!(c.heap_bytes(), t.heap_bytes());
     }
 
     #[test]
@@ -178,5 +273,14 @@ mod tests {
         set.insert(canonical_key(&structure("f", vec![var(Var(3))])));
         assert!(set.contains(&canonical_key(&structure("f", vec![var(Var(8))]))));
         assert!(!set.contains(&canonical_key(&structure("f", vec![atom("a")]))));
+    }
+
+    #[test]
+    fn copy_handles_compare_in_constant_size() {
+        // The handle itself is small regardless of term size.
+        assert!(std::mem::size_of::<CanonicalTerm>() <= 24);
+        let c = canonical_key(&structure("f", vec![atom("a")]));
+        let d = c; // Copy, no clone needed
+        assert_eq!(c, d);
     }
 }

@@ -102,7 +102,7 @@ impl TraceEvent<'_> {
         match *self {
             TraceEvent::NewSubgoal { pred, call, bytes } => OwnedEvent::NewSubgoal {
                 pred,
-                call: call.clone(),
+                call: *call,
                 bytes,
             },
             TraceEvent::ClauseResolution { pred } => OwnedEvent::ClauseResolution { pred },
@@ -112,12 +112,12 @@ impl TraceEvent<'_> {
                 bytes,
             } => OwnedEvent::AnswerInsert {
                 pred,
-                answer: answer.clone(),
+                answer: *answer,
                 bytes,
             },
             TraceEvent::DuplicateAnswer { pred, answer } => OwnedEvent::DuplicateAnswer {
                 pred,
-                answer: answer.clone(),
+                answer: *answer,
             },
             TraceEvent::AnswerReturn { pred } => OwnedEvent::AnswerReturn { pred },
             TraceEvent::CallAbstracted {
@@ -126,8 +126,8 @@ impl TraceEvent<'_> {
                 abstracted,
             } => OwnedEvent::CallAbstracted {
                 pred,
-                original: original.clone(),
-                abstracted: abstracted.clone(),
+                original: *original,
+                abstracted: *abstracted,
             },
             TraceEvent::AnswerWidened {
                 pred,
@@ -135,8 +135,8 @@ impl TraceEvent<'_> {
                 widened,
             } => OwnedEvent::AnswerWidened {
                 pred,
-                original: original.clone(),
-                widened: widened.clone(),
+                original: *original,
+                widened: *widened,
             },
             TraceEvent::SubsumedCall {
                 pred,
@@ -144,8 +144,8 @@ impl TraceEvent<'_> {
                 subsumer,
             } => OwnedEvent::SubsumedCall {
                 pred,
-                call: call.clone(),
-                subsumer: subsumer.clone(),
+                call: *call,
+                subsumer: *subsumer,
             },
             TraceEvent::SubgoalComplete {
                 pred,

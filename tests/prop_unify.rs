@@ -89,7 +89,7 @@ proptest! {
     #[test]
     fn canonicalization_idempotent(t in arb_term(4)) {
         let c1 = canonical_key(&t);
-        let c2 = canonical_key(c1.term());
+        let c2 = canonical_key(&c1.term());
         prop_assert_eq!(&c1, &c2);
         // Renaming by an offset yields a variant.
         let shifted = t.map_vars(&mut |v| var(Var(v.0 + 17)));
