@@ -1,19 +1,28 @@
 //! Regenerates every table of the paper in the same row/column layout.
 //!
-//! Usage: `paper_tables [--table N] [--profile] [--json] [--check FILE]`
-//! (default: all four tables). With `--profile`, each row is followed by
-//! the engine's per-evaluation counters (subgoals, answers, duplicates,
-//! resolutions, and the hook counts where the analysis uses truncation).
-//! With `--json`, the whole suite is emitted as one machine-readable JSON
-//! document instead of text. With `--check FILE`, the run is compared
-//! against a committed baseline JSON (same format): table-space
-//! regressions beyond 20% fail the process, wall-clock regressions only
-//! warn on stderr.
+//! Usage: `paper_tables [--table N] [--profile] [--json] [--check FILE]
+//! [--jobs N] [--schedulers]` (default: all four tables). With
+//! `--profile`, each row is followed by the engine's per-evaluation
+//! counters (subgoals, answers, duplicates, resolutions, and the hook
+//! counts where the analysis uses truncation). With `--json`, the whole
+//! suite is emitted as one machine-readable JSON document instead of text.
+//! With `--check FILE`, the run is compared against a committed baseline
+//! JSON (same format): table-space regressions beyond 20% fail the
+//! process, wall-clock regressions only warn on stderr.
+//!
+//! With `--jobs N` (N > 1), the suite is first run sequentially and then
+//! on N worker threads — one isolated engine session per benchmark — and
+//! the two runs' deterministic fields (programs, line counts, table bytes)
+//! are compared. Any divergence fails the process; the speedup is reported
+//! and, under `--json`, recorded in a `"parallel"` object. `--schedulers`
+//! (implied by `--json` with `--jobs`) additionally re-runs the groundness
+//! workload under each worklist scheduling strategy and reports the engine
+//! counters side by side.
 
 use std::process::ExitCode;
 use tablog_bench::{
-    check_against_baseline, ms, suite_json, table1_rows_with, table2_rows, table3_rows_with,
-    table4_rows_with, Row, TABLE4_K,
+    check_against_baseline, measure_parallel, ms, pr4_json, run_suite, scheduler_rows, Row,
+    SuiteTables, TABLE4_K,
 };
 
 fn print_row_table(title: &str, rows: &[Row]) {
@@ -64,18 +73,54 @@ fn main() -> ExitCode {
     let want = |n| which.is_none() || which == Some(n);
     let profile = args.iter().any(|a| a == "--profile");
     let json = args.iter().any(|a| a == "--json");
+    let want_sched = args.iter().any(|a| a == "--schedulers");
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
     let check: Option<&String> = args
         .iter()
         .position(|a| a == "--check")
         .and_then(|i| args.get(i + 1));
 
     if json || check.is_some() {
-        let doc = suite_json(
-            &table1_rows_with(false),
-            &table2_rows(),
-            &table3_rows_with(false),
-            &table4_rows_with(false),
-        );
+        // With --jobs > 1, measure_parallel runs the suite both ways and
+        // verifies the deterministic fields agree; the parallel tables are
+        // what the JSON document and baseline check then see.
+        let (parallel, tables): (Option<tablog_bench::ParallelMeasurement>, SuiteTables) =
+            if jobs > 1 {
+                let (m, t) = measure_parallel(jobs);
+                (Some(m), t)
+            } else {
+                (None, run_suite(false, 1))
+            };
+        if let Some(p) = &parallel {
+            if !p.identical {
+                eprintln!(
+                    "FAIL: parallel suite run (--jobs {}) diverged from the sequential run",
+                    p.jobs
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "parallel check passed: --jobs {} identical to sequential, \
+                 {:.2}x speedup ({}ms -> {}ms, {} cpu(s) available)",
+                p.jobs,
+                p.speedup(),
+                ms(p.sequential),
+                ms(p.parallel),
+                p.cpus,
+            );
+        }
+        let sched = if want_sched || (json && jobs > 1) {
+            scheduler_rows()
+        } else {
+            Vec::new()
+        };
+        let doc = pr4_json(&tables, &sched, parallel.as_ref());
         if json {
             println!("{doc}");
         }
@@ -87,7 +132,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let cur = tablog_trace::json::parse(&doc).expect("suite_json is valid JSON");
+            let cur = tablog_trace::json::parse(&doc).expect("pr4_json is valid JSON");
             let base = match tablog_trace::json::parse(&baseline) {
                 Ok(b) => b,
                 Err(e) => {
@@ -113,11 +158,11 @@ fn main() -> ExitCode {
     if want(1) {
         print_row_table(
             "Table 1: Performance of Prop-based groundness analysis (tabled engine)",
-            &table1_rows_with(profile),
+            &tablog_bench::table1_rows_jobs(profile, jobs),
         );
     }
     if want(2) {
-        let rows = table2_rows();
+        let rows = tablog_bench::table2_rows_jobs(jobs);
         println!(
             "\nTable 2: Total analysis time, tabled engine vs. direct analyzer (GAIA stand-in)"
         );
@@ -138,14 +183,27 @@ fn main() -> ExitCode {
     if want(3) {
         print_row_table(
             "Table 3: Performance of strictness analysis",
-            &table3_rows_with(profile),
+            &tablog_bench::table3_rows_jobs(profile, jobs),
         );
     }
     if want(4) {
         print_row_table(
             &format!("Table 4: Groundness analysis with term-depth abstraction (k = {TABLE4_K})"),
-            &table4_rows_with(profile),
+            &tablog_bench::table4_rows_jobs(profile, jobs),
         );
+    }
+    if want_sched {
+        println!("\nScheduler comparison: groundness workload under each worklist strategy");
+        println!(
+            "{:<12} {:<12} {:>8} {:>8} {:>8} {:>12}",
+            "Program", "strategy", "steps", "answers", "dups", "Table(bytes)"
+        );
+        for r in scheduler_rows() {
+            println!(
+                "{:<12} {:<12} {:>8} {:>8} {:>8} {:>12}",
+                r.program, r.strategy, r.steps, r.answers, r.duplicates, r.table_bytes
+            );
+        }
     }
     ExitCode::SUCCESS
 }

@@ -17,12 +17,12 @@ use crate::error::AnalysisError;
 use crate::groundness::{expand_disjunctions, EntryPoint};
 use crate::pipeline::{PhaseTimings, Timer};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 use tablog_engine::{Database, Engine, EngineOptions, LoadMode, TableStats, GAMMA};
 use tablog_magic::Rule;
 use tablog_syntax::{parse_program, Program};
 use tablog_term::{
-    atom, canonicalize, intern, structure, sym_name, Bindings, CanonicalTerm, Functor, Term, Var,
+    atom, intern, structure, sym_name, Bindings, CanonicalTerm, Functor, Term, TermArena, Var,
 };
 use tablog_trace::MetricsReport;
 
@@ -199,7 +199,8 @@ impl DepthKAnalyzer {
     fn hooked_options(&self) -> EngineOptions {
         let mut opts = self.options.clone();
         let k = self.k;
-        let trunc: tablog_engine::TermHook = Rc::new(move |c: &CanonicalTerm| truncate_tuple(c, k));
+        let trunc: tablog_engine::TermHook =
+            Arc::new(move |a: &mut TermArena, c: &CanonicalTerm| truncate_tuple(a, c, k));
         opts.call_abstraction = Some(trunc.clone());
         opts.answer_widening = Some(trunc);
         opts
@@ -325,12 +326,13 @@ fn build(f: Functor, args: Vec<Term>) -> Term {
 }
 
 /// Truncates every term of a canonical tuple at depth `k`: subterms below
-/// the cut become γ if ground, a fresh variable otherwise.
-fn truncate_tuple(c: &CanonicalTerm, k: usize) -> CanonicalTerm {
+/// the cut become γ if ground, a fresh variable otherwise. Works entirely
+/// inside the calling engine's session arena.
+fn truncate_tuple(arena: &mut TermArena, c: &CanonicalTerm, k: usize) -> CanonicalTerm {
     let mut b = Bindings::new();
-    let terms = c.instantiate(&mut b);
+    let terms = arena.instantiate(c, &mut b);
     let truncated: Vec<Term> = terms.iter().map(|t| truncate(t, k, &mut b)).collect();
-    canonicalize(&b, &truncated)
+    arena.canonicalize(&b, &truncated)
 }
 
 fn truncate(t: &Term, k: usize, b: &mut Bindings) -> Term {

@@ -53,6 +53,7 @@ pub mod direct;
 pub mod explain;
 pub mod groundness;
 pub mod modes;
+pub mod parallel;
 pub mod pipeline;
 pub mod prop;
 pub mod strictness;
@@ -63,4 +64,5 @@ mod profile;
 
 pub use error::AnalysisError;
 pub use explain::AnalysisExplanation;
+pub use parallel::{analyze_many, parallel_map};
 pub use pipeline::{PhaseTimings, Timer};

@@ -9,17 +9,17 @@
 //! it. The helpers here keep that recipe in one place.
 
 use crate::pipeline::PhaseTimings;
-use std::rc::Rc;
+use std::sync::Arc;
 use tablog_engine::EngineOptions;
 use tablog_trace::{MetricsRegistry, MetricsReport, MultiSink, TraceSink};
 
 /// Installs a fresh metrics registry as a trace sink on `opts`, preserving
 /// any sink the caller configured: an existing sink is fanned out through a
 /// [`MultiSink`] so both keep observing every event.
-pub(crate) fn install_registry(opts: &mut EngineOptions) -> Rc<MetricsRegistry> {
-    let reg = Rc::new(MetricsRegistry::new());
-    let sink: Rc<dyn TraceSink> = match opts.trace.take() {
-        Some(existing) => Rc::new(MultiSink::new().with(existing).with(reg.clone())),
+pub(crate) fn install_registry(opts: &mut EngineOptions) -> Arc<MetricsRegistry> {
+    let reg = Arc::new(MetricsRegistry::new());
+    let sink: Arc<dyn TraceSink> = match opts.trace.take() {
+        Some(existing) => Arc::new(MultiSink::new().with(existing).with(reg.clone())),
         None => reg.clone(),
     };
     opts.trace = Some(sink);

@@ -1,7 +1,7 @@
 //! Profiling integration: each analyzer's `profile` flag must yield a
 //! `MetricsReport` whose rollups agree with the engine's own statistics.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use tablog_core::depthk::DepthKAnalyzer;
 use tablog_core::direct::DirectAnalyzer;
 use tablog_core::groundness::GroundnessAnalyzer;
@@ -44,7 +44,7 @@ fn profile_off_means_no_metrics() {
 
 #[test]
 fn profiling_composes_with_a_user_trace_sink() {
-    let counter = Rc::new(CountingSink::new());
+    let counter = Arc::new(CountingSink::new());
     let mut an = GroundnessAnalyzer::new();
     an.options.trace = Some(counter.clone());
     an.profile = true;

@@ -1,0 +1,328 @@
+//! Goal-level explanations: every matching answer's justification tree.
+
+use crate::error::EngineError;
+use crate::justify::JustNode;
+use crate::session::Engine;
+use tablog_term::{sym_name, Bindings, Term};
+use tablog_trace::json::escape;
+
+/// A complete explanation of one goal: every matching answer's
+/// justification tree. Produced by [`Engine::explain`].
+#[derive(Clone, Debug)]
+pub struct Explanation {
+    /// The goal as given.
+    pub goal: String,
+    /// One justification per matching answer, in table order.
+    pub trees: Vec<JustNode>,
+}
+
+impl Explanation {
+    /// `true` if the goal had no matching answers.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Renders all justification trees, separated by blank lines.
+    pub fn render_text(&self) -> String {
+        if self.trees.is_empty() {
+            return format!("no answers for {}\n", self.goal);
+        }
+        let mut out = String::new();
+        for (i, t) in self.trees.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&t.render_text());
+        }
+        out
+    }
+
+    /// Renders the explanation as one JSON object
+    /// (`{"goal": …, "justifications": […]}`).
+    pub fn to_json(&self) -> String {
+        let mut s = format!("{{\"goal\":\"{}\",\"justifications\":[", escape(&self.goal));
+        for (i, t) in self.trees.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&t.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+impl Engine {
+    /// Evaluates `goal` with provenance recording forced on and returns
+    /// the justification trees of every matching answer.
+    ///
+    /// If the goal is a single call to a tabled predicate, the trees are
+    /// rooted directly at the matching table answers. Otherwise (a
+    /// conjunction, or a non-tabled goal) the trees are rooted at the
+    /// query's own answers, labeled with the goal text.
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors and any [`EngineError`] raised during
+    /// evaluation.
+    pub fn explain(&self, goal: &str, max_depth: usize) -> Result<Explanation, EngineError> {
+        let mut b = Bindings::new();
+        let (t, _) = tablog_syntax::parse_term(goal, &mut b)?;
+        self.explain_goal(&t, &b, goal, max_depth)
+    }
+
+    /// As [`Engine::explain`], but for an already-parsed goal term whose
+    /// variables live in `bindings`; `label` is the display string used
+    /// for query-rooted trees. This is the entry point the analyzers use:
+    /// abstract predicate names (`gp$p`, `ak$p`, …) are not re-parseable,
+    /// so they hand the constructed term over directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`EngineError`] raised during evaluation.
+    pub fn explain_goal(
+        &self,
+        goal: &Term,
+        bindings: &Bindings,
+        label: &str,
+        max_depth: usize,
+    ) -> Result<Explanation, EngineError> {
+        let mut opts = self.options().clone();
+        opts.record_provenance = true;
+        let mut goals = Vec::new();
+        crate::machine::flatten_conj(goal, &mut goals);
+        let single_tabled = match (goals.len(), goals[0].functor()) {
+            (1, Some(f)) => self.db().is_tabled(f).then_some(f),
+            _ => None,
+        };
+        let eval = self.evaluate_with_opts(&opts, &goals, &[], bindings)?;
+        let trees = match single_tabled {
+            Some(f) => {
+                let args = goals[0].args().to_vec();
+                eval.matching_answers(f, &args, bindings)
+                    .into_iter()
+                    .map(|(sid, aidx)| eval.justify(self.db(), sid, aidx, max_depth))
+                    .collect()
+            }
+            None => {
+                let root = eval.root_index();
+                let n = eval.states()[root].answers.len();
+                (0..n)
+                    .map(|aidx| {
+                        let mut t = eval.justify(self.db(), root, aidx, max_depth);
+                        // The synthetic `$query` tuple is meaningless to the
+                        // reader; show the goal text instead.
+                        if sym_name(t.pred.name) == "$query" {
+                            t.answer = label.to_owned();
+                        }
+                        t
+                    })
+                    .collect()
+            }
+        };
+        Ok(Explanation {
+            goal: label.to_owned(),
+            trees,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::justify::JustStatus;
+    use crate::provenance::{AnswerProv, ClauseRef};
+    use crate::Engine;
+    use tablog_term::Functor;
+
+    const GRAPH: &str = "
+        :- table path/2.
+        path(X, Y) :- path(X, Z), edge(Z, Y).
+        path(X, Y) :- edge(X, Y).
+        edge(a, b). edge(b, c). edge(c, a).
+    ";
+
+    fn engine(src: &str, record: bool) -> Engine {
+        let mut e = Engine::from_source(src).unwrap();
+        e.options_mut().record_provenance = record;
+        e
+    }
+
+    fn eval(e: &Engine, goal: &str) -> crate::Evaluation {
+        let mut b = Bindings::new();
+        let (g, _) = tablog_syntax::parse_term(goal, &mut b).unwrap();
+        let mut goals = Vec::new();
+        crate::machine::flatten_conj(&g, &mut goals);
+        e.evaluate(&goals, &[], &b).unwrap()
+    }
+
+    #[test]
+    fn recording_off_stores_nothing() {
+        let eval = eval(&engine(GRAPH, false), "path(a, X)");
+        assert!(!eval.has_provenance());
+        assert!(eval.provenance(0, 0).is_none());
+    }
+
+    #[test]
+    fn off_and_on_table_bytes_differ_only_by_provenance() {
+        let off = eval(&engine(GRAPH, false), "path(a, X)");
+        let on = eval(&engine(GRAPH, true), "path(a, X)");
+        let prov_bytes: usize = on
+            .subgoals()
+            .map(|v| {
+                (0..v.num_answers())
+                    .filter_map(|i| v.provenance(i))
+                    .map(AnswerProv::heap_bytes)
+                    .sum::<usize>()
+            })
+            .sum();
+        assert!(prov_bytes > 0);
+        assert_eq!(off.table_bytes() + prov_bytes, on.table_bytes());
+        // The incremental accounting and the rescan agree on both sides.
+        assert_eq!(off.stats().table_bytes, off.rescan_table_bytes());
+        assert_eq!(on.stats().table_bytes, on.rescan_table_bytes());
+    }
+
+    #[test]
+    fn every_answer_gets_a_provenance_record() {
+        let eval = eval(&engine(GRAPH, true), "path(X, Y)");
+        for v in eval.subgoals() {
+            for i in 0..v.num_answers() {
+                assert!(v.provenance(i).is_some(), "{} answer {i}", v.functor());
+            }
+        }
+    }
+
+    #[test]
+    fn base_case_answer_cites_the_base_clause() {
+        let e = engine(GRAPH, true);
+        let ex = e.explain("path(a, b)", 10).unwrap();
+        assert_eq!(ex.trees.len(), 1);
+        let root = &ex.trees[0];
+        assert_eq!(root.answer, "path(a,b)");
+        // path(a,b) comes from clause 1 (the edge/2 base case) plus the
+        // edge(a,b) fact inlined via SLD — a premise-free fact leaf.
+        let path2 = Functor::new("path", 2);
+        let edge2 = Functor::new("edge", 2);
+        assert!(root.clauses.contains(&ClauseRef {
+            pred: path2,
+            index: 1
+        }));
+        assert!(root.clauses.iter().any(|c| c.pred == edge2));
+        assert_eq!(root.status, JustStatus::Fact);
+    }
+
+    #[test]
+    fn justification_leaves_are_grounded() {
+        let e = engine(GRAPH, true);
+        let ex = e.explain("path(a, c)", 64).unwrap();
+        assert_eq!(ex.trees.len(), 1);
+        ex.trees[0].walk(&mut |n| {
+            if n.children.is_empty() {
+                assert!(
+                    n.status.is_grounded_leaf() || n.status == JustStatus::Cycle,
+                    "leaf {} has status {:?}",
+                    n.answer,
+                    n.status
+                );
+            } else {
+                assert_eq!(n.status, JustStatus::Derived);
+            }
+        });
+    }
+
+    #[test]
+    fn clause_ids_resolve_in_the_database() {
+        let e = engine(GRAPH, true);
+        let ex = e.explain("path(a, a)", 64).unwrap();
+        ex.trees[0].walk(&mut |n| {
+            for c in &n.clauses {
+                assert!(c.resolve(e.db()).is_some(), "dangling {c}");
+            }
+        });
+    }
+
+    #[test]
+    fn depth_limit_truncates() {
+        let e = engine(GRAPH, true);
+        let ex = e.explain("path(a, c)", 0).unwrap();
+        assert_eq!(ex.trees[0].status, JustStatus::Truncated);
+        assert!(ex.trees[0].children.is_empty());
+    }
+
+    #[test]
+    fn facts_are_fact_leaves() {
+        let src = ":- table edge/2.\nedge(a, b).";
+        let e = engine(src, true);
+        let ex = e.explain("edge(a, b)", 10).unwrap();
+        assert_eq!(ex.trees[0].status, JustStatus::Fact);
+    }
+
+    #[test]
+    fn conjunction_explains_via_query_root() {
+        let e = engine(GRAPH, true);
+        let ex = e.explain("path(a, b), path(b, c)", 10).unwrap();
+        assert_eq!(ex.trees.len(), 1);
+        assert_eq!(ex.trees[0].answer, "path(a, b), path(b, c)");
+        assert_eq!(ex.trees[0].children.len(), 2);
+    }
+
+    #[test]
+    fn unrecorded_answers_render_as_unrecorded() {
+        let eval = eval(&engine(GRAPH, false), "path(a, b)");
+        let e = engine(GRAPH, false);
+        let node = eval.justify(e.db(), 0, 0, 10);
+        assert_eq!(node.status, JustStatus::Unrecorded);
+    }
+
+    #[test]
+    fn render_text_draws_a_tree() {
+        let e = engine(GRAPH, true);
+        let text = e.explain("path(a, c)", 64).unwrap().render_text();
+        assert!(text.starts_with("path(a,c)"));
+        assert!(text.contains("`- "));
+        assert!(text.contains("via path/2#"));
+    }
+
+    #[test]
+    fn explanation_json_round_trips_through_parser() {
+        let e = engine(GRAPH, true);
+        let json = e.explain("path(a, c)", 64).unwrap().to_json();
+        let doc = tablog_trace::json::parse(&json).unwrap();
+        assert_eq!(doc.get("goal").unwrap().as_str(), Some("path(a, c)"));
+        let trees = doc.get("justifications").unwrap().as_arr().unwrap();
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].get("status").unwrap().as_str(), Some("derived"));
+    }
+
+    #[test]
+    fn forest_export_round_trips_and_links_premises() {
+        let e = engine(GRAPH, true);
+        let eval = eval(&e, "path(a, X)");
+        let forest = eval.forest();
+        assert_eq!(forest.subgoals.len(), eval.stats().subgoals);
+        let back = tablog_trace::Forest::from_json(&forest.to_json()).unwrap();
+        assert_eq!(forest, back);
+        // Premise indices stay in range.
+        for s in &forest.subgoals {
+            for a in &s.answers {
+                for &(ps, pa) in &a.premises {
+                    assert!(pa < forest.subgoals[ps].answers.len());
+                }
+            }
+        }
+        // Some answer actually consumed a premise (path is recursive).
+        assert!(forest
+            .subgoals
+            .iter()
+            .flat_map(|s| &s.answers)
+            .any(|a| !a.premises.is_empty()));
+    }
+
+    #[test]
+    fn explain_does_not_mutate_engine_options() {
+        let e = engine(GRAPH, false);
+        e.explain("path(a, b)", 10).unwrap();
+        assert!(!e.options().record_provenance);
+    }
+}

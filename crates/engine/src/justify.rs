@@ -1,0 +1,329 @@
+//! Justification trees and the derivation-forest export.
+//!
+//! The walk in [`Evaluation::justify`] materializes a [`JustNode`] tree
+//! from the [`AnswerProv`] records: the root is the answer being explained,
+//! children are the premises (consumed table answers), and every leaf is
+//! either a program fact, a clause supported purely by builtins, or a stop
+//! marker (cycle / depth limit / provenance not recorded). Non-tabled (SLD)
+//! subderivations are inlined: their clause ids appear on the consuming
+//! node's [`JustNode::clauses`] list rather than as separate children,
+//! mirroring how the machine inlines SLD resolution into the derivation
+//! node itself. The provenance graph is acyclic by construction, but the
+//! walk still guards against cycles with the same node-set discipline the
+//! derivation forest uses, so a corrupted or hand-built graph cannot hang
+//! it.
+
+use crate::database::Database;
+use crate::provenance::{AnswerProv, ClauseRef};
+use crate::session::Evaluation;
+use std::collections::HashSet;
+use std::fmt;
+use std::fmt::Write as _;
+use tablog_term::{Bindings, Functor, Term};
+use tablog_trace::json::escape;
+use tablog_trace::{Forest, ForestAnswer, ForestSubgoal};
+
+/// Why a justification node has no children.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JustStatus {
+    /// Supported by a program fact (a clause with an empty body).
+    Fact,
+    /// Supported by a clause whose body was discharged entirely by
+    /// builtins (or by the query's own builtin goals).
+    Builtin,
+    /// An internal node: supported by a clause plus the child premises.
+    Derived,
+    /// Walk stopped: this answer already occurs on the path to the root.
+    Cycle,
+    /// Walk stopped at the depth limit; the answer has further premises.
+    Truncated,
+    /// No provenance was recorded for this answer (evaluation ran with
+    /// `record_provenance` off, or the answer entered via a hook rewrite).
+    Unrecorded,
+}
+
+impl JustStatus {
+    /// The snake_case name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            JustStatus::Fact => "fact",
+            JustStatus::Builtin => "builtin",
+            JustStatus::Derived => "derived",
+            JustStatus::Cycle => "cycle",
+            JustStatus::Truncated => "truncated",
+            JustStatus::Unrecorded => "unrecorded",
+        }
+    }
+
+    /// `true` for the two grounded leaf kinds (fact / builtin support).
+    pub fn is_grounded_leaf(self) -> bool {
+        matches!(self, JustStatus::Fact | JustStatus::Builtin)
+    }
+}
+
+/// One node of a justification tree: a table answer together with the
+/// clauses that support it and the justifications of its premises.
+#[derive(Clone, Debug)]
+pub struct JustNode {
+    /// The answer's predicate.
+    pub pred: Functor,
+    /// Subgoal index in the evaluation.
+    pub subgoal: usize,
+    /// Answer index within the subgoal's table.
+    pub answer_index: usize,
+    /// The answer rendered as a term, `p(t1,…,tn)`.
+    pub answer: String,
+    /// Clause ids supporting this answer (first = generator clause).
+    pub clauses: Vec<ClauseRef>,
+    /// Leaf/internal classification.
+    pub status: JustStatus,
+    /// Justifications of the consumed premises.
+    pub children: Vec<JustNode>,
+}
+
+impl JustNode {
+    /// Depth-first iteration over the whole tree (self included).
+    pub fn walk(&self, f: &mut impl FnMut(&JustNode)) {
+        f(self);
+        for c in &self.children {
+            c.walk(f);
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(JustNode::size).sum::<usize>()
+    }
+
+    /// Renders the tree as ASCII art, one node per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, "", "");
+        out
+    }
+
+    fn render_into(&self, out: &mut String, pad: &str, child_pad: &str) {
+        let _ = write!(out, "{pad}{}", self.answer);
+        if !self.clauses.is_empty() {
+            let refs: Vec<String> = self.clauses.iter().map(ClauseRef::to_string).collect();
+            let _ = write!(out, "  via {}", refs.join(", "));
+        }
+        match self.status {
+            JustStatus::Derived => {}
+            s => {
+                let _ = write!(out, "  [{}]", s.name());
+            }
+        }
+        out.push('\n');
+        let n = self.children.len();
+        for (i, c) in self.children.iter().enumerate() {
+            let last = i + 1 == n;
+            let branch = if last { "`- " } else { "|- " };
+            let cont = if last { "   " } else { "|  " };
+            c.render_into(
+                out,
+                &format!("{child_pad}{branch}"),
+                &format!("{child_pad}{cont}"),
+            );
+        }
+    }
+
+    /// Renders the node (recursively) as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"answer\":\"{}\",\"pred\":\"{}\",\"subgoal\":{},\"answer_index\":{},\"status\":\"{}\"",
+            escape(&self.answer),
+            escape(&self.pred.to_string()),
+            self.subgoal,
+            self.answer_index,
+            self.status.name()
+        );
+        s.push_str(",\"clauses\":[");
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\"", escape(&c.to_string()));
+        }
+        s.push_str("],\"children\":[");
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&c.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+impl fmt::Display for JustNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+impl Evaluation {
+    /// The provenance of answer `answer` of subgoal `subgoal`, if it was
+    /// recorded.
+    pub fn provenance(&self, subgoal: usize, answer: usize) -> Option<&AnswerProv> {
+        self.states().get(subgoal)?.provenance.get(answer)
+    }
+
+    /// `true` if this evaluation recorded provenance.
+    pub fn has_provenance(&self) -> bool {
+        self.states().iter().any(|s| !s.provenance.is_empty())
+    }
+
+    /// Builds the justification tree of one table answer.
+    ///
+    /// The walk is cycle-safe (an answer already on the path becomes a
+    /// [`JustStatus::Cycle`] leaf) and depth-bounded: nodes at
+    /// `max_depth` with further premises become [`JustStatus::Truncated`]
+    /// leaves. `db` must be the database the evaluation ran against; it is
+    /// used to classify leaves as facts vs. builtin-supported.
+    pub fn justify(
+        &self,
+        db: &Database,
+        subgoal: usize,
+        answer: usize,
+        max_depth: usize,
+    ) -> JustNode {
+        let mut path = HashSet::new();
+        self.justify_walk(db, subgoal, answer, max_depth, &mut path)
+    }
+
+    fn justify_walk(
+        &self,
+        db: &Database,
+        sid: usize,
+        aidx: usize,
+        depth: usize,
+        path: &mut HashSet<(usize, usize)>,
+    ) -> JustNode {
+        let state = &self.states()[sid];
+        let answer = render_answer(state.functor, &self.arena.terms(&state.answers[aidx]));
+        let mut node = JustNode {
+            pred: state.functor,
+            subgoal: sid,
+            answer_index: aidx,
+            answer,
+            clauses: Vec::new(),
+            status: JustStatus::Unrecorded,
+            children: Vec::new(),
+        };
+        let Some(prov) = state.provenance.get(aidx) else {
+            return node;
+        };
+        node.clauses = prov.clauses.to_vec();
+        if !path.insert((sid, aidx)) {
+            node.status = JustStatus::Cycle;
+            return node;
+        }
+        if prov.premises.is_empty() {
+            node.status = leaf_status(db, &node.clauses);
+        } else if depth == 0 {
+            node.status = JustStatus::Truncated;
+        } else {
+            node.status = JustStatus::Derived;
+            for p in prov.premises.iter() {
+                node.children
+                    .push(self.justify_walk(db, p.subgoal, p.answer, depth - 1, path));
+            }
+        }
+        path.remove(&(sid, aidx));
+        node
+    }
+
+    /// Finds the table answers of predicate `f` that unify with `args`
+    /// (the goal's argument tuple, living in `b`), across all of the
+    /// predicate's call patterns. Returns `(subgoal, answer)` pairs in
+    /// table order, deduplicated by answer variant.
+    pub fn matching_answers(&self, f: Functor, args: &[Term], b: &Bindings) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for (sid, state) in self.states().iter().enumerate() {
+            if state.functor != f {
+                continue;
+            }
+            for (aidx, ans) in state.answers.iter().enumerate() {
+                if !seen.insert(*ans) {
+                    continue;
+                }
+                let mut bb = b.clone();
+                let m = bb.mark();
+                let ans_args = self.arena.instantiate(ans, &mut bb);
+                let ok = args
+                    .iter()
+                    .zip(ans_args.iter())
+                    .all(|(x, y)| tablog_term::unify(&mut bb, x, y));
+                bb.undo_to(m);
+                if ok {
+                    out.push((sid, aidx));
+                }
+            }
+        }
+        out
+    }
+
+    /// Exports the complete call/answer-table graph — every subgoal, its
+    /// answers, and (when provenance was recorded) the answer-level
+    /// dependency edges — as a [`Forest`] ready for DOT or JSON rendering.
+    pub fn forest(&self) -> Forest {
+        let subgoals = self
+            .states()
+            .iter()
+            .enumerate()
+            .map(|(sid, state)| ForestSubgoal {
+                id: sid,
+                pred: state.functor.to_string(),
+                call: render_answer(state.functor, &self.arena.terms(&state.call)),
+                complete: state.complete,
+                answers: state
+                    .answers
+                    .iter()
+                    .enumerate()
+                    .map(|(aidx, ans)| {
+                        let prov = state.provenance.get(aidx);
+                        ForestAnswer {
+                            term: render_answer(state.functor, &self.arena.terms(ans)),
+                            clauses: prov
+                                .map(|p| p.clauses.iter().map(ClauseRef::to_string).collect())
+                                .unwrap_or_default(),
+                            premises: prov
+                                .map(|p| p.premises.iter().map(|r| (r.subgoal, r.answer)).collect())
+                                .unwrap_or_default(),
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        Forest { subgoals }
+    }
+}
+
+/// Classifies a premise-free node from its clause list: a fact leaf if the
+/// derivation bottomed out in at least one program fact (a clause with an
+/// empty body — SLD-resolved facts are inlined into the trail), otherwise
+/// supported purely by builtins.
+fn leaf_status(db: &Database, clauses: &[ClauseRef]) -> JustStatus {
+    let used_fact = clauses
+        .iter()
+        .any(|c| c.resolve(db).is_some_and(|clause| clause.body.is_empty()));
+    if used_fact {
+        JustStatus::Fact
+    } else {
+        JustStatus::Builtin
+    }
+}
+
+pub(crate) fn render_answer(f: Functor, args: &[Term]) -> String {
+    let term = if args.is_empty() {
+        Term::Atom(f.name)
+    } else {
+        Term::Struct(f.name, args.to_vec().into())
+    };
+    tablog_syntax::term_to_string(&term)
+}

@@ -25,8 +25,10 @@
 //!   first-argument index (faster evaluation, more preprocessing); dynamic
 //!   predicates are asserted as a plain clause list (XSB's `assert`-and-
 //!   `call/1` mode, which the paper found superior overall).
-//! * **Scheduling** ([`Scheduling`]): depth-first (local-ish) or
-//!   breadth-first answer return (Section 6.2's discussion).
+//! * **Scheduling** ([`Scheduling`]): the SLG worklist is a pluggable
+//!   [`Scheduler`] — depth-first (local-ish), breadth-first, or batched
+//!   (drain pending expansions before returning answers, XSB's batched
+//!   strategy; Section 6.2's discussion).
 //! * **Forward subsumption** ([`EngineOptions::forward_subsumption`]):
 //!   route specific calls through the open call's table (Section 6.2).
 //! * **Call abstraction / answer widening hooks**
@@ -51,12 +53,21 @@
 //! ```
 
 mod builtins;
+mod consumers;
 mod database;
+mod dispatch;
 mod error;
+mod explain;
+mod justify;
 mod machine;
 mod options;
 mod provenance;
+mod scheduler;
+mod session;
 mod table;
+
+#[cfg(test)]
+mod machine_tests;
 
 pub use builtins::{
     abs_ground, abs_unify, arith_eval, builtin_functors, is_builtin, lookup_builtin, term_compare,
@@ -64,9 +75,12 @@ pub use builtins::{
 };
 pub use database::{ClauseMatches, Database, LoadMode, StoredClause};
 pub use error::EngineError;
-pub use machine::{Engine, Evaluation, Solutions};
+pub use explain::Explanation;
+pub use justify::{JustNode, JustStatus};
 pub use options::{EngineOptions, Scheduling, TermHook, Unknown};
-pub use provenance::{AnswerProv, AnswerRef, ClauseRef, Explanation, JustNode, JustStatus};
+pub use provenance::{AnswerProv, AnswerRef, ClauseRef};
+pub use scheduler::{make_scheduler, Batched, BreadthFirst, DepthFirst, Scheduler, TaskClass};
+pub use session::{Engine, Evaluation, Solutions};
 pub use table::{AnswerIter, SubgoalView, TableStats};
 
 // Re-exported for downstream convenience: the reader produces the programs

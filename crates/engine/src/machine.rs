@@ -9,344 +9,115 @@
 //! table ever acquires is returned to every consumer exactly once. When the
 //! worklist drains, all tables are complete: for definite programs, SLG
 //! completion needs no incremental SCC bookkeeping.
+//!
+//! The machine owns two pieces of session state factored out in PR 4:
+//!
+//! * a session-scoped [`TermArena`] holding every canonical call, answer,
+//!   and node key of the run — handed to the finished
+//!   [`Evaluation`](crate::Evaluation) and dropped with it, so nothing
+//!   accumulates across runs;
+//! * a pluggable [`Scheduler`](crate::Scheduler) deciding which worklist
+//!   task runs next, selected by [`EngineOptions::scheduling`].
+//!
+//! Goal dispatch for builtins and SLD clauses lives in `dispatch.rs`;
+//! answer flow (consumer resumption, table insertion, negation
+//! subcomputations) lives in `consumers.rs`.
 
-use crate::builtins::{lookup_builtin, BuiltinImpl};
-use crate::database::{Database, LoadMode};
+use crate::builtins::lookup_builtin;
+use crate::database::Database;
 use crate::error::EngineError;
-use crate::options::{EngineOptions, Scheduling, Unknown};
-use crate::provenance::{AnswerRef, ClauseRef, NodeProv};
-use crate::table::{SubgoalState, SubgoalView, TableStats, NODE_OVERHEAD};
-use std::collections::{HashMap, HashSet, VecDeque};
+use crate::options::{EngineOptions, Unknown};
+use crate::provenance::{ClauseRef, NodeProv};
+use crate::scheduler::{make_scheduler, Scheduler, TaskClass};
+use crate::session::Evaluation;
+use crate::table::{SubgoalState, TableStats};
+use std::collections::{HashMap, HashSet};
 use tablog_term::{
-    canonicalize, canonicalize2, sym_name, unify, unify_occurs, Bindings, CanonicalTerm, Functor,
-    Term, TermId, Var,
+    sym_name, unify, unify_occurs, Bindings, CanonicalTerm, Functor, Term, TermArena, TermId, Var,
 };
 use tablog_trace::{TraceEvent, TraceSink};
 
-/// A loaded program plus evaluation options; the entry point of the crate.
-///
-/// See the [crate-level documentation](crate) for an overview and example.
-#[derive(Clone, Debug, Default)]
-pub struct Engine {
-    db: Database,
-    opts: EngineOptions,
-}
-
-impl Engine {
-    /// Wraps an existing database with options.
-    pub fn new(db: Database, opts: EngineOptions) -> Self {
-        Engine { db, opts }
-    }
-
-    /// Parses and loads `src` in [`LoadMode::Dynamic`] with default options.
-    ///
-    /// # Errors
-    ///
-    /// Returns a parse or load error.
-    pub fn from_source(src: &str) -> Result<Self, EngineError> {
-        Engine::from_source_with(src, LoadMode::Dynamic, EngineOptions::default())
-    }
-
-    /// Parses and loads `src` with explicit load mode and options.
-    ///
-    /// # Errors
-    ///
-    /// Returns a parse or load error.
-    pub fn from_source_with(
-        src: &str,
-        mode: LoadMode,
-        opts: EngineOptions,
-    ) -> Result<Self, EngineError> {
-        let program = tablog_syntax::parse_program(src)?;
-        let mut db = Database::new(mode);
-        db.load(&program)?;
-        Ok(Engine { db, opts })
-    }
-
-    /// The underlying database.
-    pub fn db(&self) -> &Database {
-        &self.db
-    }
-
-    /// Mutable access to the database (for `assert`-style updates between
-    /// evaluations).
-    pub fn db_mut(&mut self) -> &mut Database {
-        &mut self.db
-    }
-
-    /// The evaluation options.
-    pub fn options(&self) -> &EngineOptions {
-        &self.opts
-    }
-
-    /// Mutable access to the evaluation options.
-    pub fn options_mut(&mut self) -> &mut EngineOptions {
-        &mut self.opts
-    }
-
-    /// Parses `goal` and evaluates it to completion, returning one row per
-    /// answer, with columns for the goal's named variables.
-    ///
-    /// # Errors
-    ///
-    /// Returns parse errors and any [`EngineError`] raised during
-    /// evaluation.
-    pub fn solve(&self, goal: &str) -> Result<Solutions, EngineError> {
-        let mut b = Bindings::new();
-        let (t, names) = tablog_syntax::parse_term(goal, &mut b)?;
-        let mut goals = Vec::new();
-        flatten_conj(&t, &mut goals);
-        let template: Vec<Term> = names.iter().map(|(_, v)| Term::Var(*v)).collect();
-        let eval = self.evaluate(&goals, &template, &b)?;
-        Ok(Solutions {
-            names: names.into_iter().map(|(n, _)| n).collect(),
-            rows: eval.root_answers(),
-        })
-    }
-
-    /// Evaluates `goals` (left to right) to completion. `template` lists the
-    /// terms whose instances constitute the query's answers; `bindings` is
-    /// the store in which the goal/template variables live (it is only read).
-    ///
-    /// The returned [`Evaluation`] exposes the complete call and answer
-    /// tables — the raw material of the paper's analyses.
-    ///
-    /// # Errors
-    ///
-    /// Returns any [`EngineError`] raised during evaluation.
-    pub fn evaluate(
-        &self,
-        goals: &[Term],
-        template: &[Term],
-        bindings: &Bindings,
-    ) -> Result<Evaluation, EngineError> {
-        let mut m = Machine::new(&self.db, &self.opts);
-        m.run(goals, template, bindings)
-    }
-
-    /// As [`Engine::evaluate`], but under one-off options overriding the
-    /// engine's own — how [`Engine::explain`] forces provenance recording
-    /// on for a single query without mutating the engine.
-    ///
-    /// # Errors
-    ///
-    /// Returns any [`EngineError`] raised during evaluation.
-    pub fn evaluate_with_opts(
-        &self,
-        opts: &EngineOptions,
-        goals: &[Term],
-        template: &[Term],
-        bindings: &Bindings,
-    ) -> Result<Evaluation, EngineError> {
-        let mut m = Machine::new(&self.db, opts);
-        m.run(goals, template, bindings)
-    }
-}
-
-/// All answers to a [`Engine::solve`] query.
 #[derive(Clone, Debug)]
-pub struct Solutions {
-    names: Vec<String>,
-    rows: Vec<Vec<Term>>,
-}
-
-impl Solutions {
-    /// Number of answers.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// `true` if the query failed.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// The named variables of the query, in source order.
-    pub fn names(&self) -> &[String] {
-        &self.names
-    }
-
-    /// Answer rows; column `i` instantiates `names()[i]`. Distinct rows may
-    /// share variables (non-ground answers keep canonical variables).
-    pub fn rows(&self) -> &[Vec<Term>] {
-        &self.rows
-    }
-
-    /// The binding of variable `name` in answer `row`.
-    pub fn get(&self, row: usize, name: &str) -> Option<&Term> {
-        let col = self.names.iter().position(|n| n == name)?;
-        self.rows.get(row)?.get(col)
-    }
-
-    /// Renders each answer as `X = t1, Y = t2`.
-    pub fn to_strings(&self) -> Vec<String> {
-        self.rows
-            .iter()
-            .map(|row| {
-                if self.names.is_empty() {
-                    "true".to_owned()
-                } else {
-                    let mut w = tablog_syntax::TermWriter::new();
-                    self.names
-                        .iter()
-                        .zip(row)
-                        .map(|(n, t)| format!("{n} = {}", w.write(t)))
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                }
-            })
-            .collect()
-    }
-}
-
-/// The completed tables of one evaluation: every tabled subgoal encountered
-/// (the *call table*, which the analyses read for input patterns) together
-/// with its answers (the *answer table*).
-#[derive(Clone, Debug)]
-pub struct Evaluation {
-    subgoals: Vec<SubgoalState>,
-    root: usize,
-    stats: TableStats,
-}
-
-impl Evaluation {
-    /// Views of every subgoal table, including the synthetic `$query` root.
-    pub fn subgoals(&self) -> impl Iterator<Item = SubgoalView<'_>> {
-        self.subgoals.iter().map(|s| SubgoalView { state: s })
-    }
-
-    /// Views of the subgoals of one predicate.
-    pub fn subgoals_of(&self, f: Functor) -> Vec<SubgoalView<'_>> {
-        self.subgoals
-            .iter()
-            .filter(|s| s.functor == f)
-            .map(|s| SubgoalView { state: s })
-            .collect()
-    }
-
-    /// All answers of a predicate, merged across its call patterns.
-    pub fn answers_of(&self, f: Functor) -> Vec<Term> {
-        self.subgoals_of(f)
-            .iter()
-            .flat_map(|v| v.answers())
-            .collect()
-    }
-
-    /// All recorded calls of a predicate — its input patterns.
-    pub fn calls_of(&self, f: Functor) -> Vec<Term> {
-        self.subgoals_of(f).iter().map(|v| v.call_term()).collect()
-    }
-
-    /// Answer tuples of the root query (instances of the query template).
-    pub fn root_answers(&self) -> Vec<Vec<Term>> {
-        self.subgoals[self.root]
-            .answers
-            .iter()
-            .map(|c| c.terms())
-            .collect()
-    }
-
-    /// Evaluation statistics, including total table bytes.
-    pub fn stats(&self) -> TableStats {
-        self.stats
-    }
-
-    /// Estimated total table space in bytes (the paper's last column).
-    pub fn table_bytes(&self) -> usize {
-        self.stats.table_bytes
-    }
-
-    /// Recomputes table space by walking every table with a fresh
-    /// shared-structure charge set, bypassing the incremental accounting in
-    /// `stats().table_bytes`. The two must agree; this exists so tests (and
-    /// doubtful users) can check that they do.
-    pub fn rescan_table_bytes(&self) -> usize {
-        self.subgoals.iter().map(|s| s.rescan_bytes()).sum()
-    }
-
-    /// Index of the synthetic `$query` root subgoal.
-    pub fn root_index(&self) -> usize {
-        self.root
-    }
-
-    pub(crate) fn states(&self) -> &[SubgoalState] {
-        &self.subgoals
-    }
-}
-
-#[derive(Clone, Debug)]
-struct Node {
+pub(crate) struct Node {
     /// The subgoal whose answers this derivation contributes to.
-    subgoal: usize,
-    /// `canon.terms()[..split]` is the answer template; the rest is goals.
-    split: usize,
-    canon: CanonicalTerm,
+    pub(crate) subgoal: usize,
+    /// `canon`'s first `split` member terms are the answer template; the
+    /// rest is the goal list.
+    pub(crate) split: usize,
+    pub(crate) canon: CanonicalTerm,
     /// Derivation trail (clauses resolved, table answers consumed) on the
     /// path to this node. Always `None` unless
     /// `EngineOptions::record_provenance` is set, so the disabled path
     /// allocates nothing. When a variant-identical node is reached along a
     /// second path, `seen_nodes` drops it and the first trail wins: a
     /// justification needs one support, not all of them.
-    prov: Option<Box<NodeProv>>,
+    pub(crate) prov: Option<Box<NodeProv>>,
 }
 
 #[derive(Clone, Debug)]
-struct Consumer {
-    node: Node,
-    watched: usize,
+pub(crate) struct Consumer {
+    pub(crate) node: Node,
+    pub(crate) watched: usize,
     /// Cursor into the watched table: the next answer index this consumer
     /// has yet to be scheduled. Advanced when answers are handed out, so
     /// every answer is scheduled to every consumer exactly once — new
     /// consumers start at the current table size after back-filling, and
     /// `add_answer` extends each cursor by exactly the inserted answer.
-    next: usize,
+    pub(crate) next: usize,
 }
 
 #[derive(Debug)]
-enum Task {
+pub(crate) enum Task {
     Expand(Node),
     Return(usize, usize),
 }
 
-struct Machine<'e> {
-    db: &'e Database,
-    opts: &'e EngineOptions,
-    subgoals: Vec<SubgoalState>,
+pub(crate) struct Machine<'e> {
+    pub(crate) db: &'e Database,
+    pub(crate) opts: &'e EngineOptions,
+    /// Session arena: every canonical term of this run is interned here,
+    /// and the arena moves into the [`Evaluation`] when the run finishes.
+    pub(crate) arena: TermArena,
+    pub(crate) subgoals: Vec<SubgoalState>,
     /// Subgoal lookup keyed by the call's arena id: a hash probe on a
     /// 12-byte key with O(1) equality, never a structural term walk.
-    lookup: HashMap<(Functor, TermId), usize>,
-    consumers: Vec<Consumer>,
-    tasks: VecDeque<Task>,
+    pub(crate) lookup: HashMap<(Functor, TermId), usize>,
+    pub(crate) consumers: Vec<Consumer>,
+    /// The worklist, behind the strategy selected by
+    /// [`EngineOptions::scheduling`].
+    pub(crate) scheduler: Box<dyn Scheduler<Task>>,
     /// Derivation nodes already scheduled, per subgoal: the forest is a
     /// *set* of nodes, so a variant-identical resolvent reached along two
     /// different derivation paths is expanded only once. This collapses
     /// the combinatorial re-derivation that long conjunctions of
     /// enumerative literals otherwise cause. Keys are arena ids — no
-    /// canonical-term copies are stored.
-    seen_nodes: HashSet<(usize, usize, TermId)>,
-    stats: TableStats,
+    /// canonical-term copies are stored. Membership is checked *before*
+    /// the scheduler sees the task, so it is strategy-independent.
+    pub(crate) seen_nodes: HashSet<(usize, usize, TermId)>,
+    pub(crate) stats: TableStats,
     /// Event observer, `None` unless `EngineOptions::trace` is set. Events
     /// are only constructed under `if let Some(..)`, so the disabled path
     /// does no work and no allocation.
-    trace: Option<&'e dyn TraceSink>,
+    pub(crate) trace: Option<&'e dyn TraceSink>,
 }
 
 impl<'e> Machine<'e> {
-    fn new(db: &'e Database, opts: &'e EngineOptions) -> Self {
+    pub(crate) fn new(db: &'e Database, opts: &'e EngineOptions) -> Self {
         Machine {
             db,
             opts,
+            arena: TermArena::new(),
             subgoals: Vec::new(),
             lookup: HashMap::new(),
             consumers: Vec::new(),
-            tasks: VecDeque::new(),
+            scheduler: make_scheduler(opts.scheduling),
             seen_nodes: HashSet::new(),
             stats: TableStats::default(),
             trace: opts.trace.as_deref(),
         }
     }
 
-    fn unif(&self, b: &mut Bindings, t1: &Term, t2: &Term) -> bool {
+    pub(crate) fn unif(&self, b: &mut Bindings, t1: &Term, t2: &Term) -> bool {
         if self.opts.occur_check {
             unify_occurs(b, t1, t2)
         } else {
@@ -354,42 +125,40 @@ impl<'e> Machine<'e> {
         }
     }
 
-    fn push(&mut self, task: Task) {
-        if let Task::Expand(n) = &task {
-            if !self
-                .seen_nodes
-                .insert((n.subgoal, n.split, n.canon.root_id()))
-            {
-                return;
+    pub(crate) fn push(&mut self, task: Task) {
+        let class = match &task {
+            Task::Expand(n) => {
+                if !self
+                    .seen_nodes
+                    .insert((n.subgoal, n.split, n.canon.root_id()))
+                {
+                    return;
+                }
+                TaskClass::Expand
             }
-        }
-        self.tasks.push_back(task);
+            Task::Return(..) => TaskClass::Return,
+        };
+        self.scheduler.push(class, task);
     }
 
-    fn pop(&mut self) -> Option<Task> {
-        match self.opts.scheduling {
-            Scheduling::DepthFirst => self.tasks.pop_back(),
-            Scheduling::BreadthFirst => self.tasks.pop_front(),
-        }
-    }
-
-    fn run(
+    pub(crate) fn run(
         &mut self,
         goals: &[Term],
         template: &[Term],
         b0: &Bindings,
     ) -> Result<Evaluation, EngineError> {
         let root_f = Functor::new("$query", template.len());
-        let key = canonicalize(b0, template);
+        let key = self.arena.canonicalize(b0, template);
         let root = self.subgoals.len();
         self.stats.subgoals += 1;
-        let state = SubgoalState::new(root_f, key);
+        let state = SubgoalState::new(root_f, key, &self.arena);
         let bytes = state.table_bytes();
         self.stats.table_bytes += bytes;
         if let Some(sink) = self.trace {
+            let call = self.arena.terms(&key);
             sink.event(&TraceEvent::NewSubgoal {
                 pred: root_f,
-                call: &key,
+                call: &call,
                 bytes,
             });
         }
@@ -397,7 +166,7 @@ impl<'e> Machine<'e> {
         let node = Node {
             subgoal: root,
             split: template.len(),
-            canon: canonicalize2(b0, template, goals),
+            canon: self.arena.canonicalize2(b0, template, goals),
             prov: self.fresh_prov(),
         };
         self.push(Task::Expand(node));
@@ -416,7 +185,7 @@ impl<'e> Machine<'e> {
             self.stats.table_bytes,
             self.subgoals
                 .iter()
-                .map(|s| s.rescan_bytes())
+                .map(|s| s.rescan_bytes(&self.arena))
                 .sum::<usize>(),
             "incremental table-byte accounting drifted from the tables"
         );
@@ -424,11 +193,13 @@ impl<'e> Machine<'e> {
             subgoals: std::mem::take(&mut self.subgoals),
             root,
             stats: self.stats,
+            scheduler: self.scheduler.name(),
+            arena: std::mem::take(&mut self.arena),
         })
     }
 
     fn drain(&mut self) -> Result<(), EngineError> {
-        while let Some(task) = self.pop() {
+        while let Some(task) = self.scheduler.pop() {
             self.stats.steps += 1;
             if let Some(limit) = self.opts.max_steps {
                 if self.stats.steps > limit {
@@ -445,12 +216,12 @@ impl<'e> Machine<'e> {
 
     /// `Some(empty trail)` when provenance recording is on, `None` (no
     /// allocation) otherwise.
-    fn fresh_prov(&self) -> Option<Box<NodeProv>> {
+    pub(crate) fn fresh_prov(&self) -> Option<Box<NodeProv>> {
         self.opts.record_provenance.then(Box::<NodeProv>::default)
     }
 
-    fn make_node(
-        &self,
+    pub(crate) fn make_node(
+        &mut self,
         subgoal: usize,
         split: usize,
         b: &Bindings,
@@ -461,17 +232,17 @@ impl<'e> Machine<'e> {
         Node {
             subgoal,
             split,
-            canon: canonicalize2(b, template, goals),
+            canon: self.arena.canonicalize2(b, template, goals),
             prov,
         }
     }
 
     fn expand(&mut self, node: Node) -> Result<(), EngineError> {
         let mut b = Bindings::new();
-        let ts = node.canon.instantiate(&mut b);
+        let ts = self.arena.instantiate(&node.canon, &mut b);
         let (template, goals) = ts.split_at(node.split);
         let Some((g, rest)) = goals.split_first() else {
-            let ans = canonicalize(&b, template);
+            let ans = self.arena.canonicalize(&b, template);
             self.add_answer(node.subgoal, ans, node.prov);
             return Ok(());
         };
@@ -589,98 +360,6 @@ impl<'e> Machine<'e> {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn solve_builtin(
-        &mut self,
-        imp: BuiltinImpl,
-        sid: usize,
-        split: usize,
-        template: &[Term],
-        g: &Term,
-        rest: &[Term],
-        b: &mut Bindings,
-        prov: Option<Box<NodeProv>>,
-    ) -> Result<(), EngineError> {
-        match imp {
-            BuiltinImpl::Det(f) => {
-                let m = b.mark();
-                if f(b, g.args())? {
-                    let n = self.make_node(sid, split, b, template, rest, prov);
-                    self.push(Task::Expand(n));
-                }
-                b.undo_to(m);
-                Ok(())
-            }
-            BuiltinImpl::NonDet(f) => {
-                let tuples = f(b, g.args())?;
-                for tuple in tuples {
-                    let m = b.mark();
-                    let ok = g
-                        .args()
-                        .iter()
-                        .zip(tuple.iter())
-                        .all(|(x, y)| self.unif(b, x, y));
-                    if ok {
-                        let n = self.make_node(sid, split, b, template, rest, prov.clone());
-                        self.push(Task::Expand(n));
-                    }
-                    b.undo_to(m);
-                }
-                Ok(())
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn solve_sld(
-        &mut self,
-        f: Functor,
-        sid: usize,
-        split: usize,
-        template: &[Term],
-        g: &Term,
-        rest: &[Term],
-        b: &mut Bindings,
-        prov: Option<Box<NodeProv>>,
-    ) -> Result<(), EngineError> {
-        // `self.db` is a `&'e` reference: copying it out lets the clause
-        // iterator borrow the database for `'e`, independent of `self`, so
-        // no snapshot of the clause list is ever cloned.
-        let db = self.db;
-        for (cidx, clause) in db.matching_clauses_iter(f, g.args().first()) {
-            self.stats.clause_resolutions += 1;
-            if let Some(sink) = self.trace {
-                sink.event(&TraceEvent::ClauseResolution { pred: f });
-            }
-            let m = b.mark();
-            let base = b.fresh_block(clause.nvars);
-            let mut rename = |t: &Term| t.map_vars(&mut |v| Term::Var(Var(base.0 + v.0)));
-            let head = rename(&clause.head);
-            let ok = g
-                .args()
-                .iter()
-                .zip(head.args().iter())
-                .all(|(x, y)| self.unif(b, x, y));
-            if ok {
-                let mut goals: Vec<Term> = clause.body.iter().map(&mut rename).collect();
-                goals.extend_from_slice(rest);
-                // SLD resolution is inlined into the derivation node, so
-                // the resolved clause joins the node's own trail.
-                let mut prov = prov.clone();
-                if let Some(p) = prov.as_deref_mut() {
-                    p.clauses.push(ClauseRef {
-                        pred: f,
-                        index: cidx,
-                    });
-                }
-                let n = self.make_node(sid, split, b, template, &goals, prov);
-                self.push(Task::Expand(n));
-            }
-            b.undo_to(m);
-        }
-        Ok(())
-    }
-
-    #[allow(clippy::too_many_arguments)]
     fn solve_tabled(
         &mut self,
         f: Functor,
@@ -692,31 +371,36 @@ impl<'e> Machine<'e> {
         b: &mut Bindings,
         prov: Option<Box<NodeProv>>,
     ) -> Result<(), EngineError> {
-        let mut key = if self.opts.forward_subsumption {
-            let open = open_call_key(f);
+        let opts = self.opts;
+        let mut key = if opts.forward_subsumption {
+            let open = self.open_call_key(f);
             if let Some(sink) = self.trace {
                 // Only report calls that subsumption actually generalized.
-                let specific = canonicalize(b, g.args());
+                let specific = self.arena.canonicalize(b, g.args());
                 if specific != open {
+                    let call = self.arena.terms(&specific);
+                    let subsumer = self.arena.terms(&open);
                     sink.event(&TraceEvent::SubsumedCall {
                         pred: f,
-                        call: &specific,
-                        subsumer: &open,
+                        call: &call,
+                        subsumer: &subsumer,
                     });
                 }
             }
             open
         } else {
-            canonicalize(b, g.args())
+            self.arena.canonicalize(b, g.args())
         };
-        if let Some(hook) = &self.opts.call_abstraction {
-            let abstracted = hook(&key);
+        if let Some(hook) = &opts.call_abstraction {
+            let abstracted = hook(&mut self.arena, &key);
             if let Some(sink) = self.trace {
                 if abstracted != key {
+                    let original = self.arena.terms(&key);
+                    let widened = self.arena.terms(&abstracted);
                     sink.event(&TraceEvent::CallAbstracted {
                         pred: f,
-                        original: &key,
-                        abstracted: &abstracted,
+                        original: &original,
+                        abstracted: &widened,
                     });
                 }
             }
@@ -756,13 +440,14 @@ impl<'e> Machine<'e> {
         }
         let sid = self.subgoals.len();
         self.stats.subgoals += 1;
-        let state = SubgoalState::new(f, key);
+        let state = SubgoalState::new(f, key, &self.arena);
         let bytes = state.table_bytes();
         self.stats.table_bytes += bytes;
         if let Some(sink) = self.trace {
+            let call = self.arena.terms(&key);
             sink.event(&TraceEvent::NewSubgoal {
                 pred: f,
-                call: &key,
+                call: &call,
                 bytes,
             });
         }
@@ -772,7 +457,7 @@ impl<'e> Machine<'e> {
         // starts a fresh derivation trail rooted at its clause — the answers
         // it eventually produces are supported by that clause.
         let mut b = Bindings::new();
-        let call_args = key.instantiate(&mut b);
+        let call_args = self.arena.instantiate(&key, &mut b);
         let db = self.db;
         for (cidx, clause) in db.matching_clauses_iter(f, call_args.first()) {
             self.stats.clause_resolutions += 1;
@@ -806,140 +491,11 @@ impl<'e> Machine<'e> {
         Ok(sid)
     }
 
-    fn return_answer(&mut self, cid: usize, aidx: usize) -> Result<(), EngineError> {
-        // Canonical terms are `Copy` arena handles, so pulling the consumer's
-        // coordinates out is free — no `Consumer` or answer clone on this
-        // path. Only the provenance trail (off by default) is cloned.
-        let (subgoal, split, canon, watched) = {
-            let c = &self.consumers[cid];
-            (c.node.subgoal, c.node.split, c.node.canon, c.watched)
-        };
-        let mut b = Bindings::new();
-        let ts = canon.instantiate(&mut b);
-        let (template, goals) = ts.split_at(split);
-        let (g, rest) = goals
-            .split_first()
-            .expect("consumer node has a selected goal");
-        let answer = self.subgoals[watched].answers[aidx];
-        let ans_args = answer.instantiate(&mut b);
-        let ok = g
-            .args()
-            .iter()
-            .zip(ans_args.iter())
-            .all(|(x, y)| self.unif(&mut b, x, y));
-        if ok {
-            if let Some(sink) = self.trace {
-                sink.event(&TraceEvent::AnswerReturn {
-                    pred: self.subgoals[watched].functor,
-                });
-            }
-            // The continuation consumed answer `aidx` of the watched table:
-            // extend the consumer's trail with that premise.
-            let mut prov = self.consumers[cid].node.prov.clone();
-            if let Some(p) = prov.as_deref_mut() {
-                p.premises.push(AnswerRef {
-                    subgoal: watched,
-                    answer: aidx,
-                });
-            }
-            let n = self.make_node(subgoal, split, &b, template, rest, prov);
-            self.push(Task::Expand(n));
-        }
-        Ok(())
+    fn open_call_key(&mut self, f: Functor) -> CanonicalTerm {
+        let b = Bindings::new();
+        let args: Vec<Term> = (0..f.arity).map(|i| Term::Var(Var(i as u32))).collect();
+        self.arena.canonicalize(&b, &args)
     }
-
-    fn add_answer(&mut self, sid: usize, mut ans: CanonicalTerm, prov: Option<Box<NodeProv>>) {
-        if let Some(hook) = &self.opts.answer_widening {
-            let widened = hook(&ans);
-            if let Some(sink) = self.trace {
-                if widened != ans {
-                    sink.event(&TraceEvent::AnswerWidened {
-                        pred: self.subgoals[sid].functor,
-                        original: &ans,
-                        widened: &widened,
-                    });
-                }
-            }
-            ans = widened;
-        }
-        let sub = &mut self.subgoals[sid];
-        if sub.answer_ids.insert(ans.root_id()) {
-            // When recording, the provenance record rides along with the
-            // answer and its bytes are charged to the same accounting the
-            // rescan and the AnswerInsert event see. A widened answer keeps
-            // the trail of the concrete derivation that produced it.
-            let prov_rec = self
-                .opts
-                .record_provenance
-                .then(|| prov.map(|p| p.freeze()).unwrap_or_default());
-            let prov_bytes = prov_rec.as_ref().map_or(0, crate::AnswerProv::heap_bytes);
-            // Substitution factoring: only structure not already present in
-            // this table (call or earlier answers) is charged.
-            let term_bytes = sub.charge(&ans);
-            let bytes = term_bytes + NODE_OVERHEAD + prov_bytes;
-            sub.add_entry_bytes(NODE_OVERHEAD + prov_bytes);
-            if let Some(sink) = self.trace {
-                sink.event(&TraceEvent::AnswerInsert {
-                    pred: sub.functor,
-                    answer: &ans,
-                    bytes,
-                });
-            }
-            sub.answers.push(ans);
-            if let Some(p) = prov_rec {
-                sub.provenance.push(p);
-            }
-            let idx = sub.answers.len() - 1;
-            self.stats.answers += 1;
-            self.stats.table_bytes += bytes;
-            // Wake every registered consumer with exactly this answer,
-            // advancing its cursor — no clone of the consumer list. The
-            // list cannot grow while we walk it (pushing tasks only
-            // enqueues; registration happens during expansion).
-            for i in 0..self.subgoals[sid].consumers.len() {
-                let cid = self.subgoals[sid].consumers[i];
-                debug_assert_eq!(
-                    self.consumers[cid].next, idx,
-                    "consumer cursor out of step with the answer table"
-                );
-                self.consumers[cid].next = idx + 1;
-                self.push(Task::Return(cid, idx));
-            }
-        } else {
-            self.stats.duplicate_answers += 1;
-            if let Some(sink) = self.trace {
-                sink.event(&TraceEvent::DuplicateAnswer {
-                    pred: sub.functor,
-                    answer: &ans,
-                });
-            }
-        }
-    }
-
-    /// Negation as failure over a completed subcomputation: evaluates the
-    /// goal in a fresh machine (tables are not shared) and reports whether
-    /// any answer exists.
-    fn provable(&mut self, goal: &Term, b: &Bindings) -> Result<bool, EngineError> {
-        let g = b.resolve(goal);
-        let mut sub = Machine::new(self.db, self.opts);
-        let empty = Bindings::new();
-        let eval = sub.run(&[g], &[], &empty)?;
-        // Fold the subcomputation's work into this evaluation's counters.
-        // `table_bytes` stays out: the sub-machine's tables are discarded
-        // here, so charging their space would overstate live table memory.
-        self.stats.steps += sub.stats.steps;
-        self.stats.clause_resolutions += sub.stats.clause_resolutions;
-        self.stats.subgoals += sub.stats.subgoals;
-        self.stats.answers += sub.stats.answers;
-        self.stats.duplicate_answers += sub.stats.duplicate_answers;
-        Ok(!eval.root_answers().is_empty())
-    }
-}
-
-fn open_call_key(f: Functor) -> CanonicalTerm {
-    let b = Bindings::new();
-    let args: Vec<Term> = (0..f.arity).map(|i| Term::Var(Var(i as u32))).collect();
-    canonicalize(&b, &args)
 }
 
 pub(crate) fn flatten_conj(t: &Term, out: &mut Vec<Term>) {
@@ -951,413 +507,4 @@ pub(crate) fn flatten_conj(t: &Term, out: &mut Vec<Term>) {
         }
     }
     out.push(t.clone());
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn solve(src: &str, goal: &str) -> Solutions {
-        Engine::from_source(src).unwrap().solve(goal).unwrap()
-    }
-
-    const GRAPH: &str = "
-        :- table path/2.
-        path(X, Y) :- path(X, Z), edge(Z, Y).
-        path(X, Y) :- edge(X, Y).
-        edge(a, b). edge(b, c). edge(c, a).
-    ";
-
-    #[test]
-    fn left_recursion_terminates() {
-        let s = solve(GRAPH, "path(a, X)");
-        let mut got: Vec<String> = s.to_strings();
-        got.sort();
-        assert_eq!(got, vec!["X = a", "X = b", "X = c"]);
-    }
-
-    #[test]
-    fn fully_open_call() {
-        let s = solve(GRAPH, "path(X, Y)");
-        assert_eq!(s.len(), 9);
-    }
-
-    #[test]
-    fn failing_goal_has_no_rows() {
-        let s = solve(GRAPH, "path(a, zzz)");
-        assert!(s.is_empty());
-    }
-
-    #[test]
-    fn ground_goal_succeeds_once() {
-        let s = solve(GRAPH, "path(a, c)");
-        assert_eq!(s.len(), 1);
-        assert_eq!(s.to_strings(), vec!["true"]);
-    }
-
-    #[test]
-    fn non_tabled_append() {
-        let src = "app([], Y, Y). app([H|T], Y, [H|Z]) :- app(T, Y, Z).";
-        let s = solve(src, "app([1,2], [3], L)");
-        assert_eq!(s.to_strings(), vec!["L = [1,2,3]"]);
-    }
-
-    #[test]
-    fn append_backwards_enumerates_splits() {
-        let src = "app([], Y, Y). app([H|T], Y, [H|Z]) :- app(T, Y, Z).";
-        let s = solve(src, "app(X, Y, [1,2,3])");
-        assert_eq!(s.len(), 4);
-    }
-
-    #[test]
-    fn tabled_append_non_ground_answers() {
-        let src = ":- table app/3.\napp([], Y, Y). app([H|T], Y, [H|Z]) :- app(T, Y, Z).";
-        let e = Engine::from_source(src).unwrap();
-        // Open call would run forever under SLD; tabling with variant
-        // answers... would also diverge (infinitely many answers), so query
-        // a bounded instance.
-        let s = e.solve("app(X, Y, [1,2])").unwrap();
-        assert_eq!(s.len(), 3);
-    }
-
-    #[test]
-    fn same_generation_classic() {
-        let src = "
-            :- table sg/2.
-            sg(X, X).
-            sg(X, Y) :- par(X, XP), sg(XP, YP), par(Y, YP).
-            par(c1, p1). par(c2, p1). par(p1, g1). par(p2, g1).
-        ";
-        let s = solve(src, "sg(c1, X)");
-        let mut got = s.to_strings();
-        got.sort();
-        assert_eq!(got, vec!["X = c1", "X = c2"]);
-    }
-
-    #[test]
-    fn mutual_recursion_tabled() {
-        let src = "
-            :- table even/1, odd/1.
-            even(z).
-            even(s(X)) :- odd(X).
-            odd(s(X)) :- even(X).
-        ";
-        let s = solve(src, "even(s(s(z)))");
-        assert_eq!(s.len(), 1);
-    }
-
-    #[test]
-    fn arithmetic_in_clause_bodies() {
-        let src = "fact(0, 1). fact(N, F) :- N > 0, N1 is N - 1, fact(N1, F1), F is N * F1.";
-        let s = solve(src, "fact(5, F)");
-        assert_eq!(s.to_strings(), vec!["F = 120"]);
-    }
-
-    #[test]
-    fn disjunction_and_if_then_else() {
-        let src = "p(1). p(2). q(X) :- (p(X) ; X = 3). r(X, Y) :- (X = 1 -> Y = one ; Y = other).";
-        let s = solve(src, "q(X)");
-        assert_eq!(s.len(), 3);
-        let s = solve(src, "r(1, Y)");
-        assert_eq!(s.to_strings(), vec!["Y = one"]);
-        let s = solve(src, "r(2, Y)");
-        assert_eq!(s.to_strings(), vec!["Y = other"]);
-    }
-
-    #[test]
-    fn negation_as_failure() {
-        let src = "p(1). p(2). good(X) :- p(X), \\+ bad(X). bad(2).";
-        let s = solve(src, "good(X)");
-        assert_eq!(s.to_strings(), vec!["X = 1"]);
-    }
-
-    #[test]
-    fn unknown_predicate_errors_by_default() {
-        let e = Engine::from_source("p(a).").unwrap();
-        assert!(matches!(
-            e.solve("nosuch(X)"),
-            Err(EngineError::UnknownPredicate(_))
-        ));
-    }
-
-    #[test]
-    fn unknown_predicate_can_fail_silently() {
-        let mut e = Engine::from_source("p(a) . q(X) :- p(X).").unwrap();
-        e.options_mut().unknown = Unknown::Fail;
-        let s = e.solve("nosuch(X)").unwrap();
-        assert!(s.is_empty());
-    }
-
-    #[test]
-    fn propositional_sld_loop_terminates_via_node_dedup() {
-        // `loop :- loop.` repeats the same resolvent; the derivation
-        // forest is a set of nodes, so the loop is detected even without
-        // tabling and the query fails finitely.
-        let e = Engine::from_source("loop :- loop.").unwrap();
-        assert!(e.solve("loop").unwrap().is_empty());
-    }
-
-    #[test]
-    fn step_limit_catches_runaway_sld() {
-        // A growing resolvent defeats node dedup; the step budget is the
-        // safety net.
-        let mut e = Engine::from_source("loop(X) :- loop(f(X)).").unwrap();
-        e.options_mut().max_steps = Some(1000);
-        assert!(matches!(e.solve("loop(a)"), Err(EngineError::StepLimit(_))));
-    }
-
-    #[test]
-    fn tabling_dedups_answers() {
-        let src = ":- table p/1.\np(X) :- q(X). p(X) :- r(X). q(a). r(a).";
-        let e = Engine::from_source(src).unwrap();
-        let mut b = Bindings::new();
-        let (g, _) = tablog_syntax::parse_term("p(Z)", &mut b).unwrap();
-        let eval = e
-            .evaluate(std::slice::from_ref(&g), &[g.args()[0].clone()], &b)
-            .unwrap();
-        // One answer in p's table, one for the root — the second derivation
-        // of p(a) collapses at node level, so the table stays duplicate-free.
-        assert_eq!(eval.stats().answers, 2);
-        let p = eval.subgoals_of(Functor::new("p", 1));
-        assert_eq!(p[0].num_answers(), 1);
-    }
-
-    #[test]
-    fn call_table_records_input_patterns() {
-        let src = "
-            :- table p/2, q/2.
-            p(X, Y) :- q(f(X), Y).
-            q(f(a), b).
-        ";
-        let e = Engine::from_source(src).unwrap();
-        let mut b = Bindings::new();
-        let (g, _) = tablog_syntax::parse_term("p(a, Y)", &mut b).unwrap();
-        let eval = e.evaluate(&[g], &[], &b).unwrap();
-        let calls = eval.calls_of(Functor::new("q", 2));
-        assert_eq!(calls.len(), 1);
-        assert_eq!(tablog_syntax::term_to_string(&calls[0]), "q(f(a),A)");
-    }
-
-    #[test]
-    fn breadth_first_scheduling_same_answers() {
-        let opts = EngineOptions {
-            scheduling: Scheduling::BreadthFirst,
-            ..Default::default()
-        };
-        let program = tablog_syntax::parse_program(GRAPH).unwrap();
-        let mut db = Database::new(LoadMode::Dynamic);
-        db.load(&program).unwrap();
-        let e = Engine::new(db, opts);
-        let s = e.solve("path(a, X)").unwrap();
-        assert_eq!(s.len(), 3);
-    }
-
-    #[test]
-    fn compiled_mode_same_answers_as_dynamic() {
-        let src = "p(a, 1). p(b, 2). p(c, 3). look(K, V) :- p(K, V).";
-        for mode in [LoadMode::Dynamic, LoadMode::Compiled] {
-            let e = Engine::from_source_with(src, mode, EngineOptions::default()).unwrap();
-            assert_eq!(e.solve("look(b, V)").unwrap().to_strings(), vec!["V = 2"]);
-        }
-    }
-
-    #[test]
-    fn forward_subsumption_same_answers_fewer_tables() {
-        let mk = |fs: bool| {
-            let opts = EngineOptions {
-                forward_subsumption: fs,
-                ..Default::default()
-            };
-            let program = tablog_syntax::parse_program(GRAPH).unwrap();
-            let mut db = Database::new(LoadMode::Dynamic);
-            db.load(&program).unwrap();
-            Engine::new(db, opts)
-        };
-        for fs in [false, true] {
-            let e = mk(fs);
-            let s = e.solve("path(a, X)").unwrap();
-            assert_eq!(s.len(), 3, "fs={fs}");
-        }
-        // With subsumption, the specific call path(a,X) consumes from the
-        // open table; distinct specific calls do not multiply subgoals.
-        let e = mk(true);
-        let mut b = Bindings::new();
-        let (g, _) = tablog_syntax::parse_term("path(a, X), path(b, Y)", &mut b).unwrap();
-        let mut goals = Vec::new();
-        flatten_conj(&g, &mut goals);
-        let eval = e.evaluate(&goals, &[], &b).unwrap();
-        assert_eq!(eval.subgoals_of(Functor::new("path", 2)).len(), 1);
-    }
-
-    #[test]
-    fn iff_builtin_in_program() {
-        // gp_ap from Figure 2(b), with $iff for the truth tables.
-        let src = "
-            :- table gp_ap/3.
-            gp_ap(X1, X2, X3) :- '$iff'(X1), '$iff'(X2, X3).
-            gp_ap(X1, X2, X3) :-
-                '$iff'(X1, X, Xs), '$iff'(X3, X, Zs), gp_ap(Xs, X2, Zs).
-        ";
-        let s = solve(src, "gp_ap(X, Y, Z)");
-        // Success set is the truth table of X ∧ Y ⇔ Z: 4 rows.
-        let mut got = s.to_strings();
-        got.sort();
-        assert_eq!(
-            got,
-            vec![
-                "X = false, Y = false, Z = false",
-                "X = false, Y = true, Z = false",
-                "X = true, Y = false, Z = false",
-                "X = true, Y = true, Z = true",
-            ]
-        );
-    }
-
-    #[test]
-    fn answer_widening_hook_truncates() {
-        use std::rc::Rc;
-        // Widen every answer to the open tuple: the table keeps one answer.
-        let widen: Option<crate::TermHook> = Some(Rc::new(|c: &CanonicalTerm| {
-            let b = Bindings::new();
-            let args: Vec<Term> = (0..c.terms().len())
-                .map(|i| Term::Var(Var(i as u32)))
-                .collect();
-            canonicalize(&b, &args)
-        }));
-        let opts = EngineOptions {
-            answer_widening: widen,
-            ..Default::default()
-        };
-        let program = tablog_syntax::parse_program(":- table p/1.\np(a). p(b). p(c).").unwrap();
-        let mut db = Database::new(LoadMode::Dynamic);
-        db.load(&program).unwrap();
-        let e = Engine::new(db, opts);
-        let mut b = Bindings::new();
-        let (g, _) = tablog_syntax::parse_term("p(X)", &mut b).unwrap();
-        let eval = e.evaluate(&[g], &[], &b).unwrap();
-        let views = eval.subgoals_of(Functor::new("p", 1));
-        assert_eq!(views[0].num_answers(), 1);
-    }
-
-    #[test]
-    fn stats_table_bytes_nonzero() {
-        let e = Engine::from_source(GRAPH).unwrap();
-        let mut b = Bindings::new();
-        let (g, _) = tablog_syntax::parse_term("path(a, X)", &mut b).unwrap();
-        let eval = e.evaluate(&[g], &[], &b).unwrap();
-        assert!(eval.table_bytes() > 0);
-        assert!(eval.stats().steps > 0);
-    }
-
-    #[test]
-    fn zero_arity_tabled_predicate() {
-        let src = ":- table win/0.\nwin :- win.\n";
-        let mut e = Engine::from_source(src).unwrap();
-        e.options_mut().max_steps = Some(10_000);
-        let s = e.solve("win").unwrap();
-        assert!(s.is_empty()); // no derivation: tabling detects the loop
-    }
-
-    fn eval_graph(opts: EngineOptions) -> Evaluation {
-        let program = tablog_syntax::parse_program(GRAPH).unwrap();
-        let mut db = Database::new(LoadMode::Dynamic);
-        db.load(&program).unwrap();
-        let e = Engine::new(db, opts);
-        let mut b = Bindings::new();
-        let (g, _) = tablog_syntax::parse_term("path(X, Y)", &mut b).unwrap();
-        e.evaluate(&[g], &[], &b).unwrap()
-    }
-
-    #[test]
-    fn incremental_table_bytes_agree_with_rescan() {
-        let eval = eval_graph(EngineOptions::default());
-        assert_eq!(eval.stats().table_bytes, eval.rescan_table_bytes());
-        assert!(eval.table_bytes() > 0);
-    }
-
-    #[test]
-    fn incremental_table_bytes_agree_under_subsumption_and_widening() {
-        use std::rc::Rc;
-        let opts = EngineOptions {
-            forward_subsumption: true,
-            answer_widening: Some(Rc::new(|c: &CanonicalTerm| *c)),
-            ..Default::default()
-        };
-        let eval = eval_graph(opts);
-        assert_eq!(eval.stats().table_bytes, eval.rescan_table_bytes());
-    }
-
-    #[test]
-    fn provable_aggregates_full_subcomputation_stats() {
-        // The negated goal walks a tabled predicate, so the subcomputation
-        // creates subgoals, answers, and clause resolutions that must all
-        // surface in the outer stats, not just its steps.
-        let src = "
-            :- table path/2.
-            path(X, Y) :- path(X, Z), edge(Z, Y).
-            path(X, Y) :- edge(X, Y).
-            edge(a, b). edge(b, c).
-            unreachable(X, Y) :- node(X), node(Y), \\+ path(X, Y).
-            node(a). node(b). node(c).
-        ";
-        let e = Engine::from_source(src).unwrap();
-        let mut b = Bindings::new();
-        let (g, _) = tablog_syntax::parse_term("unreachable(a, Y)", &mut b).unwrap();
-        let eval = e.evaluate(&[g], &[], &b).unwrap();
-        let outer_only = {
-            // Baseline: the same query without the negated literal.
-            let mut b = Bindings::new();
-            let (g, _) = tablog_syntax::parse_term("node(a), node(Y)", &mut b).unwrap();
-            e.evaluate(&[g], &[], &b).unwrap().stats()
-        };
-        let stats = eval.stats();
-        assert!(
-            stats.subgoals > outer_only.subgoals,
-            "negation subgoals missing: {stats:?} vs baseline {outer_only:?}"
-        );
-        assert!(stats.answers > outer_only.answers);
-        assert!(stats.clause_resolutions > outer_only.clause_resolutions);
-    }
-
-    #[test]
-    fn trace_events_mirror_table_stats() {
-        use std::rc::Rc;
-        let counter = Rc::new(tablog_trace::CountingSink::new());
-        let opts = EngineOptions {
-            trace: Some(counter.clone()),
-            ..Default::default()
-        };
-        let eval = eval_graph(opts);
-        let stats = eval.stats();
-        assert_eq!(counter.count("new_subgoal"), stats.subgoals as u64);
-        assert_eq!(counter.count("answer_insert"), stats.answers as u64);
-        assert_eq!(
-            counter.count("duplicate_answer"),
-            stats.duplicate_answers as u64
-        );
-        assert_eq!(
-            counter.count("clause_resolution"),
-            stats.clause_resolutions as u64
-        );
-        // Every subgoal (incl. the synthetic root) completes exactly once.
-        assert_eq!(counter.count("subgoal_complete"), stats.subgoals as u64);
-    }
-
-    #[test]
-    fn metrics_registry_rolls_up_per_predicate_bytes() {
-        use std::rc::Rc;
-        let registry = Rc::new(tablog_trace::MetricsRegistry::new());
-        let opts = EngineOptions {
-            trace: Some(registry.clone()),
-            ..Default::default()
-        };
-        let eval = eval_graph(opts);
-        let report = registry.snapshot();
-        let total: u64 = report.totals().table_bytes;
-        assert_eq!(total, eval.stats().table_bytes as u64);
-        let path = report.pred("path/2").expect("path/2 row");
-        assert!(path.subgoals >= 1);
-        assert!(path.answers > 0);
-        assert!(path.table_bytes > 0);
-    }
 }

@@ -1,14 +1,16 @@
 //! Evaluation options.
 
 use std::fmt;
-use std::rc::Rc;
-use tablog_term::CanonicalTerm;
+use std::str::FromStr;
+use std::sync::Arc;
+use tablog_term::{CanonicalTerm, TermArena};
 use tablog_trace::TraceSink;
 
 /// Worklist discipline for the derivation forest.
 ///
 /// The paper's Section 6.2 discusses the impact of scheduling strategies on
-/// answer collection; both are provided.
+/// answer collection; the three strategies here are implemented by the
+/// [`crate::Scheduler`] implementations of the same names.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Scheduling {
     /// LIFO worklist: depth-first expansion, akin to XSB's local scheduling.
@@ -16,6 +18,42 @@ pub enum Scheduling {
     DepthFirst,
     /// FIFO worklist: breadth-first expansion and answer return.
     BreadthFirst,
+    /// Exhaust expansions before returning any answers to consumers, akin
+    /// to XSB's batched scheduling.
+    Batched,
+}
+
+impl Scheduling {
+    /// The snake_case name used in reports and on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheduling::DepthFirst => "depth_first",
+            Scheduling::BreadthFirst => "breadth_first",
+            Scheduling::Batched => "batched",
+        }
+    }
+}
+
+impl fmt::Display for Scheduling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Scheduling {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "depth_first" | "depth-first" => Ok(Scheduling::DepthFirst),
+            "breadth_first" | "breadth-first" => Ok(Scheduling::BreadthFirst),
+            "batched" => Ok(Scheduling::Batched),
+            other => Err(format!(
+                "unknown scheduling strategy `{other}` \
+                 (expected depth_first, breadth_first, or batched)"
+            )),
+        }
+    }
 }
 
 /// Treatment of goals whose predicate has no definition.
@@ -31,8 +69,11 @@ pub enum Unknown {
 /// A table hook: rewrites a canonical call or answer before it enters a
 /// table. This is the engine-level mechanism for the paper's Section 6.1
 /// (widening / on-the-fly approximation); the Section 5 depth-k analysis
-/// supplies depth-truncation here.
-pub type TermHook = Rc<dyn Fn(&CanonicalTerm) -> CanonicalTerm>;
+/// supplies depth-truncation here. The hook receives the session's own
+/// [`TermArena`] — the handle it is given and the handle it returns both
+/// live there — and must be `Send + Sync` so engines stay `Send` and one
+/// configured engine can serve the parallel multi-program driver.
+pub type TermHook = Arc<dyn Fn(&mut TermArena, &CanonicalTerm) -> CanonicalTerm + Send + Sync>;
 
 /// Options controlling tabled evaluation.
 #[derive(Clone, Default)]
@@ -66,8 +107,9 @@ pub struct EngineOptions {
     pub record_provenance: bool,
     /// Observer of engine events (see `tablog_trace`). With `None` the
     /// engine constructs no events at all, so tracing costs nothing when
-    /// disabled. Negation subcomputations share the sink.
-    pub trace: Option<Rc<dyn TraceSink>>,
+    /// disabled. Negation subcomputations share the sink, and so do the
+    /// concurrent sessions of the parallel driver (sinks are `Sync`).
+    pub trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl EngineOptions {
@@ -77,13 +119,7 @@ impl EngineOptions {
     pub fn describe(&self) -> Vec<(String, String)> {
         let on_off = |b: bool| if b { "on" } else { "off" }.to_owned();
         vec![
-            (
-                "scheduling".to_owned(),
-                match self.scheduling {
-                    Scheduling::DepthFirst => "depth_first".to_owned(),
-                    Scheduling::BreadthFirst => "breadth_first".to_owned(),
-                },
-            ),
+            ("scheduling".to_owned(), self.scheduling.name().to_owned()),
             ("occur_check".to_owned(), on_off(self.occur_check)),
             (
                 "forward_subsumption".to_owned(),
@@ -132,5 +168,38 @@ impl fmt::Debug for EngineOptions {
             .field("record_provenance", &self.record_provenance)
             .field("trace", &self.trace.is_some())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduling_round_trips_through_names() {
+        for s in [
+            Scheduling::DepthFirst,
+            Scheduling::BreadthFirst,
+            Scheduling::Batched,
+        ] {
+            assert_eq!(s.name().parse::<Scheduling>(), Ok(s));
+        }
+        assert!("local".parse::<Scheduling>().is_err());
+    }
+
+    #[test]
+    fn describe_reports_the_selected_strategy() {
+        let opts = EngineOptions {
+            scheduling: Scheduling::Batched,
+            ..Default::default()
+        };
+        let kv = opts.describe();
+        assert!(kv.contains(&("scheduling".to_owned(), "batched".to_owned())));
+    }
+
+    #[test]
+    fn options_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineOptions>();
     }
 }

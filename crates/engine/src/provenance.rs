@@ -1,4 +1,4 @@
-//! Answer provenance and justification trees.
+//! Answer provenance records.
 //!
 //! When [`EngineOptions::record_provenance`](crate::EngineOptions::record_provenance)
 //! is set, every answer inserted into a table carries an [`AnswerProv`]: the
@@ -6,29 +6,15 @@
 //! (later re-derivations are variant duplicates and keep the original
 //! justification) and the table answers it consumed. Because an inserted
 //! answer can only consume answers that entered their tables strictly
-//! earlier, the provenance graph is acyclic by construction; the walk in
-//! [`Evaluation::justify`] still guards against cycles with the same
-//! node-set discipline the derivation forest uses, so a corrupted or
-//! hand-built graph cannot hang it.
+//! earlier, the provenance graph is acyclic by construction.
 //!
-//! The walk materializes a [`JustNode`] tree: the root is the answer being
-//! explained, children are the premises (consumed table answers), and
-//! every leaf is either a program fact, a clause supported purely by
-//! builtins, or a stop marker (cycle / depth limit / provenance not
-//! recorded). Non-tabled (SLD) subderivations are inlined: their clause
-//! ids appear on the consuming node's [`JustNode::clauses`] list rather
-//! than as separate children, mirroring how the machine inlines SLD
-//! resolution into the derivation node itself.
+//! The record types live here; the walk that materializes justification
+//! trees from them is in [`crate::JustNode`]'s module, and goal-level
+//! explanations in [`crate::Explanation`]'s.
 
 use crate::database::Database;
-use crate::machine::{Engine, Evaluation};
-use crate::EngineError;
-use std::collections::HashSet;
 use std::fmt;
-use std::fmt::Write as _;
-use tablog_term::{sym_name, Bindings, Functor, Term};
-use tablog_trace::json::escape;
-use tablog_trace::{Forest, ForestAnswer, ForestSubgoal};
+use tablog_term::Functor;
 
 /// Identity of a program clause: its predicate and its position within the
 /// predicate in source order. Stable across evaluations of one database.
@@ -58,7 +44,8 @@ impl fmt::Display for ClauseRef {
 /// answer index within that subgoal's table.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct AnswerRef {
-    /// Subgoal index (position in [`Evaluation::subgoals`] order).
+    /// Subgoal index (position in
+    /// [`Evaluation::subgoals`](crate::Evaluation::subgoals) order).
     pub subgoal: usize,
     /// Answer index within the subgoal's answer table.
     pub answer: usize,
@@ -98,622 +85,5 @@ impl NodeProv {
             clauses: self.clauses.into_boxed_slice(),
             premises: self.premises.into_boxed_slice(),
         }
-    }
-}
-
-/// Why a justification node has no children.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum JustStatus {
-    /// Supported by a program fact (a clause with an empty body).
-    Fact,
-    /// Supported by a clause whose body was discharged entirely by
-    /// builtins (or by the query's own builtin goals).
-    Builtin,
-    /// An internal node: supported by a clause plus the child premises.
-    Derived,
-    /// Walk stopped: this answer already occurs on the path to the root.
-    Cycle,
-    /// Walk stopped at the depth limit; the answer has further premises.
-    Truncated,
-    /// No provenance was recorded for this answer (evaluation ran with
-    /// `record_provenance` off, or the answer entered via a hook rewrite).
-    Unrecorded,
-}
-
-impl JustStatus {
-    /// The snake_case name used in JSON output.
-    pub fn name(self) -> &'static str {
-        match self {
-            JustStatus::Fact => "fact",
-            JustStatus::Builtin => "builtin",
-            JustStatus::Derived => "derived",
-            JustStatus::Cycle => "cycle",
-            JustStatus::Truncated => "truncated",
-            JustStatus::Unrecorded => "unrecorded",
-        }
-    }
-
-    /// `true` for the two grounded leaf kinds (fact / builtin support).
-    pub fn is_grounded_leaf(self) -> bool {
-        matches!(self, JustStatus::Fact | JustStatus::Builtin)
-    }
-}
-
-/// One node of a justification tree: a table answer together with the
-/// clauses that support it and the justifications of its premises.
-#[derive(Clone, Debug)]
-pub struct JustNode {
-    /// The answer's predicate.
-    pub pred: Functor,
-    /// Subgoal index in the evaluation.
-    pub subgoal: usize,
-    /// Answer index within the subgoal's table.
-    pub answer_index: usize,
-    /// The answer rendered as a term, `p(t1,…,tn)`.
-    pub answer: String,
-    /// Clause ids supporting this answer (first = generator clause).
-    pub clauses: Vec<ClauseRef>,
-    /// Leaf/internal classification.
-    pub status: JustStatus,
-    /// Justifications of the consumed premises.
-    pub children: Vec<JustNode>,
-}
-
-impl JustNode {
-    /// Depth-first iteration over the whole tree (self included).
-    pub fn walk(&self, f: &mut impl FnMut(&JustNode)) {
-        f(self);
-        for c in &self.children {
-            c.walk(f);
-        }
-    }
-
-    /// Number of nodes in the tree.
-    pub fn size(&self) -> usize {
-        1 + self.children.iter().map(JustNode::size).sum::<usize>()
-    }
-
-    /// Renders the tree as ASCII art, one node per line.
-    pub fn render_text(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out, "", "");
-        out
-    }
-
-    fn render_into(&self, out: &mut String, pad: &str, child_pad: &str) {
-        let _ = write!(out, "{pad}{}", self.answer);
-        if !self.clauses.is_empty() {
-            let refs: Vec<String> = self.clauses.iter().map(ClauseRef::to_string).collect();
-            let _ = write!(out, "  via {}", refs.join(", "));
-        }
-        match self.status {
-            JustStatus::Derived => {}
-            s => {
-                let _ = write!(out, "  [{}]", s.name());
-            }
-        }
-        out.push('\n');
-        let n = self.children.len();
-        for (i, c) in self.children.iter().enumerate() {
-            let last = i + 1 == n;
-            let branch = if last { "`- " } else { "|- " };
-            let cont = if last { "   " } else { "|  " };
-            c.render_into(
-                out,
-                &format!("{child_pad}{branch}"),
-                &format!("{child_pad}{cont}"),
-            );
-        }
-    }
-
-    /// Renders the node (recursively) as one JSON object.
-    pub fn to_json(&self) -> String {
-        let mut s = String::with_capacity(128);
-        let _ = write!(
-            s,
-            "{{\"answer\":\"{}\",\"pred\":\"{}\",\"subgoal\":{},\"answer_index\":{},\"status\":\"{}\"",
-            escape(&self.answer),
-            escape(&self.pred.to_string()),
-            self.subgoal,
-            self.answer_index,
-            self.status.name()
-        );
-        s.push_str(",\"clauses\":[");
-        for (i, c) in self.clauses.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            let _ = write!(s, "\"{}\"", escape(&c.to_string()));
-        }
-        s.push_str("],\"children\":[");
-        for (i, c) in self.children.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            s.push_str(&c.to_json());
-        }
-        s.push_str("]}");
-        s
-    }
-}
-
-/// A complete explanation of one goal: every matching answer's
-/// justification tree. Produced by [`Engine::explain`].
-#[derive(Clone, Debug)]
-pub struct Explanation {
-    /// The goal as given.
-    pub goal: String,
-    /// One justification per matching answer, in table order.
-    pub trees: Vec<JustNode>,
-}
-
-impl Explanation {
-    /// `true` if the goal had no matching answers.
-    pub fn is_empty(&self) -> bool {
-        self.trees.is_empty()
-    }
-
-    /// Renders all justification trees, separated by blank lines.
-    pub fn render_text(&self) -> String {
-        if self.trees.is_empty() {
-            return format!("no answers for {}\n", self.goal);
-        }
-        let mut out = String::new();
-        for (i, t) in self.trees.iter().enumerate() {
-            if i > 0 {
-                out.push('\n');
-            }
-            out.push_str(&t.render_text());
-        }
-        out
-    }
-
-    /// Renders the explanation as one JSON object
-    /// (`{"goal": …, "justifications": […]}`).
-    pub fn to_json(&self) -> String {
-        let mut s = format!("{{\"goal\":\"{}\",\"justifications\":[", escape(&self.goal));
-        for (i, t) in self.trees.iter().enumerate() {
-            if i > 0 {
-                s.push(',');
-            }
-            s.push_str(&t.to_json());
-        }
-        s.push_str("]}");
-        s
-    }
-}
-
-impl Evaluation {
-    /// The provenance of answer `answer` of subgoal `subgoal`, if it was
-    /// recorded.
-    pub fn provenance(&self, subgoal: usize, answer: usize) -> Option<&AnswerProv> {
-        self.states().get(subgoal)?.provenance.get(answer)
-    }
-
-    /// `true` if this evaluation recorded provenance.
-    pub fn has_provenance(&self) -> bool {
-        self.states().iter().any(|s| !s.provenance.is_empty())
-    }
-
-    /// Builds the justification tree of one table answer.
-    ///
-    /// The walk is cycle-safe (an answer already on the path becomes a
-    /// [`JustStatus::Cycle`] leaf) and depth-bounded: nodes at
-    /// `max_depth` with further premises become [`JustStatus::Truncated`]
-    /// leaves. `db` must be the database the evaluation ran against; it is
-    /// used to classify leaves as facts vs. builtin-supported.
-    pub fn justify(
-        &self,
-        db: &Database,
-        subgoal: usize,
-        answer: usize,
-        max_depth: usize,
-    ) -> JustNode {
-        let mut path = HashSet::new();
-        self.justify_walk(db, subgoal, answer, max_depth, &mut path)
-    }
-
-    fn justify_walk(
-        &self,
-        db: &Database,
-        sid: usize,
-        aidx: usize,
-        depth: usize,
-        path: &mut HashSet<(usize, usize)>,
-    ) -> JustNode {
-        let state = &self.states()[sid];
-        let answer = render_answer(state.functor, &state.answers[aidx].terms());
-        let mut node = JustNode {
-            pred: state.functor,
-            subgoal: sid,
-            answer_index: aidx,
-            answer,
-            clauses: Vec::new(),
-            status: JustStatus::Unrecorded,
-            children: Vec::new(),
-        };
-        let Some(prov) = state.provenance.get(aidx) else {
-            return node;
-        };
-        node.clauses = prov.clauses.to_vec();
-        if !path.insert((sid, aidx)) {
-            node.status = JustStatus::Cycle;
-            return node;
-        }
-        if prov.premises.is_empty() {
-            node.status = leaf_status(db, &node.clauses);
-        } else if depth == 0 {
-            node.status = JustStatus::Truncated;
-        } else {
-            node.status = JustStatus::Derived;
-            for p in prov.premises.iter() {
-                node.children
-                    .push(self.justify_walk(db, p.subgoal, p.answer, depth - 1, path));
-            }
-        }
-        path.remove(&(sid, aidx));
-        node
-    }
-
-    /// Finds the table answers of predicate `f` that unify with `args`
-    /// (the goal's argument tuple, living in `b`), across all of the
-    /// predicate's call patterns. Returns `(subgoal, answer)` pairs in
-    /// table order, deduplicated by answer variant.
-    pub fn matching_answers(&self, f: Functor, args: &[Term], b: &Bindings) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
-        let mut seen = HashSet::new();
-        for (sid, state) in self.states().iter().enumerate() {
-            if state.functor != f {
-                continue;
-            }
-            for (aidx, ans) in state.answers.iter().enumerate() {
-                if !seen.insert(*ans) {
-                    continue;
-                }
-                let mut bb = b.clone();
-                let m = bb.mark();
-                let ans_args = ans.instantiate(&mut bb);
-                let ok = args
-                    .iter()
-                    .zip(ans_args.iter())
-                    .all(|(x, y)| tablog_term::unify(&mut bb, x, y));
-                bb.undo_to(m);
-                if ok {
-                    out.push((sid, aidx));
-                }
-            }
-        }
-        out
-    }
-
-    /// Exports the complete call/answer-table graph — every subgoal, its
-    /// answers, and (when provenance was recorded) the answer-level
-    /// dependency edges — as a [`Forest`] ready for DOT or JSON rendering.
-    pub fn forest(&self) -> Forest {
-        let subgoals = self
-            .states()
-            .iter()
-            .enumerate()
-            .map(|(sid, state)| ForestSubgoal {
-                id: sid,
-                pred: state.functor.to_string(),
-                call: render_answer(state.functor, &state.call.terms()),
-                complete: state.complete,
-                answers: state
-                    .answers
-                    .iter()
-                    .enumerate()
-                    .map(|(aidx, ans)| {
-                        let prov = state.provenance.get(aidx);
-                        ForestAnswer {
-                            term: render_answer(state.functor, &ans.terms()),
-                            clauses: prov
-                                .map(|p| p.clauses.iter().map(ClauseRef::to_string).collect())
-                                .unwrap_or_default(),
-                            premises: prov
-                                .map(|p| p.premises.iter().map(|r| (r.subgoal, r.answer)).collect())
-                                .unwrap_or_default(),
-                        }
-                    })
-                    .collect(),
-            })
-            .collect();
-        Forest { subgoals }
-    }
-}
-
-/// Classifies a premise-free node from its clause list: a fact leaf if the
-/// derivation bottomed out in at least one program fact (a clause with an
-/// empty body — SLD-resolved facts are inlined into the trail), otherwise
-/// supported purely by builtins.
-fn leaf_status(db: &Database, clauses: &[ClauseRef]) -> JustStatus {
-    let used_fact = clauses
-        .iter()
-        .any(|c| c.resolve(db).is_some_and(|clause| clause.body.is_empty()));
-    if used_fact {
-        JustStatus::Fact
-    } else {
-        JustStatus::Builtin
-    }
-}
-
-fn render_answer(f: Functor, args: &[Term]) -> String {
-    let term = if args.is_empty() {
-        Term::Atom(f.name)
-    } else {
-        Term::Struct(f.name, args.to_vec().into())
-    };
-    tablog_syntax::term_to_string(&term)
-}
-
-impl Engine {
-    /// Evaluates `goal` with provenance recording forced on and returns
-    /// the justification trees of every matching answer.
-    ///
-    /// If the goal is a single call to a tabled predicate, the trees are
-    /// rooted directly at the matching table answers. Otherwise (a
-    /// conjunction, or a non-tabled goal) the trees are rooted at the
-    /// query's own answers, labeled with the goal text.
-    ///
-    /// # Errors
-    ///
-    /// Returns parse errors and any [`EngineError`] raised during
-    /// evaluation.
-    pub fn explain(&self, goal: &str, max_depth: usize) -> Result<Explanation, EngineError> {
-        let mut b = Bindings::new();
-        let (t, _) = tablog_syntax::parse_term(goal, &mut b)?;
-        self.explain_goal(&t, &b, goal, max_depth)
-    }
-
-    /// As [`Engine::explain`], but for an already-parsed goal term whose
-    /// variables live in `bindings`; `label` is the display string used
-    /// for query-rooted trees. This is the entry point the analyzers use:
-    /// abstract predicate names (`gp$p`, `ak$p`, …) are not re-parseable,
-    /// so they hand the constructed term over directly.
-    ///
-    /// # Errors
-    ///
-    /// Returns any [`EngineError`] raised during evaluation.
-    pub fn explain_goal(
-        &self,
-        goal: &Term,
-        bindings: &Bindings,
-        label: &str,
-        max_depth: usize,
-    ) -> Result<Explanation, EngineError> {
-        let mut opts = self.options().clone();
-        opts.record_provenance = true;
-        let mut goals = Vec::new();
-        crate::machine::flatten_conj(goal, &mut goals);
-        let single_tabled = match (goals.len(), goals[0].functor()) {
-            (1, Some(f)) => self.db().is_tabled(f).then_some(f),
-            _ => None,
-        };
-        let eval = self.evaluate_with_opts(&opts, &goals, &[], bindings)?;
-        let trees = match single_tabled {
-            Some(f) => {
-                let args = goals[0].args().to_vec();
-                eval.matching_answers(f, &args, bindings)
-                    .into_iter()
-                    .map(|(sid, aidx)| eval.justify(self.db(), sid, aidx, max_depth))
-                    .collect()
-            }
-            None => {
-                let root = eval.root_index();
-                let n = eval.states()[root].answers.len();
-                (0..n)
-                    .map(|aidx| {
-                        let mut t = eval.justify(self.db(), root, aidx, max_depth);
-                        // The synthetic `$query` tuple is meaningless to the
-                        // reader; show the goal text instead.
-                        if sym_name(t.pred.name) == "$query" {
-                            t.answer = label.to_owned();
-                        }
-                        t
-                    })
-                    .collect()
-            }
-        };
-        Ok(Explanation {
-            goal: label.to_owned(),
-            trees,
-        })
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::Engine;
-
-    const GRAPH: &str = "
-        :- table path/2.
-        path(X, Y) :- path(X, Z), edge(Z, Y).
-        path(X, Y) :- edge(X, Y).
-        edge(a, b). edge(b, c). edge(c, a).
-    ";
-
-    fn engine(src: &str, record: bool) -> Engine {
-        let mut e = Engine::from_source(src).unwrap();
-        e.options_mut().record_provenance = record;
-        e
-    }
-
-    fn eval(e: &Engine, goal: &str) -> crate::Evaluation {
-        let mut b = Bindings::new();
-        let (g, _) = tablog_syntax::parse_term(goal, &mut b).unwrap();
-        let mut goals = Vec::new();
-        crate::machine::flatten_conj(&g, &mut goals);
-        e.evaluate(&goals, &[], &b).unwrap()
-    }
-
-    #[test]
-    fn recording_off_stores_nothing() {
-        let eval = eval(&engine(GRAPH, false), "path(a, X)");
-        assert!(!eval.has_provenance());
-        assert!(eval.provenance(0, 0).is_none());
-    }
-
-    #[test]
-    fn off_and_on_table_bytes_differ_only_by_provenance() {
-        let off = eval(&engine(GRAPH, false), "path(a, X)");
-        let on = eval(&engine(GRAPH, true), "path(a, X)");
-        let prov_bytes: usize = on
-            .subgoals()
-            .map(|v| {
-                (0..v.num_answers())
-                    .filter_map(|i| v.provenance(i))
-                    .map(AnswerProv::heap_bytes)
-                    .sum::<usize>()
-            })
-            .sum();
-        assert!(prov_bytes > 0);
-        assert_eq!(off.table_bytes() + prov_bytes, on.table_bytes());
-        // The incremental accounting and the rescan agree on both sides.
-        assert_eq!(off.stats().table_bytes, off.rescan_table_bytes());
-        assert_eq!(on.stats().table_bytes, on.rescan_table_bytes());
-    }
-
-    #[test]
-    fn every_answer_gets_a_provenance_record() {
-        let eval = eval(&engine(GRAPH, true), "path(X, Y)");
-        for v in eval.subgoals() {
-            for i in 0..v.num_answers() {
-                assert!(v.provenance(i).is_some(), "{} answer {i}", v.functor());
-            }
-        }
-    }
-
-    #[test]
-    fn base_case_answer_cites_the_base_clause() {
-        let e = engine(GRAPH, true);
-        let ex = e.explain("path(a, b)", 10).unwrap();
-        assert_eq!(ex.trees.len(), 1);
-        let root = &ex.trees[0];
-        assert_eq!(root.answer, "path(a,b)");
-        // path(a,b) comes from clause 1 (the edge/2 base case) plus the
-        // edge(a,b) fact inlined via SLD — a premise-free fact leaf.
-        let path2 = Functor::new("path", 2);
-        let edge2 = Functor::new("edge", 2);
-        assert!(root.clauses.contains(&ClauseRef {
-            pred: path2,
-            index: 1
-        }));
-        assert!(root.clauses.iter().any(|c| c.pred == edge2));
-        assert_eq!(root.status, JustStatus::Fact);
-    }
-
-    #[test]
-    fn justification_leaves_are_grounded() {
-        let e = engine(GRAPH, true);
-        let ex = e.explain("path(a, c)", 64).unwrap();
-        assert_eq!(ex.trees.len(), 1);
-        ex.trees[0].walk(&mut |n| {
-            if n.children.is_empty() {
-                assert!(
-                    n.status.is_grounded_leaf() || n.status == JustStatus::Cycle,
-                    "leaf {} has status {:?}",
-                    n.answer,
-                    n.status
-                );
-            } else {
-                assert_eq!(n.status, JustStatus::Derived);
-            }
-        });
-    }
-
-    #[test]
-    fn clause_ids_resolve_in_the_database() {
-        let e = engine(GRAPH, true);
-        let ex = e.explain("path(a, a)", 64).unwrap();
-        ex.trees[0].walk(&mut |n| {
-            for c in &n.clauses {
-                assert!(c.resolve(e.db()).is_some(), "dangling {c}");
-            }
-        });
-    }
-
-    #[test]
-    fn depth_limit_truncates() {
-        let e = engine(GRAPH, true);
-        let ex = e.explain("path(a, c)", 0).unwrap();
-        assert_eq!(ex.trees[0].status, JustStatus::Truncated);
-        assert!(ex.trees[0].children.is_empty());
-    }
-
-    #[test]
-    fn facts_are_fact_leaves() {
-        let src = ":- table edge/2.\nedge(a, b).";
-        let e = engine(src, true);
-        let ex = e.explain("edge(a, b)", 10).unwrap();
-        assert_eq!(ex.trees[0].status, JustStatus::Fact);
-    }
-
-    #[test]
-    fn conjunction_explains_via_query_root() {
-        let e = engine(GRAPH, true);
-        let ex = e.explain("path(a, b), path(b, c)", 10).unwrap();
-        assert_eq!(ex.trees.len(), 1);
-        assert_eq!(ex.trees[0].answer, "path(a, b), path(b, c)");
-        assert_eq!(ex.trees[0].children.len(), 2);
-    }
-
-    #[test]
-    fn unrecorded_answers_render_as_unrecorded() {
-        let eval = eval(&engine(GRAPH, false), "path(a, b)");
-        let e = engine(GRAPH, false);
-        let node = eval.justify(e.db(), 0, 0, 10);
-        assert_eq!(node.status, JustStatus::Unrecorded);
-    }
-
-    #[test]
-    fn render_text_draws_a_tree() {
-        let e = engine(GRAPH, true);
-        let text = e.explain("path(a, c)", 64).unwrap().render_text();
-        assert!(text.starts_with("path(a,c)"));
-        assert!(text.contains("`- "));
-        assert!(text.contains("via path/2#"));
-    }
-
-    #[test]
-    fn explanation_json_round_trips_through_parser() {
-        let e = engine(GRAPH, true);
-        let json = e.explain("path(a, c)", 64).unwrap().to_json();
-        let doc = tablog_trace::json::parse(&json).unwrap();
-        assert_eq!(doc.get("goal").unwrap().as_str(), Some("path(a, c)"));
-        let trees = doc.get("justifications").unwrap().as_arr().unwrap();
-        assert_eq!(trees.len(), 1);
-        assert_eq!(trees[0].get("status").unwrap().as_str(), Some("derived"));
-    }
-
-    #[test]
-    fn forest_export_round_trips_and_links_premises() {
-        let e = engine(GRAPH, true);
-        let eval = eval(&e, "path(a, X)");
-        let forest = eval.forest();
-        assert_eq!(forest.subgoals.len(), eval.stats().subgoals);
-        let back = tablog_trace::Forest::from_json(&forest.to_json()).unwrap();
-        assert_eq!(forest, back);
-        // Premise indices stay in range.
-        for s in &forest.subgoals {
-            for a in &s.answers {
-                for &(ps, pa) in &a.premises {
-                    assert!(pa < forest.subgoals[ps].answers.len());
-                }
-            }
-        }
-        // Some answer actually consumed a premise (path is recursive).
-        assert!(forest
-            .subgoals
-            .iter()
-            .flat_map(|s| &s.answers)
-            .any(|a| !a.premises.is_empty()));
-    }
-
-    #[test]
-    fn explain_does_not_mutate_engine_options() {
-        let e = engine(GRAPH, false);
-        e.explain("path(a, b)", 10).unwrap();
-        assert!(!e.options().record_provenance);
     }
 }

@@ -1,15 +1,18 @@
 //! Table inspection types: subgoal views, answer iteration, statistics.
 //!
 //! Since PR 3 the answer store is id-keyed: [`CanonicalTerm`] is a `Copy`
-//! handle into the term crate's hash-consing arena, the duplicate-check set
-//! holds bare [`TermId`]s (not second copies of the answers), and table-space
+//! handle into a hash-consing arena, the duplicate-check set holds bare
+//! [`TermId`]s (not second copies of the answers), and table-space
 //! accounting charges shared structure once per subgoal — the substitution
 //! factoring XSB's tries provide (see DESIGN.md, "Table representation &
-//! substitution factoring").
+//! substitution factoring"). Since PR 4 the arena is session-scoped
+//! ([`TermArena`], owned by the running machine and then by the finished
+//! [`crate::Evaluation`]), so every accessor that materializes terms takes
+//! the owning arena.
 
 use crate::provenance::AnswerProv;
 use std::collections::HashSet;
-use tablog_term::{charge_shared_bytes, CanonicalTerm, Functor, Term, TermId};
+use tablog_term::{CanonicalTerm, Functor, Term, TermArena, TermId};
 
 /// Per-entry overhead added to each stored call or answer term, mirroring
 /// what XSB's statistics report counts: the term plus a fixed table-node
@@ -47,9 +50,10 @@ pub(crate) struct SubgoalState {
 
 impl SubgoalState {
     /// Creates the state and charges the call term plus its entry overhead.
-    pub(crate) fn new(functor: Functor, call: CanonicalTerm) -> Self {
+    /// `arena` is the session arena that minted `call`.
+    pub(crate) fn new(functor: Functor, call: CanonicalTerm, arena: &TermArena) -> Self {
         let mut charged = HashSet::new();
-        let bytes = charge_shared_bytes(&call, &mut charged) + NODE_OVERHEAD;
+        let bytes = arena.charge_shared_bytes(&call, &mut charged) + NODE_OVERHEAD;
         SubgoalState {
             functor,
             call,
@@ -65,8 +69,8 @@ impl SubgoalState {
 
     /// Charges the nodes of `c` not yet billed to this table and returns the
     /// newly charged term bytes (0 if everything was already shared).
-    pub(crate) fn charge(&mut self, c: &CanonicalTerm) -> usize {
-        let fresh = charge_shared_bytes(c, &mut self.charged);
+    pub(crate) fn charge(&mut self, c: &CanonicalTerm, arena: &TermArena) -> usize {
+        let fresh = arena.charge_shared_bytes(c, &mut self.charged);
         self.bytes += fresh;
         fresh
     }
@@ -84,11 +88,11 @@ impl SubgoalState {
     /// Recomputes this subgoal's table space from scratch: call first, then
     /// answers in insertion order, each with entry overhead, plus provenance
     /// records. Must agree with the incremental [`SubgoalState::table_bytes`].
-    pub(crate) fn rescan_bytes(&self) -> usize {
+    pub(crate) fn rescan_bytes(&self, arena: &TermArena) -> usize {
         let mut seen = HashSet::new();
-        let mut total = charge_shared_bytes(&self.call, &mut seen) + NODE_OVERHEAD;
+        let mut total = arena.charge_shared_bytes(&self.call, &mut seen) + NODE_OVERHEAD;
         for a in &self.answers {
-            total += charge_shared_bytes(a, &mut seen) + NODE_OVERHEAD;
+            total += arena.charge_shared_bytes(a, &mut seen) + NODE_OVERHEAD;
         }
         total
             + self
@@ -100,10 +104,13 @@ impl SubgoalState {
 }
 
 /// A read-only view of one subgoal's table: the call pattern and its
-/// answers. Obtained from [`crate::Evaluation::subgoals`].
+/// answers. Obtained from [`crate::Evaluation::subgoals`]; carries a
+/// reference to the evaluation's session arena so materialization needs no
+/// global state.
 #[derive(Clone, Copy, Debug)]
 pub struct SubgoalView<'a> {
     pub(crate) state: &'a SubgoalState,
+    pub(crate) arena: &'a TermArena,
 }
 
 impl<'a> SubgoalView<'a> {
@@ -114,12 +121,12 @@ impl<'a> SubgoalView<'a> {
 
     /// The call pattern as a term `p(t1,…,tn)` with canonical variables.
     pub fn call_term(&self) -> Term {
-        rebuild(self.state.functor, &self.state.call.terms())
+        rebuild(self.state.functor, &self.arena.terms(&self.state.call))
     }
 
     /// The canonical call-argument tuple, materialized from the arena.
     pub fn call_args(&self) -> Vec<Term> {
-        self.state.call.terms()
+        self.arena.terms(&self.state.call)
     }
 
     /// Number of answers in the table.
@@ -137,13 +144,15 @@ impl<'a> SubgoalView<'a> {
     pub fn answers(&self) -> AnswerIter<'a> {
         AnswerIter {
             functor: self.state.functor,
+            arena: self.arena,
             inner: self.state.answers.iter(),
         }
     }
 
     /// Iterates over raw canonical answer tuples.
     pub fn answer_tuples(&self) -> impl Iterator<Item = Vec<Term>> + 'a {
-        self.state.answers.iter().map(|c| c.terms())
+        let arena = self.arena;
+        self.state.answers.iter().map(move |c| arena.terms(c))
     }
 
     /// Provenance of answer `idx`, if the evaluation recorded it.
@@ -162,6 +171,7 @@ impl<'a> SubgoalView<'a> {
 #[derive(Clone, Debug)]
 pub struct AnswerIter<'a> {
     functor: Functor,
+    arena: &'a TermArena,
     inner: std::slice::Iter<'a, CanonicalTerm>,
 }
 
@@ -169,11 +179,13 @@ impl Iterator for AnswerIter<'_> {
     type Item = Term;
 
     fn next(&mut self) -> Option<Term> {
-        self.inner.next().map(|c| rebuild(self.functor, &c.terms()))
+        self.inner
+            .next()
+            .map(|c| rebuild(self.functor, &self.arena.terms(c)))
     }
 }
 
-fn rebuild(f: Functor, args: &[Term]) -> Term {
+pub(crate) fn rebuild(f: Functor, args: &[Term]) -> Term {
     if args.is_empty() {
         Term::Atom(f.name)
     } else {

@@ -13,19 +13,20 @@
 //! an exact model (events do not say *which* table of a predicate they hit).
 
 use proptest::prelude::*;
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
-use tablog_engine::{Engine, EngineOptions, LoadMode, OwnedEvent, TraceEvent, TraceSink};
+use std::sync::{Arc, Mutex};
+use tablog_engine::{
+    Engine, EngineOptions, LoadMode, OwnedEvent, Scheduling, TraceEvent, TraceSink,
+};
 use tablog_term::{Bindings, Functor, Term};
 
 /// A sink that retains every event in emission order.
 #[derive(Default)]
-struct Collect(RefCell<Vec<OwnedEvent>>);
+struct Collect(Mutex<Vec<OwnedEvent>>);
 
 impl TraceSink for Collect {
     fn event(&self, e: &TraceEvent<'_>) {
-        self.0.borrow_mut().push(e.to_owned());
+        self.0.lock().unwrap().push(e.to_owned());
     }
 }
 
@@ -92,7 +93,7 @@ proptest! {
     #[test]
     fn id_keyed_tables_match_structural_shadow(prog in arb_prog()) {
         for mode in [LoadMode::Dynamic, LoadMode::Compiled] {
-            let sink = Rc::new(Collect::default());
+            let sink = Arc::new(Collect::default());
             let opts = EngineOptions {
                 forward_subsumption: true,
                 trace: Some(sink.clone()),
@@ -103,7 +104,7 @@ proptest! {
             let mut b = Bindings::new();
             let (g, _) = tablog_syntax::parse_term(prog.goal, &mut b).unwrap();
             let eval = engine.evaluate(&[g], &[], &b).expect("evaluation succeeds");
-            let events = sink.0.borrow();
+            let events = sink.0.lock().unwrap();
 
             let mut shadow: HashMap<Functor, ShadowTable> = HashMap::new();
             let mut tables_per_pred: HashMap<Functor, usize> = HashMap::new();
@@ -119,7 +120,7 @@ proptest! {
                     }
                     OwnedEvent::AnswerInsert { pred, answer, .. } => {
                         inserts += 1;
-                        let tuple = answer.terms();
+                        let tuple = answer.clone();
                         let t = shadow.entry(*pred).or_default();
                         prop_assert!(
                             t.seen.insert(tuple.clone()),
@@ -131,7 +132,7 @@ proptest! {
                     }
                     OwnedEvent::DuplicateAnswer { pred, answer } => {
                         dups += 1;
-                        let tuple = answer.terms();
+                        let tuple = answer.clone();
                         prop_assert!(
                             shadow.entry(*pred).or_default().seen.contains(&tuple),
                             "id table rejected {:?} as duplicate but the \
@@ -159,6 +160,50 @@ proptest! {
                 prop_assert_eq!(&got, &want, "answer order for {:?}", view.functor());
             }
         }
+    }
+
+    /// Scheduling strategy is a performance knob, not a semantics knob:
+    /// depth-first and batched (and breadth-first) evaluation of the same
+    /// random program reach identical answer sets for every subgoal, and
+    /// identical table/subgoal counts.
+    #[test]
+    fn schedulers_agree_on_answer_sets(prog in arb_prog()) {
+        let run = |scheduling: Scheduling| {
+            let opts = EngineOptions { scheduling, ..EngineOptions::default() };
+            let engine =
+                Engine::from_source_with(&prog.src, LoadMode::Dynamic, opts).unwrap();
+            let mut b = Bindings::new();
+            let (g, _) = tablog_syntax::parse_term(prog.goal, &mut b).unwrap();
+            let eval = engine.evaluate(&[g], &[], &b).unwrap();
+            // Per-subgoal answer sets, keyed by the call pattern so tables
+            // line up even if creation order differs between strategies.
+            let mut tables: Vec<(String, Vec<String>)> = eval
+                .subgoals()
+                .map(|v| {
+                    let call = tablog_syntax::term_to_string(&v.call_term());
+                    let mut answers: Vec<String> = v
+                        .answer_tuples()
+                        .map(|t| {
+                            t.iter()
+                                .map(tablog_syntax::term_to_string)
+                                .collect::<Vec<_>>()
+                                .join(",")
+                        })
+                        .collect();
+                    answers.sort();
+                    (call, answers)
+                })
+                .collect();
+            tables.sort();
+            (tables, eval.stats().subgoals, eval.stats().answers)
+        };
+        let depth = run(Scheduling::DepthFirst);
+        let batched = run(Scheduling::Batched);
+        let breadth = run(Scheduling::BreadthFirst);
+        prop_assert_eq!(&depth.0, &batched.0, "depth-first vs batched tables");
+        prop_assert_eq!(&depth.0, &breadth.0, "depth-first vs breadth-first tables");
+        prop_assert_eq!(depth.1, batched.1, "subgoal counts");
+        prop_assert_eq!(depth.2, batched.2, "answer counts");
     }
 
     /// The incremental byte accounting (charged as answers arrive, with

@@ -20,23 +20,28 @@
 //!   matching [`Term::heap_bytes`], used by the table-space accounting,
 //! * whether it is **ground**, and
 //! * a materialized [`Term`] for the node, so converting back to ordinary
-//!   terms is a handful of `Rc` clones rather than a rebuild.
+//!   terms is a handful of `Arc` clones rather than a rebuild.
 //!
-//! The arena is thread-local: materialized terms hold [`Rc`]s (the crate's
-//! terms are deliberately `!Send`), so ids are only meaningful on the thread
-//! that interned them. [`CanonicalTerm`](crate::CanonicalTerm) is likewise
-//! `!Send`, which makes cross-thread misuse unrepresentable rather than
-//! merely discouraged.
+//! Arenas are *session-scoped*: each engine run owns a [`TermArena`], so the
+//! interned forest is dropped with the session instead of accumulating for
+//! the life of the thread (the pre-PR-4 `thread_local!` design leaked every
+//! term ever interned across successive analyses in one process). Every
+//! [`CanonicalTerm`](crate::CanonicalTerm) handle remembers which arena
+//! minted it, and arena accessors `debug_assert` that handles are presented
+//! back to their own arena. A process-wide shared arena (id 0) backs the
+//! convenience free functions ([`crate::canonicalize`],
+//! [`crate::canonical_key`], …) for callers that don't carry a session.
 
 use crate::bindings::Bindings;
 use crate::symbol::Sym;
 use crate::term::{Term, Var};
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
-/// Handle to an interned canonical (sub)term. Two ids are equal iff the
-/// terms they denote are structurally identical, so equality and hashing
-/// are O(1).
+/// Handle to an interned canonical (sub)term. Two ids from the same arena
+/// are equal iff the terms they denote are structurally identical, so
+/// equality and hashing are O(1).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct TermId(u32);
 
@@ -63,6 +68,7 @@ enum NodeKind {
     Tuple(Box<[TermId]>),
 }
 
+#[derive(Clone)]
 struct Node {
     kind: NodeKind,
     /// Structural hash, cached so `CanonicalTerm` hashing never walks.
@@ -77,7 +83,7 @@ struct Node {
     term: Option<Term>,
 }
 
-/// Counters describing the current thread's arena, for observability.
+/// Counters describing one arena, for observability.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ArenaStats {
     /// Number of distinct interned nodes.
@@ -87,7 +93,7 @@ pub struct ArenaStats {
     pub interned_bytes: usize,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct Arena {
     nodes: Vec<Node>,
     /// Hash-cons index: structural hash → candidate ids. Collisions are
@@ -95,12 +101,20 @@ struct Arena {
     buckets: HashMap<u64, Vec<u32>>,
 }
 
-thread_local! {
-    static ARENA: RefCell<Arena> = RefCell::new(Arena::default());
+/// Arena id of the process-wide shared arena backing the free functions.
+pub(crate) const GLOBAL_ARENA_ID: u32 = 0;
+
+/// Session arena ids start at 1; 0 is the shared arena.
+static NEXT_ARENA_ID: AtomicU32 = AtomicU32::new(1);
+
+fn global() -> &'static Mutex<Arena> {
+    static GLOBAL: OnceLock<Mutex<Arena>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(Arena::default()))
 }
 
-fn with_arena<R>(f: impl FnOnce(&mut Arena) -> R) -> R {
-    ARENA.with(|a| f(&mut a.borrow_mut()))
+fn with_global<R>(f: impl FnOnce(&mut Arena) -> R) -> R {
+    let mut a = global().lock().unwrap_or_else(PoisonError::into_inner);
+    f(&mut a)
 }
 
 /// Cost of one term node, shared with [`Term::heap_bytes`].
@@ -247,6 +261,26 @@ impl Arena {
         }
     }
 
+    fn tuple_terms(&self, root: TermId) -> Vec<Term> {
+        self.tuple_children(root)
+            .iter()
+            .map(|&k| {
+                self.node(k)
+                    .term
+                    .clone()
+                    .expect("tuple members are non-tuple nodes")
+            })
+            .collect()
+    }
+
+    fn tuple_instantiate(&self, root: TermId, nvars: u32, b: &mut Bindings) -> Vec<Term> {
+        let base = b.fresh_block(nvars as usize).0;
+        self.tuple_children(root)
+            .iter()
+            .map(|&k| self.instantiate_node(k, base))
+            .collect()
+    }
+
     fn charge(&self, id: TermId, seen: &mut HashSet<TermId>) -> usize {
         if !seen.insert(id) {
             return 0;
@@ -270,92 +304,240 @@ impl Arena {
             _ => node_bytes(),
         }
     }
-}
 
-/// Interns a tuple of already-canonicalized member ids and returns the root.
-fn finish(a: &mut Arena, ids: Vec<TermId>, nvars: u32) -> super::variant::CanonicalTerm {
-    let root = a.intern(NodeKind::Tuple(ids.into()));
-    let hash = a.node(root).hash;
-    super::variant::CanonicalTerm::from_parts(root, nvars, hash)
-}
+    fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            nodes: self.nodes.len(),
+            interned_bytes: self
+                .nodes
+                .iter()
+                .map(|n| match n.kind {
+                    NodeKind::Tuple(_) => 0,
+                    _ => node_bytes(),
+                })
+                .sum(),
+        }
+    }
 
-pub(crate) fn canonicalize_in(b: &Bindings, ts: &[Term]) -> super::variant::CanonicalTerm {
-    with_arena(|a| {
+    fn canonicalize(&mut self, arena_id: u32, b: &Bindings, ts: &[Term]) -> CanonicalTerm {
         let mut map: HashMap<Var, u32> = HashMap::new();
-        let ids: Vec<TermId> = ts.iter().map(|t| a.canon(b, t, &mut map)).collect();
-        finish(a, ids, map.len() as u32)
-    })
-}
+        let ids: Vec<TermId> = ts.iter().map(|t| self.canon(b, t, &mut map)).collect();
+        self.finish(arena_id, ids, map.len() as u32)
+    }
 
-pub(crate) fn canonicalize2_in(
-    b: &Bindings,
-    xs: &[Term],
-    ys: &[Term],
-) -> super::variant::CanonicalTerm {
-    with_arena(|a| {
+    fn canonicalize2(
+        &mut self,
+        arena_id: u32,
+        b: &Bindings,
+        xs: &[Term],
+        ys: &[Term],
+    ) -> CanonicalTerm {
         let mut map: HashMap<Var, u32> = HashMap::new();
         let ids: Vec<TermId> = xs
             .iter()
             .chain(ys.iter())
-            .map(|t| a.canon(b, t, &mut map))
+            .map(|t| self.canon(b, t, &mut map))
             .collect();
-        finish(a, ids, map.len() as u32)
-    })
+        self.finish(arena_id, ids, map.len() as u32)
+    }
+
+    /// Interns a tuple of already-canonicalized member ids, returns the root.
+    fn finish(&mut self, arena_id: u32, ids: Vec<TermId>, nvars: u32) -> CanonicalTerm {
+        let root = self.intern(NodeKind::Tuple(ids.into()));
+        let hash = self.node(root).hash;
+        CanonicalTerm::from_parts(root, nvars, hash, arena_id)
+    }
 }
 
-pub(crate) fn tuple_len(root: TermId) -> usize {
-    with_arena(|a| a.tuple_children(root).len())
+use super::variant::CanonicalTerm;
+
+/// A session-scoped hash-consing term arena.
+///
+/// Every engine session owns one: canonical calls, answers, and node keys
+/// are interned here, and the whole forest is released when the session's
+/// [`Evaluation`](../tablog_engine) (or the arena itself) is dropped —
+/// unlike the pre-PR-4 `thread_local!` interner, which retained every term
+/// ever canonicalized for the life of the thread. The arena is `Send`, so a
+/// session can migrate across threads and sessions on different threads
+/// never contend.
+///
+/// Handles ([`CanonicalTerm`], [`TermId`]) are only meaningful with the
+/// arena that minted them; accessors `debug_assert` this. Cloning an arena
+/// snapshots the forest — handles stay valid against both copies.
+#[derive(Clone)]
+pub struct TermArena {
+    id: u32,
+    inner: Arena,
 }
 
-pub(crate) fn tuple_terms(root: TermId) -> Vec<Term> {
-    with_arena(|a| {
-        a.tuple_children(root)
-            .iter()
-            .map(|&k| {
-                a.node(k)
-                    .term
-                    .clone()
-                    .expect("tuple members are non-tuple nodes")
-            })
-            .collect()
-    })
+impl Default for TermArena {
+    fn default() -> Self {
+        TermArena::new()
+    }
 }
 
-pub(crate) fn tuple_instantiate(root: TermId, nvars: u32, b: &mut Bindings) -> Vec<Term> {
-    let base = b.fresh_block(nvars as usize).0;
-    with_arena(|a| {
-        a.tuple_children(root)
-            .iter()
-            .map(|&k| a.instantiate_node(k, base))
-            .collect()
-    })
+impl std::fmt::Debug for TermArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.inner.stats();
+        f.debug_struct("TermArena")
+            .field("id", &self.id)
+            .field("nodes", &s.nodes)
+            .field("interned_bytes", &s.interned_bytes)
+            .finish()
+    }
 }
 
-pub(crate) fn tree_bytes(root: TermId) -> usize {
-    with_arena(|a| a.node(root).tree_bytes)
+impl TermArena {
+    /// A fresh, empty arena with a process-unique id.
+    pub fn new() -> Self {
+        TermArena {
+            id: NEXT_ARENA_ID.fetch_add(1, Ordering::Relaxed),
+            inner: Arena::default(),
+        }
+    }
+
+    #[inline]
+    fn check(&self, c: &CanonicalTerm) {
+        debug_assert_eq!(
+            c.arena_id(),
+            self.id,
+            "CanonicalTerm from arena {} used with arena {}",
+            c.arena_id(),
+            self.id
+        );
+    }
+
+    /// Canonicalizes a tuple of terms after resolving them through `b`;
+    /// see [`crate::canonicalize`].
+    pub fn canonicalize(&mut self, b: &Bindings, ts: &[Term]) -> CanonicalTerm {
+        self.inner.canonicalize(self.id, b, ts)
+    }
+
+    /// Canonicalizes the concatenation of two tuples without allocating the
+    /// concatenated slice; see [`crate::canonicalize2`].
+    pub fn canonicalize2(&mut self, b: &Bindings, xs: &[Term], ys: &[Term]) -> CanonicalTerm {
+        self.inner.canonicalize2(self.id, b, xs, ys)
+    }
+
+    /// Canonicalizes a single already-resolved term.
+    pub fn canonical_key(&mut self, t: &Term) -> CanonicalTerm {
+        let empty = Bindings::new();
+        self.canonicalize(&empty, std::slice::from_ref(t))
+    }
+
+    /// Number of member terms in `c`'s canonical tuple.
+    pub fn tuple_len(&self, c: &CanonicalTerm) -> usize {
+        self.check(c);
+        self.inner.tuple_children(c.root_id()).len()
+    }
+
+    /// The canonicalized terms of `c`, materialized from cached subterms.
+    pub fn terms(&self, c: &CanonicalTerm) -> Vec<Term> {
+        self.check(c);
+        self.inner.tuple_terms(c.root_id())
+    }
+
+    /// The single canonicalized term of `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` holds more than one term.
+    pub fn term(&self, c: &CanonicalTerm) -> Term {
+        let mut ts = self.terms(c);
+        assert_eq!(ts.len(), 1, "canonical form holds {} terms", ts.len());
+        ts.pop().expect("length checked above")
+    }
+
+    /// Instantiates `c` with fresh variables from `b`; ground subterms are
+    /// shared with the arena's cache instead of copied.
+    pub fn instantiate(&self, c: &CanonicalTerm, b: &mut Bindings) -> Vec<Term> {
+        self.check(c);
+        self.inner
+            .tuple_instantiate(c.root_id(), c.num_vars() as u32, b)
+    }
+
+    /// Estimated heap footprint in bytes of an *unshared* copy of `c`,
+    /// matching [`Term::heap_bytes`].
+    pub fn heap_bytes(&self, c: &CanonicalTerm) -> usize {
+        self.check(c);
+        self.inner.node(c.root_id()).tree_bytes
+    }
+
+    /// Charges the bytes of every node reachable from `c` that is not
+    /// already in `seen`, inserting as it goes — the substitution-factoring
+    /// accounting: within one `seen` scope (a subgoal's table), shared
+    /// structure is charged exactly once, at [`Term::heap_bytes`]'s
+    /// per-node rate.
+    pub fn charge_shared_bytes(&self, c: &CanonicalTerm, seen: &mut HashSet<TermId>) -> usize {
+        self.check(c);
+        self.inner.charge(c.root_id(), seen)
+    }
+
+    /// Snapshot of this arena's counters.
+    pub fn stats(&self) -> ArenaStats {
+        self.inner.stats()
+    }
+}
+
+// --- Compat shim: the process-wide shared arena (id 0). -------------------
+//
+// The free functions below (and the convenience methods on `CanonicalTerm`)
+// operate on a single shared arena behind a mutex. Engine sessions never
+// touch it — they own a `TermArena` — so it only grows with what
+// out-of-session callers (tests, CLI glue, analyzers' key construction)
+// intern, and repeated analyses no longer accumulate state here.
+
+pub(crate) fn canonicalize_in(b: &Bindings, ts: &[Term]) -> CanonicalTerm {
+    with_global(|a| a.canonicalize(GLOBAL_ARENA_ID, b, ts))
+}
+
+pub(crate) fn canonicalize2_in(b: &Bindings, xs: &[Term], ys: &[Term]) -> CanonicalTerm {
+    with_global(|a| a.canonicalize2(GLOBAL_ARENA_ID, b, xs, ys))
+}
+
+#[inline]
+fn check_global(c: &CanonicalTerm) {
+    debug_assert_eq!(
+        c.arena_id(),
+        GLOBAL_ARENA_ID,
+        "session-arena CanonicalTerm used with the shared-arena free functions; \
+         go through the owning TermArena instead"
+    );
+}
+
+pub(crate) fn tuple_len(c: &CanonicalTerm) -> usize {
+    check_global(c);
+    with_global(|a| a.tuple_children(c.root_id()).len())
+}
+
+pub(crate) fn tuple_terms(c: &CanonicalTerm) -> Vec<Term> {
+    check_global(c);
+    with_global(|a| a.tuple_terms(c.root_id()))
+}
+
+pub(crate) fn tuple_instantiate(c: &CanonicalTerm, b: &mut Bindings) -> Vec<Term> {
+    check_global(c);
+    with_global(|a| a.tuple_instantiate(c.root_id(), c.num_vars() as u32, b))
+}
+
+pub(crate) fn tree_bytes(c: &CanonicalTerm) -> usize {
+    check_global(c);
+    with_global(|a| a.node(c.root_id()).tree_bytes)
 }
 
 /// Charges the bytes of every node reachable from `c` that is not already in
-/// `seen`, inserting as it goes. This is the substitution-factoring
-/// accounting: within one `seen` scope (a subgoal's table), shared structure
-/// is charged exactly once, at [`Term::heap_bytes`]'s per-node rate.
-pub fn charge_shared_bytes(c: &super::variant::CanonicalTerm, seen: &mut HashSet<TermId>) -> usize {
-    with_arena(|a| a.charge(c.root_id(), seen))
+/// `seen`, against the process-wide shared arena. Engine tables use
+/// [`TermArena::charge_shared_bytes`] on their session arena instead.
+pub fn charge_shared_bytes(c: &CanonicalTerm, seen: &mut HashSet<TermId>) -> usize {
+    check_global(c);
+    with_global(|a| a.charge(c.root_id(), seen))
 }
 
-/// Snapshot of this thread's arena counters.
+/// Snapshot of the process-wide shared arena's counters. Session arenas
+/// report through [`TermArena::stats`]; this only reflects what the
+/// convenience free functions have interned.
 pub fn arena_stats() -> ArenaStats {
-    with_arena(|a| ArenaStats {
-        nodes: a.nodes.len(),
-        interned_bytes: a
-            .nodes
-            .iter()
-            .map(|n| match n.kind {
-                NodeKind::Tuple(_) => 0,
-                _ => node_bytes(),
-            })
-            .sum(),
-    })
+    with_global(|a| a.stats())
 }
 
 #[cfg(test)]
@@ -424,5 +606,61 @@ mod tests {
         let after = arena_stats();
         assert!(after.nodes > before.nodes);
         assert!(after.interned_bytes > before.interned_bytes);
+    }
+
+    #[test]
+    fn session_arena_round_trips_terms() {
+        let mut a = TermArena::new();
+        let t = structure("f", vec![atom("a"), structure("g", vec![var(Var(4))])]);
+        let b = Bindings::new();
+        let c = a.canonicalize(&b, std::slice::from_ref(&t));
+        assert_eq!(
+            a.terms(&c),
+            vec![structure(
+                "f",
+                vec![atom("a"), structure("g", vec![var(Var(0))])]
+            )]
+        );
+        assert_eq!(a.tuple_len(&c), 1);
+        assert_eq!(a.heap_bytes(&c), t.heap_bytes());
+        let mut seen = HashSet::new();
+        assert_eq!(a.charge_shared_bytes(&c, &mut seen), t.heap_bytes());
+    }
+
+    #[test]
+    fn session_arenas_are_independent_and_do_not_touch_the_shared_arena() {
+        let global_before = arena_stats();
+        let mut a1 = TermArena::new();
+        let mut a2 = TermArena::new();
+        let t = structure("session_probe", vec![int(1), int(2)]);
+        let c1 = a1.canonical_key(&t);
+        let c2 = a2.canonical_key(&t);
+        // Both arenas start empty and intern the same shape: same dense ids,
+        // but different owners.
+        assert_eq!(c1.root_id(), c2.root_id());
+        assert!(a1.stats().nodes > 0);
+        // Session interning leaves the shared arena untouched.
+        assert_eq!(arena_stats(), global_before);
+    }
+
+    #[test]
+    fn dropping_a_session_arena_releases_its_forest() {
+        let global_before = arena_stats();
+        for _ in 0..8 {
+            let mut a = TermArena::new();
+            let c = a.canonical_key(&structure("leak_probe", vec![atom("x"), int(7)]));
+            assert!(a.stats().interned_bytes > 0);
+            let mut b = Bindings::new();
+            assert_eq!(a.instantiate(&c, &mut b).len(), 1);
+            // `a` dropped here: its forest goes with it.
+        }
+        assert_eq!(arena_stats(), global_before);
+    }
+
+    #[test]
+    fn arena_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<TermArena>();
+        assert_send::<CanonicalTerm>();
     }
 }

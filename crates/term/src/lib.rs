@@ -30,7 +30,7 @@ mod term;
 mod unify;
 mod variant;
 
-pub use arena::{arena_stats, charge_shared_bytes, ArenaStats, TermId};
+pub use arena::{arena_stats, charge_shared_bytes, ArenaStats, TermArena, TermId};
 pub use bindings::{Bindings, TrailMark};
 pub use symbol::{intern, sym_name, Sym};
 pub use term::{atom, int, structure, var, Functor, Term, Var};

@@ -2,7 +2,7 @@
 
 use crate::symbol::{intern, sym_name, Sym};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A logic variable, identified by its index into a [`crate::Bindings`] store
 /// (or, inside stored clauses, by its position in the clause's own numbering).
@@ -51,9 +51,10 @@ impl fmt::Display for Functor {
 
 /// A first-order term: variable, atom (0-ary symbol), integer, or compound.
 ///
-/// Compound arguments are stored behind an [`Rc`] slice so that cloning a
+/// Compound arguments are stored behind an [`Arc`] slice so that cloning a
 /// term — which the derivation-forest engine does when copying resolvents —
-/// is cheap and structure-sharing.
+/// is cheap and structure-sharing, and terms (hence engine sessions) are
+/// `Send`.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub enum Term {
     /// An unbound (or bindable) logic variable.
@@ -63,7 +64,7 @@ pub enum Term {
     /// A machine integer.
     Int(i64),
     /// A compound term `f(t1, …, tn)` with `n ≥ 1`.
-    Struct(Sym, Rc<[Term]>),
+    Struct(Sym, Arc<[Term]>),
 }
 
 impl Term {

@@ -8,38 +8,43 @@
 //! `0, 1, 2, …` in first-occurrence order; two terms are variants iff their
 //! canonical forms are equal.
 //!
-//! Since PR 3, canonical forms live in the hash-consing arena of
-//! [`crate::arena`]: a `CanonicalTerm` is a `Copy` handle (root [`TermId`],
-//! variable count, cached hash) rather than an owned term vector. Equality
-//! is an id comparison and hashing reads the cached hash — both O(1) — so
-//! canonical forms are cheap table keys no matter how large the term is.
+//! Since PR 3, canonical forms live in a hash-consing arena
+//! ([`crate::arena`]): a `CanonicalTerm` is a `Copy` handle (root [`TermId`],
+//! variable count, cached hash, owning-arena id) rather than an owned term
+//! vector. Equality is an id comparison and hashing reads the cached hash —
+//! both O(1) — so canonical forms are cheap table keys no matter how large
+//! the term is. Since PR 4 arenas are session-scoped
+//! ([`crate::TermArena`]); the free functions in this module intern into the
+//! process-wide shared arena for callers without a session.
 
-use crate::arena::{self, TermId};
+use crate::arena::{self, TermId, GLOBAL_ARENA_ID};
 use crate::bindings::Bindings;
 use crate::term::Term;
 use std::fmt;
-use std::marker::PhantomData;
-use std::rc::Rc;
 
 /// A term (or term tuple) whose variables have been renumbered into
-/// first-occurrence order, interned in the thread-local arena. Equality on
+/// first-occurrence order, interned in an arena. Equality on
 /// `CanonicalTerm` is variant equality on the originals, decided by a single
 /// id comparison.
 ///
-/// `CanonicalTerm` is `Copy` (12 bytes of handle) and deliberately `!Send`:
-/// ids are only meaningful on the interning thread, like the `Rc`-based
-/// [`Term`] itself.
+/// `CanonicalTerm` is `Copy` and `Send`: a handle travels freely between
+/// threads, but is only meaningful together with the arena that minted it
+/// (arena accessors `debug_assert` the pairing via the stored arena id).
 #[derive(Clone, Copy)]
 pub struct CanonicalTerm {
     root: TermId,
     nvars: u32,
     hash: u64,
-    /// Keeps the handle `!Send`/`!Sync`: it indexes a thread-local arena.
-    _not_send: PhantomData<Rc<()>>,
+    /// Id of the minting arena (0 = the process-wide shared arena).
+    arena: u32,
 }
 
 impl PartialEq for CanonicalTerm {
     fn eq(&self, other: &Self) -> bool {
+        debug_assert_eq!(
+            self.arena, other.arena,
+            "comparing CanonicalTerms from different arenas"
+        );
         self.root == other.root
     }
 }
@@ -54,32 +59,43 @@ impl std::hash::Hash for CanonicalTerm {
 
 impl fmt::Debug for CanonicalTerm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CanonicalTerm")
-            .field("terms", &self.terms())
-            .field("nvars", &self.nvars)
-            .finish()
+        let mut d = f.debug_struct("CanonicalTerm");
+        if self.arena == GLOBAL_ARENA_ID {
+            d.field("terms", &self.terms());
+        } else {
+            d.field("arena", &self.arena).field("root", &self.root);
+        }
+        d.field("nvars", &self.nvars).finish()
     }
 }
 
 impl CanonicalTerm {
-    pub(crate) fn from_parts(root: TermId, nvars: u32, hash: u64) -> Self {
+    pub(crate) fn from_parts(root: TermId, nvars: u32, hash: u64, arena: u32) -> Self {
         CanonicalTerm {
             root,
             nvars,
             hash,
-            _not_send: PhantomData,
+            arena,
         }
     }
 
-    /// The arena id of the canonical tuple. Equal ids ⇔ variant-equal
-    /// originals; useful as a compact table key.
+    /// The arena id of the canonical tuple. Equal ids (within one arena) ⇔
+    /// variant-equal originals; useful as a compact table key.
     pub fn root_id(&self) -> TermId {
         self.root
     }
 
+    /// Id of the arena that minted this handle (0 = shared arena).
+    pub(crate) fn arena_id(&self) -> u32 {
+        self.arena
+    }
+
     /// Number of member terms in the canonical tuple, without materializing.
+    ///
+    /// Shared-arena handles only; session handles go through
+    /// [`crate::TermArena::tuple_len`].
     pub fn len(&self) -> usize {
-        arena::tuple_len(self.root)
+        arena::tuple_len(self)
     }
 
     /// `true` if the canonical tuple has no members.
@@ -88,9 +104,12 @@ impl CanonicalTerm {
     }
 
     /// The canonicalized terms, materialized from the arena's cached
-    /// subterms (a handful of `Rc` clones, not a rebuild).
+    /// subterms (a handful of `Arc` clones, not a rebuild).
+    ///
+    /// Shared-arena handles only; session handles go through
+    /// [`crate::TermArena::terms`].
     pub fn terms(&self) -> Vec<Term> {
-        arena::tuple_terms(self.root)
+        arena::tuple_terms(self)
     }
 
     /// The single canonicalized term.
@@ -112,29 +131,34 @@ impl CanonicalTerm {
     /// Instantiates the canonical form with fresh variables from `b`,
     /// producing terms renamed apart from everything else in `b`. Ground
     /// subterms are shared with the arena's cache instead of copied.
+    ///
+    /// Shared-arena handles only; session handles go through
+    /// [`crate::TermArena::instantiate`].
     pub fn instantiate(&self, b: &mut Bindings) -> Vec<Term> {
-        arena::tuple_instantiate(self.root, self.nvars, b)
+        arena::tuple_instantiate(self, b)
     }
 
     /// Estimated heap footprint in bytes of an *unshared* copy, matching
     /// [`Term::heap_bytes`]. For the substitution-factored charge that
     /// counts shared structure once, see [`crate::charge_shared_bytes`].
     pub fn heap_bytes(&self) -> usize {
-        arena::tree_bytes(self.root)
+        arena::tree_bytes(self)
     }
 }
 
 /// Canonicalizes a tuple of terms *after resolving them* through `b`:
 /// all bound variables are substituted out, and the remaining free variables
 /// are renumbered in first-occurrence order across the whole tuple. The
-/// result is interned — no intermediate resolved terms are allocated.
+/// result is interned in the process-wide shared arena — engine sessions use
+/// [`crate::TermArena::canonicalize`] on their own arena instead.
 pub fn canonicalize(b: &Bindings, ts: &[Term]) -> CanonicalTerm {
     arena::canonicalize_in(b, ts)
 }
 
 /// Canonicalizes the concatenation of two tuples without allocating the
 /// concatenated slice. Equivalent to `canonicalize(b, [xs ++ ys])`; used on
-/// the engine's node-key hot path.
+/// the engine's node-key hot path (via the session arena's
+/// [`crate::TermArena::canonicalize2`]).
 pub fn canonicalize2(b: &Bindings, xs: &[Term], ys: &[Term]) -> CanonicalTerm {
     arena::canonicalize2_in(b, xs, ys)
 }
@@ -164,6 +188,7 @@ pub fn is_variant(t1: &Term, t2: &Term) -> bool {
 mod tests {
     use super::*;
     use crate::term::{atom, structure, var, Var};
+    use std::sync::Arc;
 
     #[test]
     fn canonical_renumbers_first_occurrence() {
@@ -235,12 +260,12 @@ mod tests {
         let mut b = Bindings::new();
         let o1 = c.instantiate(&mut b);
         let o2 = c.instantiate(&mut b);
-        // Ground args come from the arena cache: same Rc allocation.
+        // Ground args come from the arena cache: same Arc allocation.
         match (&o1[0], &o2[0]) {
             (Term::Struct(_, a1), Term::Struct(_, a2)) => {
                 match (&a1[0], &a2[0]) {
                     (Term::Struct(_, g1), Term::Struct(_, g2)) => {
-                        assert!(Rc::ptr_eq(g1, g2));
+                        assert!(Arc::ptr_eq(g1, g2));
                     }
                     other => panic!("unexpected shape {other:?}"),
                 }

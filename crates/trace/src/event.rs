@@ -1,24 +1,27 @@
 //! Typed SLG trace events.
 //!
-//! [`TraceEvent`] is the borrowed form the engine constructs on its hot
-//! path — it holds references into the tables, so building one never
+//! [`TraceEvent`] is the borrowed form the engine constructs on its trace
+//! path — it borrows term slices the engine materializes from its session
+//! arena only when a sink is attached, so the untraced hot path never
 //! allocates. Sinks that outlive the emission (ring buffers, determinism
 //! tests) call [`TraceEvent::to_owned`] to get an [`OwnedEvent`].
 
 use crate::json::escape;
 use std::fmt::Write as _;
-use tablog_term::{CanonicalTerm, Functor};
+use tablog_term::{Functor, Term};
 
 /// One SLG engine transition, borrowed from the engine's tables.
 ///
 /// Every variant carries the predicate (`pred`) it concerns; byte counts
-/// use the same heap-footprint estimate as `TableStats::table_bytes`.
+/// use the same heap-footprint estimate as `TableStats::table_bytes`. Term
+/// payloads are canonical tuples (variables numbered `_0, _1, …` in
+/// first-occurrence order), materialized by the engine from its arena.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEvent<'a> {
     /// A call created a fresh subgoal table entry.
     NewSubgoal {
         pred: Functor,
-        call: &'a CanonicalTerm,
+        call: &'a [Term],
         /// Heap bytes charged to the table for this call key.
         bytes: usize,
     },
@@ -27,34 +30,31 @@ pub enum TraceEvent<'a> {
     /// A new answer entered a subgoal's answer table.
     AnswerInsert {
         pred: Functor,
-        answer: &'a CanonicalTerm,
+        answer: &'a [Term],
         /// Heap bytes charged to the table for this answer.
         bytes: usize,
     },
     /// An answer was derived again and rejected as a variant duplicate.
-    DuplicateAnswer {
-        pred: Functor,
-        answer: &'a CanonicalTerm,
-    },
+    DuplicateAnswer { pred: Functor, answer: &'a [Term] },
     /// An answer was returned to a consumer node.
     AnswerReturn { pred: Functor },
     /// The call-abstraction hook replaced a call key (e.g. depth-k).
     CallAbstracted {
         pred: Functor,
-        original: &'a CanonicalTerm,
-        abstracted: &'a CanonicalTerm,
+        original: &'a [Term],
+        abstracted: &'a [Term],
     },
     /// The answer-widening hook replaced an answer (e.g. depth-k).
     AnswerWidened {
         pred: Functor,
-        original: &'a CanonicalTerm,
-        widened: &'a CanonicalTerm,
+        original: &'a [Term],
+        widened: &'a [Term],
     },
     /// Forward subsumption reused an existing table for a new call.
     SubsumedCall {
         pred: Functor,
-        call: &'a CanonicalTerm,
-        subsumer: &'a CanonicalTerm,
+        call: &'a [Term],
+        subsumer: &'a [Term],
     },
     /// A subgoal was marked complete.
     SubgoalComplete {
@@ -102,7 +102,7 @@ impl TraceEvent<'_> {
         match *self {
             TraceEvent::NewSubgoal { pred, call, bytes } => OwnedEvent::NewSubgoal {
                 pred,
-                call: *call,
+                call: call.to_vec(),
                 bytes,
             },
             TraceEvent::ClauseResolution { pred } => OwnedEvent::ClauseResolution { pred },
@@ -112,12 +112,12 @@ impl TraceEvent<'_> {
                 bytes,
             } => OwnedEvent::AnswerInsert {
                 pred,
-                answer: *answer,
+                answer: answer.to_vec(),
                 bytes,
             },
             TraceEvent::DuplicateAnswer { pred, answer } => OwnedEvent::DuplicateAnswer {
                 pred,
-                answer: *answer,
+                answer: answer.to_vec(),
             },
             TraceEvent::AnswerReturn { pred } => OwnedEvent::AnswerReturn { pred },
             TraceEvent::CallAbstracted {
@@ -126,8 +126,8 @@ impl TraceEvent<'_> {
                 abstracted,
             } => OwnedEvent::CallAbstracted {
                 pred,
-                original: *original,
-                abstracted: *abstracted,
+                original: original.to_vec(),
+                abstracted: abstracted.to_vec(),
             },
             TraceEvent::AnswerWidened {
                 pred,
@@ -135,8 +135,8 @@ impl TraceEvent<'_> {
                 widened,
             } => OwnedEvent::AnswerWidened {
                 pred,
-                original: *original,
-                widened: *widened,
+                original: original.to_vec(),
+                widened: widened.to_vec(),
             },
             TraceEvent::SubsumedCall {
                 pred,
@@ -144,8 +144,8 @@ impl TraceEvent<'_> {
                 subsumer,
             } => OwnedEvent::SubsumedCall {
                 pred,
-                call: *call,
-                subsumer: *subsumer,
+                call: call.to_vec(),
+                subsumer: subsumer.to_vec(),
             },
             TraceEvent::SubgoalComplete {
                 pred,
@@ -231,9 +231,9 @@ impl TraceEvent<'_> {
 }
 
 /// Renders a canonical term tuple for the trace (comma-joined).
-fn render(ct: &CanonicalTerm) -> String {
+fn render(ts: &[Term]) -> String {
     let mut out = String::new();
-    for (i, t) in ct.terms().iter().enumerate() {
+    for (i, t) in ts.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -247,7 +247,7 @@ fn render(ct: &CanonicalTerm) -> String {
 pub enum OwnedEvent {
     NewSubgoal {
         pred: Functor,
-        call: CanonicalTerm,
+        call: Vec<Term>,
         bytes: usize,
     },
     ClauseResolution {
@@ -255,30 +255,30 @@ pub enum OwnedEvent {
     },
     AnswerInsert {
         pred: Functor,
-        answer: CanonicalTerm,
+        answer: Vec<Term>,
         bytes: usize,
     },
     DuplicateAnswer {
         pred: Functor,
-        answer: CanonicalTerm,
+        answer: Vec<Term>,
     },
     AnswerReturn {
         pred: Functor,
     },
     CallAbstracted {
         pred: Functor,
-        original: CanonicalTerm,
-        abstracted: CanonicalTerm,
+        original: Vec<Term>,
+        abstracted: Vec<Term>,
     },
     AnswerWidened {
         pred: Functor,
-        original: CanonicalTerm,
-        widened: CanonicalTerm,
+        original: Vec<Term>,
+        widened: Vec<Term>,
     },
     SubsumedCall {
         pred: Functor,
-        call: CanonicalTerm,
-        subsumer: CanonicalTerm,
+        call: Vec<Term>,
+        subsumer: Vec<Term>,
     },
     SubgoalComplete {
         pred: Functor,
@@ -369,10 +369,12 @@ impl OwnedEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tablog_term::{atom, canonical_key, structure, var, Var};
+    use tablog_term::{atom, structure, var, Var};
 
-    fn key() -> CanonicalTerm {
-        canonical_key(&structure("p", vec![var(Var(7)), atom("a")]))
+    fn key() -> Vec<Term> {
+        // A canonical tuple as the engine would materialize it: variables
+        // already numbered in first-occurrence order.
+        vec![structure("p", vec![var(Var(0)), atom("a")])]
     }
 
     #[test]
@@ -473,5 +475,12 @@ mod tests {
             answer: &k,
         };
         assert!(e.to_json().contains("p(_0,a)"), "got: {}", e.to_json());
+    }
+
+    #[test]
+    fn events_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<OwnedEvent>();
+        assert_send::<TraceEvent<'static>>();
     }
 }

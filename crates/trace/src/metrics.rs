@@ -10,11 +10,15 @@
 use crate::event::TraceEvent;
 use crate::json::escape;
 use crate::sink::TraceSink;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 use tablog_term::Functor;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Counters for one predicate (one table functor).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -80,8 +84,8 @@ impl PredStats {
 /// A [`TraceSink`] accumulating per-predicate statistics and phase timings.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    preds: RefCell<BTreeMap<Functor, PredStats>>,
-    phases: RefCell<Vec<(String, Duration)>>,
+    preds: Mutex<BTreeMap<Functor, PredStats>>,
+    phases: Mutex<Vec<(String, Duration)>>,
 }
 
 impl MetricsRegistry {
@@ -93,7 +97,7 @@ impl MetricsRegistry {
     /// Records one named phase duration (e.g. `"analysis"`). Recording the
     /// same name again accumulates, so repeated evaluations sum up.
     pub fn record_phase(&self, name: &str, d: Duration) {
-        let mut phases = self.phases.borrow_mut();
+        let mut phases = lock(&self.phases);
         if let Some(entry) = phases.iter_mut().find(|(n, _)| n == name) {
             entry.1 += d;
         } else {
@@ -111,14 +115,12 @@ impl MetricsRegistry {
 
     /// Current statistics for one predicate.
     pub fn pred(&self, f: Functor) -> PredStats {
-        self.preds.borrow().get(&f).copied().unwrap_or_default()
+        lock(&self.preds).get(&f).copied().unwrap_or_default()
     }
 
     /// Freezes the current state into a report.
     pub fn snapshot(&self) -> MetricsReport {
-        let mut preds: Vec<(String, PredStats)> = self
-            .preds
-            .borrow()
+        let mut preds: Vec<(String, PredStats)> = lock(&self.preds)
             .iter()
             .map(|(f, s)| (f.to_string(), *s))
             .collect();
@@ -127,7 +129,7 @@ impl MetricsRegistry {
         preds.sort_by(|a, b| a.0.cmp(&b.0));
         MetricsReport {
             preds,
-            phases: self.phases.borrow().clone(),
+            phases: lock(&self.phases).clone(),
             options: Vec::new(),
         }
     }
@@ -135,7 +137,7 @@ impl MetricsRegistry {
 
 impl TraceSink for MetricsRegistry {
     fn event(&self, e: &TraceEvent<'_>) {
-        let mut preds = self.preds.borrow_mut();
+        let mut preds = lock(&self.preds);
         let s = preds.entry(e.pred()).or_default();
         match *e {
             TraceEvent::NewSubgoal { bytes, .. } => {
@@ -300,12 +302,12 @@ impl MetricsReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tablog_term::{atom, canonical_key, structure, var, Var};
+    use tablog_term::{atom, structure, var, Term, Var};
 
     fn feed(reg: &MetricsRegistry) {
         let p = Functor::new("p", 2);
         let q = Functor::new("q", 1);
-        let k = canonical_key(&structure("p", vec![var(Var(0)), atom("a")]));
+        let k: Vec<Term> = vec![structure("p", vec![var(Var(0)), atom("a")])];
         reg.event(&TraceEvent::NewSubgoal {
             pred: p,
             call: &k,

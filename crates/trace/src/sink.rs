@@ -1,16 +1,21 @@
 //! Trace sinks: consumers of [`TraceEvent`]s.
 //!
 //! Sinks take `&self` and use interior mutability, because the engine holds
-//! a single shared `&dyn TraceSink` for the whole evaluation.
+//! a single shared `&dyn TraceSink` for the whole evaluation. Sinks are
+//! `Send + Sync` so engines (which are `Send`) can carry them across
+//! threads and the parallel multi-program driver can share one sink.
 
 use crate::event::{OwnedEvent, TraceEvent};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A consumer of engine trace events.
-pub trait TraceSink {
+pub trait TraceSink: Send + Sync {
     /// Observes one event. Borrowed: retain via [`TraceEvent::to_owned`].
     fn event(&self, e: &TraceEvent<'_>);
 
@@ -30,7 +35,7 @@ impl TraceSink for NoopSink {
 /// Counts events by kind.
 #[derive(Debug, Default)]
 pub struct CountingSink {
-    counts: RefCell<BTreeMap<&'static str, u64>>,
+    counts: Mutex<BTreeMap<&'static str, u64>>,
 }
 
 impl CountingSink {
@@ -41,63 +46,66 @@ impl CountingSink {
 
     /// Occurrences of one event kind (snake_case name).
     pub fn count(&self, kind: &str) -> u64 {
-        self.counts.borrow().get(kind).copied().unwrap_or(0)
+        lock(&self.counts).get(kind).copied().unwrap_or(0)
     }
 
     /// Total events observed.
     pub fn total(&self) -> u64 {
-        self.counts.borrow().values().sum()
+        lock(&self.counts).values().sum()
     }
 
     /// All (kind, count) pairs, sorted by kind.
     pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
-        self.counts.borrow().iter().map(|(k, v)| (*k, *v)).collect()
+        lock(&self.counts).iter().map(|(k, v)| (*k, *v)).collect()
     }
 }
 
 impl TraceSink for CountingSink {
     fn event(&self, e: &TraceEvent<'_>) {
-        *self.counts.borrow_mut().entry(e.kind()).or_insert(0) += 1;
+        *lock(&self.counts).entry(e.kind()).or_insert(0) += 1;
     }
 }
 
 /// Writes each event as one JSON object per line.
-pub struct JsonLinesSink<W: Write> {
-    out: RefCell<W>,
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
 }
 
-impl<W: Write> JsonLinesSink<W> {
+impl<W: Write + Send> JsonLinesSink<W> {
     /// Wraps a writer.
     pub fn new(out: W) -> Self {
         JsonLinesSink {
-            out: RefCell::new(out),
+            out: Mutex::new(out),
         }
     }
 
     /// Unwraps the writer, flushing first.
     pub fn into_inner(self) -> W {
-        let mut w = self.out.into_inner();
+        let mut w = self
+            .out
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         let _ = w.flush();
         w
     }
 }
 
-impl<W: Write> TraceSink for JsonLinesSink<W> {
+impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
     fn event(&self, e: &TraceEvent<'_>) {
-        let mut out = self.out.borrow_mut();
+        let mut out = lock(&self.out);
         let _ = out.write_all(e.to_json().as_bytes());
         let _ = out.write_all(b"\n");
     }
 
     fn flush(&self) {
-        let _ = self.out.borrow_mut().flush();
+        let _ = lock(&self.out).flush();
     }
 }
 
 /// A cloneable in-memory byte buffer implementing [`Write`], for capturing
 /// [`JsonLinesSink`] output while the sink itself is owned by the engine.
 #[derive(Clone, Debug, Default)]
-pub struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl SharedBuf {
     /// An empty buffer.
@@ -107,13 +115,13 @@ impl SharedBuf {
 
     /// The buffer contents as UTF-8.
     pub fn contents(&self) -> String {
-        String::from_utf8_lossy(&self.0.borrow()).into_owned()
+        String::from_utf8_lossy(&lock(&self.0)).into_owned()
     }
 }
 
 impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.borrow_mut().extend_from_slice(buf);
+        lock(&self.0).extend_from_slice(buf);
         Ok(buf.len())
     }
 
@@ -126,7 +134,7 @@ impl Write for SharedBuf {
 #[derive(Debug)]
 pub struct RingBufferSink {
     capacity: usize,
-    buf: RefCell<VecDeque<OwnedEvent>>,
+    buf: Mutex<VecDeque<OwnedEvent>>,
 }
 
 impl RingBufferSink {
@@ -134,23 +142,23 @@ impl RingBufferSink {
     pub fn new(capacity: usize) -> Self {
         RingBufferSink {
             capacity,
-            buf: RefCell::new(VecDeque::with_capacity(capacity.min(1024))),
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
         }
     }
 
     /// The retained events, oldest first.
     pub fn events(&self) -> Vec<OwnedEvent> {
-        self.buf.borrow().iter().cloned().collect()
+        lock(&self.buf).iter().cloned().collect()
     }
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.buf.borrow().len()
+        lock(&self.buf).len()
     }
 
     /// Whether the ring is empty.
     pub fn is_empty(&self) -> bool {
-        self.buf.borrow().is_empty()
+        lock(&self.buf).is_empty()
     }
 }
 
@@ -159,7 +167,7 @@ impl TraceSink for RingBufferSink {
         if self.capacity == 0 {
             return;
         }
-        let mut buf = self.buf.borrow_mut();
+        let mut buf = lock(&self.buf);
         if buf.len() == self.capacity {
             buf.pop_front();
         }
@@ -170,7 +178,7 @@ impl TraceSink for RingBufferSink {
 /// Fans every event out to several sinks in order.
 #[derive(Clone, Default)]
 pub struct MultiSink {
-    sinks: Vec<Rc<dyn TraceSink>>,
+    sinks: Vec<Arc<dyn TraceSink>>,
 }
 
 impl MultiSink {
@@ -180,13 +188,13 @@ impl MultiSink {
     }
 
     /// Adds a sink, returning `self` for chaining.
-    pub fn with(mut self, sink: Rc<dyn TraceSink>) -> Self {
+    pub fn with(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.sinks.push(sink);
         self
     }
 
     /// Adds a sink.
-    pub fn push(&mut self, sink: Rc<dyn TraceSink>) {
+    pub fn push(&mut self, sink: Arc<dyn TraceSink>) {
         self.sinks.push(sink);
     }
 
@@ -218,9 +226,9 @@ impl TraceSink for MultiSink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tablog_term::{atom, canonical_key, structure, var, Functor, Var};
+    use tablog_term::{atom, structure, var, Functor, Term, Var};
 
-    fn sample<'a>(k: &'a tablog_term::CanonicalTerm) -> [TraceEvent<'a>; 3] {
+    fn sample<'a>(k: &'a [Term]) -> [TraceEvent<'a>; 3] {
         let p = Functor::new("p", 2);
         [
             TraceEvent::NewSubgoal {
@@ -237,8 +245,8 @@ mod tests {
         ]
     }
 
-    fn key() -> tablog_term::CanonicalTerm {
-        canonical_key(&structure("p", vec![var(Var(0)), atom("a")]))
+    fn key() -> Vec<Term> {
+        vec![structure("p", vec![var(Var(0)), atom("a")])]
     }
 
     #[test]
@@ -290,13 +298,29 @@ mod tests {
     #[test]
     fn multi_sink_fans_out() {
         let k = key();
-        let a = Rc::new(CountingSink::new());
-        let b = Rc::new(RingBufferSink::new(10));
+        let a = Arc::new(CountingSink::new());
+        let b = Arc::new(RingBufferSink::new(10));
         let multi = MultiSink::new().with(a.clone()).with(b.clone());
         for e in sample(&k) {
             multi.event(&e);
         }
         assert_eq!(a.total(), 3);
         assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn sinks_are_shareable_across_threads() {
+        let sink = Arc::new(CountingSink::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sink = Arc::clone(&sink);
+                s.spawn(move || {
+                    sink.event(&TraceEvent::ClauseResolution {
+                        pred: Functor::new("p", 2),
+                    });
+                });
+            }
+        });
+        assert_eq!(sink.count("clause_resolution"), 4);
     }
 }

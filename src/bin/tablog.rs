@@ -29,11 +29,16 @@
 //! * `--json` — render `stats` / `--profile` reports as JSON instead of a
 //!   fixed-width table.
 //! * `--trace FILE` — append every engine event to `FILE` as JSON lines.
+//! * `--scheduler S` — SLG scheduling strategy for engine-backed commands:
+//!   `depth-first` (default), `breadth-first`, or `batched`.
+//! * `--jobs N` — for the analysis commands (`ground`, `depthk`), analyze
+//!   multiple input files on up to `N` worker threads; output stays in
+//!   input order.
 
 use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 use tablog_core::depthk::DepthKAnalyzer;
 use tablog_core::direct::DirectAnalyzer;
@@ -41,7 +46,7 @@ use tablog_core::groundness::{EntryPoint, GroundnessAnalyzer};
 use tablog_core::strictness::StrictnessAnalyzer;
 use tablog_engine::{
     Engine, EngineOptions, JsonLinesSink, LoadMode, MetricsRegistry, MetricsReport, MultiSink,
-    TraceSink,
+    Scheduling, TraceSink,
 };
 use tablog_syntax::term_to_string;
 
@@ -60,7 +65,8 @@ fn usage() -> String {
     "usage: tablog <query|tables|stats|explain|forest|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
      explain FILE GOAL [--depth N] [--analysis ground|depthk|strict|direct]\n\
      forest  FILE GOAL [--dot OUT]\n\
-     global flags: --profile  --json  --trace FILE\n\
+     ground|depthk accept multiple FILEs; --jobs N analyzes them concurrently\n\
+     global flags: --profile  --json  --trace FILE  --scheduler S  --jobs N\n\
      see `tablog help` or the crate documentation"
         .to_owned()
 }
@@ -76,24 +82,28 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-/// Observability settings pulled from the global flags.
+/// Observability and execution settings pulled from the global flags.
 struct Obs {
     profile: bool,
     json: bool,
     /// JSON-lines event sink when `--trace FILE` was given.
-    sink: Option<Rc<dyn TraceSink>>,
+    sink: Option<Arc<dyn TraceSink>>,
+    /// SLG scheduling strategy for engine-backed commands.
+    scheduling: Scheduling,
+    /// Worker threads for multi-file analysis commands.
+    jobs: usize,
 }
 
 impl Obs {
     /// The engine-facing trace sink: the `--trace` file writer, the
     /// metrics registry, both (fanned out), or none.
-    fn engine_sink(&self, registry: Option<&Rc<MetricsRegistry>>) -> Option<Rc<dyn TraceSink>> {
+    fn engine_sink(&self, registry: Option<&Arc<MetricsRegistry>>) -> Option<Arc<dyn TraceSink>> {
         match (self.sink.clone(), registry) {
             (Some(t), Some(r)) => {
-                Some(Rc::new(MultiSink::new().with(t).with(r.clone())) as Rc<dyn TraceSink>)
+                Some(Arc::new(MultiSink::new().with(t).with(r.clone())) as Arc<dyn TraceSink>)
             }
             (Some(t), None) => Some(t),
-            (None, Some(r)) => Some(r.clone() as Rc<dyn TraceSink>),
+            (None, Some(r)) => Some(r.clone() as Arc<dyn TraceSink>),
             (None, None) => None,
         }
     }
@@ -115,6 +125,8 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
     let mut profile = false;
     let mut json = false;
     let mut trace_path: Option<String> = None;
+    let mut scheduling = Scheduling::default();
+    let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -124,13 +136,24 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
                 let p = it.next().ok_or("--trace requires a file path")?;
                 trace_path = Some(p.clone());
             }
+            "--scheduler" => {
+                let s = it.next().ok_or("--scheduler requires a strategy name")?;
+                scheduling = s.parse()?;
+            }
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs requires a thread count")?;
+                jobs = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --jobs value {n}"))?
+                    .max(1);
+            }
             _ => rest.push(a.clone()),
         }
     }
     let sink = match trace_path {
         Some(p) => {
             let f = File::create(&p).map_err(|e| format!("cannot create {p}: {e}"))?;
-            Some(Rc::new(JsonLinesSink::new(BufWriter::new(f))) as Rc<dyn TraceSink>)
+            Some(Arc::new(JsonLinesSink::new(BufWriter::new(f))) as Arc<dyn TraceSink>)
         }
         None => None,
     };
@@ -140,8 +163,26 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
             profile,
             json,
             sink,
+            scheduling,
+            jobs,
         },
     ))
+}
+
+/// Positional (non-flag) arguments: skips `--flag value` pairs for the
+/// value-taking flags and bare `--flags` for the rest.
+fn positional(args: &[String]) -> Vec<&String> {
+    const VALUED: [&str; 5] = ["--entry", "--k", "--depth", "--dot", "--analysis"];
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if VALUED.contains(&a.as_str()) {
+            it.next();
+        } else if !a.starts_with("--") {
+            out.push(a);
+        }
+    }
+    out
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -164,9 +205,10 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let file = args.get(1).ok_or_else(usage)?;
             let goal = args.get(2).ok_or_else(usage)?;
             let src = read_file(file)?;
-            let registry = obs.profile.then(|| Rc::new(MetricsRegistry::new()));
+            let registry = obs.profile.then(|| Arc::new(MetricsRegistry::new()));
             let opts = EngineOptions {
                 trace: obs.engine_sink(registry.as_ref()),
+                scheduling: obs.scheduling,
                 ..Default::default()
             };
             let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
@@ -206,9 +248,10 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let file = args.get(1).ok_or_else(usage)?;
             let goal = args.get(2).ok_or_else(usage)?;
             let src = read_file(file)?;
-            let registry = Rc::new(MetricsRegistry::new());
+            let registry = Arc::new(MetricsRegistry::new());
             let opts = EngineOptions {
                 trace: obs.engine_sink(Some(&registry)),
+                scheduling: obs.scheduling,
                 ..Default::default()
             };
             let t0 = Instant::now();
@@ -248,6 +291,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 None => {
                     let opts = EngineOptions {
                         trace: obs.sink.clone(),
+                        scheduling: obs.scheduling,
                         ..Default::default()
                     };
                     let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
@@ -303,6 +347,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let opts = EngineOptions {
                 record_provenance: true,
                 trace: obs.sink.clone(),
+                scheduling: obs.scheduling,
                 ..Default::default()
             };
             let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
@@ -336,65 +381,86 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             Ok(())
         }
         "ground" => {
-            let file = args.get(1).ok_or_else(usage)?;
-            let src = read_file(file)?;
-            let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
+            let files = positional(&args[1..]);
+            if files.is_empty() {
+                return Err(usage());
+            }
             let entries: Vec<EntryPoint> = match flag_value(args, "--entry") {
                 Some(spec) => vec![EntryPoint::parse(spec).map_err(|e| e.to_string())?],
                 None => Vec::new(),
             };
             if args.iter().any(|a| a == "--direct") {
-                let mut an = DirectAnalyzer::new();
-                an.profile = obs.profile;
-                let report = an
-                    .analyze_with_entries(&program, &entries)
-                    .map_err(|e| e.to_string())?;
-                for p in report.predicates() {
+                let outputs = tablog_core::analyze_many(obs.jobs, &files, |file| {
+                    let src = read_file(file)?;
+                    let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
+                    let mut an = DirectAnalyzer::new();
+                    an.profile = obs.profile;
+                    an.analyze_with_entries(&program, &entries)
+                        .map_err(|e| format!("{file}: {e}"))
+                });
+                for (file, result) in files.iter().zip(outputs) {
+                    let report = result?;
+                    if files.len() > 1 {
+                        println!("== {file} ==");
+                    }
+                    for p in report.predicates() {
+                        println!(
+                            "{}/{}: ground={:?} models={}",
+                            p.name,
+                            p.arity,
+                            p.definitely_ground,
+                            p.prop.count()
+                        );
+                    }
                     println!(
-                        "{}/{}: ground={:?} models={}",
-                        p.name,
-                        p.arity,
-                        p.definitely_ground,
-                        p.prop.count()
+                        "pairs={} iterations={} total={:?}",
+                        report.pairs,
+                        report.iterations,
+                        report.timings.total()
                     );
+                    obs.print_metrics(report.metrics.as_ref());
                 }
-                println!(
-                    "pairs={} iterations={} total={:?}",
-                    report.pairs,
-                    report.iterations,
-                    report.timings.total()
-                );
-                obs.print_metrics(report.metrics.as_ref());
             } else {
-                let mut an = GroundnessAnalyzer::new();
-                an.profile = obs.profile;
-                an.options.trace = obs.sink.clone();
-                let report = an
-                    .analyze_with_entries(&program, &entries)
-                    .map_err(|e| e.to_string())?;
-                for p in report.predicates() {
+                let outputs = tablog_core::analyze_many(obs.jobs, &files, |file| {
+                    let src = read_file(file)?;
+                    let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
+                    let mut an = GroundnessAnalyzer::new();
+                    an.profile = obs.profile;
+                    an.options.scheduling = obs.scheduling;
+                    an.options.trace = obs.sink.clone();
+                    an.analyze_with_entries(&program, &entries)
+                        .map_err(|e| format!("{file}: {e}"))
+                });
+                for (file, result) in files.iter().zip(outputs) {
+                    let report = result?;
+                    if files.len() > 1 {
+                        println!("== {file} ==");
+                    }
+                    for p in report.predicates() {
+                        println!(
+                            "{}/{}: ground={:?} answers={} calls={}",
+                            p.name,
+                            p.arity,
+                            p.definitely_ground,
+                            p.success_rows.len(),
+                            p.call_patterns.len()
+                        );
+                    }
                     println!(
-                        "{}/{}: ground={:?} answers={} calls={}",
-                        p.name,
-                        p.arity,
-                        p.definitely_ground,
-                        p.success_rows.len(),
-                        p.call_patterns.len()
+                        "total={:?} tables={}B",
+                        report.timings.total(),
+                        report.table_bytes()
                     );
+                    obs.print_metrics(report.metrics.as_ref());
                 }
-                println!(
-                    "total={:?} tables={}B",
-                    report.timings.total(),
-                    report.table_bytes()
-                );
-                obs.print_metrics(report.metrics.as_ref());
             }
             Ok(())
         }
         "depthk" => {
-            let file = args.get(1).ok_or_else(usage)?;
-            let src = read_file(file)?;
-            let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
+            let files = positional(&args[1..]);
+            if files.is_empty() {
+                return Err(usage());
+            }
             let k: usize = flag_value(args, "--k")
                 .map(|v| v.parse().map_err(|_| "bad --k value".to_string()))
                 .transpose()?
@@ -403,28 +469,38 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 Some(spec) => vec![EntryPoint::parse(spec).map_err(|e| e.to_string())?],
                 None => Vec::new(),
             };
-            let mut an = DepthKAnalyzer::new(k);
-            an.profile = obs.profile;
-            an.options.trace = obs.sink.clone();
-            let report = an
-                .analyze_with_entries(&program, &entries)
-                .map_err(|e| e.to_string())?;
-            for p in report.predicates() {
-                println!("{}/{}: ground={:?}", p.name, p.arity, p.definitely_ground);
-                for row in p.answers.iter().take(8) {
-                    let rendered: Vec<String> = row.iter().map(term_to_string).collect();
-                    println!("    ({})", rendered.join(", "));
+            let outputs = tablog_core::analyze_many(obs.jobs, &files, |file| {
+                let src = read_file(file)?;
+                let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
+                let mut an = DepthKAnalyzer::new(k);
+                an.profile = obs.profile;
+                an.options.scheduling = obs.scheduling;
+                an.options.trace = obs.sink.clone();
+                an.analyze_with_entries(&program, &entries)
+                    .map_err(|e| format!("{file}: {e}"))
+            });
+            for (file, result) in files.iter().zip(outputs) {
+                let report = result?;
+                if files.len() > 1 {
+                    println!("== {file} ==");
                 }
-                if p.answers.len() > 8 {
-                    println!("    … {} more", p.answers.len() - 8);
+                for p in report.predicates() {
+                    println!("{}/{}: ground={:?}", p.name, p.arity, p.definitely_ground);
+                    for row in p.answers.iter().take(8) {
+                        let rendered: Vec<String> = row.iter().map(term_to_string).collect();
+                        println!("    ({})", rendered.join(", "));
+                    }
+                    if p.answers.len() > 8 {
+                        println!("    … {} more", p.answers.len() - 8);
+                    }
                 }
+                println!(
+                    "total={:?} tables={}B",
+                    report.timings.total(),
+                    report.table_bytes()
+                );
+                obs.print_metrics(report.metrics.as_ref());
             }
-            println!(
-                "total={:?} tables={}B",
-                report.timings.total(),
-                report.table_bytes()
-            );
-            obs.print_metrics(report.metrics.as_ref());
             Ok(())
         }
         "modes" => {
@@ -457,6 +533,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let src = read_file(file)?;
             let mut an = StrictnessAnalyzer::new();
             an.profile = obs.profile;
+            an.options.scheduling = obs.scheduling;
             an.options.trace = obs.sink.clone();
             let report = an.analyze_source(&src).map_err(|e| e.to_string())?;
             for f in report.functions() {

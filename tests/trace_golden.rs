@@ -7,7 +7,7 @@
 //! `UPDATE_GOLDEN=1 cargo test --test trace_golden`.
 
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::Arc;
 use tablog_core::groundness::GroundnessAnalyzer;
 use tablog_trace::{json, JsonLinesSink, SharedBuf};
 
@@ -19,7 +19,7 @@ app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
 fn trace_figure1() -> String {
     let buf = SharedBuf::new();
     let mut an = GroundnessAnalyzer::new();
-    an.options.trace = Some(Rc::new(JsonLinesSink::new(buf.clone())));
+    an.options.trace = Some(Arc::new(JsonLinesSink::new(buf.clone())));
     an.analyze_source(FIGURE1).expect("figure 1 analyzes");
     buf.contents()
 }
