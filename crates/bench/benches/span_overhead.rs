@@ -1,0 +1,78 @@
+//! Measures the cost of span instrumentation on a table-heavy workload:
+//! left-recursive transitive closure over a 64-node edge chain (~2k
+//! answers, thousands of dispatch/resolution/return events). Three
+//! configurations:
+//!
+//! * `spans_off` — no trace sink at all: the shipping default. Every span
+//!   site is gated on `Machine.spans.is_some()`, so this path takes no
+//!   timestamps and mints no ids.
+//! * `noop_sink` — a [`NoopSink`] attached but `record_spans` off: the
+//!   cost of event tracing alone, for reference.
+//! * `noop_sink_spans` — [`NoopSink`] plus `record_spans`: the full span
+//!   path (timestamp + id per enter/exit) minus serialization. The PR 5
+//!   budget is <3% over `noop_sink`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use tablog_engine::{Engine, EngineOptions, LoadMode, NoopSink};
+
+fn chain_program(n: usize) -> String {
+    let mut src = String::from(
+        ":- table path/2.\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- path(X, Z), edge(Z, Y).\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!("edge(n{}, n{}).\n", i, i + 1));
+    }
+    src
+}
+
+fn engine_with(src: &str, opts: EngineOptions) -> Engine {
+    Engine::from_source_with(src, LoadMode::Dynamic, opts).expect("chain program loads")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("span_overhead");
+    g.sample_size(30);
+    let src = chain_program(64);
+
+    let plain = engine_with(&src, EngineOptions::default());
+    g.bench_function("spans_off", |b| {
+        b.iter(|| {
+            let sols = plain.solve(black_box("path(X, Y)")).expect("solves");
+            black_box(sols.len())
+        })
+    });
+
+    let traced_opts = EngineOptions {
+        trace: Some(Arc::new(NoopSink)),
+        ..EngineOptions::default()
+    };
+    let traced = engine_with(&src, traced_opts);
+    g.bench_function("noop_sink", |b| {
+        b.iter(|| {
+            let sols = traced.solve(black_box("path(X, Y)")).expect("solves");
+            black_box(sols.len())
+        })
+    });
+
+    let span_opts = EngineOptions {
+        trace: Some(Arc::new(NoopSink)),
+        record_spans: true,
+        ..EngineOptions::default()
+    };
+    let spanned = engine_with(&src, span_opts);
+    g.bench_function("noop_sink_spans", |b| {
+        b.iter(|| {
+            let sols = spanned.solve(black_box("path(X, Y)")).expect("solves");
+            black_box(sols.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -21,8 +21,8 @@
 
 use std::process::ExitCode;
 use tablog_bench::{
-    check_against_baseline, measure_parallel, ms, pr4_json, run_suite, scheduler_rows, Row,
-    SuiteTables, TABLE4_K,
+    check_against_baseline, host_meta, measure_parallel, ms, pr5_json, run_suite, scheduler_rows,
+    Row, SuiteTables, TABLE4_K,
 };
 
 fn print_row_table(title: &str, rows: &[Row]) {
@@ -120,7 +120,7 @@ fn main() -> ExitCode {
         } else {
             Vec::new()
         };
-        let doc = pr4_json(&tables, &sched, parallel.as_ref());
+        let doc = pr5_json(&tables, &sched, parallel.as_ref(), &host_meta());
         if json {
             println!("{doc}");
         }
@@ -132,7 +132,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let cur = tablog_trace::json::parse(&doc).expect("pr4_json is valid JSON");
+            let cur = tablog_trace::json::parse(&doc).expect("pr5_json is valid JSON");
             let base = match tablog_trace::json::parse(&baseline) {
                 Ok(b) => b,
                 Err(e) => {

@@ -254,15 +254,19 @@ impl DepthKAnalyzer {
         let registry = self
             .profile
             .then(|| crate::profile::install_registry(&mut opts));
-        let engine = Engine::new(db, opts);
+        let mut spans = crate::profile::PhaseSpans::from_options(&opts);
+        let mut engine = Engine::new(db, opts);
         let preprocess = parse_time + timer.lap();
 
         // --- Analysis. ---
+        engine.options_mut().parent_span = spans.enter("analysis");
         let qb = Bindings::new();
         let eval = engine.evaluate(&[atom("$dk")], &[], &qb)?;
+        spans.exit();
         let analysis = timer.lap();
 
         // --- Collection. ---
+        spans.enter("collection");
         let mut out = BTreeMap::new();
         for &(name, arity) in preds.keys() {
             let f = ak_functor(name, arity);
@@ -292,6 +296,7 @@ impl DepthKAnalyzer {
                 },
             );
         }
+        spans.exit();
         let collection = timer.lap();
 
         let timings = PhaseTimings {
@@ -299,8 +304,14 @@ impl DepthKAnalyzer {
             analysis,
             collection,
         };
-        let metrics =
-            registry.map(|r| crate::profile::finish(&r, &timings, engine.options().describe()));
+        let metrics = registry.map(|r| {
+            crate::profile::finish(
+                &r,
+                &timings,
+                engine.options().describe(),
+                Some(crate::profile::engine_snapshot(&eval)),
+            )
+        });
         Ok(DepthKReport {
             preds: out,
             timings,

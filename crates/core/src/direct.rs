@@ -17,7 +17,7 @@ use crate::prop::{PropTable, MAX_VARS};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use tablog_syntax::{parse_program, Program};
 use tablog_term::{sym_name, Functor, Term};
-use tablog_trace::{MetricsReport, PredStats};
+use tablog_trace::{MetricsReport, PredStats, SpanEmitter, SpanRecorder};
 
 /// An abstract clause in the analyzer's internal form: head variables plus
 /// a list of constraints over dense variable ids.
@@ -328,6 +328,11 @@ pub struct DirectAnalyzer {
     /// Collect per-predicate worklist metrics and phase timings into
     /// [`DirectReport::metrics`].
     pub profile: bool,
+    /// Additionally record phase spans into the metrics report's span
+    /// tree, on the same process-wide timeline the engine's spans use —
+    /// so the direct analyzer's phases line up with the declarative
+    /// analyzers' in a combined profile. Requires `profile`.
+    pub record_spans: bool,
 }
 
 impl DirectAnalyzer {
@@ -461,9 +466,18 @@ impl DirectAnalyzer {
         parse_time: std::time::Duration,
     ) -> Result<DirectReport, AnalysisError> {
         let mut timer = Timer::start();
+        let mut spans =
+            (self.profile && self.record_spans).then(|| (SpanRecorder::new(), SpanEmitter::new()));
         // Preprocess: reuse the Figure 1 transform, then lower the abstract
         // rules into the analyzer's dense internal form.
+        if let Some((rec, em)) = spans.as_mut() {
+            em.enter(rec, "preprocess", None);
+        }
         let (mut solver, preds) = self.build_solver(program)?;
+        if let Some((rec, em)) = spans.as_mut() {
+            em.exit(rec);
+            em.enter(rec, "analysis", None);
+        }
         let preprocess = parse_time + timer.lap();
 
         // Analysis: seed and run to fixpoint.
@@ -486,6 +500,10 @@ impl DirectAnalyzer {
             }
         }
         solver.run()?;
+        if let Some((rec, em)) = spans.as_mut() {
+            em.exit(rec);
+            em.enter(rec, "collection", None);
+        }
         let analysis = timer.lap();
 
         // Collection: merge results per predicate.
@@ -514,6 +532,9 @@ impl DirectAnalyzer {
                 },
             );
         }
+        if let Some((rec, em)) = spans.as_mut() {
+            em.exit(rec);
+        }
         let collection = timer.lap();
 
         let metrics = solver.profile.take().map(|mut stats| {
@@ -532,6 +553,11 @@ impl DirectAnalyzer {
                     ("collection".to_string(), collection),
                 ],
                 options: vec![("analyzer".to_string(), "direct".to_string())],
+                spans: spans
+                    .as_ref()
+                    .map(|(rec, _)| rec.snapshot())
+                    .unwrap_or_default(),
+                engine: None,
             }
         });
         Ok(DirectReport {

@@ -300,16 +300,21 @@ impl GroundnessAnalyzer {
         let registry = self
             .profile
             .then(|| crate::profile::install_registry(&mut options));
-        let engine = Engine::new(db, options);
+        let mut spans = crate::profile::PhaseSpans::from_options(&options);
+        let mut engine = Engine::new(db, options);
         let preprocess = parse_time + timer.lap();
 
         // --- Analysis: evaluate to fixpoint. ---
+        // The engine's own spans nest under this phase span.
+        engine.options_mut().parent_span = spans.enter("analysis");
         let query = [atom("$ga")];
         let qb = Bindings::new();
         let eval = engine.evaluate(&query, &[], &qb)?;
+        spans.exit();
         let analysis = timer.lap();
 
         // --- Collection: walk the tables. ---
+        spans.enter("collection");
         let mut out = BTreeMap::new();
         for (&(name, arity), _) in preds.iter() {
             let f = gp_functor(name, arity);
@@ -343,6 +348,7 @@ impl GroundnessAnalyzer {
                 },
             );
         }
+        spans.exit();
         let collection = timer.lap();
 
         let timings = PhaseTimings {
@@ -350,8 +356,14 @@ impl GroundnessAnalyzer {
             analysis,
             collection,
         };
-        let metrics =
-            registry.map(|r| crate::profile::finish(&r, &timings, engine.options().describe()));
+        let metrics = registry.map(|r| {
+            crate::profile::finish(
+                &r,
+                &timings,
+                engine.options().describe(),
+                Some(crate::profile::engine_snapshot(&eval)),
+            )
+        });
         Ok(GroundnessReport {
             preds: out,
             timings,

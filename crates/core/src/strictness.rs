@@ -241,15 +241,19 @@ impl StrictnessAnalyzer {
         let registry = self
             .profile
             .then(|| crate::profile::install_registry(&mut options));
-        let engine = Engine::new(db, options);
+        let mut spans = crate::profile::PhaseSpans::from_options(&options);
+        let mut engine = Engine::new(db, options);
         let preprocess = parse_time + timer.lap();
 
         // --- Analysis. ---
+        engine.options_mut().parent_span = spans.enter("analysis");
         let qb = tablog_term::Bindings::new();
         let eval = engine.evaluate(&[atom("$sa")], &[], &qb)?;
+        spans.exit();
         let analysis = timer.lap();
 
         // --- Collection. ---
+        spans.enter("collection");
         let mut funs = BTreeMap::new();
         for (fname, &arity) in &prog.functions {
             let f = sp_functor(fname, arity);
@@ -291,6 +295,7 @@ impl StrictnessAnalyzer {
                 },
             );
         }
+        spans.exit();
         let collection = timer.lap();
 
         let timings = PhaseTimings {
@@ -298,8 +303,14 @@ impl StrictnessAnalyzer {
             analysis,
             collection,
         };
-        let metrics =
-            registry.map(|r| crate::profile::finish(&r, &timings, engine.options().describe()));
+        let metrics = registry.map(|r| {
+            crate::profile::finish(
+                &r,
+                &timings,
+                engine.options().describe(),
+                Some(crate::profile::engine_snapshot(&eval)),
+            )
+        });
         Ok(StrictnessReport {
             funs,
             timings,

@@ -90,7 +90,8 @@ impl Machine<'_> {
             // this table (call or earlier answers) is charged.
             let term_bytes = sub.charge(&ans, arena);
             let bytes = term_bytes + NODE_OVERHEAD + prov_bytes;
-            sub.add_entry_bytes(NODE_OVERHEAD + prov_bytes);
+            sub.add_entry_overhead();
+            sub.add_prov_bytes(prov_bytes);
             if let Some(sink) = self.trace {
                 let answer = arena.terms(&ans);
                 sink.event(&TraceEvent::AnswerInsert {

@@ -3,7 +3,7 @@
 use crate::error::EngineError;
 use std::collections::HashMap;
 use tablog_syntax::{Program, ReadClause};
-use tablog_term::{intern, Functor, Sym, Term};
+use tablog_term::{intern, sym_name, Functor, Sym, Term};
 
 /// How clauses are prepared for evaluation — the paper's central
 /// preprocessing trade-off (Section 4).
@@ -298,6 +298,104 @@ impl Database {
             .map(|p| p.clauses.as_slice())
             .unwrap_or(&[])
     }
+
+    /// The strongly connected components of the static predicate call
+    /// graph, in a deterministic order (reverse topological: callees before
+    /// callers; members and tie-breaks sorted by name/arity). Call edges
+    /// are collected from clause bodies by descending through the control
+    /// constructs the engine itself interprets (`,`, `;`, `->`, `\+`,
+    /// `not`, `call`); only defined predicates appear. This is the grouping
+    /// the profiler uses to roll span time up per SCC.
+    pub fn predicate_sccs(&self) -> Vec<Vec<Functor>> {
+        let mut preds: Vec<Functor> = self.preds.keys().copied().collect();
+        preds.sort_by_key(|f| (sym_name(f.name), f.arity));
+        let index_of: HashMap<Functor, usize> =
+            preds.iter().enumerate().map(|(i, f)| (*f, i)).collect();
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); preds.len()];
+        for (i, f) in preds.iter().enumerate() {
+            let mut callees = Vec::new();
+            for c in self.clauses(*f) {
+                for g in &c.body {
+                    collect_called(g, &mut callees);
+                }
+            }
+            callees.sort_by_key(|f| (sym_name(f.name), f.arity));
+            callees.dedup();
+            for callee in callees {
+                if let Some(&j) = index_of.get(&callee) {
+                    edges[i].push(j);
+                }
+            }
+        }
+        // Iterative Tarjan (explicit stack: analysis programs are small,
+        // but generated abstract programs can chain deeply).
+        let n = preds.len();
+        let mut order = vec![usize::MAX; n]; // discovery index
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut sccs: Vec<Vec<Functor>> = Vec::new();
+        let mut next_order = 0usize;
+        for root in 0..n {
+            if order[root] != usize::MAX {
+                continue;
+            }
+            // (node, next child edge to visit)
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut ei)) = call.last_mut() {
+                if *ei == 0 {
+                    order[v] = next_order;
+                    low[v] = next_order;
+                    next_order += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = edges[v].get(*ei) {
+                    *ei += 1;
+                    if order[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(order[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == order[v] {
+                        let mut scc = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            scc.push(preds[w]);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc.sort_by_key(|f| (sym_name(f.name), f.arity));
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+        sccs
+    }
+}
+
+/// Collects the functors a goal can call, descending through the control
+/// constructs `solve_goal` interprets structurally.
+fn collect_called(g: &Term, out: &mut Vec<Functor>) {
+    let Some(f) = g.functor() else { return };
+    let name = sym_name(f.name);
+    match (name.as_str(), f.arity) {
+        (",", 2) | (";", 2) | ("->", 2) => {
+            for a in g.args() {
+                collect_called(a, out);
+            }
+        }
+        ("\\+", 1) | ("not", 1) | ("call", 1) => collect_called(&g.args()[0], out),
+        ("!", 0) | ("true", 0) => {}
+        _ => out.push(f),
+    }
 }
 
 enum IdSource<'a> {
@@ -485,5 +583,45 @@ mod tests {
     fn bad_head_is_an_error() {
         let mut d = Database::new(LoadMode::Dynamic);
         assert!(d.assert_clause(Term::Int(3), vec![]).is_err());
+    }
+
+    #[test]
+    fn sccs_group_mutual_recursion_in_callee_first_order() {
+        let d = db(
+            "even(z). even(s(X)) :- odd(X).\n\
+             odd(s(X)) :- even(X).\n\
+             top(X) :- even(X), leaf(X).\n\
+             leaf(_).",
+            LoadMode::Dynamic,
+        );
+        let sccs = d.predicate_sccs();
+        let even_odd = sccs
+            .iter()
+            .find(|s| s.contains(&Functor::new("even", 1)))
+            .expect("even/1 has an SCC");
+        assert_eq!(
+            even_odd,
+            &vec![Functor::new("even", 1), Functor::new("odd", 1)]
+        );
+        // Reverse topological: even/odd and leaf precede top.
+        let pos = |f: Functor| sccs.iter().position(|s| s.contains(&f)).unwrap();
+        assert!(pos(Functor::new("even", 1)) < pos(Functor::new("top", 1)));
+        assert!(pos(Functor::new("leaf", 1)) < pos(Functor::new("top", 1)));
+        // Every defined predicate appears exactly once.
+        assert_eq!(sccs.iter().map(Vec::len).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn sccs_see_through_control_constructs() {
+        let d = db(
+            "p(X) :- (q(X) ; r(X)), \\+ s(X), call(t(X)).\n\
+             q(a). r(a). s(b). t(a).",
+            LoadMode::Dynamic,
+        );
+        let sccs = d.predicate_sccs();
+        let flat: Vec<Functor> = sccs.into_iter().flatten().collect();
+        for name in ["p", "q", "r", "s", "t"] {
+            assert!(flat.contains(&Functor::new(name, 1)), "{name}/1 missing");
+        }
     }
 }

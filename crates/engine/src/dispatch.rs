@@ -69,6 +69,10 @@ impl Machine<'_> {
         // iterator borrow the database for `'e`, independent of `self`, so
         // no snapshot of the clause list is ever cloned.
         let db = self.db;
+        let spans_on = self.spans.is_some();
+        if spans_on {
+            self.span_enter("clause_resolution", Some(f));
+        }
         for (cidx, clause) in db.matching_clauses_iter(f, g.args().first()) {
             self.stats.clause_resolutions += 1;
             if let Some(sink) = self.trace {
@@ -99,6 +103,9 @@ impl Machine<'_> {
                 self.push(Task::Expand(n));
             }
             b.undo_to(m);
+        }
+        if spans_on {
+            self.span_exit();
         }
         Ok(())
     }

@@ -62,6 +62,7 @@ mod justify;
 mod machine;
 mod options;
 mod provenance;
+mod report;
 mod scheduler;
 mod session;
 mod table;
@@ -79,15 +80,16 @@ pub use explain::Explanation;
 pub use justify::{JustNode, JustStatus};
 pub use options::{EngineOptions, Scheduling, TermHook, Unknown};
 pub use provenance::{AnswerProv, AnswerRef, ClauseRef};
+pub use report::{TableReport, TableRow};
 pub use scheduler::{make_scheduler, Batched, BreadthFirst, DepthFirst, Scheduler, TaskClass};
 pub use session::{Engine, Evaluation, Solutions};
-pub use table::{AnswerIter, SubgoalView, TableStats};
+pub use table::{AnswerIter, SubgoalView, TableBytes, TableStats};
 
 // Re-exported for downstream convenience: the reader produces the programs
 // the engine loads, and the trace types plug into `EngineOptions::trace`.
 pub use tablog_syntax::{parse_program, ParseError, Program};
 pub use tablog_trace::{
     CountingSink, Forest, ForestAnswer, ForestSubgoal, JsonLinesSink, MetricsRegistry,
-    MetricsReport, MultiSink, NoopSink, OwnedEvent, PredStats, RingBufferSink, TraceEvent,
-    TraceSink,
+    MetricsReport, MultiSink, NoopSink, OwnedEvent, PredStats, RingBufferSink, SpanEmitter,
+    SpanEvent, SpanId, SpanRecorder, SpanTree, TraceEvent, TraceSink,
 };

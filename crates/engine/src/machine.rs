@@ -35,7 +35,7 @@ use std::collections::{HashMap, HashSet};
 use tablog_term::{
     sym_name, unify, unify_occurs, Bindings, CanonicalTerm, Functor, Term, TermArena, TermId, Var,
 };
-use tablog_trace::{TraceEvent, TraceSink};
+use tablog_trace::{SpanEmitter, TraceEvent, TraceSink};
 
 #[derive(Clone, Debug)]
 pub(crate) struct Node {
@@ -99,6 +99,10 @@ pub(crate) struct Machine<'e> {
     /// are only constructed under `if let Some(..)`, so the disabled path
     /// does no work and no allocation.
     pub(crate) trace: Option<&'e dyn TraceSink>,
+    /// Span emitter, `Some` only when `EngineOptions::record_spans` is set
+    /// *and* a sink is installed — every span site gates on this, so the
+    /// disabled path takes no timestamps and mints no ids.
+    pub(crate) spans: Option<SpanEmitter>,
 }
 
 impl<'e> Machine<'e> {
@@ -114,6 +118,23 @@ impl<'e> Machine<'e> {
             seen_nodes: HashSet::new(),
             stats: TableStats::default(),
             trace: opts.trace.as_deref(),
+            spans: (opts.record_spans && opts.trace.is_some())
+                .then(|| SpanEmitter::with_root(opts.parent_span)),
+        }
+    }
+
+    /// Opens a span when span recording is on; no-op (and no timestamp)
+    /// otherwise.
+    pub(crate) fn span_enter(&mut self, name: &str, pred: Option<Functor>) {
+        if let (Some(em), Some(sink)) = (self.spans.as_mut(), self.trace) {
+            em.enter(sink, name, pred);
+        }
+    }
+
+    /// Closes the innermost open span when span recording is on.
+    pub(crate) fn span_exit(&mut self) {
+        if let (Some(em), Some(sink)) = (self.spans.as_mut(), self.trace) {
+            em.exit(sink);
         }
     }
 
@@ -147,6 +168,9 @@ impl<'e> Machine<'e> {
         template: &[Term],
         b0: &Bindings,
     ) -> Result<Evaluation, EngineError> {
+        // A span left open by an `?` early return below is fine: the
+        // recorder clamps open spans to the last observed timestamp.
+        self.span_enter("evaluate", None);
         let root_f = Functor::new("$query", template.len());
         let key = self.arena.canonicalize(b0, template);
         let root = self.subgoals.len();
@@ -171,6 +195,7 @@ impl<'e> Machine<'e> {
         };
         self.push(Task::Expand(node));
         self.drain()?;
+        self.span_enter("completion", None);
         for s in &mut self.subgoals {
             s.complete = true;
             if let Some(sink) = self.trace {
@@ -189,6 +214,14 @@ impl<'e> Machine<'e> {
                 .sum::<usize>(),
             "incremental table-byte accounting drifted from the tables"
         );
+        debug_assert!(
+            self.subgoals
+                .iter()
+                .all(|s| s.byte_breakdown().attributed() == s.table_bytes()),
+            "per-table byte attribution does not sum to table_bytes"
+        );
+        self.span_exit(); // completion
+        self.span_exit(); // evaluate
         Ok(Evaluation {
             subgoals: std::mem::take(&mut self.subgoals),
             root,
@@ -206,9 +239,33 @@ impl<'e> Machine<'e> {
                     return Err(EngineError::StepLimit(limit));
                 }
             }
+            // Per-task spans attribute time to the predicate whose table
+            // the task serves: the node's own subgoal for an expansion, the
+            // watched table for an answer return.
+            let spans_on = self.spans.is_some();
             match task {
-                Task::Expand(n) => self.expand(n)?,
-                Task::Return(c, a) => self.return_answer(c, a)?,
+                Task::Expand(n) => {
+                    if spans_on {
+                        let pred = self.subgoals[n.subgoal].functor;
+                        self.span_enter("dispatch", Some(pred));
+                    }
+                    let r = self.expand(n);
+                    if spans_on {
+                        self.span_exit();
+                    }
+                    r?
+                }
+                Task::Return(c, a) => {
+                    if spans_on {
+                        let pred = self.subgoals[self.consumers[c].watched].functor;
+                        self.span_enter("answer_return", Some(pred));
+                    }
+                    let r = self.return_answer(c, a);
+                    if spans_on {
+                        self.span_exit();
+                    }
+                    r?
+                }
             }
         }
         Ok(())
@@ -459,6 +516,10 @@ impl<'e> Machine<'e> {
         let mut b = Bindings::new();
         let call_args = self.arena.instantiate(&key, &mut b);
         let db = self.db;
+        let spans_on = self.spans.is_some();
+        if spans_on {
+            self.span_enter("clause_resolution", Some(f));
+        }
         for (cidx, clause) in db.matching_clauses_iter(f, call_args.first()) {
             self.stats.clause_resolutions += 1;
             if let Some(sink) = self.trace {
@@ -487,6 +548,9 @@ impl<'e> Machine<'e> {
                 self.push(Task::Expand(n));
             }
             b.undo_to(m);
+        }
+        if spans_on {
+            self.span_exit();
         }
         Ok(sid)
     }

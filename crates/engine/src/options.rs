@@ -110,6 +110,16 @@ pub struct EngineOptions {
     /// disabled. Negation subcomputations share the sink, and so do the
     /// concurrent sessions of the parallel driver (sinks are `Sync`).
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Emit hierarchical timing spans (`span_enter`/`span_exit`) around
+    /// evaluation, goal dispatch, clause resolution, answer return, and
+    /// completion. Spans flow to the same `trace` sink; with `trace` unset
+    /// or this flag off (the default) no span — and no timestamp — is ever
+    /// taken, so the flag costs exactly zero when off.
+    pub record_spans: bool,
+    /// Parent span for the engine's root spans, letting an embedding
+    /// analyzer nest the whole evaluation under its own phase span.
+    /// Ignored unless `record_spans` is set.
+    pub parent_span: Option<tablog_trace::SpanId>,
 }
 
 impl EngineOptions {
@@ -151,6 +161,7 @@ impl EngineOptions {
                 "record_provenance".to_owned(),
                 on_off(self.record_provenance),
             ),
+            ("record_spans".to_owned(), on_off(self.record_spans)),
         ]
     }
 }
@@ -167,6 +178,8 @@ impl fmt::Debug for EngineOptions {
             .field("unknown", &self.unknown)
             .field("record_provenance", &self.record_provenance)
             .field("trace", &self.trace.is_some())
+            .field("record_spans", &self.record_spans)
+            .field("parent_span", &self.parent_span)
             .finish()
     }
 }

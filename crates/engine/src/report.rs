@@ -1,0 +1,236 @@
+//! Per-table space attribution: [`TableReport`] decomposes an evaluation's
+//! `table_bytes` across its call tables, the way XSB's `statistics/0`
+//! splits table space — but per subgoal, with each table's bytes further
+//! broken into canonical-term structure, per-entry overhead, and
+//! provenance ([`TableBytes`]). The attributed components of every row sum
+//! exactly to [`crate::Evaluation::table_bytes`]; consumer-cursor estimates
+//! ride along without being counted, so the totals remain comparable with
+//! the paper's Tables 1–4 and with earlier releases.
+
+use crate::session::Evaluation;
+use crate::table::TableBytes;
+use std::fmt::Write as _;
+use tablog_trace::json::escape;
+
+/// One call table's row in a [`TableReport`].
+#[derive(Clone, Debug)]
+pub struct TableRow {
+    /// Predicate as `name/arity` (the synthetic root is `$query/n`).
+    pub pred: String,
+    /// The call pattern, rendered with canonical variable names.
+    pub call: String,
+    /// Number of answers in the table.
+    pub answers: usize,
+    /// The byte decomposition; `bytes.attributed()` is this table's share
+    /// of `table_bytes`.
+    pub bytes: TableBytes,
+    /// Consumers registered on this table during the run.
+    pub consumers: usize,
+    /// Whether the table reached completion.
+    pub complete: bool,
+}
+
+/// Heap attribution for every call table of one evaluation, in subgoal
+/// creation order. Obtained from [`crate::Evaluation::table_report`] or
+/// [`crate::Engine::table_report`].
+#[derive(Clone, Debug)]
+pub struct TableReport {
+    rows: Vec<TableRow>,
+    total_bytes: usize,
+}
+
+impl TableReport {
+    pub(crate) fn from_eval(eval: &Evaluation) -> Self {
+        let mut w = tablog_syntax::TermWriter::new();
+        let rows = eval
+            .states()
+            .iter()
+            .map(|s| TableRow {
+                pred: s.functor.to_string(),
+                call: {
+                    let args: Vec<String> = eval
+                        .arena()
+                        .terms(&s.call)
+                        .iter()
+                        .map(|t| w.write(t))
+                        .collect();
+                    if args.is_empty() {
+                        tablog_term::sym_name(s.functor.name)
+                    } else {
+                        format!(
+                            "{}({})",
+                            tablog_term::sym_name(s.functor.name),
+                            args.join(",")
+                        )
+                    }
+                },
+                answers: s.answers.len(),
+                bytes: s.byte_breakdown(),
+                consumers: s.consumers.len(),
+                complete: s.complete,
+            })
+            .collect();
+        TableReport {
+            rows,
+            total_bytes: eval.table_bytes(),
+        }
+    }
+
+    /// All rows, in subgoal creation order.
+    pub fn rows(&self) -> &[TableRow] {
+        &self.rows
+    }
+
+    /// The evaluation's total attributed table space — equal to the sum of
+    /// `bytes.attributed()` over [`TableReport::rows`].
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// The `n` largest tables by attributed bytes (stable on ties).
+    pub fn top_by_bytes(&self, n: usize) -> Vec<&TableRow> {
+        let mut v: Vec<&TableRow> = self.rows.iter().collect();
+        v.sort_by_key(|r| std::cmp::Reverse(r.bytes.attributed()));
+        v.truncate(n);
+        v
+    }
+
+    /// The `n` largest tables by answer count (stable on ties).
+    pub fn top_by_answers(&self, n: usize) -> Vec<&TableRow> {
+        let mut v: Vec<&TableRow> = self.rows.iter().collect();
+        v.sort_by_key(|r| std::cmp::Reverse(r.answers));
+        v.truncate(n);
+        v
+    }
+
+    /// Renders the Top-`n` tables by bytes and by answers as fixed-width
+    /// text, with the byte decomposition per row.
+    pub fn render_text(&self, n: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} tables, {} attributed bytes",
+            self.rows.len(),
+            self.total_bytes
+        );
+        let section = |out: &mut String, title: &str, rows: &[&TableRow]| {
+            let _ = writeln!(out, "top {} by {title}:", rows.len());
+            let _ = writeln!(
+                out,
+                "  {:>10} {:>8} {:>10} {:>10} {:>10} {:>10}  call",
+                "bytes", "answers", "terms", "entries", "prov", "cursors"
+            );
+            for r in rows {
+                let _ = writeln!(
+                    out,
+                    "  {:>10} {:>8} {:>10} {:>10} {:>10} {:>10}  {}",
+                    r.bytes.attributed(),
+                    r.answers,
+                    r.bytes.term_bytes,
+                    r.bytes.entry_bytes,
+                    r.bytes.prov_bytes,
+                    r.bytes.cursor_bytes,
+                    r.call
+                );
+            }
+        };
+        section(&mut out, "bytes", &self.top_by_bytes(n));
+        section(&mut out, "answers", &self.top_by_answers(n));
+        out
+    }
+
+    /// Renders the full report as a JSON object:
+    /// `{"total_bytes":N,"tables":[{...}, …]}`, rows in creation order.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"total_bytes\":{},\"tables\":[", self.total_bytes);
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"pred\":\"{}\",\"call\":\"{}\",\"answers\":{},\"bytes\":{},\
+                 \"term_bytes\":{},\"entry_bytes\":{},\"prov_bytes\":{},\
+                 \"cursor_bytes\":{},\"consumers\":{},\"complete\":{}}}",
+                escape(&r.pred),
+                escape(&r.call),
+                r.answers,
+                r.bytes.attributed(),
+                r.bytes.term_bytes,
+                r.bytes.entry_bytes,
+                r.bytes.prov_bytes,
+                r.bytes.cursor_bytes,
+                r.consumers,
+                r.complete
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Engine;
+
+    const FIGURE1: &str = "
+        :- table gp_ap/3.
+        gp_ap(gp, X, Y) :- parent(X, Z), parent(Z, Y).
+        gp_ap(ap, X, Y) :- parent(X, Y).
+        gp_ap(ap, X, Y) :- parent(X, Z), gp_ap(ap, Z, Y).
+        parent(ann, bob). parent(bob, cat). parent(cat, dan).
+    ";
+
+    #[test]
+    fn attributed_rows_sum_to_table_bytes() {
+        let engine = Engine::from_source(FIGURE1).unwrap();
+        let report = engine.table_report("gp_ap(R, X, Y)").unwrap();
+        let sum: usize = report.rows().iter().map(|r| r.bytes.attributed()).sum();
+        assert_eq!(sum, report.total_bytes());
+        assert!(report.total_bytes() > 0);
+    }
+
+    #[test]
+    fn top_n_orders_by_the_requested_key() {
+        let engine = Engine::from_source(FIGURE1).unwrap();
+        let report = engine.table_report("gp_ap(R, X, Y)").unwrap();
+        let by_bytes = report.top_by_bytes(3);
+        assert!(by_bytes.len() <= 3);
+        for w in by_bytes.windows(2) {
+            assert!(w[0].bytes.attributed() >= w[1].bytes.attributed());
+        }
+        let by_answers = report.top_by_answers(usize::MAX);
+        assert_eq!(by_answers.len(), report.rows().len());
+        for w in by_answers.windows(2) {
+            assert!(w[0].answers >= w[1].answers);
+        }
+    }
+
+    #[test]
+    fn json_report_parses_and_echoes_totals() {
+        let engine = Engine::from_source(FIGURE1).unwrap();
+        let report = engine.table_report("gp_ap(R, X, Y)").unwrap();
+        let v = tablog_trace::json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(
+            v.get("total_bytes").and_then(|t| t.as_f64()),
+            Some(report.total_bytes() as f64)
+        );
+        let tables = v.get("tables").and_then(|t| t.as_arr()).unwrap();
+        assert_eq!(tables.len(), report.rows().len());
+        let byte_sum: f64 = tables
+            .iter()
+            .filter_map(|t| t.get("bytes").and_then(|b| b.as_f64()))
+            .sum();
+        assert_eq!(byte_sum, report.total_bytes() as f64);
+    }
+
+    #[test]
+    fn text_report_names_every_section() {
+        let engine = Engine::from_source(FIGURE1).unwrap();
+        let report = engine.table_report("gp_ap(R, X, Y)").unwrap();
+        let text = report.render_text(5);
+        assert!(text.contains("attributed bytes"));
+        assert!(text.contains("top"));
+        assert!(text.contains("gp_ap("));
+    }
+}

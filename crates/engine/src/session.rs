@@ -120,6 +120,23 @@ impl Engine {
         m.run(goals, template, bindings)
     }
 
+    /// Parses `goal`, evaluates it to completion, and returns the per-table
+    /// heap attribution of the run (see [`crate::TableReport`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns parse errors and any [`EngineError`] raised during
+    /// evaluation.
+    pub fn table_report(&self, goal: &str) -> Result<crate::TableReport, EngineError> {
+        let mut b = Bindings::new();
+        let (t, names) = tablog_syntax::parse_term(goal, &mut b)?;
+        let mut goals = Vec::new();
+        flatten_conj(&t, &mut goals);
+        let template: Vec<Term> = names.iter().map(|(_, v)| Term::Var(*v)).collect();
+        let eval = self.evaluate(&goals, &template, &b)?;
+        Ok(eval.table_report())
+    }
+
     /// As [`Engine::evaluate`], but under one-off options overriding the
     /// engine's own — how [`Engine::explain`] forces provenance recording
     /// on for a single query without mutating the engine.
@@ -272,6 +289,12 @@ impl Evaluation {
             .iter()
             .map(|s| s.rescan_bytes(&self.arena))
             .sum()
+    }
+
+    /// Per-table heap attribution: one [`crate::TableRow`] per call table,
+    /// whose attributed bytes sum exactly to [`Evaluation::table_bytes`].
+    pub fn table_report(&self) -> crate::TableReport {
+        crate::TableReport::from_eval(self)
     }
 
     /// Name of the scheduling strategy that produced this evaluation

@@ -20,6 +20,40 @@ use tablog_term::{CanonicalTerm, Functor, Term, TermArena, TermId};
 /// incremental accounting.
 pub(crate) const NODE_OVERHEAD: usize = 16;
 
+/// Estimated cost of one registered consumer cursor (a `Consumer` record:
+/// node handle, watched table index, answer cursor). Reported in
+/// [`TableBytes::cursor_bytes`] for attribution only — cursors are machine
+/// scaffolding, not table content, so they stay *out* of
+/// [`SubgoalState::table_bytes`] and the paper-facing space totals.
+pub(crate) const CURSOR_OVERHEAD: usize = 24;
+
+/// Decomposition of one subgoal's table space. The first three components
+/// partition [`SubgoalView::table_bytes`] exactly:
+/// `term_bytes + entry_bytes + prov_bytes == table_bytes` — asserted by the
+/// engine (debug builds) on every evaluation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TableBytes {
+    /// Substitution-factored canonical-term structure: arena nodes of the
+    /// call and all answers, each shared node charged once per table.
+    pub term_bytes: usize,
+    /// Fixed per-entry overhead (call + one per answer), mirroring XSB's
+    /// table-node cost.
+    pub entry_bytes: usize,
+    /// Provenance records, when the evaluation recorded them.
+    pub prov_bytes: usize,
+    /// Estimated consumer-cursor footprint. Informational: *excluded* from
+    /// [`TableBytes::attributed`] and from `table_bytes`, which predate
+    /// this breakdown and must stay comparable across releases.
+    pub cursor_bytes: usize,
+}
+
+impl TableBytes {
+    /// The attributed total: exactly [`SubgoalView::table_bytes`].
+    pub fn attributed(&self) -> usize {
+        self.term_bytes + self.entry_bytes + self.prov_bytes
+    }
+}
+
 /// Internal state of one tabled subgoal.
 #[derive(Clone, Debug)]
 pub(crate) struct SubgoalState {
@@ -42,9 +76,10 @@ pub(crate) struct SubgoalState {
     /// subgoal, structure shared between the call and any answers is billed
     /// exactly once (substitution factoring).
     charged: HashSet<TermId>,
-    /// Incrementally maintained table space in bytes; kept equal to
-    /// [`SubgoalState::rescan_bytes`] by construction.
-    bytes: usize,
+    /// Incrementally maintained table space, decomposed by component
+    /// (terms / entry overhead / provenance); the attributed sum is kept
+    /// equal to [`SubgoalState::rescan_bytes`] by construction.
+    bytes: TableBytes,
     pub complete: bool,
 }
 
@@ -53,7 +88,12 @@ impl SubgoalState {
     /// `arena` is the session arena that minted `call`.
     pub(crate) fn new(functor: Functor, call: CanonicalTerm, arena: &TermArena) -> Self {
         let mut charged = HashSet::new();
-        let bytes = arena.charge_shared_bytes(&call, &mut charged) + NODE_OVERHEAD;
+        let bytes = TableBytes {
+            term_bytes: arena.charge_shared_bytes(&call, &mut charged),
+            entry_bytes: NODE_OVERHEAD,
+            prov_bytes: 0,
+            cursor_bytes: 0,
+        };
         SubgoalState {
             functor,
             call,
@@ -71,18 +111,33 @@ impl SubgoalState {
     /// newly charged term bytes (0 if everything was already shared).
     pub(crate) fn charge(&mut self, c: &CanonicalTerm, arena: &TermArena) -> usize {
         let fresh = arena.charge_shared_bytes(c, &mut self.charged);
-        self.bytes += fresh;
+        self.bytes.term_bytes += fresh;
         fresh
     }
 
-    /// Adds per-entry bookkeeping bytes (entry overhead, provenance record).
-    pub(crate) fn add_entry_bytes(&mut self, n: usize) {
-        self.bytes += n;
+    /// Adds one answer entry's fixed overhead.
+    pub(crate) fn add_entry_overhead(&mut self) {
+        self.bytes.entry_bytes += NODE_OVERHEAD;
+    }
+
+    /// Adds one answer's provenance-record bytes.
+    pub(crate) fn add_prov_bytes(&mut self, n: usize) {
+        self.bytes.prov_bytes += n;
     }
 
     /// The incrementally maintained table space of this subgoal, O(1).
     pub(crate) fn table_bytes(&self) -> usize {
-        self.bytes
+        self.bytes.attributed()
+    }
+
+    /// The per-component decomposition of this subgoal's table space, with
+    /// the consumer-cursor estimate filled in from the current consumer
+    /// registrations.
+    pub(crate) fn byte_breakdown(&self) -> TableBytes {
+        TableBytes {
+            cursor_bytes: self.consumers.len() * CURSOR_OVERHEAD,
+            ..self.bytes
+        }
     }
 
     /// Recomputes this subgoal's table space from scratch: call first, then
@@ -164,6 +219,13 @@ impl<'a> SubgoalView<'a> {
     /// substitution-factored charge (shared structure counted once).
     pub fn table_bytes(&self) -> usize {
         self.state.table_bytes()
+    }
+
+    /// Decomposition of [`SubgoalView::table_bytes`] by component. The
+    /// attributed components sum exactly to `table_bytes()`; the cursor
+    /// estimate is reported alongside without being counted.
+    pub fn byte_breakdown(&self) -> TableBytes {
+        self.state.byte_breakdown()
     }
 }
 

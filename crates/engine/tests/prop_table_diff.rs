@@ -206,6 +206,49 @@ proptest! {
         prop_assert_eq!(depth.2, batched.2, "answer counts");
     }
 
+    /// PR 5's heap attribution: each table's byte breakdown (terms +
+    /// answer entries + provenance) sums exactly to that table's total,
+    /// and the per-table totals sum exactly to the evaluation-wide
+    /// `table_bytes()`, across option modes that change what gets charged.
+    /// Cursor bytes are informational and deliberately outside the sum.
+    #[test]
+    fn per_table_attribution_sums_to_table_bytes(prog in arb_prog()) {
+        let modes = [
+            EngineOptions::default(),
+            EngineOptions { forward_subsumption: true, ..EngineOptions::default() },
+            EngineOptions { record_provenance: true, ..EngineOptions::default() },
+        ];
+        for opts in modes {
+            for mode in [LoadMode::Dynamic, LoadMode::Compiled] {
+                let engine =
+                    Engine::from_source_with(&prog.src, mode, opts.clone()).unwrap();
+                let mut b = Bindings::new();
+                let (g, _) = tablog_syntax::parse_term(prog.goal, &mut b).unwrap();
+                let eval = engine.evaluate(&[g], &[], &b).unwrap();
+                let mut sum = 0usize;
+                for view in eval.subgoals() {
+                    let bd = view.byte_breakdown();
+                    prop_assert_eq!(
+                        bd.attributed(),
+                        view.table_bytes(),
+                        "attribution for {:?} ({:?}, {:?})",
+                        view.functor(), mode, opts
+                    );
+                    sum += bd.attributed();
+                }
+                prop_assert_eq!(
+                    sum,
+                    eval.table_bytes(),
+                    "per-table sum vs total ({:?}, {:?})",
+                    mode,
+                    opts
+                );
+                let report = eval.table_report();
+                prop_assert_eq!(report.total_bytes(), sum);
+            }
+        }
+    }
+
     /// The incremental byte accounting (charged as answers arrive, with
     /// arena sharing) agrees with a from-scratch rescan of the finished
     /// tables, across option modes that change what gets charged.

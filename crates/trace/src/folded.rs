@@ -1,0 +1,119 @@
+//! Collapsed-stack ("folded") export of a [`SpanTree`], the text format
+//! consumed by Brendan Gregg's `flamegraph.pl` and by `inferno`:
+//!
+//! ```text
+//! analysis;evaluate;dispatch:gp$app/3 12345
+//! ```
+//!
+//! One line per distinct span stack, frames joined by `;`, followed by a
+//! space and a count. The count is the aggregated *self* time of that stack
+//! in nanoseconds, so the frames of one tree partition wall-clock time —
+//! exactly the invariant flame graphs assume. A frame is the span name,
+//! suffixed with `:pred/arity` when the span is attributed to a predicate.
+//!
+//! Lines are sorted lexicographically by stack, so the set and order of
+//! lines is deterministic for a deterministic evaluation (the depth-first
+//! scheduler); only the trailing counts vary run to run.
+
+use crate::span::SpanTree;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The frame label of one span: `name` or `name:pred/arity`.
+fn frame(name: &str, pred: Option<&str>) -> String {
+    match pred {
+        Some(p) => format!("{name}:{p}"),
+        None => name.to_string(),
+    }
+}
+
+/// Renders the tree as folded stacks, aggregating self-time per stack.
+pub fn folded_stacks(tree: &SpanTree) -> String {
+    // Emission order puts parents before children, so one forward pass can
+    // reuse each parent's already-built path.
+    let mut paths: Vec<String> = Vec::with_capacity(tree.nodes.len());
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for n in &tree.nodes {
+        let f = frame(&n.name, n.pred.as_deref());
+        let path = match n.parent {
+            Some(p) => format!("{};{}", paths[p], f),
+            None => f,
+        };
+        *agg.entry(path.clone()).or_insert(0) += n.self_ns;
+        paths.push(path);
+    }
+    let mut out = String::new();
+    for (stack, ns) in agg {
+        let _ = writeln!(out, "{stack} {ns}");
+    }
+    out
+}
+
+/// The stacks of a folded rendering with their counts stripped — the
+/// deterministic part, which golden tests pin.
+pub fn folded_frames(folded: &str) -> Vec<String> {
+    folded
+        .lines()
+        .filter_map(|l| l.rsplit_once(' ').map(|(stack, _)| stack.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{SpanEmitter, SpanRecorder};
+    use tablog_term::Functor;
+
+    fn sample_tree() -> SpanTree {
+        let rec = SpanRecorder::new();
+        let mut em = SpanEmitter::new();
+        em.enter(&rec, "analysis", None);
+        em.enter(&rec, "evaluate", None);
+        for _ in 0..2 {
+            em.enter(&rec, "dispatch", Some(Functor::new("p", 2)));
+            em.enter(&rec, "clause_resolution", Some(Functor::new("q", 1)));
+            em.exit(&rec);
+            em.exit(&rec);
+        }
+        em.exit(&rec);
+        em.exit(&rec);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn folded_lines_have_stack_space_count_shape() {
+        let text = folded_stacks(&sample_tree());
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("space separator");
+            assert!(!stack.is_empty());
+            count.parse::<u64>().expect("numeric count");
+        }
+    }
+
+    #[test]
+    fn stacks_aggregate_and_sort_deterministically() {
+        let frames = folded_frames(&folded_stacks(&sample_tree()));
+        assert_eq!(
+            frames,
+            vec![
+                "analysis".to_string(),
+                "analysis;evaluate".to_string(),
+                "analysis;evaluate;dispatch:p/2".to_string(),
+                "analysis;evaluate;dispatch:p/2;clause_resolution:q/1".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn folded_counts_sum_to_root_totals() {
+        let tree = sample_tree();
+        let text = folded_stacks(&tree);
+        let total: u64 = text
+            .lines()
+            .filter_map(|l| l.rsplit_once(' ').and_then(|(_, c)| c.parse::<u64>().ok()))
+            .sum();
+        let roots: u64 = tree.roots.iter().map(|&r| tree.nodes[r].total_ns).sum();
+        assert_eq!(total, roots);
+    }
+}

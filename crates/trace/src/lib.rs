@@ -21,14 +21,18 @@
 //! them convert to [`OwnedEvent`] via [`TraceEvent::to_owned`].
 
 pub mod event;
+pub mod folded;
 pub mod forest;
 pub mod json;
 pub mod metrics;
 pub mod sink;
+pub mod span;
 
 pub use event::{OwnedEvent, TraceEvent};
+pub use folded::{folded_frames, folded_stacks};
 pub use forest::{Forest, ForestAnswer, ForestSubgoal};
-pub use metrics::{MetricsRegistry, MetricsReport, PredStats};
+pub use metrics::{EngineSnapshot, MetricsRegistry, MetricsReport, PredStats};
 pub use sink::{
     CountingSink, JsonLinesSink, MultiSink, NoopSink, RingBufferSink, SharedBuf, TraceSink,
 };
+pub use span::{SpanEmitter, SpanEvent, SpanId, SpanRecorder, SpanRollup, SpanTree};

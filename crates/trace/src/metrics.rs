@@ -10,6 +10,7 @@
 use crate::event::TraceEvent;
 use crate::json::escape;
 use crate::sink::TraceSink;
+use crate::span::{SpanEvent, SpanId, SpanRecorder, SpanTree};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -81,11 +82,53 @@ impl PredStats {
     }
 }
 
+/// Global engine counters of one evaluation, stamped into a
+/// [`MetricsReport`] so a single `stats --json` run captures the full
+/// snapshot: which scheduler ran and its step/answer counters (previously
+/// only available through the bench harness's per-strategy rows).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Scheduling strategy name (`depth_first`, `breadth_first`, `batched`).
+    pub scheduler: String,
+    /// Worklist steps executed.
+    pub steps: u64,
+    /// Program-clause resolution attempts.
+    pub clause_resolutions: u64,
+    /// Tabled subgoals created.
+    pub subgoals: u64,
+    /// Unique answers entered into tables.
+    pub answers: u64,
+    /// Answers rejected as variant duplicates.
+    pub duplicate_answers: u64,
+    /// Estimated total table space in bytes.
+    pub table_bytes: u64,
+}
+
+impl EngineSnapshot {
+    /// Renders the snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"scheduler\":\"{}\",\"steps\":{},\"clause_resolutions\":{},\
+             \"subgoals\":{},\"answers\":{},\"duplicate_answers\":{},\"table_bytes\":{}}}",
+            escape(&self.scheduler),
+            self.steps,
+            self.clause_resolutions,
+            self.subgoals,
+            self.answers,
+            self.duplicate_answers,
+            self.table_bytes
+        )
+    }
+}
+
 /// A [`TraceSink`] accumulating per-predicate statistics and phase timings.
+/// Spans (when the engine records them) are retained too and rolled up into
+/// the snapshot's [`SpanTree`].
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     preds: Mutex<BTreeMap<Functor, PredStats>>,
     phases: Mutex<Vec<(String, Duration)>>,
+    spans: SpanRecorder,
 }
 
 impl MetricsRegistry {
@@ -118,6 +161,13 @@ impl MetricsRegistry {
         lock(&self.preds).get(&f).copied().unwrap_or_default()
     }
 
+    /// The span recorder behind this registry's span-tree rollup — hand it
+    /// to [`SpanTree`]-consuming helpers directly when the full tree is
+    /// needed (e.g. folded-stack export).
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.spans
+    }
+
     /// Freezes the current state into a report.
     pub fn snapshot(&self) -> MetricsReport {
         let mut preds: Vec<(String, PredStats)> = lock(&self.preds)
@@ -131,6 +181,8 @@ impl MetricsRegistry {
             preds,
             phases: lock(&self.phases).clone(),
             options: Vec::new(),
+            spans: self.spans.snapshot(),
+            engine: None,
         }
     }
 }
@@ -159,6 +211,14 @@ impl TraceSink for MetricsRegistry {
             TraceEvent::SubgoalComplete { .. } => s.completed += 1,
         }
     }
+
+    fn span_enter(&self, s: &SpanEvent<'_>) {
+        self.spans.span_enter(s);
+    }
+
+    fn span_exit(&self, id: SpanId, t_ns: u64) {
+        self.spans.span_exit(id, t_ns);
+    }
 }
 
 /// A frozen view of a [`MetricsRegistry`]: per-predicate rows (sorted by
@@ -173,6 +233,13 @@ pub struct MetricsReport {
     /// stamped by the producer (e.g. `EngineOptions::describe()`) so
     /// reports are self-describing; empty when not stamped.
     pub options: Vec<(String, String)>,
+    /// Span tree rolled up from recorded spans; empty unless the run had
+    /// span recording enabled.
+    pub spans: SpanTree,
+    /// Global engine counters of the evaluation — stamped by the producer
+    /// (the `tablog stats` command, the analyzers); `None` when not
+    /// stamped.
+    pub engine: Option<EngineSnapshot>,
 }
 
 impl MetricsReport {
@@ -264,6 +331,23 @@ impl MetricsReport {
             }
             let _ = writeln!(out, "{line}");
         }
+        if let Some(e) = &self.engine {
+            let _ = writeln!(
+                out,
+                "engine: scheduler={} steps={} resolutions={} subgoals={} \
+                 answers={} duplicates={} table_bytes={}",
+                e.scheduler,
+                e.steps,
+                e.clause_resolutions,
+                e.subgoals,
+                e.answers,
+                e.duplicate_answers,
+                e.table_bytes
+            );
+        }
+        if !self.spans.is_empty() {
+            out.push_str(&self.spans.render_text());
+        }
         out
     }
 
@@ -294,7 +378,14 @@ impl MetricsReport {
             }
             let _ = write!(out, "\"{}\":\"{}\"", escape(name), escape(value));
         }
-        out.push_str("}}");
+        out.push('}');
+        if let Some(e) = &self.engine {
+            let _ = write!(out, ",\"engine\":{}", e.to_json());
+        }
+        if !self.spans.is_empty() {
+            let _ = write!(out, ",\"spans\":{}", self.spans.to_json());
+        }
+        out.push('}');
         out
     }
 }

@@ -6,6 +6,7 @@
 //! threads and the parallel multi-program driver can share one sink.
 
 use crate::event::{OwnedEvent, TraceEvent};
+use crate::span::{SpanEvent, SpanId};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -18,6 +19,13 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub trait TraceSink: Send + Sync {
     /// Observes one event. Borrowed: retain via [`TraceEvent::to_owned`].
     fn event(&self, e: &TraceEvent<'_>);
+
+    /// Observes the opening edge of a timed span (see [`crate::span`]).
+    /// Default: ignore — sinks that predate spans are unaffected.
+    fn span_enter(&self, _s: &SpanEvent<'_>) {}
+
+    /// Observes the closing edge of the span opened with `id`.
+    fn span_exit(&self, _id: SpanId, _t_ns: u64) {}
 
     /// Flushes any buffered output (e.g. a JSON-lines writer).
     fn flush(&self) {}
@@ -67,38 +75,80 @@ impl TraceSink for CountingSink {
 }
 
 /// Writes each event as one JSON object per line.
+///
+/// The writer is flushed on [`TraceSink::flush`], on
+/// [`JsonLinesSink::into_inner`], **and on drop** — so a run that errors
+/// out (step limit, unknown predicate) or simply drops its engine still
+/// leaves every complete line on disk behind a `BufWriter`.
 pub struct JsonLinesSink<W: Write + Send> {
-    out: Mutex<W>,
+    // `Option` so `into_inner` can move the writer out from under the
+    // `Drop` impl; `None` only after `into_inner`.
+    out: Mutex<Option<W>>,
 }
 
 impl<W: Write + Send> JsonLinesSink<W> {
     /// Wraps a writer.
     pub fn new(out: W) -> Self {
         JsonLinesSink {
-            out: Mutex::new(out),
+            out: Mutex::new(Some(out)),
         }
     }
 
     /// Unwraps the writer, flushing first.
     pub fn into_inner(self) -> W {
-        let mut w = self
-            .out
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut w = lock(&self.out).take().expect("writer taken once");
         let _ = w.flush();
         w
+    }
+
+    fn write_line(&self, line: &str) {
+        if let Some(out) = lock(&self.out).as_mut() {
+            let _ = out.write_all(line.as_bytes());
+            let _ = out.write_all(b"\n");
+        }
     }
 }
 
 impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
     fn event(&self, e: &TraceEvent<'_>) {
-        let mut out = lock(&self.out);
-        let _ = out.write_all(e.to_json().as_bytes());
-        let _ = out.write_all(b"\n");
+        self.write_line(&e.to_json());
+    }
+
+    fn span_enter(&self, s: &SpanEvent<'_>) {
+        let mut line = format!("{{\"span\":\"enter\",\"id\":{}", s.id.0);
+        match s.parent {
+            Some(p) => line.push_str(&format!(",\"parent\":{}", p.0)),
+            None => line.push_str(",\"parent\":null"),
+        }
+        line.push_str(&format!(",\"name\":\"{}\"", crate::json::escape(s.name)));
+        match s.pred {
+            Some(f) => line.push_str(&format!(
+                ",\"pred\":\"{}\"",
+                crate::json::escape(&f.to_string())
+            )),
+            None => line.push_str(",\"pred\":null"),
+        }
+        line.push_str(&format!(",\"t_ns\":{}}}", s.t_ns));
+        self.write_line(&line);
+    }
+
+    fn span_exit(&self, id: SpanId, t_ns: u64) {
+        self.write_line(&format!(
+            "{{\"span\":\"exit\",\"id\":{},\"t_ns\":{t_ns}}}",
+            id.0
+        ));
     }
 
     fn flush(&self) {
-        let _ = lock(&self.out).flush();
+        if let Some(out) = lock(&self.out).as_mut() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonLinesSink<W> {
+    fn drop(&mut self) {
+        TraceSink::flush(self);
     }
 }
 
@@ -213,6 +263,18 @@ impl TraceSink for MultiSink {
     fn event(&self, e: &TraceEvent<'_>) {
         for s in &self.sinks {
             s.event(e);
+        }
+    }
+
+    fn span_enter(&self, s: &SpanEvent<'_>) {
+        for sink in &self.sinks {
+            sink.span_enter(s);
+        }
+    }
+
+    fn span_exit(&self, id: SpanId, t_ns: u64) {
+        for sink in &self.sinks {
+            sink.span_exit(id, t_ns);
         }
     }
 

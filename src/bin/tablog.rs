@@ -3,8 +3,19 @@
 //!
 //! ```text
 //! tablog query  FILE.pl GOAL            evaluate GOAL against FILE
-//! tablog tables FILE.pl GOAL            …and dump the call/answer tables
+//! tablog tables FILE.pl GOAL [--top N]  …and dump the call/answer tables;
+//!                                       with --top (or --json), a per-table
+//!                                       heap attribution report instead
 //! tablog stats  FILE.pl GOAL            per-predicate engine statistics
+//! tablog profile FILE.pl GOAL [--folded OUT]
+//!                                       span-instrumented evaluation: self/
+//!                                       total time per span name, predicate
+//!                                       and SCC; --folded writes collapsed
+//!                                       stacks for flamegraph.pl / inferno
+//! tablog bench-diff OLD.json NEW.json [--max-time-regress PCT]
+//!                   [--max-bytes-regress PCT]
+//!                                       compare two paper_tables --json
+//!                                       documents; exit 1 on regression
 //! tablog explain FILE GOAL [--depth N] [--analysis A]
 //!                                       justification trees for GOAL's
 //!                                       answers (A: ground|depthk|strict|
@@ -62,7 +73,10 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: tablog <query|tables|stats|explain|forest|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
+    "usage: tablog <query|tables|stats|profile|bench-diff|explain|forest|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
+     tables  FILE GOAL [--top N]  (--top/--json: per-table heap attribution)\n\
+     profile FILE GOAL [--folded OUT]  (span timings; collapsed stacks)\n\
+     bench-diff OLD.json NEW.json [--max-time-regress PCT] [--max-bytes-regress PCT]\n\
      explain FILE GOAL [--depth N] [--analysis ground|depthk|strict|direct]\n\
      forest  FILE GOAL [--dot OUT]\n\
      ground|depthk accept multiple FILEs; --jobs N analyzes them concurrently\n\
@@ -80,6 +94,20 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// The engine's whole-evaluation counters, for embedding in reports.
+fn engine_snapshot(eval: &tablog_engine::Evaluation) -> tablog_trace::EngineSnapshot {
+    let s = eval.stats();
+    tablog_trace::EngineSnapshot {
+        scheduler: eval.scheduler().to_string(),
+        steps: s.steps as u64,
+        clause_resolutions: s.clause_resolutions as u64,
+        subgoals: s.subgoals as u64,
+        answers: s.answers as u64,
+        duplicate_answers: s.duplicate_answers as u64,
+        table_bytes: s.table_bytes as u64,
+    }
 }
 
 /// Observability and execution settings pulled from the global flags.
@@ -172,7 +200,17 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
 /// Positional (non-flag) arguments: skips `--flag value` pairs for the
 /// value-taking flags and bare `--flags` for the rest.
 fn positional(args: &[String]) -> Vec<&String> {
-    const VALUED: [&str; 5] = ["--entry", "--k", "--depth", "--dot", "--analysis"];
+    const VALUED: [&str; 9] = [
+        "--entry",
+        "--k",
+        "--depth",
+        "--dot",
+        "--analysis",
+        "--top",
+        "--folded",
+        "--max-time-regress",
+        "--max-bytes-regress",
+    ];
     let mut out = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -223,21 +261,30 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                     }
                 }
             } else {
+                let top: Option<usize> = flag_value(args, "--top")
+                    .map(|v| v.parse().map_err(|_| "bad --top value".to_string()))
+                    .transpose()?;
                 let mut b = tablog_term::Bindings::new();
                 let (t, _) = tablog_syntax::parse_term(goal, &mut b).map_err(|e| e.to_string())?;
                 let eval = engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
-                for view in eval.subgoals() {
-                    println!(
-                        "{}  [{} answers, {} bytes]",
-                        term_to_string(&view.call_term()),
-                        view.num_answers(),
-                        view.table_bytes()
-                    );
-                    for a in view.answers() {
-                        println!("    {}", term_to_string(&a));
+                if obs.json {
+                    println!("{}", eval.table_report().to_json());
+                } else if let Some(n) = top {
+                    print!("{}", eval.table_report().render_text(n));
+                } else {
+                    for view in eval.subgoals() {
+                        println!(
+                            "{}  [{} answers, {} bytes]",
+                            term_to_string(&view.call_term()),
+                            view.num_answers(),
+                            view.table_bytes()
+                        );
+                        for a in view.answers() {
+                            println!("    {}", term_to_string(&a));
+                        }
                     }
+                    println!("{:?}", eval.stats());
                 }
-                println!("{:?}", eval.stats());
             }
             if let Some(r) = registry {
                 obs.print_metrics(Some(&r.snapshot()));
@@ -261,15 +308,136 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let mut b = tablog_term::Bindings::new();
             let (t, _) = tablog_syntax::parse_term(goal, &mut b).map_err(|e| e.to_string())?;
             let t1 = Instant::now();
-            engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
+            let eval = engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
             registry.record_phase("evaluate", t1.elapsed());
             let mut report = registry.snapshot();
             report.options = engine.options().describe();
+            report.engine = Some(engine_snapshot(&eval));
             if obs.json {
                 println!("{}", report.to_json());
             } else {
                 print!("{}", report.render_text());
             }
+            Ok(())
+        }
+        "profile" => {
+            let file = args.get(1).ok_or_else(usage)?;
+            let goal = args.get(2).ok_or_else(usage)?;
+            let src = read_file(file)?;
+            let registry = Arc::new(MetricsRegistry::new());
+            let opts = EngineOptions {
+                trace: obs.engine_sink(Some(&registry)),
+                scheduling: obs.scheduling,
+                record_spans: true,
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
+                .map_err(|e| e.to_string())?;
+            registry.record_phase("load", t0.elapsed());
+            let mut b = tablog_term::Bindings::new();
+            let (t, _) = tablog_syntax::parse_term(goal, &mut b).map_err(|e| e.to_string())?;
+            let t1 = Instant::now();
+            let eval = engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
+            registry.record_phase("evaluate", t1.elapsed());
+            let mut report = registry.snapshot();
+            report.options = engine.options().describe();
+            report.engine = Some(engine_snapshot(&eval));
+
+            // Predicate -> SCC label, for the per-SCC span rollup. SCCs come
+            // out reverse-topological, so the index orders callees first.
+            let sccs = engine.db().predicate_sccs();
+            let mut scc_of = std::collections::HashMap::new();
+            for (i, scc) in sccs.iter().enumerate() {
+                let members: Vec<String> = scc.iter().map(ToString::to_string).collect();
+                let label = format!("scc{i:03} [{}]", members.join(" "));
+                for m in members {
+                    scc_of.insert(m, label.clone());
+                }
+            }
+            let by_scc = report.spans.rollup_by_group(&|p| scc_of.get(p).cloned());
+
+            if let Some(path) = flag_value(args, "--folded") {
+                let folded = tablog_trace::folded_stacks(&report.spans);
+                std::fs::write(path, &folded).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!(
+                    "wrote {path}: {} collapsed stacks ({} spans)",
+                    folded.lines().count(),
+                    report.spans.len()
+                );
+            }
+            if obs.json {
+                let sccs_json: Vec<String> = by_scc
+                    .iter()
+                    .map(|(label, r)| {
+                        format!(
+                            "{{\"scc\":\"{}\",\"count\":{},\"total_ns\":{},\"self_ns\":{}}}",
+                            tablog_trace::json::escape(label),
+                            r.count,
+                            r.total_ns,
+                            r.self_ns
+                        )
+                    })
+                    .collect();
+                let doc = report.to_json();
+                println!(
+                    "{},\"sccs\":[{}]}}",
+                    &doc[..doc.len() - 1],
+                    sccs_json.join(",")
+                );
+            } else {
+                print!("{}", report.render_text());
+                if !by_scc.is_empty() {
+                    println!("by scc:");
+                    for (label, r) in &by_scc {
+                        println!(
+                            "  {label}  count={} total={}ns self={}ns",
+                            r.count, r.total_ns, r.self_ns
+                        );
+                    }
+                }
+            }
+            Ok(())
+        }
+        "bench-diff" => {
+            let old_path = args.get(1).ok_or_else(usage)?;
+            let new_path = args.get(2).ok_or_else(usage)?;
+            let pct = |name: &str, default: f64| -> Result<f64, String> {
+                flag_value(args, name)
+                    .map(|v| {
+                        v.parse::<f64>()
+                            .map_err(|_| format!("bad {name} value {v}"))
+                    })
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let max_time = pct("--max-time-regress", 25.0)?;
+            let max_bytes = pct("--max-bytes-regress", 5.0)?;
+            let parse = |path: &str| -> Result<tablog_trace::json::JsonValue, String> {
+                let text = read_file(path)?;
+                tablog_trace::json::parse(&text).map_err(|e| format!("{path}: bad JSON: {e}"))
+            };
+            let old = parse(old_path)?;
+            let new = parse(new_path)?;
+            let diff = tablog_bench::bench_diff(&old, &new, max_time, max_bytes);
+            for w in &diff.warnings {
+                eprintln!("warning: {w}");
+            }
+            for f in &diff.failures {
+                eprintln!("FAIL: {f}");
+            }
+            if diff.is_regression() {
+                return Err(format!(
+                    "bench-diff: {} regression(s) beyond thresholds \
+                     (time {max_time}%, bytes {max_bytes}%)",
+                    diff.failures.len()
+                ));
+            }
+            println!(
+                "bench-diff passed: no regressions beyond thresholds \
+                 (time {max_time}%, bytes {max_bytes}%), {} warning(s)",
+                diff.warnings.len()
+            );
             Ok(())
         }
         "explain" => {

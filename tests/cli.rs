@@ -383,3 +383,234 @@ fn trace_flag_writes_json_lines() {
     assert!(text.contains("\"event\":\"new_subgoal\""), "{text}");
     assert!(text.contains("\"event\":\"answer_insert\""), "{text}");
 }
+
+#[test]
+fn tables_top_reports_heap_attribution() {
+    let f = temp_file("graph_top.pl", GRAPH);
+    let (out, err, ok) = tablog(&["tables", f.to_str().unwrap(), "path(a, X)", "--top", "3"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("attributed bytes"), "{out}");
+    // GRAPH's left recursion makes only 2 tables, so --top 3 caps at 2.
+    assert!(out.contains("top 2 by bytes"), "{out}");
+    assert!(out.contains("top 2 by answers"), "{out}");
+    assert!(out.contains("path(a,A)"), "{out}");
+}
+
+#[test]
+fn tables_json_attribution_sums_to_total() {
+    let f = temp_file("graph_tabjson.pl", GRAPH);
+    let (out, err, ok) = tablog(&["tables", f.to_str().unwrap(), "path(a, X)", "--json"]);
+    assert!(ok, "{err}");
+    let v = tablog_trace::json::parse(out.trim()).expect("valid JSON");
+    let total = v
+        .get("total_bytes")
+        .and_then(|t| t.as_f64())
+        .expect("total_bytes");
+    let tables = v
+        .get("tables")
+        .and_then(|t| t.as_arr())
+        .expect("tables array");
+    assert!(!tables.is_empty());
+    let mut sum = 0.0;
+    for row in tables {
+        let part = |key: &str| row.get(key).and_then(|x| x.as_f64()).expect(key);
+        // Attributed components sum per row and across the report.
+        assert_eq!(
+            part("bytes"),
+            part("term_bytes") + part("entry_bytes") + part("prov_bytes"),
+            "{out}"
+        );
+        sum += part("bytes");
+    }
+    assert_eq!(sum, total, "{out}");
+}
+
+#[test]
+fn profile_reports_spans_and_sccs() {
+    let f = temp_file("graph_prof.pl", GRAPH);
+    let (out, err, ok) = tablog(&["profile", f.to_str().unwrap(), "path(a, X)"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("spans:"), "{out}");
+    assert!(out.contains("evaluate"), "{out}");
+    assert!(out.contains("dispatch"), "{out}");
+    assert!(out.contains("by scc:"), "{out}");
+    assert!(out.contains("path/2"), "{out}");
+}
+
+#[test]
+fn profile_json_embeds_span_tree_and_sccs() {
+    let f = temp_file("graph_profjson.pl", GRAPH);
+    let (out, err, ok) = tablog(&["profile", f.to_str().unwrap(), "path(a, X)", "--json"]);
+    assert!(ok, "{err}");
+    let v = tablog_trace::json::parse(out.trim()).expect("valid JSON");
+    let spans = v.get("spans").expect("spans object");
+    assert!(
+        spans.get("count").and_then(|c| c.as_f64()).unwrap_or(0.0) > 0.0,
+        "{out}"
+    );
+    assert!(
+        spans
+            .get("by_name")
+            .and_then(|n| n.get("evaluate"))
+            .is_some(),
+        "{out}"
+    );
+    let sccs = v.get("sccs").and_then(|s| s.as_arr()).expect("sccs array");
+    assert!(
+        sccs.iter().any(|s| {
+            s.get("scc")
+                .and_then(|l| l.as_str())
+                .is_some_and(|l| l.contains("path/2"))
+        }),
+        "{out}"
+    );
+    let engine = v.get("engine").expect("engine snapshot");
+    assert!(
+        engine.get("steps").and_then(|s| s.as_f64()).unwrap_or(0.0) > 0.0,
+        "{out}"
+    );
+}
+
+#[test]
+fn profile_folded_writes_collapsed_stacks() {
+    let f = temp_file("graph_folded.pl", GRAPH);
+    let folded = std::env::temp_dir()
+        .join("tablog-cli-tests")
+        .join("profile_out.folded");
+    let (_, err, ok) = tablog(&[
+        "profile",
+        f.to_str().unwrap(),
+        "path(a, X)",
+        "--folded",
+        folded.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let text = std::fs::read_to_string(&folded).expect("folded file written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        // `frame;frame;… count` — count is a bare integer, frames nonempty.
+        let (stack, count) = line.rsplit_once(' ').expect("stack and count");
+        assert!(count.parse::<u64>().is_ok(), "bad count in {line:?}");
+        assert!(
+            stack.split(';').all(|fr| !fr.is_empty()),
+            "bad stack in {line:?}"
+        );
+    }
+    assert!(text.lines().any(|l| l.starts_with("evaluate")), "{text}");
+    assert!(text.contains("dispatch:path/2"), "{text}");
+}
+
+#[test]
+fn stats_json_embeds_engine_counters() {
+    let (out, err, ok) = tablog(&[
+        "stats",
+        &repo_example("figure1.pl"),
+        "gp_ap(X, Y, Z)",
+        "--json",
+    ]);
+    assert!(ok, "{err}");
+    let v = tablog_trace::json::parse(out.trim()).expect("valid JSON");
+    let engine = v.get("engine").expect("engine object in stats --json");
+    assert_eq!(
+        engine.get("scheduler").and_then(|s| s.as_str()),
+        Some("depth_first"),
+        "{out}"
+    );
+    for key in [
+        "steps",
+        "clause_resolutions",
+        "subgoals",
+        "answers",
+        "table_bytes",
+    ] {
+        assert!(
+            engine.get(key).and_then(|x| x.as_f64()).unwrap_or(-1.0) >= 0.0,
+            "missing engine counter {key} in {out}"
+        );
+    }
+    assert!(
+        engine.get("steps").and_then(|x| x.as_f64()).unwrap() > 0.0,
+        "{out}"
+    );
+}
+
+const BENCH_OLD: &str = r#"{"table1":[{"program":"fig1","total_us":10000,"table_bytes":1000}],
+ "table2":[],"table3":[],"table4":[],"host":{"num_cpus":4}}"#;
+
+#[test]
+fn bench_diff_exits_nonzero_on_regression() {
+    let old = temp_file("bench_old.json", BENCH_OLD);
+    let new = temp_file(
+        "bench_new_regressed.json",
+        r#"{"table1":[{"program":"fig1","total_us":30000,"table_bytes":1200}],
+         "table2":[],"table3":[],"table4":[],"host":{"num_cpus":4}}"#,
+    );
+    let (_, err, ok) = tablog(&[
+        "bench-diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--max-time-regress",
+        "25",
+        "--max-bytes-regress",
+        "5",
+    ]);
+    assert!(!ok, "regressed input must fail the gate: {err}");
+    assert!(err.contains("table_bytes"), "{err}");
+    assert!(err.contains("total_us"), "{err}");
+}
+
+#[test]
+fn bench_diff_passes_on_identical_documents() {
+    let old = temp_file("bench_same.json", BENCH_OLD);
+    let (out, err, ok) = tablog(&["bench-diff", old.to_str().unwrap(), old.to_str().unwrap()]);
+    assert!(ok, "{err}");
+    assert!(out.contains("bench-diff passed"), "{out}");
+}
+
+#[test]
+fn bench_diff_demotes_time_regressions_across_hosts() {
+    let old = temp_file("bench_host_old.json", BENCH_OLD);
+    let new = temp_file(
+        "bench_host_new.json",
+        r#"{"table1":[{"program":"fig1","total_us":30000,"table_bytes":1000}],
+         "table2":[],"table3":[],"table4":[],"host":{"num_cpus":16}}"#,
+    );
+    let (out, err, ok) = tablog(&["bench-diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(ok, "time-only regression across hosts must not fail: {err}");
+    assert!(err.contains("cpu counts differ"), "{err}");
+    assert!(out.contains("bench-diff passed"), "{out}");
+}
+
+#[test]
+fn trace_file_is_parseable_when_evaluation_dies_early() {
+    // The goal body hits an undefined predicate mid-evaluation, so the
+    // engine aborts with an error after some events have already been
+    // buffered. The JSONL sink must still flush everything written up to
+    // the abort, leaving a parseable (if truncated) trace behind.
+    let f = temp_file(
+        "aborting.pl",
+        ":- table path/2.\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         edge(a, b). edge(b, c).\n\
+         bad(X) :- path(a, X), nosuch(X).\n",
+    );
+    let trace = std::env::temp_dir()
+        .join("tablog-cli-tests")
+        .join("trace_killed.jsonl");
+    let (_, err, ok) = tablog(&[
+        "query",
+        f.to_str().unwrap(),
+        "bad(Q)",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(!ok, "undefined predicate should be reported: {err}");
+    assert!(err.contains("unknown predicate"), "{err}");
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(!text.is_empty(), "events before the abort must be flushed");
+    for line in text.lines() {
+        tablog_trace::json::parse(line).expect("trace line is valid JSON");
+    }
+    assert!(text.contains("\"event\":\"new_subgoal\""), "{text}");
+}

@@ -1,0 +1,119 @@
+//! Golden-file and determinism tests for PR 5's span instrumentation,
+//! pinned on the paper's Figure 1 example (groundness of append) under the
+//! default depth-first scheduler.
+//!
+//! Wall-clock times vary run to run, so the golden file freezes only the
+//! *structure*: the distinct collapsed stacks of the folded export (one
+//! `frame;frame;…` path per line, no counts) and the span-name rollup with
+//! its deterministic span counts. Any change to the instrumentation points,
+//! nesting, or frame naming shows up as a diff here. Bless an intentional
+//! change with `UPDATE_GOLDEN=1 cargo test --test span_golden`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use tablog_core::groundness::GroundnessAnalyzer;
+use tablog_trace::{folded_frames, folded_stacks, MetricsRegistry, MetricsReport};
+
+const FIGURE1: &str = "\
+app([], Ys, Ys).
+app([X|Xs], Ys, [X|Zs]) :- app(Xs, Ys, Zs).
+";
+
+fn profile_figure1() -> MetricsReport {
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut an = GroundnessAnalyzer::new();
+    an.profile = true;
+    an.options.trace = Some(registry.clone());
+    an.options.record_spans = true;
+    an.analyze_source(FIGURE1).expect("figure 1 analyzes");
+    registry.snapshot()
+}
+
+/// The structural fingerprint of a profiled run: folded frames (paths
+/// without counts) plus the per-name span counts.
+fn fingerprint(report: &MetricsReport) -> String {
+    let mut out = String::from("frames:\n");
+    for frame in folded_frames(&folded_stacks(&report.spans)) {
+        out.push_str("  ");
+        out.push_str(&frame);
+        out.push('\n');
+    }
+    out.push_str("by_name:\n");
+    for (name, r) in report.spans.rollup_by_name() {
+        out.push_str(&format!("  {name} {}\n", r.count));
+    }
+    out
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/figure1_spans.folded")
+}
+
+#[test]
+fn figure1_span_structure_matches_golden_file() {
+    let got = fingerprint(&profile_figure1());
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want =
+        std::fs::read_to_string(&path).expect("golden file exists (UPDATE_GOLDEN=1 to create)");
+    assert_eq!(
+        got, want,
+        "span structure drifted from the golden file; \
+         re-bless with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn span_structure_is_deterministic_across_runs() {
+    assert_eq!(
+        fingerprint(&profile_figure1()),
+        fingerprint(&profile_figure1())
+    );
+}
+
+#[test]
+fn span_tree_rollup_nests_engine_under_analysis_phase() {
+    let report = profile_figure1();
+    let tree = &report.spans;
+    assert!(!tree.is_empty());
+
+    // The analyzer's phase spans and the engine's own spans all land in
+    // one tree, with the evaluation nested under the "analysis" phase.
+    let by_name = tree.rollup_by_name();
+    let names: Vec<&str> = by_name.iter().map(|(n, _)| n.as_str()).collect();
+    for want in ["analysis", "collection", "evaluate", "dispatch"] {
+        assert!(names.contains(&want), "missing span {want} in {names:?}");
+    }
+    let folded = folded_stacks(tree);
+    assert!(
+        folded.contains("analysis;evaluate;"),
+        "engine spans should nest under the analysis phase:\n{folded}"
+    );
+
+    // Self-time partitions total time: every node's children fit inside it.
+    for (i, n) in tree.nodes.iter().enumerate() {
+        let child_total: u64 = tree
+            .nodes
+            .iter()
+            .filter(|c| c.parent == Some(i))
+            .map(|c| c.total_ns)
+            .sum();
+        assert!(
+            n.self_ns == n.total_ns.saturating_sub(child_total),
+            "self/total mismatch at node {i}"
+        );
+    }
+}
+
+#[test]
+fn spans_disabled_leaves_the_report_span_free() {
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut an = GroundnessAnalyzer::new();
+    an.profile = true;
+    an.options.trace = Some(registry.clone());
+    an.analyze_source(FIGURE1).expect("figure 1 analyzes");
+    assert!(registry.snapshot().spans.is_empty());
+}

@@ -50,6 +50,62 @@ fn trace_stream_is_deterministic_across_runs() {
     assert_eq!(trace_figure1(), trace_figure1());
 }
 
+/// Killing an evaluation mid-flight (step limit) must still leave a
+/// complete, parseable JSONL file behind: the sink flushes on the engine's
+/// error path and again when the last reference is dropped.
+#[test]
+fn killed_evaluation_leaves_a_parseable_flushed_trace() {
+    use tablog_engine::{Engine, EngineError, EngineOptions, LoadMode};
+
+    let dir = std::env::temp_dir().join("tablog-trace-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("killed.jsonl");
+    let file = std::fs::File::create(&path).expect("create trace file");
+    let sink = Arc::new(JsonLinesSink::new(std::io::BufWriter::new(file)));
+
+    let opts = EngineOptions {
+        trace: Some(sink.clone() as Arc<_>),
+        max_steps: Some(10),
+        record_spans: true,
+        ..EngineOptions::default()
+    };
+    let engine = Engine::from_source_with(
+        ":- table path/2.\n\
+         path(X, Y) :- edge(X, Y).\n\
+         path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+         edge(a, b). edge(b, c). edge(c, d). edge(d, a).\n",
+        LoadMode::Dynamic,
+        opts,
+    )
+    .expect("program loads");
+    let mut b = tablog_term::Bindings::new();
+    let (g, _) = tablog_syntax::parse_term("path(a, X)", &mut b).unwrap();
+    let err = engine
+        .evaluate(&[g], &[], &b)
+        .expect_err("the 10-step budget is far too small for this closure");
+    assert!(matches!(err, EngineError::StepLimit(10)), "{err}");
+
+    // Drop every reference so the BufWriter's tail is flushed to disk.
+    drop(engine);
+    drop(sink);
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(!text.is_empty(), "events before the kill must be flushed");
+    let mut enters = 0usize;
+    for line in text.lines() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad JSON line {line:?}: {e}"));
+        assert!(
+            v.get("event").is_some() || v.get("span").is_some(),
+            "unrecognized line {line}"
+        );
+        if v.get("span").and_then(|s| s.as_str()) == Some("enter") {
+            enters += 1;
+        }
+    }
+    assert!(text.contains("\"event\":\"new_subgoal\""), "{text}");
+    assert!(enters > 0, "span enters should be recorded before the kill");
+}
+
 #[test]
 fn every_trace_line_is_valid_json_with_schema_keys() {
     let got = trace_figure1();
