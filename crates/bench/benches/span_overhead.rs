@@ -1,16 +1,23 @@
 //! Measures the cost of span instrumentation on a table-heavy workload:
 //! left-recursive transitive closure over a 64-node edge chain (~2k
-//! answers, thousands of dispatch/resolution/return events). Three
+//! answers, thousands of dispatch/resolution/return events). Four
 //! configurations:
 //!
 //! * `spans_off` — no trace sink at all: the shipping default. Every span
-//!   site is gated on `Machine.spans.is_some()`, so this path takes no
-//!   timestamps and mints no ids.
+//!   site is gated on `Machine.spans.is_some()`, and counter sampling on
+//!   `Machine.counters_on`, so this path takes no timestamps and mints no
+//!   ids. The combined overhead budget for spans *and* counters both off
+//!   (relative to a build without the instrumentation) is <3%; this config
+//!   is the evidence — the only residue is a handful of `Option`/bool
+//!   branches per task.
 //! * `noop_sink` — a [`NoopSink`] attached but `record_spans` off: the
 //!   cost of event tracing alone, for reference.
 //! * `noop_sink_spans` — [`NoopSink`] plus `record_spans`: the full span
 //!   path (timestamp + id per enter/exit) minus serialization. The PR 5
 //!   budget is <3% over `noop_sink`.
+//! * `noop_sink_spans_counters` — spans plus `record_counters`: adds one
+//!   [`tablog_engine::CounterSample`] (timestamp + six counter reads) per
+//!   worklist task, the full PR 6 timeline-recording cost minus retention.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -67,6 +74,20 @@ fn bench(c: &mut Criterion) {
     g.bench_function("noop_sink_spans", |b| {
         b.iter(|| {
             let sols = spanned.solve(black_box("path(X, Y)")).expect("solves");
+            black_box(sols.len())
+        })
+    });
+
+    let counter_opts = EngineOptions {
+        trace: Some(Arc::new(NoopSink)),
+        record_spans: true,
+        record_counters: true,
+        ..EngineOptions::default()
+    };
+    let counted = engine_with(&src, counter_opts);
+    g.bench_function("noop_sink_spans_counters", |b| {
+        b.iter(|| {
+            let sols = counted.solve(black_box("path(X, Y)")).expect("solves");
             black_box(sols.len())
         })
     });

@@ -25,6 +25,13 @@ use tablog_bench::{
     Row, SuiteTables, TABLE4_K,
 };
 
+// With --features track-alloc the binary runs under the tracking global
+// allocator, and sequential rows gain peak_heap_bytes columns (see
+// tablog_alloc and Row::heap).
+#[cfg(feature = "track-alloc")]
+#[global_allocator]
+static ALLOC: tablog_alloc::TrackingAlloc = tablog_alloc::TrackingAlloc;
+
 fn print_row_table(title: &str, rows: &[Row]) {
     println!("\n{title}");
     println!(

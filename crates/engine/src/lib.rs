@@ -89,7 +89,7 @@ pub use table::{AnswerIter, SubgoalView, TableBytes, TableStats};
 // the engine loads, and the trace types plug into `EngineOptions::trace`.
 pub use tablog_syntax::{parse_program, ParseError, Program};
 pub use tablog_trace::{
-    CountingSink, Forest, ForestAnswer, ForestSubgoal, JsonLinesSink, MetricsRegistry,
-    MetricsReport, MultiSink, NoopSink, OwnedEvent, PredStats, RingBufferSink, SpanEmitter,
-    SpanEvent, SpanId, SpanRecorder, SpanTree, TraceEvent, TraceSink,
+    chrome_trace, CounterSample, CounterTrack, CountingSink, Forest, ForestAnswer, ForestSubgoal,
+    JsonLinesSink, MetricsRegistry, MetricsReport, MultiSink, NoopSink, OwnedEvent, PredStats,
+    RingBufferSink, SpanEmitter, SpanEvent, SpanId, SpanRecorder, SpanTree, TraceEvent, TraceSink,
 };

@@ -35,7 +35,7 @@ use std::collections::{HashMap, HashSet};
 use tablog_term::{
     sym_name, unify, unify_occurs, Bindings, CanonicalTerm, Functor, Term, TermArena, TermId, Var,
 };
-use tablog_trace::{SpanEmitter, TraceEvent, TraceSink};
+use tablog_trace::{CounterSample, SpanEmitter, TraceEvent, TraceSink};
 
 #[derive(Clone, Debug)]
 pub(crate) struct Node {
@@ -103,6 +103,9 @@ pub(crate) struct Machine<'e> {
     /// *and* a sink is installed — every span site gates on this, so the
     /// disabled path takes no timestamps and mints no ids.
     pub(crate) spans: Option<SpanEmitter>,
+    /// Counter sampling enabled: `EngineOptions::record_counters` *and* a
+    /// sink installed. The disabled path is one branch per worklist task.
+    pub(crate) counters_on: bool,
 }
 
 impl<'e> Machine<'e> {
@@ -120,6 +123,24 @@ impl<'e> Machine<'e> {
             trace: opts.trace.as_deref(),
             spans: (opts.record_spans && opts.trace.is_some())
                 .then(|| SpanEmitter::with_root(opts.parent_span)),
+            counters_on: opts.record_counters && opts.trace.is_some(),
+        }
+    }
+
+    /// Emits one counter time-series sample to the trace sink. Only called
+    /// from sites gated on `counters_on`, so the disabled path takes no
+    /// timestamp and constructs nothing.
+    fn sample_counters(&self) {
+        if let Some(sink) = self.trace {
+            sink.counter_sample(&CounterSample {
+                t_ns: tablog_trace::now_ns(),
+                worklist: self.scheduler.len(),
+                expands: self.scheduler.class_len(TaskClass::Expand),
+                returns: self.scheduler.class_len(TaskClass::Return),
+                tables: self.subgoals.len(),
+                answers: self.stats.answers,
+                table_bytes: self.stats.table_bytes,
+            });
         }
     }
 
@@ -232,6 +253,13 @@ impl<'e> Machine<'e> {
     }
 
     fn drain(&mut self) -> Result<(), EngineError> {
+        // One sample of the initial state, then one after every task — a
+        // run of `steps` tasks yields `steps + 1` samples (negation
+        // subcomputations run their own drain and interleave additional
+        // samples on the shared sink).
+        if self.counters_on {
+            self.sample_counters();
+        }
         while let Some(task) = self.scheduler.pop() {
             self.stats.steps += 1;
             if let Some(limit) = self.opts.max_steps {
@@ -266,6 +294,9 @@ impl<'e> Machine<'e> {
                     }
                     r?
                 }
+            }
+            if self.counters_on {
+                self.sample_counters();
             }
         }
         Ok(())

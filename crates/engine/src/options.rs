@@ -120,6 +120,13 @@ pub struct EngineOptions {
     /// analyzer nest the whole evaluation under its own phase span.
     /// Ignored unless `record_spans` is set.
     pub parent_span: Option<tablog_trace::SpanId>,
+    /// Emit counter time-series samples (`counter_sample`) at worklist
+    /// dispatch boundaries: worklist depth per class, live call tables,
+    /// cumulative answers, and table bytes. Samples flow to the same
+    /// `trace` sink; with `trace` unset or this flag off (the default) no
+    /// sample — and no timestamp — is ever taken, so the flag costs one
+    /// branch per worklist task when off.
+    pub record_counters: bool,
 }
 
 impl EngineOptions {
@@ -162,6 +169,7 @@ impl EngineOptions {
                 on_off(self.record_provenance),
             ),
             ("record_spans".to_owned(), on_off(self.record_spans)),
+            ("record_counters".to_owned(), on_off(self.record_counters)),
         ]
     }
 }
@@ -180,6 +188,7 @@ impl fmt::Debug for EngineOptions {
             .field("trace", &self.trace.is_some())
             .field("record_spans", &self.record_spans)
             .field("parent_span", &self.parent_span)
+            .field("record_counters", &self.record_counters)
             .finish()
     }
 }

@@ -46,6 +46,12 @@ pub trait Scheduler<T> {
     /// Number of pending tasks.
     fn len(&self) -> usize;
 
+    /// Number of pending tasks of one class — the per-class worklist depth
+    /// the counter time-series samples (see `tablog_trace::CounterSample`).
+    /// Must be O(1): it is polled at every dispatch boundary when counter
+    /// recording is on.
+    fn class_len(&self, class: TaskClass) -> usize;
+
     /// `true` when no tasks are pending.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -58,13 +64,19 @@ pub trait Scheduler<T> {
 /// golden Figure 1 trace is recorded under it).
 #[derive(Debug)]
 pub struct DepthFirst<T> {
-    tasks: VecDeque<T>,
+    // Tasks carry their class so per-class counts stay exact without a
+    // second queue; order is the class-blind LIFO the seed engine used.
+    tasks: VecDeque<(TaskClass, T)>,
+    expands: usize,
+    returns: usize,
 }
 
 impl<T> Default for DepthFirst<T> {
     fn default() -> Self {
         DepthFirst {
             tasks: VecDeque::new(),
+            expands: 0,
+            returns: 0,
         }
     }
 }
@@ -74,16 +86,32 @@ impl<T> Scheduler<T> for DepthFirst<T> {
         "depth_first"
     }
 
-    fn push(&mut self, _class: TaskClass, task: T) {
-        self.tasks.push_back(task);
+    fn push(&mut self, class: TaskClass, task: T) {
+        match class {
+            TaskClass::Expand => self.expands += 1,
+            TaskClass::Return => self.returns += 1,
+        }
+        self.tasks.push_back((class, task));
     }
 
     fn pop(&mut self) -> Option<T> {
-        self.tasks.pop_back()
+        let (class, task) = self.tasks.pop_back()?;
+        match class {
+            TaskClass::Expand => self.expands -= 1,
+            TaskClass::Return => self.returns -= 1,
+        }
+        Some(task)
     }
 
     fn len(&self) -> usize {
         self.tasks.len()
+    }
+
+    fn class_len(&self, class: TaskClass) -> usize {
+        match class {
+            TaskClass::Expand => self.expands,
+            TaskClass::Return => self.returns,
+        }
     }
 }
 
@@ -91,13 +119,17 @@ impl<T> Scheduler<T> for DepthFirst<T> {
 /// and answer return.
 #[derive(Debug)]
 pub struct BreadthFirst<T> {
-    tasks: VecDeque<T>,
+    tasks: VecDeque<(TaskClass, T)>,
+    expands: usize,
+    returns: usize,
 }
 
 impl<T> Default for BreadthFirst<T> {
     fn default() -> Self {
         BreadthFirst {
             tasks: VecDeque::new(),
+            expands: 0,
+            returns: 0,
         }
     }
 }
@@ -107,16 +139,32 @@ impl<T> Scheduler<T> for BreadthFirst<T> {
         "breadth_first"
     }
 
-    fn push(&mut self, _class: TaskClass, task: T) {
-        self.tasks.push_back(task);
+    fn push(&mut self, class: TaskClass, task: T) {
+        match class {
+            TaskClass::Expand => self.expands += 1,
+            TaskClass::Return => self.returns += 1,
+        }
+        self.tasks.push_back((class, task));
     }
 
     fn pop(&mut self) -> Option<T> {
-        self.tasks.pop_front()
+        let (class, task) = self.tasks.pop_front()?;
+        match class {
+            TaskClass::Expand => self.expands -= 1,
+            TaskClass::Return => self.returns -= 1,
+        }
+        Some(task)
     }
 
     fn len(&self) -> usize {
         self.tasks.len()
+    }
+
+    fn class_len(&self, class: TaskClass) -> usize {
+        match class {
+            TaskClass::Expand => self.expands,
+            TaskClass::Return => self.returns,
+        }
     }
 }
 
@@ -159,6 +207,13 @@ impl<T> Scheduler<T> for Batched<T> {
 
     fn len(&self) -> usize {
         self.expands.len() + self.returns.len()
+    }
+
+    fn class_len(&self, class: TaskClass) -> usize {
+        match class {
+            TaskClass::Expand => self.expands.len(),
+            TaskClass::Return => self.returns.len(),
+        }
     }
 }
 
@@ -217,6 +272,29 @@ mod tests {
         s.push(TaskClass::Expand, 3);
         assert_eq!(s.pop(), Some(3));
         assert_eq!(drain(&mut s), vec![10, 11]);
+    }
+
+    #[test]
+    fn class_len_tracks_pushes_and_pops_per_class() {
+        for opt in [
+            Scheduling::DepthFirst,
+            Scheduling::BreadthFirst,
+            Scheduling::Batched,
+        ] {
+            let mut s: Box<dyn Scheduler<u32>> = make_scheduler(opt);
+            s.push(TaskClass::Expand, 1);
+            s.push(TaskClass::Return, 2);
+            s.push(TaskClass::Expand, 3);
+            assert_eq!(s.class_len(TaskClass::Expand), 2, "{}", s.name());
+            assert_eq!(s.class_len(TaskClass::Return), 1, "{}", s.name());
+            assert_eq!(
+                s.class_len(TaskClass::Expand) + s.class_len(TaskClass::Return),
+                s.len()
+            );
+            while s.pop().is_some() {}
+            assert_eq!(s.class_len(TaskClass::Expand), 0, "{}", s.name());
+            assert_eq!(s.class_len(TaskClass::Return), 0, "{}", s.name());
+        }
     }
 
     #[test]

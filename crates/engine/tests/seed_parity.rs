@@ -8,7 +8,8 @@
 //! engine (commit `6b79cf2`) on the same programs; the borrow rewrite of the
 //! clause-resolution loops in particular must not alter `clause_resolutions`.
 
-use tablog_engine::{Engine, EngineOptions, LoadMode};
+use std::sync::Arc;
+use tablog_engine::{CounterTrack, Engine, EngineOptions, LoadMode};
 use tablog_term::Bindings;
 
 struct Expect {
@@ -90,6 +91,61 @@ fn counters_match_seed_engine() {
                  duplicate_answers) diverged from the seed engine",
                 e.name
             );
+        }
+    }
+}
+
+/// Counter sampling is observation only: a run with `record_counters` on
+/// computes byte-for-byte the same whole-run totals as a plain run, the
+/// track holds one sample per engine step plus the initial state, and the
+/// final sample agrees with the evaluation's own statistics.
+#[test]
+fn counter_sampling_does_not_perturb_evaluation() {
+    for e in EXPECTED {
+        for mode in [LoadMode::Dynamic, LoadMode::Compiled] {
+            let plain = run(e.src, e.goal, mode);
+            let track = Arc::new(CounterTrack::new());
+            let opts = EngineOptions {
+                trace: Some(track.clone()),
+                record_counters: true,
+                ..Default::default()
+            };
+            let eng = Engine::from_source_with(e.src, mode, opts).unwrap();
+            let mut b = Bindings::new();
+            let (g, _) = tablog_syntax::parse_term(e.goal, &mut b).unwrap();
+            let counted = eng.evaluate(&[g], &[], &b).unwrap().stats();
+            assert_eq!(
+                (
+                    counted.steps,
+                    counted.clause_resolutions,
+                    counted.subgoals,
+                    counted.answers,
+                    counted.duplicate_answers,
+                    counted.table_bytes,
+                ),
+                (
+                    plain.steps,
+                    plain.clause_resolutions,
+                    plain.subgoals,
+                    plain.answers,
+                    plain.duplicate_answers,
+                    plain.table_bytes,
+                ),
+                "{} ({mode:?}): counter sampling changed the evaluation",
+                e.name
+            );
+            assert_eq!(
+                track.len(),
+                counted.steps + 1,
+                "{} ({mode:?}): one sample per step plus the initial state",
+                e.name
+            );
+            let last = track.last().expect("at least the initial sample");
+            assert_eq!(last.worklist, 0, "{}: final worklist is drained", e.name);
+            assert_eq!(last.expands + last.returns, 0, "{}", e.name);
+            assert_eq!(last.answers, counted.answers, "{}", e.name);
+            assert_eq!(last.tables, counted.subgoals, "{}", e.name);
+            assert_eq!(last.table_bytes, counted.table_bytes, "{}", e.name);
         }
     }
 }

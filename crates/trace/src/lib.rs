@@ -20,6 +20,8 @@
 //! Events borrow the engine's canonical terms; sinks that need to retain
 //! them convert to [`OwnedEvent`] via [`TraceEvent::to_owned`].
 
+pub mod chrome;
+pub mod counter;
 pub mod event;
 pub mod folded;
 pub mod forest;
@@ -28,6 +30,8 @@ pub mod metrics;
 pub mod sink;
 pub mod span;
 
+pub use chrome::{chrome_trace, CHROME_COUNTER_TRACKS};
+pub use counter::{CounterSample, CounterTrack};
 pub use event::{OwnedEvent, TraceEvent};
 pub use folded::{folded_frames, folded_stacks};
 pub use forest::{Forest, ForestAnswer, ForestSubgoal};
@@ -35,4 +39,4 @@ pub use metrics::{EngineSnapshot, MetricsRegistry, MetricsReport, PredStats};
 pub use sink::{
     CountingSink, JsonLinesSink, MultiSink, NoopSink, RingBufferSink, SharedBuf, TraceSink,
 };
-pub use span::{SpanEmitter, SpanEvent, SpanId, SpanRecorder, SpanRollup, SpanTree};
+pub use span::{now_ns, SpanEmitter, SpanEvent, SpanId, SpanRecorder, SpanRollup, SpanTree};

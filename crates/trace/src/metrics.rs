@@ -7,6 +7,7 @@
 //! with [`MetricsRegistry::record_phases`]; [`MetricsRegistry::snapshot`]
 //! freezes everything into a [`MetricsReport`] for rendering.
 
+use crate::counter::{CounterSample, CounterTrack};
 use crate::event::TraceEvent;
 use crate::json::escape;
 use crate::sink::TraceSink;
@@ -129,6 +130,7 @@ pub struct MetricsRegistry {
     preds: Mutex<BTreeMap<Functor, PredStats>>,
     phases: Mutex<Vec<(String, Duration)>>,
     spans: SpanRecorder,
+    counters: CounterTrack,
 }
 
 impl MetricsRegistry {
@@ -166,6 +168,12 @@ impl MetricsRegistry {
     /// needed (e.g. folded-stack export).
     pub fn spans(&self) -> &SpanRecorder {
         &self.spans
+    }
+
+    /// The counter time-series recorded through this registry — populated
+    /// when the engine ran with `record_counters` on, empty otherwise.
+    pub fn counters(&self) -> &CounterTrack {
+        &self.counters
     }
 
     /// Freezes the current state into a report.
@@ -218,6 +226,10 @@ impl TraceSink for MetricsRegistry {
 
     fn span_exit(&self, id: SpanId, t_ns: u64) {
         self.spans.span_exit(id, t_ns);
+    }
+
+    fn counter_sample(&self, s: &CounterSample) {
+        self.counters.record(s);
     }
 }
 

@@ -5,6 +5,7 @@
 //! `Send + Sync` so engines (which are `Send`) can carry them across
 //! threads and the parallel multi-program driver can share one sink.
 
+use crate::counter::CounterSample;
 use crate::event::{OwnedEvent, TraceEvent};
 use crate::span::{SpanEvent, SpanId};
 use std::collections::{BTreeMap, VecDeque};
@@ -26,6 +27,10 @@ pub trait TraceSink: Send + Sync {
 
     /// Observes the closing edge of the span opened with `id`.
     fn span_exit(&self, _id: SpanId, _t_ns: u64) {}
+
+    /// Observes one counter time-series sample (see [`crate::counter`]).
+    /// Default: ignore — sinks that predate counters are unaffected.
+    fn counter_sample(&self, _s: &CounterSample) {}
 
     /// Flushes any buffered output (e.g. a JSON-lines writer).
     fn flush(&self) {}
@@ -137,6 +142,10 @@ impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
             "{{\"span\":\"exit\",\"id\":{},\"t_ns\":{t_ns}}}",
             id.0
         ));
+    }
+
+    fn counter_sample(&self, s: &CounterSample) {
+        self.write_line(&format!("{{\"counter\":{}}}", s.to_json()));
     }
 
     fn flush(&self) {
@@ -275,6 +284,12 @@ impl TraceSink for MultiSink {
     fn span_exit(&self, id: SpanId, t_ns: u64) {
         for sink in &self.sinks {
             sink.span_exit(id, t_ns);
+        }
+    }
+
+    fn counter_sample(&self, c: &CounterSample) {
+        for s in &self.sinks {
+            s.counter_sample(c);
         }
     }
 

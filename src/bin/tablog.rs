@@ -12,8 +12,13 @@
 //!                                       total time per span name, predicate
 //!                                       and SCC; --folded writes collapsed
 //!                                       stacks for flamegraph.pl / inferno
+//! tablog timeline FILE.pl GOAL [--out trace.json] [--counters]
+//!                                       Chrome-trace/Perfetto timeline of
+//!                                       the evaluation; --counters adds
+//!                                       worklist/tables/answers/table_bytes
+//!                                       counter tracks
 //! tablog bench-diff OLD.json NEW.json [--max-time-regress PCT]
-//!                   [--max-bytes-regress PCT]
+//!                   [--max-bytes-regress PCT] [--max-heap-regress PCT]
 //!                                       compare two paper_tables --json
 //!                                       documents; exit 1 on regression
 //! tablog explain FILE GOAL [--depth N] [--analysis A]
@@ -73,10 +78,14 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: tablog <query|tables|stats|profile|bench-diff|explain|forest|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
+    "usage: tablog <query|tables|stats|profile|timeline|bench-diff|explain|forest|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
      tables  FILE GOAL [--top N]  (--top/--json: per-table heap attribution)\n\
      profile FILE GOAL [--folded OUT]  (span timings; collapsed stacks)\n\
+     timeline FILE GOAL [--out trace.json] [--counters]\n\
+                                  (Chrome-trace/Perfetto timeline of the run;\n\
+                                   --counters adds counter time-series tracks)\n\
      bench-diff OLD.json NEW.json [--max-time-regress PCT] [--max-bytes-regress PCT]\n\
+                                  [--max-heap-regress PCT]\n\
      explain FILE GOAL [--depth N] [--analysis ground|depthk|strict|direct]\n\
      forest  FILE GOAL [--dot OUT]\n\
      ground|depthk accept multiple FILEs; --jobs N analyzes them concurrently\n\
@@ -87,6 +96,15 @@ fn usage() -> String {
 
 fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// The `FILE GOAL` positional pair shared by the engine-backed subcommands
+/// (query, tables, stats, profile, explain, forest, timeline): reads the
+/// program source and hands back the goal string.
+fn file_goal(args: &[String]) -> Result<(String, &str), String> {
+    let file = args.get(1).ok_or_else(usage)?;
+    let goal = args.get(2).ok_or_else(usage)?;
+    Ok((read_file(file)?, goal))
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -200,7 +218,7 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
 /// Positional (non-flag) arguments: skips `--flag value` pairs for the
 /// value-taking flags and bare `--flags` for the rest.
 fn positional(args: &[String]) -> Vec<&String> {
-    const VALUED: [&str; 9] = [
+    const VALUED: [&str; 11] = [
         "--entry",
         "--k",
         "--depth",
@@ -208,8 +226,10 @@ fn positional(args: &[String]) -> Vec<&String> {
         "--analysis",
         "--top",
         "--folded",
+        "--out",
         "--max-time-regress",
         "--max-bytes-regress",
+        "--max-heap-regress",
     ];
     let mut out = Vec::new();
     let mut it = args.iter();
@@ -240,9 +260,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             Ok(())
         }
         "query" | "tables" => {
-            let file = args.get(1).ok_or_else(usage)?;
-            let goal = args.get(2).ok_or_else(usage)?;
-            let src = read_file(file)?;
+            let (src, goal) = file_goal(args)?;
             let registry = obs.profile.then(|| Arc::new(MetricsRegistry::new()));
             let opts = EngineOptions {
                 trace: obs.engine_sink(registry.as_ref()),
@@ -262,7 +280,11 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 }
             } else {
                 let top: Option<usize> = flag_value(args, "--top")
-                    .map(|v| v.parse().map_err(|_| "bad --top value".to_string()))
+                    .map(|v| match v.parse::<usize>() {
+                        Ok(0) => Err(format!("bad --top value {v} (must be at least 1)")),
+                        Ok(n) => Ok(n),
+                        Err(_) => Err(format!("bad --top value {v} (expected a positive integer)")),
+                    })
                     .transpose()?;
                 let mut b = tablog_term::Bindings::new();
                 let (t, _) = tablog_syntax::parse_term(goal, &mut b).map_err(|e| e.to_string())?;
@@ -292,9 +314,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             Ok(())
         }
         "stats" => {
-            let file = args.get(1).ok_or_else(usage)?;
-            let goal = args.get(2).ok_or_else(usage)?;
-            let src = read_file(file)?;
+            let (src, goal) = file_goal(args)?;
             let registry = Arc::new(MetricsRegistry::new());
             let opts = EngineOptions {
                 trace: obs.engine_sink(Some(&registry)),
@@ -321,9 +341,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             Ok(())
         }
         "profile" => {
-            let file = args.get(1).ok_or_else(usage)?;
-            let goal = args.get(2).ok_or_else(usage)?;
-            let src = read_file(file)?;
+            let (src, goal) = file_goal(args)?;
             let registry = Arc::new(MetricsRegistry::new());
             let opts = EngineOptions {
                 trace: obs.engine_sink(Some(&registry)),
@@ -413,13 +431,14 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             };
             let max_time = pct("--max-time-regress", 25.0)?;
             let max_bytes = pct("--max-bytes-regress", 5.0)?;
+            let max_heap = pct("--max-heap-regress", 5.0)?;
             let parse = |path: &str| -> Result<tablog_trace::json::JsonValue, String> {
                 let text = read_file(path)?;
                 tablog_trace::json::parse(&text).map_err(|e| format!("{path}: bad JSON: {e}"))
             };
             let old = parse(old_path)?;
             let new = parse(new_path)?;
-            let diff = tablog_bench::bench_diff(&old, &new, max_time, max_bytes);
+            let diff = tablog_bench::bench_diff(&old, &new, max_time, max_bytes, max_heap);
             for w in &diff.warnings {
                 eprintln!("warning: {w}");
             }
@@ -429,21 +448,52 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             if diff.is_regression() {
                 return Err(format!(
                     "bench-diff: {} regression(s) beyond thresholds \
-                     (time {max_time}%, bytes {max_bytes}%)",
+                     (time {max_time}%, bytes {max_bytes}%, heap {max_heap}%)",
                     diff.failures.len()
                 ));
             }
             println!(
                 "bench-diff passed: no regressions beyond thresholds \
-                 (time {max_time}%, bytes {max_bytes}%), {} warning(s)",
+                 (time {max_time}%, bytes {max_bytes}%, heap {max_heap}%), {} warning(s)",
                 diff.warnings.len()
             );
             Ok(())
         }
+        "timeline" => {
+            let (src, goal) = file_goal(args)?;
+            let counters = args.iter().any(|a| a == "--counters");
+            let registry = Arc::new(MetricsRegistry::new());
+            let opts = EngineOptions {
+                trace: obs.engine_sink(Some(&registry)),
+                scheduling: obs.scheduling,
+                record_spans: true,
+                record_counters: counters,
+                ..Default::default()
+            };
+            let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
+                .map_err(|e| e.to_string())?;
+            let mut b = tablog_term::Bindings::new();
+            let (t, _) = tablog_syntax::parse_term(goal, &mut b).map_err(|e| e.to_string())?;
+            engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
+            let tree = registry.spans().snapshot();
+            let samples = registry.counters().samples();
+            let doc = tablog_trace::chrome_trace(&tree, &samples);
+            match flag_value(args, "--out") {
+                Some(path) => {
+                    std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    eprintln!(
+                        "wrote {path}: {} spans, {} counter samples — load in \
+                         https://ui.perfetto.dev or chrome://tracing",
+                        tree.nodes.len(),
+                        samples.len()
+                    );
+                }
+                None => println!("{doc}"),
+            }
+            Ok(())
+        }
         "explain" => {
-            let file = args.get(1).ok_or_else(usage)?;
-            let goal = args.get(2).ok_or_else(usage)?;
-            let src = read_file(file)?;
+            let (src, goal) = file_goal(args)?;
             let depth: usize = flag_value(args, "--depth")
                 .map(|v| v.parse().map_err(|_| "bad --depth value".to_string()))
                 .transpose()?
@@ -509,9 +559,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             Ok(())
         }
         "forest" => {
-            let file = args.get(1).ok_or_else(usage)?;
-            let goal = args.get(2).ok_or_else(usage)?;
-            let src = read_file(file)?;
+            let (src, goal) = file_goal(args)?;
             let opts = EngineOptions {
                 record_provenance: true,
                 trace: obs.sink.clone(),

@@ -582,6 +582,123 @@ fn bench_diff_demotes_time_regressions_across_hosts() {
 }
 
 #[test]
+fn timeline_emits_valid_chrome_trace_on_stdout() {
+    let (out, err, ok) = tablog(&[
+        "timeline",
+        &repo_example("figure1.pl"),
+        "gp_ap(X, Y, Z)",
+        "--counters",
+    ]);
+    assert!(ok, "{err}");
+    let v = tablog_trace::json::parse(out.trim()).expect("timeline emits valid JSON");
+    assert_eq!(
+        v.get("displayTimeUnit").and_then(|u| u.as_str()),
+        Some("ms"),
+        "{out}"
+    );
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    let phase = |e: &tablog_trace::json::JsonValue| {
+        e.get("ph")
+            .and_then(|p| p.as_str())
+            .unwrap_or("")
+            .to_owned()
+    };
+    assert!(events.iter().any(|e| phase(e) == "B"), "no span events");
+    // All four counter tracks appear when --counters is on.
+    for want in tablog_trace::CHROME_COUNTER_TRACKS {
+        assert!(
+            events.iter().any(|e| {
+                phase(e) == "C" && e.get("name").and_then(|n| n.as_str()) == Some(want)
+            }),
+            "missing counter track {want}"
+        );
+    }
+}
+
+#[test]
+fn timeline_without_counters_has_spans_but_no_counter_events() {
+    let f = temp_file("graph_timeline.pl", GRAPH);
+    let (out, err, ok) = tablog(&["timeline", f.to_str().unwrap(), "path(a, X)"]);
+    assert!(ok, "{err}");
+    let v = tablog_trace::json::parse(out.trim()).expect("valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    let phase = |e: &tablog_trace::json::JsonValue| {
+        e.get("ph")
+            .and_then(|p| p.as_str())
+            .unwrap_or("")
+            .to_owned()
+    };
+    assert!(events.iter().any(|e| phase(e) == "B"), "{out}");
+    assert!(!events.iter().any(|e| phase(e) == "C"), "{out}");
+}
+
+#[test]
+fn timeline_out_flag_writes_trace_file() {
+    let trace = std::env::temp_dir()
+        .join("tablog-cli-tests")
+        .join("figure1.trace.json");
+    std::fs::create_dir_all(trace.parent().unwrap()).expect("mkdir");
+    let (out, err, ok) = tablog(&[
+        "timeline",
+        &repo_example("figure1.pl"),
+        "gp_ap(X, Y, Z)",
+        "--counters",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.is_empty(), "--out keeps stdout clean: {out}");
+    assert!(err.contains("wrote"), "{err}");
+    assert!(err.contains("counter samples"), "{err}");
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    tablog_trace::json::parse(&text).expect("written trace is valid JSON");
+}
+
+#[test]
+fn tables_top_rejects_zero_and_non_numeric_values() {
+    let f = temp_file("graph_badtop.pl", GRAPH);
+    let (_, err, ok) = tablog(&["tables", f.to_str().unwrap(), "path(a, X)", "--top", "0"]);
+    assert!(!ok, "--top 0 must be rejected");
+    assert!(err.contains("bad --top value 0"), "{err}");
+    assert!(err.contains("at least 1"), "{err}");
+    let (_, err2, ok2) = tablog(&["tables", f.to_str().unwrap(), "path(a, X)", "--top", "abc"]);
+    assert!(!ok2, "--top abc must be rejected");
+    assert!(err2.contains("bad --top value abc"), "{err2}");
+    assert!(err2.contains("positive integer"), "{err2}");
+}
+
+#[test]
+fn bench_diff_fails_on_peak_heap_regression() {
+    let old = temp_file(
+        "bench_heap_old.json",
+        r#"{"table1":[{"program":"fig1","total_us":10000,"table_bytes":1000,
+         "peak_heap_bytes":10485760,"heap_allocated_bytes":41943040}],
+         "table2":[],"table3":[],"table4":[],"host":{"num_cpus":4}}"#,
+    );
+    let new = temp_file(
+        "bench_heap_new.json",
+        r#"{"table1":[{"program":"fig1","total_us":10000,"table_bytes":1000,
+         "peak_heap_bytes":12582912,"heap_allocated_bytes":41943040}],
+         "table2":[],"table3":[],"table4":[],"host":{"num_cpus":4}}"#,
+    );
+    let (_, err, ok) = tablog(&[
+        "bench-diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--max-heap-regress",
+        "5",
+    ]);
+    assert!(!ok, "peak-heap regression must fail the gate: {err}");
+    assert!(err.contains("peak_heap_bytes"), "{err}");
+}
+
+#[test]
 fn trace_file_is_parseable_when_evaluation_dies_early() {
     // The goal body hits an undefined predicate mid-evaluation, so the
     // engine aborts with an error after some events have already been
