@@ -18,11 +18,17 @@
 //! * `noop_sink_spans_counters` — spans plus `record_counters`: adds one
 //!   [`tablog_engine::CounterSample`] (timestamp + six counter reads) per
 //!   worklist task, the full PR 6 timeline-recording cost minus retention.
+//! * `budgets_health` — generous resource budgets (never tripping) plus
+//!   per-step health snapshots into a [`NoopSink`]: the PR 7 budgeted-run
+//!   cost — per task, two limit comparisons plus one clock read against
+//!   the precomputed deadline cutoff, and snapshot assembly at the
+//!   configured cadence. Note `spans_off` above also covers budgets-off:
+//!   the unset `Option` limits share its dispatch-boundary branch budget.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
-use tablog_engine::{Engine, EngineOptions, LoadMode, NoopSink};
+use tablog_engine::{Engine, EngineOptions, HealthConfig, LoadMode, NoopSink};
 
 fn chain_program(n: usize) -> String {
     let mut src = String::from(
@@ -88,6 +94,23 @@ fn bench(c: &mut Criterion) {
     g.bench_function("noop_sink_spans_counters", |b| {
         b.iter(|| {
             let sols = counted.solve(black_box("path(X, Y)")).expect("solves");
+            black_box(sols.len())
+        })
+    });
+
+    let budget_opts = EngineOptions {
+        trace: Some(Arc::new(NoopSink)),
+        max_steps: Some(usize::MAX),
+        deadline: Some(std::time::Duration::from_secs(86_400)),
+        max_table_bytes: Some(usize::MAX),
+        health: Some(HealthConfig::every_steps(64)),
+        ..EngineOptions::default()
+    };
+    let budgeted = engine_with(&src, budget_opts);
+    g.bench_function("budgets_health", |b| {
+        b.iter(|| {
+            let sols = budgeted.solve(black_box("path(X, Y)")).expect("solves");
+            assert!(!sols.is_truncated(), "generous budgets must not trip");
             black_box(sols.len())
         })
     });

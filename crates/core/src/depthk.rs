@@ -261,7 +261,9 @@ impl DepthKAnalyzer {
         // --- Analysis. ---
         engine.options_mut().parent_span = spans.enter("analysis");
         let qb = Bindings::new();
-        let eval = engine.evaluate(&[atom("$dk")], &[], &qb)?;
+        let eval = engine
+            .evaluate(&[atom("$dk")], &[], &qb)?
+            .require_complete()?;
         spans.exit();
         let analysis = timer.lap();
 

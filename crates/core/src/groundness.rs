@@ -309,7 +309,7 @@ impl GroundnessAnalyzer {
         engine.options_mut().parent_span = spans.enter("analysis");
         let query = [atom("$ga")];
         let qb = Bindings::new();
-        let eval = engine.evaluate(&query, &[], &qb)?;
+        let eval = engine.evaluate(&query, &[], &qb)?.require_complete()?;
         spans.exit();
         let analysis = timer.lap();
 

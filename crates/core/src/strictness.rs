@@ -248,7 +248,9 @@ impl StrictnessAnalyzer {
         // --- Analysis. ---
         engine.options_mut().parent_span = spans.enter("analysis");
         let qb = tablog_term::Bindings::new();
-        let eval = engine.evaluate(&[atom("$sa")], &[], &qb)?;
+        let eval = engine
+            .evaluate(&[atom("$sa")], &[], &qb)?
+            .require_complete()?;
         spans.exit();
         let analysis = timer.lap();
 

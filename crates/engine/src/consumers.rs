@@ -138,6 +138,9 @@ impl Machine<'_> {
     pub(crate) fn provable(&mut self, goal: &Term, b: &Bindings) -> Result<bool, EngineError> {
         let g = b.resolve(goal);
         let mut sub = Machine::new(self.db, self.opts);
+        // The deadline bounds the whole evaluation: the sub-machine inherits
+        // the parent's absolute cutoff rather than restarting the clock.
+        sub.deadline_ns = self.deadline_ns;
         let empty = Bindings::new();
         let eval = sub.run(&[g], &[], &empty)?;
         // Fold the subcomputation's work into this evaluation's counters.
@@ -148,6 +151,15 @@ impl Machine<'_> {
         self.stats.subgoals += sub.stats.subgoals;
         self.stats.answers += sub.stats.answers;
         self.stats.duplicate_answers += sub.stats.duplicate_answers;
+        // A truncated subcomputation cannot witness failure: propagate the
+        // trip so the outer drain stops before expanding any continuation
+        // this task scheduled — negation over a partial table would be
+        // unsound, and budget exhaustion ends the whole run anyway.
+        if let Some(t) = eval.truncation() {
+            // Keep the first trip's reason: a nested trip during the settle
+            // pass must not rewrite why the run was truncated.
+            self.truncated.get_or_insert(t.reason);
+        }
         Ok(!eval.root_answers().is_empty())
     }
 }

@@ -1,5 +1,6 @@
 //! Engine errors.
 
+use crate::budget::TruncationReason;
 use std::fmt;
 use tablog_term::Functor;
 
@@ -16,8 +17,13 @@ pub enum EngineError {
     Arith(String),
     /// A builtin was called with arguments it cannot handle.
     BadArgs(&'static str, String),
-    /// The evaluation exceeded the configured step budget.
-    StepLimit(usize),
+    /// A resource budget cut the evaluation short *and* the caller needs
+    /// complete tables. The engine itself never raises this — budget trips
+    /// return a truncated [`crate::Evaluation`] with partial answers; this
+    /// variant is minted by [`crate::Evaluation::require_complete`] for
+    /// callers (the analyzers) whose results are only sound over the full
+    /// fixpoint.
+    Truncated(TruncationReason),
     /// The source text could not be parsed.
     Parse(String),
 }
@@ -29,7 +35,7 @@ impl fmt::Display for EngineError {
             EngineError::BadGoal(g) => write!(f, "malformed goal: {g}"),
             EngineError::Arith(m) => write!(f, "arithmetic error: {m}"),
             EngineError::BadArgs(b, m) => write!(f, "{b}: bad arguments: {m}"),
-            EngineError::StepLimit(n) => write!(f, "step limit of {n} exceeded"),
+            EngineError::Truncated(r) => write!(f, "evaluation truncated: {r}"),
             EngineError::Parse(m) => write!(f, "parse error: {m}"),
         }
     }

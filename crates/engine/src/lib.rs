@@ -52,6 +52,7 @@
 //! # Ok::<(), tablog_engine::EngineError>(())
 //! ```
 
+mod budget;
 mod builtins;
 mod consumers;
 mod database;
@@ -70,6 +71,7 @@ mod table;
 #[cfg(test)]
 mod machine_tests;
 
+pub use budget::{HealthConfig, Truncation, TruncationReason};
 pub use builtins::{
     abs_ground, abs_unify, arith_eval, builtin_functors, is_builtin, lookup_builtin, term_compare,
     BuiltinImpl, DetFn, NonDetFn, GAMMA,
@@ -90,6 +92,7 @@ pub use table::{AnswerIter, SubgoalView, TableBytes, TableStats};
 pub use tablog_syntax::{parse_program, ParseError, Program};
 pub use tablog_trace::{
     chrome_trace, CounterSample, CounterTrack, CountingSink, Forest, ForestAnswer, ForestSubgoal,
-    JsonLinesSink, MetricsRegistry, MetricsReport, MultiSink, NoopSink, OwnedEvent, PredStats,
-    RingBufferSink, SpanEmitter, SpanEvent, SpanId, SpanRecorder, SpanTree, TraceEvent, TraceSink,
+    HealthSnapshot, HealthTrack, JsonLinesSink, MetricsRegistry, MetricsReport, MultiSink,
+    NoopSink, OwnedEvent, PredStats, RingBufferSink, SpanEmitter, SpanEvent, SpanId, SpanRecorder,
+    SpanTree, StallWatchdog, TraceEvent, TraceSink,
 };

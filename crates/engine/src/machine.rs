@@ -23,6 +23,7 @@
 //! answer flow (consumer resumption, table insertion, negation
 //! subcomputations) lives in `consumers.rs`.
 
+use crate::budget::{HealthConfig, Truncation, TruncationReason};
 use crate::builtins::lookup_builtin;
 use crate::database::Database;
 use crate::error::EngineError;
@@ -35,7 +36,9 @@ use std::collections::{HashMap, HashSet};
 use tablog_term::{
     sym_name, unify, unify_occurs, Bindings, CanonicalTerm, Functor, Term, TermArena, TermId, Var,
 };
-use tablog_trace::{CounterSample, SpanEmitter, TraceEvent, TraceSink};
+use tablog_trace::{
+    now_ns, CounterSample, HealthSnapshot, SpanEmitter, StallWatchdog, TraceEvent, TraceSink,
+};
 
 #[derive(Clone, Debug)]
 pub(crate) struct Node {
@@ -106,10 +109,45 @@ pub(crate) struct Machine<'e> {
     /// Counter sampling enabled: `EngineOptions::record_counters` *and* a
     /// sink installed. The disabled path is one branch per worklist task.
     pub(crate) counters_on: bool,
+    /// Any resource budget set. The only cost budgets add to an unbudgeted
+    /// run is this one branch per worklist task.
+    budgets_on: bool,
+    /// Absolute wall-clock cutoff on the [`now_ns`] timeline, precomputed
+    /// once so the per-task deadline check is a single comparison. Negation
+    /// subcomputations inherit the parent's cutoff (the deadline bounds the
+    /// whole evaluation, not each sub-machine).
+    pub(crate) deadline_ns: Option<u64>,
+    /// The budget that tripped, set at a dispatch boundary (directly or
+    /// propagated from a negation subcomputation); once set, `drain` stops
+    /// scheduling and `run` hands back a truncated evaluation.
+    pub(crate) truncated: Option<TruncationReason>,
+    /// Periodic health emission state, `Some` only when
+    /// `EngineOptions::health` is set *and* a sink is installed.
+    health: Option<HealthState>,
+    /// Timestamp of machine creation, taken only when budgets or health
+    /// reporting need one (0 otherwise, never read in that case).
+    start_ns: u64,
+}
+
+/// Book-keeping for periodic [`HealthSnapshot`] emission: the cadence
+/// config, the watchdog, and the previous emission's coordinates (for
+/// window deltas and the derivation rate).
+struct HealthState {
+    cfg: HealthConfig,
+    watchdog: StallWatchdog,
+    last_ns: u64,
+    last_steps: usize,
+    last_answers: usize,
 }
 
 impl<'e> Machine<'e> {
     pub(crate) fn new(db: &'e Database, opts: &'e EngineOptions) -> Self {
+        let budgets_on =
+            opts.max_steps.is_some() || opts.deadline.is_some() || opts.max_table_bytes.is_some();
+        let health_on = opts.health.is_some() && opts.trace.is_some();
+        // One timestamp at machine creation when budgets or health need a
+        // time origin; the all-off path still takes none.
+        let start_ns = if budgets_on || health_on { now_ns() } else { 0 };
         Machine {
             db,
             opts,
@@ -124,6 +162,22 @@ impl<'e> Machine<'e> {
             spans: (opts.record_spans && opts.trace.is_some())
                 .then(|| SpanEmitter::with_root(opts.parent_span)),
             counters_on: opts.record_counters && opts.trace.is_some(),
+            budgets_on,
+            deadline_ns: opts
+                .deadline
+                .map(|d| start_ns.saturating_add(d.as_nanos() as u64)),
+            truncated: None,
+            health: health_on.then(|| {
+                let cfg = opts.health.unwrap();
+                HealthState {
+                    cfg,
+                    watchdog: StallWatchdog::new(cfg.stall_window),
+                    last_ns: start_ns,
+                    last_steps: 0,
+                    last_answers: 0,
+                }
+            }),
+            start_ns,
         }
     }
 
@@ -141,6 +195,105 @@ impl<'e> Machine<'e> {
                 answers: self.stats.answers,
                 table_bytes: self.stats.table_bytes,
             });
+        }
+    }
+
+    /// Checks every configured resource budget, in a fixed order (steps,
+    /// table bytes, deadline) so a run tripping several reports
+    /// deterministically. Only called when `budgets_on`; the deadline is
+    /// the only check that reads the clock.
+    fn budget_tripped(&self) -> Option<TruncationReason> {
+        if let Some(limit) = self.opts.max_steps {
+            if self.stats.steps > limit {
+                return Some(TruncationReason::Steps(limit));
+            }
+        }
+        if let Some(limit) = self.opts.max_table_bytes {
+            if self.stats.table_bytes > limit {
+                return Some(TruncationReason::TableBytes(limit));
+            }
+        }
+        if let Some(cutoff) = self.deadline_ns {
+            if now_ns() >= cutoff {
+                let ms = self.opts.deadline.map_or(0, |d| d.as_millis() as u64);
+                return Some(TruncationReason::DeadlineMs(ms));
+            }
+        }
+        None
+    }
+
+    /// Builds one health snapshot at `t_ns`, advancing the health window
+    /// state (rate baseline, watchdog) when health reporting is on. Also
+    /// used for the final snapshot of a truncated run even when no health
+    /// config is set — the window then spans the whole run.
+    fn health_snapshot(&mut self, t_ns: u64) -> HealthSnapshot {
+        let answers = self.stats.answers;
+        let table_bytes = self.stats.table_bytes;
+        let (answer_rate, stalled) = match self.health.as_mut() {
+            Some(h) => {
+                let dt = t_ns.saturating_sub(h.last_ns);
+                let da = answers - h.last_answers;
+                let rate = if dt > 0 {
+                    da as f64 * 1e9 / dt as f64
+                } else {
+                    0.0
+                };
+                let stalled = h.watchdog.observe(answers, table_bytes);
+                h.last_ns = t_ns;
+                h.last_steps = self.stats.steps;
+                h.last_answers = answers;
+                (rate, stalled)
+            }
+            None => {
+                let dt = t_ns.saturating_sub(self.start_ns);
+                let rate = if dt > 0 {
+                    answers as f64 * 1e9 / dt as f64
+                } else {
+                    0.0
+                };
+                (rate, false)
+            }
+        };
+        HealthSnapshot {
+            t_ns,
+            steps: self.stats.steps,
+            worklist: self.scheduler.len(),
+            expands: self.scheduler.class_len(TaskClass::Expand),
+            returns: self.scheduler.class_len(TaskClass::Return),
+            tables: self.subgoals.len(),
+            completed_tables: self.subgoals.iter().filter(|s| s.complete).count(),
+            answers,
+            duplicate_answers: self.stats.duplicate_answers,
+            table_bytes,
+            answer_rate,
+            peak_heap_bytes: tablog_alloc::is_tracking().then(|| tablog_alloc::stats().peak_bytes),
+            stalled,
+        }
+    }
+
+    /// Emits a periodic health snapshot if either cadence is due. Only
+    /// called when `health` is `Some`; the step cadence costs no clock
+    /// read until it fires, the time cadence reads the clock once.
+    fn health_tick(&mut self) {
+        let due = {
+            let h = self.health.as_ref().expect("health_tick gated on health");
+            let step_due =
+                h.cfg.every_steps > 0 && self.stats.steps - h.last_steps >= h.cfg.every_steps;
+            if step_due {
+                Some(now_ns())
+            } else if h.cfg.every_ms > 0 {
+                let t = now_ns();
+                (t.saturating_sub(h.last_ns) >= h.cfg.every_ms.saturating_mul(1_000_000))
+                    .then_some(t)
+            } else {
+                None
+            }
+        };
+        if let Some(t_ns) = due {
+            let snap = self.health_snapshot(t_ns);
+            if let Some(sink) = self.trace {
+                sink.health(&snap);
+            }
         }
     }
 
@@ -216,17 +369,27 @@ impl<'e> Machine<'e> {
         };
         self.push(Task::Expand(node));
         self.drain()?;
-        self.span_enter("completion", None);
-        for s in &mut self.subgoals {
-            s.complete = true;
-            if let Some(sink) = self.trace {
-                sink.event(&TraceEvent::SubgoalComplete {
-                    pred: s.functor,
-                    answers: s.answers.len(),
-                    bytes: s.table_bytes(),
-                });
-            }
+        if self.truncated.is_some() {
+            self.settle()?;
         }
+        let truncated = self.truncated.take();
+        if truncated.is_none() {
+            self.span_enter("completion", None);
+            for s in &mut self.subgoals {
+                s.complete = true;
+                if let Some(sink) = self.trace {
+                    sink.event(&TraceEvent::SubgoalComplete {
+                        pred: s.functor,
+                        answers: s.answers.len(),
+                        bytes: s.table_bytes(),
+                    });
+                }
+            }
+            self.span_exit(); // completion
+        }
+        // Tables of a truncated run stay unmarked (`complete == false`) —
+        // their answers are genuine but not known exhaustive — yet the byte
+        // accounting invariants hold either way.
         debug_assert_eq!(
             self.stats.table_bytes,
             self.subgoals
@@ -241,7 +404,22 @@ impl<'e> Machine<'e> {
                 .all(|s| s.byte_breakdown().attributed() == s.table_bytes()),
             "per-table byte attribution does not sum to table_bytes"
         );
-        self.span_exit(); // completion
+        // One final snapshot closes every health-reporting run and stamps
+        // every truncation; a run with neither takes no timestamp here.
+        let truncation = if truncated.is_some() || self.health.is_some() {
+            let snap = self.health_snapshot(now_ns());
+            if self.health.is_some() {
+                if let Some(sink) = self.trace {
+                    sink.health(&snap);
+                }
+            }
+            truncated.map(|reason| Truncation {
+                reason,
+                snapshot: snap,
+            })
+        } else {
+            None
+        };
         self.span_exit(); // evaluate
         Ok(Evaluation {
             subgoals: std::mem::take(&mut self.subgoals),
@@ -249,6 +427,7 @@ impl<'e> Machine<'e> {
             stats: self.stats,
             scheduler: self.scheduler.name(),
             arena: std::mem::take(&mut self.arena),
+            truncation,
         })
     }
 
@@ -262,9 +441,14 @@ impl<'e> Machine<'e> {
         }
         while let Some(task) = self.scheduler.pop() {
             self.stats.steps += 1;
-            if let Some(limit) = self.opts.max_steps {
-                if self.stats.steps > limit {
-                    return Err(EngineError::StepLimit(limit));
+            // Budget trips are graceful: stop scheduling, keep every table
+            // row derived so far, and let `run` hand back a truncated
+            // evaluation. The popped task is dropped unexecuted (it is
+            // counted, preserving the historical step-limit boundary).
+            if self.budgets_on {
+                if let Some(reason) = self.budget_tripped() {
+                    self.truncated = Some(reason);
+                    break;
                 }
             }
             // Per-task spans attribute time to the predicate whose table
@@ -298,7 +482,66 @@ impl<'e> Machine<'e> {
             if self.counters_on {
                 self.sample_counters();
             }
+            if self.health.is_some() {
+                self.health_tick();
+            }
+            // A negation subcomputation may have tripped a budget mid-task;
+            // stop before expanding anything it scheduled.
+            if self.truncated.is_some() {
+                break;
+            }
         }
+        Ok(())
+    }
+
+    /// Bounded delivery pass after a budget trip. The drain loop stops the
+    /// moment a budget trips, which can leave answers derived *before* the
+    /// trip parked in queued [`Task::Return`]s — genuine derivations that
+    /// would otherwise never reach their consumers or the root `$query`
+    /// table. This pass pops everything queued at trip time, executes only
+    /// the answer returns (expansions are dropped: they would grow the
+    /// computation the budget just stopped), then discards whatever those
+    /// deliveries scheduled. Soundness: a return only propagates an answer
+    /// that is already a derivation, so the partial answer set stays a
+    /// prefix of the fixpoint. Boundedness: the pass is capped at the
+    /// pre-trip queue, so a diverging program cannot keep it alive.
+    /// Settle deliveries are not counted as steps — budget accounting is
+    /// over once the trip is recorded.
+    ///
+    /// Two rounds, because a return does not insert by itself: it advances
+    /// the consumer and schedules the advanced node as an expansion, and
+    /// only expanding a node with no remaining goals performs the insert.
+    /// Round one executes the queued returns; round two executes exactly
+    /// the spawned continuations that are pure inserts (clause bodies the
+    /// delivery completed). Recursive chains need a further return →
+    /// expand link, which never runs — that is what bounds the pass.
+    fn settle(&mut self) -> Result<(), EngineError> {
+        let mut queued = Vec::new();
+        while let Some(task) = self.scheduler.pop() {
+            queued.push(task);
+        }
+        for task in queued {
+            if let Task::Return(c, a) = task {
+                self.return_answer(c, a)?;
+            }
+        }
+        let mut continuations = Vec::new();
+        while let Some(task) = self.scheduler.pop() {
+            continuations.push(task);
+        }
+        for task in continuations {
+            if let Task::Expand(n) = task {
+                // `canon` packs template ++ goals; length `split` means no
+                // goals remain and expansion is exactly the answer insert.
+                let mut b = Bindings::new();
+                if self.arena.instantiate(&n.canon, &mut b).len() == n.split {
+                    self.expand(n)?;
+                }
+            }
+        }
+        // Inserts wake consumers and schedule fresh returns; the run is
+        // over, so drop them and report a drained worklist.
+        while self.scheduler.pop().is_some() {}
         Ok(())
     }
 
@@ -408,7 +651,11 @@ impl<'e> Machine<'e> {
                 Ok(())
             }
             ("\\+", 1) | ("not", 1) => {
-                if !self.provable(&args[0], b)? {
+                let fails = !self.provable(&args[0], b)?;
+                // A truncated subcomputation cannot witness failure: its
+                // empty answer set proves nothing, so the continuation must
+                // not be scheduled on the strength of it.
+                if fails && self.truncated.is_none() {
                     let n = self.make_node(sid, split, b, template, rest, prov);
                     self.push(Task::Expand(n));
                 }

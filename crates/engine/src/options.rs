@@ -94,9 +94,26 @@ pub struct EngineOptions {
     /// analysis to stay sound; guarantees termination on infinite domains
     /// when the hook's range is finite.
     pub answer_widening: Option<TermHook>,
-    /// Abort evaluation after this many engine steps (`None` = unbounded).
-    /// A safety net for non-terminating SLD subcomputations.
+    /// Step budget: stop scheduling after this many engine steps (`None` =
+    /// unbounded). Tripping it is not an error — the evaluation is handed
+    /// back truncated, with the answers derived so far (see
+    /// [`crate::Truncation`]).
     pub max_steps: Option<usize>,
+    /// Wall-clock budget for the whole evaluation (`None` = unbounded).
+    /// Checked at dispatch boundaries (one clock read per task when set),
+    /// so a long-running *single* task can overshoot; the truncation
+    /// snapshot records the actual elapsed time.
+    pub deadline: Option<std::time::Duration>,
+    /// Table-space budget in bytes, against the engine's incremental
+    /// accounting (`None` = unbounded). Checked at dispatch boundaries;
+    /// the run stops after the task that crossed the ceiling.
+    pub max_table_bytes: Option<usize>,
+    /// Periodic run-health reporting: with `Some`, the engine emits
+    /// [`tablog_trace::HealthSnapshot`]s through [`TraceSink::health`] on
+    /// the configured cadence (plus one final snapshot), with the stall
+    /// watchdog scoring each window. With `None` (the default) no
+    /// snapshot — and no timestamp — is ever taken.
+    pub health: Option<crate::HealthConfig>,
     /// Treatment of undefined predicates.
     pub unknown: Unknown,
     /// Record per-answer provenance: the clause ids resolved and the table
@@ -158,6 +175,30 @@ impl EngineOptions {
                 },
             ),
             (
+                "deadline_ms".to_owned(),
+                match self.deadline {
+                    Some(d) => d.as_millis().to_string(),
+                    None => "unbounded".to_owned(),
+                },
+            ),
+            (
+                "max_table_bytes".to_owned(),
+                match self.max_table_bytes {
+                    Some(b) => b.to_string(),
+                    None => "unbounded".to_owned(),
+                },
+            ),
+            (
+                "health".to_owned(),
+                match self.health {
+                    Some(h) => format!(
+                        "every {} steps / {} ms (stall window {})",
+                        h.every_steps, h.every_ms, h.stall_window
+                    ),
+                    None => "off".to_owned(),
+                },
+            ),
+            (
                 "unknown".to_owned(),
                 match self.unknown {
                     Unknown::Error => "error".to_owned(),
@@ -183,6 +224,9 @@ impl fmt::Debug for EngineOptions {
             .field("call_abstraction", &self.call_abstraction.is_some())
             .field("answer_widening", &self.answer_widening.is_some())
             .field("max_steps", &self.max_steps)
+            .field("deadline", &self.deadline)
+            .field("max_table_bytes", &self.max_table_bytes)
+            .field("health", &self.health)
             .field("unknown", &self.unknown)
             .field("record_provenance", &self.record_provenance)
             .field("trace", &self.trace.is_some())

@@ -9,6 +9,7 @@
 //! is released when the evaluation is dropped (no cross-run accumulation,
 //! no shared mutable state between concurrent sessions).
 
+use crate::budget::Truncation;
 use crate::database::{Database, LoadMode};
 use crate::error::EngineError;
 use crate::machine::{flatten_conj, Machine};
@@ -97,6 +98,7 @@ impl Engine {
         Ok(Solutions {
             names: names.into_iter().map(|(n, _)| n).collect(),
             rows: eval.root_answers(),
+            truncation: eval.truncation().copied(),
         })
     }
 
@@ -161,6 +163,7 @@ impl Engine {
 pub struct Solutions {
     names: Vec<String>,
     rows: Vec<Vec<Term>>,
+    truncation: Option<Truncation>,
 }
 
 impl Solutions {
@@ -189,6 +192,18 @@ impl Solutions {
     pub fn get(&self, row: usize, name: &str) -> Option<&Term> {
         let col = self.names.iter().position(|n| n == name)?;
         self.rows.get(row)?.get(col)
+    }
+
+    /// `Some` when a resource budget cut the evaluation short: the rows are
+    /// genuine answers but possibly not all of them. `None` for a run that
+    /// completed its tables.
+    pub fn truncation(&self) -> Option<&Truncation> {
+        self.truncation.as_ref()
+    }
+
+    /// Whether a resource budget cut the evaluation short.
+    pub fn is_truncated(&self) -> bool {
+        self.truncation.is_some()
     }
 
     /// Renders each answer as `X = t1, Y = t2`.
@@ -225,6 +240,10 @@ pub struct Evaluation {
     /// Name of the scheduling strategy the run used.
     pub(crate) scheduler: &'static str,
     pub(crate) arena: TermArena,
+    /// `Some` when a resource budget stopped the run before the worklist
+    /// drained; the tables then hold a sound prefix of the fixpoint and
+    /// stay unmarked complete.
+    pub(crate) truncation: Option<Truncation>,
 }
 
 impl Evaluation {
@@ -311,6 +330,34 @@ impl Evaluation {
     /// Index of the synthetic `$query` root subgoal.
     pub fn root_index(&self) -> usize {
         self.root
+    }
+
+    /// `Some` when a resource budget (step, deadline, or table-byte) cut
+    /// the run short. Every answer in the tables is still a genuine
+    /// derivation — what is missing is completeness.
+    pub fn truncation(&self) -> Option<&Truncation> {
+        self.truncation.as_ref()
+    }
+
+    /// Whether a resource budget cut the run short.
+    pub fn is_truncated(&self) -> bool {
+        self.truncation.is_some()
+    }
+
+    /// Demands complete tables: returns the evaluation unchanged when the
+    /// run drained its worklist, or [`EngineError::Truncated`] when a
+    /// budget stopped it early. Callers whose results are only sound over
+    /// the full fixpoint — the paper's analyses — gate on this instead of
+    /// silently consuming a partial model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Truncated`] with the tripped budget.
+    pub fn require_complete(self) -> Result<Evaluation, EngineError> {
+        match self.truncation {
+            Some(t) => Err(EngineError::Truncated(t.reason)),
+            None => Ok(self),
+        }
     }
 
     pub(crate) fn states(&self) -> &[SubgoalState] {

@@ -9,7 +9,7 @@
 //! clause-resolution loops in particular must not alter `clause_resolutions`.
 
 use std::sync::Arc;
-use tablog_engine::{CounterTrack, Engine, EngineOptions, LoadMode};
+use tablog_engine::{CounterTrack, Engine, EngineOptions, HealthConfig, HealthTrack, LoadMode};
 use tablog_term::Bindings;
 
 struct Expect {
@@ -146,6 +146,82 @@ fn counter_sampling_does_not_perturb_evaluation() {
             assert_eq!(last.answers, counted.answers, "{}", e.name);
             assert_eq!(last.tables, counted.subgoals, "{}", e.name);
             assert_eq!(last.table_bytes, counted.table_bytes, "{}", e.name);
+        }
+    }
+}
+
+/// Budgets and health reporting are observation only: a run under generous
+/// budgets (none of which trip) with health snapshots on computes
+/// byte-for-byte the same whole-run totals and answer sets as a plain run,
+/// is not truncated, and the final snapshot agrees with the evaluation's
+/// own statistics.
+#[test]
+fn generous_budgets_and_health_do_not_perturb_evaluation() {
+    for e in EXPECTED {
+        for mode in [LoadMode::Dynamic, LoadMode::Compiled] {
+            let plain_eng =
+                Engine::from_source_with(e.src, mode, EngineOptions::default()).unwrap();
+            let plain = plain_eng.solve(e.goal).unwrap();
+            let plain_stats = run(e.src, e.goal, mode);
+
+            let track = Arc::new(HealthTrack::new());
+            let opts = EngineOptions {
+                trace: Some(track.clone()),
+                max_steps: Some(1_000_000),
+                deadline: Some(std::time::Duration::from_secs(3600)),
+                max_table_bytes: Some(1 << 30),
+                health: Some(HealthConfig::every_steps(1)),
+                ..Default::default()
+            };
+            let eng = Engine::from_source_with(e.src, mode, opts).unwrap();
+            let sols = eng.solve(e.goal).unwrap();
+            assert!(!sols.is_truncated(), "{}: generous budgets tripped", e.name);
+            assert_eq!(
+                sols.rows(),
+                plain.rows(),
+                "{} ({mode:?}): budgets changed the answer set",
+                e.name
+            );
+
+            let mut b = Bindings::new();
+            let (g, _) = tablog_syntax::parse_term(e.goal, &mut b).unwrap();
+            let budgeted = eng.evaluate(&[g], &[], &b).unwrap().stats();
+            assert_eq!(
+                (
+                    budgeted.steps,
+                    budgeted.clause_resolutions,
+                    budgeted.subgoals,
+                    budgeted.answers,
+                    budgeted.duplicate_answers,
+                    budgeted.table_bytes,
+                ),
+                (
+                    plain_stats.steps,
+                    plain_stats.clause_resolutions,
+                    plain_stats.subgoals,
+                    plain_stats.answers,
+                    plain_stats.duplicate_answers,
+                    plain_stats.table_bytes,
+                ),
+                "{} ({mode:?}): budgets/health changed the evaluation",
+                e.name
+            );
+
+            // every_steps(1) emits one snapshot per step plus the final one;
+            // the track saw both solve() and evaluate() runs.
+            assert!(!track.is_empty(), "{}: no health snapshots", e.name);
+            let last = track.last().expect("final snapshot");
+            assert_eq!(last.steps, budgeted.steps, "{}", e.name);
+            assert_eq!(last.worklist, 0, "{}: final worklist is drained", e.name);
+            assert_eq!(last.answers, budgeted.answers, "{}", e.name);
+            assert_eq!(last.tables, budgeted.subgoals, "{}", e.name);
+            assert_eq!(
+                last.completed_tables, budgeted.subgoals,
+                "{}: a drained run completes every table",
+                e.name
+            );
+            assert_eq!(last.table_bytes, budgeted.table_bytes, "{}", e.name);
+            assert!(!last.stalled, "{}: bounded runs never stall", e.name);
         }
     }
 }

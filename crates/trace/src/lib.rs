@@ -25,8 +25,10 @@ pub mod counter;
 pub mod event;
 pub mod folded;
 pub mod forest;
+pub mod health;
 pub mod json;
 pub mod metrics;
+pub mod openmetrics;
 pub mod sink;
 pub mod span;
 
@@ -35,7 +37,9 @@ pub use counter::{CounterSample, CounterTrack};
 pub use event::{OwnedEvent, TraceEvent};
 pub use folded::{folded_frames, folded_stacks};
 pub use forest::{Forest, ForestAnswer, ForestSubgoal};
+pub use health::{HealthSnapshot, HealthTrack, StallWatchdog};
 pub use metrics::{EngineSnapshot, MetricsRegistry, MetricsReport, PredStats};
+pub use openmetrics::{openmetrics, openmetrics_series, validate_openmetrics};
 pub use sink::{
     CountingSink, JsonLinesSink, MultiSink, NoopSink, RingBufferSink, SharedBuf, TraceSink,
 };

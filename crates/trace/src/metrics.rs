@@ -9,6 +9,7 @@
 
 use crate::counter::{CounterSample, CounterTrack};
 use crate::event::TraceEvent;
+use crate::health::{HealthSnapshot, HealthTrack};
 use crate::json::escape;
 use crate::sink::TraceSink;
 use crate::span::{SpanEvent, SpanId, SpanRecorder, SpanTree};
@@ -131,6 +132,7 @@ pub struct MetricsRegistry {
     phases: Mutex<Vec<(String, Duration)>>,
     spans: SpanRecorder,
     counters: CounterTrack,
+    health: HealthTrack,
 }
 
 impl MetricsRegistry {
@@ -174,6 +176,12 @@ impl MetricsRegistry {
     /// when the engine ran with `record_counters` on, empty otherwise.
     pub fn counters(&self) -> &CounterTrack {
         &self.counters
+    }
+
+    /// The run-health snapshots recorded through this registry — populated
+    /// when the engine ran with a health config, empty otherwise.
+    pub fn health(&self) -> &HealthTrack {
+        &self.health
     }
 
     /// Freezes the current state into a report.
@@ -230,6 +238,10 @@ impl TraceSink for MetricsRegistry {
 
     fn counter_sample(&self, s: &CounterSample) {
         self.counters.record(s);
+    }
+
+    fn health(&self, s: &HealthSnapshot) {
+        self.health.record(s);
     }
 }
 

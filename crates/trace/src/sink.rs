@@ -7,6 +7,7 @@
 
 use crate::counter::CounterSample;
 use crate::event::{OwnedEvent, TraceEvent};
+use crate::health::HealthSnapshot;
 use crate::span::{SpanEvent, SpanId};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
@@ -31,6 +32,11 @@ pub trait TraceSink: Send + Sync {
     /// Observes one counter time-series sample (see [`crate::counter`]).
     /// Default: ignore — sinks that predate counters are unaffected.
     fn counter_sample(&self, _s: &CounterSample) {}
+
+    /// Observes one periodic run-health snapshot (see [`crate::health`]).
+    /// Default: ignore — sinks that predate health reporting are
+    /// unaffected.
+    fn health(&self, _s: &HealthSnapshot) {}
 
     /// Flushes any buffered output (e.g. a JSON-lines writer).
     fn flush(&self) {}
@@ -146,6 +152,10 @@ impl<W: Write + Send> TraceSink for JsonLinesSink<W> {
 
     fn counter_sample(&self, s: &CounterSample) {
         self.write_line(&format!("{{\"counter\":{}}}", s.to_json()));
+    }
+
+    fn health(&self, s: &HealthSnapshot) {
+        self.write_line(&format!("{{\"health\":{}}}", s.to_json()));
     }
 
     fn flush(&self) {
@@ -290,6 +300,12 @@ impl TraceSink for MultiSink {
     fn counter_sample(&self, c: &CounterSample) {
         for s in &self.sinks {
             s.counter_sample(c);
+        }
+    }
+
+    fn health(&self, h: &HealthSnapshot) {
+        for s in &self.sinks {
+            s.health(h);
         }
     }
 

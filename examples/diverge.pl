@@ -1,0 +1,19 @@
+% A deliberately non-terminating program pair for exercising resource
+% budgets and the run-health observatory (`tablog watch`).
+%
+%   num/1  diverges *productively*: infinitely many answers, so any budget
+%          trips mid-derivation with a non-empty sound partial answer set.
+%   q/1    diverges *barrenly*: every recursive call is a fresh call
+%          pattern, tables grow forever, and no answer ever appears — the
+%          stall watchdog's signature.
+%
+% Try:
+%   tablog watch examples/diverge.pl 'num(N)' --max-steps 5000
+%   tablog watch examples/diverge.pl 'q(a)' --deadline 500 --metrics out.prom
+
+:- table num/1.
+num(z).
+num(s(X)) :- num(X).
+
+:- table q/1.
+q(X) :- q(f(X)).

@@ -17,6 +17,14 @@
 //!                                       the evaluation; --counters adds
 //!                                       worklist/tables/answers/table_bytes
 //!                                       counter tracks
+//! tablog watch FILE.pl GOAL [--interval MS] [--metrics OUT.prom]
+//!             [--max-steps N] [--deadline MS] [--max-table-bytes B]
+//!                                       evaluate under resource budgets,
+//!                                       streaming health snapshots to
+//!                                       stderr; a tripped budget reports
+//!                                       the partial answers instead of
+//!                                       failing. --metrics writes the
+//!                                       snapshot series as OpenMetrics text
 //! tablog bench-diff OLD.json NEW.json [--max-time-regress PCT]
 //!                   [--max-bytes-regress PCT] [--max-heap-regress PCT]
 //!                                       compare two paper_tables --json
@@ -50,19 +58,22 @@
 //! * `--jobs N` — for the analysis commands (`ground`, `depthk`), analyze
 //!   multiple input files on up to `N` worker threads; output stays in
 //!   input order.
+//! * `--progress` — live single-line status on stderr (steps, answers,
+//!   tables, table bytes), rewritten in place; automatically off when
+//!   stderr is not a terminal.
 
 use std::fs::File;
-use std::io::BufWriter;
+use std::io::{BufWriter, IsTerminal, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tablog_core::depthk::DepthKAnalyzer;
 use tablog_core::direct::DirectAnalyzer;
 use tablog_core::groundness::{EntryPoint, GroundnessAnalyzer};
 use tablog_core::strictness::StrictnessAnalyzer;
 use tablog_engine::{
-    Engine, EngineOptions, JsonLinesSink, LoadMode, MetricsRegistry, MetricsReport, MultiSink,
-    Scheduling, TraceSink,
+    Engine, EngineOptions, HealthConfig, HealthSnapshot, HealthTrack, JsonLinesSink, LoadMode,
+    MetricsRegistry, MetricsReport, MultiSink, Scheduling, TraceSink,
 };
 use tablog_syntax::term_to_string;
 
@@ -78,24 +89,34 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: tablog <query|tables|stats|profile|timeline|bench-diff|explain|forest|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
+    "usage: tablog <query|tables|stats|profile|timeline|watch|bench-diff|explain|forest|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
      tables  FILE GOAL [--top N]  (--top/--json: per-table heap attribution)\n\
      profile FILE GOAL [--folded OUT]  (span timings; collapsed stacks)\n\
      timeline FILE GOAL [--out trace.json] [--counters]\n\
                                   (Chrome-trace/Perfetto timeline of the run;\n\
                                    --counters adds counter time-series tracks)\n\
+     watch   FILE GOAL [--interval MS] [--metrics OUT.prom] [--max-steps N]\n\
+                       [--deadline MS] [--max-table-bytes B]\n\
+                                  (budgeted evaluation with live health\n\
+                                   snapshots; partial answers on a trip)\n\
      bench-diff OLD.json NEW.json [--max-time-regress PCT] [--max-bytes-regress PCT]\n\
                                   [--max-heap-regress PCT]\n\
      explain FILE GOAL [--depth N] [--analysis ground|depthk|strict|direct]\n\
      forest  FILE GOAL [--dot OUT]\n\
      ground|depthk accept multiple FILEs; --jobs N analyzes them concurrently\n\
-     global flags: --profile  --json  --trace FILE  --scheduler S  --jobs N\n\
+     global flags: --profile  --json  --trace FILE  --scheduler S  --jobs N  --progress\n\
      see `tablog help` or the crate documentation"
         .to_owned()
 }
 
 fn read_file(path: &str) -> Result<String, String> {
     std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// Writes a command's output artifact (`--out`, `--folded`, `--dot`,
+/// `--metrics`, …), failing with a CLI-friendly error naming the path.
+fn write_output(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// The `FILE GOAL` positional pair shared by the engine-backed subcommands
@@ -128,12 +149,73 @@ fn engine_snapshot(eval: &tablog_engine::Evaluation) -> tablog_trace::EngineSnap
     }
 }
 
+/// A `--progress` status line: one stderr line rewritten in place on every
+/// health snapshot, erased when the run finishes. Only constructed when
+/// stderr is a terminal, so piped/captured runs stay byte-clean.
+struct ProgressSink;
+
+impl ProgressSink {
+    fn clear() {
+        eprint!("\r\x1b[2K");
+        let _ = std::io::stderr().flush();
+    }
+}
+
+impl TraceSink for ProgressSink {
+    fn event(&self, _e: &tablog_trace::TraceEvent) {}
+
+    fn health(&self, s: &HealthSnapshot) {
+        eprint!(
+            "\r\x1b[2K{} steps | {} answers ({:.0}/s) | {}/{} tables | {} KiB | worklist {}{}",
+            s.steps,
+            s.answers,
+            s.answer_rate,
+            s.completed_tables,
+            s.tables,
+            s.table_bytes / 1024,
+            s.worklist,
+            if s.stalled { " | STALLED" } else { "" }
+        );
+        let _ = std::io::stderr().flush();
+    }
+
+    fn flush(&self) {
+        Self::clear();
+    }
+}
+
+/// `watch`'s live view: one stderr line per health snapshot, scrolling —
+/// observable under pipes and `watch`-style supervision alike.
+struct WatchLineSink;
+
+impl TraceSink for WatchLineSink {
+    fn event(&self, _e: &tablog_trace::TraceEvent) {}
+
+    fn health(&self, s: &HealthSnapshot) {
+        eprintln!(
+            "watch: {} steps | {} answers ({:.0}/s) | {}/{} tables | {} KiB | worklist {}{}",
+            s.steps,
+            s.answers,
+            s.answer_rate,
+            s.completed_tables,
+            s.tables,
+            s.table_bytes / 1024,
+            s.worklist,
+            if s.stalled { " | STALLED" } else { "" }
+        );
+    }
+}
+
 /// Observability and execution settings pulled from the global flags.
 struct Obs {
     profile: bool,
     json: bool,
     /// JSON-lines event sink when `--trace FILE` was given.
     sink: Option<Arc<dyn TraceSink>>,
+    /// Live status line when `--progress` was given and stderr is a tty.
+    progress: Option<Arc<dyn TraceSink>>,
+    /// Snapshot cadence driving the `--progress` line.
+    health: Option<HealthConfig>,
     /// SLG scheduling strategy for engine-backed commands.
     scheduling: Scheduling,
     /// Worker threads for multi-file analysis commands.
@@ -142,15 +224,28 @@ struct Obs {
 
 impl Obs {
     /// The engine-facing trace sink: the `--trace` file writer, the
-    /// metrics registry, both (fanned out), or none.
+    /// metrics registry, the `--progress` line — fanned out as needed.
     fn engine_sink(&self, registry: Option<&Arc<MetricsRegistry>>) -> Option<Arc<dyn TraceSink>> {
-        match (self.sink.clone(), registry) {
-            (Some(t), Some(r)) => {
-                Some(Arc::new(MultiSink::new().with(t).with(r.clone())) as Arc<dyn TraceSink>)
+        let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+        if let Some(t) = &self.sink {
+            sinks.push(t.clone());
+        }
+        if let Some(r) = registry {
+            sinks.push(r.clone());
+        }
+        if let Some(p) = &self.progress {
+            sinks.push(p.clone());
+        }
+        match sinks.len() {
+            0 => None,
+            1 => sinks.pop(),
+            _ => {
+                let mut m = MultiSink::new();
+                for s in sinks {
+                    m = m.with(s);
+                }
+                Some(Arc::new(m) as Arc<dyn TraceSink>)
             }
-            (Some(t), None) => Some(t),
-            (None, Some(r)) => Some(r.clone() as Arc<dyn TraceSink>),
-            (None, None) => None,
         }
     }
 
@@ -170,6 +265,7 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
     let mut rest = Vec::new();
     let mut profile = false;
     let mut json = false;
+    let mut progress = false;
     let mut trace_path: Option<String> = None;
     let mut scheduling = Scheduling::default();
     let mut jobs = 1usize;
@@ -178,6 +274,7 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
         match a.as_str() {
             "--profile" => profile = true,
             "--json" => json = true,
+            "--progress" => progress = true,
             "--trace" => {
                 let p = it.next().ok_or("--trace requires a file path")?;
                 trace_path = Some(p.clone());
@@ -198,17 +295,23 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
     }
     let sink = match trace_path {
         Some(p) => {
-            let f = File::create(&p).map_err(|e| format!("cannot create {p}: {e}"))?;
+            let f = File::create(&p).map_err(|e| format!("cannot write {p}: {e}"))?;
             Some(Arc::new(JsonLinesSink::new(BufWriter::new(f))) as Arc<dyn TraceSink>)
         }
         None => None,
     };
+    // `--progress` is a no-op when stderr is piped or captured: no sink is
+    // attached and no health cadence is enabled, so output stays identical
+    // to a run without the flag.
+    let tty = progress && std::io::stderr().is_terminal();
     Ok((
         rest,
         Obs {
             profile,
             json,
             sink,
+            progress: tty.then(|| Arc::new(ProgressSink) as Arc<dyn TraceSink>),
+            health: tty.then(|| HealthConfig::every_ms(100)),
             scheduling,
             jobs,
         },
@@ -218,7 +321,7 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
 /// Positional (non-flag) arguments: skips `--flag value` pairs for the
 /// value-taking flags and bare `--flags` for the rest.
 fn positional(args: &[String]) -> Vec<&String> {
-    const VALUED: [&str; 11] = [
+    const VALUED: [&str; 16] = [
         "--entry",
         "--k",
         "--depth",
@@ -230,6 +333,11 @@ fn positional(args: &[String]) -> Vec<&String> {
         "--max-time-regress",
         "--max-bytes-regress",
         "--max-heap-regress",
+        "--interval",
+        "--metrics",
+        "--max-steps",
+        "--deadline",
+        "--max-table-bytes",
     ];
     let mut out = Vec::new();
     let mut it = args.iter();
@@ -246,6 +354,9 @@ fn positional(args: &[String]) -> Vec<&String> {
 fn run(args: &[String]) -> Result<(), String> {
     let (args, obs) = extract_obs(args)?;
     let result = dispatch(&args, &obs);
+    if let Some(p) = &obs.progress {
+        p.flush(); // erase the status line before any final output
+    }
     if let Some(s) = &obs.sink {
         s.flush();
     }
@@ -265,6 +376,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let opts = EngineOptions {
                 trace: obs.engine_sink(registry.as_ref()),
                 scheduling: obs.scheduling,
+                health: obs.health,
                 ..Default::default()
             };
             let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
@@ -319,6 +431,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let opts = EngineOptions {
                 trace: obs.engine_sink(Some(&registry)),
                 scheduling: obs.scheduling,
+                health: obs.health,
                 ..Default::default()
             };
             let t0 = Instant::now();
@@ -347,6 +460,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 trace: obs.engine_sink(Some(&registry)),
                 scheduling: obs.scheduling,
                 record_spans: true,
+                health: obs.health,
                 ..Default::default()
             };
             let t0 = Instant::now();
@@ -377,7 +491,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
 
             if let Some(path) = flag_value(args, "--folded") {
                 let folded = tablog_trace::folded_stacks(&report.spans);
-                std::fs::write(path, &folded).map_err(|e| format!("cannot write {path}: {e}"))?;
+                write_output(path, &folded)?;
                 eprintln!(
                     "wrote {path}: {} collapsed stacks ({} spans)",
                     folded.lines().count(),
@@ -468,6 +582,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 scheduling: obs.scheduling,
                 record_spans: true,
                 record_counters: counters,
+                health: obs.health,
                 ..Default::default()
             };
             let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
@@ -477,10 +592,19 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
             let tree = registry.spans().snapshot();
             let samples = registry.counters().samples();
+            if counters && samples.is_empty() {
+                // Silently writing a counter-free trace after the user asked
+                // for counter tracks would hide a broken recording pipeline.
+                return Err(
+                    "timeline --counters recorded no counter samples: the engine ran \
+                     without counter recording (this is a bug in the sink wiring)"
+                        .to_string(),
+                );
+            }
             let doc = tablog_trace::chrome_trace(&tree, &samples);
             match flag_value(args, "--out") {
                 Some(path) => {
-                    std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+                    write_output(path, &doc)?;
                     eprintln!(
                         "wrote {path}: {} spans, {} counter samples — load in \
                          https://ui.perfetto.dev or chrome://tracing",
@@ -489,6 +613,98 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                     );
                 }
                 None => println!("{doc}"),
+            }
+            Ok(())
+        }
+        "watch" => {
+            let (src, goal) = file_goal(args)?;
+            let interval: u64 = flag_value(args, "--interval")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("bad --interval value {v} (milliseconds)"))
+                })
+                .transpose()?
+                .unwrap_or(250);
+            let max_steps: Option<usize> = flag_value(args, "--max-steps")
+                .map(|v| v.parse().map_err(|_| format!("bad --max-steps value {v}")))
+                .transpose()?;
+            let deadline: Option<Duration> = flag_value(args, "--deadline")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("bad --deadline value {v} (milliseconds)"))
+                })
+                .transpose()?
+                .map(Duration::from_millis);
+            let max_table_bytes: Option<usize> = flag_value(args, "--max-table-bytes")
+                .map(|v| {
+                    v.parse()
+                        .map_err(|_| format!("bad --max-table-bytes value {v}"))
+                })
+                .transpose()?;
+
+            // The track keeps the snapshot series for --metrics; the line
+            // sink streams each snapshot to stderr as it is taken.
+            let track = Arc::new(HealthTrack::new());
+            let mut fan = MultiSink::new()
+                .with(track.clone() as Arc<dyn TraceSink>)
+                .with(Arc::new(WatchLineSink) as Arc<dyn TraceSink>);
+            if let Some(extra) = obs.engine_sink(None) {
+                fan = fan.with(extra);
+            }
+            let opts = EngineOptions {
+                trace: Some(Arc::new(fan) as Arc<dyn TraceSink>),
+                scheduling: obs.scheduling,
+                health: Some(HealthConfig::every_ms(interval)),
+                max_steps,
+                deadline,
+                max_table_bytes,
+                ..Default::default()
+            };
+            let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
+                .map_err(|e| e.to_string())?;
+            // A tripped budget is not a failure: the run ends gracefully
+            // with the answers derived so far and exit code 0.
+            let sols = engine.solve(goal).map_err(|e| e.to_string())?;
+            if let Some(path) = flag_value(args, "--metrics") {
+                let doc = tablog_trace::openmetrics_series(&track.samples());
+                write_output(path, &doc)?;
+                eprintln!(
+                    "wrote {path}: {} snapshots as OpenMetrics text",
+                    track.len()
+                );
+            }
+            if obs.json {
+                let answers: Vec<String> = sols
+                    .to_strings()
+                    .iter()
+                    .map(|a| format!("\"{}\"", tablog_trace::json::escape(a)))
+                    .collect();
+                let truncation = sols
+                    .truncation()
+                    .map_or_else(|| "null".to_string(), |t| t.to_json());
+                let health = track
+                    .last()
+                    .map_or_else(|| "null".to_string(), |s| s.to_json());
+                println!(
+                    "{{\"count\":{},\"complete\":{},\"answers\":[{}],\"truncation\":{},\"health\":{}}}",
+                    sols.len(),
+                    !sols.is_truncated(),
+                    answers.join(","),
+                    truncation,
+                    health
+                );
+            } else {
+                for row in sols.to_strings() {
+                    println!("{row}");
+                }
+                match sols.truncation() {
+                    Some(t) => println!(
+                        "truncated: {} — the {} answer(s) above are a sound partial result",
+                        t.reason,
+                        sols.len()
+                    ),
+                    None => println!("complete: {} answer(s)", sols.len()),
+                }
             }
             Ok(())
         }
@@ -508,8 +724,9 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             match flag_value(args, "--analysis") {
                 None => {
                     let opts = EngineOptions {
-                        trace: obs.sink.clone(),
+                        trace: obs.engine_sink(None),
                         scheduling: obs.scheduling,
+                        health: obs.health,
                         ..Default::default()
                     };
                     let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
@@ -562,8 +779,9 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let (src, goal) = file_goal(args)?;
             let opts = EngineOptions {
                 record_provenance: true,
-                trace: obs.sink.clone(),
+                trace: obs.engine_sink(None),
                 scheduling: obs.scheduling,
+                health: obs.health,
                 ..Default::default()
             };
             let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
@@ -574,8 +792,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let forest = eval.forest();
             match flag_value(args, "--dot") {
                 Some(path) => {
-                    std::fs::write(path, forest.to_dot())
-                        .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    write_output(path, &forest.to_dot())?;
                     println!(
                         "wrote {path}: {} subgoals, {} answers",
                         forest.subgoals.len(),
@@ -643,7 +860,8 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                     let mut an = GroundnessAnalyzer::new();
                     an.profile = obs.profile;
                     an.options.scheduling = obs.scheduling;
-                    an.options.trace = obs.sink.clone();
+                    an.options.trace = obs.engine_sink(None);
+                    an.options.health = obs.health;
                     an.analyze_with_entries(&program, &entries)
                         .map_err(|e| format!("{file}: {e}"))
                 });
@@ -691,7 +909,8 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 let mut an = DepthKAnalyzer::new(k);
                 an.profile = obs.profile;
                 an.options.scheduling = obs.scheduling;
-                an.options.trace = obs.sink.clone();
+                an.options.trace = obs.engine_sink(None);
+                an.options.health = obs.health;
                 an.analyze_with_entries(&program, &entries)
                     .map_err(|e| format!("{file}: {e}"))
             });
@@ -750,7 +969,8 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let mut an = StrictnessAnalyzer::new();
             an.profile = obs.profile;
             an.options.scheduling = obs.scheduling;
-            an.options.trace = obs.sink.clone();
+            an.options.trace = obs.engine_sink(None);
+            an.options.health = obs.health;
             let report = an.analyze_source(&src).map_err(|e| e.to_string())?;
             for f in report.functions() {
                 println!("{}", f.summary());

@@ -731,3 +731,162 @@ fn trace_file_is_parseable_when_evaluation_dies_early() {
     }
     assert!(text.contains("\"event\":\"new_subgoal\""), "{text}");
 }
+
+const NUMBERS: &str = ":- table num/1.\nnum(z).\nnum(s(X)) :- num(X).";
+
+#[test]
+fn watch_step_budget_reports_partial_answers_with_exit_zero() {
+    let f = temp_file("watch_nums.pl", NUMBERS);
+    let (out, err, ok) = tablog(&["watch", f.to_str().unwrap(), "num(N)", "--max-steps", "200"]);
+    assert!(ok, "a tripped budget is graceful, not a failure: {err}");
+    assert!(out.contains("N = z"), "partial answers printed: {out}");
+    assert!(out.contains("truncated: step budget of 200"), "{out}");
+    assert!(out.contains("sound partial result"), "{out}");
+    // The live view streamed at least the final snapshot to stderr.
+    assert!(err.contains("watch:"), "{err}");
+}
+
+#[test]
+fn watch_json_round_trips_truncation_per_budget_kind() {
+    let f = temp_file("watch_json.pl", NUMBERS);
+    for (flag, value, reason) in [
+        ("--max-steps", "200", "steps"),
+        ("--deadline", "100", "deadline"),
+        ("--max-table-bytes", "2048", "table_bytes"),
+    ] {
+        let (out, err, ok) = tablog(&[
+            "watch",
+            f.to_str().unwrap(),
+            "num(N)",
+            flag,
+            value,
+            "--json",
+        ]);
+        assert!(ok, "{flag}: {err}");
+        let v = tablog_trace::json::parse(out.trim())
+            .unwrap_or_else(|e| panic!("{flag}: bad JSON {e}: {out}"));
+        assert_eq!(
+            v.get("complete").cloned(),
+            Some(tablog_trace::json::JsonValue::Bool(false)),
+            "{flag}: {out}"
+        );
+        let count = v.get("count").and_then(|c| c.as_f64()).expect("count");
+        assert!(count > 0.0, "{flag}: partial answers in {out}");
+        let answers = v.get("answers").and_then(|a| a.as_arr()).expect("answers");
+        assert_eq!(answers.len() as f64, count, "{flag}: {out}");
+        let t = v.get("truncation").expect("truncation object");
+        assert_eq!(
+            t.get("reason").and_then(|r| r.as_str()),
+            Some(reason),
+            "{flag}: {out}"
+        );
+        assert_eq!(
+            t.get("limit").and_then(|l| l.as_f64()),
+            Some(value.parse::<f64>().unwrap()),
+            "{flag}: {out}"
+        );
+        let snap = t.get("snapshot").expect("truncation snapshot");
+        assert!(
+            snap.get("steps").and_then(|s| s.as_f64()).unwrap_or(0.0) > 0.0,
+            "{flag}: {out}"
+        );
+        // The health block mirrors the final snapshot.
+        let health = v.get("health").expect("health object");
+        assert!(
+            health.get("table_bytes").and_then(|b| b.as_f64()).is_some(),
+            "{flag}: {out}"
+        );
+    }
+}
+
+#[test]
+fn watch_completed_run_reports_complete() {
+    let f = temp_file("watch_done.pl", GRAPH);
+    let (out, err, ok) = tablog(&[
+        "watch",
+        f.to_str().unwrap(),
+        "path(a, X)",
+        "--max-steps",
+        "100000",
+        "--json",
+    ]);
+    assert!(ok, "{err}");
+    let v = tablog_trace::json::parse(out.trim()).expect("valid JSON");
+    assert_eq!(
+        v.get("complete").cloned(),
+        Some(tablog_trace::json::JsonValue::Bool(true)),
+        "{out}"
+    );
+    assert_eq!(
+        v.get("truncation").cloned(),
+        Some(tablog_trace::json::JsonValue::Null),
+        "{out}"
+    );
+    assert_eq!(v.get("count").and_then(|c| c.as_f64()), Some(2.0), "{out}");
+}
+
+#[test]
+fn watch_metrics_flag_writes_valid_openmetrics() {
+    let f = temp_file("watch_metrics.pl", NUMBERS);
+    let prom = std::env::temp_dir()
+        .join("tablog-cli-tests")
+        .join("watch.prom");
+    let (_, err, ok) = tablog(&[
+        "watch",
+        f.to_str().unwrap(),
+        "num(N)",
+        "--max-steps",
+        "500",
+        "--interval",
+        "1",
+        "--metrics",
+        prom.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(err.contains("wrote"), "{err}");
+    let text = std::fs::read_to_string(&prom).expect("metrics file written");
+    tablog_trace::validate_openmetrics(&text)
+        .unwrap_or_else(|e| panic!("invalid OpenMetrics: {e}\n{text}"));
+    assert!(text.contains("tablog_steps_total"), "{text}");
+    assert!(text.ends_with("# EOF\n"), "{text}");
+}
+
+#[test]
+fn unwritable_output_paths_fail_naming_the_path() {
+    let f = temp_file("unwritable.pl", GRAPH);
+    let file = f.to_str().unwrap();
+    let bad = "/nonexistent-dir/tablog-out";
+    for args in [
+        vec![
+            "watch",
+            file,
+            "path(a, X)",
+            "--max-steps",
+            "50",
+            "--metrics",
+            bad,
+        ],
+        vec!["timeline", file, "path(a, X)", "--out", bad],
+        vec!["profile", file, "path(a, X)", "--folded", bad],
+        vec!["forest", file, "path(a, X)", "--dot", bad],
+        vec!["query", file, "path(a, X)", "--trace", bad],
+    ] {
+        let (_, err, ok) = tablog(&args);
+        assert!(!ok, "{args:?} must fail");
+        assert!(err.contains("cannot write"), "{args:?}: {err}");
+        assert!(err.contains(bad), "{args:?} must name the path: {err}");
+    }
+}
+
+#[test]
+fn progress_flag_is_silent_when_stderr_is_not_a_tty() {
+    let f = temp_file("progress.pl", GRAPH);
+    let (plain, _, ok1) = tablog(&["query", f.to_str().unwrap(), "path(a, X)"]);
+    let (with_flag, err, ok2) = tablog(&["query", f.to_str().unwrap(), "path(a, X)", "--progress"]);
+    assert!(ok1 && ok2, "{err}");
+    assert_eq!(plain, with_flag, "--progress must not change stdout");
+    assert!(
+        err.is_empty(),
+        "--progress writes nothing when stderr is piped: {err:?}"
+    );
+}

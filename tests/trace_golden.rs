@@ -50,12 +50,13 @@ fn trace_stream_is_deterministic_across_runs() {
     assert_eq!(trace_figure1(), trace_figure1());
 }
 
-/// Killing an evaluation mid-flight (step limit) must still leave a
-/// complete, parseable JSONL file behind: the sink flushes on the engine's
-/// error path and again when the last reference is dropped.
+/// Killing an evaluation mid-flight (step budget) must still leave a
+/// complete, parseable JSONL file behind: the truncated run returns
+/// normally with its partial tables, and the sink flushes when the last
+/// reference is dropped.
 #[test]
 fn killed_evaluation_leaves_a_parseable_flushed_trace() {
-    use tablog_engine::{Engine, EngineError, EngineOptions, LoadMode};
+    use tablog_engine::{Engine, EngineOptions, LoadMode, TruncationReason};
 
     let dir = std::env::temp_dir().join("tablog-trace-tests");
     std::fs::create_dir_all(&dir).expect("mkdir");
@@ -80,10 +81,17 @@ fn killed_evaluation_leaves_a_parseable_flushed_trace() {
     .expect("program loads");
     let mut b = tablog_term::Bindings::new();
     let (g, _) = tablog_syntax::parse_term("path(a, X)", &mut b).unwrap();
-    let err = engine
+    let eval = engine
         .evaluate(&[g], &[], &b)
-        .expect_err("the 10-step budget is far too small for this closure");
-    assert!(matches!(err, EngineError::StepLimit(10)), "{err}");
+        .expect("a tripped budget is a truncated evaluation, not an error");
+    assert!(
+        matches!(
+            eval.truncation().map(|t| t.reason),
+            Some(TruncationReason::Steps(10))
+        ),
+        "the 10-step budget is far too small for this closure"
+    );
+    drop(eval);
 
     // Drop every reference so the BufWriter's tail is flushed to disk.
     drop(engine);
