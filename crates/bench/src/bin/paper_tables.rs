@@ -1,7 +1,8 @@
 //! Regenerates every table of the paper in the same row/column layout.
 //!
 //! Usage: `paper_tables [--table N] [--profile] [--json] [--check FILE]
-//! [--jobs N] [--schedulers]` (default: all four tables). With
+//! [--jobs N] [--schedulers] [--scheduler parallel] [--threads N]`
+//! (default: all four tables). With
 //! `--profile`, each row is followed by the engine's per-evaluation
 //! counters (subgoals, answers, duplicates, resolutions, and the hook
 //! counts where the analysis uses truncation). With `--json`, the whole
@@ -18,11 +19,19 @@
 //! (implied by `--json` with `--jobs`) additionally re-runs the groundness
 //! workload under each worklist scheduling strategy and reports the engine
 //! counters side by side.
+//!
+//! With `--scheduler parallel` (worker count from `--threads N`, default
+//! 4), each groundness query is additionally evaluated under the engine's
+//! intra-query parallel scheduler and compared against the sequential
+//! fixpoint: any answer-set divergence fails the process, and the
+//! per-query `{threads, sequential_us, parallel_us, speedup}` rows are
+//! recorded under `"slg_parallel"` in the `--json` document. `--threads N`
+//! alone implies `--scheduler parallel`.
 
 use std::process::ExitCode;
 use tablog_bench::{
-    check_against_baseline, host_meta, measure_parallel, ms, pr5_json, run_suite, scheduler_rows,
-    Row, SuiteTables, TABLE4_K,
+    check_against_baseline, host_meta, measure_parallel, ms, parallel_slg_rows, pr8_json,
+    run_suite, scheduler_rows, ParSlgRow, Row, SuiteTables, TABLE4_K,
 };
 
 // With --features track-alloc the binary runs under the tracking global
@@ -70,6 +79,27 @@ fn print_row_table(title: &str, rows: &[Row]) {
 /// The fractional regression tolerance the baseline check allows.
 const TOLERANCE: f64 = 0.20;
 
+/// Worker count `--scheduler parallel` uses when `--threads` is absent.
+const DEFAULT_THREADS: usize = 4;
+
+/// Runs the intra-query parallel-vs-sequential comparison and prints its
+/// verdict. `Err` means at least one query's answer sets diverged — an
+/// engine bug the caller must turn into a nonzero exit.
+fn run_slg_comparison(threads: usize) -> Result<Vec<ParSlgRow>, String> {
+    let rows = parallel_slg_rows(threads);
+    if let Some(bad) = rows.iter().find(|r| !r.identical) {
+        return Err(format!(
+            "parallel SLG answer sets diverged from sequential on {} (--threads {})",
+            bad.program, bad.threads
+        ));
+    }
+    eprintln!(
+        "parallel SLG check passed: {} queries identical at {threads} worker(s)",
+        rows.len()
+    );
+    Ok(rows)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let which: Option<u32> = args
@@ -92,6 +122,27 @@ fn main() -> ExitCode {
         .iter()
         .position(|a| a == "--check")
         .and_then(|i| args.get(i + 1));
+    let threads: Option<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0);
+    let scheduler: Option<&String> = args
+        .iter()
+        .position(|a| a == "--scheduler")
+        .and_then(|i| args.get(i + 1));
+    let slg_threads: Option<usize> = match scheduler.map(String::as_str) {
+        Some("parallel") => Some(threads.unwrap_or(DEFAULT_THREADS)),
+        Some(other) => {
+            eprintln!(
+                "paper_tables: --scheduler only supports 'parallel' (got {other}); \
+                 the sequential strategies are already covered by --schedulers"
+            );
+            return ExitCode::FAILURE;
+        }
+        None => threads,
+    };
 
     if json || check.is_some() {
         // With --jobs > 1, measure_parallel runs the suite both ways and
@@ -127,7 +178,15 @@ fn main() -> ExitCode {
         } else {
             Vec::new()
         };
-        let doc = pr5_json(&tables, &sched, parallel.as_ref(), &host_meta());
+        let slg = match slg_threads.map(run_slg_comparison) {
+            Some(Ok(rows)) => rows,
+            Some(Err(e)) => {
+                eprintln!("FAIL: {e}");
+                return ExitCode::FAILURE;
+            }
+            None => Vec::new(),
+        };
+        let doc = pr8_json(&tables, &sched, parallel.as_ref(), &host_meta(), &slg);
         if json {
             println!("{doc}");
         }
@@ -198,6 +257,30 @@ fn main() -> ExitCode {
             &format!("Table 4: Groundness analysis with term-depth abstraction (k = {TABLE4_K})"),
             &tablog_bench::table4_rows_jobs(profile, jobs),
         );
+    }
+    if let Some(n) = slg_threads {
+        let rows = match run_slg_comparison(n) {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("\nParallel SLG: single-query fixpoint time at {n} worker(s) vs. sequential");
+        println!(
+            "{:<12} {:>8} {:>12} {:>12} {:>8}",
+            "Program", "threads", "sequential", "parallel", "speedup"
+        );
+        for r in &rows {
+            println!(
+                "{:<12} {:>8} {:>10}ms {:>10}ms {:>8.2}",
+                r.program,
+                r.threads,
+                ms(r.sequential),
+                ms(r.parallel),
+                r.speedup()
+            );
+        }
     }
     if want_sched {
         println!("\nScheduler comparison: groundness workload under each worklist strategy");

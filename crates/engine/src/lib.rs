@@ -62,6 +62,7 @@ mod explain;
 mod justify;
 mod machine;
 mod options;
+mod parallel;
 mod provenance;
 mod report;
 mod scheduler;

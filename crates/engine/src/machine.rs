@@ -28,6 +28,7 @@ use crate::builtins::lookup_builtin;
 use crate::database::Database;
 use crate::error::EngineError;
 use crate::options::{EngineOptions, Unknown};
+use crate::parallel::{Msg, ParCtx};
 use crate::provenance::{ClauseRef, NodeProv};
 use crate::scheduler::{make_scheduler, Scheduler, TaskClass};
 use crate::session::Evaluation;
@@ -121,6 +122,14 @@ pub(crate) struct Machine<'e> {
     /// propagated from a negation subcomputation); once set, `drain` stops
     /// scheduling and `run` hands back a truncated evaluation.
     pub(crate) truncated: Option<TruncationReason>,
+    /// Parallel-run context (worker id, shared state, peer channels) when
+    /// this machine is one worker of a [`crate::Scheduling::Parallel`]
+    /// evaluation; `None` for sequential machines and for negation
+    /// sub-machines, which always evaluate locally.
+    pub(crate) par: Option<ParCtx>,
+    /// Consumer nodes waiting on answers from subgoals owned by other
+    /// workers, indexed by the token carried in the remote call message.
+    pub(crate) remote_waits: Vec<(Functor, Node)>,
     /// Periodic health emission state, `Some` only when
     /// `EngineOptions::health` is set *and* a sink is installed.
     health: Option<HealthState>,
@@ -167,6 +176,8 @@ impl<'e> Machine<'e> {
                 .deadline
                 .map(|d| start_ns.saturating_add(d.as_nanos() as u64)),
             truncated: None,
+            par: None,
+            remote_waits: Vec::new(),
             health: health_on.then(|| {
                 let cfg = opts.health.unwrap();
                 HealthState {
@@ -184,7 +195,7 @@ impl<'e> Machine<'e> {
     /// Emits one counter time-series sample to the trace sink. Only called
     /// from sites gated on `counters_on`, so the disabled path takes no
     /// timestamp and constructs nothing.
-    fn sample_counters(&self) {
+    pub(crate) fn sample_counters(&self) {
         if let Some(sink) = self.trace {
             sink.counter_sample(&CounterSample {
                 t_ns: tablog_trace::now_ns(),
@@ -333,6 +344,13 @@ impl<'e> Machine<'e> {
             }
             Task::Return(..) => TaskClass::Return,
         };
+        // Under the parallel driver every enqueued task is one unit of the
+        // run-wide pending-work count (decremented after execution); the
+        // count only covers tasks that actually enter a queue, so the
+        // seen-node drop above must come first.
+        if let Some(par) = &self.par {
+            par.on_enqueue();
+        }
         self.scheduler.push(class, task);
     }
 
@@ -345,29 +363,7 @@ impl<'e> Machine<'e> {
         // A span left open by an `?` early return below is fine: the
         // recorder clamps open spans to the last observed timestamp.
         self.span_enter("evaluate", None);
-        let root_f = Functor::new("$query", template.len());
-        let key = self.arena.canonicalize(b0, template);
-        let root = self.subgoals.len();
-        self.stats.subgoals += 1;
-        let state = SubgoalState::new(root_f, key, &self.arena);
-        let bytes = state.table_bytes();
-        self.stats.table_bytes += bytes;
-        if let Some(sink) = self.trace {
-            let call = self.arena.terms(&key);
-            sink.event(&TraceEvent::NewSubgoal {
-                pred: root_f,
-                call: &call,
-                bytes,
-            });
-        }
-        self.subgoals.push(state);
-        let node = Node {
-            subgoal: root,
-            split: template.len(),
-            canon: self.arena.canonicalize2(b0, template, goals),
-            prov: self.fresh_prov(),
-        };
-        self.push(Task::Expand(node));
+        let root = self.seed_root(goals, template, b0);
         self.drain()?;
         if self.truncated.is_some() {
             self.settle()?;
@@ -431,6 +427,68 @@ impl<'e> Machine<'e> {
         })
     }
 
+    /// Creates the synthetic `$query` root subgoal and schedules the root
+    /// derivation node. Shared by the sequential [`Machine::run`] prologue
+    /// and the parallel driver's worker 0.
+    pub(crate) fn seed_root(&mut self, goals: &[Term], template: &[Term], b0: &Bindings) -> usize {
+        let root_f = Functor::new("$query", template.len());
+        let key = self.arena.canonicalize(b0, template);
+        let root = self.subgoals.len();
+        self.stats.subgoals += 1;
+        let state = SubgoalState::new(root_f, key, &self.arena);
+        let bytes = state.table_bytes();
+        self.stats.table_bytes += bytes;
+        if let Some(sink) = self.trace {
+            let call = self.arena.terms(&key);
+            sink.event(&TraceEvent::NewSubgoal {
+                pred: root_f,
+                call: &call,
+                bytes,
+            });
+        }
+        self.subgoals.push(state);
+        let node = Node {
+            subgoal: root,
+            split: template.len(),
+            canon: self.arena.canonicalize2(b0, template, goals),
+            prov: self.fresh_prov(),
+        };
+        self.push(Task::Expand(node));
+        root
+    }
+
+    /// Executes one worklist task, wrapped in its per-task span. Per-task
+    /// spans attribute time to the predicate whose table the task serves:
+    /// the node's own subgoal for an expansion, the watched table for an
+    /// answer return.
+    pub(crate) fn step(&mut self, task: Task) -> Result<(), EngineError> {
+        let spans_on = self.spans.is_some();
+        match task {
+            Task::Expand(n) => {
+                if spans_on {
+                    let pred = self.subgoals[n.subgoal].functor;
+                    self.span_enter("dispatch", Some(pred));
+                }
+                let r = self.expand(n);
+                if spans_on {
+                    self.span_exit();
+                }
+                r
+            }
+            Task::Return(c, a) => {
+                if spans_on {
+                    let pred = self.subgoals[self.consumers[c].watched].functor;
+                    self.span_enter("answer_return", Some(pred));
+                }
+                let r = self.return_answer(c, a);
+                if spans_on {
+                    self.span_exit();
+                }
+                r
+            }
+        }
+    }
+
     fn drain(&mut self) -> Result<(), EngineError> {
         // One sample of the initial state, then one after every task — a
         // run of `steps` tasks yields `steps + 1` samples (negation
@@ -451,34 +509,7 @@ impl<'e> Machine<'e> {
                     break;
                 }
             }
-            // Per-task spans attribute time to the predicate whose table
-            // the task serves: the node's own subgoal for an expansion, the
-            // watched table for an answer return.
-            let spans_on = self.spans.is_some();
-            match task {
-                Task::Expand(n) => {
-                    if spans_on {
-                        let pred = self.subgoals[n.subgoal].functor;
-                        self.span_enter("dispatch", Some(pred));
-                    }
-                    let r = self.expand(n);
-                    if spans_on {
-                        self.span_exit();
-                    }
-                    r?
-                }
-                Task::Return(c, a) => {
-                    if spans_on {
-                        let pred = self.subgoals[self.consumers[c].watched].functor;
-                        self.span_enter("answer_return", Some(pred));
-                    }
-                    let r = self.return_answer(c, a);
-                    if spans_on {
-                        self.span_exit();
-                    }
-                    r?
-                }
-            }
+            self.step(task)?;
             if self.counters_on {
                 self.sample_counters();
             }
@@ -515,7 +546,7 @@ impl<'e> Machine<'e> {
     /// the spawned continuations that are pure inserts (clause bodies the
     /// delivery completed). Recursive chains need a further return →
     /// expand link, which never runs — that is what bounds the pass.
-    fn settle(&mut self) -> Result<(), EngineError> {
+    pub(crate) fn settle(&mut self) -> Result<(), EngineError> {
         let mut queued = Vec::new();
         while let Some(task) = self.scheduler.pop() {
             queued.push(task);
@@ -568,7 +599,7 @@ impl<'e> Machine<'e> {
         }
     }
 
-    fn expand(&mut self, node: Node) -> Result<(), EngineError> {
+    pub(crate) fn expand(&mut self, node: Node) -> Result<(), EngineError> {
         let mut b = Bindings::new();
         let ts = self.arena.instantiate(&node.canon, &mut b);
         let (template, goals) = ts.split_at(node.split);
@@ -741,6 +772,30 @@ impl<'e> Machine<'e> {
             }
             key = abstracted;
         }
+        // Under the parallel driver, a call whose predicate SCC belongs to
+        // another worker is not tabled here: the consumer node parks in
+        // `remote_waits` and a call message carries the canonical pattern
+        // to the owner, who back-fills existing answers and forwards every
+        // later insert (each answer reaches the waiting node exactly once).
+        if let Some(owner) = self.remote_owner(f) {
+            let mut goals = vec![g.clone()];
+            goals.extend_from_slice(rest);
+            let node = self.make_node(sid, split, b, template, &goals, prov);
+            let token = self.remote_waits.len();
+            self.remote_waits.push((f, node));
+            let call = self.arena.terms(&key);
+            let par = self.par.as_ref().expect("remote owner implies parallel");
+            par.send(
+                owner,
+                Msg::Call {
+                    pred: f,
+                    call,
+                    from: par.me,
+                    token,
+                },
+            );
+            return Ok(());
+        }
         let watched = self.find_or_create_subgoal(f, key)?;
         // Reconstitute this node (with the tabled goal still selected) as a
         // consumer of the callee's table. The trail parks on the consumer;
@@ -765,7 +820,7 @@ impl<'e> Machine<'e> {
         Ok(())
     }
 
-    fn find_or_create_subgoal(
+    pub(crate) fn find_or_create_subgoal(
         &mut self,
         f: Functor,
         key: CanonicalTerm,
@@ -831,6 +886,15 @@ impl<'e> Machine<'e> {
             self.span_exit();
         }
         Ok(sid)
+    }
+
+    /// `Some(worker)` when this machine is a parallel worker and `f`'s SCC
+    /// is owned by a *different* worker; `None` for sequential machines and
+    /// for predicates this worker owns (or claims, on first touch).
+    fn remote_owner(&self, f: Functor) -> Option<usize> {
+        let par = self.par.as_ref()?;
+        let owner = par.owner_of(f);
+        (owner != par.me).then_some(owner)
     }
 
     fn open_call_key(&mut self, f: Functor) -> CanonicalTerm {

@@ -21,6 +21,13 @@ pub enum Scheduling {
     /// Exhaust expansions before returning any answers to consumers, akin
     /// to XSB's batched scheduling.
     Batched,
+    /// Multi-worker evaluation: the derivation forest is partitioned by
+    /// predicate SCC across [`EngineOptions::threads`] worker threads, each
+    /// running a depth-first worklist over the subgoals it owns (see
+    /// DESIGN.md, "Parallel SLG"). Answer sets are identical to the
+    /// sequential strategies; task interleaving (and hence step counts) are
+    /// not deterministic.
+    Parallel,
 }
 
 impl Scheduling {
@@ -30,6 +37,7 @@ impl Scheduling {
             Scheduling::DepthFirst => "depth_first",
             Scheduling::BreadthFirst => "breadth_first",
             Scheduling::Batched => "batched",
+            Scheduling::Parallel => "parallel",
         }
     }
 }
@@ -48,9 +56,10 @@ impl FromStr for Scheduling {
             "depth_first" | "depth-first" => Ok(Scheduling::DepthFirst),
             "breadth_first" | "breadth-first" => Ok(Scheduling::BreadthFirst),
             "batched" => Ok(Scheduling::Batched),
+            "parallel" => Ok(Scheduling::Parallel),
             other => Err(format!(
                 "unknown scheduling strategy `{other}` \
-                 (expected depth_first, breadth_first, or batched)"
+                 (expected depth_first, breadth_first, batched, or parallel)"
             )),
         }
     }
@@ -80,6 +89,9 @@ pub type TermHook = Arc<dyn Fn(&mut TermArena, &CanonicalTerm) -> CanonicalTerm 
 pub struct EngineOptions {
     /// Worklist discipline.
     pub scheduling: Scheduling,
+    /// Worker-thread count for [`Scheduling::Parallel`] (0 = one worker per
+    /// available core). Ignored by the sequential strategies.
+    pub threads: usize,
     /// Unify with occur check everywhere (needed by analyses that solve
     /// equality constraints, cf. Section 6.1's Hindley–Milner discussion).
     pub occur_check: bool,
@@ -154,6 +166,14 @@ impl EngineOptions {
         let on_off = |b: bool| if b { "on" } else { "off" }.to_owned();
         vec![
             ("scheduling".to_owned(), self.scheduling.name().to_owned()),
+            (
+                "threads".to_owned(),
+                match (self.scheduling, self.threads) {
+                    (Scheduling::Parallel, 0) => "auto".to_owned(),
+                    (Scheduling::Parallel, n) => n.to_string(),
+                    _ => "n/a".to_owned(),
+                },
+            ),
             ("occur_check".to_owned(), on_off(self.occur_check)),
             (
                 "forward_subsumption".to_owned(),
@@ -219,6 +239,7 @@ impl fmt::Debug for EngineOptions {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EngineOptions")
             .field("scheduling", &self.scheduling)
+            .field("threads", &self.threads)
             .field("occur_check", &self.occur_check)
             .field("forward_subsumption", &self.forward_subsumption)
             .field("call_abstraction", &self.call_abstraction.is_some())
@@ -247,10 +268,15 @@ mod tests {
             Scheduling::DepthFirst,
             Scheduling::BreadthFirst,
             Scheduling::Batched,
+            Scheduling::Parallel,
         ] {
             assert_eq!(s.name().parse::<Scheduling>(), Ok(s));
         }
-        assert!("local".parse::<Scheduling>().is_err());
+        let err = "local".parse::<Scheduling>().unwrap_err();
+        // The error message enumerates every valid value.
+        for name in ["depth_first", "breadth_first", "batched", "parallel"] {
+            assert!(err.contains(name), "{err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,705 @@
+//! Intra-query parallel SLG: one derivation forest evaluated by several
+//! worker threads (see DESIGN.md, "Parallel SLG").
+//!
+//! The unit of distribution is the predicate SCC. Call-graph SCCs
+//! ([`Database::predicate_sccs`]) partition the tabled predicates so that
+//! mutual recursion never crosses a partition boundary; each SCC is claimed
+//! by exactly one worker the first time any worker calls into it (a
+//! compare-and-swap against the least-loaded worker at that moment — the
+//! load-balancing role a work-stealing deque plays in task-parallel
+//! runtimes, applied at SCC granularity so everything *inside* an SCC stays
+//! on one thread and the sequential machine's completion and negation logic
+//! keep working unchanged).
+//!
+//! Each worker owns a full [`Machine`] — private arena, tables, consumers,
+//! seen-node set, and a depth-first local worklist — so the hot paths take
+//! no locks at all. The only cross-thread traffic is table sharding by
+//! ownership: a call to a predicate owned elsewhere parks its consumer node
+//! locally and sends the canonical call pattern to the owner; the owner
+//! back-fills the answers it already has and forwards each later insert the
+//! moment it happens, as materialized (`Arc`-backed, `Send`) terms over a
+//! per-worker channel. Variant canonicalization is first-occurrence
+//! renaming, so a term re-canonicalized into the receiving worker's arena
+//! is the *same* variant — answer identity survives the wire.
+//!
+//! Termination is a pending-work count: every enqueued task and every sent
+//! message increments it before becoming visible, every completed task or
+//! handled message decrements it afterwards, and the 1→0 transition means
+//! the forest is globally exhausted. Budgets check shared atomic totals at
+//! the same dispatch boundary the sequential engine uses; a trip raises a
+//! stop flag, every worker runs its local settle pass (plus delivery of
+//! already-received remote answers), and the run comes back `Ok` with a
+//! [`Truncation`] — exactly the sequential contract.
+//!
+//! After the workers join, their tables are merged into one fresh session
+//! arena (worker 0 first, so the `$query` root keeps index 0). Per-table
+//! byte accounting is substitution-factored *per table*, which makes it
+//! independent of both insertion order and arena layout — the merged totals
+//! are byte-identical to a sequential run's.
+
+use crate::budget::{Truncation, TruncationReason};
+use crate::database::Database;
+use crate::error::EngineError;
+use crate::machine::Machine;
+use crate::options::EngineOptions;
+use crate::session::Evaluation;
+use crate::table::{SubgoalState, TableStats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+use tablog_term::{Bindings, Functor, Term, TermArena};
+use tablog_trace::{now_ns, HealthSnapshot, StallWatchdog, TraceEvent};
+
+/// Cross-worker message. Terms are materialized (`Arc`-backed) so they are
+/// `Send`; the receiver re-canonicalizes them into its own arena.
+pub(crate) enum Msg {
+    /// "Table this call for me": `call` is the canonical argument tuple of
+    /// a call to `pred`, whose SCC the receiver owns. The receiver
+    /// back-fills existing answers and forwards future ones to worker
+    /// `from`, tagged with `token` (an index into the sender's
+    /// `remote_waits`).
+    Call {
+        pred: Functor,
+        call: Vec<Term>,
+        from: usize,
+        token: usize,
+    },
+    /// One answer (canonical argument tuple) for the remote wait `token`
+    /// registered by an earlier [`Msg::Call`].
+    Answer { token: usize, args: Vec<Term> },
+}
+
+/// Sentinel for an SCC no worker has claimed yet.
+const UNOWNED: usize = usize::MAX;
+
+/// State shared by every worker of one parallel run.
+pub(crate) struct ParShared {
+    /// Predicate → SCC index, from [`Database::predicate_sccs`].
+    scc_of: HashMap<Functor, usize>,
+    /// SCC index → owning worker ([`UNOWNED`] until first touch).
+    scc_owner: Vec<AtomicUsize>,
+    /// Approximate per-worker queue depth, read when claiming an SCC.
+    load: Vec<AtomicUsize>,
+    /// Enqueued-but-unfinished tasks plus in-flight messages, run-wide.
+    pending: AtomicUsize,
+    /// Set on the `pending` 1→0 transition: the forest is exhausted.
+    done: AtomicBool,
+    /// Set on a budget trip or an error: stop scheduling, settle, exit.
+    stop: AtomicBool,
+    /// First tripped budget (later trips keep the first reason).
+    reason: Mutex<Option<TruncationReason>>,
+    /// First evaluation error, propagated after the workers join.
+    error: Mutex<Option<EngineError>>,
+    /// Workers that have exited their loop (the monitor's stop signal).
+    finished: AtomicUsize,
+    /// Run-wide counters, published as deltas at dispatch boundaries —
+    /// what budget checks and the health monitor read.
+    steps: AtomicUsize,
+    answers: AtomicUsize,
+    duplicates: AtomicUsize,
+    tables: AtomicUsize,
+    table_bytes: AtomicUsize,
+    /// Absolute wall-clock cutoff shared by every worker, precomputed once
+    /// so all workers agree on the deadline.
+    deadline_ns: Option<u64>,
+}
+
+impl ParShared {
+    /// Records a budget trip (first reason wins) and raises the stop flag.
+    fn trip(&self, reason: TruncationReason) {
+        self.reason.lock().unwrap().get_or_insert(reason);
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Records an error (first error wins) and raises the stop flag.
+    fn fail(&self, e: EngineError) {
+        self.error.lock().unwrap().get_or_insert(e);
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// The shared-total analog of the sequential machine's budget check,
+    /// in the same fixed order (steps, table bytes, deadline).
+    fn budget_tripped(&self, opts: &EngineOptions) -> Option<TruncationReason> {
+        if let Some(limit) = opts.max_steps {
+            if self.steps.load(Ordering::Relaxed) > limit {
+                return Some(TruncationReason::Steps(limit));
+            }
+        }
+        if let Some(limit) = opts.max_table_bytes {
+            if self.table_bytes.load(Ordering::Relaxed) > limit {
+                return Some(TruncationReason::TableBytes(limit));
+            }
+        }
+        if let Some(cutoff) = self.deadline_ns {
+            if now_ns() >= cutoff {
+                let ms = opts.deadline.map_or(0, |d| d.as_millis() as u64);
+                return Some(TruncationReason::DeadlineMs(ms));
+            }
+        }
+        None
+    }
+
+    /// One health snapshot of the whole run, from the shared totals. The
+    /// per-class worklist split is not tracked across workers; `worklist`
+    /// reports the pending-work count (tasks plus in-flight messages).
+    fn snapshot(&self, t_ns: u64, answer_rate: f64, stalled: bool) -> HealthSnapshot {
+        HealthSnapshot {
+            t_ns,
+            steps: self.steps.load(Ordering::Relaxed),
+            worklist: self.pending.load(Ordering::Relaxed),
+            expands: 0,
+            returns: 0,
+            tables: self.tables.load(Ordering::Relaxed),
+            completed_tables: 0,
+            answers: self.answers.load(Ordering::Relaxed),
+            duplicate_answers: self.duplicates.load(Ordering::Relaxed),
+            table_bytes: self.table_bytes.load(Ordering::Relaxed),
+            answer_rate,
+            peak_heap_bytes: tablog_alloc::is_tracking().then(|| tablog_alloc::stats().peak_bytes),
+            stalled,
+        }
+    }
+}
+
+/// One worker's handle on the parallel run: its identity, the shared
+/// state, and a sender per peer.
+pub(crate) struct ParCtx {
+    pub(crate) me: usize,
+    pub(crate) shared: Arc<ParShared>,
+    senders: Vec<Sender<Msg>>,
+}
+
+impl ParCtx {
+    /// Accounts one locally enqueued task (called from [`Machine::push`]).
+    pub(crate) fn on_enqueue(&self) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.load[self.me].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one unit of pending work (task or message) fully processed;
+    /// the 1→0 transition ends the run.
+    fn finish_unit(&self) {
+        if self.shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.shared.done.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// The worker owning `f`'s SCC, claiming it for the least-loaded worker
+    /// (ties prefer the caller, for locality) on first touch. Predicates
+    /// outside the SCC map — the synthetic `$query` root — evaluate
+    /// locally.
+    pub(crate) fn owner_of(&self, f: Functor) -> usize {
+        let Some(&scc) = self.shared.scc_of.get(&f) else {
+            return self.me;
+        };
+        let slot = &self.shared.scc_owner[scc];
+        let cur = slot.load(Ordering::SeqCst);
+        if cur != UNOWNED {
+            return cur;
+        }
+        let mut best = self.me;
+        let mut best_load = self.shared.load[self.me].load(Ordering::Relaxed);
+        for (i, l) in self.shared.load.iter().enumerate() {
+            let li = l.load(Ordering::Relaxed);
+            if li < best_load {
+                best = i;
+                best_load = li;
+            }
+        }
+        match slot.compare_exchange(UNOWNED, best, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => best,
+            Err(actual) => actual,
+        }
+    }
+
+    /// Sends `msg` to worker `to`, accounting it as pending work first so
+    /// the done detector can never fire while a message is in flight. A
+    /// send can only fail during shutdown (the receiver exited after a
+    /// stop), in which case the message is moot and its unit is returned.
+    pub(crate) fn send(&self, to: usize, msg: Msg) {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.load[to].fetch_add(1, Ordering::Relaxed);
+        if self.senders[to].send(msg).is_err() {
+            self.finish_unit();
+        }
+    }
+}
+
+impl Machine<'_> {
+    /// Handles one cross-worker message on this worker's machine.
+    fn handle_msg(&mut self, msg: Msg) -> Result<(), EngineError> {
+        match msg {
+            Msg::Call {
+                pred,
+                call,
+                from,
+                token,
+            } => {
+                // Re-canonicalize the wire terms into this arena: variant
+                // canonical form is arena-independent, so this is exactly
+                // the caller's call pattern. The subgoal lookup then dedups
+                // repeated remote calls the same way local calls dedup.
+                let empty = Bindings::new();
+                let key = self.arena.canonicalize(&empty, &call);
+                let sid = self.find_or_create_subgoal(pred, key)?;
+                // Back-fill, then register — both on this thread, so the
+                // remote consumer sees every answer exactly once.
+                for i in 0..self.subgoals[sid].answers.len() {
+                    let args = self.arena.terms(&self.subgoals[sid].answers[i]);
+                    let par = self.par.as_ref().expect("message implies parallel");
+                    par.send(from, Msg::Answer { token, args });
+                }
+                self.subgoals[sid].remote_consumers.push((from, token));
+                Ok(())
+            }
+            Msg::Answer { token, args } => {
+                let spans_on = self.spans.is_some();
+                if spans_on {
+                    let pred = self.remote_waits[token].0;
+                    self.span_enter("answer_return", Some(pred));
+                }
+                let r = self.deliver_remote_answer(token, &args);
+                if spans_on {
+                    self.span_exit();
+                }
+                r
+            }
+        }
+    }
+
+    /// The remote analog of `return_answer`: resumes the parked consumer
+    /// node with one answer that arrived from the owning worker.
+    fn deliver_remote_answer(&mut self, token: usize, args: &[Term]) -> Result<(), EngineError> {
+        let (pred, node) = {
+            let (p, n) = &self.remote_waits[token];
+            (*p, n.clone())
+        };
+        if let Some(sink) = self.trace {
+            sink.event(&TraceEvent::AnswerReturn { pred });
+        }
+        let mut b = Bindings::new();
+        let ts = self.arena.instantiate(&node.canon, &mut b);
+        let (template, goals) = ts.split_at(node.split);
+        let (g, rest) = goals
+            .split_first()
+            .expect("remote wait has a selected goal");
+        // Intern the answer locally, then instantiate — fresh variables in
+        // `b`, exactly like the local answer-return path.
+        let empty = Bindings::new();
+        let ans = self.arena.canonicalize(&empty, args);
+        let ans_args = self.arena.instantiate(&ans, &mut b);
+        let ok = g
+            .args()
+            .iter()
+            .zip(ans_args.iter())
+            .all(|(x, y)| self.unif(&mut b, x, y));
+        if ok {
+            let n = self.make_node(node.subgoal, node.split, &b, template, rest, None);
+            self.push(crate::machine::Task::Expand(n));
+        }
+        Ok(())
+    }
+}
+
+/// Counter values already published to the shared totals, per worker.
+#[derive(Default)]
+struct Published {
+    steps: usize,
+    answers: usize,
+    duplicates: usize,
+    tables: usize,
+    table_bytes: usize,
+}
+
+/// Publishes this worker's counter growth since the last call.
+fn publish(m: &Machine<'_>, shared: &ParShared, p: &mut Published) {
+    let s = m.stats;
+    if s.steps > p.steps {
+        shared.steps.fetch_add(s.steps - p.steps, Ordering::Relaxed);
+        p.steps = s.steps;
+    }
+    if s.answers > p.answers {
+        shared
+            .answers
+            .fetch_add(s.answers - p.answers, Ordering::Relaxed);
+        p.answers = s.answers;
+    }
+    if s.duplicate_answers > p.duplicates {
+        shared
+            .duplicates
+            .fetch_add(s.duplicate_answers - p.duplicates, Ordering::Relaxed);
+        p.duplicates = s.duplicate_answers;
+    }
+    if s.subgoals > p.tables {
+        shared
+            .tables
+            .fetch_add(s.subgoals - p.tables, Ordering::Relaxed);
+        p.tables = s.subgoals;
+    }
+    if s.table_bytes > p.table_bytes {
+        shared
+            .table_bytes
+            .fetch_add(s.table_bytes - p.table_bytes, Ordering::Relaxed);
+        p.table_bytes = s.table_bytes;
+    }
+}
+
+/// One worker's main loop: drain incoming messages, run local tasks, idle
+/// briefly when neither is available, exit on global completion or stop.
+fn worker_loop(
+    m: &mut Machine<'_>,
+    rx: &Receiver<Msg>,
+    budgets_on: bool,
+) -> Result<(), EngineError> {
+    let shared = m.par.as_ref().expect("worker has a context").shared.clone();
+    let me = m.par.as_ref().expect("worker has a context").me;
+    let mut published = Published::default();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        // Messages first: they are work other workers are waiting on.
+        let mut handled = false;
+        while let Ok(msg) = rx.try_recv() {
+            m.handle_msg(msg)?;
+            shared.load[me].fetch_sub(1, Ordering::Relaxed);
+            finish_unit(&shared);
+            handled = true;
+            if shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Some(task) = m.scheduler.pop() {
+            shared.load[me].fetch_sub(1, Ordering::Relaxed);
+            m.stats.steps += 1;
+            // The sequential dispatch boundary, against shared totals: the
+            // popped task is dropped unexecuted on a trip (it is counted),
+            // preserving the budget-boundary convention.
+            if budgets_on {
+                publish(m, &shared, &mut published);
+                if let Some(reason) = shared.budget_tripped(m.opts) {
+                    shared.trip(reason);
+                    finish_unit(&shared);
+                    break;
+                }
+            }
+            m.step(task)?;
+            finish_unit(&shared);
+            if m.counters_on {
+                m.sample_counters();
+            }
+            publish(m, &shared, &mut published);
+            // A negation subcomputation tripped a budget mid-task: stop the
+            // whole run, exactly as the sequential drain stops.
+            if let Some(reason) = m.truncated {
+                shared.trip(reason);
+                break;
+            }
+            continue;
+        }
+        if shared.done.load(Ordering::SeqCst) {
+            break;
+        }
+        if handled {
+            continue;
+        }
+        match rx.recv_timeout(Duration::from_millis(1)) {
+            Ok(msg) => {
+                m.handle_msg(msg)?;
+                shared.load[me].fetch_sub(1, Ordering::Relaxed);
+                finish_unit(&shared);
+                publish(m, &shared, &mut published);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    publish(m, &shared, &mut published);
+    // A budget-stopped run settles: deliver already-queued local returns,
+    // then already-received remote answers, so answers derived before the
+    // trip reach their consumers (and the root) — the parallel analog of
+    // the sequential settle pass. Stops caused by an error skip this.
+    if shared.stop.load(Ordering::SeqCst) && shared.error.lock().unwrap().is_none() {
+        m.settle()?;
+        while let Ok(msg) = rx.try_recv() {
+            if let Msg::Answer { token, args } = msg {
+                m.deliver_remote_answer(token, &args)?;
+            }
+        }
+        // Expand exactly the pure inserts those deliveries scheduled
+        // (continuations with no goals left), then drop the rest — the
+        // same bound the sequential settle applies.
+        let mut continuations = Vec::new();
+        while let Some(task) = m.scheduler.pop() {
+            continuations.push(task);
+        }
+        for task in continuations {
+            if let crate::machine::Task::Expand(n) = task {
+                if m.arena.tuple_len(&n.canon) == n.split {
+                    m.expand(n)?;
+                }
+            }
+        }
+        while m.scheduler.pop().is_some() {}
+        publish(m, &shared, &mut published);
+    }
+    Ok(())
+}
+
+/// Free-function version of [`ParCtx::finish_unit`] for when the context
+/// sits behind the machine borrow.
+fn finish_unit(shared: &ParShared) {
+    if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+        shared.done.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Evaluates `goals` across `opts.threads` workers (0 = one per core) and
+/// merges the workers' tables into one [`Evaluation`]. The answer sets are
+/// identical to a sequential run's; step counts and insertion order are
+/// scheduling-dependent, as they already are across sequential strategies.
+pub(crate) fn run_parallel(
+    db: &Database,
+    opts: &EngineOptions,
+    goals: &[Term],
+    template: &[Term],
+    b0: &Bindings,
+) -> Result<Evaluation, EngineError> {
+    let threads = match opts.threads {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    };
+    let mut scc_of = HashMap::new();
+    for (i, scc) in db.predicate_sccs().iter().enumerate() {
+        for f in scc {
+            scc_of.insert(*f, i);
+        }
+    }
+    let n_sccs = scc_of.values().max().map_or(0, |m| m + 1);
+    let start_ns = now_ns();
+    let budgets_on =
+        opts.max_steps.is_some() || opts.deadline.is_some() || opts.max_table_bytes.is_some();
+    let shared = Arc::new(ParShared {
+        scc_of,
+        scc_owner: (0..n_sccs).map(|_| AtomicUsize::new(UNOWNED)).collect(),
+        load: (0..threads).map(|_| AtomicUsize::new(0)).collect(),
+        pending: AtomicUsize::new(0),
+        done: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+        reason: Mutex::new(None),
+        error: Mutex::new(None),
+        finished: AtomicUsize::new(0),
+        steps: AtomicUsize::new(0),
+        answers: AtomicUsize::new(0),
+        duplicates: AtomicUsize::new(0),
+        tables: AtomicUsize::new(0),
+        table_bytes: AtomicUsize::new(0),
+        deadline_ns: opts
+            .deadline
+            .map(|d| start_ns.saturating_add(d.as_nanos() as u64)),
+    });
+    // Workers run with health reporting stripped: periodic snapshots under
+    // parallelism are the run-wide monitor's job (below), not any single
+    // worker's.
+    let worker_opts = {
+        let mut o = opts.clone();
+        o.health = None;
+        o
+    };
+    let mut txs = Vec::with_capacity(threads);
+    let mut rxs = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = mpsc::channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let results: Vec<(Vec<SubgoalState>, TermArena, TableStats)> = std::thread::scope(|scope| {
+        let worker_opts = &worker_opts;
+        let mut handles = Vec::with_capacity(threads);
+        for (me, rx) in rxs.into_iter().enumerate() {
+            let ctx = ParCtx {
+                me,
+                shared: shared.clone(),
+                senders: txs.clone(),
+            };
+            let shared = shared.clone();
+            handles.push(scope.spawn(move || {
+                let mut m = Machine::new(db, worker_opts);
+                m.deadline_ns = shared.deadline_ns;
+                m.par = Some(ctx);
+                // Every worker roots its spans in a worker frame, so folded
+                // stacks and flamegraphs attribute time per worker.
+                m.span_enter(&format!("worker_{me}"), None);
+                if me == 0 {
+                    m.seed_root(goals, template, b0);
+                }
+                if let Err(e) = worker_loop(&mut m, &rx, budgets_on) {
+                    shared.fail(e);
+                }
+                m.span_exit(); // worker_{me}
+                shared.finished.fetch_add(1, Ordering::SeqCst);
+                (
+                    std::mem::take(&mut m.subgoals),
+                    std::mem::take(&mut m.arena),
+                    m.stats,
+                )
+            }));
+        }
+        drop(txs);
+        // The run-wide health monitor: periodic snapshots from the shared
+        // totals while any worker is still going.
+        if let (Some(cfg), Some(sink)) = (opts.health, opts.trace.as_deref()) {
+            let mut watchdog = StallWatchdog::new(cfg.stall_window);
+            let mut last_ns = start_ns;
+            let mut last_steps = 0usize;
+            let mut last_answers = 0usize;
+            let poll = Duration::from_millis(if cfg.every_ms > 0 {
+                cfg.every_ms.min(10)
+            } else {
+                5
+            });
+            while shared.finished.load(Ordering::SeqCst) < threads {
+                std::thread::sleep(poll);
+                let t = now_ns();
+                let steps = shared.steps.load(Ordering::Relaxed);
+                let step_due = cfg.every_steps > 0 && steps - last_steps >= cfg.every_steps;
+                let time_due = cfg.every_ms > 0
+                    && t.saturating_sub(last_ns) >= cfg.every_ms.saturating_mul(1_000_000);
+                if step_due || time_due {
+                    let answers = shared.answers.load(Ordering::Relaxed);
+                    let dt = t.saturating_sub(last_ns);
+                    let rate = if dt > 0 {
+                        (answers - last_answers) as f64 * 1e9 / dt as f64
+                    } else {
+                        0.0
+                    };
+                    let stalled =
+                        watchdog.observe(answers, shared.table_bytes.load(Ordering::Relaxed));
+                    sink.health(&shared.snapshot(t, rate, stalled));
+                    last_ns = t;
+                    last_steps = steps;
+                    last_answers = answers;
+                }
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    if let Some(e) = shared.error.lock().unwrap().take() {
+        return Err(e);
+    }
+    let reason = shared.reason.lock().unwrap().take();
+    Ok(merge(results, reason, opts, start_ns))
+}
+
+/// Merges the workers' tables and counters into one evaluation with a
+/// fresh session arena. Worker 0 goes first so the `$query` root lands at
+/// index 0; re-canonicalization preserves variant identity, and per-table
+/// substitution factoring makes the merged byte totals order- and
+/// arena-independent (so they match a sequential run's exactly).
+fn merge(
+    results: Vec<(Vec<SubgoalState>, TermArena, TableStats)>,
+    reason: Option<TruncationReason>,
+    opts: &EngineOptions,
+    start_ns: u64,
+) -> Evaluation {
+    let mut arena = TermArena::new();
+    let mut subgoals = Vec::new();
+    let mut stats = TableStats::default();
+    let empty = Bindings::new();
+    for (wsubs, warena, wstats) in results {
+        stats.steps += wstats.steps;
+        stats.clause_resolutions += wstats.clause_resolutions;
+        stats.subgoals += wstats.subgoals;
+        stats.answers += wstats.answers;
+        stats.duplicate_answers += wstats.duplicate_answers;
+        for s in wsubs {
+            let call = warena.terms(&s.call);
+            let key = arena.canonicalize(&empty, &call);
+            let mut ns = SubgoalState::new(s.functor, key, &arena);
+            for a in &s.answers {
+                let terms = warena.terms(a);
+                let ca = arena.canonicalize(&empty, &terms);
+                if ns.answer_ids.insert(ca.root_id()) {
+                    ns.charge(&ca, &arena);
+                    ns.add_entry_overhead();
+                    ns.answers.push(ca);
+                }
+            }
+            debug_assert_eq!(
+                ns.table_bytes(),
+                s.table_bytes(),
+                "re-canonicalized table bytes drifted from the worker's accounting"
+            );
+            stats.table_bytes += ns.table_bytes();
+            subgoals.push(ns);
+        }
+    }
+    let truncated = reason.is_some();
+    if !truncated {
+        for s in &mut subgoals {
+            s.complete = true;
+            if let Some(sink) = opts.trace.as_deref() {
+                sink.event(&TraceEvent::SubgoalComplete {
+                    pred: s.functor,
+                    answers: s.answers.len(),
+                    bytes: s.table_bytes(),
+                });
+            }
+        }
+    }
+    // The final snapshot: whole-run totals from the merged counters, the
+    // rate over the whole run. Emitted whenever health reporting is on, and
+    // stamped onto the truncation when a budget tripped — the sequential
+    // contract.
+    let truncation = if truncated || opts.health.is_some() {
+        let t_ns = now_ns();
+        let dt = t_ns.saturating_sub(start_ns);
+        let rate = if dt > 0 {
+            stats.answers as f64 * 1e9 / dt as f64
+        } else {
+            0.0
+        };
+        let snap = HealthSnapshot {
+            t_ns,
+            steps: stats.steps,
+            worklist: 0,
+            expands: 0,
+            returns: 0,
+            tables: subgoals.len(),
+            completed_tables: if truncated { 0 } else { subgoals.len() },
+            answers: stats.answers,
+            duplicate_answers: stats.duplicate_answers,
+            table_bytes: stats.table_bytes,
+            answer_rate: rate,
+            peak_heap_bytes: tablog_alloc::is_tracking().then(|| tablog_alloc::stats().peak_bytes),
+            stalled: false,
+        };
+        if opts.health.is_some() {
+            if let Some(sink) = opts.trace.as_deref() {
+                sink.health(&snap);
+            }
+        }
+        reason.map(|reason| Truncation {
+            reason,
+            snapshot: snap,
+        })
+    } else {
+        None
+    };
+    Evaluation {
+        subgoals,
+        root: 0,
+        stats,
+        scheduler: "parallel",
+        arena,
+        truncation,
+    }
+}

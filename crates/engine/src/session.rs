@@ -118,8 +118,7 @@ impl Engine {
         template: &[Term],
         bindings: &Bindings,
     ) -> Result<Evaluation, EngineError> {
-        let mut m = Machine::new(&self.db, &self.opts);
-        m.run(goals, template, bindings)
+        self.evaluate_with_opts(&self.opts, goals, template, bindings)
     }
 
     /// Parses `goal`, evaluates it to completion, and returns the per-table
@@ -153,6 +152,12 @@ impl Engine {
         template: &[Term],
         bindings: &Bindings,
     ) -> Result<Evaluation, EngineError> {
+        // Provenance trails reference answer indices across tables, which
+        // the cross-worker merge does not preserve; explanation queries run
+        // sequentially even under the parallel strategy.
+        if opts.scheduling == crate::options::Scheduling::Parallel && !opts.record_provenance {
+            return crate::parallel::run_parallel(&self.db, opts, goals, template, bindings);
+        }
         let mut m = Machine::new(&self.db, opts);
         m.run(goals, template, bindings)
     }

@@ -1,0 +1,199 @@
+//! Stress tests for the parallel scheduler's cross-worker answer
+//! publication (PR 8).
+//!
+//! Loom-style model checking is not available in this workspace, so these
+//! tests attack the sharded path statistically instead: many repetitions of
+//! multi-worker runs whose SCC structure forces cross-worker traffic, each
+//! compared against the sequential fixpoint. The properties under test are
+//! exactly the ones the message protocol must guarantee — every answer
+//! reaches every remote consumer exactly once (no loss, no duplication),
+//! and the merged tables are independent of worker count and interleaving.
+
+use std::collections::BTreeMap;
+use tablog_engine::{Engine, EngineOptions, LoadMode, Scheduling};
+use tablog_term::Bindings;
+
+/// A program with several independent SCCs (`path`, `rpath`, `apath`) that
+/// all feed a `join` layer: the joins force whichever workers own the
+/// upstream SCCs to stream answers to the worker expanding the join bodies.
+const CROSS_SCC: &str = "
+:- table path/2.
+:- table rpath/2.
+:- table apath/2.
+:- table join/2.
+path(X, Y) :- path(X, Z), edge(Z, Y).
+path(X, Y) :- edge(X, Y).
+rpath(X, Y) :- edge(Y, X).
+rpath(X, Y) :- rpath(X, Z), edge(Y, Z).
+apath(X, Y) :- path(X, Y).
+apath(X, Y) :- rpath(X, Y).
+join(X, Y) :- path(X, Z), rpath(Y, Z).
+join(X, Y) :- apath(X, Y), path(Y, X).
+edge(a, b). edge(b, c). edge(c, d). edge(d, a).
+edge(b, d). edge(d, b). edge(a, c).
+";
+
+/// A deeper chain of mutually independent strata, so ownership spreads
+/// across workers and answers hop multiple times before reaching the root.
+const LAYERED: &str = "
+:- table t0/2.
+:- table t1/2.
+:- table t2/2.
+:- table t3/2.
+t0(X, Y) :- t0(X, Z), e(Z, Y).
+t0(X, Y) :- e(X, Y).
+t1(X, Y) :- t0(X, Y).
+t1(X, Y) :- t1(X, Z), t0(Z, Y).
+t2(X, Y) :- t1(Y, X).
+t3(X, Y) :- t1(X, Z), t2(Z, Y).
+e(n1, n2). e(n2, n3). e(n3, n4). e(n4, n5). e(n5, n1). e(n2, n5).
+";
+
+/// Runs `goal` under `scheduling`/`threads` and returns every table as a
+/// sorted (call, sorted answers) map — the full observable fixpoint.
+fn tables(
+    src: &str,
+    goal: &str,
+    scheduling: Scheduling,
+    threads: usize,
+) -> BTreeMap<String, Vec<String>> {
+    let opts = EngineOptions {
+        scheduling,
+        threads,
+        ..EngineOptions::default()
+    };
+    let engine = Engine::from_source_with(src, LoadMode::Dynamic, opts).unwrap();
+    let mut b = Bindings::new();
+    let (g, _) = tablog_syntax::parse_term(goal, &mut b).unwrap();
+    let eval = engine.evaluate(&[g], &[], &b).unwrap();
+    eval.subgoals()
+        .map(|v| {
+            let call = format!(
+                "{}:{}",
+                v.functor(),
+                tablog_syntax::term_to_string(&v.call_term())
+            );
+            let mut answers: Vec<String> = v
+                .answer_tuples()
+                .map(|t| {
+                    t.iter()
+                        .map(tablog_syntax::term_to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .collect();
+            answers.sort();
+            (call, answers)
+        })
+        .collect()
+}
+
+/// Many repetitions at several worker counts: the cross-SCC program's
+/// tables must match the sequential fixpoint on every run, whatever the
+/// interleaving of call and answer messages.
+#[test]
+fn repeated_parallel_runs_match_sequential_tables() {
+    for (src, goal) in [(CROSS_SCC, "join(X, Y)"), (LAYERED, "t3(X, Y)")] {
+        let want = tables(src, goal, Scheduling::DepthFirst, 1);
+        assert!(
+            want.values().any(|a| !a.is_empty()),
+            "baseline must derive answers"
+        );
+        for threads in [2usize, 3, 4] {
+            for rep in 0..25 {
+                let got = tables(src, goal, Scheduling::Parallel, threads);
+                assert_eq!(
+                    got, want,
+                    "parallel tables diverged (threads={threads}, rep={rep})"
+                );
+            }
+        }
+    }
+}
+
+/// Exactly-once publication, observed through the duplicate counter: a
+/// lost answer would shrink a table (caught above), a doubly-delivered one
+/// would either re-insert (caught above) or inflate `duplicate_answers`
+/// beyond what the clause structure itself produces. Runs agree with the
+/// sequential counts on unique answers and subgoals on every repetition.
+#[test]
+fn answer_and_subgoal_counts_are_interleaving_independent() {
+    let run = |scheduling: Scheduling, threads: usize| {
+        let opts = EngineOptions {
+            scheduling,
+            threads,
+            ..EngineOptions::default()
+        };
+        let engine = Engine::from_source_with(CROSS_SCC, LoadMode::Dynamic, opts).unwrap();
+        let mut b = Bindings::new();
+        let (g, _) = tablog_syntax::parse_term("join(X, Y)", &mut b).unwrap();
+        let eval = engine.evaluate(&[g], &[], &b).unwrap();
+        (eval.stats().subgoals, eval.stats().answers)
+    };
+    let (subgoals, answers) = run(Scheduling::DepthFirst, 1);
+    for threads in [2usize, 4] {
+        for rep in 0..25 {
+            let (s, a) = run(Scheduling::Parallel, threads);
+            assert_eq!(s, subgoals, "subgoal count (threads={threads}, rep={rep})");
+            assert_eq!(a, answers, "answer count (threads={threads}, rep={rep})");
+        }
+    }
+}
+
+/// Oversubscription: more workers than SCCs (and than cores) still
+/// converges to the same tables — idle workers must park on their channels
+/// without wedging the pending-work completion detector.
+#[test]
+fn more_workers_than_sccs_terminates_and_agrees() {
+    let want = tables(CROSS_SCC, "join(X, Y)", Scheduling::DepthFirst, 1);
+    for rep in 0..5 {
+        let got = tables(CROSS_SCC, "join(X, Y)", Scheduling::Parallel, 16);
+        assert_eq!(got, want, "16-worker run diverged (rep={rep})");
+    }
+}
+
+/// `threads: 0` means one worker per core; whatever that resolves to on
+/// the host, the fixpoint is the sequential one.
+#[test]
+fn auto_thread_count_matches_sequential() {
+    let want = tables(LAYERED, "t3(X, Y)", Scheduling::DepthFirst, 1);
+    let got = tables(LAYERED, "t3(X, Y)", Scheduling::Parallel, 0);
+    assert_eq!(got, want);
+}
+
+/// The parallel evaluation reports its own scheduler name (the workers'
+/// internal depth-first queues are an implementation detail).
+#[test]
+fn parallel_evaluation_reports_parallel_scheduler() {
+    let opts = EngineOptions {
+        scheduling: Scheduling::Parallel,
+        threads: 2,
+        ..EngineOptions::default()
+    };
+    let engine = Engine::from_source_with(CROSS_SCC, LoadMode::Dynamic, opts).unwrap();
+    let mut b = Bindings::new();
+    let (g, _) = tablog_syntax::parse_term("join(X, Y)", &mut b).unwrap();
+    let eval = engine.evaluate(&[g], &[], &b).unwrap();
+    assert_eq!(eval.scheduler(), "parallel");
+    assert!(eval.subgoals().all(|v| v.is_complete()));
+}
+
+/// Negation runs as a sequential subcomputation inside whichever worker
+/// expands it; stratified programs agree with sequential evaluation.
+#[test]
+fn stratified_negation_agrees_under_parallel() {
+    let src = "
+:- table path/2.
+:- table unreach/2.
+path(X, Y) :- path(X, Z), edge(Z, Y).
+path(X, Y) :- edge(X, Y).
+node(a). node(b). node(c). node(d).
+unreach(X, Y) :- node(X), node(Y), \\+ path(X, Y).
+edge(a, b). edge(b, c).
+";
+    let want = tables(src, "unreach(X, Y)", Scheduling::DepthFirst, 1);
+    for threads in [2usize, 4] {
+        let got = tables(src, "unreach(X, Y)", Scheduling::Parallel, threads);
+        assert_eq!(got, want, "negation diverged at {threads} threads");
+    }
+}

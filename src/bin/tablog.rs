@@ -54,7 +54,11 @@
 //!   fixed-width table.
 //! * `--trace FILE` — append every engine event to `FILE` as JSON lines.
 //! * `--scheduler S` — SLG scheduling strategy for engine-backed commands:
-//!   `depth-first` (default), `breadth-first`, or `batched`.
+//!   `depth-first` (default), `breadth-first`, `batched`, or `parallel`
+//!   (one query evaluated across several worker threads; see `--threads`).
+//! * `--threads N` — worker-thread count for `--scheduler parallel`
+//!   (default: one per available core). Ignored by the sequential
+//!   strategies.
 //! * `--jobs N` — for the analysis commands (`ground`, `depthk`), analyze
 //!   multiple input files on up to `N` worker threads; output stays in
 //!   input order.
@@ -104,7 +108,10 @@ fn usage() -> String {
      explain FILE GOAL [--depth N] [--analysis ground|depthk|strict|direct]\n\
      forest  FILE GOAL [--dot OUT]\n\
      ground|depthk accept multiple FILEs; --jobs N analyzes them concurrently\n\
-     global flags: --profile  --json  --trace FILE  --scheduler S  --jobs N  --progress\n\
+     global flags: --profile  --json  --trace FILE  --scheduler S  --threads N\n\
+                   --jobs N  --progress\n\
+     --scheduler: depth-first (default) | breadth-first | batched | parallel\n\
+     --threads N: workers for --scheduler parallel (default: one per core)\n\
      see `tablog help` or the crate documentation"
         .to_owned()
 }
@@ -218,6 +225,8 @@ struct Obs {
     health: Option<HealthConfig>,
     /// SLG scheduling strategy for engine-backed commands.
     scheduling: Scheduling,
+    /// Worker threads for `--scheduler parallel` (0 = one per core).
+    threads: usize,
     /// Worker threads for multi-file analysis commands.
     jobs: usize,
 }
@@ -268,6 +277,7 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
     let mut progress = false;
     let mut trace_path: Option<String> = None;
     let mut scheduling = Scheduling::default();
+    let mut threads = 0usize;
     let mut jobs = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -282,6 +292,18 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
             "--scheduler" => {
                 let s = it.next().ok_or("--scheduler requires a strategy name")?;
                 scheduling = s.parse()?;
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads requires a worker count")?;
+                threads = match n.parse::<usize>() {
+                    Ok(0) => return Err(format!("bad --threads value {n} (must be at least 1)")),
+                    Ok(v) => v,
+                    Err(_) => {
+                        return Err(format!(
+                            "bad --threads value {n} (expected a positive integer)"
+                        ))
+                    }
+                };
             }
             "--jobs" => {
                 let n = it.next().ok_or("--jobs requires a thread count")?;
@@ -313,6 +335,7 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
             progress: tty.then(|| Arc::new(ProgressSink) as Arc<dyn TraceSink>),
             health: tty.then(|| HealthConfig::every_ms(100)),
             scheduling,
+            threads,
             jobs,
         },
     ))
@@ -376,6 +399,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let opts = EngineOptions {
                 trace: obs.engine_sink(registry.as_ref()),
                 scheduling: obs.scheduling,
+                threads: obs.threads,
                 health: obs.health,
                 ..Default::default()
             };
@@ -431,6 +455,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let opts = EngineOptions {
                 trace: obs.engine_sink(Some(&registry)),
                 scheduling: obs.scheduling,
+                threads: obs.threads,
                 health: obs.health,
                 ..Default::default()
             };
@@ -459,6 +484,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let opts = EngineOptions {
                 trace: obs.engine_sink(Some(&registry)),
                 scheduling: obs.scheduling,
+                threads: obs.threads,
                 record_spans: true,
                 health: obs.health,
                 ..Default::default()
@@ -580,6 +606,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let opts = EngineOptions {
                 trace: obs.engine_sink(Some(&registry)),
                 scheduling: obs.scheduling,
+                threads: obs.threads,
                 record_spans: true,
                 record_counters: counters,
                 health: obs.health,
@@ -654,6 +681,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let opts = EngineOptions {
                 trace: Some(Arc::new(fan) as Arc<dyn TraceSink>),
                 scheduling: obs.scheduling,
+                threads: obs.threads,
                 health: Some(HealthConfig::every_ms(interval)),
                 max_steps,
                 deadline,
@@ -726,6 +754,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                     let opts = EngineOptions {
                         trace: obs.engine_sink(None),
                         scheduling: obs.scheduling,
+                        threads: obs.threads,
                         health: obs.health,
                         ..Default::default()
                     };
@@ -781,6 +810,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 record_provenance: true,
                 trace: obs.engine_sink(None),
                 scheduling: obs.scheduling,
+                threads: obs.threads,
                 health: obs.health,
                 ..Default::default()
             };
@@ -860,6 +890,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                     let mut an = GroundnessAnalyzer::new();
                     an.profile = obs.profile;
                     an.options.scheduling = obs.scheduling;
+                    an.options.threads = obs.threads;
                     an.options.trace = obs.engine_sink(None);
                     an.options.health = obs.health;
                     an.analyze_with_entries(&program, &entries)
@@ -909,6 +940,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 let mut an = DepthKAnalyzer::new(k);
                 an.profile = obs.profile;
                 an.options.scheduling = obs.scheduling;
+                an.options.threads = obs.threads;
                 an.options.trace = obs.engine_sink(None);
                 an.options.health = obs.health;
                 an.analyze_with_entries(&program, &entries)
@@ -969,6 +1001,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             let mut an = StrictnessAnalyzer::new();
             an.profile = obs.profile;
             an.options.scheduling = obs.scheduling;
+            an.options.threads = obs.threads;
             an.options.trace = obs.engine_sink(None);
             an.options.health = obs.health;
             let report = an.analyze_source(&src).map_err(|e| e.to_string())?;

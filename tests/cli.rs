@@ -890,3 +890,166 @@ fn progress_flag_is_silent_when_stderr_is_not_a_tty() {
         "--progress writes nothing when stderr is piped: {err:?}"
     );
 }
+
+// ---- PR 8: parallel scheduler CLI surface -------------------------------
+
+#[test]
+fn threads_rejects_zero_and_non_numeric_values() {
+    let f = temp_file("graph_badthreads.pl", GRAPH);
+    let file = f.to_str().unwrap();
+    let (_, err, ok) = tablog(&[
+        "query",
+        file,
+        "path(a, X)",
+        "--scheduler",
+        "parallel",
+        "--threads",
+        "0",
+    ]);
+    assert!(!ok, "--threads 0 must be rejected");
+    assert!(err.contains("bad --threads value 0"), "{err}");
+    assert!(err.contains("at least 1"), "{err}");
+    let (_, err2, ok2) = tablog(&[
+        "query",
+        file,
+        "path(a, X)",
+        "--scheduler",
+        "parallel",
+        "--threads",
+        "two",
+    ]);
+    assert!(!ok2, "--threads two must be rejected");
+    assert!(err2.contains("bad --threads value two"), "{err2}");
+    assert!(err2.contains("positive integer"), "{err2}");
+    let (_, err3, ok3) = tablog(&["query", file, "path(a, X)", "--threads"]);
+    assert!(!ok3, "a bare --threads must be rejected");
+    assert!(err3.contains("--threads requires a worker count"), "{err3}");
+}
+
+#[test]
+fn scheduler_rejects_unknown_strategy_naming_all_values() {
+    let f = temp_file("graph_badsched.pl", GRAPH);
+    let (_, err, ok) = tablog(&[
+        "query",
+        f.to_str().unwrap(),
+        "path(a, X)",
+        "--scheduler",
+        "local",
+    ]);
+    assert!(!ok, "an unknown scheduler must be rejected");
+    for name in ["depth_first", "breadth_first", "batched", "parallel"] {
+        assert!(err.contains(name), "error must list {name}: {err}");
+    }
+}
+
+#[test]
+fn help_lists_every_scheduler_value_and_threads_flag() {
+    let (out, _, ok) = tablog(&["help"]);
+    assert!(ok);
+    for name in ["depth-first", "breadth-first", "batched", "parallel"] {
+        assert!(out.contains(name), "help must list {name}: {out}");
+    }
+    assert!(out.contains("--threads"), "help must list --threads: {out}");
+}
+
+#[test]
+fn query_parallel_scheduler_matches_sequential_answers() {
+    let f = temp_file("graph_par.pl", GRAPH);
+    let file = f.to_str().unwrap();
+    let (seq, _, ok1) = tablog(&["query", file, "path(X, Y)"]);
+    let (par, err, ok2) = tablog(&[
+        "query",
+        file,
+        "path(X, Y)",
+        "--scheduler",
+        "parallel",
+        "--threads",
+        "4",
+    ]);
+    assert!(ok1 && ok2, "{err}");
+    let sort = |s: &str| {
+        let mut v: Vec<&str> = s.lines().collect();
+        v.sort_unstable();
+        v.join("\n")
+    };
+    assert_eq!(sort(&seq), sort(&par), "parallel answers must match");
+}
+
+#[test]
+fn stats_json_reports_parallel_scheduler_and_threads() {
+    let f = temp_file("graph_parstats.pl", GRAPH);
+    let (out, err, ok) = tablog(&[
+        "stats",
+        f.to_str().unwrap(),
+        "path(a, X)",
+        "--json",
+        "--scheduler",
+        "parallel",
+        "--threads",
+        "2",
+    ]);
+    assert!(ok, "{err}");
+    let v = tablog_trace::json::parse(out.trim()).expect("valid JSON");
+    let engine = v.get("engine").expect("engine object in stats --json");
+    assert_eq!(
+        engine.get("scheduler").and_then(|s| s.as_str()),
+        Some("parallel"),
+        "{out}"
+    );
+    assert!(
+        out.contains("\"threads\":\"2\"") || out.contains("\"threads\": \"2\""),
+        "options header must record the worker count: {out}"
+    );
+}
+
+#[test]
+fn profile_folded_parallel_prefixes_worker_frames() {
+    let f = temp_file("graph_parfolded.pl", GRAPH);
+    let folded = std::env::temp_dir()
+        .join("tablog-cli-tests")
+        .join("profile_par.folded");
+    let (_, err, ok) = tablog(&[
+        "profile",
+        f.to_str().unwrap(),
+        "path(a, X)",
+        "--scheduler",
+        "parallel",
+        "--threads",
+        "2",
+        "--folded",
+        folded.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    let text = std::fs::read_to_string(&folded).expect("folded file written");
+    assert!(
+        text.lines().any(|l| l.starts_with("worker_0")),
+        "parallel stacks must be rooted in a worker frame: {text}"
+    );
+    // Engine work is attributed under some worker's frame.
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("worker_") && l.contains("dispatch:path/2")),
+        "{text}"
+    );
+    // The single-thread sequential layout is untouched: no worker frames.
+    let seq_out = std::env::temp_dir()
+        .join("tablog-cli-tests")
+        .join("profile_seq_check.folded");
+    let (_, err2, ok2) = tablog(&[
+        "profile",
+        f.to_str().unwrap(),
+        "path(a, X)",
+        "--folded",
+        seq_out.to_str().unwrap(),
+    ]);
+    assert!(ok2, "{err2}");
+    let seq_text = std::fs::read_to_string(&seq_out).expect("folded file written");
+    assert!(
+        !seq_text.contains("worker_"),
+        "sequential stacks must not grow worker frames: {seq_text}"
+    );
+    assert!(
+        seq_text.lines().any(|l| l.starts_with("evaluate")),
+        "{seq_text}"
+    );
+}
