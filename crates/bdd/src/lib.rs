@@ -316,18 +316,29 @@ impl BddManager {
         }
     }
 
-    /// Number of satisfying assignments over variables `0..nvars`.
-    pub fn sat_count(&self, f: Bdd, nvars: u32) -> u64 {
+    /// Number of satisfying assignments over variables `0..nvars`,
+    /// saturating at `u128::MAX`. `2^k` counts overflow a `u64` as soon as
+    /// `nvars >= 64`; the arithmetic here is checked so wide formulae
+    /// saturate instead of silently wrapping in release builds.
+    pub fn sat_count(&self, f: Bdd, nvars: u32) -> u128 {
+        fn pow2(exp: u32) -> u128 {
+            1u128.checked_shl(exp).unwrap_or(u128::MAX)
+        }
+        fn shl_sat(x: u128, exp: u32) -> u128 {
+            x.checked_shl(exp)
+                .filter(|&c| c >> exp == x)
+                .unwrap_or(u128::MAX)
+        }
         fn go(
             m: &BddManager,
             f: Bdd,
             from: u32,
             nvars: u32,
-            memo: &mut HashMap<(Bdd, u32), u64>,
-        ) -> u64 {
+            memo: &mut HashMap<(Bdd, u32), u128>,
+        ) -> u128 {
             match f {
                 Bdd::FALSE => 0,
-                Bdd::TRUE => 1u64 << (nvars - from),
+                Bdd::TRUE => pow2(nvars - from),
                 _ => {
                     if let Some(&c) = memo.get(&(f, from)) {
                         return c;
@@ -336,13 +347,24 @@ impl BddManager {
                     let skipped = n.var - from;
                     let lo = go(m, n.lo, n.var + 1, nvars, memo);
                     let hi = go(m, n.hi, n.var + 1, nvars, memo);
-                    let c = (lo + hi) << skipped;
+                    let c = shl_sat(lo.saturating_add(hi), skipped);
                     memo.insert((f, from), c);
                     c
                 }
             }
         }
         go(self, f, 0, nvars, &mut HashMap::new())
+    }
+
+    /// Estimated bytes of the manager's live state: the node arena plus the
+    /// hash-consing and memo tables. Used for per-table byte attribution
+    /// when the BDD backend is the active Prop domain.
+    pub fn mem_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.nodes.len() * size_of::<Node>()
+            + self.unique.capacity() * (size_of::<Node>() + size_of::<Bdd>())
+            + self.apply_cache.capacity() * (size_of::<(Op, Bdd, Bdd)>() + size_of::<Bdd>())
+            + self.not_cache.capacity() * (2 * size_of::<Bdd>())
     }
 
     /// `true` if `f → g` is a tautology.
@@ -574,6 +596,36 @@ mod tests {
         let m = BddManager::new();
         assert!(m.support(Bdd::TRUE).is_empty());
         assert!(m.support(Bdd::FALSE).is_empty());
+    }
+
+    #[test]
+    fn sat_count_survives_wide_formulae() {
+        // Regression: the count used to be u64 with unchecked shifts, so
+        // any universe of 64+ variables overflowed in release builds.
+        let mut m = BddManager::new();
+        assert_eq!(m.sat_count(Bdd::TRUE, 100), 1u128 << 100);
+        assert_eq!(m.sat_count(Bdd::FALSE, 100), 0);
+        let x = m.var(0);
+        assert_eq!(m.sat_count(x, 100), 1u128 << 99);
+        let y = m.var(90);
+        let f = m.and(x, y);
+        assert_eq!(m.sat_count(f, 100), 1u128 << 98);
+        // Past 2^128 the count saturates instead of wrapping.
+        assert_eq!(m.sat_count(Bdd::TRUE, 130), u128::MAX);
+        assert_eq!(m.sat_count(x, 130), u128::MAX);
+    }
+
+    #[test]
+    fn mem_bytes_grows_with_the_arena() {
+        let mut m = BddManager::new();
+        let empty = m.mem_bytes();
+        let mut f = Bdd::TRUE;
+        for v in 0..16 {
+            let x = m.var(v);
+            f = m.and(f, x);
+        }
+        assert!(f != Bdd::FALSE);
+        assert!(m.mem_bytes() > empty);
     }
 
     #[test]

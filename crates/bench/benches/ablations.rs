@@ -98,7 +98,7 @@ fn ablation_iff_repr(c: &mut Criterion) {
     });
     g.bench_function("bdd_ops", |b| {
         b.iter(|| {
-            let mut acc = 0u64;
+            let mut acc = 0u128;
             for n in 2..=10u32 {
                 let mut m = BddManager::new();
                 let x0 = m.var(0);

@@ -1,7 +1,8 @@
 //! Regenerates every table of the paper in the same row/column layout.
 //!
 //! Usage: `paper_tables [--table N] [--profile] [--json] [--check FILE]
-//! [--jobs N] [--schedulers] [--scheduler parallel] [--threads N]`
+//! [--jobs N] [--schedulers] [--scheduler parallel] [--threads N]
+//! [--domain bdd]`
 //! (default: all four tables). With
 //! `--profile`, each row is followed by the engine's per-evaluation
 //! counters (subgoals, answers, duplicates, resolutions, and the hook
@@ -27,11 +28,21 @@
 //! per-query `{threads, sequential_us, parallel_us, speedup}` rows are
 //! recorded under `"slg_parallel"` in the `--json` document. `--threads N`
 //! alone implies `--scheduler parallel`.
+//!
+//! With `--domain bdd`, the Table 1/2 groundness workloads are re-run under
+//! both Prop-domain backends — enumerative truth tables and hash-consed
+//! BDDs, on the tabled engine and the direct analyzer alike — and each
+//! benchmark's answer sets are cross-checked between backends: any
+//! divergence fails the process. The per-query `{domain, time_us,
+//! direct_us, table_bytes, bdd_nodes, identical}` rows are printed as a
+//! comparison table and recorded under `"pos_domain"` in the `--json`
+//! document. `--domain table` is accepted and a no-op (the default
+//! backend already produced every other table).
 
 use std::process::ExitCode;
 use tablog_bench::{
-    check_against_baseline, host_meta, measure_parallel, ms, parallel_slg_rows, pr8_json,
-    run_suite, scheduler_rows, ParSlgRow, Row, SuiteTables, TABLE4_K,
+    check_against_baseline, host_meta, measure_parallel, ms, parallel_slg_rows, pos_domain_rows,
+    pr9_json, run_suite, scheduler_rows, DomainRow, ParSlgRow, Row, SuiteTables, TABLE4_K,
 };
 
 // With --features track-alloc the binary runs under the tracking global
@@ -100,6 +111,25 @@ fn run_slg_comparison(threads: usize) -> Result<Vec<ParSlgRow>, String> {
     Ok(rows)
 }
 
+/// Runs the two-backend Prop-domain comparison and prints its verdict.
+/// `Err` means a benchmark's groundness results differed between the table
+/// and BDD backends — a domain-layer bug the caller must turn into a
+/// nonzero exit.
+fn run_domain_comparison() -> Result<Vec<DomainRow>, String> {
+    let rows = pos_domain_rows();
+    if let Some(bad) = rows.iter().find(|r| !r.identical) {
+        return Err(format!(
+            "Prop-domain groundness results diverged from the table backend on {}",
+            bad.program
+        ));
+    }
+    eprintln!(
+        "domain check passed: {} rows identical across the table and bdd backends",
+        rows.len()
+    );
+    Ok(rows)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let which: Option<u32> = args
@@ -142,6 +172,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         None => threads,
+    };
+    let domain: Option<&String> = args
+        .iter()
+        .position(|a| a == "--domain")
+        .and_then(|i| args.get(i + 1));
+    let want_domains = match domain.map(String::as_str) {
+        Some("bdd") => true,
+        Some("table") | None => false,
+        Some(other) => {
+            eprintln!("paper_tables: unknown --domain {other} (expected table or bdd)");
+            return ExitCode::FAILURE;
+        }
     };
 
     if json || check.is_some() {
@@ -186,7 +228,25 @@ fn main() -> ExitCode {
             }
             None => Vec::new(),
         };
-        let doc = pr8_json(&tables, &sched, parallel.as_ref(), &host_meta(), &slg);
+        let domains = if want_domains {
+            match run_domain_comparison() {
+                Ok(rows) => rows,
+                Err(e) => {
+                    eprintln!("FAIL: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            Vec::new()
+        };
+        let doc = pr9_json(
+            &tables,
+            &sched,
+            parallel.as_ref(),
+            &host_meta(),
+            &slg,
+            &domains,
+        );
         if json {
             println!("{doc}");
         }
@@ -279,6 +339,34 @@ fn main() -> ExitCode {
                 ms(r.sequential),
                 ms(r.parallel),
                 r.speedup()
+            );
+        }
+    }
+    if want_domains {
+        let rows = match run_domain_comparison() {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "\nProp domain comparison: Table 1/2 groundness under each backend \
+             (identical results enforced)"
+        );
+        println!(
+            "{:<20} {:<8} {:>12} {:>12} {:>12} {:>10}",
+            "Program", "domain", "tabled", "direct", "Table(bytes)", "BDD nodes"
+        );
+        for r in &rows {
+            println!(
+                "{:<20} {:<8} {:>10}ms {:>10}ms {:>12} {:>10}",
+                r.program,
+                r.domain.name(),
+                ms(r.tabled),
+                ms(r.direct),
+                r.table_bytes,
+                r.bdd_nodes
             );
         }
     }

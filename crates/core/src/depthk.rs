@@ -311,7 +311,7 @@ impl DepthKAnalyzer {
                 &r,
                 &timings,
                 engine.options().describe(),
-                Some(crate::profile::engine_snapshot(&eval)),
+                Some(crate::profile::engine_snapshot(&eval, self.options.domain)),
             )
         });
         Ok(DepthKReport {

@@ -5,16 +5,22 @@
 //! logic program* and hands it to the general-purpose tabled engine, this
 //! module is written the way one writes a dedicated abstract interpreter:
 //! a goal-directed fixpoint over `(predicate, call pattern)` pairs with an
-//! explicit worklist, dependency tracking, and Prop-domain operations on
-//! bitset truth tables with live-variable narrowing. Both implement exactly
-//! the same analysis, so their results must coincide — one of the
-//! reproduction's integration tests — and their running times are Table 2.
+//! explicit worklist, dependency tracking, and Prop-domain operations
+//! with live-variable narrowing. Both implement exactly the same
+//! analysis, so their results must coincide — one of the reproduction's
+//! integration tests — and their running times are Table 2.
+//!
+//! The solver is generic over [`AbstractDomain`], so the same worklist
+//! runs on enumerative truth tables ([`tablog_domain::TableDomain`], the
+//! default) or on BDD-backed Pos ([`tablog_domain::BddDomain`]); pick the
+//! backend with [`DirectAnalyzer::domain`].
 
 use crate::error::AnalysisError;
 use crate::groundness::{transform_program, EntryPoint, IffMode, GP_PREFIX};
 use crate::pipeline::{PhaseTimings, Timer};
 use crate::prop::{PropTable, MAX_VARS};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use tablog_domain::{AbstractDomain, BddDomain, DomainKind, TableDomain};
 use tablog_syntax::{parse_program, Program};
 use tablog_term::{sym_name, Functor, Term};
 use tablog_trace::{MetricsReport, PredStats, SpanEmitter, SpanRecorder};
@@ -66,6 +72,14 @@ pub struct DirectReport {
     /// counters: `subgoals` = call patterns, `clause_resolutions` = clause
     /// evaluations, `completed` = pairs solved to fixpoint.
     pub metrics: Option<MetricsReport>,
+    /// The Prop-domain backend the analysis ran on.
+    pub domain: DomainKind,
+    /// Bytes attributed to the domain backend itself (BDD manager arena
+    /// and memo tables); `0` under the enumerative table backend.
+    pub domain_bytes: usize,
+    /// Live BDD nodes in the backend's manager; `0` under the table
+    /// backend.
+    pub bdd_nodes: usize,
 }
 
 impl DirectReport {
@@ -178,27 +192,33 @@ impl DirectExplanation {
     }
 }
 
-type Key = (Functor, PropTable);
+type Key<D> = (Functor, <D as AbstractDomain>::Value);
 
-struct Solver {
+/// The worklist fixpoint solver, generic over the Prop-domain backend.
+/// `(predicate, call pattern)` pairs key the result table; since every
+/// backend's `Value` is canonical (bitsets for tables, hash-consed node
+/// handles for BDDs), `Eq`/`Hash` on values is semantic equality and the
+/// keys behave identically across backends.
+struct Solver<D: AbstractDomain> {
+    domain: D,
     clauses: HashMap<Functor, Vec<AbsClause>>,
-    results: HashMap<Key, PropTable>,
-    deps: HashMap<Key, HashSet<Key>>,
-    queue: VecDeque<Key>,
-    queued: HashSet<Key>,
+    results: HashMap<Key<D>, D::Value>,
+    deps: HashMap<Key<D>, HashSet<Key<D>>>,
+    queue: VecDeque<Key<D>>,
+    queued: HashSet<Key<D>>,
     iterations: usize,
     /// Per-functor counters, maintained only when profiling.
     profile: Option<BTreeMap<Functor, PredStats>>,
 }
 
-impl Solver {
-    fn enqueue(&mut self, key: Key) {
+impl<D: AbstractDomain> Solver<D> {
+    fn enqueue(&mut self, key: Key<D>) {
         if self.queued.insert(key.clone()) {
             self.queue.push_back(key);
         }
     }
 
-    fn demand(&mut self, f: Functor, pattern: PropTable, caller: Option<&Key>) -> PropTable {
+    fn demand(&mut self, f: Functor, pattern: D::Value, caller: Option<&Key<D>>) -> D::Value {
         let key = (f, pattern);
         if let Some(c) = caller {
             self.deps.entry(key.clone()).or_default().insert(c.clone());
@@ -209,7 +229,7 @@ impl Solver {
         if let Some(stats) = self.profile.as_mut() {
             stats.entry(f).or_default().subgoals += 1;
         }
-        let bottom = PropTable::bottom(f.arity);
+        let bottom = self.domain.bottom(f.arity);
         self.results.insert(key.clone(), bottom.clone());
         self.enqueue(key);
         bottom
@@ -221,7 +241,7 @@ impl Solver {
             self.iterations += 1;
             let computed = self.evaluate(&key)?;
             let old = self.results.get(&key).expect("seeded").clone();
-            let merged = old.or(&computed);
+            let merged = self.domain.join(&old, &computed);
             if merged != old {
                 self.results.insert(key.clone(), merged);
                 if let Some(callers) = self.deps.get(&key).cloned() {
@@ -234,16 +254,16 @@ impl Solver {
         Ok(())
     }
 
-    fn evaluate(&mut self, key: &Key) -> Result<PropTable, AnalysisError> {
+    fn evaluate(&mut self, key: &Key<D>) -> Result<D::Value, AnalysisError> {
         let (f, pattern) = key;
         let clauses = self.clauses.get(f).cloned().unwrap_or_default();
         if let Some(stats) = self.profile.as_mut() {
             stats.entry(*f).or_default().clause_resolutions += clauses.len() as u64;
         }
-        let mut acc = PropTable::bottom(f.arity);
+        let mut acc = self.domain.bottom(f.arity);
         for clause in &clauses {
             let t = self.eval_clause(clause, pattern, key)?;
-            acc = acc.or(&t);
+            acc = self.domain.join(&acc, &t);
         }
         Ok(acc)
     }
@@ -251,9 +271,9 @@ impl Solver {
     fn eval_clause(
         &mut self,
         clause: &AbsClause,
-        pattern: &PropTable,
-        key: &Key,
-    ) -> Result<PropTable, AnalysisError> {
+        pattern: &D::Value,
+        key: &Key<D>,
+    ) -> Result<D::Value, AnalysisError> {
         // Active variable set, initially the head variables; the table is
         // the call pattern, one column per active variable.
         let mut active: Vec<usize> = clause.head_vars.clone();
@@ -268,7 +288,9 @@ impl Solver {
                 }
                 AbsGoal::Call(_, args) => args.clone(),
             };
-            // Introduce unseen variables as unconstrained columns.
+            // Introduce unseen variables as unconstrained columns. The
+            // width cap is enforced uniformly (even though BDDs could go
+            // wider) so both backends accept exactly the same programs.
             for v in &mentioned {
                 if !active.contains(v) {
                     if active.len() + 1 > MAX_VARS {
@@ -276,7 +298,7 @@ impl Solver {
                             "clause needs more than {MAX_VARS} live Prop variables"
                         )));
                     }
-                    table = table.extend(1);
+                    table = self.domain.extend(&table, 1);
                     active.push(*v);
                 }
             }
@@ -286,17 +308,17 @@ impl Solver {
                 AbsGoal::Iff(x, ys) => {
                     let ix = pos(*x);
                     let iys: Vec<usize> = ys.iter().map(|&y| pos(y)).collect();
-                    table = table.constrain_iff(ix, &iys);
+                    table = self.domain.constrain_iff(&table, ix, &iys);
                 }
                 AbsGoal::Call(g, args) => {
                     let positions: Vec<usize> = args.iter().map(|&a| pos(a)).collect();
-                    let cp = table.project(&positions);
+                    let cp = self.domain.project(&table, &positions);
                     let r = self.demand(*g, cp, Some(key));
-                    table = table.constrain_relation(&positions, &r);
+                    table = self.domain.constrain_relation(&table, &positions, &r);
                 }
             }
-            if table.is_empty() {
-                return Ok(PropTable::bottom(clause.head_vars.len()));
+            if self.domain.is_empty(&table) {
+                return Ok(self.domain.bottom(clause.head_vars.len()));
             }
             // Narrow to live variables: head vars plus those used later.
             let keep: Vec<usize> = active
@@ -309,7 +331,7 @@ impl Solver {
                     .iter()
                     .map(|v| active.iter().position(|a| a == v).expect("active var"))
                     .collect();
-                table = table.project(&positions);
+                table = self.domain.project(&table, &positions);
                 active = keep;
             }
         }
@@ -318,7 +340,7 @@ impl Solver {
             .iter()
             .map(|v| active.iter().position(|a| a == v).expect("head var live"))
             .collect();
-        Ok(table.project(&head_positions))
+        Ok(self.domain.project(&table, &head_positions))
     }
 }
 
@@ -333,6 +355,11 @@ pub struct DirectAnalyzer {
     /// so the direct analyzer's phases line up with the declarative
     /// analyzers' in a combined profile. Requires `profile`.
     pub record_spans: bool,
+    /// Which Prop-domain backend the worklist solver runs on. The
+    /// default enumerative [`DomainKind::Table`] matches the historical
+    /// analyzer bit for bit; [`DomainKind::Bdd`] computes the same
+    /// results on hash-consed BDDs.
+    pub domain: DomainKind,
 }
 
 impl DirectAnalyzer {
@@ -376,12 +403,14 @@ impl DirectAnalyzer {
     }
 
     /// Lowers the program into the analyzer's internal form and builds a
-    /// fresh solver. Shared by [`analyze`](DirectAnalyzer::analyze_program)
-    /// and [`explain`](DirectAnalyzer::explain).
-    fn build_solver(
+    /// fresh solver over `domain`. Shared by
+    /// [`analyze`](DirectAnalyzer::analyze_program) and
+    /// [`explain`](DirectAnalyzer::explain).
+    fn build_solver<D: AbstractDomain>(
         &self,
+        domain: D,
         program: &Program,
-    ) -> Result<(Solver, crate::groundness::PredSet), AnalysisError> {
+    ) -> Result<(Solver<D>, crate::groundness::PredSet), AnalysisError> {
         let (rules, preds) = transform_program(program, IffMode::Builtin)?;
         let mut clauses: HashMap<Functor, Vec<AbsClause>> = HashMap::new();
         for r in &rules {
@@ -390,6 +419,7 @@ impl DirectAnalyzer {
         }
         Ok((
             Solver {
+                domain,
                 clauses,
                 results: HashMap::new(),
                 deps: HashMap::new(),
@@ -417,37 +447,49 @@ impl DirectAnalyzer {
         program: &Program,
         goal: &str,
     ) -> Result<DirectExplanation, AnalysisError> {
+        match self.domain {
+            DomainKind::Table => self.explain_in(TableDomain, program, goal),
+            DomainKind::Bdd => self.explain_in(BddDomain::new(), program, goal),
+        }
+    }
+
+    fn explain_in<D: AbstractDomain>(
+        &self,
+        domain: D,
+        program: &Program,
+        goal: &str,
+    ) -> Result<DirectExplanation, AnalysisError> {
         let e = EntryPoint::parse(goal)?;
         let arity = e.ground_args.len();
         let f = gp(tablog_term::intern(&e.name), arity);
-        let (mut solver, preds) = self.build_solver(program)?;
+        let (mut solver, preds) = self.build_solver(domain, program)?;
         if !preds.contains_key(&(tablog_term::intern(&e.name), arity)) {
             return Err(AnalysisError::Unsupported(format!(
                 "unknown predicate {}/{arity} in goal {goal}",
                 e.name
             )));
         }
-        let mut cp = PropTable::top(arity);
+        let mut cp = solver.domain.top(arity);
         for (i, &g) in e.ground_args.iter().enumerate() {
             if g {
-                cp = cp.constrain_value(i, true);
+                cp = solver.domain.constrain_value(&cp, i, true);
             }
         }
         solver.demand(f, cp.clone(), None);
         solver.run()?;
         let key = (f, cp);
-        let rows = solver
-            .results
-            .get(&key)
-            .map(PropTable::rows)
-            .unwrap_or_default();
+        let fix = solver.results.get(&key).cloned();
+        let rows = match fix {
+            Some(v) => solver.domain.to_table(&v).rows(),
+            None => Vec::new(),
+        };
         let abs_clauses = solver.clauses.get(&f).cloned().unwrap_or_default();
         let mut clauses = Vec::new();
         for (ci, clause) in abs_clauses.iter().enumerate() {
             let t = solver.eval_clause(clause, &key.1, &key)?;
             clauses.push(DirectClauseSupport {
                 clause_index: ci,
-                rows: t.rows(),
+                rows: solver.domain.to_table(&t).rows(),
             });
         }
         Ok(DirectExplanation {
@@ -465,6 +507,19 @@ impl DirectAnalyzer {
         entries: &[EntryPoint],
         parse_time: std::time::Duration,
     ) -> Result<DirectReport, AnalysisError> {
+        match self.domain {
+            DomainKind::Table => self.analyze_in(TableDomain, program, entries, parse_time),
+            DomainKind::Bdd => self.analyze_in(BddDomain::new(), program, entries, parse_time),
+        }
+    }
+
+    fn analyze_in<D: AbstractDomain>(
+        &self,
+        domain: D,
+        program: &Program,
+        entries: &[EntryPoint],
+        parse_time: std::time::Duration,
+    ) -> Result<DirectReport, AnalysisError> {
         let mut timer = Timer::start();
         let mut spans =
             (self.profile && self.record_spans).then(|| (SpanRecorder::new(), SpanEmitter::new()));
@@ -473,7 +528,7 @@ impl DirectAnalyzer {
         if let Some((rec, em)) = spans.as_mut() {
             em.enter(rec, "preprocess", None);
         }
-        let (mut solver, preds) = self.build_solver(program)?;
+        let (mut solver, preds) = self.build_solver(domain, program)?;
         if let Some((rec, em)) = spans.as_mut() {
             em.exit(rec);
             em.enter(rec, "analysis", None);
@@ -484,16 +539,17 @@ impl DirectAnalyzer {
         if entries.is_empty() {
             for &(name, arity) in preds.keys() {
                 let f = gp(name, arity);
-                solver.demand(f, PropTable::top(arity), None);
+                let top = solver.domain.top(arity);
+                solver.demand(f, top, None);
             }
         } else {
             for e in entries {
                 let arity = e.ground_args.len();
                 let f = gp(tablog_term::intern(&e.name), arity);
-                let mut cp = PropTable::top(arity);
+                let mut cp = solver.domain.top(arity);
                 for (i, &g) in e.ground_args.iter().enumerate() {
                     if g {
-                        cp = cp.constrain_value(i, true);
+                        cp = solver.domain.constrain_value(&cp, i, true);
                     }
                 }
                 solver.demand(f, cp, None);
@@ -506,21 +562,26 @@ impl DirectAnalyzer {
         }
         let analysis = timer.lap();
 
-        // Collection: merge results per predicate.
+        // Collection: merge results per predicate, exporting the joined
+        // value as an enumerative truth table so `DirectGroundness` has
+        // one canonical output form regardless of backend.
         let mut out = BTreeMap::new();
         for &(name, arity) in preds.keys() {
             let f = gp(name, arity);
-            let mut prop = PropTable::bottom(arity);
-            let mut any = false;
-            for ((kf, _), r) in solver.results.iter() {
-                if *kf == f {
-                    prop = prop.or(r);
-                    any = true;
-                }
-            }
-            if !any {
+            let matching: Vec<D::Value> = solver
+                .results
+                .iter()
+                .filter(|(k, _)| k.0 == f)
+                .map(|(_, r)| r.clone())
+                .collect();
+            if matching.is_empty() {
                 continue; // unreachable from the entries
             }
+            let mut merged = solver.domain.bottom(arity);
+            for r in &matching {
+                merged = solver.domain.join(&merged, r);
+            }
+            let prop = solver.domain.to_table(&merged);
             let definitely_ground = (0..arity).map(|i| prop.definitely(i)).collect();
             out.insert(
                 (sym_name(name), arity),
@@ -552,7 +613,10 @@ impl DirectAnalyzer {
                     ("analysis".to_string(), analysis),
                     ("collection".to_string(), collection),
                 ],
-                options: vec![("analyzer".to_string(), "direct".to_string())],
+                options: vec![
+                    ("analyzer".to_string(), "direct".to_string()),
+                    ("domain".to_string(), self.domain.name().to_string()),
+                ],
                 spans: spans
                     .as_ref()
                     .map(|(rec, _)| rec.snapshot())
@@ -560,6 +624,7 @@ impl DirectAnalyzer {
                 engine: None,
             }
         });
+        let domain_stats = solver.domain.stats();
         Ok(DirectReport {
             preds: out,
             timings: PhaseTimings {
@@ -570,6 +635,9 @@ impl DirectAnalyzer {
             pairs: solver.results.len(),
             iterations: solver.iterations,
             metrics,
+            domain: self.domain,
+            domain_bytes: domain_stats.bytes,
+            bdd_nodes: domain_stats.nodes,
         })
     }
 }
@@ -770,5 +838,67 @@ mod tests {
         let report = DirectAnalyzer::new().analyze_source(APPEND).unwrap();
         assert!(report.pairs >= 1);
         assert!(report.timings.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn bdd_backend_matches_table_backend() {
+        let src = "
+            qs([], []).
+            qs([X|Xs], S) :- qs(Xs, S0), ins(X, S0, S).
+            ins(X, [], [X]).
+            ins(X, [Y|Ys], [X,Y|Ys]) :- X =< Y.
+            ins(X, [Y|Ys], [Y|Zs]) :- X > Y, ins(X, Ys, Zs).
+        ";
+        let table = DirectAnalyzer::new().analyze_source(src).unwrap();
+        let bdd = DirectAnalyzer {
+            domain: DomainKind::Bdd,
+            ..DirectAnalyzer::new()
+        }
+        .analyze_source(src)
+        .unwrap();
+        for d in table.predicates() {
+            let b = bdd.output_groundness(&d.name, d.arity).unwrap();
+            assert_eq!(d.prop, b.prop, "{}/{}", d.name, d.arity);
+            assert_eq!(d.definitely_ground, b.definitely_ground);
+        }
+        assert_eq!(table.domain, DomainKind::Table);
+        assert_eq!(bdd.domain, DomainKind::Bdd);
+        assert_eq!((table.bdd_nodes, table.domain_bytes), (0, 0));
+        assert!(bdd.bdd_nodes > 0);
+        assert!(bdd.domain_bytes > 0);
+    }
+
+    #[test]
+    fn bdd_explain_matches_table_explain() {
+        let program = parse_program(APPEND).unwrap();
+        let t = DirectAnalyzer::new()
+            .explain(&program, "app(g, g, f)")
+            .unwrap();
+        let b = DirectAnalyzer {
+            domain: DomainKind::Bdd,
+            ..DirectAnalyzer::new()
+        }
+        .explain(&program, "app(g, g, f)")
+        .unwrap();
+        assert_eq!(t.rows, b.rows);
+        assert_eq!(t.clauses.len(), b.clauses.len());
+        for (tc, bc) in t.clauses.iter().zip(&b.clauses) {
+            assert_eq!((tc.clause_index, &tc.rows), (bc.clause_index, &bc.rows));
+        }
+    }
+
+    #[test]
+    fn metrics_record_the_domain_backend() {
+        let analyzer = DirectAnalyzer {
+            profile: true,
+            domain: DomainKind::Bdd,
+            ..DirectAnalyzer::new()
+        };
+        let report = analyzer.analyze_source(APPEND).unwrap();
+        let metrics = report.metrics.expect("profiled");
+        assert!(metrics
+            .options
+            .iter()
+            .any(|(k, v)| k == "domain" && v == "bdd"));
     }
 }

@@ -16,6 +16,7 @@ use crate::explain::AnalysisExplanation;
 use crate::pipeline::{PhaseTimings, Timer};
 use crate::prop::PropTable;
 use std::collections::BTreeMap;
+use tablog_domain::{value_from_partial_rows, AbstractDomain, BddDomain, DomainKind, TableDomain};
 use tablog_engine::{Database, Engine, EngineOptions, LoadMode, TableStats};
 use tablog_magic::Rule;
 use tablog_syntax::{parse_program, Program};
@@ -118,6 +119,16 @@ pub struct GroundnessReport {
     pub timings: PhaseTimings,
     /// Engine statistics, including table space.
     pub stats: TableStats,
+    /// Prop-domain backend the collection phase ran on (from
+    /// [`EngineOptions::domain`]).
+    pub domain: DomainKind,
+    /// Backend-private bytes — the BDD manager's arena and memo tables
+    /// under [`DomainKind::Bdd`], 0 under the enumerative backend (whose
+    /// tables are charged through the engine's accounting already).
+    pub domain_bytes: usize,
+    /// Live BDD nodes allocated during collection (0 under
+    /// [`DomainKind::Table`]).
+    pub bdd_nodes: usize,
     /// Per-predicate engine metrics; present iff the analyzer's
     /// [`profile`](GroundnessAnalyzer::profile) flag was set. Predicate
     /// keys are the abstract program's (`gp$p/n`, `$ga/0`).
@@ -135,9 +146,11 @@ impl GroundnessReport {
         self.preds.values()
     }
 
-    /// Total table space in bytes (the paper's last column).
+    /// Total table space in bytes (the paper's last column), including any
+    /// backend-private memory so `--domain bdd` runs account the manager
+    /// arena alongside the engine's tables.
     pub fn table_bytes(&self) -> usize {
-        self.stats.table_bytes
+        self.stats.table_bytes + self.domain_bytes
     }
 }
 
@@ -315,6 +328,12 @@ impl GroundnessAnalyzer {
 
         // --- Collection: walk the tables. ---
         spans.enter("collection");
+        let domain = self.options.domain;
+        // One backend instance for the whole report: under the BDD backend
+        // every predicate's formula shares (and hash-conses into) a single
+        // manager, which is also the unit of memory attribution.
+        let mut table_backend = TableDomain;
+        let mut bdd_backend = BddDomain::new();
         let mut out = BTreeMap::new();
         for (&(name, arity), _) in preds.iter() {
             let f = gp_functor(name, arity);
@@ -335,7 +354,13 @@ impl GroundnessAnalyzer {
                     !success_rows.is_empty() && success_rows.iter().all(|r| r[i] == Some(true))
                 })
                 .collect();
-            let prop = rows_to_prop(arity, &success_rows);
+            let prop = rows_to_prop(
+                domain,
+                &mut table_backend,
+                &mut bdd_backend,
+                arity,
+                &success_rows,
+            );
             out.insert(
                 (sym_name(name), arity),
                 PredGroundness {
@@ -348,6 +373,10 @@ impl GroundnessAnalyzer {
                 },
             );
         }
+        let domain_stats = match domain {
+            DomainKind::Table => table_backend.stats(),
+            DomainKind::Bdd => bdd_backend.stats(),
+        };
         spans.exit();
         let collection = timer.lap();
 
@@ -361,13 +390,16 @@ impl GroundnessAnalyzer {
                 &r,
                 &timings,
                 engine.options().describe(),
-                Some(crate::profile::engine_snapshot(&eval)),
+                Some(crate::profile::engine_snapshot(&eval, domain)),
             )
         });
         Ok(GroundnessReport {
             preds: out,
             timings,
             stats: eval.stats(),
+            domain,
+            domain_bytes: domain_stats.bytes,
+            bdd_nodes: domain_stats.nodes,
             metrics,
         })
     }
@@ -415,35 +447,29 @@ fn tuple_to_row(args: &[Term]) -> Vec<Option<bool>> {
         .collect()
 }
 
-fn rows_to_prop(arity: usize, rows: &[Vec<Option<bool>>]) -> PropTable {
-    let mut t = PropTable::bottom(arity.min(crate::prop::MAX_VARS));
+/// Builds the output-groundness formula from the table's partial success
+/// rows on the selected backend and exports it as a truth table. Both
+/// backends go through [`value_from_partial_rows`], so they see identical
+/// inputs; the enumerative path yields exactly the bitset the
+/// pre-domain-layer code computed.
+fn rows_to_prop(
+    domain: DomainKind,
+    table_backend: &mut TableDomain,
+    bdd_backend: &mut BddDomain,
+    arity: usize,
+    rows: &[Vec<Option<bool>>],
+) -> PropTable {
     if arity > crate::prop::MAX_VARS {
-        return t; // arity beyond table capacity: report empty formula
+        // Arity beyond truth-table capacity: report the empty formula.
+        return PropTable::bottom(crate::prop::MAX_VARS);
     }
-    for row in rows {
-        // Expand unconstrained entries to both values.
-        let free: Vec<usize> = row
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.is_none())
-            .map(|(i, _)| i)
-            .collect();
-        for mask in 0u64..(1u64 << free.len()) {
-            let bools: Vec<bool> = row
-                .iter()
-                .enumerate()
-                .map(|(i, v)| match v {
-                    Some(b) => *b,
-                    None => {
-                        let pos = free.iter().position(|&j| j == i).expect("free var");
-                        mask & (1 << pos) != 0
-                    }
-                })
-                .collect();
-            t = t.or(&PropTable::from_rows(arity, &[bools]));
+    match domain {
+        DomainKind::Table => value_from_partial_rows(table_backend, arity, rows),
+        DomainKind::Bdd => {
+            let v = value_from_partial_rows(bdd_backend, arity, rows);
+            bdd_backend.to_table(&v)
         }
     }
-    t
 }
 
 /// Transformation state for one clause.
@@ -880,6 +906,26 @@ mod tests {
                 .definitely_ground,
             vec![true]
         );
+    }
+
+    #[test]
+    fn bdd_backend_matches_table_backend() {
+        let table = GroundnessAnalyzer::new().analyze_source(APPEND).unwrap();
+        let mut a = GroundnessAnalyzer::new();
+        a.options.domain = DomainKind::Bdd;
+        let bdd = a.analyze_source(APPEND).unwrap();
+        assert_eq!(table.domain, DomainKind::Table);
+        assert_eq!(bdd.domain, DomainKind::Bdd);
+        let gt = table.output_groundness("app", 3).unwrap();
+        let gb = bdd.output_groundness("app", 3).unwrap();
+        assert_eq!(gt.prop, gb.prop);
+        assert_eq!(gt.definitely_ground, gb.definitely_ground);
+        // The table backend charges nothing beyond the engine's tables;
+        // the BDD backend accounts its manager.
+        assert_eq!(table.domain_bytes, 0);
+        assert_eq!(table.bdd_nodes, 0);
+        assert!(bdd.bdd_nodes > 0);
+        assert!(bdd.table_bytes() > bdd.stats.table_bytes);
     }
 
     #[test]

@@ -73,11 +73,17 @@ impl PhaseSpans {
     }
 }
 
-/// The evaluation's global counters, in report form.
-pub(crate) fn engine_snapshot(eval: &Evaluation) -> EngineSnapshot {
+/// The evaluation's global counters, in report form, stamped with the
+/// Prop-domain backend the analysis ran on (so saved reports are
+/// self-describing the same way they are for the scheduler).
+pub(crate) fn engine_snapshot(
+    eval: &Evaluation,
+    domain: tablog_domain::DomainKind,
+) -> EngineSnapshot {
     let s = eval.stats();
     EngineSnapshot {
         scheduler: eval.scheduler().to_string(),
+        domain: domain.name().to_owned(),
         steps: s.steps as u64,
         clause_resolutions: s.clause_resolutions as u64,
         subgoals: s.subgoals as u64,

@@ -310,7 +310,7 @@ impl StrictnessAnalyzer {
                 &r,
                 &timings,
                 engine.options().describe(),
-                Some(crate::profile::engine_snapshot(&eval)),
+                Some(crate::profile::engine_snapshot(&eval, self.options.domain)),
             )
         });
         Ok(StrictnessReport {

@@ -1,0 +1,382 @@
+//! The Prop domain's enumerative representation: boolean functions as
+//! truth-table bitsets.
+//!
+//! The paper (Section 3.1, following Codish & Demoen) represents a boolean
+//! formula by its *success set* — the set of variable assignments satisfying
+//! it. [`PropTable`] is that set as a bitset over `2^nvars` rows: row `r`
+//! has variable `i` true iff bit `i` of `r` is set. The operations are the
+//! ones Prop-domain groundness needs: conjunction, disjunction,
+//! biconditional constraints `x ⇔ y1 ∧ … ∧ yk`, existential projection and
+//! permutation — plus conversions to rows and to BDDs for cross-checking
+//! the two representations.
+
+use tablog_bdd::{Bdd, BddManager};
+
+/// Maximum variable count; `2^MAX_VARS` bits is the table size.
+pub const MAX_VARS: usize = 26;
+
+/// A boolean function over `nvars` variables, represented by its truth
+/// table (success set).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PropTable {
+    nvars: usize,
+    bits: Vec<u64>,
+}
+
+fn words(nvars: usize) -> usize {
+    (1usize << nvars).div_ceil(64)
+}
+
+impl PropTable {
+    /// The always-true function (full success set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > MAX_VARS`.
+    pub fn top(nvars: usize) -> Self {
+        assert!(nvars <= MAX_VARS, "PropTable over {nvars} variables");
+        let n = 1usize << nvars;
+        let mut bits = vec![u64::MAX; words(nvars)];
+        // Clear the padding bits of the last word.
+        let rem = n % 64;
+        if rem != 0 {
+            *bits.last_mut().expect("at least one word") = (1u64 << rem) - 1;
+        }
+        PropTable { nvars, bits }
+    }
+
+    /// The always-false function (empty success set).
+    pub fn bottom(nvars: usize) -> Self {
+        assert!(nvars <= MAX_VARS, "PropTable over {nvars} variables");
+        PropTable {
+            nvars,
+            bits: vec![0; words(nvars)],
+        }
+    }
+
+    /// Builds a table from explicit rows (each of length `nvars`).
+    pub fn from_rows(nvars: usize, rows: &[Vec<bool>]) -> Self {
+        let mut t = PropTable::bottom(nvars);
+        for row in rows {
+            let mut idx = 0usize;
+            for (i, &b) in row.iter().enumerate() {
+                if b {
+                    idx |= 1 << i;
+                }
+            }
+            t.set(idx);
+        }
+        t
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.nvars
+    }
+
+    fn get(&self, row: usize) -> bool {
+        self.bits[row / 64] & (1 << (row % 64)) != 0
+    }
+
+    fn set(&mut self, row: usize) {
+        self.bits[row / 64] |= 1 << (row % 64);
+    }
+
+    /// Number of satisfying rows.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no row satisfies.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// The satisfying rows, each as a `Vec<bool>` of length `nvars`.
+    pub fn rows(&self) -> Vec<Vec<bool>> {
+        (0..(1usize << self.nvars))
+            .filter(|&r| self.get(r))
+            .map(|r| (0..self.nvars).map(|i| r & (1 << i) != 0).collect())
+            .collect()
+    }
+
+    /// Pointwise conjunction (set intersection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn and(&self, other: &PropTable) -> PropTable {
+        assert_eq!(self.nvars, other.nvars, "PropTable arity mismatch");
+        PropTable {
+            nvars: self.nvars,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Pointwise disjunction (set union) — the Prop LUB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn or(&self, other: &PropTable) -> PropTable {
+        assert_eq!(self.nvars, other.nvars, "PropTable arity mismatch");
+        PropTable {
+            nvars: self.nvars,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Keeps only rows satisfying `x ⇔ y1 ∧ … ∧ yk` — the constraint the
+    /// paper writes `iff(X, Y1, …, Yk)`.
+    pub fn constrain_iff(&self, x: usize, ys: &[usize]) -> PropTable {
+        let mut out = PropTable::bottom(self.nvars);
+        for r in 0..(1usize << self.nvars) {
+            if !self.get(r) {
+                continue;
+            }
+            let and = ys.iter().all(|&y| r & (1 << y) != 0);
+            if (r & (1 << x) != 0) == and {
+                out.set(r);
+            }
+        }
+        out
+    }
+
+    /// Keeps only rows where variable `v` has the given value.
+    pub fn constrain_value(&self, v: usize, value: bool) -> PropTable {
+        let mut out = PropTable::bottom(self.nvars);
+        for r in 0..(1usize << self.nvars) {
+            if self.get(r) && ((r & (1 << v) != 0) == value) {
+                out.set(r);
+            }
+        }
+        out
+    }
+
+    /// Existentially quantifies variable `v`: the result no longer depends
+    /// on `v` (both values allowed whenever either was).
+    pub fn exists(&self, v: usize) -> PropTable {
+        let mut out = PropTable::bottom(self.nvars);
+        for r in 0..(1usize << self.nvars) {
+            if self.get(r) {
+                out.set(r | (1 << v));
+                out.set(r & !(1 << v));
+            }
+        }
+        out
+    }
+
+    /// Projects onto `keep` (in the given order): existentially quantifies
+    /// everything else and renumbers; the result has `keep.len()` variables.
+    pub fn project(&self, keep: &[usize]) -> PropTable {
+        let mut out = PropTable::bottom(keep.len());
+        for r in 0..(1usize << self.nvars) {
+            if !self.get(r) {
+                continue;
+            }
+            let mut idx = 0usize;
+            for (new, &old) in keep.iter().enumerate() {
+                if r & (1 << old) != 0 {
+                    idx |= 1 << new;
+                }
+            }
+            out.set(idx);
+        }
+        out
+    }
+
+    /// Adds `extra` fresh, unconstrained variables after the current ones.
+    pub fn extend(&self, extra: usize) -> PropTable {
+        let n = self.nvars + extra;
+        assert!(n <= MAX_VARS, "PropTable over {n} variables");
+        let mut out = PropTable::bottom(n);
+        for r in 0..(1usize << n) {
+            if self.get(r & ((1 << self.nvars) - 1)) {
+                out.set(r);
+            }
+        }
+        out
+    }
+
+    /// Keeps only rows whose projection onto `positions` (in order) is a
+    /// satisfying row of `rel` — conjunction with a smaller-arity relation
+    /// embedded at those positions.
+    pub fn constrain_relation(&self, positions: &[usize], rel: &PropTable) -> PropTable {
+        assert_eq!(
+            positions.len(),
+            rel.num_vars(),
+            "position/relation arity mismatch"
+        );
+        let mut out = PropTable::bottom(self.nvars);
+        for r in 0..(1usize << self.nvars) {
+            if !self.get(r) {
+                continue;
+            }
+            let mut idx = 0usize;
+            for (new, &old) in positions.iter().enumerate() {
+                if r & (1 << old) != 0 {
+                    idx |= 1 << new;
+                }
+            }
+            if rel.get(idx) {
+                out.set(r);
+            }
+        }
+        out
+    }
+
+    /// `true` if variable `v` is true in every satisfying row *and* the
+    /// table is non-empty — "definitely ground" in the Prop reading.
+    pub fn definitely(&self, v: usize) -> bool {
+        !self.is_empty() && (0..(1usize << self.nvars)).all(|r| !self.get(r) || r & (1 << v) != 0)
+    }
+
+    /// `true` if `self`'s success set is contained in `other`'s.
+    pub fn subset_of(&self, other: &PropTable) -> bool {
+        assert_eq!(self.nvars, other.nvars, "PropTable arity mismatch");
+        self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Converts to a BDD over variables `0..nvars` in `m`.
+    pub fn to_bdd(&self, m: &mut BddManager) -> Bdd {
+        let bits: Vec<bool> = (0..(1usize << self.nvars)).map(|r| self.get(r)).collect();
+        m.from_truth_table(&bits, self.nvars as u32)
+    }
+
+    /// Builds a table from a BDD over variables `0..nvars`.
+    pub fn from_bdd(m: &BddManager, f: Bdd, nvars: usize) -> PropTable {
+        let bits = m.to_truth_table(f, nvars as u32);
+        let mut t = PropTable::bottom(nvars);
+        for (r, &b) in bits.iter().enumerate() {
+            if b {
+                t.set(r);
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_and_bottom_counts() {
+        assert_eq!(PropTable::top(3).count(), 8);
+        assert_eq!(PropTable::bottom(3).count(), 0);
+        assert_eq!(PropTable::top(0).count(), 1);
+        // 7 variables exercises the multi-bit path; 8 would not fit a word.
+        assert_eq!(PropTable::top(7).count(), 128);
+    }
+
+    #[test]
+    fn iff_constraint_is_the_papers_truth_table() {
+        // X ⇔ Y ∧ Z over (X=0, Y=1, Z=2): 4 rows.
+        let t = PropTable::top(3).constrain_iff(0, &[1, 2]);
+        assert_eq!(t.count(), 4);
+        let mut rows = t.rows();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                vec![false, false, false],
+                vec![false, false, true],
+                vec![false, true, false],
+                vec![true, true, true],
+            ]
+        );
+    }
+
+    #[test]
+    fn iff_with_empty_body_pins_true() {
+        let t = PropTable::top(2).constrain_iff(0, &[]);
+        assert_eq!(t.count(), 2);
+        assert!(t.definitely(0));
+        assert!(!t.definitely(1));
+    }
+
+    #[test]
+    fn and_or_are_set_ops() {
+        let a = PropTable::top(2).constrain_value(0, true);
+        let b = PropTable::top(2).constrain_value(1, true);
+        assert_eq!(a.and(&b).count(), 1);
+        assert_eq!(a.or(&b).count(), 3);
+    }
+
+    #[test]
+    fn exists_forgets_a_variable() {
+        let t = PropTable::top(2).constrain_value(0, true); // {10, 11}
+        let e = t.exists(0);
+        assert_eq!(e.count(), 4);
+        let e1 = t.exists(1);
+        assert_eq!(e1.count(), 2); // still constrains var 0
+        assert!(e1.definitely(0));
+    }
+
+    #[test]
+    fn project_reorders_and_drops() {
+        // Table over (A,B,C) with constraint A ⇔ B.
+        let t = PropTable::top(3).constrain_iff(0, &[1]);
+        let p = t.project(&[1, 0]); // (B, A)
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.count(), 2);
+        let mut rows = p.rows();
+        rows.sort();
+        assert_eq!(rows, vec![vec![false, false], vec![true, true]]);
+    }
+
+    #[test]
+    fn extend_adds_free_variables() {
+        let t = PropTable::top(1).constrain_value(0, true);
+        let e = t.extend(2);
+        assert_eq!(e.num_vars(), 3);
+        assert_eq!(e.count(), 4);
+        assert!(e.definitely(0));
+    }
+
+    #[test]
+    fn definitely_on_empty_is_false() {
+        assert!(!PropTable::bottom(2).definitely(0));
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let rows = vec![vec![true, false], vec![false, true]];
+        let t = PropTable::from_rows(2, &rows);
+        let mut got = t.rows();
+        got.sort();
+        let mut want = rows;
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn subset_check() {
+        let small = PropTable::top(2).constrain_value(0, true);
+        let big = PropTable::top(2);
+        assert!(small.subset_of(&big));
+        assert!(!big.subset_of(&small));
+    }
+
+    #[test]
+    fn bdd_round_trip_agrees() {
+        let t = PropTable::top(4)
+            .constrain_iff(0, &[1, 2])
+            .constrain_iff(3, &[0]);
+        let mut m = BddManager::new();
+        let f = t.to_bdd(&mut m);
+        let back = PropTable::from_bdd(&m, f, 4);
+        assert_eq!(t, back);
+        assert_eq!(m.sat_count(f, 4), t.count() as u128);
+    }
+}

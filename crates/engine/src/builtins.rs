@@ -403,23 +403,22 @@ fn between(b: &Bindings, a: &[Term]) -> Result<Vec<Vec<Term>>, EngineError> {
 
 /// The `$iff/N` builtin: `$iff(X, Y1…Yk)` succeeds for every boolean row
 /// with `X = Y1 ∧ … ∧ Yk`, enumerating only rows consistent with bound
-/// arguments.
+/// arguments. The enumeration itself lives in the shared domain layer
+/// ([`tablog_domain::iff_rows`]), which also enforces the
+/// [`tablog_domain::MAX_IFF_FREE_VARS`] cap: a call with more free `Y`s
+/// than that fails with [`EngineError::BadArgs`] instead of materialising
+/// `2^k` rows.
 fn iff(b: &Bindings, a: &[Term]) -> Result<Vec<Vec<Term>>, EngineError> {
-    #[derive(Clone, Copy, PartialEq)]
-    enum V {
-        True,
-        False,
-        Free,
-    }
+    use tablog_domain::IffArg;
     let tru = atom("true");
     let fls = atom("false");
     let mut vals = Vec::with_capacity(a.len());
     for t in a {
         let w = b.walk(t);
         vals.push(match w {
-            Term::Var(_) => V::Free,
-            t if *t == tru => V::True,
-            t if *t == fls => V::False,
+            Term::Var(_) => IffArg::Free,
+            t if *t == tru => IffArg::True,
+            t if *t == fls => IffArg::False,
             other => {
                 return Err(EngineError::BadArgs(
                     "$iff",
@@ -428,36 +427,16 @@ fn iff(b: &Bindings, a: &[Term]) -> Result<Vec<Vec<Term>>, EngineError> {
             }
         });
     }
-    let k = a.len() - 1;
-    let free_ys: Vec<usize> = (1..=k).filter(|&i| vals[i] == V::Free).collect();
-    let mut rows = Vec::new();
-    // Enumerate assignments to the unbound Y's.
-    for mask in 0u64..(1u64 << free_ys.len()) {
-        let mut row = vec![true; a.len()];
-        for i in 1..=k {
-            row[i] = match vals[i] {
-                V::True => true,
-                V::False => false,
-                V::Free => {
-                    let pos = free_ys.iter().position(|&j| j == i).expect("free index");
-                    mask & (1 << pos) != 0
-                }
-            };
-        }
-        let and = row[1..].iter().all(|&v| v);
-        match vals[0] {
-            V::True if !and => continue,
-            V::False if and => continue,
-            _ => {}
-        }
-        row[0] = and;
-        rows.push(
+    let rows = tablog_domain::iff_rows(&vals)
+        .map_err(|overflow| EngineError::BadArgs("$iff", overflow.to_string()))?;
+    Ok(rows
+        .into_iter()
+        .map(|row| {
             row.into_iter()
                 .map(|v| if v { tru.clone() } else { fls.clone() })
-                .collect(),
-        );
-    }
-    Ok(rows)
+                .collect()
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -595,6 +574,28 @@ mod tests {
     fn iff_rejects_non_boolean() {
         let b = Bindings::new();
         assert!(iff(&b, &[atom("zzz")]).is_err());
+    }
+
+    #[test]
+    fn iff_caps_free_variable_enumeration() {
+        // One free Y past the cap: a proper error, not 2^17 rows.
+        let mut b = Bindings::new();
+        let over = tablog_domain::MAX_IFF_FREE_VARS + 1;
+        let mut args = vec![var(b.fresh_var())];
+        for _ in 0..over {
+            args.push(var(b.fresh_var()));
+        }
+        let err = iff(&b, &args).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cap"), "{msg}");
+        assert!(msg.contains("$iff"), "{msg}");
+        // Binding the Ys brings the same arity back under the cap: only
+        // free Ys count, the head never does.
+        for a in args.iter_mut().skip(1) {
+            *a = atom("true");
+        }
+        let rows = iff(&b, &args).unwrap();
+        assert_eq!(rows.len(), 1);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
+use tablog_domain::DomainKind;
 use tablog_term::{CanonicalTerm, TermArena};
 use tablog_trace::TraceSink;
 
@@ -92,6 +93,12 @@ pub struct EngineOptions {
     /// Worker-thread count for [`Scheduling::Parallel`] (0 = one worker per
     /// available core). Ignored by the sequential strategies.
     pub threads: usize,
+    /// Which Prop-domain backend analyses built on this engine should run
+    /// on (truth tables or ROBDDs). The engine itself only records the
+    /// choice — the analyzers in `tablog-core` read it back — but carrying
+    /// it here makes every report and snapshot self-describing, like
+    /// `scheduling`.
+    pub domain: DomainKind,
     /// Unify with occur check everywhere (needed by analyses that solve
     /// equality constraints, cf. Section 6.1's Hindley–Milner discussion).
     pub occur_check: bool,
@@ -174,6 +181,7 @@ impl EngineOptions {
                     _ => "n/a".to_owned(),
                 },
             ),
+            ("domain".to_owned(), self.domain.name().to_owned()),
             ("occur_check".to_owned(), on_off(self.occur_check)),
             (
                 "forward_subsumption".to_owned(),
@@ -240,6 +248,7 @@ impl fmt::Debug for EngineOptions {
         f.debug_struct("EngineOptions")
             .field("scheduling", &self.scheduling)
             .field("threads", &self.threads)
+            .field("domain", &self.domain)
             .field("occur_check", &self.occur_check)
             .field("forward_subsumption", &self.forward_subsumption)
             .field("call_abstraction", &self.call_abstraction.is_some())
@@ -287,6 +296,15 @@ mod tests {
         };
         let kv = opts.describe();
         assert!(kv.contains(&("scheduling".to_owned(), "batched".to_owned())));
+        // The active Prop-domain backend is part of the header too.
+        assert!(kv.contains(&("domain".to_owned(), "table".to_owned())));
+        let bdd = EngineOptions {
+            domain: DomainKind::Bdd,
+            ..Default::default()
+        };
+        assert!(bdd
+            .describe()
+            .contains(&("domain".to_owned(), "bdd".to_owned())));
     }
 
     #[test]

@@ -92,6 +92,10 @@ impl PredStats {
 pub struct EngineSnapshot {
     /// Scheduling strategy name (`depth_first`, `breadth_first`, `batched`).
     pub scheduler: String,
+    /// Prop-domain backend name (`table`, `bdd`) — the representation the
+    /// analysis manipulated its boolean formulae in. Empty when the
+    /// producer predates domain selection.
+    pub domain: String,
     /// Worklist steps executed.
     pub steps: u64,
     /// Program-clause resolution attempts.
@@ -110,9 +114,10 @@ impl EngineSnapshot {
     /// Renders the snapshot as a JSON object.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"scheduler\":\"{}\",\"steps\":{},\"clause_resolutions\":{},\
+            "{{\"scheduler\":\"{}\",\"domain\":\"{}\",\"steps\":{},\"clause_resolutions\":{},\
              \"subgoals\":{},\"answers\":{},\"duplicate_answers\":{},\"table_bytes\":{}}}",
             escape(&self.scheduler),
+            escape(&self.domain),
             self.steps,
             self.clause_resolutions,
             self.subgoals,
@@ -358,9 +363,14 @@ impl MetricsReport {
         if let Some(e) = &self.engine {
             let _ = writeln!(
                 out,
-                "engine: scheduler={} steps={} resolutions={} subgoals={} \
+                "engine: scheduler={} domain={} steps={} resolutions={} subgoals={} \
                  answers={} duplicates={} table_bytes={}",
                 e.scheduler,
+                if e.domain.is_empty() {
+                    "table"
+                } else {
+                    &e.domain
+                },
                 e.steps,
                 e.clause_resolutions,
                 e.subgoals,

@@ -56,6 +56,10 @@
 //! * `--scheduler S` — SLG scheduling strategy for engine-backed commands:
 //!   `depth-first` (default), `breadth-first`, `batched`, or `parallel`
 //!   (one query evaluated across several worker threads; see `--threads`).
+//! * `--domain D` — Prop-domain backend for the groundness analyses:
+//!   `table` (default; enumerative truth tables) or `bdd` (hash-consed
+//!   BDDs). Both compute identical results; they trade memory/time
+//!   differently. Recorded in `stats`/`--profile` reports either way.
 //! * `--threads N` — worker-thread count for `--scheduler parallel`
 //!   (default: one per available core). Ignored by the sequential
 //!   strategies.
@@ -75,6 +79,7 @@ use tablog_core::depthk::DepthKAnalyzer;
 use tablog_core::direct::DirectAnalyzer;
 use tablog_core::groundness::{EntryPoint, GroundnessAnalyzer};
 use tablog_core::strictness::StrictnessAnalyzer;
+use tablog_domain::DomainKind;
 use tablog_engine::{
     Engine, EngineOptions, HealthConfig, HealthSnapshot, HealthTrack, JsonLinesSink, LoadMode,
     MetricsRegistry, MetricsReport, MultiSink, Scheduling, TraceSink,
@@ -109,9 +114,10 @@ fn usage() -> String {
      forest  FILE GOAL [--dot OUT]\n\
      ground|depthk accept multiple FILEs; --jobs N analyzes them concurrently\n\
      global flags: --profile  --json  --trace FILE  --scheduler S  --threads N\n\
-                   --jobs N  --progress\n\
+                   --jobs N  --progress  --domain D\n\
      --scheduler: depth-first (default) | breadth-first | batched | parallel\n\
      --threads N: workers for --scheduler parallel (default: one per core)\n\
+     --domain: table (default) | bdd  (Prop backend for groundness analyses)\n\
      see `tablog help` or the crate documentation"
         .to_owned()
 }
@@ -143,10 +149,14 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 }
 
 /// The engine's whole-evaluation counters, for embedding in reports.
-fn engine_snapshot(eval: &tablog_engine::Evaluation) -> tablog_trace::EngineSnapshot {
+fn engine_snapshot(
+    eval: &tablog_engine::Evaluation,
+    domain: DomainKind,
+) -> tablog_trace::EngineSnapshot {
     let s = eval.stats();
     tablog_trace::EngineSnapshot {
         scheduler: eval.scheduler().to_string(),
+        domain: domain.name().to_owned(),
         steps: s.steps as u64,
         clause_resolutions: s.clause_resolutions as u64,
         subgoals: s.subgoals as u64,
@@ -229,6 +239,8 @@ struct Obs {
     threads: usize,
     /// Worker threads for multi-file analysis commands.
     jobs: usize,
+    /// Prop-domain backend for the groundness analyses.
+    domain: DomainKind,
 }
 
 impl Obs {
@@ -279,6 +291,7 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
     let mut scheduling = Scheduling::default();
     let mut threads = 0usize;
     let mut jobs = 1usize;
+    let mut domain = DomainKind::default();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -292,6 +305,10 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
             "--scheduler" => {
                 let s = it.next().ok_or("--scheduler requires a strategy name")?;
                 scheduling = s.parse()?;
+            }
+            "--domain" => {
+                let d = it.next().ok_or("--domain requires a backend name")?;
+                domain = d.parse()?;
             }
             "--threads" => {
                 let n = it.next().ok_or("--threads requires a worker count")?;
@@ -337,6 +354,7 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
             scheduling,
             threads,
             jobs,
+            domain,
         },
     ))
 }
@@ -400,6 +418,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 trace: obs.engine_sink(registry.as_ref()),
                 scheduling: obs.scheduling,
                 threads: obs.threads,
+                domain: obs.domain,
                 health: obs.health,
                 ..Default::default()
             };
@@ -456,6 +475,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 trace: obs.engine_sink(Some(&registry)),
                 scheduling: obs.scheduling,
                 threads: obs.threads,
+                domain: obs.domain,
                 health: obs.health,
                 ..Default::default()
             };
@@ -470,7 +490,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             registry.record_phase("evaluate", t1.elapsed());
             let mut report = registry.snapshot();
             report.options = engine.options().describe();
-            report.engine = Some(engine_snapshot(&eval));
+            report.engine = Some(engine_snapshot(&eval, obs.domain));
             if obs.json {
                 println!("{}", report.to_json());
             } else {
@@ -485,6 +505,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 trace: obs.engine_sink(Some(&registry)),
                 scheduling: obs.scheduling,
                 threads: obs.threads,
+                domain: obs.domain,
                 record_spans: true,
                 health: obs.health,
                 ..Default::default()
@@ -500,7 +521,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             registry.record_phase("evaluate", t1.elapsed());
             let mut report = registry.snapshot();
             report.options = engine.options().describe();
-            report.engine = Some(engine_snapshot(&eval));
+            report.engine = Some(engine_snapshot(&eval, obs.domain));
 
             // Predicate -> SCC label, for the per-SCC span rollup. SCCs come
             // out reverse-topological, so the index orders callees first.
@@ -607,6 +628,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 trace: obs.engine_sink(Some(&registry)),
                 scheduling: obs.scheduling,
                 threads: obs.threads,
+                domain: obs.domain,
                 record_spans: true,
                 record_counters: counters,
                 health: obs.health,
@@ -682,6 +704,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 trace: Some(Arc::new(fan) as Arc<dyn TraceSink>),
                 scheduling: obs.scheduling,
                 threads: obs.threads,
+                domain: obs.domain,
                 health: Some(HealthConfig::every_ms(interval)),
                 max_steps,
                 deadline,
@@ -755,6 +778,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                         trace: obs.engine_sink(None),
                         scheduling: obs.scheduling,
                         threads: obs.threads,
+                        domain: obs.domain,
                         health: obs.health,
                         ..Default::default()
                     };
@@ -765,7 +789,9 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 }
                 Some("ground") => {
                     let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
-                    let ex = GroundnessAnalyzer::new()
+                    let mut an = GroundnessAnalyzer::new();
+                    an.options.domain = obs.domain;
+                    let ex = an
                         .explain(&program, goal, depth)
                         .map_err(|e| e.to_string())?;
                     emit(ex.render_text(), ex.to_json());
@@ -791,9 +817,9 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 }
                 Some("direct") => {
                     let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
-                    let ex = DirectAnalyzer::new()
-                        .explain(&program, goal)
-                        .map_err(|e| e.to_string())?;
+                    let mut an = DirectAnalyzer::new();
+                    an.domain = obs.domain;
+                    let ex = an.explain(&program, goal).map_err(|e| e.to_string())?;
                     emit(ex.render_text(), ex.to_json());
                 }
                 Some(other) => {
@@ -811,6 +837,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 trace: obs.engine_sink(None),
                 scheduling: obs.scheduling,
                 threads: obs.threads,
+                domain: obs.domain,
                 health: obs.health,
                 ..Default::default()
             };
@@ -858,6 +885,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                     let program = tablog_syntax::parse_program(&src).map_err(|e| e.to_string())?;
                     let mut an = DirectAnalyzer::new();
                     an.profile = obs.profile;
+                    an.domain = obs.domain;
                     an.analyze_with_entries(&program, &entries)
                         .map_err(|e| format!("{file}: {e}"))
                 });
@@ -881,6 +909,12 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                         report.iterations,
                         report.timings.total()
                     );
+                    if report.domain == DomainKind::Bdd {
+                        println!(
+                            "domain=bdd bdd_nodes={} domain_bytes={}B",
+                            report.bdd_nodes, report.domain_bytes
+                        );
+                    }
                     obs.print_metrics(report.metrics.as_ref());
                 }
             } else {
@@ -891,6 +925,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                     an.profile = obs.profile;
                     an.options.scheduling = obs.scheduling;
                     an.options.threads = obs.threads;
+                    an.options.domain = obs.domain;
                     an.options.trace = obs.engine_sink(None);
                     an.options.health = obs.health;
                     an.analyze_with_entries(&program, &entries)
@@ -916,6 +951,12 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                         report.timings.total(),
                         report.table_bytes()
                     );
+                    if report.domain == DomainKind::Bdd {
+                        println!(
+                            "domain=bdd bdd_nodes={} domain_bytes={}B",
+                            report.bdd_nodes, report.domain_bytes
+                        );
+                    }
                     obs.print_metrics(report.metrics.as_ref());
                 }
             }
