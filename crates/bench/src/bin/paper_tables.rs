@@ -328,17 +328,20 @@ fn main() -> ExitCode {
         };
         println!("\nParallel SLG: single-query fixpoint time at {n} worker(s) vs. sequential");
         println!(
-            "{:<12} {:>8} {:>12} {:>12} {:>8}",
-            "Program", "threads", "sequential", "parallel", "speedup"
+            "{:<12} {:>8} {:>12} {:>12} {:>8} {:>10} {:>6} {:>7}",
+            "Program", "threads", "sequential", "parallel", "speedup", "imbalance", "msgs", "idle%"
         );
         for r in &rows {
             println!(
-                "{:<12} {:>8} {:>10}ms {:>10}ms {:>8.2}",
+                "{:<12} {:>8} {:>10}ms {:>10}ms {:>8.2} {:>10.2} {:>6} {:>7.1}",
                 r.program,
                 r.threads,
                 ms(r.sequential),
                 ms(r.parallel),
-                r.speedup()
+                r.speedup(),
+                r.imbalance,
+                r.msgs_sent,
+                r.idle_pct
             );
         }
     }

@@ -133,6 +133,10 @@ pub struct GroundnessReport {
     /// [`profile`](GroundnessAnalyzer::profile) flag was set. Predicate
     /// keys are the abstract program's (`gp$p/n`, `$ga/0`).
     pub metrics: Option<MetricsReport>,
+    /// Per-worker load and message-flow attribution, `Some` exactly when
+    /// the analysis ran under the parallel scheduler (see
+    /// [`tablog_engine::ParallelReport`]).
+    pub parallel: Option<tablog_engine::ParallelReport>,
 }
 
 impl GroundnessReport {
@@ -401,6 +405,7 @@ impl GroundnessAnalyzer {
             domain_bytes: domain_stats.bytes,
             bdd_nodes: domain_stats.nodes,
             metrics,
+            parallel: eval.parallel_report().cloned(),
         })
     }
 }

@@ -134,6 +134,8 @@ impl Machine<'_> {
                             crate::parallel::Msg::Answer {
                                 token,
                                 args: args.clone(),
+                                from: par.me,
+                                flow: None,
                             },
                         );
                     }

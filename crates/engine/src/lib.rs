@@ -82,6 +82,7 @@ pub use error::EngineError;
 pub use explain::Explanation;
 pub use justify::{JustNode, JustStatus};
 pub use options::{EngineOptions, Scheduling, TermHook, Unknown};
+pub use parallel::{MsgEdge, ParallelReport, SccOwner, WorkerLoad};
 pub use provenance::{AnswerProv, AnswerRef, ClauseRef};
 pub use report::{TableReport, TableRow};
 pub use scheduler::{make_scheduler, Batched, BreadthFirst, DepthFirst, Scheduler, TaskClass};

@@ -205,6 +205,11 @@ impl<'e> Machine<'e> {
                 tables: self.subgoals.len(),
                 answers: self.stats.answers,
                 table_bytes: self.stats.table_bytes,
+                msgs_sent: self
+                    .par
+                    .as_ref()
+                    .map_or(0, |p| p.msgs_sent_total() as usize),
+                worker: self.par.as_ref().map(|p| p.me),
             });
         }
     }
@@ -424,6 +429,7 @@ impl<'e> Machine<'e> {
             scheduler: self.scheduler.name(),
             arena: std::mem::take(&mut self.arena),
             truncation,
+            parallel: None,
         })
     }
 
@@ -792,6 +798,7 @@ impl<'e> Machine<'e> {
                     call,
                     from: par.me,
                     token,
+                    flow: None,
                 },
             );
             return Ok(());

@@ -44,13 +44,15 @@ use crate::machine::Machine;
 use crate::options::EngineOptions;
 use crate::session::Evaluation;
 use crate::table::{SubgoalState, TableStats};
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 use tablog_term::{Bindings, Functor, Term, TermArena};
-use tablog_trace::{now_ns, HealthSnapshot, StallWatchdog, TraceEvent};
+use tablog_trace::{now_ns, FlowEvent, HealthSnapshot, MsgKind, StallWatchdog, TraceEvent};
 
 /// Cross-worker message. Terms are materialized (`Arc`-backed) so they are
 /// `Send`; the receiver re-canonicalizes them into its own arena.
@@ -65,10 +67,19 @@ pub(crate) enum Msg {
         call: Vec<Term>,
         from: usize,
         token: usize,
+        /// `(flow id, send timestamp)` when flow tracing is on; stamped by
+        /// [`ParCtx::send`], completed by the receiver into a [`FlowEvent`].
+        flow: Option<(u64, u64)>,
     },
     /// One answer (canonical argument tuple) for the remote wait `token`
-    /// registered by an earlier [`Msg::Call`].
-    Answer { token: usize, args: Vec<Term> },
+    /// registered by an earlier [`Msg::Call`], sent by worker `from`.
+    Answer {
+        token: usize,
+        args: Vec<Term>,
+        from: usize,
+        /// Flow metadata, as on [`Msg::Call`].
+        flow: Option<(u64, u64)>,
+    },
 }
 
 /// Sentinel for an SCC no worker has claimed yet.
@@ -101,6 +112,8 @@ pub(crate) struct ParShared {
     duplicates: AtomicUsize,
     tables: AtomicUsize,
     table_bytes: AtomicUsize,
+    /// Mints process-unique flow ids for traced cross-worker messages.
+    flow_ids: AtomicU64,
     /// Absolute wall-clock cutoff shared by every worker, precomputed once
     /// so all workers agree on the deadline.
     deadline_ns: Option<u64>,
@@ -164,14 +177,53 @@ impl ParShared {
 }
 
 /// One worker's handle on the parallel run: its identity, the shared
-/// state, and a sender per peer.
+/// state, a sender per peer, and the worker-local message accounting the
+/// [`ParallelReport`] is assembled from after the join.
+///
+/// The message counters are [`Cell`]s because sends happen behind a shared
+/// borrow of the machine; they are strictly worker-local (the context
+/// never leaves its thread), so no synchronization is involved. Counting
+/// is always on in parallel mode — a few `Cell` adds per message — because
+/// the bench columns (`msgs_sent`, `imbalance`, `idle_pct`) need it;
+/// *flow* records, which take timestamps, stay gated behind span
+/// recording.
 pub(crate) struct ParCtx {
     pub(crate) me: usize,
     pub(crate) shared: Arc<ParShared>,
     senders: Vec<Sender<Msg>>,
+    /// Whether sends stamp flow metadata (span recording + a sink).
+    flows_on: bool,
+    /// Messages sent, per destination worker, by kind.
+    sent_calls: Vec<Cell<u64>>,
+    sent_answers: Vec<Cell<u64>>,
+    /// Messages received, per source worker, by kind, plus the
+    /// re-canonicalized payload bytes (receiver-side accounting).
+    recv_calls: Vec<Cell<u64>>,
+    recv_answers: Vec<Cell<u64>>,
+    recv_bytes: Vec<Cell<u64>>,
+    /// Completed flow records: the receiver holds both endpoints'
+    /// timestamps, so flows are recorded here, on the receiving side.
+    flows: RefCell<Vec<FlowEvent>>,
 }
 
 impl ParCtx {
+    fn new(me: usize, shared: Arc<ParShared>, senders: Vec<Sender<Msg>>, flows_on: bool) -> Self {
+        let threads = senders.len();
+        let zeros = || (0..threads).map(|_| Cell::new(0)).collect();
+        ParCtx {
+            me,
+            shared,
+            senders,
+            flows_on,
+            sent_calls: zeros(),
+            sent_answers: zeros(),
+            recv_calls: zeros(),
+            recv_answers: zeros(),
+            recv_bytes: zeros(),
+            flows: RefCell::new(Vec::new()),
+        }
+    }
+
     /// Accounts one locally enqueued task (called from [`Machine::push`]).
     pub(crate) fn on_enqueue(&self) {
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
@@ -183,6 +235,39 @@ impl ParCtx {
     fn finish_unit(&self) {
         if self.shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
             self.shared.done.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Total messages this worker has sent so far (both kinds, all
+    /// destinations) — the `msgs_sent` series of worker counter samples.
+    pub(crate) fn msgs_sent_total(&self) -> u64 {
+        self.sent_calls
+            .iter()
+            .chain(self.sent_answers.iter())
+            .map(Cell::get)
+            .sum()
+    }
+
+    /// Receiver-side accounting for one handled message: per-source
+    /// counters, payload bytes, and — when the sender stamped flow
+    /// metadata — the completed [`FlowEvent`].
+    fn on_receive(&self, kind: MsgKind, from: usize, bytes: usize, flow: Option<(u64, u64)>) {
+        let slot = match kind {
+            MsgKind::Call => &self.recv_calls[from],
+            MsgKind::Answer => &self.recv_answers[from],
+        };
+        slot.set(slot.get() + 1);
+        self.recv_bytes[from].set(self.recv_bytes[from].get() + bytes as u64);
+        if let Some((id, send_ns)) = flow {
+            self.flows.borrow_mut().push(FlowEvent {
+                id,
+                kind,
+                from,
+                to: self.me,
+                send_ns,
+                recv_ns: now_ns(),
+                bytes,
+            });
         }
     }
 
@@ -218,7 +303,23 @@ impl ParCtx {
     /// the done detector can never fire while a message is in flight. A
     /// send can only fail during shutdown (the receiver exited after a
     /// stop), in which case the message is moot and its unit is returned.
-    pub(crate) fn send(&self, to: usize, msg: Msg) {
+    ///
+    /// This is the single choke point every cross-worker message passes
+    /// through: it counts the send per (kind, destination) and, when flow
+    /// tracing is on, stamps the message with a fresh flow id and the send
+    /// timestamp.
+    pub(crate) fn send(&self, to: usize, mut msg: Msg) {
+        let (slot, flow) = match &mut msg {
+            Msg::Call { flow, .. } => (&self.sent_calls[to], flow),
+            Msg::Answer { flow, .. } => (&self.sent_answers[to], flow),
+        };
+        slot.set(slot.get() + 1);
+        if self.flows_on {
+            *flow = Some((
+                self.shared.flow_ids.fetch_add(1, Ordering::Relaxed),
+                now_ns(),
+            ));
+        }
         self.shared.pending.fetch_add(1, Ordering::SeqCst);
         self.shared.load[to].fetch_add(1, Ordering::Relaxed);
         if self.senders[to].send(msg).is_err() {
@@ -236,6 +337,7 @@ impl Machine<'_> {
                 call,
                 from,
                 token,
+                flow,
             } => {
                 // Re-canonicalize the wire terms into this arena: variant
                 // canonical form is arena-independent, so this is exactly
@@ -243,18 +345,42 @@ impl Machine<'_> {
                 // repeated remote calls the same way local calls dedup.
                 let empty = Bindings::new();
                 let key = self.arena.canonicalize(&empty, &call);
+                let bytes = self.arena.heap_bytes(&key);
+                let me = self.par.as_ref().expect("message implies parallel");
+                me.on_receive(MsgKind::Call, from, bytes, flow);
                 let sid = self.find_or_create_subgoal(pred, key)?;
                 // Back-fill, then register — both on this thread, so the
                 // remote consumer sees every answer exactly once.
                 for i in 0..self.subgoals[sid].answers.len() {
                     let args = self.arena.terms(&self.subgoals[sid].answers[i]);
                     let par = self.par.as_ref().expect("message implies parallel");
-                    par.send(from, Msg::Answer { token, args });
+                    par.send(
+                        from,
+                        Msg::Answer {
+                            token,
+                            args,
+                            from: par.me,
+                            flow: None,
+                        },
+                    );
                 }
                 self.subgoals[sid].remote_consumers.push((from, token));
                 Ok(())
             }
-            Msg::Answer { token, args } => {
+            Msg::Answer {
+                token,
+                args,
+                from,
+                flow,
+            } => {
+                // Intern the wire answer for byte accounting; the interning
+                // is hash-consed, so the delivery below re-canonicalizing
+                // the same tuple costs a lookup, not a second copy.
+                let empty = Bindings::new();
+                let ans = self.arena.canonicalize(&empty, &args);
+                let bytes = self.arena.heap_bytes(&ans);
+                let me = self.par.as_ref().expect("message implies parallel");
+                me.on_receive(MsgKind::Answer, from, bytes, flow);
                 let spans_on = self.spans.is_some();
                 if spans_on {
                     let pred = self.remote_waits[token].0;
@@ -303,6 +429,309 @@ impl Machine<'_> {
     }
 }
 
+/// Per-worker load attribution for one parallel run: where the worker's
+/// wall-clock went and how much table/message work it did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerLoad {
+    /// Worker index (0-based; worker 0 seeds the `$query` root).
+    pub worker: usize,
+    /// Time spent executing worklist tasks and handling messages.
+    pub busy_ns: u64,
+    /// Wall-clock neither busy nor blocked receiving: loop overhead and
+    /// spinning with an empty queue.
+    pub idle_ns: u64,
+    /// Time blocked in the bounded channel receive.
+    pub recv_wait_ns: u64,
+    /// Worklist tasks executed (this worker's share of `stats.steps`).
+    pub dispatches: u64,
+    /// Cross-worker messages sent (calls + answers, all destinations).
+    pub msgs_sent: u64,
+    /// Cross-worker messages received (calls + answers, all sources).
+    pub msgs_received: u64,
+    /// Call tables this worker owned at exit.
+    pub tables: usize,
+    /// Unique answers admitted into this worker's tables.
+    pub answers: usize,
+}
+
+impl WorkerLoad {
+    /// Total wall-clock the worker's loop was alive.
+    pub fn wall_ns(&self) -> u64 {
+        self.busy_ns + self.idle_ns + self.recv_wait_ns
+    }
+}
+
+/// One SCC of the call graph and the worker that claimed it (or `None`
+/// when no call ever touched the SCC, so it stayed unclaimed).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SccOwner {
+    /// SCC index, per [`Database::predicate_sccs`].
+    pub scc: usize,
+    /// Claiming worker, if any.
+    pub owner: Option<usize>,
+    /// Member predicates as `"name/arity"`, sorted.
+    pub preds: Vec<String>,
+}
+
+/// Message traffic over one directed worker pair, combining the sender's
+/// and the receiver's independent accounting. On a run that completes
+/// (no budget trip), sent and received totals agree per edge — the
+/// pending-work counter guarantees every in-flight message is handled
+/// before the done flag can rise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsgEdge {
+    /// Sending worker.
+    pub from: usize,
+    /// Receiving worker.
+    pub to: usize,
+    /// `Msg::Call`s counted at the send choke point.
+    pub calls_sent: u64,
+    /// `Msg::Answer`s counted at the send choke point.
+    pub answers_sent: u64,
+    /// `Msg::Call`s counted by the receiver.
+    pub calls_received: u64,
+    /// `Msg::Answer`s counted by the receiver.
+    pub answers_received: u64,
+    /// Re-canonicalized payload bytes, counted by the receiver.
+    pub bytes_received: u64,
+}
+
+/// Load-balance and message-flow attribution for one parallel evaluation:
+/// who owned which SCC, where each worker's time went, and what crossed
+/// between workers. Attached to the [`Evaluation`] of every
+/// `--scheduler parallel` run and surfaced by `tablog workers` and
+/// `stats --json`.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelReport {
+    /// Worker count the run actually used (0 in `EngineOptions::threads`
+    /// resolves to the core count before this is recorded).
+    pub threads: usize,
+    /// Per-worker load attribution, indexed by worker.
+    pub workers: Vec<WorkerLoad>,
+    /// SCC → owner map, indexed by SCC.
+    pub sccs: Vec<SccOwner>,
+    /// Directed worker pairs with any traffic, sorted by `(from, to)`.
+    pub edges: Vec<MsgEdge>,
+    /// Completed flow records (empty unless span recording was on).
+    pub flows: Vec<FlowEvent>,
+    /// The pending-work count observed after the workers joined: 0 for a
+    /// run that completed; a truncated run may abandon queued units.
+    pub pending_at_exit: usize,
+}
+
+impl ParallelReport {
+    /// Load imbalance: the busiest worker's busy time over the mean busy
+    /// time. 1.0 is a perfectly balanced run; `threads`-ish means one
+    /// worker did everything. 1.0 when nothing was measured.
+    pub fn imbalance(&self) -> f64 {
+        let busy: Vec<u64> = self.workers.iter().map(|w| w.busy_ns).collect();
+        let sum: u64 = busy.iter().sum();
+        if busy.is_empty() || sum == 0 {
+            return 1.0;
+        }
+        let mean = sum as f64 / busy.len() as f64;
+        *busy.iter().max().expect("nonempty") as f64 / mean
+    }
+
+    /// Share of total worker wall-clock not spent busy, as a percentage —
+    /// idle spinning plus receive waits.
+    pub fn idle_pct(&self) -> f64 {
+        let wall: u64 = self.workers.iter().map(|w| w.wall_ns()).sum();
+        if wall == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.workers.iter().map(|w| w.busy_ns).sum();
+        (wall - busy.min(wall)) as f64 * 100.0 / wall as f64
+    }
+
+    /// Total cross-worker messages sent.
+    pub fn msgs_sent_total(&self) -> u64 {
+        self.workers.iter().map(|w| w.msgs_sent).sum()
+    }
+
+    /// Renders the report as a JSON object. Flow records are summarized by
+    /// count (`flow_events`); the full records only ship in the Chrome
+    /// trace, where they become `ph:"s"/"f"` arrows.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"threads\":{},\"imbalance\":{:.3},\"idle_pct\":{:.1},\
+             \"msgs_sent\":{},\"pending_at_exit\":{},\"flow_events\":{}",
+            self.threads,
+            self.imbalance(),
+            self.idle_pct(),
+            self.msgs_sent_total(),
+            self.pending_at_exit,
+            self.flows.len()
+        );
+        s.push_str(",\"workers\":[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"worker\":{},\"busy_ns\":{},\"idle_ns\":{},\"recv_wait_ns\":{},\
+                 \"dispatches\":{},\"msgs_sent\":{},\"msgs_received\":{},\
+                 \"tables\":{},\"answers\":{}}}",
+                w.worker,
+                w.busy_ns,
+                w.idle_ns,
+                w.recv_wait_ns,
+                w.dispatches,
+                w.msgs_sent,
+                w.msgs_received,
+                w.tables,
+                w.answers
+            );
+        }
+        s.push_str("],\"sccs\":[");
+        for (i, o) in self.sccs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let owner = o.owner.map_or("null".to_string(), |w| w.to_string());
+            let preds: Vec<String> = o
+                .preds
+                .iter()
+                .map(|p| format!("\"{}\"", tablog_trace::json::escape(p)))
+                .collect();
+            let _ = write!(
+                s,
+                "{{\"scc\":{},\"owner\":{owner},\"preds\":[{}]}}",
+                o.scc,
+                preds.join(",")
+            );
+        }
+        s.push_str("],\"edges\":[");
+        for (i, e) in self.edges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"from\":{},\"to\":{},\"calls_sent\":{},\"answers_sent\":{},\
+                 \"calls_received\":{},\"answers_received\":{},\"bytes_received\":{}}}",
+                e.from,
+                e.to,
+                e.calls_sent,
+                e.answers_sent,
+                e.calls_received,
+                e.answers_received,
+                e.bytes_received
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Renders the report as fixed-width text (the `tablog workers` view).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "parallel run: {} workers, imbalance {:.2}, idle {:.1}%, {} messages",
+            self.threads,
+            self.imbalance(),
+            self.idle_pct(),
+            self.msgs_sent_total()
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10} {:>10} {:>10} {:>10} {:>6} {:>6} {:>7} {:>8}",
+            "worker",
+            "busy(ms)",
+            "idle(ms)",
+            "wait(ms)",
+            "tasks",
+            "sent",
+            "recvd",
+            "tables",
+            "answers"
+        );
+        for w in &self.workers {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>10} {:>6} {:>6} {:>7} {:>8}",
+                w.worker,
+                w.busy_ns as f64 / 1e6,
+                w.idle_ns as f64 / 1e6,
+                w.recv_wait_ns as f64 / 1e6,
+                w.dispatches,
+                w.msgs_sent,
+                w.msgs_received,
+                w.tables,
+                w.answers
+            );
+        }
+        if !self.sccs.is_empty() {
+            let _ = writeln!(out, "scc ownership:");
+            for o in &self.sccs {
+                let owner = o
+                    .owner
+                    .map_or("unclaimed".to_string(), |w| format!("worker {w}"));
+                let _ = writeln!(out, "  scc {}: {} — {}", o.scc, owner, o.preds.join(", "));
+            }
+        }
+        if !self.edges.is_empty() {
+            let _ = writeln!(out, "message matrix (from → to):");
+            for e in &self.edges {
+                let _ = writeln!(
+                    out,
+                    "  {} → {}: {} calls, {} answers, {} bytes",
+                    e.from, e.to, e.calls_sent, e.answers_sent, e.bytes_received
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Where one worker's loop spent its wall-clock, accumulated inside
+/// [`worker_loop`] (by `&mut` so the numbers survive an error exit).
+#[derive(Clone, Copy, Default)]
+struct WorkerTiming {
+    busy_ns: u64,
+    recv_wait_ns: u64,
+    wall_ns: u64,
+    dispatches: u64,
+}
+
+/// What one worker hands back besides its tables: timing, message
+/// matrices, and flow records, merged into the [`ParallelReport`].
+#[derive(Default)]
+struct WorkerTelemetry {
+    busy_ns: u64,
+    recv_wait_ns: u64,
+    wall_ns: u64,
+    dispatches: u64,
+    sent_calls: Vec<u64>,
+    sent_answers: Vec<u64>,
+    recv_calls: Vec<u64>,
+    recv_answers: Vec<u64>,
+    recv_bytes: Vec<u64>,
+    flows: Vec<FlowEvent>,
+}
+
+impl ParCtx {
+    /// Unwraps the worker-local accounting into plain data once the worker
+    /// loop has exited and the context is back on one thread for good.
+    fn into_telemetry(self, timing: WorkerTiming) -> WorkerTelemetry {
+        let unwrap = |v: Vec<Cell<u64>>| v.into_iter().map(Cell::into_inner).collect();
+        WorkerTelemetry {
+            busy_ns: timing.busy_ns,
+            recv_wait_ns: timing.recv_wait_ns,
+            wall_ns: timing.wall_ns,
+            dispatches: timing.dispatches,
+            sent_calls: unwrap(self.sent_calls),
+            sent_answers: unwrap(self.sent_answers),
+            recv_calls: unwrap(self.recv_calls),
+            recv_answers: unwrap(self.recv_answers),
+            recv_bytes: unwrap(self.recv_bytes),
+            flows: self.flows.into_inner(),
+        }
+    }
+}
+
 /// Counter values already published to the shared totals, per worker.
 #[derive(Default)]
 struct Published {
@@ -348,14 +777,24 @@ fn publish(m: &Machine<'_>, shared: &ParShared, p: &mut Published) {
 
 /// One worker's main loop: drain incoming messages, run local tasks, idle
 /// briefly when neither is available, exit on global completion or stop.
+///
+/// `timing` is accumulated in place (rather than returned) so the numbers
+/// survive an error exit: busy time brackets message handling and task
+/// dispatch, receive-wait time brackets the blocking receive, and the
+/// remainder of the wall-clock is idle spinning.
 fn worker_loop(
     m: &mut Machine<'_>,
     rx: &Receiver<Msg>,
     budgets_on: bool,
+    timing: &mut WorkerTiming,
 ) -> Result<(), EngineError> {
     let shared = m.par.as_ref().expect("worker has a context").shared.clone();
     let me = m.par.as_ref().expect("worker has a context").me;
     let mut published = Published::default();
+    let loop_start = now_ns();
+    let finish = |timing: &mut WorkerTiming| {
+        timing.wall_ns = now_ns().saturating_sub(loop_start);
+    };
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             break;
@@ -363,7 +802,13 @@ fn worker_loop(
         // Messages first: they are work other workers are waiting on.
         let mut handled = false;
         while let Ok(msg) = rx.try_recv() {
-            m.handle_msg(msg)?;
+            let t0 = now_ns();
+            let r = m.handle_msg(msg);
+            timing.busy_ns += now_ns().saturating_sub(t0);
+            if let Err(e) = r {
+                finish(timing);
+                return Err(e);
+            }
             shared.load[me].fetch_sub(1, Ordering::Relaxed);
             finish_unit(&shared);
             handled = true;
@@ -388,7 +833,14 @@ fn worker_loop(
                     break;
                 }
             }
-            m.step(task)?;
+            timing.dispatches += 1;
+            let t0 = now_ns();
+            let r = m.step(task);
+            timing.busy_ns += now_ns().saturating_sub(t0);
+            if let Err(e) = r {
+                finish(timing);
+                return Err(e);
+            }
             finish_unit(&shared);
             if m.counters_on {
                 m.sample_counters();
@@ -408,9 +860,18 @@ fn worker_loop(
         if handled {
             continue;
         }
-        match rx.recv_timeout(Duration::from_millis(1)) {
+        let t_wait = now_ns();
+        let received = rx.recv_timeout(Duration::from_millis(1));
+        timing.recv_wait_ns += now_ns().saturating_sub(t_wait);
+        match received {
             Ok(msg) => {
-                m.handle_msg(msg)?;
+                let t0 = now_ns();
+                let r = m.handle_msg(msg);
+                timing.busy_ns += now_ns().saturating_sub(t0);
+                if let Err(e) = r {
+                    finish(timing);
+                    return Err(e);
+                }
                 shared.load[me].fetch_sub(1, Ordering::Relaxed);
                 finish_unit(&shared);
                 publish(m, &shared, &mut published);
@@ -425,29 +886,55 @@ fn worker_loop(
     // trip reach their consumers (and the root) — the parallel analog of
     // the sequential settle pass. Stops caused by an error skip this.
     if shared.stop.load(Ordering::SeqCst) && shared.error.lock().unwrap().is_none() {
-        m.settle()?;
-        while let Ok(msg) = rx.try_recv() {
-            if let Msg::Answer { token, args } = msg {
-                m.deliver_remote_answer(token, &args)?;
-            }
-        }
-        // Expand exactly the pure inserts those deliveries scheduled
-        // (continuations with no goals left), then drop the rest — the
-        // same bound the sequential settle applies.
-        let mut continuations = Vec::new();
-        while let Some(task) = m.scheduler.pop() {
-            continuations.push(task);
-        }
-        for task in continuations {
-            if let crate::machine::Task::Expand(n) = task {
-                if m.arena.tuple_len(&n.canon) == n.split {
-                    m.expand(n)?;
-                }
-            }
-        }
-        while m.scheduler.pop().is_some() {}
+        let t0 = now_ns();
+        let settle = settle_worker(m, rx);
+        timing.busy_ns += now_ns().saturating_sub(t0);
+        settle?;
         publish(m, &shared, &mut published);
     }
+    finish(timing);
+    Ok(())
+}
+
+/// The parallel settle pass, split out of [`worker_loop`] so the whole
+/// thing sits under one busy-time bracket.
+fn settle_worker(m: &mut Machine<'_>, rx: &Receiver<Msg>) -> Result<(), EngineError> {
+    m.settle()?;
+    while let Ok(msg) = rx.try_recv() {
+        if let Msg::Answer {
+            token,
+            args,
+            from,
+            flow,
+        } = msg
+        {
+            // Same receiver-side accounting as the live path, so truncated
+            // runs still balance their message matrices for answers that
+            // made it across before the trip.
+            let empty = Bindings::new();
+            let ans = m.arena.canonicalize(&empty, &args);
+            let bytes = m.arena.heap_bytes(&ans);
+            if let Some(par) = m.par.as_ref() {
+                par.on_receive(MsgKind::Answer, from, bytes, flow);
+            }
+            m.deliver_remote_answer(token, &args)?;
+        }
+    }
+    // Expand exactly the pure inserts those deliveries scheduled
+    // (continuations with no goals left), then drop the rest — the
+    // same bound the sequential settle applies.
+    let mut continuations = Vec::new();
+    while let Some(task) = m.scheduler.pop() {
+        continuations.push(task);
+    }
+    for task in continuations {
+        if let crate::machine::Task::Expand(n) = task {
+            if m.arena.tuple_len(&n.canon) == n.split {
+                m.expand(n)?;
+            }
+        }
+    }
+    while m.scheduler.pop().is_some() {}
     Ok(())
 }
 
@@ -499,6 +986,7 @@ pub(crate) fn run_parallel(
         duplicates: AtomicUsize::new(0),
         tables: AtomicUsize::new(0),
         table_bytes: AtomicUsize::new(0),
+        flow_ids: AtomicU64::new(0),
         deadline_ns: opts
             .deadline
             .map(|d| start_ns.saturating_add(d.as_nanos() as u64)),
@@ -518,35 +1006,48 @@ pub(crate) fn run_parallel(
         txs.push(tx);
         rxs.push(rx);
     }
-    let results: Vec<(Vec<SubgoalState>, TermArena, TableStats)> = std::thread::scope(|scope| {
+    // Flow records take timestamps, so they stay gated exactly like spans;
+    // message *counting* (plain `Cell` adds) is always on — the bench
+    // columns need it and a run without it would be unexplainable anyway.
+    let flows_on = opts.record_spans && opts.trace.is_some();
+    type WorkerResult = (Vec<SubgoalState>, TermArena, TableStats, WorkerTelemetry);
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let worker_opts = &worker_opts;
         let mut handles = Vec::with_capacity(threads);
         for (me, rx) in rxs.into_iter().enumerate() {
-            let ctx = ParCtx {
-                me,
-                shared: shared.clone(),
-                senders: txs.clone(),
-            };
+            let ctx = ParCtx::new(me, shared.clone(), txs.clone(), flows_on);
             let shared = shared.clone();
             handles.push(scope.spawn(move || {
                 let mut m = Machine::new(db, worker_opts);
                 m.deadline_ns = shared.deadline_ns;
                 m.par = Some(ctx);
                 // Every worker roots its spans in a worker frame, so folded
-                // stacks and flamegraphs attribute time per worker.
+                // stacks and flamegraphs attribute time per worker — and
+                // tags the emitter so every span carries the worker id into
+                // its own Chrome trace lane.
+                if let Some(sp) = m.spans.as_mut() {
+                    sp.set_worker(me);
+                }
                 m.span_enter(&format!("worker_{me}"), None);
                 if me == 0 {
                     m.seed_root(goals, template, b0);
                 }
-                if let Err(e) = worker_loop(&mut m, &rx, budgets_on) {
+                let mut timing = WorkerTiming::default();
+                if let Err(e) = worker_loop(&mut m, &rx, budgets_on, &mut timing) {
                     shared.fail(e);
                 }
                 m.span_exit(); // worker_{me}
                 shared.finished.fetch_add(1, Ordering::SeqCst);
+                let telemetry = m
+                    .par
+                    .take()
+                    .map(|ctx| ctx.into_telemetry(timing))
+                    .unwrap_or_default();
                 (
                     std::mem::take(&mut m.subgoals),
                     std::mem::take(&mut m.arena),
                     m.stats,
+                    telemetry,
                 )
             }));
         }
@@ -596,7 +1097,100 @@ pub(crate) fn run_parallel(
         return Err(e);
     }
     let reason = shared.reason.lock().unwrap().take();
-    Ok(merge(results, reason, opts, start_ns))
+    let report = build_report(threads, db, &shared, &results);
+    Ok(merge(results, reason, opts, start_ns, report))
+}
+
+/// Assembles the [`ParallelReport`] from the joined workers' telemetry and
+/// the shared SCC-ownership state. Sender- and receiver-side counts are
+/// kept distinct per edge: on a clean run they agree, and a mismatch on a
+/// truncated run shows exactly which messages the trip abandoned.
+fn build_report(
+    threads: usize,
+    db: &Database,
+    shared: &ParShared,
+    results: &[(Vec<SubgoalState>, TermArena, TableStats, WorkerTelemetry)],
+) -> ParallelReport {
+    let mut workers = Vec::with_capacity(threads);
+    for (w, (wsubs, _, wstats, tel)) in results.iter().enumerate() {
+        workers.push(WorkerLoad {
+            worker: w,
+            busy_ns: tel.busy_ns,
+            idle_ns: tel.wall_ns.saturating_sub(tel.busy_ns + tel.recv_wait_ns),
+            recv_wait_ns: tel.recv_wait_ns,
+            dispatches: tel.dispatches,
+            msgs_sent: tel
+                .sent_calls
+                .iter()
+                .chain(&tel.sent_answers)
+                .copied()
+                .sum(),
+            msgs_received: tel
+                .recv_calls
+                .iter()
+                .chain(&tel.recv_answers)
+                .copied()
+                .sum(),
+            tables: wsubs.len(),
+            answers: wstats.answers,
+        });
+    }
+    let sccs = db
+        .predicate_sccs()
+        .iter()
+        .enumerate()
+        .map(|(i, scc)| {
+            let owner = match shared.scc_owner[i].load(Ordering::SeqCst) {
+                UNOWNED => None,
+                w => Some(w),
+            };
+            let mut preds: Vec<String> = scc.iter().map(|f| f.to_string()).collect();
+            preds.sort();
+            SccOwner {
+                scc: i,
+                owner,
+                preds,
+            }
+        })
+        .collect();
+    let mut edges = Vec::new();
+    for from in 0..threads {
+        for to in 0..threads {
+            let sender = &results[from].3;
+            let receiver = &results[to].3;
+            let e = MsgEdge {
+                from,
+                to,
+                calls_sent: sender.sent_calls[to],
+                answers_sent: sender.sent_answers[to],
+                calls_received: receiver.recv_calls[from],
+                answers_received: receiver.recv_answers[from],
+                bytes_received: receiver.recv_bytes[from],
+            };
+            if e.calls_sent
+                | e.answers_sent
+                | e.calls_received
+                | e.answers_received
+                | e.bytes_received
+                != 0
+            {
+                edges.push(e);
+            }
+        }
+    }
+    let mut flows: Vec<FlowEvent> = results
+        .iter()
+        .flat_map(|r| r.3.flows.iter().copied())
+        .collect();
+    flows.sort_by_key(|f| f.id);
+    ParallelReport {
+        threads,
+        workers,
+        sccs,
+        edges,
+        flows,
+        pending_at_exit: shared.pending.load(Ordering::SeqCst),
+    }
 }
 
 /// Merges the workers' tables and counters into one evaluation with a
@@ -605,16 +1199,17 @@ pub(crate) fn run_parallel(
 /// substitution factoring makes the merged byte totals order- and
 /// arena-independent (so they match a sequential run's exactly).
 fn merge(
-    results: Vec<(Vec<SubgoalState>, TermArena, TableStats)>,
+    results: Vec<(Vec<SubgoalState>, TermArena, TableStats, WorkerTelemetry)>,
     reason: Option<TruncationReason>,
     opts: &EngineOptions,
     start_ns: u64,
+    report: ParallelReport,
 ) -> Evaluation {
     let mut arena = TermArena::new();
     let mut subgoals = Vec::new();
     let mut stats = TableStats::default();
     let empty = Bindings::new();
-    for (wsubs, warena, wstats) in results {
+    for (wsubs, warena, wstats, _telemetry) in results {
         stats.steps += wstats.steps;
         stats.clause_resolutions += wstats.clause_resolutions;
         stats.subgoals += wstats.subgoals;
@@ -701,5 +1296,6 @@ fn merge(
         scheduler: "parallel",
         arena,
         truncation,
+        parallel: Some(report),
     }
 }

@@ -1,0 +1,235 @@
+//! Property tests for the parallel observatory's telemetry (PR 10).
+//!
+//! The load/message attribution in `ParallelReport` is accounting layered
+//! over the PR 8 message protocol, so it must obey conservation laws no
+//! matter how the racy SCC claiming distributes work: every message sent
+//! over an edge is received on that edge, the credit counter returns to
+//! zero, and turning the instrumentation on cannot change what the engine
+//! computes. These tests check those laws at several worker counts on the
+//! same cross-SCC fixtures the PR 8 stress tests use.
+
+use std::sync::Arc;
+use tablog_engine::{Engine, EngineOptions, Evaluation, LoadMode, MetricsRegistry, Scheduling};
+use tablog_term::Bindings;
+use tablog_trace::MsgKind;
+
+/// Several independent SCCs feeding a `join` layer (same shape as the
+/// PR 8 stress fixture): the joins force cross-worker answer streams.
+const CROSS_SCC: &str = "
+:- table path/2.
+:- table rpath/2.
+:- table apath/2.
+:- table join/2.
+path(X, Y) :- path(X, Z), edge(Z, Y).
+path(X, Y) :- edge(X, Y).
+rpath(X, Y) :- edge(Y, X).
+rpath(X, Y) :- rpath(X, Z), edge(Y, Z).
+apath(X, Y) :- path(X, Y).
+apath(X, Y) :- rpath(X, Y).
+join(X, Y) :- path(X, Z), rpath(Y, Z).
+join(X, Y) :- apath(X, Y), path(Y, X).
+edge(a, b). edge(b, c). edge(c, d). edge(d, a).
+edge(b, d). edge(d, b). edge(a, c).
+";
+
+/// A chain of strata so answers hop multiple workers before the root.
+const LAYERED: &str = "
+:- table t0/2.
+:- table t1/2.
+:- table t2/2.
+:- table t3/2.
+t0(X, Y) :- t0(X, Z), e(Z, Y).
+t0(X, Y) :- e(X, Y).
+t1(X, Y) :- t0(X, Y).
+t1(X, Y) :- t1(X, Z), t0(Z, Y).
+t2(X, Y) :- t1(Y, X).
+t3(X, Y) :- t1(X, Z), t2(Z, Y).
+e(n1, n2). e(n2, n3). e(n3, n4). e(n4, n5). e(n5, n1). e(n2, n5).
+";
+
+const FIXTURES: [(&str, &str); 2] = [(CROSS_SCC, "join(X, Y)"), (LAYERED, "t3(X, Y)")];
+
+/// Runs `goal` under the parallel scheduler. With `instrumented` the run
+/// records spans into a registry sink, which also switches flow-event
+/// capture on — exactly what `tablog timeline --scheduler parallel` does.
+fn run_parallel(src: &str, goal: &str, threads: usize, instrumented: bool) -> Evaluation {
+    let opts = if instrumented {
+        let registry = Arc::new(MetricsRegistry::new());
+        EngineOptions {
+            scheduling: Scheduling::Parallel,
+            threads,
+            trace: Some(registry as Arc<dyn tablog_trace::TraceSink>),
+            record_spans: true,
+            record_counters: true,
+            ..EngineOptions::default()
+        }
+    } else {
+        EngineOptions {
+            scheduling: Scheduling::Parallel,
+            threads,
+            ..EngineOptions::default()
+        }
+    };
+    let engine = Engine::from_source_with(src, LoadMode::Dynamic, opts).unwrap();
+    let mut b = Bindings::new();
+    let (g, _) = tablog_syntax::parse_term(goal, &mut b).unwrap();
+    engine.evaluate(&[g], &[], &b).unwrap()
+}
+
+/// Conservation: on every directed worker edge, the sender's send-side
+/// counts equal the receiver's receive-side counts — per message kind —
+/// and the credit counter is back at zero. Repeated because the SCC
+/// ownership race makes every run a different interleaving.
+#[test]
+fn message_accounting_balances_on_every_edge() {
+    for (src, goal) in FIXTURES {
+        for threads in [1usize, 2, 4] {
+            for rep in 0..10 {
+                let eval = run_parallel(src, goal, threads, false);
+                let report = eval.parallel_report().expect("parallel run has a report");
+                assert_eq!(report.threads, threads);
+                assert_eq!(
+                    report.pending_at_exit, 0,
+                    "completed run must drain all credits (threads={threads}, rep={rep})"
+                );
+                for e in &report.edges {
+                    assert_ne!(e.from, e.to, "local work never crosses an edge");
+                    assert_eq!(
+                        e.calls_sent, e.calls_received,
+                        "call loss/duplication on {}->{} (threads={threads}, rep={rep})",
+                        e.from, e.to
+                    );
+                    assert_eq!(
+                        e.answers_sent, e.answers_received,
+                        "answer loss/duplication on {}->{} (threads={threads}, rep={rep})",
+                        e.from, e.to
+                    );
+                }
+                // Per-worker totals are exactly the edge sums.
+                for w in &report.workers {
+                    let sent: u64 = report
+                        .edges
+                        .iter()
+                        .filter(|e| e.from == w.worker)
+                        .map(|e| e.calls_sent + e.answers_sent)
+                        .sum();
+                    let received: u64 = report
+                        .edges
+                        .iter()
+                        .filter(|e| e.to == w.worker)
+                        .map(|e| e.calls_received + e.answers_received)
+                        .sum();
+                    assert_eq!(w.msgs_sent, sent, "worker {} sent total", w.worker);
+                    assert_eq!(w.msgs_received, received, "worker {} recv total", w.worker);
+                }
+            }
+        }
+    }
+}
+
+/// A single worker exchanges no messages: the matrix is empty and every
+/// claimed SCC belongs to worker 0.
+#[test]
+fn single_worker_run_has_no_cross_traffic() {
+    let eval = run_parallel(CROSS_SCC, "join(X, Y)", 1, false);
+    let report = eval.parallel_report().unwrap();
+    assert!(report.edges.is_empty(), "{:?}", report.edges);
+    assert_eq!(report.msgs_sent_total(), 0);
+    assert!(report.flows.is_empty());
+    for scc in &report.sccs {
+        assert!(
+            scc.owner.is_none() || scc.owner == Some(0),
+            "SCC {} owned by {:?}",
+            scc.scc,
+            scc.owner
+        );
+    }
+}
+
+/// Observing the run must not change it: the deterministic outcome
+/// counters (subgoals, answers, table bytes) are identical with the full
+/// observatory on and with everything off, at every worker count.
+#[test]
+fn instrumentation_does_not_change_the_fixpoint() {
+    for (src, goal) in FIXTURES {
+        let baseline = run_parallel(src, goal, 1, false);
+        let want = (
+            baseline.stats().subgoals,
+            baseline.stats().answers,
+            baseline.stats().table_bytes,
+        );
+        for threads in [1usize, 2, 4] {
+            for instrumented in [false, true] {
+                let eval = run_parallel(src, goal, threads, instrumented);
+                let got = (
+                    eval.stats().subgoals,
+                    eval.stats().answers,
+                    eval.stats().table_bytes,
+                );
+                assert_eq!(
+                    got, want,
+                    "fixpoint drifted (threads={threads}, instrumented={instrumented})"
+                );
+            }
+        }
+    }
+}
+
+/// With span recording on, every delivered message leaves exactly one flow
+/// record, consistent with the per-edge counters: ids unique, timestamps
+/// ordered, and per-(edge, kind) flow counts equal the receive counts.
+#[test]
+fn flow_records_cover_every_delivered_message() {
+    for rep in 0..5 {
+        let eval = run_parallel(CROSS_SCC, "join(X, Y)", 4, true);
+        let report = eval.parallel_report().unwrap();
+        let delivered: u64 = report.workers.iter().map(|w| w.msgs_received).sum();
+        assert_eq!(
+            report.flows.len() as u64,
+            delivered,
+            "one flow per delivered message (rep={rep})"
+        );
+        let mut ids: Vec<u64> = report.flows.iter().map(|f| f.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), report.flows.len(), "flow ids are unique");
+        for f in &report.flows {
+            assert_ne!(f.from, f.to);
+            assert!(
+                f.send_ns <= f.recv_ns,
+                "flow {} delivered before it was sent",
+                f.id
+            );
+        }
+        for e in &report.edges {
+            let kind_count = |kind: MsgKind| {
+                report
+                    .flows
+                    .iter()
+                    .filter(|f| f.from == e.from && f.to == e.to && f.kind == kind)
+                    .count() as u64
+            };
+            assert_eq!(kind_count(MsgKind::Call), e.calls_received, "{e:?}");
+            assert_eq!(kind_count(MsgKind::Answer), e.answers_received, "{e:?}");
+        }
+    }
+}
+
+/// Wall-clock attribution is internally consistent: each worker's lane
+/// decomposes into busy + idle + receive-wait, and the derived summary
+/// statistics stay in their defined ranges.
+#[test]
+fn worker_timing_decomposes_and_summaries_are_sane() {
+    let eval = run_parallel(CROSS_SCC, "join(X, Y)", 4, false);
+    let report = eval.parallel_report().unwrap();
+    assert_eq!(report.workers.len(), 4);
+    for w in &report.workers {
+        assert_eq!(w.wall_ns(), w.busy_ns + w.idle_ns + w.recv_wait_ns);
+        assert!(w.busy_ns > 0 || w.dispatches == 0, "busy work left untimed");
+    }
+    assert!(report.imbalance() >= 1.0, "{}", report.imbalance());
+    let idle = report.idle_pct();
+    assert!((0.0..=100.0).contains(&idle), "{idle}");
+    let total: u64 = report.workers.iter().map(|w| w.msgs_sent).sum();
+    assert_eq!(report.msgs_sent_total(), total);
+}

@@ -1,0 +1,92 @@
+//! Cross-worker message-flow records: one [`FlowEvent`] per traced
+//! `Msg::Call` / `Msg::Answer` crossing between parallel workers.
+//!
+//! The parallel engine stamps each traced message with a process-unique
+//! flow id and a send timestamp on the sending worker; the receiving
+//! worker completes the record with its own receive timestamp and the
+//! re-canonicalized payload size. The Chrome exporter turns each record
+//! into a `ph:"s"` / `ph:"f"` flow-event pair, drawing an arrow from the
+//! sender's lane to the receiver's in a trace viewer.
+//!
+//! Flow tracing is gated exactly like spans (`record_spans` plus an
+//! installed sink): when off, messages carry no flow metadata and no
+//! timestamps are taken.
+
+use std::fmt;
+
+/// Which kind of cross-worker message a flow record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgKind {
+    /// A remote subgoal call forwarded to the owning worker.
+    Call,
+    /// An answer delivered back to a parked remote consumer.
+    Answer,
+}
+
+impl fmt::Display for MsgKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MsgKind::Call => "call",
+            MsgKind::Answer => "answer",
+        })
+    }
+}
+
+/// One completed cross-worker message flow, recorded on the receiving
+/// worker (which holds both endpoints' timestamps).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowEvent {
+    /// Process-unique flow id, shared by the Chrome `s`/`f` pair.
+    pub id: u64,
+    /// Message kind.
+    pub kind: MsgKind,
+    /// Sending worker.
+    pub from: usize,
+    /// Receiving worker.
+    pub to: usize,
+    /// Send timestamp on the [`crate::span::now_ns`] timeline.
+    pub send_ns: u64,
+    /// Receive timestamp on the same timeline.
+    pub recv_ns: u64,
+    /// Payload size: canonical bytes of the call or answer terms as
+    /// re-interned in the receiver's arena.
+    pub bytes: usize,
+}
+
+impl FlowEvent {
+    /// Renders the flow as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"kind\":\"{}\",\"from\":{},\"to\":{},\
+             \"send_ns\":{},\"recv_ns\":{},\"bytes\":{}}}",
+            self.id, self.kind, self.from, self.to, self.send_ns, self.recv_ns, self.bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_json_parses_with_every_field() {
+        let f = FlowEvent {
+            id: 9,
+            kind: MsgKind::Answer,
+            from: 1,
+            to: 0,
+            send_ns: 100,
+            recv_ns: 250,
+            bytes: 48,
+        };
+        let v = crate::json::parse(&f.to_json()).expect("valid JSON");
+        assert_eq!(v.get("id").and_then(|x| x.as_f64()), Some(9.0));
+        assert_eq!(v.get("kind").and_then(|x| x.as_str()), Some("answer"));
+        assert_eq!(v.get("from").and_then(|x| x.as_f64()), Some(1.0));
+        assert_eq!(v.get("to").and_then(|x| x.as_f64()), Some(0.0));
+        assert_eq!(v.get("send_ns").and_then(|x| x.as_f64()), Some(100.0));
+        assert_eq!(v.get("recv_ns").and_then(|x| x.as_f64()), Some(250.0));
+        assert_eq!(v.get("bytes").and_then(|x| x.as_f64()), Some(48.0));
+        assert_eq!(MsgKind::Call.to_string(), "call");
+    }
+}

@@ -17,6 +17,12 @@
 //!                                       the evaluation; --counters adds
 //!                                       worklist/tables/answers/table_bytes
 //!                                       counter tracks
+//! tablog workers FILE.pl GOAL [--metrics OUT.prom]
+//!                                       evaluate under --scheduler parallel
+//!                                       and report per-worker load, SCC
+//!                                       ownership, and the message matrix;
+//!                                       --metrics writes worker-labeled
+//!                                       gauges as OpenMetrics text
 //! tablog watch FILE.pl GOAL [--interval MS] [--metrics OUT.prom]
 //!             [--max-steps N] [--deadline MS] [--max-table-bytes B]
 //!                                       evaluate under resource budgets,
@@ -60,9 +66,9 @@
 //!   `table` (default; enumerative truth tables) or `bdd` (hash-consed
 //!   BDDs). Both compute identical results; they trade memory/time
 //!   differently. Recorded in `stats`/`--profile` reports either way.
-//! * `--threads N` — worker-thread count for `--scheduler parallel`
-//!   (default: one per available core). Ignored by the sequential
-//!   strategies.
+//! * `--threads N` — worker-thread count for `--scheduler parallel` and
+//!   the `workers` command (default: one per available core). An error
+//!   with any sequential strategy.
 //! * `--jobs N` — for the analysis commands (`ground`, `depthk`), analyze
 //!   multiple input files on up to `N` worker threads; output stays in
 //!   input order.
@@ -98,12 +104,16 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: tablog <query|tables|stats|profile|timeline|watch|bench-diff|explain|forest|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
+    "usage: tablog <query|tables|stats|profile|timeline|workers|watch|bench-diff|explain|forest|ground|depthk|modes|strict|types|run> FILE [ARGS…]\n\
      tables  FILE GOAL [--top N]  (--top/--json: per-table heap attribution)\n\
      profile FILE GOAL [--folded OUT]  (span timings; collapsed stacks)\n\
      timeline FILE GOAL [--out trace.json] [--counters]\n\
                                   (Chrome-trace/Perfetto timeline of the run;\n\
                                    --counters adds counter time-series tracks)\n\
+     workers FILE GOAL [--metrics OUT.prom]\n\
+                                  (parallel run: per-worker load, SCC owners,\n\
+                                   message matrix; --metrics writes worker-\n\
+                                   labeled gauges as OpenMetrics text)\n\
      watch   FILE GOAL [--interval MS] [--metrics OUT.prom] [--max-steps N]\n\
                        [--deadline MS] [--max-table-bytes B]\n\
                                   (budgeted evaluation with live health\n\
@@ -290,6 +300,7 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
     let mut trace_path: Option<String> = None;
     let mut scheduling = Scheduling::default();
     let mut threads = 0usize;
+    let mut threads_explicit = false;
     let mut jobs = 1usize;
     let mut domain = DomainKind::default();
     let mut it = args.iter();
@@ -312,6 +323,7 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
             }
             "--threads" => {
                 let n = it.next().ok_or("--threads requires a worker count")?;
+                threads_explicit = true;
                 threads = match n.parse::<usize>() {
                     Ok(0) => return Err(format!("bad --threads value {n} (must be at least 1)")),
                     Ok(v) => v,
@@ -331,6 +343,15 @@ fn extract_obs(args: &[String]) -> Result<(Vec<String>, Obs), String> {
             }
             _ => rest.push(a.clone()),
         }
+    }
+    // A worker count on a sequential run would be silently meaningless;
+    // refuse it rather than let the user believe they ran parallel. The
+    // `workers` subcommand implies the parallel strategy, so it is exempt.
+    if threads_explicit
+        && scheduling != Scheduling::Parallel
+        && rest.first().map(String::as_str) != Some("workers")
+    {
+        return Err("--threads requires --scheduler parallel".to_owned());
     }
     let sink = match trace_path {
         Some(p) => {
@@ -492,6 +513,50 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
             report.options = engine.options().describe();
             report.engine = Some(engine_snapshot(&eval, obs.domain));
             if obs.json {
+                // A parallel run stacks its load-balance report into the
+                // same document, so one `stats --json` capture explains
+                // both what was computed and who computed it.
+                let doc = report.to_json();
+                match eval.parallel_report() {
+                    Some(p) => println!("{},\"parallel\":{}}}", &doc[..doc.len() - 1], p.to_json()),
+                    None => println!("{doc}"),
+                }
+            } else {
+                print!("{}", report.render_text());
+                if let Some(p) = eval.parallel_report() {
+                    print!("{}", p.render_text());
+                }
+            }
+            Ok(())
+        }
+        "workers" => {
+            let (src, goal) = file_goal(args)?;
+            let metrics_path = flag_value(args, "--metrics");
+            let registry = Arc::new(MetricsRegistry::new());
+            let opts = EngineOptions {
+                trace: obs.engine_sink(Some(&registry)),
+                scheduling: Scheduling::Parallel,
+                threads: obs.threads,
+                domain: obs.domain,
+                record_counters: metrics_path.is_some(),
+                health: obs.health,
+                ..Default::default()
+            };
+            let engine = Engine::from_source_with(&src, LoadMode::Dynamic, opts)
+                .map_err(|e| e.to_string())?;
+            let mut b = tablog_term::Bindings::new();
+            let (t, _) = tablog_syntax::parse_term(goal, &mut b).map_err(|e| e.to_string())?;
+            let eval = engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
+            let report = eval.parallel_report().ok_or(
+                "workers: the evaluation produced no parallel report \
+                 (the run fell back to sequential)",
+            )?;
+            if let Some(path) = metrics_path {
+                let doc = tablog_trace::openmetrics_workers(&registry.counters().samples());
+                write_output(path, &doc)?;
+                eprintln!("wrote {path}: per-worker gauges as OpenMetrics text");
+            }
+            if obs.json {
                 println!("{}", report.to_json());
             } else {
                 print!("{}", report.render_text());
@@ -638,7 +703,7 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
             let mut b = tablog_term::Bindings::new();
             let (t, _) = tablog_syntax::parse_term(goal, &mut b).map_err(|e| e.to_string())?;
-            engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
+            let eval = engine.evaluate(&[t], &[], &b).map_err(|e| e.to_string())?;
             let tree = registry.spans().snapshot();
             let samples = registry.counters().samples();
             if counters && samples.is_empty() {
@@ -650,15 +715,21 @@ fn dispatch(args: &[String], obs: &Obs) -> Result<(), String> {
                         .to_string(),
                 );
             }
-            let doc = tablog_trace::chrome_trace(&tree, &samples);
+            // A parallel run's cross-worker messages become flow arrows
+            // between the worker lanes; sequential runs have none.
+            let flows = eval
+                .parallel_report()
+                .map_or(&[] as &[_], |p| p.flows.as_slice());
+            let doc = tablog_trace::chrome_trace_with_flows(&tree, &samples, flows);
             match flag_value(args, "--out") {
                 Some(path) => {
                     write_output(path, &doc)?;
                     eprintln!(
-                        "wrote {path}: {} spans, {} counter samples — load in \
-                         https://ui.perfetto.dev or chrome://tracing",
+                        "wrote {path}: {} spans, {} counter samples, {} message flows — \
+                         load in https://ui.perfetto.dev or chrome://tracing",
                         tree.nodes.len(),
-                        samples.len()
+                        samples.len(),
+                        flows.len()
                     );
                 }
                 None => println!("{doc}"),
